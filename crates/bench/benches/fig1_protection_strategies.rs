@@ -1,0 +1,64 @@
+//! Figure 1: cost of the three page read-protection strategies over
+//! dirty sets of 4 KiB – 4 MiB inside a 1 GiB mapping.
+//!
+//! The baseline traverses the whole mapping's page tables; the per-page
+//! variant walks the table once per dirty page; MemSnap's trace buffer
+//! rewrites recorded PTEs directly.
+
+use msnap_bench::{header, table, us};
+use msnap_sim::Vt;
+use msnap_vm::{ResetStrategy, TrackMode, Vm, PAGE_SIZE};
+
+const VA: u64 = 0x7000_0000_0000;
+const MAPPING_PAGES: u64 = 262_144; // 1 GiB
+
+fn main() {
+    header(
+        "Figure 1: read-protection strategy cost (measured, us)",
+        "1 GiB mapping; dirty pages scattered. Paper reports the trace \
+         buffer 'reduces the cost of page protection to almost nothing'.",
+    );
+
+    let mut vm = Vm::new();
+    let space = vm.create_space();
+    let obj = vm.create_object(MAPPING_PAGES);
+    vm.map(space, obj, VA, TrackMode::Tracked).unwrap();
+
+    // Pre-fault the resident set so the page tables are fully built.
+    let mut warm = Vt::new(9);
+    let twarm = warm.id();
+    for p in 0..MAPPING_PAGES {
+        vm.write(&mut warm, space, twarm, VA + p * PAGE_SIZE as u64, &[1]);
+    }
+    let warm_dirty = vm.take_dirty(twarm, None);
+    vm.reset_protection(&mut warm, &warm_dirty, ResetStrategy::TraceBuffer);
+
+    let mut rows = Vec::new();
+    for kib in [4usize, 16, 64, 256, 1024, 4096] {
+        let pages = (kib * 1024 / PAGE_SIZE) as u64;
+        let mut cells = vec![format!("{kib}")];
+        for strategy in [
+            ResetStrategy::FullTableScan,
+            ResetStrategy::PerPageWalk,
+            ResetStrategy::TraceBuffer,
+        ] {
+            let mut vt = Vt::new(1);
+            let t = vt.id();
+            for i in 0..pages {
+                let page = (i * 7919 + 3) % MAPPING_PAGES;
+                vm.write(&mut vt, space, t, VA + page * PAGE_SIZE as u64, &[1]);
+            }
+            let dirty = vm.take_dirty(t, None);
+            let cost = vm.reset_protection(&mut vt, &dirty, strategy);
+            cells.push(us(cost.as_us_f64()));
+        }
+        rows.push(cells);
+    }
+    table(&["dirty KiB", "full-table scan", "per-page walk", "trace buffer"], &rows);
+    println!();
+    println!(
+        "Shape checks: the scan is flat and expensive regardless of dirty \
+         size; the walk scales with the dirty set at a high slope; the \
+         trace buffer is cheapest everywhere."
+    );
+}

@@ -1,0 +1,65 @@
+//! Figure 5: TATP throughput vs database size, MemSnap vs the WAL
+//! baseline.
+
+use msnap_bench::{header, table};
+use msnap_disk::{Disk, DiskConfig};
+use msnap_fs::FsKind;
+use msnap_litedb::drivers::{run_tatp, setup_tatp};
+use msnap_litedb::{FileBackend, LiteDb, MemSnapBackend};
+use msnap_sim::{Nanos, Vt};
+
+/// Virtual benchmark duration (paper: 60 s; scaled).
+const DURATION: Nanos = Nanos::from_ms(400);
+
+fn run(memsnap: bool, subscribers: u64) -> f64 {
+    let mut vt = Vt::new(0);
+    let mut db = if memsnap {
+        let be = MemSnapBackend::format_with_capacity(
+            Disk::new(DiskConfig::paper()),
+            "tatp.db",
+            1 << 17,
+            &mut vt,
+        );
+        LiteDb::new(Box::new(be), &mut vt)
+    } else {
+        let be =
+            FileBackend::format(Disk::new(DiskConfig::paper()), FsKind::Ffs, "tatp.db", &mut vt);
+        LiteDb::new(Box::new(be), &mut vt)
+    };
+    let tables = setup_tatp(&mut db, &mut vt, subscribers);
+    db.reset_metrics();
+    run_tatp(&mut db, &mut vt, tables, subscribers, DURATION, 7).tps
+}
+
+fn main() {
+    header(
+        "Figure 5: TATP throughput vs database size (measured, txns/s)",
+        "80/20 read/write mix, synchronous commits, 400 ms virtual run \
+         (paper: 60 s, 1K-1M records; scaled to 1K-100K).",
+    );
+    let mut rows = Vec::new();
+    let mut first: Option<(f64, f64)> = None;
+    for subscribers in [1_000u64, 10_000, 100_000] {
+        let ms = run(true, subscribers);
+        let fb = run(false, subscribers);
+        first.get_or_insert((ms, fb));
+        rows.push(vec![
+            format!("{subscribers}"),
+            format!("{ms:.0}"),
+            format!("{fb:.0}"),
+            format!("{:.2}x", ms / fb),
+        ]);
+    }
+    table(&["records", "memsnap tps", "baseline tps", "ratio"], &rows);
+    if let Some((ms0, fb0)) = first {
+        let last = rows.last().unwrap();
+        let ms_drop = (1.0 - last[1].parse::<f64>().unwrap() / ms0) * 100.0;
+        let fb_drop = (1.0 - last[2].parse::<f64>().unwrap() / fb0) * 100.0;
+        println!();
+        println!(
+            "throughput loss from smallest to largest DB: memsnap {ms_drop:.0}% \
+             (paper 23%), baseline {fb_drop:.0}% (paper 63%) — MemSnap's \
+             overhead is independent of the mapping's resident size."
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 6: PostgreSQL TPC-C across four storage stacks — transactions
+//! per second, device write throughput, and IO/s.
+
+use msnap_bench::{header, table};
+use msnap_pgdb::tpcc::{run, setup, TpccConfig};
+use msnap_pgdb::StoreVariant;
+use msnap_sim::{Nanos, Vt};
+
+fn main() {
+    header(
+        "Figure 6: PostgreSQL TPC-C storage-stack comparison (measured)",
+        "2 warehouses, 8 connections, 500 ms virtual run (paper: 150 \
+         warehouses, 24 connections, 2 min).",
+    );
+    let cfg = TpccConfig {
+        warehouses: 2,
+        connections: 8,
+        duration: Nanos::from_ms(500),
+        ckpt_wal_bytes: 1 << 20,
+        ckpt_interval: Nanos::from_ms(20),
+        seed: 11,
+    };
+
+    let mut rows = Vec::new();
+    let mut baseline_tps = 0.0;
+    for (variant, label) in [
+        (StoreVariant::Baseline, "ffs (baseline)"),
+        (StoreVariant::FfsMmap, "ffs-mmap"),
+        (StoreVariant::FfsMmapBufdirect, "ffs-mmap-bd"),
+        (StoreVariant::MemSnap, "memsnap"),
+    ] {
+        let mut vt = Vt::new(u32::MAX);
+        let db = setup(variant, cfg.warehouses, cfg.connections, &mut vt);
+        let (report, _) = run(db, &cfg, vt.now());
+        if variant == StoreVariant::Baseline {
+            baseline_tps = report.tps;
+        }
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.0}", report.tps),
+            format!("{:+.1}%", (report.tps / baseline_tps - 1.0) * 100.0),
+            format!("{:.1}", report.io.write_mib_s),
+            format!("{:.0}", report.io.bytes_written as f64 / report.txns as f64 / 1024.0),
+            format!("{:.0}", report.io.iops),
+            format!("{}", report.checkpoints),
+        ]);
+    }
+    table(
+        &["variant", "tps", "vs baseline", "write MiB/s", "KiB/txn", "IO/s", "ckpts"],
+        &rows,
+    );
+    println!();
+    println!(
+        "Shape checks (paper): mmap variants lose throughput vs the \
+         baseline (bufdirect worst, ~-25%); MemSnap matches or beats the \
+         baseline (+1.5%) while writing far fewer bytes (-80%) with more \
+         individual IOs (+26%)."
+    );
+}

@@ -1,0 +1,38 @@
+//! Criterion microbenchmarks (real wall-clock) for the skip index.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use msnap_sim::Vt;
+use msnap_skipdb::SkipIndex;
+
+fn bench_skiplist(c: &mut Criterion) {
+    c.bench_function("skiplist_insert_10k", |b| {
+        b.iter_batched(
+            || SkipIndex::new(0u64),
+            |mut s| {
+                let mut vt = Vt::new(0);
+                for i in 0..10_000u64 {
+                    s.insert(&mut vt, (i * 7919) % 10_000, i);
+                }
+                s
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("skiplist_find_in_100k", |b| {
+        let mut s = SkipIndex::new(0u64);
+        let mut vt = Vt::new(0);
+        for i in 0..100_000u64 {
+            s.insert(&mut vt, i, i);
+        }
+        let mut key = 0u64;
+        b.iter(|| {
+            key = (key * 6364136223846793005).wrapping_add(1442695040888963407) % 100_000;
+            let mut vt = Vt::new(1);
+            s.find(&mut vt, key).copied()
+        })
+    });
+}
+
+criterion_group!(benches, bench_skiplist);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion microbenchmarks (real wall-clock) for the VM subsystem:
+//! fault dispatch, tracked writes, and trace-buffer protection resets.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use msnap_sim::Vt;
+use msnap_vm::{ResetStrategy, TrackMode, Vm, PAGE_SIZE};
+
+const VA: u64 = 0x7000_0000_0000;
+
+fn tracked_vm(pages: u64) -> (Vm, msnap_vm::AsId) {
+    let mut vm = Vm::new();
+    let space = vm.create_space();
+    let obj = vm.create_object(pages);
+    vm.map(space, obj, VA, TrackMode::Tracked).unwrap();
+    (vm, space)
+}
+
+fn bench_faults(c: &mut Criterion) {
+    c.bench_function("vm_first_write_fault_256", |b| {
+        b.iter_batched(
+            || tracked_vm(256),
+            |(mut vm, space)| {
+                let mut vt = Vt::new(0);
+                let t = vt.id();
+                for p in 0..256u64 {
+                    vm.write(&mut vt, space, t, VA + p * PAGE_SIZE as u64, &[1]);
+                }
+                vm
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("vm_warm_write_256", |b| {
+        b.iter_batched(
+            || {
+                let (mut vm, space) = tracked_vm(256);
+                let mut vt = Vt::new(0);
+                let t = vt.id();
+                for p in 0..256u64 {
+                    vm.write(&mut vt, space, t, VA + p * PAGE_SIZE as u64, &[1]);
+                }
+                (vm, space)
+            },
+            |(mut vm, space)| {
+                let mut vt = Vt::new(1);
+                let t = vt.id();
+                for p in 0..256u64 {
+                    vm.write(&mut vt, space, t, VA + p * PAGE_SIZE as u64, &[2]);
+                }
+                vm
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_reset(c: &mut Criterion) {
+    c.bench_function("vm_trace_buffer_reset_256", |b| {
+        b.iter_batched(
+            || {
+                let (mut vm, space) = tracked_vm(256);
+                let mut vt = Vt::new(0);
+                let t = vt.id();
+                for p in 0..256u64 {
+                    vm.write(&mut vt, space, t, VA + p * PAGE_SIZE as u64, &[1]);
+                }
+                let dirty = vm.take_dirty(t, None);
+                (vm, dirty)
+            },
+            |(mut vm, dirty)| {
+                let mut vt = Vt::new(1);
+                vm.reset_protection(&mut vt, &dirty, ResetStrategy::TraceBuffer);
+                vm
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_faults, bench_reset);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Table 2: latency breakdown of a synchronous Aurora region checkpoint
+//! during the RocksDB scenario (64 KiB dirty in a 64 MiB MemTable
+//! region, 12 threads).
+
+use msnap_aurora::Aurora;
+use msnap_bench::{header, table, vs};
+use msnap_disk::{Disk, DiskConfig};
+use msnap_sim::Vt;
+use msnap_vm::PAGE_SIZE;
+
+fn main() {
+    header(
+        "Table 2: Aurora region checkpoint latency breakdown (paper / measured, us)",
+        "64 KiB dirty set in a 64 MiB region; 12 application threads. \
+         The paper's 'Waiting for Calls' is the stop-the-world rendezvous \
+         (no checkpoint is outstanding here).",
+    );
+
+    let mut aurora = Aurora::format(Disk::new(DiskConfig::paper()));
+    let mut vt = Vt::new(0);
+    let region = aurora.create_region(&mut vt, "memtable", 16 * 1024).unwrap();
+
+    for i in 0..16u64 {
+        aurora.write(&mut vt, region, i * 7 * PAGE_SIZE as u64, &[2u8; PAGE_SIZE]);
+    }
+    let report = aurora.checkpoint_region(&mut vt, region, 12, true);
+
+    table(
+        &["operation", "paper / measured"],
+        &[
+            vec![
+                "Waiting for Calls".into(),
+                vs(
+                    26.7,
+                    (report.waiting_for_calls + report.stopping_threads).as_us_f64(),
+                ),
+            ],
+            vec![
+                "Applying COW".into(),
+                vs(79.8, report.applying_cow.as_us_f64()),
+            ],
+            vec!["Flush IO".into(), vs(27.9, report.flush_io.as_us_f64())],
+            vec![
+                "Removing COW".into(),
+                vs(91.7, report.removing_cow.as_us_f64()),
+            ],
+            vec!["Total".into(), vs(208.1, report.total().as_us_f64())],
+        ],
+    );
+    println!();
+    println!(
+        "Shape check: shadowing + collapse are proportional to the \
+         mapping size, not the dirty set — the paper's core criticism of \
+         region checkpointing. Our flush-IO row runs ~2x the paper's \
+         because every checkpoint commits a checksummed record through \
+         the shared object store."
+    );
+}

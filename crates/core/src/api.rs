@@ -1,0 +1,759 @@
+//! The MemSnap single level store.
+
+use std::collections::{BTreeMap, HashMap};
+
+use msnap_disk::Disk;
+use msnap_sim::{Category, Meters, Nanos, Vt, VthreadId};
+use msnap_store::{ObjectId as StoreObjId, ObjectStore};
+use msnap_vm::{AsId, DirtyPage, MemObjectId, ResetStrategy, TrackMode, Vm, PAGE_SIZE};
+
+use crate::manifest::{Manifest, ManifestEntry};
+use crate::types::{Md, MsnapError, PersistBreakdown, PersistFlags, RegionHandle, RegionSel};
+use crate::Epoch;
+
+/// Base of the region address range: "the high end of the address space"
+/// (§3), so region addresses never collide with ordinary mappings.
+const REGION_VA_BASE: u64 = 0x7800_0000_0000;
+/// Guard gap between consecutive regions, in pages.
+const REGION_GUARD_PAGES: u64 = 16;
+/// Name of the internal region-table object in the store.
+const MANIFEST_NAME: &str = "__msnap_manifest";
+
+/// Syscall entry/exit cost of a MemSnap call.
+const SYSCALL_COST: Nanos = Nanos::from_ns(500);
+
+#[derive(Debug)]
+struct Region {
+    name: String,
+    vm_obj: MemObjectId,
+    store_obj: StoreObjId,
+    addr: u64,
+    pages: u64,
+    mapped: Vec<AsId>,
+    populated: bool,
+}
+
+/// The MemSnap single level store: regions, μCheckpoints, crash/restore.
+///
+/// See the crate docs for the API mapping; construction is via
+/// [`MemSnap::format`] (fresh device) or [`MemSnap::restore`] (after a
+/// crash).
+pub struct MemSnap {
+    vm: Vm,
+    disk: Disk,
+    store: ObjectStore,
+    manifest_obj: StoreObjId,
+    regions: Vec<Region>,
+    by_name: HashMap<String, Md>,
+    next_va: u64,
+    strategy: ResetStrategy,
+    /// Durability instants: per-selector epoch → completion time.
+    completions: HashMap<RegionSel, BTreeMap<Epoch, Nanos>>,
+    all_epoch: Epoch,
+    meters: Meters,
+    last_breakdown: PersistBreakdown,
+}
+
+impl std::fmt::Debug for MemSnap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemSnap")
+            .field("regions", &self.regions.len())
+            .field("strategy", &self.strategy)
+            .finish()
+    }
+}
+
+impl MemSnap {
+    /// Formats `disk` with an empty store and returns a fresh MemSnap.
+    pub fn format(mut disk: Disk) -> Self {
+        let mut store = ObjectStore::format(&mut disk);
+        let mut vt = Vt::new(u32::MAX); // boot-time setup thread
+        let manifest_obj = store
+            .create(&mut vt, &mut disk, MANIFEST_NAME)
+            .expect("fresh store accepts the manifest object");
+        let mut ms = MemSnap {
+            vm: Vm::new(),
+            disk,
+            store,
+            manifest_obj,
+            regions: Vec::new(),
+            by_name: HashMap::new(),
+            next_va: REGION_VA_BASE,
+            strategy: ResetStrategy::TraceBuffer,
+            completions: HashMap::new(),
+            all_epoch: 0,
+            meters: Meters::new(),
+            last_breakdown: PersistBreakdown::default(),
+        };
+        ms.persist_manifest(&mut vt);
+        ms
+    }
+
+    /// Reopens MemSnap from a crashed or cleanly shut-down device.
+    ///
+    /// Regions are registered from the durable manifest; each region's
+    /// data is paged back in on its first `msnap_open`.
+    ///
+    /// # Errors
+    ///
+    /// [`MsnapError::Store`] if the device holds no formatted store.
+    pub fn restore(vt: &mut Vt, mut disk: Disk) -> Result<Self, MsnapError> {
+        let mut store = ObjectStore::open(vt, &mut disk)?;
+        let manifest_obj = store.lookup(MANIFEST_NAME).ok_or(MsnapError::BadDescriptor)?;
+        let manifest = Manifest::decode(&mut |page, out| {
+            store
+                .read_page(vt, &mut disk, manifest_obj, page, &mut out[..])
+                .expect("manifest object exists");
+        });
+
+        let mut ms = MemSnap {
+            vm: Vm::new(),
+            disk,
+            store,
+            manifest_obj,
+            regions: Vec::new(),
+            by_name: HashMap::new(),
+            next_va: REGION_VA_BASE,
+            strategy: ResetStrategy::TraceBuffer,
+            completions: HashMap::new(),
+            all_epoch: 0,
+            meters: Meters::new(),
+            last_breakdown: PersistBreakdown::default(),
+        };
+        for entry in manifest.entries {
+            let store_obj = ms
+                .store
+                .lookup(&entry.name)
+                .ok_or(MsnapError::BadDescriptor)?;
+            let vm_obj = ms.vm.create_object(entry.pages);
+            let md = Md(ms.regions.len() as u32);
+            ms.by_name.insert(entry.name.clone(), md);
+            ms.next_va = ms
+                .next_va
+                .max(entry.addr + (entry.pages + REGION_GUARD_PAGES) * PAGE_SIZE as u64);
+            ms.regions.push(Region {
+                name: entry.name,
+                vm_obj,
+                store_obj,
+                addr: entry.addr,
+                pages: entry.pages,
+                mapped: Vec::new(),
+                populated: false,
+            });
+        }
+        Ok(ms)
+    }
+
+    /// Simulates a power failure at `at`: consumes the running instance
+    /// and returns the device holding exactly the durable image. Pass it
+    /// to [`MemSnap::restore`] to "reboot".
+    pub fn crash(self, at: Nanos) -> Disk {
+        let mut disk = self.disk;
+        disk.crash(at);
+        disk
+    }
+
+    /// Gracefully shuts down, declaring all submitted IO durable.
+    pub fn shutdown(self) -> Disk {
+        let mut disk = self.disk;
+        disk.settle();
+        disk
+    }
+
+    /// The VM subsystem (create address spaces, inspect fault statistics).
+    pub fn vm_mut(&mut self) -> &mut Vm {
+        &mut self.vm
+    }
+
+    /// The VM subsystem, read-only.
+    pub fn vm(&self) -> &Vm {
+        &self.vm
+    }
+
+    /// The underlying device (IO statistics).
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+
+    /// Resets device IO statistics (benchmark warm-up boundary).
+    pub fn reset_disk_stats(&mut self) {
+        self.disk.reset_stats();
+    }
+
+    /// The object store (epochs, commit statistics).
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// Per-call latency meters (`"msnap_persist"`, …).
+    pub fn meters(&self) -> &Meters {
+        &self.meters
+    }
+
+    /// Cost breakdown of the most recent `msnap_persist` (Table 5).
+    pub fn last_persist_breakdown(&self) -> PersistBreakdown {
+        self.last_breakdown
+    }
+
+    /// Selects the protection-reset strategy (default:
+    /// [`ResetStrategy::TraceBuffer`]); the alternatives exist for the
+    /// Figure 1 comparison.
+    pub fn set_reset_strategy(&mut self, strategy: ResetStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// Creates or opens the region `name` of `pages` pages and maps it
+    /// into `space` at its fixed address (`pages == 0` opens an existing
+    /// region at its recorded size).
+    ///
+    /// The first open after a restore pages the durable image back in.
+    ///
+    /// # Errors
+    ///
+    /// [`MsnapError::LengthMismatch`] if the region exists with a
+    /// different size, [`MsnapError::BadDescriptor`] for `pages == 0` on a
+    /// region that does not exist, or a wrapped store/VM error.
+    pub fn msnap_open(
+        &mut self,
+        vt: &mut Vt,
+        space: AsId,
+        name: &str,
+        pages: u64,
+    ) -> Result<RegionHandle, MsnapError> {
+        vt.charge(Category::Syscall, SYSCALL_COST);
+        if let Some(&md) = self.by_name.get(name) {
+            let region = &self.regions[md.0 as usize];
+            if pages != 0 && pages != region.pages {
+                return Err(MsnapError::LengthMismatch);
+            }
+            if !self.regions[md.0 as usize].populated {
+                self.populate(vt, md);
+            }
+            let region = &mut self.regions[md.0 as usize];
+            if !region.mapped.contains(&space) {
+                self.vm
+                    .map(space, region.vm_obj, region.addr, TrackMode::Tracked)?;
+                self.regions[md.0 as usize].mapped.push(space);
+            }
+            let region = &self.regions[md.0 as usize];
+            return Ok(RegionHandle {
+                md,
+                addr: region.addr,
+                pages: region.pages,
+            });
+        }
+
+        if pages == 0 {
+            return Err(MsnapError::BadDescriptor);
+        }
+        let addr = self.next_va;
+        self.next_va += (pages + REGION_GUARD_PAGES) * PAGE_SIZE as u64;
+        let vm_obj = self.vm.create_object(pages);
+        let store_obj = self.store.create(vt, &mut self.disk, name)?;
+        self.vm.map(space, vm_obj, addr, TrackMode::Tracked)?;
+        let md = Md(self.regions.len() as u32);
+        self.regions.push(Region {
+            name: name.to_string(),
+            vm_obj,
+            store_obj,
+            addr,
+            pages,
+            mapped: vec![space],
+            populated: true,
+        });
+        self.by_name.insert(name.to_string(), md);
+        self.persist_manifest(vt);
+        Ok(RegionHandle { md, addr, pages })
+    }
+
+    /// Pages a region's durable image into memory (restore path).
+    fn populate(&mut self, vt: &mut Vt, md: Md) {
+        let region = &self.regions[md.0 as usize];
+        let store_obj = region.store_obj;
+        let vm_obj = region.vm_obj;
+        let len = self.store.len_pages(store_obj).min(region.pages);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for page in 0..len {
+            self.store
+                .read_page(vt, &mut self.disk, store_obj, page, &mut buf)
+                .expect("region object exists");
+            self.vm.populate_page(vm_obj, page, &buf);
+        }
+        self.regions[md.0 as usize].populated = true;
+    }
+
+    /// Looks up a region descriptor by name.
+    pub fn region(&self, name: &str) -> Option<Md> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The fixed address of a region.
+    pub fn region_addr(&self, md: Md) -> u64 {
+        self.regions[md.0 as usize].addr
+    }
+
+    /// All region names in descriptor order (the restore path's "list of
+    /// all MemSnap regions in an application").
+    pub fn region_names(&self) -> Vec<String> {
+        self.regions.iter().map(|r| r.name.clone()).collect()
+    }
+
+    /// Writes through the VM with dirty tracking (convenience wrapper over
+    /// [`Vm::write`]).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible (unmapped addresses panic, as a segfault
+    /// would); the `Result` reserves room for access control.
+    pub fn write(
+        &mut self,
+        vt: &mut Vt,
+        space: AsId,
+        thread: VthreadId,
+        va: u64,
+        data: &[u8],
+    ) -> Result<(), MsnapError> {
+        self.vm.write(vt, space, thread, va, data);
+        Ok(())
+    }
+
+    /// Reads through the VM. See [`MemSnap::write`].
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; see [`MemSnap::write`].
+    pub fn read(
+        &mut self,
+        vt: &mut Vt,
+        space: AsId,
+        va: u64,
+        out: &mut [u8],
+    ) -> Result<(), MsnapError> {
+        self.vm.read(vt, space, va, out);
+        Ok(())
+    }
+
+    /// Persists a μCheckpoint: the dirty pages of the calling `thread`
+    /// (or of all threads with [`PersistFlags::global`]) restricted to
+    /// `sel`, atomically, into the object store. Returns the epoch to pass
+    /// to [`MemSnap::msnap_wait`].
+    ///
+    /// With `flags.sync` the call blocks until durable; with `MS_ASYNC` it
+    /// returns after initiating the IO, and concurrent writes to in-flight
+    /// pages take the COW path instead of blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`MsnapError::BadDescriptor`] for an unknown region.
+    pub fn msnap_persist(
+        &mut self,
+        vt: &mut Vt,
+        thread: VthreadId,
+        sel: RegionSel,
+        flags: PersistFlags,
+    ) -> Result<Epoch, MsnapError> {
+        let start = vt.now();
+        vt.charge(Category::Memsnap, SYSCALL_COST);
+
+        let filter = match sel {
+            RegionSel::All => None,
+            RegionSel::Region(md) => Some(
+                self.regions
+                    .get(md.0 as usize)
+                    .ok_or(MsnapError::BadDescriptor)?
+                    .vm_obj,
+            ),
+        };
+
+        // Gather the dirty set (the thread's, or everyone's for
+        // MS_GLOBAL).
+        let mut entries: Vec<DirtyPage> = Vec::new();
+        if flags.global {
+            let mut threads = self.vm.threads_with_dirty();
+            if !threads.contains(&thread) {
+                threads.push(thread);
+            }
+            for t in threads {
+                entries.extend(self.vm.take_dirty(t, filter));
+            }
+        } else {
+            entries = self.vm.take_dirty(thread, filter);
+        }
+
+        // Group by region.
+        let mut by_obj: BTreeMap<u32, Vec<DirtyPage>> = BTreeMap::new();
+        for e in entries {
+            by_obj.entry(e.object.0).or_default().push(e);
+        }
+
+        // Initiate one scatter/gather μCheckpoint IO per region.
+        let t_init = vt.now();
+        let mut max_completes = vt.now();
+        let mut epoch_for_sel: Epoch = 0;
+        let mut all_entries: Vec<DirtyPage> = Vec::new();
+        let mut total_pages = 0u64;
+        for (obj, group) in by_obj {
+            let region_idx = self
+                .regions
+                .iter()
+                .position(|r| r.vm_obj.0 == obj)
+                .expect("dirty pages in tracked mappings belong to regions");
+            let store_obj = self.regions[region_idx].store_obj;
+            let pages: Vec<(u64, &[u8])> = group
+                .iter()
+                .map(|e| (e.obj_page, self.vm.page_bytes(e)))
+                .collect();
+            total_pages += pages.len() as u64;
+            let token = self.store.persist(vt, &mut self.disk, store_obj, &pages);
+            max_completes = max_completes.max(token.completes);
+            self.completions
+                .entry(RegionSel::Region(Md(region_idx as u32)))
+                .or_default()
+                .insert(token.epoch, token.completes);
+            if sel == RegionSel::Region(Md(region_idx as u32)) {
+                epoch_for_sel = token.epoch;
+            }
+            all_entries.extend(group);
+        }
+        let initiating = vt.now() - t_init;
+
+        // Freeze (checkpoint-in-progress) and re-arm tracking.
+        self.vm.freeze(&all_entries, max_completes);
+        let resetting = if all_entries.is_empty() {
+            Nanos::ZERO
+        } else {
+            self.vm.reset_protection(vt, &all_entries, self.strategy)
+        };
+
+        // Epoch bookkeeping for the all-regions selector.
+        self.all_epoch += 1;
+        self.completions
+            .entry(RegionSel::All)
+            .or_default()
+            .insert(self.all_epoch, max_completes);
+        if sel == RegionSel::All {
+            epoch_for_sel = self.all_epoch;
+        } else if epoch_for_sel == 0 {
+            // Nothing dirty for this region: report its current epoch.
+            if let RegionSel::Region(md) = sel {
+                epoch_for_sel = self.store.epoch(self.regions[md.0 as usize].store_obj);
+            }
+        }
+
+        // Synchronous callers block until durable.
+        let mut waiting = Nanos::ZERO;
+        if flags.sync && max_completes > vt.now() {
+            waiting = max_completes - vt.now();
+            vt.charge(Category::IoWait, waiting);
+        }
+
+        self.last_breakdown = PersistBreakdown {
+            resetting_tracking: resetting,
+            initiating_writes: initiating,
+            waiting_on_io: waiting,
+            pages: total_pages,
+        };
+        self.meters.record("msnap_persist", vt.now() - start);
+        Ok(epoch_for_sel)
+    }
+
+    /// Blocks until `epoch` of `sel` is durable (the paper's
+    /// `msnap_wait`).
+    ///
+    /// # Errors
+    ///
+    /// [`MsnapError::BadDescriptor`] if `epoch` was never issued for
+    /// `sel`.
+    pub fn msnap_wait(
+        &mut self,
+        vt: &mut Vt,
+        sel: RegionSel,
+        epoch: Epoch,
+    ) -> Result<(), MsnapError> {
+        vt.charge(Category::Memsnap, SYSCALL_COST);
+        let map = self.completions.get(&sel);
+        let completes = match map.and_then(|m| m.get(&epoch)) {
+            Some(&t) => t,
+            None => {
+                // Epochs below the smallest recorded entry were already
+                // durable; anything else is a caller bug.
+                let latest = map.and_then(|m| m.keys().next_back().copied()).unwrap_or(0);
+                if epoch > latest {
+                    return Err(MsnapError::BadDescriptor);
+                }
+                return Ok(());
+            }
+        };
+        if completes > vt.now() {
+            let wait = completes - vt.now();
+            vt.charge(Category::IoWait, wait);
+        }
+        Ok(())
+    }
+
+    /// Persists the region table through the store (synchronously).
+    fn persist_manifest(&mut self, vt: &mut Vt) {
+        let manifest = Manifest {
+            entries: self
+                .regions
+                .iter()
+                .map(|r| ManifestEntry {
+                    name: r.name.clone(),
+                    addr: r.addr,
+                    pages: r.pages,
+                })
+                .collect(),
+        };
+        let pages = manifest.encode_pages();
+        let iov: Vec<(u64, &[u8])> = pages
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as u64, &p[..]))
+            .collect();
+        let token = self.store.persist(vt, &mut self.disk, self.manifest_obj, &iov);
+        ObjectStore::wait(vt, token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msnap_disk::DiskConfig;
+
+    fn fresh() -> (MemSnap, Vt, AsId) {
+        let mut ms = MemSnap::format(Disk::new(DiskConfig::paper()));
+        let vt = Vt::new(0);
+        let space = ms.vm_mut().create_space();
+        (ms, vt, space)
+    }
+
+    #[test]
+    fn open_persist_wait_round_trip() {
+        let (mut ms, mut vt, space) = fresh();
+        let t = vt.id();
+        let r = ms.msnap_open(&mut vt, space, "data", 16).unwrap();
+        ms.write(&mut vt, space, t, r.addr, &[42; 100]).unwrap();
+        let epoch = ms
+            .msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+            .unwrap();
+        assert_eq!(epoch, 1);
+        ms.msnap_wait(&mut vt, RegionSel::Region(r.md), epoch).unwrap();
+        let mut out = [0u8; 100];
+        ms.read(&mut vt, space, r.addr, &mut out).unwrap();
+        assert_eq!(out, [42; 100]);
+    }
+
+    #[test]
+    fn async_persist_returns_before_durability() {
+        let (mut ms, mut vt, space) = fresh();
+        let t = vt.id();
+        let r = ms.msnap_open(&mut vt, space, "data", 16).unwrap();
+        ms.write(&mut vt, space, t, r.addr, &[1; PAGE_SIZE]).unwrap();
+        let before = vt.now();
+        let epoch = ms
+            .msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::async_())
+            .unwrap();
+        let async_lat = vt.now() - before;
+        ms.msnap_wait(&mut vt, RegionSel::Region(r.md), epoch).unwrap();
+        let sync_lat = vt.now() - before;
+        assert!(
+            async_lat < sync_lat,
+            "async returns before the IO: {async_lat} < {sync_lat}"
+        );
+        // Async latency is dominated by tracking reset: ~6 us (Table 6).
+        assert!(async_lat < Nanos::from_us(15), "async latency {async_lat}");
+    }
+
+    #[test]
+    fn persist_is_per_thread() {
+        let (mut ms, mut vt, space) = fresh();
+        let r = ms.msnap_open(&mut vt, space, "data", 16).unwrap();
+        let t0 = VthreadId(0);
+        let t1 = VthreadId(1);
+        ms.write(&mut vt, space, t0, r.addr, &[1]).unwrap();
+        ms.write(&mut vt, space, t1, r.addr + PAGE_SIZE as u64, &[2]).unwrap();
+        ms.msnap_persist(&mut vt, t0, RegionSel::Region(r.md), PersistFlags::sync())
+            .unwrap();
+        // Thread 1's page is still dirty and untracked by the persist.
+        assert_eq!(ms.vm().dirty_count(t1), 1);
+        assert_eq!(ms.last_persist_breakdown().pages, 1);
+    }
+
+    #[test]
+    fn global_flag_persists_all_threads() {
+        let (mut ms, mut vt, space) = fresh();
+        let r = ms.msnap_open(&mut vt, space, "data", 16).unwrap();
+        let t0 = VthreadId(0);
+        let t1 = VthreadId(1);
+        ms.write(&mut vt, space, t0, r.addr, &[1]).unwrap();
+        ms.write(&mut vt, space, t1, r.addr + PAGE_SIZE as u64, &[2]).unwrap();
+        ms.msnap_persist(
+            &mut vt,
+            t0,
+            RegionSel::All,
+            PersistFlags::sync().with_global(),
+        )
+        .unwrap();
+        assert_eq!(ms.vm().dirty_count(t1), 0);
+        assert_eq!(ms.last_persist_breakdown().pages, 2);
+    }
+
+    #[test]
+    fn region_filter_keeps_other_regions_dirty() {
+        let (mut ms, mut vt, space) = fresh();
+        let t = vt.id();
+        let a = ms.msnap_open(&mut vt, space, "a", 16).unwrap();
+        let b = ms.msnap_open(&mut vt, space, "b", 16).unwrap();
+        ms.write(&mut vt, space, t, a.addr, &[1]).unwrap();
+        ms.write(&mut vt, space, t, b.addr, &[2]).unwrap();
+        ms.msnap_persist(&mut vt, t, RegionSel::Region(a.md), PersistFlags::sync())
+            .unwrap();
+        assert_eq!(ms.vm().dirty_count(t), 1, "region b stays dirty");
+    }
+
+    #[test]
+    fn crash_restore_recovers_persisted_data_at_same_address() {
+        let (mut ms, mut vt, space) = fresh();
+        let t = vt.id();
+        let r = ms.msnap_open(&mut vt, space, "data", 16).unwrap();
+        ms.write(&mut vt, space, t, r.addr + 8192, b"durable").unwrap();
+        ms.msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+            .unwrap();
+        // Unpersisted modification: must be lost.
+        ms.write(&mut vt, space, t, r.addr, b"volatile").unwrap();
+        let crash_at = vt.now();
+        let disk = ms.crash(crash_at);
+
+        let mut vt2 = Vt::new(1);
+        let mut ms2 = MemSnap::restore(&mut vt2, disk).unwrap();
+        let space2 = ms2.vm_mut().create_space();
+        let r2 = ms2.msnap_open(&mut vt2, space2, "data", 0).unwrap();
+        assert_eq!(r2.addr, r.addr, "regions map at the same address");
+        assert_eq!(r2.pages, 16);
+        let mut out = [0u8; 7];
+        ms2.read(&mut vt2, space2, r2.addr + 8192, &mut out).unwrap();
+        assert_eq!(&out, b"durable");
+        let mut lost = [0u8; 8];
+        ms2.read(&mut vt2, space2, r2.addr, &mut lost).unwrap();
+        assert_eq!(lost, [0; 8], "unpersisted write did not survive");
+    }
+
+    #[test]
+    fn persist_breakdown_matches_table5() {
+        // Table 5: a 64 KiB (16-page) msnap_persist costs ~51.4 us total:
+        // ~5.1 us resetting tracking, ~6.5 us initiating, ~39.7 us on IO.
+        let (mut ms, mut vt, space) = fresh();
+        let t = vt.id();
+        let r = ms.msnap_open(&mut vt, space, "data", 64).unwrap();
+        for p in 0..16u64 {
+            ms.write(&mut vt, space, t, r.addr + p * PAGE_SIZE as u64, &[7; PAGE_SIZE])
+                .unwrap();
+        }
+        ms.msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+            .unwrap();
+        let b = ms.last_persist_breakdown();
+        assert_eq!(b.pages, 16);
+        let reset = b.resetting_tracking.as_us_f64();
+        let init = b.initiating_writes.as_us_f64();
+        let total = b.total().as_us_f64();
+        assert!((reset - 5.1).abs() < 2.5, "reset {reset:.1} us vs 5.1 us");
+        assert!((init - 6.5).abs() < 3.0, "initiate {init:.1} us vs 6.5 us");
+        assert!(
+            total > 30.0 && total < 90.0,
+            "total {total:.1} us vs paper 51.4 us"
+        );
+    }
+
+    #[test]
+    fn wait_on_unissued_epoch_errors() {
+        let (mut ms, mut vt, space) = fresh();
+        let r = ms.msnap_open(&mut vt, space, "data", 16).unwrap();
+        assert_eq!(
+            ms.msnap_wait(&mut vt, RegionSel::Region(r.md), 99),
+            Err(MsnapError::BadDescriptor)
+        );
+    }
+
+    #[test]
+    fn open_length_mismatch_rejected() {
+        let (mut ms, mut vt, space) = fresh();
+        ms.msnap_open(&mut vt, space, "data", 16).unwrap();
+        assert_eq!(
+            ms.msnap_open(&mut vt, space, "data", 32).unwrap_err(),
+            MsnapError::LengthMismatch
+        );
+        assert_eq!(
+            ms.msnap_open(&mut vt, space, "missing", 0).unwrap_err(),
+            MsnapError::BadDescriptor
+        );
+    }
+
+    #[test]
+    fn reopen_same_space_is_idempotent() {
+        let (mut ms, mut vt, space) = fresh();
+        let r1 = ms.msnap_open(&mut vt, space, "data", 16).unwrap();
+        let r2 = ms.msnap_open(&mut vt, space, "data", 16).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn two_spaces_share_a_region() {
+        let (mut ms, mut vt, space1) = fresh();
+        let space2 = ms.vm_mut().create_space();
+        let t = vt.id();
+        let r = ms.msnap_open(&mut vt, space1, "shared", 16).unwrap();
+        let r2 = ms.msnap_open(&mut vt, space2, "shared", 16).unwrap();
+        assert_eq!(r.addr, r2.addr);
+        ms.write(&mut vt, space1, t, r.addr, &[5]).unwrap();
+        let mut out = [0u8; 1];
+        ms.read(&mut vt, space2, r.addr, &mut out).unwrap();
+        assert_eq!(out[0], 5);
+    }
+
+    #[test]
+    fn concurrent_write_during_async_persist_cows() {
+        let (mut ms, mut vt, space) = fresh();
+        let t = vt.id();
+        let r = ms.msnap_open(&mut vt, space, "data", 16).unwrap();
+        ms.write(&mut vt, space, t, r.addr, &[1; PAGE_SIZE]).unwrap();
+        let epoch = ms
+            .msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::async_())
+            .unwrap();
+        // Write the same page while the IO is in flight.
+        ms.write(&mut vt, space, t, r.addr + 4, &[9]).unwrap();
+        assert_eq!(ms.vm().stats().cow_faults, 1, "in-flight page must COW");
+        ms.msnap_wait(&mut vt, RegionSel::Region(r.md), epoch).unwrap();
+        // The durable image holds the *first* version; memory the second.
+        let disk = ms.crash(vt.now());
+        let mut vt2 = Vt::new(1);
+        let mut ms2 = MemSnap::restore(&mut vt2, disk).unwrap();
+        let space2 = ms2.vm_mut().create_space();
+        let r2 = ms2.msnap_open(&mut vt2, space2, "data", 0).unwrap();
+        let mut out = [0u8; 8];
+        ms2.read(&mut vt2, space2, r2.addr, &mut out).unwrap();
+        assert_eq!(out, [1; 8], "μCheckpoint is an atomic pre-write snapshot");
+    }
+
+    #[test]
+    fn empty_persist_is_cheap_and_valid() {
+        let (mut ms, mut vt, space) = fresh();
+        let t = vt.id();
+        let r = ms.msnap_open(&mut vt, space, "data", 16).unwrap();
+        let epoch = ms
+            .msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+            .unwrap();
+        assert_eq!(epoch, 0, "no dirty data: current epoch");
+        assert_eq!(ms.last_persist_breakdown().pages, 0);
+    }
+
+    #[test]
+    fn meters_record_persist_latency() {
+        let (mut ms, mut vt, space) = fresh();
+        let t = vt.id();
+        let r = ms.msnap_open(&mut vt, space, "data", 16).unwrap();
+        ms.write(&mut vt, space, t, r.addr, &[1]).unwrap();
+        ms.msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+            .unwrap();
+        assert_eq!(ms.meters().get("msnap_persist").unwrap().count(), 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! Device IO statistics.
+
+use msnap_sim::{LatencyStats, Nanos};
+
+/// Counters and latency histograms for a simulated device.
+///
+/// The PostgreSQL experiment (Fig. 6) reports disk write throughput and
+/// IOs per second alongside transactions per second; these statistics are
+/// the source for those series.
+#[derive(Debug, Default, Clone)]
+pub struct IoStats {
+    reads: u64,
+    writes: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+    write_latency: LatencyStats,
+    read_latency: LatencyStats,
+}
+
+impl IoStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_write(&mut self, bytes: usize, latency: Nanos) {
+        self.writes += 1;
+        self.bytes_written += bytes as u64;
+        self.write_latency.record(latency);
+    }
+
+    pub(crate) fn record_read(&mut self, bytes: usize, latency: Nanos) {
+        self.reads += 1;
+        self.bytes_read += bytes as u64;
+        self.read_latency.record(latency);
+    }
+
+    /// Number of read IOs.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of write IOs.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total bytes read.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Total bytes written.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// End-to-end latency distribution of write IOs.
+    pub fn write_latency(&self) -> &LatencyStats {
+        &self.write_latency
+    }
+
+    /// End-to-end latency distribution of read IOs.
+    pub fn read_latency(&self) -> &LatencyStats {
+        &self.read_latency
+    }
+
+    /// Average device write throughput over `elapsed`, in MiB/s.
+    pub fn write_mib_per_sec(&self, elapsed: Nanos) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.bytes_written as f64 / (1024.0 * 1024.0) / secs
+        }
+    }
+
+    /// Average IOs per second (reads + writes) over `elapsed`.
+    pub fn iops(&self, elapsed: Nanos) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            (self.reads + self.writes) as f64 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = IoStats::new();
+        s.record_write(4096, Nanos::from_us(17));
+        s.record_write(8192, Nanos::from_us(18));
+        s.record_read(4096, Nanos::from_us(17));
+        assert_eq!(s.writes(), 2);
+        assert_eq!(s.reads(), 1);
+        assert_eq!(s.bytes_written(), 12288);
+        assert_eq!(s.bytes_read(), 4096);
+        assert_eq!(s.write_latency().count(), 2);
+    }
+
+    #[test]
+    fn throughput_derivations() {
+        let mut s = IoStats::new();
+        s.record_write(1024 * 1024, Nanos::from_us(250));
+        let mib = s.write_mib_per_sec(Nanos::from_secs(2));
+        assert!((mib - 0.5).abs() < 1e-9);
+        assert!((s.iops(Nanos::from_secs(2)) - 0.5).abs() < 1e-9);
+        assert_eq!(s.iops(Nanos::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,484 @@
+//! Buffer cache + fsync cost models.
+
+use std::collections::{BTreeSet, HashMap};
+
+use msnap_disk::{Disk, BLOCK_SIZE};
+use msnap_sim::{Category, Meters, Nanos, Vt};
+
+/// Which file system's fsync cost model applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FsKind {
+    /// FreeBSD FFS: soft updates + journaling, in-place data writes.
+    Ffs,
+    /// ZFS: copy-on-write; cheaper random flush per block at scale, but
+    /// higher streaming cost (COW tree updates).
+    Zfs,
+}
+
+/// A file descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fd(pub u32);
+
+/// Cost-model constants, fitted to the paper's Table 6 fsync columns.
+mod costs {
+    use msnap_sim::Nanos;
+
+    // write()/read() path.
+    pub const SYSCALL: Nanos = Nanos::from_ns(900);
+    pub const VFS_WRITE: Nanos = Nanos::from_ns(1_200);
+    pub const VFS_READ: Nanos = Nanos::from_ns(600);
+    pub const RANGELOCK: Nanos = Nanos::from_ns(800);
+    pub const LOCKING: Nanos = Nanos::from_ns(600);
+    pub const BUFCACHE_PER_BLOCK: Nanos = Nanos::from_ns(2_500);
+    pub const BUFCACHE_READ: Nanos = Nanos::from_ns(1_000);
+    pub const MEMCPY_PER_KIB: Nanos = Nanos::from_ns(50);
+
+    // fsync models: total = BASE + Σ run costs.
+    pub const FFS_BASE: Nanos = Nanos::from_us(52);
+    pub const FFS_SEQ_PER_BLOCK: Nanos = Nanos::from_ns(1_000);
+    pub const FFS_RAND_BLOCK_HI: Nanos = Nanos::from_us(115);
+    pub const FFS_RAND_BLOCK_LO: Nanos = Nanos::from_us(30);
+
+    pub const ZFS_BASE: Nanos = Nanos::from_us(46);
+    pub const ZFS_SEQ_PER_BLOCK: Nanos = Nanos::from_ns(600);
+    pub const ZFS_SEQ_EXTRA_PER_KIB: Nanos = Nanos::from_ns(480);
+    pub const ZFS_RAND_BLOCK_HI: Nanos = Nanos::from_us(180);
+    pub const ZFS_RAND_BLOCK_LO: Nanos = Nanos::from_us(22);
+
+    /// Blocks priced at the HI random rate before batching kicks in.
+    pub const RAND_BATCH_KNEE: usize = 64;
+
+    pub fn memcpy(len: usize) -> Nanos {
+        Nanos::from_ns((len as u64 * MEMCPY_PER_KIB.as_ns()) / 1024)
+    }
+}
+
+#[derive(Debug, Default)]
+struct File {
+    name: String,
+    data: Vec<u8>,
+    dirty: BTreeSet<u64>,
+    /// Disk block backing each file block (allocated at first flush).
+    blocks: HashMap<u64, u64>,
+    /// One past the highest file block ever flushed: runs at or above
+    /// this edge are appends (sequential); runs below are in-place
+    /// (random).
+    flushed_edge: u64,
+    /// fsyncs of one file serialize on its vnode lock.
+    fsync_busy_until: Nanos,
+}
+
+/// A simulated file system: an in-memory buffer cache over real disk
+/// blocks, with calibrated `fsync` latency. See the crate docs.
+#[derive(Debug)]
+pub struct FileSystem {
+    kind: FsKind,
+    files: Vec<File>,
+    by_name: HashMap<String, Fd>,
+    next_disk_block: u64,
+    meters: Meters,
+}
+
+impl FileSystem {
+    /// Creates an empty file system of the given kind. Disk blocks are
+    /// allocated from 2^30 upward so baselines and a MemSnap store can
+    /// coexist on one device in mixed experiments.
+    pub fn new(kind: FsKind) -> Self {
+        FileSystem {
+            kind,
+            files: Vec::new(),
+            by_name: HashMap::new(),
+            next_disk_block: 1 << 30,
+            meters: Meters::new(),
+        }
+    }
+
+    /// The file system kind.
+    pub fn kind(&self) -> FsKind {
+        self.kind
+    }
+
+    /// Per-syscall latency meters (`"write"`, `"read"`, `"fsync"`).
+    pub fn meters(&self) -> &Meters {
+        &self.meters
+    }
+
+    /// Resets the syscall meters (workload warm-up).
+    pub fn reset_meters(&mut self) {
+        self.meters = Meters::new();
+    }
+
+    /// Creates (or truncates) a file and returns its descriptor.
+    pub fn create(&mut self, _vt: &mut Vt, name: &str) -> Fd {
+        if let Some(&fd) = self.by_name.get(name) {
+            self.files[fd.0 as usize].data.clear();
+            self.files[fd.0 as usize].dirty.clear();
+            return fd;
+        }
+        let fd = Fd(self.files.len() as u32);
+        self.files.push(File {
+            name: name.to_string(),
+            ..File::default()
+        });
+        self.by_name.insert(name.to_string(), fd);
+        fd
+    }
+
+    /// Opens an existing file.
+    pub fn open(&self, name: &str) -> Option<Fd> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Current file size in bytes.
+    pub fn size(&self, fd: Fd) -> u64 {
+        self.files[fd.0 as usize].data.len() as u64
+    }
+
+    /// Buffered write at `offset`; data is volatile until `fsync`.
+    pub fn write(&mut self, vt: &mut Vt, _disk: &mut Disk, fd: Fd, offset: u64, data: &[u8]) {
+        let start = vt.now();
+        let file = &mut self.files[fd.0 as usize];
+        let end = offset as usize + data.len();
+        if file.data.len() < end {
+            file.data.resize(end, 0);
+        }
+        file.data[offset as usize..end].copy_from_slice(data);
+
+        let first_block = offset / BLOCK_SIZE as u64;
+        let last_block = (end as u64 - 1) / BLOCK_SIZE as u64;
+        let blocks = last_block - first_block + 1;
+        for b in first_block..=last_block {
+            file.dirty.insert(b);
+        }
+
+        vt.charge(Category::Syscall, costs::SYSCALL);
+        vt.charge(Category::Vfs, costs::VFS_WRITE);
+        vt.charge(Category::Rangelock, costs::RANGELOCK);
+        vt.charge(Category::Locking, costs::LOCKING);
+        vt.charge(Category::BufferCache, costs::BUFCACHE_PER_BLOCK * blocks);
+        vt.charge(Category::BufferCache, costs::memcpy(data.len()));
+        self.meters.record("write", vt.now() - start);
+    }
+
+    /// Buffered read at `offset`. Reads beyond EOF return zeroes (sparse
+    /// semantics, matching the simulated mmap path).
+    pub fn read(&mut self, vt: &mut Vt, _disk: &mut Disk, fd: Fd, offset: u64, out: &mut [u8]) {
+        let start = vt.now();
+        let file = &self.files[fd.0 as usize];
+        let off = offset as usize;
+        let have = file.data.len().saturating_sub(off).min(out.len());
+        if have > 0 {
+            out[..have].copy_from_slice(&file.data[off..off + have]);
+        }
+        out[have..].fill(0);
+
+        vt.charge(Category::Syscall, costs::SYSCALL);
+        vt.charge(Category::Vfs, costs::VFS_READ);
+        vt.charge(Category::BufferCache, costs::BUFCACHE_READ);
+        vt.charge(Category::BufferCache, costs::memcpy(out.len()));
+        self.meters.record("read", vt.now() - start);
+    }
+
+    /// Truncates the file to `len` bytes (used by WAL resets).
+    pub fn truncate(&mut self, _vt: &mut Vt, fd: Fd, len: u64) {
+        let file = &mut self.files[fd.0 as usize];
+        file.data.truncate(len as usize);
+        file.dirty.retain(|&b| b * (BLOCK_SIZE as u64) < len);
+        file.flushed_edge = file.flushed_edge.min(len.div_ceil(BLOCK_SIZE as u64));
+    }
+
+    /// Flushes the file's dirty blocks durably; blocks the caller for the
+    /// modeled fsync latency (Table 6 columns) and performs the real disk
+    /// writes. Returns the completion instant.
+    pub fn fsync(&mut self, vt: &mut Vt, disk: &mut Disk, fd: Fd) -> Nanos {
+        let start = vt.now();
+        vt.charge(Category::Syscall, costs::SYSCALL);
+        vt.charge(Category::Vfs, costs::VFS_WRITE);
+
+        let file = &mut self.files[fd.0 as usize];
+        let dirty: Vec<u64> = std::mem::take(&mut file.dirty).into_iter().collect();
+        if dirty.is_empty() {
+            self.meters.record("fsync", vt.now() - start);
+            return vt.now();
+        }
+
+        // Split the dirty set into contiguous runs and classify each as
+        // appending (sequential) or in-place (random).
+        let mut runs: Vec<(u64, u64)> = Vec::new(); // (first, count)
+        for &b in &dirty {
+            match runs.last_mut() {
+                Some((first, count)) if *first + *count == b => *count += 1,
+                _ => runs.push((b, 1)),
+            }
+        }
+
+        let (base, seq_pb, seq_extra_per_kib, rand_hi, rand_lo) = match self.kind {
+            FsKind::Ffs => (
+                costs::FFS_BASE,
+                costs::FFS_SEQ_PER_BLOCK,
+                Nanos::ZERO,
+                costs::FFS_RAND_BLOCK_HI,
+                costs::FFS_RAND_BLOCK_LO,
+            ),
+            FsKind::Zfs => (
+                costs::ZFS_BASE,
+                costs::ZFS_SEQ_PER_BLOCK,
+                costs::ZFS_SEQ_EXTRA_PER_KIB,
+                costs::ZFS_RAND_BLOCK_HI,
+                costs::ZFS_RAND_BLOCK_LO,
+            ),
+        };
+
+        let mut model = base;
+        let mut rand_blocks_so_far = 0usize;
+        let mut seq_bytes = 0u64;
+        for &(first, count) in &runs {
+            // Appending runs (including ones that start by rewriting the
+            // partially-filled tail block) extend the flushed edge.
+            if first + count >= file.flushed_edge {
+                // Appending run: journal-friendly streaming write.
+                model += seq_pb * count;
+                seq_bytes += count * BLOCK_SIZE as u64;
+            } else {
+                // In-place run: per-block metadata + data updates, with a
+                // batching discount past the knee.
+                for _ in 0..count {
+                    model += if rand_blocks_so_far < costs::RAND_BATCH_KNEE {
+                        rand_hi
+                    } else {
+                        rand_lo
+                    };
+                    rand_blocks_so_far += 1;
+                }
+            }
+        }
+        if seq_bytes > 0 {
+            // Clustered sequential writes pipeline across the striped
+            // pair: setup once, then stream at aggregate bandwidth.
+            let cfg = disk.config();
+            let stream = cfg.setup
+                + Nanos::from_ns(
+                    (seq_bytes as f64 * cfg.ns_per_byte / cfg.channels as f64).round() as u64,
+                );
+            model += stream;
+            model += Nanos::from_ns(seq_extra_per_kib.as_ns() * (seq_bytes / 1024));
+        }
+
+        // Perform the real writes (durability + device statistics).
+        let mut images: Vec<(u64, Vec<u8>)> = Vec::with_capacity(dirty.len());
+        for &b in &dirty {
+            let disk_block = *file.blocks.entry(b).or_insert_with(|| {
+                let db = self.next_disk_block;
+                self.next_disk_block += 1;
+                db
+            });
+            let off = (b as usize) * BLOCK_SIZE;
+            let mut image = vec![0u8; BLOCK_SIZE];
+            let have = file.data.len().saturating_sub(off).min(BLOCK_SIZE);
+            image[..have].copy_from_slice(&file.data[off..off + have]);
+            images.push((disk_block, image));
+        }
+        let iov: Vec<(u64, &[u8])> = images.iter().map(|(b, d)| (*b, &d[..])).collect();
+        // The IO is issued when fsync enters the kernel; the modeled
+        // journaling/metadata latency overlaps it.
+        let token = disk.writev_at(start, &iov);
+        file.flushed_edge = file
+            .flushed_edge
+            .max(dirty.iter().max().map_or(0, |&b| b + 1));
+
+        // The call blocks for the modeled latency (never less than the
+        // device itself took), and fsyncs of one file serialize on its
+        // vnode lock.
+        let begin = vt.now().max(file.fsync_busy_until);
+        let completes = (begin + model).max(token.completes());
+        file.fsync_busy_until = completes;
+        let wait = completes - vt.now();
+        vt.charge(Category::IoWait, wait);
+        self.meters.record("fsync", vt.now() - start);
+        completes
+    }
+
+    /// Simulates losing the buffer cache in a crash: every file's volatile
+    /// contents are replaced by what had been flushed to the (already
+    /// crash-rolled-back) device.
+    pub fn discard_cache(&mut self, disk: &Disk) {
+        for file in &mut self.files {
+            let mut durable = vec![0u8; file.data.len()];
+            for (&file_block, &disk_block) in &file.blocks {
+                if let Some(bytes) = disk.peek(disk_block) {
+                    let off = (file_block as usize) * BLOCK_SIZE;
+                    if off < durable.len() {
+                        let n = (durable.len() - off).min(BLOCK_SIZE);
+                        durable[off..off + n].copy_from_slice(&bytes[..n]);
+                    }
+                }
+            }
+            file.data = durable;
+            file.dirty.clear();
+        }
+    }
+
+    /// The file's name (diagnostics).
+    pub fn name(&self, fd: Fd) -> &str {
+        &self.files[fd.0 as usize].name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msnap_disk::DiskConfig;
+
+    fn setup(kind: FsKind) -> (FileSystem, Disk, Vt) {
+        (
+            FileSystem::new(kind),
+            Disk::new(DiskConfig::paper()),
+            Vt::new(0),
+        )
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let (mut fs, mut disk, mut vt) = setup(FsKind::Ffs);
+        let fd = fs.create(&mut vt, "f");
+        fs.write(&mut vt, &mut disk, fd, 10, b"hello");
+        let mut out = [0u8; 5];
+        fs.read(&mut vt, &mut disk, fd, 10, &mut out);
+        assert_eq!(&out, b"hello");
+        assert_eq!(fs.size(fd), 15);
+    }
+
+    #[test]
+    fn read_past_eof_zero_fills() {
+        let (mut fs, mut disk, mut vt) = setup(FsKind::Ffs);
+        let fd = fs.create(&mut vt, "f");
+        let mut out = [9u8; 8];
+        fs.read(&mut vt, &mut disk, fd, 100, &mut out);
+        assert_eq!(out, [0; 8]);
+    }
+
+    /// Sequential (appending) fsync latency must match the paper's
+    /// Table 6 within 30%.
+    #[test]
+    fn fsync_sequential_matches_table6() {
+        for (kind, expect) in [
+            (FsKind::Ffs, [(4usize, 70.0f64), (64, 134.0), (1024, 581.0)]),
+            (FsKind::Zfs, [(4, 64.0), (64, 137.0), (1024, 937.0)]),
+        ] {
+            for (kib, paper_us) in expect {
+                let (mut fs, mut disk, mut vt) = setup(kind);
+                let fd = fs.create(&mut vt, "f");
+                fs.write(&mut vt, &mut disk, fd, 0, &vec![7u8; kib * 1024]);
+                let t0 = vt.now();
+                fs.fsync(&mut vt, &mut disk, fd);
+                let us = (vt.now() - t0).as_us_f64();
+                let err = (us - paper_us).abs() / paper_us;
+                assert!(
+                    err < 0.30,
+                    "{kind:?} seq {kib} KiB: model {us:.0} us vs paper {paper_us} us"
+                );
+            }
+        }
+    }
+
+    /// Random (in-place) fsync latency must match Table 6 within 40%.
+    #[test]
+    fn fsync_random_matches_table6() {
+        for (kind, expect) in [
+            (FsKind::Ffs, [(4usize, 156.0f64), (64, 1900.0), (4096, 33_700.0)]),
+            (FsKind::Zfs, [(4, 232.0), (64, 2900.0), (4096, 30_900.0)]),
+        ] {
+            for (kib, paper_us) in expect {
+                let (mut fs, mut disk, mut vt) = setup(kind);
+                let fd = fs.create(&mut vt, "f");
+                // Pre-extend and flush so subsequent writes are in-place.
+                fs.write(&mut vt, &mut disk, fd, 0, &vec![0u8; 8 << 20]);
+                fs.fsync(&mut vt, &mut disk, fd);
+                // Dirty `kib` KiB of scattered blocks.
+                let blocks = kib * 1024 / BLOCK_SIZE;
+                let file_blocks = (8 << 20) / BLOCK_SIZE;
+                for i in 0..blocks {
+                    let block = (i * 97 + 13) % file_blocks;
+                    fs.write(
+                        &mut vt,
+                        &mut disk,
+                        fd,
+                        (block * BLOCK_SIZE) as u64,
+                        &[1u8; 16],
+                    );
+                }
+                let t0 = vt.now();
+                fs.fsync(&mut vt, &mut disk, fd);
+                let us = (vt.now() - t0).as_us_f64();
+                let err = (us - paper_us).abs() / paper_us;
+                assert!(
+                    err < 0.40,
+                    "{kind:?} rand {kib} KiB: model {us:.0} us vs paper {paper_us} us"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fsync_is_durable_across_cache_loss() {
+        let (mut fs, mut disk, mut vt) = setup(FsKind::Ffs);
+        let fd = fs.create(&mut vt, "f");
+        fs.write(&mut vt, &mut disk, fd, 0, b"flushed!");
+        fs.fsync(&mut vt, &mut disk, fd);
+        fs.write(&mut vt, &mut disk, fd, 0, b"volatile");
+        // Crash: device keeps completed writes; cache is lost.
+        disk.crash(vt.now());
+        fs.discard_cache(&disk);
+        let mut out = [0u8; 8];
+        fs.read(&mut vt, &mut disk, fd, 0, &mut out);
+        assert_eq!(&out, b"flushed!");
+    }
+
+    #[test]
+    fn unflushed_writes_lost_on_crash() {
+        let (mut fs, mut disk, mut vt) = setup(FsKind::Ffs);
+        let fd = fs.create(&mut vt, "f");
+        fs.write(&mut vt, &mut disk, fd, 0, b"volatile");
+        disk.crash(vt.now());
+        fs.discard_cache(&disk);
+        let mut out = [0u8; 8];
+        fs.read(&mut vt, &mut disk, fd, 0, &mut out);
+        assert_eq!(out, [0u8; 8]);
+    }
+
+    #[test]
+    fn empty_fsync_is_cheap() {
+        let (mut fs, mut disk, mut vt) = setup(FsKind::Ffs);
+        let fd = fs.create(&mut vt, "f");
+        let t0 = vt.now();
+        fs.fsync(&mut vt, &mut disk, fd);
+        assert!((vt.now() - t0) < Nanos::from_us(5));
+    }
+
+    #[test]
+    fn write_latency_matches_paper_buffer_cache() {
+        // Table 7: buffered write ~6.7 us, read ~2.9 us.
+        let (mut fs, mut disk, mut vt) = setup(FsKind::Ffs);
+        let fd = fs.create(&mut vt, "f");
+        fs.write(&mut vt, &mut disk, fd, 0, &[1u8; 1024]);
+        let w = fs.meters().get("write").unwrap().mean().as_us_f64();
+        assert!((w - 6.7).abs() < 2.0, "write {w:.1} us vs 6.7 us");
+        let mut out = [0u8; 1024];
+        fs.read(&mut vt, &mut disk, fd, 0, &mut out);
+        let r = fs.meters().get("read").unwrap().mean().as_us_f64();
+        assert!((r - 2.9).abs() < 1.5, "read {r:.1} us vs 2.9 us");
+    }
+
+    #[test]
+    fn truncate_shrinks_and_clears_dirty() {
+        let (mut fs, mut disk, mut vt) = setup(FsKind::Ffs);
+        let fd = fs.create(&mut vt, "f");
+        fs.write(&mut vt, &mut disk, fd, 0, &vec![1u8; 3 * BLOCK_SIZE]);
+        fs.truncate(&mut vt, fd, 100);
+        assert_eq!(fs.size(fd), 100);
+        let t0 = vt.now();
+        fs.fsync(&mut vt, &mut disk, fd);
+        // Only one block remains dirty.
+        assert!((vt.now() - t0) < Nanos::from_us(200));
+    }
+}

@@ -1,0 +1,45 @@
+//! File-API persistence baselines.
+//!
+//! The paper compares MemSnap against `write`+`fsync` on two FreeBSD file
+//! systems — FFS (soft updates + journaling) and ZFS (copy-on-write) —
+//! and against WAL-and-checkpoint database architectures built on them.
+//! This crate provides those baselines over the simulated device:
+//!
+//! - [`FileSystem`]: an in-memory buffer cache over real disk blocks, with
+//!   `write`/`read`/`fsync` whose latencies follow cost models calibrated
+//!   to the paper's Table 6 (e.g. FFS random 4 KiB fsync ≈ 156 μs,
+//!   sequential ≈ 70 μs). Sequential (appending) and random (in-place)
+//!   flush runs are priced differently, which is exactly the asymmetry
+//!   that makes WALs attractive on file systems.
+//! - [`WriteAheadLog`]: the length-prefixed, checksummed append log the
+//!   baseline databases layer on top of the file API.
+//!
+//! CPU time is attributed to the paper's kernel categories (buffer cache,
+//! VFS, range locks, syscall) so the Table 1 / Table 8 breakdowns can be
+//! regenerated.
+//!
+//! # Example
+//!
+//! ```
+//! use msnap_disk::{Disk, DiskConfig};
+//! use msnap_fs::{FileSystem, FsKind};
+//! use msnap_sim::Vt;
+//!
+//! let mut disk = Disk::new(DiskConfig::paper());
+//! let mut fs = FileSystem::new(FsKind::Ffs);
+//! let mut vt = Vt::new(0);
+//! let fd = fs.create(&mut vt, "wal");
+//! fs.write(&mut vt, &mut disk, fd, 0, b"record");
+//! fs.fsync(&mut vt, &mut disk, fd);
+//! let mut out = [0u8; 6];
+//! fs.read(&mut vt, &mut disk, fd, 0, &mut out);
+//! assert_eq!(&out, b"record");
+//! ```
+
+#![warn(missing_docs)]
+
+mod filesystem;
+mod wal;
+
+pub use filesystem::{Fd, FileSystem, FsKind};
+pub use wal::{WalRecord, WriteAheadLog};

@@ -1,0 +1,65 @@
+//! The storage-engine persistence boundary (SQLite's "VFS").
+
+use msnap_sim::{Meters, Vt, VthreadId};
+
+use crate::PAGE_SIZE;
+
+/// Aggregate persistence statistics a backend exposes for the evaluation
+/// tables.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BackendStats {
+    /// Transaction commits.
+    pub commits: u64,
+    /// WAL checkpoints performed (file backend only).
+    pub checkpoints: u64,
+    /// Pages persisted across all commits.
+    pub pages_persisted: u64,
+}
+
+/// The engine's page-persistence interface.
+///
+/// The B-tree and transaction layers above this trait are byte-identical
+/// between the baseline and MemSnap builds — swapping the backend is the
+/// whole integration, as in the paper ("the plugin … replaces the standard
+/// Unix file module").
+pub trait Backend {
+    /// Reads page `page` into `out`.
+    fn read_page(&mut self, vt: &mut Vt, page: u64, out: &mut [u8; PAGE_SIZE]);
+
+    /// Writes page `page` on behalf of `thread`; buffered until
+    /// [`Backend::commit`].
+    fn write_page(&mut self, vt: &mut Vt, thread: VthreadId, page: u64, data: &[u8; PAGE_SIZE]);
+
+    /// Durably commits everything `thread` has written since its previous
+    /// commit.
+    fn commit(&mut self, vt: &mut Vt, thread: VthreadId);
+
+    /// Initiates a commit without waiting for durability; pair with
+    /// [`Backend::sync`]. The paper's `MS_ASYNC` usage: "MemSnap's
+    /// asynchronous mode lets a thread unlock the data in memory after
+    /// msnap_persist to unblock other transactions". Backends without an
+    /// asynchronous path (the WAL baseline) fall back to a synchronous
+    /// commit.
+    fn commit_async(&mut self, vt: &mut Vt, thread: VthreadId) {
+        self.commit(vt, thread);
+    }
+
+    /// Blocks until every initiated commit is durable.
+    fn sync(&mut self, _vt: &mut Vt) {}
+
+    /// Number of pages the backend can hold.
+    fn capacity_pages(&self) -> u64;
+
+    /// Persistence statistics.
+    fn stats(&self) -> BackendStats;
+
+    /// Per-syscall latency meters (`"write"`, `"read"`, `"fsync"`,
+    /// `"msnap_persist"`, …).
+    fn meters(&self) -> Meters;
+
+    /// Resets meters and counters (workload warm-up).
+    fn reset_metrics(&mut self);
+
+    /// Recovers the concrete backend type (crash-test plumbing).
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
+}

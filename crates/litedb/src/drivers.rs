@@ -1,0 +1,342 @@
+//! Workload drivers: dbbench and TATP over a [`LiteDb`] instance.
+//!
+//! These reproduce the paper's §7.1 experiments; the bench harnesses in
+//! `msnap-bench` call them once per configuration and print the paper's
+//! tables.
+
+use msnap_sim::{CostTracker, LatencyStats, Meters, Nanos, Vt};
+use msnap_workloads::dbbench::{DbBench, KeyOrder, WriteBatch};
+use msnap_workloads::tatp::{Tatp, TatpTxn};
+
+use crate::backend::BackendStats;
+use crate::{LiteDb, TableId};
+
+/// dbbench parameters (paper defaults: 2 M kvs over 1 M keys; scale down
+/// for CI).
+#[derive(Debug, Clone)]
+pub struct DbbenchConfig {
+    /// Transaction size in bytes (4 KiB – 1 MiB in the paper).
+    pub txn_bytes: usize,
+    /// Total key/value writes to perform.
+    pub total_kvs: u64,
+    /// Distinct keys.
+    pub key_space: u64,
+    /// Sequential or random key order.
+    pub order: KeyOrder,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Results of one dbbench run.
+#[derive(Debug, Clone)]
+pub struct DbbenchReport {
+    /// Transactions committed.
+    pub txns: u64,
+    /// Key/value pairs written.
+    pub kvs: u64,
+    /// Virtual wall-clock time of the run.
+    pub wall: Nanos,
+    /// Full transaction latency (begin → durable commit).
+    pub txn_latency: LatencyStats,
+    /// Backend syscall meters (`write`/`read`/`fsync` or
+    /// `msnap_persist`).
+    pub meters: Meters,
+    /// CPU attribution for the run (Table 8 rows).
+    pub costs: CostTracker,
+    /// Backend persistence counters.
+    pub backend: BackendStats,
+}
+
+/// Runs dbbench on `db` with the single writer thread `vt`.
+pub fn run_dbbench(db: &mut LiteDb, vt: &mut Vt, cfg: &DbbenchConfig) -> DbbenchReport {
+    let table = db.create_table(vt, "kv");
+    db.reset_metrics();
+    vt.take_costs();
+    let start = vt.now();
+    let thread = vt.id();
+
+    let mut txn_latency = LatencyStats::new();
+    let mut txns = 0;
+    let mut kvs = 0;
+    let bench = DbBench::new(cfg.txn_bytes, cfg.total_kvs, cfg.key_space, cfg.order, cfg.seed);
+    for batch in bench {
+        let t0 = vt.now();
+        db.begin(vt, thread);
+        for &key in &batch.keys {
+            db.put(vt, thread, table, key, &WriteBatch::value_for(key));
+        }
+        db.commit(vt, thread);
+        txn_latency.record(vt.now() - t0);
+        txns += 1;
+        kvs += batch.keys.len() as u64;
+    }
+
+    DbbenchReport {
+        txns,
+        kvs,
+        wall: vt.now() - start,
+        txn_latency,
+        meters: db.meters(),
+        costs: vt.take_costs(),
+        backend: db.backend_stats(),
+    }
+}
+
+/// The four TATP tables.
+#[derive(Debug, Clone, Copy)]
+pub struct TatpTables {
+    /// SUBSCRIBER.
+    pub subscriber: TableId,
+    /// ACCESS_INFO.
+    pub access_info: TableId,
+    /// SPECIAL_FACILITY.
+    pub special_facility: TableId,
+    /// CALL_FORWARDING.
+    pub call_forwarding: TableId,
+}
+
+/// Creates and populates the TATP schema with `subscribers` rows.
+pub fn setup_tatp(db: &mut LiteDb, vt: &mut Vt, subscribers: u64) -> TatpTables {
+    let tables = TatpTables {
+        subscriber: db.create_table(vt, "subscriber"),
+        access_info: db.create_table(vt, "access_info"),
+        special_facility: db.create_table(vt, "special_facility"),
+        call_forwarding: db.create_table(vt, "call_forwarding"),
+    };
+    let thread = vt.id();
+    // Load in chunks so the load itself commits in reasonable units.
+    let chunk = 1024;
+    let mut sid = 0;
+    while sid < subscribers {
+        db.begin(vt, thread);
+        for s in sid..(sid + chunk).min(subscribers) {
+            db.put(vt, thread, tables.subscriber, s, &subscriber_row(s, 0, 0));
+            db.put(vt, thread, tables.access_info, s * 4, &small_row(s, 1));
+            db.put(vt, thread, tables.access_info, s * 4 + 1, &small_row(s, 2));
+            db.put(vt, thread, tables.special_facility, s * 4, &small_row(s, 3));
+        }
+        db.commit(vt, thread);
+        sid += chunk;
+    }
+    tables
+}
+
+fn subscriber_row(sid: u64, bit: u8, location: u32) -> Vec<u8> {
+    let mut row = vec![0u8; 100];
+    row[..8].copy_from_slice(&sid.to_le_bytes());
+    row[8] = bit;
+    row[9..13].copy_from_slice(&location.to_le_bytes());
+    row
+}
+
+fn small_row(sid: u64, tag: u8) -> Vec<u8> {
+    let mut row = vec![tag; 40];
+    row[..8].copy_from_slice(&sid.to_le_bytes());
+    row
+}
+
+/// Results of one TATP run.
+#[derive(Debug, Clone)]
+pub struct TatpReport {
+    /// Transactions completed.
+    pub txns: u64,
+    /// Virtual duration of the run.
+    pub wall: Nanos,
+    /// Transactions per virtual second.
+    pub tps: f64,
+    /// Per-transaction latency.
+    pub latency: LatencyStats,
+}
+
+/// Runs the TATP mix for `duration` of virtual time.
+pub fn run_tatp(
+    db: &mut LiteDb,
+    vt: &mut Vt,
+    tables: TatpTables,
+    subscribers: u64,
+    duration: Nanos,
+    seed: u64,
+) -> TatpReport {
+    let thread = vt.id();
+    let start = vt.now();
+    let deadline = start + duration;
+    let mut gen = Tatp::new(subscribers, seed);
+    let mut txns = 0;
+    let mut latency = LatencyStats::new();
+
+    while vt.now() < deadline {
+        let t0 = vt.now();
+        match gen.next_txn() {
+            TatpTxn::GetSubscriberData { sid } => {
+                let _ = db.get(vt, tables.subscriber, sid);
+            }
+            TatpTxn::GetNewDestination { sid } => {
+                let _ = db.get(vt, tables.special_facility, sid * 4);
+                let _ = db.scan_from(vt, tables.call_forwarding, sid * 4, 3);
+            }
+            TatpTxn::GetAccessData { sid } => {
+                let _ = db.get(vt, tables.access_info, sid * 4);
+            }
+            TatpTxn::UpdateSubscriberData { sid, bit } => {
+                db.begin(vt, thread);
+                db.put(vt, thread, tables.subscriber, sid, &subscriber_row(sid, bit, 0));
+                db.put(vt, thread, tables.special_facility, sid * 4, &small_row(sid, bit));
+                db.commit(vt, thread);
+            }
+            TatpTxn::UpdateLocation { sid, location } => {
+                db.begin(vt, thread);
+                db.put(
+                    vt,
+                    thread,
+                    tables.subscriber,
+                    sid,
+                    &subscriber_row(sid, 0, location),
+                );
+                db.commit(vt, thread);
+            }
+            TatpTxn::InsertCallForwarding { sid, start } => {
+                db.begin(vt, thread);
+                db.put(
+                    vt,
+                    thread,
+                    tables.call_forwarding,
+                    sid * 4 + (start / 8) as u64,
+                    &small_row(sid, start),
+                );
+                db.commit(vt, thread);
+            }
+            TatpTxn::DeleteCallForwarding { sid, start } => {
+                db.begin(vt, thread);
+                db.delete(vt, thread, tables.call_forwarding, sid * 4 + (start / 8) as u64);
+                db.commit(vt, thread);
+            }
+        }
+        latency.record(vt.now() - t0);
+        txns += 1;
+    }
+
+    let wall = vt.now() - start;
+    TatpReport {
+        txns,
+        wall,
+        tps: txns as f64 / wall.as_secs_f64(),
+        latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FileBackend, MemSnapBackend};
+    use msnap_disk::{Disk, DiskConfig};
+    use msnap_fs::FsKind;
+
+    fn memsnap_db(vt: &mut Vt) -> LiteDb {
+        let backend = MemSnapBackend::format_with_capacity(
+            Disk::new(DiskConfig::paper()),
+            "bench.db",
+            1 << 14,
+            vt,
+        );
+        LiteDb::new(Box::new(backend), vt)
+    }
+
+    fn file_db(vt: &mut Vt) -> LiteDb {
+        let backend =
+            FileBackend::format(Disk::new(DiskConfig::paper()), FsKind::Ffs, "bench.db", vt);
+        LiteDb::new(Box::new(backend), vt)
+    }
+
+    fn small_cfg(order: KeyOrder) -> DbbenchConfig {
+        DbbenchConfig {
+            txn_bytes: 4096,
+            total_kvs: 2_048,
+            key_space: 4_096,
+            order,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn dbbench_runs_and_counts() {
+        let mut vt = Vt::new(0);
+        let mut db = memsnap_db(&mut vt);
+        let report = run_dbbench(&mut db, &mut vt, &small_cfg(KeyOrder::Sequential));
+        assert_eq!(report.kvs, 2_048);
+        assert_eq!(report.txns, 64); // 2048 / 32 per txn
+        assert_eq!(report.txn_latency.count(), 64);
+        assert!(report.wall > Nanos::ZERO);
+    }
+
+    /// The headline §7.1 result: MemSnap beats the WAL baseline on
+    /// dbbench, and the gap is larger for random IO.
+    #[test]
+    fn memsnap_beats_baseline_on_dbbench() {
+        let mut ratios = Vec::new();
+        for order in [KeyOrder::Sequential, KeyOrder::Random] {
+            let mut vt_ms = Vt::new(0);
+            let mut ms = memsnap_db(&mut vt_ms);
+            let r_ms = run_dbbench(&mut ms, &mut vt_ms, &small_cfg(order));
+
+            let mut vt_f = Vt::new(0);
+            let mut fb = file_db(&mut vt_f);
+            let r_f = run_dbbench(&mut fb, &mut vt_f, &small_cfg(order));
+
+            let ratio = r_f.wall.as_ns() as f64 / r_ms.wall.as_ns() as f64;
+            assert!(ratio > 1.5, "{order:?}: speedup only {ratio:.2}x");
+            ratios.push(ratio);
+        }
+        assert!(
+            ratios[1] > ratios[0],
+            "random speedup {:.1}x should exceed sequential {:.1}x",
+            ratios[1],
+            ratios[0]
+        );
+    }
+
+    #[test]
+    fn dbbench_meters_show_no_file_syscalls_on_memsnap() {
+        let mut vt = Vt::new(0);
+        let mut db = memsnap_db(&mut vt);
+        let report = run_dbbench(&mut db, &mut vt, &small_cfg(KeyOrder::Random));
+        assert!(report.meters.get("msnap_persist").is_some());
+        assert!(report.meters.get("fsync").is_none());
+    }
+
+    #[test]
+    fn tatp_mix_runs_on_both_backends() {
+        for mk in [memsnap_db as fn(&mut Vt) -> LiteDb, file_db] {
+            let mut vt = Vt::new(0);
+            let mut db = mk(&mut vt);
+            let tables = setup_tatp(&mut db, &mut vt, 500);
+            let report = run_tatp(
+                &mut db,
+                &mut vt,
+                tables,
+                500,
+                Nanos::from_ms(50),
+                7,
+            );
+            assert!(report.txns > 50, "only {} txns", report.txns);
+            assert!(report.tps > 0.0);
+        }
+    }
+
+    #[test]
+    fn tatp_throughput_memsnap_beats_baseline() {
+        let mut tps = Vec::new();
+        for mk in [memsnap_db as fn(&mut Vt) -> LiteDb, file_db] {
+            let mut vt = Vt::new(0);
+            let mut db = mk(&mut vt);
+            let tables = setup_tatp(&mut db, &mut vt, 1_000);
+            let report = run_tatp(&mut db, &mut vt, tables, 1_000, Nanos::from_ms(100), 7);
+            tps.push(report.tps);
+        }
+        assert!(
+            tps[0] > tps[1],
+            "memsnap {:.0} tps should beat baseline {:.0} tps",
+            tps[0],
+            tps[1]
+        );
+    }
+}

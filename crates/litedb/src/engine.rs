@@ -1,0 +1,454 @@
+//! The engine: tables, transactions, the single writer lock.
+
+use std::collections::HashMap;
+
+use msnap_sim::{SimLock, Vt, VthreadId};
+
+use crate::backend::{Backend, BackendStats};
+use crate::btree::BTreeForest;
+
+/// Handle to a table (a B-tree slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableId(usize);
+
+/// The LiteDB engine: a SQLite-shaped storage engine over a pluggable
+/// persistence backend. See the crate docs for an example.
+///
+/// Concurrency follows SQLite: one writer at a time (the database write
+/// lock is held from [`LiteDb::begin`] to [`LiteDb::commit`]), readers
+/// are unrestricted. This is what satisfies the paper's property ③ — two
+/// transactions can never dirty the same page concurrently.
+pub struct LiteDb {
+    backend: Box<dyn Backend>,
+    tables: HashMap<String, TableId>,
+    next_slot: usize,
+    writer: SimLock,
+    writer_thread: Option<VthreadId>,
+}
+
+impl std::fmt::Debug for LiteDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiteDb")
+            .field("tables", &self.tables.len())
+            .finish()
+    }
+}
+
+impl LiteDb {
+    /// Opens a database over `backend`, formatting it if empty.
+    pub fn new(mut backend: Box<dyn Backend>, vt: &mut Vt) -> Self {
+        if !BTreeForest::is_initialized(vt, backend.as_mut()) {
+            BTreeForest::init(vt, backend.as_mut(), vt.id());
+        }
+        LiteDb {
+            backend,
+            tables: HashMap::new(),
+            next_slot: 0,
+            writer: SimLock::new(),
+            writer_thread: None,
+        }
+    }
+
+    /// Creates table `name`, or re-attaches to it after a restore
+    /// (tables must be created in the same order across runs, as with a
+    /// fixed schema).
+    pub fn create_table(&mut self, vt: &mut Vt, name: &str) -> TableId {
+        if let Some(&id) = self.tables.get(name) {
+            return id;
+        }
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        if BTreeForest::tree_root(vt, self.backend.as_mut(), slot) == 0 {
+            BTreeForest::create_tree(vt, self.backend.as_mut(), vt.id(), slot);
+        }
+        let id = TableId(slot);
+        self.tables.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up a table by name.
+    pub fn table(&self, name: &str) -> Option<TableId> {
+        self.tables.get(name).copied()
+    }
+
+    /// Begins a write transaction: takes the database write lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this thread already holds the lock.
+    pub fn begin(&mut self, vt: &mut Vt, thread: VthreadId) {
+        assert_ne!(
+            self.writer_thread,
+            Some(thread),
+            "nested write transaction"
+        );
+        self.writer.lock(vt);
+        self.writer_thread = Some(thread);
+    }
+
+    /// Inserts or replaces `key` in `table`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` does not hold the write lock.
+    pub fn put(&mut self, vt: &mut Vt, thread: VthreadId, table: TableId, key: u64, value: &[u8]) {
+        assert_eq!(self.writer_thread, Some(thread), "put outside a transaction");
+        BTreeForest::insert(vt, self.backend.as_mut(), thread, table.0, key, value);
+    }
+
+    /// Deletes `key` from `table`; returns whether it existed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` does not hold the write lock.
+    pub fn delete(&mut self, vt: &mut Vt, thread: VthreadId, table: TableId, key: u64) -> bool {
+        assert_eq!(
+            self.writer_thread,
+            Some(thread),
+            "delete outside a transaction"
+        );
+        BTreeForest::delete(vt, self.backend.as_mut(), thread, table.0, key)
+    }
+
+    /// Point lookup (no transaction required).
+    pub fn get(&mut self, vt: &mut Vt, table: TableId, key: u64) -> Option<Vec<u8>> {
+        BTreeForest::get(vt, self.backend.as_mut(), table.0, key)
+    }
+
+    /// Range scan of up to `limit` entries with keys ≥ `key`.
+    pub fn scan_from(
+        &mut self,
+        vt: &mut Vt,
+        table: TableId,
+        key: u64,
+        limit: usize,
+    ) -> Vec<(u64, Vec<u8>)> {
+        BTreeForest::scan_from(vt, self.backend.as_mut(), table.0, key, limit)
+    }
+
+    /// Commits the transaction durably and releases the write lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` does not hold the write lock.
+    pub fn commit(&mut self, vt: &mut Vt, thread: VthreadId) {
+        assert_eq!(
+            self.writer_thread,
+            Some(thread),
+            "commit outside a transaction"
+        );
+        self.backend.commit(vt, thread);
+        self.writer_thread = None;
+        self.writer.unlock(vt);
+    }
+
+    /// Commits asynchronously (`MS_ASYNC`): the μCheckpoint IO is
+    /// initiated and the write lock released immediately, unblocking the
+    /// next transaction while the previous one drains — the paper's
+    /// "asynchronous mode lets a thread unlock the data in memory after
+    /// msnap_persist". Call [`LiteDb::sync`] before acknowledging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` does not hold the write lock.
+    pub fn commit_nosync(&mut self, vt: &mut Vt, thread: VthreadId) {
+        assert_eq!(
+            self.writer_thread,
+            Some(thread),
+            "commit outside a transaction"
+        );
+        self.backend.commit_async(vt, thread);
+        self.writer_thread = None;
+        self.writer.unlock(vt);
+    }
+
+    /// Blocks until every asynchronously committed transaction is durable.
+    pub fn sync(&mut self, vt: &mut Vt) {
+        self.backend.sync(vt);
+    }
+
+    /// Persistence statistics from the backend.
+    pub fn backend_stats(&self) -> BackendStats {
+        self.backend.stats()
+    }
+
+    /// Syscall latency meters from the backend.
+    pub fn meters(&self) -> msnap_sim::Meters {
+        self.backend.meters()
+    }
+
+    /// Resets backend metrics (warm-up).
+    pub fn reset_metrics(&mut self) {
+        self.backend.reset_metrics();
+    }
+
+    /// Consumes the engine and returns its backend (for crash tests).
+    pub fn into_backend(self) -> Box<dyn Backend> {
+        self.backend
+    }
+
+    /// Mutable access to the backend (diagnostics).
+    pub fn backend_mut(&mut self) -> &mut dyn Backend {
+        self.backend.as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FileBackend, MemSnapBackend};
+    use msnap_disk::{Disk, DiskConfig};
+    use msnap_fs::FsKind;
+    use msnap_sim::Nanos;
+
+    fn memsnap_db(vt: &mut Vt) -> LiteDb {
+        let backend = MemSnapBackend::format_with_capacity(
+            Disk::new(DiskConfig::paper()),
+            "t.db",
+            4096,
+            vt,
+        );
+        LiteDb::new(Box::new(backend), vt)
+    }
+
+    fn file_db(vt: &mut Vt) -> LiteDb {
+        let backend =
+            FileBackend::format(Disk::new(DiskConfig::paper()), FsKind::Ffs, "t.db", vt);
+        LiteDb::new(Box::new(backend), vt)
+    }
+
+    #[test]
+    fn put_get_both_backends() {
+        for mk in [memsnap_db as fn(&mut Vt) -> LiteDb, file_db] {
+            let mut vt = Vt::new(0);
+            let mut db = mk(&mut vt);
+            let t = db.create_table(&mut vt, "kv");
+            let thread = vt.id();
+            db.begin(&mut vt, thread);
+            db.put(&mut vt, thread, t, 1, b"one");
+            db.put(&mut vt, thread, t, 2, b"two");
+            db.commit(&mut vt, thread);
+            assert_eq!(db.get(&mut vt, t, 1), Some(b"one".to_vec()));
+            assert_eq!(db.get(&mut vt, t, 2), Some(b"two".to_vec()));
+            assert_eq!(db.get(&mut vt, t, 3), None);
+        }
+    }
+
+    #[test]
+    fn writers_serialize_on_the_lock() {
+        let mut vt0 = Vt::new(0);
+        let mut db = memsnap_db(&mut vt0);
+        let t = db.create_table(&mut vt0, "kv");
+        let t0 = vt0.id();
+        db.begin(&mut vt0, t0);
+        db.put(&mut vt0, t0, t, 1, b"a");
+        db.commit(&mut vt0, t0);
+        let committed_at = vt0.now();
+
+        // A second writer starting earlier in virtual time queues behind
+        // the lock.
+        let mut vt1 = Vt::new(1);
+        let t1 = vt1.id();
+        db.begin(&mut vt1, t1);
+        assert!(vt1.now() >= committed_at, "writer lock serializes");
+        db.put(&mut vt1, t1, t, 2, b"b");
+        db.commit(&mut vt1, t1);
+    }
+
+    #[test]
+    fn memsnap_commit_is_faster_than_wal_commit() {
+        // The headline claim at transaction scale.
+        let mut lat = Vec::new();
+        for mk in [memsnap_db as fn(&mut Vt) -> LiteDb, file_db] {
+            let mut vt = Vt::new(0);
+            let mut db = mk(&mut vt);
+            let t = db.create_table(&mut vt, "kv");
+            let thread = vt.id();
+            // Warm up.
+            db.begin(&mut vt, thread);
+            for k in 0..64u64 {
+                db.put(&mut vt, thread, t, k, &[1u8; 128]);
+            }
+            db.commit(&mut vt, thread);
+            // Measure one 32-key transaction.
+            let t0 = vt.now();
+            db.begin(&mut vt, thread);
+            for k in 100..132u64 {
+                db.put(&mut vt, thread, t, k, &[2u8; 128]);
+            }
+            db.commit(&mut vt, thread);
+            lat.push(vt.now() - t0);
+        }
+        assert!(
+            lat[0] < lat[1],
+            "memsnap {} should beat WAL {}",
+            lat[0],
+            lat[1]
+        );
+    }
+
+    #[test]
+    fn memsnap_crash_recovers_committed_transactions() {
+        let mut vt = Vt::new(0);
+        let backend = MemSnapBackend::format_with_capacity(
+            Disk::new(DiskConfig::paper()),
+            "t.db",
+            4096,
+            &mut vt,
+        );
+        let mut db = LiteDb::new(Box::new(backend), &mut vt);
+        let t = db.create_table(&mut vt, "kv");
+        let thread = vt.id();
+        db.begin(&mut vt, thread);
+        for k in 0..100u64 {
+            db.put(&mut vt, thread, t, k, &k.to_le_bytes());
+        }
+        db.commit(&mut vt, thread);
+        // Uncommitted second transaction.
+        db.begin(&mut vt, thread);
+        db.put(&mut vt, thread, t, 555, b"uncommitted");
+        let crash_at = vt.now();
+
+        let backend = db
+            .into_backend()
+            .into_any()
+            .downcast::<MemSnapBackend>()
+            .expect("memsnap backend");
+        let disk = backend.crash(crash_at);
+
+        let mut vt2 = Vt::new(1);
+        let restored = MemSnapBackend::restore(disk, "t.db", &mut vt2);
+        let mut db2 = LiteDb::new(Box::new(restored), &mut vt2);
+        let t2 = db2.create_table(&mut vt2, "kv");
+        for k in 0..100u64 {
+            assert_eq!(db2.get(&mut vt2, t2, k), Some(k.to_le_bytes().to_vec()));
+        }
+        assert_eq!(db2.get(&mut vt2, t2, 555), None, "uncommitted txn lost");
+    }
+
+    #[test]
+    fn scans_work_through_engine() {
+        let mut vt = Vt::new(0);
+        let mut db = memsnap_db(&mut vt);
+        let t = db.create_table(&mut vt, "kv");
+        let thread = vt.id();
+        db.begin(&mut vt, thread);
+        for k in (0..100u64).rev() {
+            db.put(&mut vt, thread, t, k, b"v");
+        }
+        db.commit(&mut vt, thread);
+        let scan = db.scan_from(&mut vt, t, 90, 100);
+        assert_eq!(scan.len(), 10);
+        assert_eq!(scan[0].0, 90);
+    }
+
+    #[test]
+    fn async_commits_pipeline_and_remain_durable() {
+        // Back-to-back transactions with MS_ASYNC overlap their IO; a
+        // final sync makes everything durable.
+        let lat = |nosync: bool| {
+            let mut vt = Vt::new(0);
+            let mut db = memsnap_db(&mut vt);
+            let t = db.create_table(&mut vt, "kv");
+            let thread = vt.id();
+            let t0 = vt.now();
+            for i in 0..16u64 {
+                db.begin(&mut vt, thread);
+                db.put(&mut vt, thread, t, i, &[i as u8; 128]);
+                if nosync {
+                    db.commit_nosync(&mut vt, thread);
+                } else {
+                    db.commit(&mut vt, thread);
+                }
+            }
+            db.sync(&mut vt);
+            (vt.now() - t0, db)
+        };
+        let (async_time, mut db) = lat(true);
+        let (sync_time, _) = lat(false);
+        assert!(
+            async_time < sync_time,
+            "pipelined {async_time} should beat serialized {sync_time}"
+        );
+        // Everything is durable after sync.
+        let mut vt = Vt::new(2);
+        let table = db.create_table(&mut vt, "kv");
+        for i in 0..16u64 {
+            assert_eq!(db.get(&mut vt, table, i), Some(vec![i as u8; 128]));
+        }
+    }
+
+    #[test]
+    fn async_commit_without_sync_may_lose_tail_but_stays_prefix() {
+        let mut vt = Vt::new(0);
+        let backend = MemSnapBackend::format_with_capacity(
+            Disk::new(DiskConfig::paper()),
+            "t.db",
+            4096,
+            &mut vt,
+        );
+        let mut db = LiteDb::new(Box::new(backend), &mut vt);
+        let t = db.create_table(&mut vt, "kv");
+        let thread = vt.id();
+        for i in 0..8u64 {
+            db.begin(&mut vt, thread);
+            db.put(&mut vt, thread, t, i, &i.to_le_bytes());
+            db.commit_nosync(&mut vt, thread);
+        }
+        // Crash immediately: some tail of async commits may be lost, but
+        // recovery must be a *prefix* (μCheckpoints are ordered).
+        let crash_at = vt.now();
+        let backend = db
+            .into_backend()
+            .into_any()
+            .downcast::<MemSnapBackend>()
+            .expect("memsnap backend");
+        let disk = backend.crash(crash_at);
+        let mut vt2 = Vt::new(1);
+        let restored = MemSnapBackend::restore(disk, "t.db", &mut vt2);
+        let mut db2 = LiteDb::new(Box::new(restored), &mut vt2);
+        let t2 = db2.create_table(&mut vt2, "kv");
+        let mut seen_missing = false;
+        for i in 0..8u64 {
+            match db2.get(&mut vt2, t2, i) {
+                Some(v) => {
+                    assert!(!seen_missing, "hole in the committed prefix at key {i}");
+                    assert_eq!(v, i.to_le_bytes().to_vec());
+                }
+                None => seen_missing = true,
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside a transaction")]
+    fn put_without_begin_panics() {
+        let mut vt = Vt::new(0);
+        let mut db = memsnap_db(&mut vt);
+        let t = db.create_table(&mut vt, "kv");
+        let thread = vt.id();
+        db.put(&mut vt, thread, t, 1, b"x");
+    }
+
+    #[test]
+    fn commit_latency_is_bounded_by_4k_page_model() {
+        // Single-page transaction on MemSnap: end-to-end commit should be
+        // tens of microseconds (Table 6's 4 KiB sync row, ~34 us), far
+        // below a WAL fsync (~70 us+).
+        let mut vt = Vt::new(0);
+        let mut db = memsnap_db(&mut vt);
+        let t = db.create_table(&mut vt, "kv");
+        let thread = vt.id();
+        db.begin(&mut vt, thread);
+        db.put(&mut vt, thread, t, 1, &[0u8; 128]);
+        db.commit(&mut vt, thread);
+
+        db.begin(&mut vt, thread);
+        let t0 = vt.now();
+        db.put(&mut vt, thread, t, 1, &[1u8; 128]);
+        db.commit(&mut vt, thread);
+        let commit_us = (vt.now() - t0).as_us_f64();
+        assert!(commit_us < 70.0, "memsnap 1-page commit {commit_us:.1} us");
+        let _ = Nanos::ZERO;
+    }
+}

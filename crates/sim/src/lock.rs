@@ -1,0 +1,152 @@
+//! Virtual-time mutual exclusion.
+
+use crate::{Nanos, Vt};
+
+/// A mutex for virtual threads.
+///
+/// Under the conservative scheduler (earliest-clock-first, one whole
+/// operation per step), a lock is represented by the instant it becomes
+/// free. A thread that "blocks" simply advances its clock to that instant;
+/// the holder publishes the release instant when it unlocks.
+///
+/// The guard-free API (`lock`/`unlock`) is deliberate: a `SimLock` may be
+/// acquired and released at different points of a database operation where
+/// a lifetime-bound guard would be awkward, and misuse is caught by the
+/// monotonicity assertion in [`SimLock::unlock`].
+///
+/// # Example
+///
+/// ```
+/// use msnap_sim::{Nanos, SimLock, Vt};
+///
+/// let mut lock = SimLock::new();
+/// let mut writer = Vt::new(0);
+/// lock.lock(&mut writer);
+/// writer.advance(Nanos::from_us(50)); // critical section
+/// lock.unlock(&writer);
+///
+/// let mut other = Vt::new(1);
+/// other.advance(Nanos::from_us(10));
+/// lock.lock(&mut other); // queues behind the writer
+/// assert_eq!(other.now(), Nanos::from_us(50));
+/// # lock.unlock(&other);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct SimLock {
+    free_at: Nanos,
+    held: bool,
+    /// Total time threads spent waiting on this lock.
+    contended: Nanos,
+}
+
+impl SimLock {
+    /// Creates an unlocked lock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Acquires the lock, advancing the caller's clock past any holder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is already held and was never released — i.e. a
+    /// missing [`SimLock::unlock`], which under conservative scheduling is
+    /// a bug in the calling component rather than real contention.
+    pub fn lock(&mut self, vt: &mut Vt) {
+        assert!(!self.held, "SimLock::lock on a lock still held (missing unlock)");
+        if self.free_at > vt.now() {
+            self.contended += self.free_at - vt.now();
+        }
+        vt.wait_until(self.free_at);
+        self.held = true;
+    }
+
+    /// Releases the lock at the caller's current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is not held.
+    pub fn unlock(&mut self, vt: &Vt) {
+        assert!(self.held, "SimLock::unlock on a lock that is not held");
+        self.free_at = self.free_at.max(vt.now());
+        self.held = false;
+    }
+
+    /// Acquire-run-release in one call: holds the lock for `hold` starting
+    /// at the caller's (possibly delayed) time.
+    pub fn with(&mut self, vt: &mut Vt, hold: Nanos) {
+        self.lock(vt);
+        vt.advance(hold);
+        self.unlock(vt);
+    }
+
+    /// Total time threads have spent blocked on this lock.
+    pub fn contended(&self) -> Nanos {
+        self.contended
+    }
+
+    /// The instant the lock next becomes free.
+    pub fn free_at(&self) -> Nanos {
+        self.free_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_lock_is_immediate() {
+        let mut l = SimLock::new();
+        let mut vt = Vt::new(0);
+        vt.advance(Nanos::from_us(5));
+        l.lock(&mut vt);
+        assert_eq!(vt.now(), Nanos::from_us(5));
+        l.unlock(&vt);
+        assert_eq!(l.contended(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn contended_lock_queues() {
+        let mut l = SimLock::new();
+        let mut a = Vt::new(0);
+        l.lock(&mut a);
+        a.advance(Nanos::from_us(30));
+        l.unlock(&a);
+
+        let mut b = Vt::new(1);
+        b.advance(Nanos::from_us(10));
+        l.lock(&mut b);
+        assert_eq!(b.now(), Nanos::from_us(30));
+        assert_eq!(l.contended(), Nanos::from_us(20));
+        l.unlock(&b);
+    }
+
+    #[test]
+    fn with_combines_lock_run_unlock() {
+        let mut l = SimLock::new();
+        let mut a = Vt::new(0);
+        l.with(&mut a, Nanos::from_us(7));
+        assert_eq!(a.now(), Nanos::from_us(7));
+        let mut b = Vt::new(1);
+        l.with(&mut b, Nanos::from_us(3));
+        assert_eq!(b.now(), Nanos::from_us(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "missing unlock")]
+    fn double_lock_panics() {
+        let mut l = SimLock::new();
+        let mut vt = Vt::new(0);
+        l.lock(&mut vt);
+        l.lock(&mut vt);
+    }
+
+    #[test]
+    #[should_panic(expected = "not held")]
+    fn unlock_without_lock_panics() {
+        let mut l = SimLock::new();
+        let vt = Vt::new(0);
+        l.unlock(&vt);
+    }
+}

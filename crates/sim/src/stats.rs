@@ -1,0 +1,300 @@
+//! Latency statistics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::Nanos;
+
+/// Number of linear sub-buckets per power-of-two bucket.
+///
+/// 32 sub-buckets bound the relative quantile error at ~3%, comparable to
+/// an HDR histogram with two significant digits.
+const SUB_BUCKETS: u64 = 32;
+
+/// A compact log-linear latency histogram.
+///
+/// Records nanosecond samples and reports count, mean, min/max, and
+/// percentiles. Memory use is bounded (one counter per occupied log-linear
+/// bucket) regardless of sample count, so whole-benchmark recording is
+/// cheap.
+///
+/// # Example
+///
+/// ```
+/// use msnap_sim::{LatencyStats, Nanos};
+///
+/// let mut stats = LatencyStats::new();
+/// for us in [10u64, 20, 30, 40, 1000] {
+///     stats.record(Nanos::from_us(us));
+/// }
+/// assert_eq!(stats.count(), 5);
+/// assert!(stats.percentile(99.0) >= Nanos::from_us(950));
+/// assert_eq!(stats.max(), Nanos::from_us(1000));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct LatencyStats {
+    buckets: BTreeMap<u64, u64>,
+    count: u64,
+    sum: Nanos,
+    min: Option<Nanos>,
+    max: Nanos,
+}
+
+/// Maps a sample to its log-linear bucket index.
+fn bucket_of(ns: u64) -> u64 {
+    if ns < SUB_BUCKETS {
+        return ns;
+    }
+    let log = 63 - ns.leading_zeros() as u64;
+    let shift = log - SUB_BUCKETS.trailing_zeros() as u64;
+    let sub = (ns >> shift) - SUB_BUCKETS;
+    (shift + 1) * SUB_BUCKETS + sub
+}
+
+/// Upper bound (inclusive representative value) of a bucket.
+fn bucket_value(bucket: u64) -> u64 {
+    if bucket < SUB_BUCKETS {
+        return bucket;
+    }
+    let shift = bucket / SUB_BUCKETS - 1;
+    let sub = bucket % SUB_BUCKETS;
+    ((SUB_BUCKETS + sub + 1) << shift) - 1
+}
+
+impl LatencyStats {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: Nanos) {
+        let ns = sample.as_ns();
+        *self.buckets.entry(bucket_of(ns)).or_insert(0) += 1;
+        self.count += 1;
+        self.sum += sample;
+        self.min = Some(self.min.map_or(sample, |m| m.min(sample)));
+        self.max = self.max.max(sample);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> Nanos {
+        self.sum
+    }
+
+    /// Arithmetic mean, or zero if empty.
+    pub fn mean(&self) -> Nanos {
+        if self.count == 0 {
+            Nanos::ZERO
+        } else {
+            self.sum / self.count
+        }
+    }
+
+    /// Smallest sample, or zero if empty.
+    pub fn min(&self) -> Nanos {
+        self.min.unwrap_or(Nanos::ZERO)
+    }
+
+    /// Largest sample, or zero if empty.
+    pub fn max(&self) -> Nanos {
+        self.max
+    }
+
+    /// The `p`-th percentile (0 < p ≤ 100), or zero if empty.
+    ///
+    /// The result is exact for the min/max and within the bucket's relative
+    /// error (~3%) otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 100]`.
+    pub fn percentile(&self, p: f64) -> Nanos {
+        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+        if self.count == 0 {
+            return Nanos::ZERO;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (&bucket, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Nanos::from_ns(bucket_value(bucket)).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        for (&bucket, &n) in &other.buckets {
+            *self.buckets.entry(bucket).or_insert(0) += n;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if let Some(omin) = other.min {
+            self.min = Some(self.min.map_or(omin, |m| m.min(omin)));
+        }
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p99={} max={}",
+            self.count,
+            self.mean(),
+            self.percentile(50.0),
+            self.percentile(99.0),
+            self.max()
+        )
+    }
+}
+
+/// Named latency statistics, keyed by call-site label.
+///
+/// Used for the paper's per-syscall tables (e.g. Table 7's
+/// `memsnap`/`fsync`/`write`/`read` rows): every simulated syscall records
+/// its latency under its name.
+///
+/// # Example
+///
+/// ```
+/// use msnap_sim::{Meters, Nanos};
+///
+/// let mut meters = Meters::new();
+/// meters.record("fsync", Nanos::from_us(70));
+/// meters.record("fsync", Nanos::from_us(90));
+/// assert_eq!(meters.get("fsync").unwrap().count(), 2);
+/// assert!(meters.get("read").is_none());
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Meters {
+    by_name: BTreeMap<&'static str, LatencyStats>,
+}
+
+impl Meters {
+    /// Creates an empty set of meters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `sample` under `name`.
+    pub fn record(&mut self, name: &'static str, sample: Nanos) {
+        self.by_name.entry(name).or_default().record(sample);
+    }
+
+    /// The statistics recorded under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&LatencyStats> {
+        self.by_name.get(name)
+    }
+
+    /// Iterates over `(name, stats)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &LatencyStats)> {
+        self.by_name.iter().map(|(n, s)| (*n, s))
+    }
+
+    /// Folds another set of meters into this one.
+    pub fn merge(&mut self, other: &Meters) {
+        for (name, stats) in other.iter() {
+            self.by_name.entry(name).or_default().merge(stats);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = LatencyStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), Nanos::ZERO);
+        assert_eq!(s.percentile(99.0), Nanos::ZERO);
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let mut s = LatencyStats::new();
+        s.record(Nanos::from_us(10));
+        s.record(Nanos::from_us(30));
+        assert_eq!(s.mean(), Nanos::from_us(20));
+        assert_eq!(s.min(), Nanos::from_us(10));
+        assert_eq!(s.max(), Nanos::from_us(30));
+    }
+
+    #[test]
+    fn percentile_accuracy_within_bucket_error() {
+        let mut s = LatencyStats::new();
+        for i in 1..=1000u64 {
+            s.record(Nanos::from_us(i));
+        }
+        let p50 = s.percentile(50.0).as_ns() as f64;
+        let p99 = s.percentile(99.0).as_ns() as f64;
+        assert!((p50 - 500_000.0).abs() / 500_000.0 < 0.05, "p50={p50}");
+        assert!((p99 - 990_000.0).abs() / 990_000.0 < 0.05, "p99={p99}");
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut s = LatencyStats::new();
+        for ns in 0..SUB_BUCKETS {
+            s.record(Nanos::from_ns(ns));
+        }
+        assert_eq!(s.percentile(100.0), Nanos::from_ns(SUB_BUCKETS - 1));
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyStats::new();
+        a.record(Nanos::from_us(1));
+        let mut b = LatencyStats::new();
+        b.record(Nanos::from_us(100));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), Nanos::from_us(100));
+        assert_eq!(a.min(), Nanos::from_us(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn percentile_rejects_zero() {
+        LatencyStats::new().percentile(0.0);
+    }
+
+    #[test]
+    fn bucket_round_trip_monotonic() {
+        let mut last = 0;
+        for ns in [0u64, 1, 31, 32, 33, 100, 1000, 123456, u32::MAX as u64] {
+            let b = bucket_of(ns);
+            let v = bucket_value(b);
+            assert!(v >= last, "bucket values must be monotone");
+            assert!(v >= ns, "representative must not under-report: {ns} -> {v}");
+            assert!(
+                (v as f64 - ns as f64) / (ns.max(1)) as f64 <= 0.04,
+                "relative error too large: {ns} -> {v}"
+            );
+            last = v;
+        }
+    }
+
+    #[test]
+    fn meters_record_by_name() {
+        let mut m = Meters::new();
+        m.record("write", Nanos::from_us(6));
+        m.record("write", Nanos::from_us(8));
+        m.record("fsync", Nanos::from_us(70));
+        assert_eq!(m.get("write").unwrap().count(), 2);
+        assert_eq!(m.get("write").unwrap().mean(), Nanos::from_us(7));
+        let names: Vec<_> = m.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["fsync", "write"]);
+    }
+}

@@ -1,0 +1,262 @@
+//! The Aurora variant: the persistent skip list over region checkpoints.
+//!
+//! "The Aurora system stores all MemTable data in a single mapping and
+//! issues a checkpoint after each write" (§7.2). The node layout matches
+//! [`MemSnapKv`](crate::MemSnapKv); only the persistence mechanism
+//! differs: every commit stops the world, shadows the whole mapping,
+//! flushes, and collapses — and checkpoints of the region serialize.
+
+use msnap_aurora::{Aurora, AuroraRegionId};
+use msnap_disk::Disk;
+use msnap_sim::{Category, Meters, Nanos, Vt};
+
+use crate::kv::{Kv, KvStats};
+use crate::node::{decode_head, decode_node, encode_head, encode_node, PAGE};
+use crate::skiplist::{Insert, SkipIndex};
+
+/// Per-node spinlock cost (same as the MemSnap variant).
+const NODE_LOCK: Nanos = Nanos::from_ns(25);
+
+/// The Aurora-checkpointed skip-list store. See the module docs.
+#[derive(Debug)]
+pub struct AuroraKv {
+    aurora: Aurora,
+    region: AuroraRegionId,
+    index: SkipIndex<u64>,
+    next_page: u64,
+    capacity_pages: u64,
+    /// Application threads Aurora must stop per checkpoint (12 in the
+    /// paper's MixGraph runs).
+    threads_running: u32,
+    stats: KvStats,
+}
+
+impl AuroraKv {
+    /// Creates a fresh store whose MemTable region holds
+    /// `capacity_pages` nodes.
+    pub fn format(disk: Disk, capacity_pages: u64, threads_running: u32, vt: &mut Vt) -> Self {
+        let mut aurora = Aurora::format(disk);
+        let region = aurora
+            .create_region(vt, "memtable", capacity_pages)
+            .expect("fresh store accepts the memtable region");
+        let mut kv = AuroraKv {
+            aurora,
+            region,
+            index: SkipIndex::new(0),
+            next_page: 1,
+            capacity_pages,
+            threads_running,
+            stats: KvStats::default(),
+        };
+        let head = encode_head(0);
+        kv.aurora.write(vt, kv.region, 0, &head);
+        kv
+    }
+
+    /// Restores after a crash, rebuilding the volatile index by walking
+    /// the persistent list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disk` holds no Aurora store.
+    pub fn restore(disk: Disk, threads_running: u32, vt: &mut Vt) -> Self {
+        let aurora = Aurora::restore(vt, disk).expect("device holds an Aurora store");
+        let region = aurora.region("memtable").expect("memtable region exists");
+        let capacity_pages = aurora.region_pages(region);
+        let mut kv = AuroraKv {
+            aurora,
+            region,
+            index: SkipIndex::new(0),
+            next_page: 1,
+            capacity_pages,
+            threads_running,
+            stats: KvStats::default(),
+        };
+        let mut buf = [0u8; PAGE];
+        kv.aurora.read(vt, kv.region, 0, &mut buf);
+        let mut next = decode_head(&buf).unwrap_or(0);
+        let mut max_page = 0;
+        while next != 0 {
+            kv.aurora.read(vt, kv.region, next * PAGE as u64, &mut buf);
+            let node = decode_node(&buf).expect("linked list points at valid nodes");
+            kv.index.insert(vt, node.key, next);
+            max_page = max_page.max(next);
+            next = node.next;
+        }
+        kv.next_page = max_page + 1;
+        kv
+    }
+
+    /// Simulates a power failure; pass the device to
+    /// [`AuroraKv::restore`].
+    pub fn crash(self, at: Nanos) -> Disk {
+        self.aurora.crash(at)
+    }
+
+    /// The underlying Aurora instance (checkpoint reports).
+    pub fn aurora(&self) -> &Aurora {
+        &self.aurora
+    }
+
+    fn insert_volatile(&mut self, vt: &mut Vt, key: u64, value: &[u8]) {
+        match self.index.insert(vt, key, 0) {
+            Insert::Replaced(page) => {
+                self.index.insert(vt, key, page);
+                vt.charge(Category::Locking, NODE_LOCK);
+                let mut buf = [0u8; PAGE];
+                self.aurora.read(vt, self.region, page * PAGE as u64, &mut buf);
+                let node = decode_node(&buf).expect("index points at valid nodes");
+                let image = encode_node(key, value, node.next);
+                self.aurora.write(vt, self.region, page * PAGE as u64, &image);
+            }
+            Insert::New {
+                pred_payload,
+                succ_payload,
+            } => {
+                let page = self.next_page;
+                assert!(page < self.capacity_pages, "memtable region full");
+                self.next_page += 1;
+                self.index.insert(vt, key, page);
+                vt.charge(Category::Locking, NODE_LOCK * 2);
+                let image = encode_node(key, value, succ_payload.unwrap_or(0));
+                self.aurora.write(vt, self.region, page * PAGE as u64, &image);
+                let pred_page = pred_payload.unwrap_or(0);
+                self.aurora.write(
+                    vt,
+                    self.region,
+                    pred_page * PAGE as u64 + 16,
+                    &page.to_le_bytes(),
+                );
+            }
+        }
+    }
+
+    fn checkpoint(&mut self, vt: &mut Vt) {
+        self.aurora
+            .checkpoint_region_combined(vt, self.region, self.threads_running);
+        self.stats.commits += 1;
+    }
+}
+
+impl Kv for AuroraKv {
+    fn put(&mut self, vt: &mut Vt, key: u64, value: &[u8]) {
+        self.insert_volatile(vt, key, value);
+        self.checkpoint(vt);
+    }
+
+    fn multi_put(&mut self, vt: &mut Vt, pairs: &[(u64, Vec<u8>)]) {
+        for (key, value) in pairs {
+            self.insert_volatile(vt, *key, value);
+        }
+        self.checkpoint(vt);
+    }
+
+    fn get(&mut self, vt: &mut Vt, key: u64) -> Option<Vec<u8>> {
+        let page = *self.index.find(vt, key)?;
+        let mut buf = [0u8; PAGE];
+        self.aurora.read(vt, self.region, page * PAGE as u64, &mut buf);
+        decode_node(&buf).map(|n| n.value)
+    }
+
+    fn seek(&mut self, vt: &mut Vt, key: u64, limit: usize) -> Vec<(u64, Vec<u8>)> {
+        let pages: Vec<(u64, u64)> = self
+            .index
+            .iter_from(vt, key)
+            .take(limit)
+            .map(|(k, p)| (k, *p))
+            .collect();
+        pages
+            .into_iter()
+            .map(|(k, page)| {
+                let mut buf = [0u8; PAGE];
+                self.aurora.read(vt, self.region, page * PAGE as u64, &mut buf);
+                (k, decode_node(&buf).expect("index points at valid nodes").value)
+            })
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn stats(&self) -> KvStats {
+        self.stats
+    }
+
+    fn meters(&self) -> Meters {
+        self.aurora.meters().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msnap_disk::DiskConfig;
+
+    fn fresh() -> (AuroraKv, Vt) {
+        let mut vt = Vt::new(0);
+        let kv = AuroraKv::format(Disk::new(DiskConfig::paper()), 4096, 12, &mut vt);
+        (kv, vt)
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let (mut kv, mut vt) = fresh();
+        kv.put(&mut vt, 5, b"five");
+        kv.put(&mut vt, 3, b"three");
+        assert_eq!(kv.get(&mut vt, 5), Some(b"five".to_vec()));
+        assert_eq!(kv.get(&mut vt, 3), Some(b"three".to_vec()));
+        assert_eq!(kv.len(), 2);
+    }
+
+    #[test]
+    fn crash_restore_round_trips() {
+        let (mut kv, mut vt) = fresh();
+        for k in 0..50u64 {
+            kv.put(&mut vt, k, &k.to_le_bytes());
+        }
+        let disk = kv.crash(vt.now());
+        let mut vt2 = Vt::new(1);
+        let mut kv2 = AuroraKv::restore(disk, 12, &mut vt2);
+        assert_eq!(kv2.len(), 50);
+        for k in 0..50u64 {
+            assert_eq!(kv2.get(&mut vt2, k), Some(k.to_le_bytes().to_vec()));
+        }
+    }
+
+    #[test]
+    fn aurora_put_is_much_slower_than_memsnap_put() {
+        // The §7.2 comparison: region checkpointing's fixed costs dwarf
+        // the 2-page dirty set.
+        let (mut kv, mut vt) = fresh();
+        kv.put(&mut vt, 1, b"warm");
+        let t0 = vt.now();
+        kv.put(&mut vt, 2, b"x");
+        let aurora_lat = (vt.now() - t0).as_us_f64();
+
+        let mut vt2 = Vt::new(0);
+        let mut ms = crate::MemSnapKv::format(
+            Disk::new(DiskConfig::paper()),
+            4096,
+            &mut vt2,
+        );
+        ms.put(&mut vt2, 1, b"warm");
+        let t0 = vt2.now();
+        ms.put(&mut vt2, 2, b"x");
+        let ms_lat = (vt2.now() - t0).as_us_f64();
+
+        let ratio = aurora_lat / ms_lat;
+        assert!(
+            ratio > 2.0,
+            "aurora {aurora_lat:.0} us vs memsnap {ms_lat:.0} us ({ratio:.1}x)"
+        );
+    }
+
+    #[test]
+    fn checkpoints_report_breakdown() {
+        let (mut kv, mut vt) = fresh();
+        kv.put(&mut vt, 1, b"v");
+        assert_eq!(kv.stats().commits, 1);
+        assert_eq!(kv.meters().get("checkpoint").unwrap().count(), 1);
+    }
+}

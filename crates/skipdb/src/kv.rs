@@ -1,0 +1,47 @@
+//! The store-agnostic KV interface.
+
+use msnap_sim::{Meters, Vt};
+
+/// Persistence counters common to the three architectures.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KvStats {
+    /// Durable write operations (Put / MultiPut commits).
+    pub commits: u64,
+    /// MemTable flushes into SSTables (baseline only).
+    pub flushes: u64,
+    /// Compaction passes (baseline only).
+    pub compactions: u64,
+}
+
+/// A key-value store with RocksDB-shaped operations. Writes are durable
+/// when the call returns (the paper evaluates all three systems with
+/// synchronous persistence).
+pub trait Kv {
+    /// Durably writes one key.
+    fn put(&mut self, vt: &mut Vt, key: u64, value: &[u8]);
+
+    /// Durably writes a batch as one transaction (RocksDB's
+    /// WriteCommitted path: the MemTable is modified only at commit, with
+    /// a single MultiPut).
+    fn multi_put(&mut self, vt: &mut Vt, pairs: &[(u64, Vec<u8>)]);
+
+    /// Point lookup.
+    fn get(&mut self, vt: &mut Vt, key: u64) -> Option<Vec<u8>>;
+
+    /// Ordered scan of up to `limit` entries with keys ≥ `key`.
+    fn seek(&mut self, vt: &mut Vt, key: u64, limit: usize) -> Vec<(u64, Vec<u8>)>;
+
+    /// Number of live keys.
+    fn len(&self) -> usize;
+
+    /// Whether the store is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Persistence counters.
+    fn stats(&self) -> KvStats;
+
+    /// Per-call latency meters.
+    fn meters(&self) -> Meters;
+}

@@ -1,0 +1,254 @@
+//! The MemSnap-RocksDB integration: a persistent skip list (§7.2).
+//!
+//! The MemTable skip list *is* the durable store: nodes live page-aligned
+//! in a MemSnap region, each `Put` persists exactly the new node and its
+//! level-0 predecessor with one `msnap_persist`, and the skip-pointer
+//! index is volatile ("we can recreate this index after a crash by
+//! traversing the restored linked list"). The WAL, SSTables, LSM tree and
+//! compaction are all gone.
+
+use memsnap::{MemSnap, PersistFlags, RegionSel};
+use msnap_disk::Disk;
+use msnap_sim::{Meters, Nanos, Vt};
+use msnap_vm::AsId;
+
+use crate::kv::{Kv, KvStats};
+use crate::plist::PersistentSkipList;
+
+/// The persistent-skip-list store. See the module docs.
+#[derive(Debug)]
+pub struct MemSnapKv {
+    ms: MemSnap,
+    space: AsId,
+    list: PersistentSkipList,
+    stats: KvStats,
+}
+
+impl MemSnapKv {
+    /// Creates a fresh store with room for `capacity_pages` nodes.
+    pub fn format(disk: Disk, capacity_pages: u64, vt: &mut Vt) -> Self {
+        let mut ms = MemSnap::format(disk);
+        let space = ms.vm_mut().create_space();
+        let region = ms
+            .msnap_open(vt, space, "memtable", capacity_pages)
+            .expect("fresh store accepts the memtable region");
+        let list = PersistentSkipList::format(&mut ms, space, region, vt);
+        MemSnapKv {
+            ms,
+            space,
+            list,
+            stats: KvStats::default(),
+        }
+    }
+
+    /// Restores after a crash: remap the region, then "traverse the
+    /// linked list nodes to recompute skip pointers".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disk` holds no MemSnap store.
+    pub fn restore(disk: Disk, vt: &mut Vt) -> Self {
+        let mut ms = MemSnap::restore(vt, disk).expect("device holds a MemSnap store");
+        let space = ms.vm_mut().create_space();
+        let region = ms
+            .msnap_open(vt, space, "memtable", 0)
+            .expect("memtable region exists");
+        let list = PersistentSkipList::restore(&mut ms, space, region, vt);
+        MemSnapKv {
+            ms,
+            space,
+            list,
+            stats: KvStats::default(),
+        }
+    }
+
+    /// Simulates a power failure; pass the device to
+    /// [`MemSnapKv::restore`].
+    pub fn crash(self, at: Nanos) -> Disk {
+        self.ms.crash(at)
+    }
+
+    /// The underlying MemSnap instance (fault statistics, breakdowns).
+    pub fn memsnap(&self) -> &MemSnap {
+        &self.ms
+    }
+
+    /// Enables strict property-③ checking in the VM (tests).
+    pub fn set_strict_isolation(&mut self, strict: bool) {
+        self.ms.vm_mut().set_strict_isolation(strict);
+    }
+
+    /// Node pages allocated so far (diagnostics).
+    pub fn pages_used(&self) -> u64 {
+        self.list.pages_used()
+    }
+
+    fn persist(&mut self, vt: &mut Vt) {
+        let thread = vt.id();
+        self.ms
+            .msnap_persist(
+                vt,
+                thread,
+                RegionSel::Region(self.list.region.md),
+                PersistFlags::sync(),
+            )
+            .expect("memtable region exists");
+        self.stats.commits += 1;
+    }
+}
+
+impl Kv for MemSnapKv {
+    fn put(&mut self, vt: &mut Vt, key: u64, value: &[u8]) {
+        self.list.insert_volatile(&mut self.ms, self.space, vt, key, value);
+        self.persist(vt);
+    }
+
+    fn multi_put(&mut self, vt: &mut Vt, pairs: &[(u64, Vec<u8>)]) {
+        // WriteCommitted: all MemTable writes happen at commit, then one
+        // μCheckpoint persists the whole batch atomically.
+        for (key, value) in pairs {
+            self.list.insert_volatile(&mut self.ms, self.space, vt, *key, value);
+        }
+        self.persist(vt);
+    }
+
+    fn get(&mut self, vt: &mut Vt, key: u64) -> Option<Vec<u8>> {
+        self.list.get(&mut self.ms, self.space, vt, key)
+    }
+
+    fn seek(&mut self, vt: &mut Vt, key: u64, limit: usize) -> Vec<(u64, Vec<u8>)> {
+        self.list.seek(&mut self.ms, self.space, vt, key, limit)
+    }
+
+    fn len(&self) -> usize {
+        self.list.index.len()
+    }
+
+    fn stats(&self) -> KvStats {
+        self.stats
+    }
+
+    fn meters(&self) -> Meters {
+        self.ms.meters().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msnap_disk::DiskConfig;
+
+    fn fresh() -> (MemSnapKv, Vt) {
+        let mut vt = Vt::new(0);
+        let kv = MemSnapKv::format(Disk::new(DiskConfig::paper()), 8192, &mut vt);
+        (kv, vt)
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let (mut kv, mut vt) = fresh();
+        kv.put(&mut vt, 5, b"five");
+        kv.put(&mut vt, 3, b"three");
+        kv.put(&mut vt, 9, b"nine");
+        assert_eq!(kv.get(&mut vt, 3), Some(b"three".to_vec()));
+        assert_eq!(kv.get(&mut vt, 5), Some(b"five".to_vec()));
+        assert_eq!(kv.get(&mut vt, 9), Some(b"nine".to_vec()));
+        assert_eq!(kv.get(&mut vt, 4), None);
+        assert_eq!(kv.len(), 3);
+    }
+
+    #[test]
+    fn overwrite_updates_in_place() {
+        let (mut kv, mut vt) = fresh();
+        kv.put(&mut vt, 5, b"old");
+        let pages_before = kv.pages_used();
+        kv.put(&mut vt, 5, b"new");
+        assert_eq!(kv.pages_used(), pages_before, "rewrite allocates no node");
+        assert_eq!(kv.get(&mut vt, 5), Some(b"new".to_vec()));
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn put_persists_exactly_new_node_and_pred() {
+        let (mut kv, mut vt) = fresh();
+        kv.put(&mut vt, 10, b"a"); // pred = head
+        assert_eq!(kv.memsnap().last_persist_breakdown().pages, 2);
+        kv.put(&mut vt, 20, b"b"); // pred = node 10
+        assert_eq!(kv.memsnap().last_persist_breakdown().pages, 2);
+    }
+
+    #[test]
+    fn seek_returns_ordered_range() {
+        let (mut kv, mut vt) = fresh();
+        for k in [50u64, 10, 30, 20, 40] {
+            kv.put(&mut vt, k, &k.to_le_bytes());
+        }
+        let got = kv.seek(&mut vt, 15, 3);
+        let keys: Vec<u64> = got.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![20, 30, 40]);
+    }
+
+    #[test]
+    fn crash_restore_rebuilds_skip_pointers() {
+        let (mut kv, mut vt) = fresh();
+        for k in 0..200u64 {
+            kv.put(&mut vt, (k * 7919) % 200, &k.to_le_bytes());
+        }
+        let crash_at = vt.now();
+        let disk = kv.crash(crash_at);
+
+        let mut vt2 = Vt::new(1);
+        let mut kv2 = MemSnapKv::restore(disk, &mut vt2);
+        assert_eq!(kv2.len(), 200);
+        let all = kv2.seek(&mut vt2, 0, 500);
+        assert_eq!(all.len(), 200);
+        let keys: Vec<u64> = all.iter().map(|(k, _)| *k).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "restored order");
+    }
+
+    #[test]
+    fn unpersisted_tail_is_lost_but_prefix_consistent() {
+        let (mut kv, mut vt) = fresh();
+        kv.put(&mut vt, 1, b"one");
+        let after_first = vt.now();
+        kv.put(&mut vt, 2, b"two");
+        let disk = kv.crash(after_first);
+
+        let mut vt2 = Vt::new(1);
+        let mut kv2 = MemSnapKv::restore(disk, &mut vt2);
+        assert_eq!(kv2.get(&mut vt2, 1), Some(b"one".to_vec()));
+        assert_eq!(kv2.get(&mut vt2, 2), None, "second put was not durable");
+        assert_eq!(kv2.len(), 1);
+    }
+
+    #[test]
+    fn multi_put_is_one_checkpoint() {
+        let (mut kv, mut vt) = fresh();
+        let pairs: Vec<(u64, Vec<u8>)> = (0..10u64).map(|k| (k, vec![k as u8; 8])).collect();
+        kv.multi_put(&mut vt, &pairs);
+        assert_eq!(kv.stats().commits, 1);
+        assert_eq!(
+            kv.memsnap().meters().get("msnap_persist").unwrap().count(),
+            1,
+        );
+    }
+
+    #[test]
+    fn multi_put_is_atomic_across_crash() {
+        let (mut kv, mut vt) = fresh();
+        kv.put(&mut vt, 100, b"base");
+        let before_batch = vt.now();
+        let pairs: Vec<(u64, Vec<u8>)> = (0..20u64).map(|k| (k, vec![1u8; 4])).collect();
+        kv.multi_put(&mut vt, &pairs);
+        // Crash mid-batch-persist: the batch must be all-or-nothing.
+        let disk = kv.crash(before_batch + Nanos::from_us(20));
+
+        let mut vt2 = Vt::new(1);
+        let mut kv2 = MemSnapKv::restore(disk, &mut vt2);
+        let batch_present = (0..20u64).filter(|k| kv2.get(&mut vt2, *k).is_some()).count();
+        assert!(
+            batch_present == 0 || batch_present == 20,
+            "torn batch: {batch_present}/20 keys"
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! The volatile skip index.
+//!
+//! "Skip pointers speed up searches, and act as an index on top of the
+//! linked list structure" (§7.2). In the MemSnap variant the payload is a
+//! region page number and this index is rebuilt from the persistent
+//! linked list after a crash; in the baseline the payload is the value
+//! itself and the index *is* the MemTable.
+
+use msnap_sim::{Category, Nanos, Vt};
+
+/// Maximum tower height.
+const MAX_LEVEL: usize = 16;
+/// CPU cost per node visited during a search.
+const HOP_COST: Nanos = Nanos::from_ns(60);
+
+/// Result of [`SkipIndex::insert`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Insert<P> {
+    /// The key existed; its payload was replaced (old payload returned).
+    Replaced(P),
+    /// A new node was linked in after the predecessor (`None` = the head
+    /// sentinel).
+    New {
+        /// Payload of the level-0 predecessor, if it is a real node.
+        pred_payload: Option<P>,
+        /// Payload of the level-0 successor, if any.
+        succ_payload: Option<P>,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Node<P> {
+    key: u64,
+    payload: P,
+    next: Vec<Option<u32>>,
+}
+
+/// An arena-based skip list mapping `u64` keys to payloads.
+///
+/// Deterministic: tower heights come from an internal xorshift generator,
+/// so identical insert sequences produce identical structures.
+#[derive(Debug, Clone)]
+pub struct SkipIndex<P> {
+    /// Arena; index 0 is the head sentinel.
+    nodes: Vec<Node<P>>,
+    level: usize,
+    rng: u64,
+    len: usize,
+}
+
+impl<P: Clone> SkipIndex<P> {
+    /// Creates an empty index. `head_payload` is the sentinel's payload
+    /// (e.g. the head node's region page).
+    pub fn new(head_payload: P) -> Self {
+        SkipIndex {
+            nodes: vec![Node {
+                key: 0,
+                payload: head_payload,
+                next: vec![None; MAX_LEVEL],
+            }],
+            level: 1,
+            rng: 0x9E3779B97F4A7C15,
+            len: 0,
+        }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn random_level(&mut self) -> usize {
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let mut level = 1;
+        let mut bits = self.rng;
+        while level < MAX_LEVEL && bits & 3 == 0 {
+            level += 1;
+            bits >>= 2;
+        }
+        level
+    }
+
+    /// Finds the per-level predecessors of `key`; returns (preds, hops).
+    fn find_preds(&self, key: u64) -> ([u32; MAX_LEVEL], usize) {
+        let mut preds = [0u32; MAX_LEVEL];
+        let mut hops = 0;
+        let mut node = 0u32;
+        for lvl in (0..self.level).rev() {
+            while let Some(next) = self.nodes[node as usize].next[lvl] {
+                if self.nodes[next as usize].key < key {
+                    node = next;
+                    hops += 1;
+                } else {
+                    break;
+                }
+            }
+            preds[lvl] = node;
+        }
+        (preds, hops)
+    }
+
+    /// Looks up `key`'s payload.
+    pub fn find(&self, vt: &mut Vt, key: u64) -> Option<&P> {
+        let (preds, hops) = self.find_preds(key);
+        vt.charge(Category::TxMemory, HOP_COST * (hops as u64 + 1));
+        let cand = self.nodes[preds[0] as usize].next[0]?;
+        let node = &self.nodes[cand as usize];
+        (node.key == key).then_some(&node.payload)
+    }
+
+    /// Inserts `key` or replaces its payload. See [`Insert`].
+    #[allow(clippy::needless_range_loop)] // preds/next are level-indexed towers
+    pub fn insert(&mut self, vt: &mut Vt, key: u64, payload: P) -> Insert<P> {
+        let (preds, hops) = self.find_preds(key);
+        vt.charge(Category::TxMemory, HOP_COST * (hops as u64 + 2));
+
+        let succ = self.nodes[preds[0] as usize].next[0];
+        if let Some(cand) = succ {
+            if self.nodes[cand as usize].key == key {
+                let old = std::mem::replace(&mut self.nodes[cand as usize].payload, payload);
+                return Insert::Replaced(old);
+            }
+        }
+        let succ_payload = succ.map(|s| self.nodes[s as usize].payload.clone());
+
+        let level = self.random_level();
+        self.level = self.level.max(level);
+        let new_idx = self.nodes.len() as u32;
+        let mut next = vec![None; level];
+        #[allow(clippy::needless_range_loop)]
+        for lvl in 0..level {
+            next[lvl] = self.nodes[preds[lvl] as usize].next[lvl];
+        }
+        self.nodes.push(Node { key, payload, next });
+        for lvl in 0..level {
+            self.nodes[preds[lvl] as usize].next[lvl] = Some(new_idx);
+        }
+        self.len += 1;
+
+        let pred = preds[0];
+        let pred_payload = (pred != 0).then(|| self.nodes[pred as usize].payload.clone());
+        Insert::New {
+            pred_payload,
+            succ_payload,
+        }
+    }
+
+    /// Iterates `(key, payload)` in key order starting at the first key
+    /// ≥ `key`.
+    pub fn iter_from(&self, vt: &mut Vt, key: u64) -> IterFrom<'_, P> {
+        let (preds, hops) = self.find_preds(key);
+        vt.charge(Category::TxMemory, HOP_COST * (hops as u64 + 1));
+        IterFrom {
+            index: self,
+            cursor: self.nodes[preds[0] as usize].next[0],
+        }
+    }
+}
+
+/// Iterator returned by [`SkipIndex::iter_from`].
+#[derive(Debug)]
+pub struct IterFrom<'a, P> {
+    index: &'a SkipIndex<P>,
+    cursor: Option<u32>,
+}
+
+impl<'a, P> Iterator for IterFrom<'a, P> {
+    type Item = (u64, &'a P);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let idx = self.cursor?;
+        let node = &self.index.nodes[idx as usize];
+        self.cursor = node.next[0];
+        Some((node.key, &node.payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_find_round_trip() {
+        let mut vt = Vt::new(0);
+        let mut s = SkipIndex::new(0u64);
+        assert!(matches!(s.insert(&mut vt, 10, 100), Insert::New { .. }));
+        assert_eq!(s.find(&mut vt, 10), Some(&100));
+        assert_eq!(s.find(&mut vt, 11), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn replace_returns_old_payload() {
+        let mut vt = Vt::new(0);
+        let mut s = SkipIndex::new(0u64);
+        s.insert(&mut vt, 10, 100);
+        assert_eq!(s.insert(&mut vt, 10, 200), Insert::Replaced(100));
+        assert_eq!(s.find(&mut vt, 10), Some(&200));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn insert_reports_level0_predecessor() {
+        let mut vt = Vt::new(0);
+        let mut s = SkipIndex::new(999u64);
+        s.insert(&mut vt, 10, 100);
+        match s.insert(&mut vt, 20, 200) {
+            Insert::New {
+                pred_payload,
+                succ_payload,
+            } => {
+                assert_eq!(pred_payload, Some(100));
+                assert_eq!(succ_payload, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Inserting before everything: predecessor is the head (None),
+        // successor is key 10.
+        match s.insert(&mut vt, 5, 50) {
+            Insert::New {
+                pred_payload,
+                succ_payload,
+            } => {
+                assert_eq!(pred_payload, None);
+                assert_eq!(succ_payload, Some(100));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ordered_iteration_over_many_keys() {
+        let mut vt = Vt::new(0);
+        let mut s = SkipIndex::new(0u64);
+        let n = 10_000u64;
+        for i in 0..n {
+            s.insert(&mut vt, (i * 7919) % n, i);
+        }
+        let keys: Vec<u64> = s.iter_from(&mut vt, 0).map(|(k, _)| k).collect();
+        assert_eq!(keys.len(), n as usize);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn iter_from_starts_at_lower_bound() {
+        let mut vt = Vt::new(0);
+        let mut s = SkipIndex::new(0u64);
+        for i in 0..100u64 {
+            s.insert(&mut vt, i * 2, i);
+        }
+        let got: Vec<u64> = s.iter_from(&mut vt, 51).take(3).map(|(k, _)| k).collect();
+        assert_eq!(got, vec![52, 54, 56]);
+    }
+
+    #[test]
+    fn search_cost_is_logarithmic_ish() {
+        // Towers make the search cost grow far slower than linear.
+        let mut vt = Vt::new(0);
+        let mut s = SkipIndex::new(0u64);
+        for i in 0..50_000u64 {
+            s.insert(&mut vt, i, i);
+        }
+        let before = vt.now();
+        s.find(&mut vt, 49_999);
+        let cost = vt.now() - before;
+        assert!(
+            cost < HOP_COST * 2_000,
+            "search of 50k-node list cost {cost} (would be ~1ms if linear)"
+        );
+    }
+
+    #[test]
+    fn deterministic_structure() {
+        let mut vt = Vt::new(0);
+        let mut a = SkipIndex::new(0u64);
+        let mut b = SkipIndex::new(0u64);
+        for i in 0..1000u64 {
+            a.insert(&mut vt, i, i);
+            b.insert(&mut vt, i, i);
+        }
+        let ka: Vec<u64> = a.iter_from(&mut vt, 0).map(|(k, _)| k).collect();
+        let kb: Vec<u64> = b.iter_from(&mut vt, 0).map(|(k, _)| k).collect();
+        assert_eq!(ka, kb);
+    }
+}

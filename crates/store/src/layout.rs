@@ -1,0 +1,347 @@
+//! On-disk layout: superblock, directory entries, root and delta records.
+
+use msnap_disk::BLOCK_SIZE;
+
+/// A μCheckpoint epoch: each object's monotonically increasing commit
+/// counter (the paper's `epoch_t`).
+pub type Epoch = u64;
+
+/// Identifier of an object within the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u32);
+
+impl std::fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// Magic number of a full root record block.
+pub(crate) const ROOT_MAGIC: u64 = 0x4d534e_41505253; // "MSN APRS"
+/// Magic number of a delta record block.
+pub(crate) const DELTA_MAGIC: u64 = 0x4d534e_41504454; // "MSN APDT"
+/// Magic number of the superblock.
+pub(crate) const SUPER_MAGIC: u64 = 0x4d534e41_50535550; // "MSNA PSUP"
+
+/// Block number of the superblock.
+pub(crate) const SUPERBLOCK: u64 = 0;
+/// First block of the object directory.
+pub(crate) const DIR_START: u64 = 1;
+/// Number of directory blocks.
+pub(crate) const DIR_BLOCKS: u64 = 8;
+/// First allocatable block (after superblock + directory).
+pub(crate) const FIRST_DATA_BLOCK: u64 = DIR_START + DIR_BLOCKS;
+
+/// Delta-record slots per object. Every `DELTA_SLOTS`-th commit flushes
+/// the COW tree nodes and writes a full root, so a delta slot is never
+/// reused before a newer full root covers it.
+pub const DELTA_SLOTS: u64 = 32;
+/// Blocks reserved per object at creation: two alternating full-root
+/// slots followed by the delta ring.
+pub(crate) const OBJECT_META_BLOCKS: u64 = 2 + DELTA_SLOTS;
+
+/// Maximum (page, block) pairs in one delta record.
+pub const MAX_DELTA_PAIRS: usize = (BLOCK_SIZE - 64) / 16;
+
+/// Maximum object-name length in the directory, bytes.
+pub(crate) const NAME_LEN: usize = 88;
+/// Size of one directory entry, bytes.
+pub(crate) const DIR_ENTRY_LEN: usize = 128;
+/// Directory entries per block.
+pub(crate) const ENTRIES_PER_BLOCK: usize = BLOCK_SIZE / DIR_ENTRY_LEN;
+/// Maximum number of objects in a store.
+pub(crate) const MAX_OBJECTS: usize = ENTRIES_PER_BLOCK * DIR_BLOCKS as usize;
+
+/// FNV-1a 64-bit, used to checksum records.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// A committed full root: written to one of the object's two alternating
+/// root slots whenever the in-memory COW tree is flushed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RootRecord {
+    /// The object this root belongs to.
+    pub object: ObjectId,
+    /// Epoch of the μCheckpoint that wrote this root.
+    pub epoch: Epoch,
+    /// Disk block of the radix-tree root node, or 0 for an empty object.
+    pub tree_root: u64,
+    /// Object length in pages (highest written page + 1).
+    pub len_pages: u64,
+}
+
+impl RootRecord {
+    /// Serializes the record into a zero-padded block image.
+    pub fn to_block(&self) -> [u8; BLOCK_SIZE] {
+        let mut block = [0u8; BLOCK_SIZE];
+        let mut w = |off: usize, v: u64| block[off..off + 8].copy_from_slice(&v.to_le_bytes());
+        w(0, ROOT_MAGIC);
+        w(8, self.object.0 as u64);
+        w(16, self.epoch);
+        w(24, self.tree_root);
+        w(32, self.len_pages);
+        let checksum = fnv1a(&block[0..40]);
+        block[40..48].copy_from_slice(&checksum.to_le_bytes());
+        block
+    }
+
+    /// Parses and validates a root-slot block; `None` if the slot is
+    /// empty, torn, or belongs to a different object.
+    pub fn from_block(block: &[u8], expect: ObjectId) -> Option<RootRecord> {
+        let r = |off: usize| u64::from_le_bytes(block[off..off + 8].try_into().unwrap());
+        if r(0) != ROOT_MAGIC {
+            return None;
+        }
+        if fnv1a(&block[0..40]) != r(40) {
+            return None;
+        }
+        if r(8) != expect.0 as u64 {
+            return None;
+        }
+        Some(RootRecord {
+            object: expect,
+            epoch: r(16),
+            tree_root: r(24),
+            len_pages: r(32),
+        })
+    }
+}
+
+/// A delta root: commits a small μCheckpoint by recording its
+/// (page → data block) mappings without rewriting tree nodes. Recovery
+/// replays consecutive deltas on top of the latest full root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaRecord {
+    /// The object.
+    pub object: ObjectId,
+    /// Epoch of this μCheckpoint.
+    pub epoch: Epoch,
+    /// Object length in pages after this commit.
+    pub len_pages: u64,
+    /// The commit's page → data-block mappings.
+    pub pairs: Vec<(u64, u64)>,
+}
+
+impl DeltaRecord {
+    /// Serializes into a block image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than [`MAX_DELTA_PAIRS`] pairs.
+    pub fn to_block(&self) -> [u8; BLOCK_SIZE] {
+        assert!(self.pairs.len() <= MAX_DELTA_PAIRS, "delta record overflow");
+        let mut block = [0u8; BLOCK_SIZE];
+        let mut w = |off: usize, v: u64| block[off..off + 8].copy_from_slice(&v.to_le_bytes());
+        w(0, DELTA_MAGIC);
+        w(8, self.object.0 as u64);
+        w(16, self.epoch);
+        w(24, self.len_pages);
+        w(32, self.pairs.len() as u64);
+        for (i, (page, data_block)) in self.pairs.iter().enumerate() {
+            w(64 + i * 16, *page);
+            w(64 + i * 16 + 8, *data_block);
+        }
+        let end = 64 + self.pairs.len() * 16;
+        let checksum = fnv1a(&block[0..40]) ^ fnv1a(&block[64..end]);
+        block[40..48].copy_from_slice(&checksum.to_le_bytes());
+        block
+    }
+
+    /// Parses and validates a delta-slot block.
+    pub fn from_block(block: &[u8], expect: ObjectId) -> Option<DeltaRecord> {
+        let r = |off: usize| u64::from_le_bytes(block[off..off + 8].try_into().unwrap());
+        if r(0) != DELTA_MAGIC || r(8) != expect.0 as u64 {
+            return None;
+        }
+        let count = r(32) as usize;
+        if count > MAX_DELTA_PAIRS {
+            return None;
+        }
+        let end = 64 + count * 16;
+        if fnv1a(&block[0..40]) ^ fnv1a(&block[64..end]) != r(40) {
+            return None;
+        }
+        let pairs = (0..count).map(|i| (r(64 + i * 16), r(64 + i * 16 + 8))).collect();
+        Some(DeltaRecord {
+            object: expect,
+            epoch: r(16),
+            len_pages: r(24),
+            pairs,
+        })
+    }
+}
+
+/// An in-memory directory entry. `meta_base` is the first of the
+/// object's [`OBJECT_META_BLOCKS`] reserved blocks: two root slots, then
+/// the delta ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct DirEntry {
+    pub name: String,
+    pub id: ObjectId,
+    pub meta_base: u64,
+}
+
+impl DirEntry {
+    pub fn root_slot(&self, epoch: Epoch) -> u64 {
+        self.meta_base + epoch % 2
+    }
+
+    pub fn delta_slot(&self, epoch: Epoch) -> u64 {
+        self.meta_base + 2 + (epoch % DELTA_SLOTS)
+    }
+
+    pub fn encode(&self, out: &mut [u8]) {
+        assert!(self.name.len() <= NAME_LEN, "object name too long");
+        out[..DIR_ENTRY_LEN].fill(0);
+        out[0] = 1; // present
+        out[1..9].copy_from_slice(&(self.id.0 as u64).to_le_bytes());
+        out[9..17].copy_from_slice(&self.meta_base.to_le_bytes());
+        out[25] = self.name.len() as u8;
+        out[26..26 + self.name.len()].copy_from_slice(self.name.as_bytes());
+    }
+
+    pub fn decode(data: &[u8]) -> Option<DirEntry> {
+        if data[0] != 1 {
+            return None;
+        }
+        let id = u64::from_le_bytes(data[1..9].try_into().unwrap()) as u32;
+        let meta_base = u64::from_le_bytes(data[9..17].try_into().unwrap());
+        let name_len = data[25] as usize;
+        let name = String::from_utf8(data[26..26 + name_len].to_vec()).ok()?;
+        Some(DirEntry {
+            name,
+            id: ObjectId(id),
+            meta_base,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_record_round_trips() {
+        let rec = RootRecord {
+            object: ObjectId(7),
+            epoch: 42,
+            tree_root: 1234,
+            len_pages: 99,
+        };
+        let block = rec.to_block();
+        assert_eq!(RootRecord::from_block(&block, ObjectId(7)), Some(rec));
+    }
+
+    #[test]
+    fn torn_root_record_rejected() {
+        let rec = RootRecord {
+            object: ObjectId(1),
+            epoch: 5,
+            tree_root: 10,
+            len_pages: 1,
+        };
+        let mut block = rec.to_block();
+        block[20] ^= 0xFF;
+        assert_eq!(RootRecord::from_block(&block, ObjectId(1)), None);
+    }
+
+    #[test]
+    fn root_record_object_mismatch_rejected() {
+        let rec = RootRecord {
+            object: ObjectId(1),
+            epoch: 5,
+            tree_root: 10,
+            len_pages: 1,
+        };
+        let block = rec.to_block();
+        assert_eq!(RootRecord::from_block(&block, ObjectId(2)), None);
+    }
+
+    #[test]
+    fn delta_record_round_trips() {
+        let rec = DeltaRecord {
+            object: ObjectId(3),
+            epoch: 17,
+            len_pages: 1000,
+            pairs: vec![(5, 100), (907, 101), (13, 102)],
+        };
+        let block = rec.to_block();
+        assert_eq!(DeltaRecord::from_block(&block, ObjectId(3)), Some(rec));
+    }
+
+    #[test]
+    fn torn_delta_rejected() {
+        let rec = DeltaRecord {
+            object: ObjectId(3),
+            epoch: 17,
+            len_pages: 8,
+            pairs: vec![(1, 50)],
+        };
+        let mut block = rec.to_block();
+        block[70] ^= 1; // corrupt a pair
+        assert_eq!(DeltaRecord::from_block(&block, ObjectId(3)), None);
+    }
+
+    #[test]
+    fn delta_capacity_is_enforced() {
+        let rec = DeltaRecord {
+            object: ObjectId(0),
+            epoch: 1,
+            len_pages: 1,
+            pairs: vec![(0, 1); MAX_DELTA_PAIRS],
+        };
+        let block = rec.to_block();
+        assert!(DeltaRecord::from_block(&block, ObjectId(0)).is_some());
+    }
+
+    #[test]
+    fn empty_block_is_no_record() {
+        let block = [0u8; BLOCK_SIZE];
+        assert_eq!(RootRecord::from_block(&block, ObjectId(0)), None);
+        assert_eq!(DeltaRecord::from_block(&block, ObjectId(0)), None);
+    }
+
+    #[test]
+    fn dir_entry_round_trips() {
+        let e = DirEntry {
+            name: "postgres/base/16384".to_string(),
+            id: ObjectId(3),
+            meta_base: 100,
+        };
+        let mut buf = [0u8; DIR_ENTRY_LEN];
+        e.encode(&mut buf);
+        assert_eq!(DirEntry::decode(&buf), Some(e));
+    }
+
+    #[test]
+    fn slot_mapping_alternates_and_wraps() {
+        let e = DirEntry {
+            name: "x".into(),
+            id: ObjectId(0),
+            meta_base: 50,
+        };
+        assert_eq!(e.root_slot(4), 50);
+        assert_eq!(e.root_slot(5), 51);
+        assert_eq!(e.delta_slot(1), 53);
+        assert_eq!(e.delta_slot(1 + DELTA_SLOTS), 53);
+        assert_ne!(e.delta_slot(1), e.delta_slot(2));
+    }
+
+    #[test]
+    fn absent_dir_entry_decodes_none() {
+        let buf = [0u8; DIR_ENTRY_LEN];
+        assert_eq!(DirEntry::decode(&buf), None);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

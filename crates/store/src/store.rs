@@ -1,0 +1,805 @@
+//! The object store proper.
+//!
+//! Commit protocol: a μCheckpoint writes its data blocks (one contiguous,
+//! sequential extent) and then commits with a single metadata block —
+//! either a **delta record** (the commit's page → block pairs; the common
+//! case) or, every [`DELTA_SLOTS`]-th commit or for very large commits, a
+//! **full root** that first flushes the in-memory COW tree's dirty nodes.
+//! Recovery adopts the newest valid full root and replays consecutive
+//! delta records on top. Deferring node IO this way keeps the per-commit
+//! cost at "data + one block", which is what the paper's Table 5 measures
+//! (39.7 μs of IO for a 64 KiB μCheckpoint).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use msnap_disk::{Disk, WriteToken, BLOCK_SIZE};
+use msnap_sim::{Category, Nanos, Vt};
+
+use crate::layout::{
+    DeltaRecord, DirEntry, Epoch, ObjectId, RootRecord, DELTA_SLOTS, DIR_BLOCKS, DIR_ENTRY_LEN,
+    DIR_START, ENTRIES_PER_BLOCK, FIRST_DATA_BLOCK, MAX_DELTA_PAIRS, MAX_OBJECTS, NAME_LEN,
+    OBJECT_META_BLOCKS, SUPERBLOCK, SUPER_MAGIC,
+};
+use crate::{BlockAllocator, RadixTree};
+
+/// Errors returned by the object store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// No object with the given name or id.
+    NotFound,
+    /// An object with this name already exists.
+    Exists,
+    /// The directory is full.
+    TooManyObjects,
+    /// The object name exceeds the directory's name field.
+    NameTooLong,
+    /// The on-disk image is not a formatted store.
+    NotFormatted,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            StoreError::NotFound => "object not found",
+            StoreError::Exists => "object already exists",
+            StoreError::TooManyObjects => "object directory is full",
+            StoreError::NameTooLong => "object name too long",
+            StoreError::NotFormatted => "device does not contain a formatted store",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl Error for StoreError {}
+
+/// Result of a committed μCheckpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitToken {
+    /// The object's epoch after this μCheckpoint.
+    pub epoch: Epoch,
+    /// Instant the μCheckpoint (commit record included) is durable.
+    pub completes: Nanos,
+    /// Payload + metadata bytes written to the device.
+    pub bytes_written: u64,
+}
+
+/// Aggregate store statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Committed μCheckpoints.
+    pub commits: u64,
+    /// Commits that used the delta-record fast path.
+    pub delta_commits: u64,
+    /// Data pages written across all commits.
+    pub pages_written: u64,
+    /// Radix-tree node blocks written (full commits only).
+    pub nodes_written: u64,
+}
+
+/// CPU cost constants for store operations.
+///
+/// Calibrated against the paper's Table 5: "Initiating Writes" for a
+/// 64 KiB (16-page) μCheckpoint costs 6.5 μs.
+mod costs {
+    use msnap_sim::Nanos;
+
+    /// Fixed cost of assembling and submitting a μCheckpoint IO.
+    pub const INITIATE_BASE: Nanos = Nanos::from_ns(4_000);
+    /// Per-page cost: allocation, tree update, iovec entry.
+    pub const INITIATE_PER_PAGE: Nanos = Nanos::from_ns(160);
+    /// Per-tree-node serialization cost (full commits).
+    pub const NODE_SERIALIZE: Nanos = Nanos::from_ns(250);
+    /// Cost of a root/delta-slot parse during recovery.
+    pub const ROOT_PARSE: Nanos = Nanos::from_ns(400);
+}
+
+struct ObjectState {
+    entry: DirEntry,
+    /// The object's page index, always current in memory; dirty nodes are
+    /// flushed on full commits only.
+    tree: RadixTree,
+    epoch: Epoch,
+    last_commit: Nanos,
+    deltas_since_full: u64,
+    /// Alternates the full-root slot (consecutive full roots never share
+    /// a slot).
+    full_count: u64,
+    /// Node blocks superseded since the last full commit: recyclable only
+    /// after the *next* full root is durable (recovery replays deltas on
+    /// top of the previous full root's nodes until then).
+    node_freed_pending: Vec<u64>,
+    /// Monotone durability frontier: max completion instant over all of
+    /// this object's commits. Gates data-block recycling so that recovery
+    /// to *any* reachable epoch finds its blocks intact.
+    chain_completes: Nanos,
+}
+
+/// The copy-on-write object store. See the crate and module docs.
+pub struct ObjectStore {
+    alloc: BlockAllocator,
+    objects: Vec<ObjectState>,
+    by_name: HashMap<String, ObjectId>,
+    /// Blocks superseded by a commit, recyclable once the entry's instant
+    /// has passed.
+    pending_free: Vec<(Nanos, Vec<u64>)>,
+    stats: StoreStats,
+    /// Ablation knob: disable the delta-record fast path (every commit
+    /// flushes tree nodes and writes a full root).
+    delta_commits: bool,
+}
+
+impl fmt::Debug for ObjectStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObjectStore")
+            .field("objects", &self.objects.len())
+            .field("high_water", &self.alloc.high_water())
+            .finish()
+    }
+}
+
+impl ObjectStore {
+    /// Formats `disk` with an empty store and returns it.
+    pub fn format(disk: &mut Disk) -> Self {
+        let mut sb = [0u8; BLOCK_SIZE];
+        sb[0..8].copy_from_slice(&SUPER_MAGIC.to_le_bytes());
+        disk.write_block_at(Nanos::ZERO, SUPERBLOCK, &sb);
+        let zero = [0u8; BLOCK_SIZE];
+        for b in DIR_START..DIR_START + DIR_BLOCKS {
+            disk.write_block_at(Nanos::ZERO, b, &zero);
+        }
+        disk.settle();
+        ObjectStore {
+            alloc: BlockAllocator::new(FIRST_DATA_BLOCK),
+            objects: Vec::new(),
+            by_name: HashMap::new(),
+            pending_free: Vec::new(),
+            stats: StoreStats::default(),
+            delta_commits: true,
+        }
+    }
+
+    /// Opens the store from a (possibly crashed) device: adopt each
+    /// object's newest valid full root, replay consecutive delta records
+    /// on top, and rebuild the allocator past every reachable block.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFormatted`] if the superblock is missing.
+    pub fn open(vt: &mut Vt, disk: &mut Disk) -> Result<Self, StoreError> {
+        let mut sb = [0u8; BLOCK_SIZE];
+        disk.read_block(vt, SUPERBLOCK, &mut sb);
+        if u64::from_le_bytes(sb[0..8].try_into().unwrap()) != SUPER_MAGIC {
+            return Err(StoreError::NotFormatted);
+        }
+
+        let mut entries = Vec::new();
+        let mut buf = [0u8; BLOCK_SIZE];
+        for b in DIR_START..DIR_START + DIR_BLOCKS {
+            disk.read_block(vt, b, &mut buf);
+            for i in 0..ENTRIES_PER_BLOCK {
+                if let Some(e) = DirEntry::decode(&buf[i * DIR_ENTRY_LEN..(i + 1) * DIR_ENTRY_LEN])
+                {
+                    entries.push(e);
+                }
+            }
+        }
+
+        let mut high_water = FIRST_DATA_BLOCK;
+        let mut objects: Vec<Option<ObjectState>> = Vec::new();
+        let mut by_name = HashMap::new();
+        for entry in entries {
+            high_water = high_water.max(entry.meta_base + OBJECT_META_BLOCKS);
+
+            // Newest valid full root.
+            let mut base: Option<RootRecord> = None;
+            let mut base_slot_index = 0;
+            for i in 0..2 {
+                vt.charge(Category::FileSystem, costs::ROOT_PARSE);
+                disk.read_block(vt, entry.meta_base + i, &mut buf);
+                if let Some(rec) = RootRecord::from_block(&buf, entry.id) {
+                    if base.is_none_or(|b| rec.epoch > b.epoch) {
+                        base = Some(rec);
+                        base_slot_index = i;
+                    }
+                }
+            }
+            let base_epoch = base.map_or(0, |b| b.epoch);
+            let mut tree = match base {
+                Some(rec) => RadixTree::load(rec.tree_root, rec.len_pages, &mut |b, out| {
+                    let done = disk.read_block_at(vt.now(), b, out);
+                    vt.wait_until(done);
+                }),
+                None => RadixTree::new(),
+            };
+
+            // Collect valid delta records newer than the base.
+            let mut deltas = Vec::new();
+            for i in 0..DELTA_SLOTS {
+                vt.charge(Category::FileSystem, costs::ROOT_PARSE);
+                disk.read_block(vt, entry.meta_base + 2 + i, &mut buf);
+                if let Some(rec) = DeltaRecord::from_block(&buf, entry.id) {
+                    if rec.epoch > base_epoch {
+                        deltas.push(rec);
+                    }
+                }
+            }
+            deltas.sort_by_key(|d| d.epoch);
+            // Replay the consecutive prefix.
+            let mut epoch = base_epoch;
+            for delta in deltas {
+                if delta.epoch != epoch + 1 {
+                    break;
+                }
+                for (page, block) in &delta.pairs {
+                    tree.set(*page, *block);
+                    high_water = high_water.max(*block + 1);
+                }
+                epoch = delta.epoch;
+            }
+            let _ = tree.take_freed();
+
+            for (_, b) in tree.pages() {
+                high_water = high_water.max(b + 1);
+            }
+            if let Some(rec) = base {
+                high_water = high_water.max(rec.tree_root + 1);
+            }
+
+            let idx = entry.id.0 as usize;
+            if objects.len() <= idx {
+                objects.resize_with(idx + 1, || None);
+            }
+            by_name.insert(entry.name.clone(), entry.id);
+            objects[idx] = Some(ObjectState {
+                entry,
+                tree,
+                epoch,
+                last_commit: Nanos::ZERO,
+                deltas_since_full: epoch - base_epoch,
+                full_count: base.map_or(0, |_| base_slot_index + 1),
+                node_freed_pending: Vec::new(),
+                chain_completes: Nanos::ZERO,
+            });
+        }
+
+        let objects: Vec<ObjectState> = objects
+            .into_iter()
+            .map(|o| o.expect("directory ids are dense"))
+            .collect();
+        Ok(ObjectStore {
+            alloc: BlockAllocator::new(high_water + node_block_margin(&objects)),
+            objects,
+            by_name,
+            pending_free: Vec::new(),
+            stats: StoreStats::default(),
+            delta_commits: true,
+        })
+    }
+
+    /// Creates a new empty object named `name`.
+    ///
+    /// The directory update is synchronous: once `create` returns, the
+    /// object exists after a crash.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Exists`], [`StoreError::NameTooLong`], or
+    /// [`StoreError::TooManyObjects`].
+    pub fn create(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        name: &str,
+    ) -> Result<ObjectId, StoreError> {
+        if name.len() > NAME_LEN {
+            return Err(StoreError::NameTooLong);
+        }
+        if self.by_name.contains_key(name) {
+            return Err(StoreError::Exists);
+        }
+        if self.objects.len() >= MAX_OBJECTS {
+            return Err(StoreError::TooManyObjects);
+        }
+        let id = ObjectId(self.objects.len() as u32);
+        let meta_base = self.alloc.alloc_contiguous(OBJECT_META_BLOCKS);
+        let entry = DirEntry {
+            name: name.to_string(),
+            id,
+            meta_base,
+        };
+        self.objects.push(ObjectState {
+            entry: entry.clone(),
+            tree: RadixTree::new(),
+            epoch: 0,
+            last_commit: Nanos::ZERO,
+            deltas_since_full: 0,
+            full_count: 0,
+            node_freed_pending: Vec::new(),
+            chain_completes: Nanos::ZERO,
+        });
+        self.by_name.insert(name.to_string(), id);
+        self.write_dir_entry(vt, disk, &entry);
+        Ok(id)
+    }
+
+    /// Looks up an object by name.
+    pub fn lookup(&self, name: &str) -> Option<ObjectId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Names of all objects, in id order.
+    pub fn object_names(&self) -> Vec<String> {
+        self.objects.iter().map(|o| o.entry.name.clone()).collect()
+    }
+
+    /// The object's current epoch.
+    pub fn epoch(&self, id: ObjectId) -> Epoch {
+        self.objects[id.0 as usize].epoch
+    }
+
+    /// The object's length in pages.
+    pub fn len_pages(&self, id: ObjectId) -> u64 {
+        self.objects[id.0 as usize].tree.len_pages()
+    }
+
+    /// The durability instant of the object's latest μCheckpoint.
+    pub fn last_commit(&self, id: ObjectId) -> Nanos {
+        self.objects[id.0 as usize].last_commit
+    }
+
+    /// Store-wide statistics.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Ablation knob: when `false`, every μCheckpoint flushes the COW
+    /// tree and writes a full root (no delta-record fast path).
+    pub fn set_delta_commits(&mut self, enabled: bool) {
+        self.delta_commits = enabled;
+    }
+
+    /// Commits a μCheckpoint: durably persists `pages` (page-index, page
+    /// image) into `object` as one atomic epoch.
+    ///
+    /// The call charges the *CPU* cost of initiating the writes and
+    /// returns without blocking; the returned token carries the
+    /// completion instant. Synchronous callers follow with
+    /// [`ObjectStore::wait`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any page image is not exactly [`BLOCK_SIZE`] bytes.
+    pub fn persist(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        object: ObjectId,
+        pages: &[(u64, &[u8])],
+    ) -> CommitToken {
+        // Recycle blocks whose gating instant has passed.
+        let now = vt.now();
+        let mut i = 0;
+        while i < self.pending_free.len() {
+            if self.pending_free[i].0 <= now {
+                let (_, blocks) = self.pending_free.swap_remove(i);
+                for b in blocks {
+                    self.alloc.free(b);
+                }
+            } else {
+                i += 1;
+            }
+        }
+
+        let state = &mut self.objects[object.0 as usize];
+        vt.charge(
+            Category::FileSystem,
+            costs::INITIATE_BASE + costs::INITIATE_PER_PAGE * pages.len() as u64,
+        );
+
+        // Data blocks: one contiguous, sequential extent.
+        let first = self.alloc.alloc_contiguous(pages.len() as u64);
+        let mut data_freed = Vec::new();
+        let mut iov: Vec<(u64, &[u8])> = Vec::with_capacity(pages.len() + 8);
+        let mut delta_pairs = Vec::with_capacity(pages.len());
+        for (i, (page, data)) in pages.iter().enumerate() {
+            let block = first + i as u64;
+            if let Some(old) = state.tree.set(*page, block) {
+                data_freed.push(old);
+            }
+            delta_pairs.push((*page, block));
+            iov.push((block, data));
+        }
+        state.epoch += 1;
+        let epoch = state.epoch;
+
+        let use_delta = self.delta_commits
+            && pages.len() <= MAX_DELTA_PAIRS
+            && state.deltas_since_full + 1 < DELTA_SLOTS;
+
+        let (commit_token, node_count) = if use_delta {
+            // Fast path: data extent + one delta record. Dirty tree nodes
+            // stay in memory; their superseded on-disk versions wait for
+            // the next full root.
+            state.node_freed_pending.extend(state.tree.take_freed());
+            let data_token: WriteToken = disk.writev_at(vt.now(), &iov);
+            let record = DeltaRecord {
+                object,
+                epoch,
+                len_pages: state.tree.len_pages(),
+                pairs: delta_pairs,
+            };
+            let slot = state.entry.delta_slot(epoch);
+            let token = disk.write_block_at(data_token.completes(), slot, &record.to_block());
+            state.deltas_since_full += 1;
+            self.stats.delta_commits += 1;
+            (token, 0u64)
+        } else {
+            // Full commit: flush dirty COW nodes and write a full root.
+            let mut node_writes = Vec::new();
+            let tree_root = state.tree.commit(&mut || self.alloc.alloc(), &mut node_writes);
+            vt.charge(
+                Category::FileSystem,
+                costs::NODE_SERIALIZE * node_writes.len() as u64,
+            );
+            for (block, image) in &node_writes {
+                iov.push((*block, image));
+            }
+            let data_token: WriteToken = disk.writev_at(vt.now(), &iov);
+            let record = RootRecord {
+                object,
+                epoch,
+                tree_root,
+                len_pages: state.tree.len_pages(),
+            };
+            state.full_count += 1;
+            let slot = state.entry.root_slot(state.full_count);
+            let token = disk.write_block_at(data_token.completes(), slot, &record.to_block());
+            // Everything superseded up to and including this full root is
+            // recyclable once it is durable.
+            data_freed.append(&mut state.node_freed_pending);
+            data_freed.extend(state.tree.take_freed());
+            state.deltas_since_full = 0;
+            (token, node_writes.len() as u64)
+        };
+
+        state.chain_completes = state.chain_completes.max(commit_token.completes());
+        state.last_commit = commit_token.completes();
+        self.pending_free.push((state.chain_completes, data_freed));
+
+        self.stats.commits += 1;
+        self.stats.pages_written += pages.len() as u64;
+        self.stats.nodes_written += node_count;
+
+        CommitToken {
+            epoch,
+            completes: commit_token.completes(),
+            bytes_written: (pages.len() as u64 + node_count + 1) * BLOCK_SIZE as u64,
+        }
+    }
+
+    /// Blocks `vt` until `token`'s μCheckpoint is durable.
+    pub fn wait(vt: &mut Vt, token: CommitToken) {
+        let wait = token.completes.saturating_sub(vt.now());
+        if wait > Nanos::ZERO {
+            vt.charge(Category::IoWait, wait);
+        }
+    }
+
+    /// Reads one page of `object` into `out`. Pages never written read as
+    /// zeroes (regions are zero-initialized).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] if `object` does not exist.
+    pub fn read_page(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        object: ObjectId,
+        page: u64,
+        out: &mut [u8],
+    ) -> Result<(), StoreError> {
+        let state = self
+            .objects
+            .get(object.0 as usize)
+            .ok_or(StoreError::NotFound)?;
+        match state.tree.get(page) {
+            Some(block) => disk.read_block(vt, block, out),
+            None => out.fill(0),
+        }
+        Ok(())
+    }
+
+    fn write_dir_entry(&mut self, vt: &mut Vt, disk: &mut Disk, entry: &DirEntry) {
+        let slot = entry.id.0 as usize;
+        let dir_block = DIR_START + (slot / ENTRIES_PER_BLOCK) as u64;
+        let mut buf = [0u8; BLOCK_SIZE];
+        disk.read_block(vt, dir_block, &mut buf);
+        let off = (slot % ENTRIES_PER_BLOCK) * DIR_ENTRY_LEN;
+        entry.encode(&mut buf[off..off + DIR_ENTRY_LEN]);
+        disk.write_block(vt, dir_block, &buf);
+    }
+}
+
+/// Conservative allocator margin covering interior tree-node blocks that
+/// recovery does not enumerate individually (committed node blocks are
+/// interleaved with data blocks in allocation order, so bounding them by
+/// tree size strictly over-covers).
+fn node_block_margin(objects: &[ObjectState]) -> u64 {
+    objects
+        .iter()
+        .map(|o| 3 * o.tree.pages().len() as u64 + 8)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msnap_disk::DiskConfig;
+
+    fn page_of(byte: u8) -> Vec<u8> {
+        vec![byte; BLOCK_SIZE]
+    }
+
+    fn setup() -> (Disk, ObjectStore, Vt) {
+        let mut disk = Disk::new(DiskConfig::paper());
+        let store = ObjectStore::format(&mut disk);
+        (disk, store, Vt::new(0))
+    }
+
+    #[test]
+    fn create_lookup_and_duplicate() {
+        let (mut disk, mut store, mut vt) = setup();
+        let id = store.create(&mut vt, &mut disk, "a").unwrap();
+        assert_eq!(store.lookup("a"), Some(id));
+        assert_eq!(store.lookup("b"), None);
+        assert_eq!(store.create(&mut vt, &mut disk, "a"), Err(StoreError::Exists));
+    }
+
+    #[test]
+    fn persist_then_read_round_trips() {
+        let (mut disk, mut store, mut vt) = setup();
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        let p0 = page_of(1);
+        let p9 = page_of(2);
+        let token = store.persist(&mut vt, &mut disk, obj, &[(0, &p0), (9, &p9)]);
+        ObjectStore::wait(&mut vt, token);
+        assert_eq!(token.epoch, 1);
+
+        let mut out = page_of(0);
+        store.read_page(&mut vt, &mut disk, obj, 0, &mut out).unwrap();
+        assert_eq!(out, p0);
+        store.read_page(&mut vt, &mut disk, obj, 9, &mut out).unwrap();
+        assert_eq!(out, p9);
+        store.read_page(&mut vt, &mut disk, obj, 5, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0), "unwritten pages read zero");
+    }
+
+    #[test]
+    fn epochs_are_monotonic_per_object() {
+        let (mut disk, mut store, mut vt) = setup();
+        let a = store.create(&mut vt, &mut disk, "a").unwrap();
+        let b = store.create(&mut vt, &mut disk, "b").unwrap();
+        let p = page_of(1);
+        for i in 1..=3 {
+            let t = store.persist(&mut vt, &mut disk, a, &[(0, &p)]);
+            ObjectStore::wait(&mut vt, t);
+            assert_eq!(t.epoch, i);
+        }
+        let t = store.persist(&mut vt, &mut disk, b, &[(0, &p)]);
+        assert_eq!(t.epoch, 1, "objects have independent epochs");
+    }
+
+    #[test]
+    fn small_commits_use_the_delta_path() {
+        let (mut disk, mut store, mut vt) = setup();
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        let p = page_of(1);
+        let before = disk.stats().writes();
+        let token = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]);
+        ObjectStore::wait(&mut vt, token);
+        // Exactly two IOs: the data extent and the delta record — no tree
+        // node writes.
+        assert_eq!(disk.stats().writes() - before, 2);
+        assert_eq!(store.stats().delta_commits, 1);
+        assert_eq!(store.stats().nodes_written, 0);
+    }
+
+    #[test]
+    fn full_root_every_delta_slots_commits() {
+        let (mut disk, mut store, mut vt) = setup();
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        let p = page_of(3);
+        for i in 0..DELTA_SLOTS + 2 {
+            let t = store.persist(&mut vt, &mut disk, obj, &[(i, &p)]);
+            ObjectStore::wait(&mut vt, t);
+        }
+        assert!(store.stats().nodes_written > 0, "a full commit happened");
+        assert!(store.stats().delta_commits >= DELTA_SLOTS - 1);
+    }
+
+    #[test]
+    fn reopen_restores_committed_data_after_deltas() {
+        let (mut disk, mut store, mut vt) = setup();
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        // Several delta commits, no full root yet.
+        for i in 0..5u64 {
+            let p = page_of(10 + i as u8);
+            let t = store.persist(&mut vt, &mut disk, obj, &[(i, &p)]);
+            ObjectStore::wait(&mut vt, t);
+        }
+        disk.settle();
+
+        let mut vt2 = Vt::new(1);
+        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let obj2 = store2.lookup("db").unwrap();
+        assert_eq!(store2.epoch(obj2), 5, "delta replay recovers all epochs");
+        let mut out = page_of(0);
+        for i in 0..5u64 {
+            store2.read_page(&mut vt2, &mut disk, obj2, i, &mut out).unwrap();
+            assert_eq!(out, page_of(10 + i as u8), "page {i}");
+        }
+    }
+
+    #[test]
+    fn reopen_restores_across_full_roots_and_deltas() {
+        let (mut disk, mut store, mut vt) = setup();
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        let total = DELTA_SLOTS + 10;
+        for i in 0..total {
+            let p = page_of((i % 250) as u8 + 1);
+            let t = store.persist(&mut vt, &mut disk, obj, &[(i, &p)]);
+            ObjectStore::wait(&mut vt, t);
+        }
+        disk.settle();
+
+        let mut vt2 = Vt::new(1);
+        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let obj2 = store2.lookup("db").unwrap();
+        assert_eq!(store2.epoch(obj2), total);
+        let mut out = page_of(0);
+        for i in 0..total {
+            store2.read_page(&mut vt2, &mut disk, obj2, i, &mut out).unwrap();
+            assert_eq!(out, page_of((i % 250) as u8 + 1), "page {i}");
+        }
+    }
+
+    #[test]
+    fn crash_mid_checkpoint_recovers_previous_epoch() {
+        let (mut disk, mut store, mut vt) = setup();
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        let p1 = page_of(1);
+        let t1 = store.persist(&mut vt, &mut disk, obj, &[(0, &p1)]);
+        ObjectStore::wait(&mut vt, t1);
+
+        // Second checkpoint; crash before its commit record completes.
+        let p2 = page_of(2);
+        let t2 = store.persist(&mut vt, &mut disk, obj, &[(0, &p2)]);
+        disk.crash(t2.completes - Nanos::from_ns(1));
+
+        let mut vt2 = Vt::new(1);
+        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let obj2 = store2.lookup("db").unwrap();
+        assert_eq!(store2.epoch(obj2), 1, "recovery adopts the previous epoch");
+        let mut out = page_of(0);
+        store2.read_page(&mut vt2, &mut disk, obj2, 0, &mut out).unwrap();
+        assert_eq!(out, p1);
+    }
+
+    #[test]
+    fn crash_after_checkpoint_keeps_it() {
+        let (mut disk, mut store, mut vt) = setup();
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        let p2 = page_of(2);
+        let t = store.persist(&mut vt, &mut disk, obj, &[(0, &p2)]);
+        disk.crash(t.completes);
+
+        let mut vt2 = Vt::new(1);
+        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let obj2 = store2.lookup("db").unwrap();
+        assert_eq!(store2.epoch(obj2), 1);
+        let mut out = page_of(0);
+        store2.read_page(&mut vt2, &mut disk, obj2, 0, &mut out).unwrap();
+        assert_eq!(out, p2);
+    }
+
+    #[test]
+    fn data_extent_is_sequential() {
+        let (mut disk, mut store, mut vt) = setup();
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        // Random page indices...
+        let p = page_of(7);
+        let pages: Vec<(u64, &[u8])> =
+            [907u64, 13, 500_000, 42].iter().map(|&i| (i, &p[..])).collect();
+        let before = disk.stats().writes();
+        let token = store.persist(&mut vt, &mut disk, obj, &pages);
+        ObjectStore::wait(&mut vt, token);
+        // ...become exactly two IOs: one vectored data write and the
+        // delta record.
+        assert_eq!(disk.stats().writes() - before, 2);
+    }
+
+    #[test]
+    fn open_unformatted_disk_fails() {
+        let mut disk = Disk::new(DiskConfig::fast());
+        let mut vt = Vt::new(0);
+        assert_eq!(
+            ObjectStore::open(&mut vt, &mut disk).unwrap_err(),
+            StoreError::NotFormatted
+        );
+    }
+
+    #[test]
+    fn recovery_allocator_does_not_clobber_live_blocks() {
+        let (mut disk, mut store, mut vt) = setup();
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        let pages: Vec<Vec<u8>> = (0..60).map(|i| page_of(i as u8)).collect();
+        for (i, p) in pages.iter().enumerate() {
+            let t = store.persist(&mut vt, &mut disk, obj, &[(i as u64, p)]);
+            ObjectStore::wait(&mut vt, t);
+        }
+        disk.settle();
+
+        // Reopen and write more; old pages must stay intact.
+        let mut vt2 = Vt::new(1);
+        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let obj2 = store2.lookup("db").unwrap();
+        let extra = page_of(0xFF);
+        for i in 60..120u64 {
+            let t = store2.persist(&mut vt2, &mut disk, obj2, &[(i, &extra)]);
+            ObjectStore::wait(&mut vt2, t);
+        }
+        let mut out = page_of(0);
+        for (i, p) in pages.iter().enumerate() {
+            store2
+                .read_page(&mut vt2, &mut disk, obj2, i as u64, &mut out)
+                .unwrap();
+            assert_eq!(&out, p, "page {i} corrupted after recovery + writes");
+        }
+    }
+
+    #[test]
+    fn overwrites_recycle_blocks_only_after_durability() {
+        let (mut disk, mut store, mut vt) = setup();
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        let p = page_of(1);
+        let t1 = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]);
+        ObjectStore::wait(&mut vt, t1);
+        let _t2 = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]);
+        assert_eq!(store.alloc.free_blocks(), 0, "not yet durable");
+    }
+
+    #[test]
+    fn initiate_cost_matches_table5() {
+        // Table 5: initiating writes for 16 dirty pages costs 6.5 us.
+        let (mut disk, mut store, mut vt) = setup();
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        let p = page_of(1);
+        let pages: Vec<(u64, &[u8])> = (0..16u64).map(|i| (i, &p[..])).collect();
+        let before = vt.costs().get(Category::FileSystem);
+        store.persist(&mut vt, &mut disk, obj, &pages);
+        let cpu = (vt.costs().get(Category::FileSystem) - before).as_us_f64();
+        assert!((cpu - 6.5).abs() < 2.0, "initiate CPU {cpu:.1} us vs paper 6.5 us");
+    }
+
+    #[test]
+    fn persist_io_wait_matches_table5() {
+        // Table 5: waiting on IO for a 64 KiB μCheckpoint is ~39.7 us.
+        // With the delta path: a 64 KiB extent (two striped segments) +
+        // one commit record.
+        let (mut disk, mut store, mut vt) = setup();
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        let p = page_of(1);
+        let pages: Vec<(u64, &[u8])> = (0..16u64).map(|i| (i, &p[..])).collect();
+        let start = vt.now();
+        let token = store.persist(&mut vt, &mut disk, obj, &pages);
+        let io_wait = (token.completes - start).as_us_f64();
+        assert!(
+            (io_wait - 39.7).abs() / 39.7 < 0.45,
+            "IO wait {io_wait:.1} us vs paper 39.7 us"
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Simulated virtual-memory subsystem: MemSnap's dirty-set tracking.
+//!
+//! The paper's core mechanism lives in the FreeBSD VM layer. This crate is
+//! the user-space substitute (DESIGN.md §2): real page tables, PTEs,
+//! reverse maps and fault handlers operating on real page contents, with
+//! hardware-priced steps (trap entry, PTE writes, TLB shootdowns) charged
+//! to the virtual clock.
+//!
+//! The mechanisms reproduced from §3 of the paper:
+//!
+//! - **Minor-write-fault dirty tracking.** Pages of a tracked mapping start
+//!   read-only. The first write per page traps; the handler appends the
+//!   page *and the stable location of its PTE* to the faulting thread's
+//!   trace buffer and dirty list, then makes the PTE writable. Subsequent
+//!   writes by the same thread are free.
+//! - **Trace-buffer protection reset.** After a μCheckpoint, read
+//!   protection is reapplied by walking the trace buffer and writing the
+//!   recorded PTEs directly — no page-table traversal. The two slower
+//!   strategies of Figure 1 ([`ResetStrategy::FullTableScan`] and
+//!   [`ResetStrategy::PerPageWalk`]) are implemented for comparison.
+//! - **Checkpoint-in-progress COW.** Pages in an in-flight μCheckpoint
+//!   carry a CIP mark (modeled as an instant: the page is busy until the
+//!   IO completes). A write to a busy page duplicates it and repoints
+//!   every mapping through the reverse map, so writers never block on IO.
+//! - **Reverse maps.** Physical pages know every PTE mapping them, so
+//!   protection resets and COW reach all processes sharing a region
+//!   (needed by the PostgreSQL case study).
+//!
+//! # Example
+//!
+//! ```
+//! use msnap_sim::Vt;
+//! use msnap_vm::{TrackMode, Vm, PAGE_SIZE};
+//!
+//! let mut vm = Vm::new();
+//! let mut vt = Vt::new(0);
+//! let space = vm.create_space();
+//! let obj = vm.create_object(16); // 16-page memory object
+//! let va = 0x7000_0000_0000;
+//! vm.map(space, obj, va, TrackMode::Tracked).unwrap();
+//!
+//! let thread = vt.id();
+//! vm.write(&mut vt, space, thread, va + 10, b"hello");
+//! let dirty = vm.take_dirty(vt.id(), None);
+//! assert_eq!(dirty.len(), 1); // one page dirtied, tracked for this thread
+//! assert_eq!(dirty[0].obj_page, 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod pagetable;
+mod vm;
+
+pub use pagetable::{PageTable, Pte, PteLoc};
+pub use vm::{
+    costs, AsId, DirtyPage, MemObjectId, ResetStrategy, TrackMode, Vm, VmError, VmStats,
+};
+
+/// Page size, matching the disk block size and the paper's 4 KiB tracking
+/// granularity.
+pub const PAGE_SIZE: usize = 4096;

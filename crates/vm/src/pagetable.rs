@@ -1,0 +1,283 @@
+//! Software page tables with stable PTE locations.
+//!
+//! A 4-level radix over the virtual page number, with leaf nodes kept in a
+//! per-table arena so that a PTE's location ([`PteLoc`]) stays valid for
+//! the table's lifetime — the property MemSnap's trace buffer relies on
+//! ("the OS is guaranteed not to move the PTE entry", §3).
+
+/// Children per page-table node (9 bits of VPN per level).
+pub const PT_FANOUT: usize = 512;
+/// Number of radix levels.
+pub const PT_LEVELS: usize = 4;
+
+/// A page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pte {
+    /// Mapped physical page, or `None` if not present.
+    pub phys: Option<u32>,
+    /// Write permission. Tracked mappings start read-only and fault their
+    /// way to writable.
+    pub writable: bool,
+}
+
+impl Pte {
+    const EMPTY: Pte = Pte {
+        phys: None,
+        writable: false,
+    };
+}
+
+/// Stable location of a PTE within one [`PageTable`]'s leaf arena.
+///
+/// This is the simulation's stand-in for "the physical address of the PTE"
+/// that MemSnap records in its per-thread trace buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PteLoc {
+    pub(crate) leaf: u32,
+    pub(crate) slot: u16,
+}
+
+#[derive(Debug)]
+struct Interior {
+    children: Vec<Option<u32>>, // index into the next level (or leaf arena)
+}
+
+impl Interior {
+    fn new() -> Self {
+        Interior {
+            children: vec![None; PT_FANOUT],
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Leaf {
+    ptes: Vec<Pte>,
+}
+
+impl Leaf {
+    fn new() -> Self {
+        Leaf {
+            ptes: vec![Pte::EMPTY; PT_FANOUT],
+        }
+    }
+}
+
+/// One address space's page table.
+///
+/// Walks report the number of nodes visited so callers can charge
+/// traversal costs (Figure 1 compares exactly those costs).
+#[derive(Debug)]
+pub struct PageTable {
+    root: Interior,
+    interior: Vec<Interior>, // levels 2..PT_LEVELS-1
+    leaves: Vec<Leaf>,
+}
+
+fn level_index(vpn: u64, level: usize) -> usize {
+    let shift = 9 * (PT_LEVELS - 1 - level);
+    ((vpn >> shift) as usize) & (PT_FANOUT - 1)
+}
+
+impl PageTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        PageTable {
+            root: Interior::new(),
+            interior: Vec::new(),
+            leaves: Vec::new(),
+        }
+    }
+
+    /// Walks to the PTE for `vpn`, allocating missing nodes. Returns the
+    /// PTE location and the number of nodes visited.
+    pub fn walk_alloc(&mut self, vpn: u64) -> (PteLoc, usize) {
+        // Level 0 is the embedded root; levels 1..=PT_LEVELS-2 are interior
+        // arena nodes; the last level is the leaf arena. `node` identifies
+        // the current node by arena index so arena growth cannot invalidate
+        // it.
+        let mut visited = 1; // root
+        let mut node: Option<u32> = None; // None = root
+        for level in 0..PT_LEVELS - 1 {
+            let idx = level_index(vpn, level);
+            let is_leaf_level = level == PT_LEVELS - 2;
+            let slot = match node {
+                None => self.root.children[idx],
+                Some(i) => self.interior[i as usize].children[idx],
+            };
+            let child_idx = match slot {
+                Some(i) => i,
+                None => {
+                    let new_idx = if is_leaf_level {
+                        self.leaves.push(Leaf::new());
+                        (self.leaves.len() - 1) as u32
+                    } else {
+                        self.interior.push(Interior::new());
+                        (self.interior.len() - 1) as u32
+                    };
+                    match node {
+                        None => self.root.children[idx] = Some(new_idx),
+                        Some(i) => self.interior[i as usize].children[idx] = Some(new_idx),
+                    }
+                    new_idx
+                }
+            };
+            visited += 1;
+            if is_leaf_level {
+                return (
+                    PteLoc {
+                        leaf: child_idx,
+                        slot: level_index(vpn, PT_LEVELS - 1) as u16,
+                    },
+                    visited,
+                );
+            }
+            node = Some(child_idx);
+        }
+        unreachable!("loop returns at the leaf level")
+    }
+
+    /// Walks to the PTE for `vpn` without allocating. Returns the location
+    /// (if the path exists) and the number of nodes visited.
+    pub fn walk(&self, vpn: u64) -> (Option<PteLoc>, usize) {
+        let mut visited = 1;
+        let mut node = &self.root;
+        for level in 0..PT_LEVELS - 1 {
+            let idx = level_index(vpn, level);
+            let Some(child_idx) = node.children[idx] else {
+                return (None, visited);
+            };
+            visited += 1;
+            if level == PT_LEVELS - 2 {
+                return (
+                    Some(PteLoc {
+                        leaf: child_idx,
+                        slot: level_index(vpn, PT_LEVELS - 1) as u16,
+                    }),
+                    visited,
+                );
+            }
+            node = &self.interior[child_idx as usize];
+        }
+        unreachable!()
+    }
+
+    /// Direct PTE access through a stable location (the trace-buffer path:
+    /// no traversal).
+    pub fn pte(&self, loc: PteLoc) -> Pte {
+        self.leaves[loc.leaf as usize].ptes[loc.slot as usize]
+    }
+
+    /// Direct mutable PTE access through a stable location.
+    pub fn pte_mut(&mut self, loc: PteLoc) -> &mut Pte {
+        &mut self.leaves[loc.leaf as usize].ptes[loc.slot as usize]
+    }
+
+    /// Number of allocated nodes (root + interior + leaves); the cost unit
+    /// of a full-table scan.
+    pub fn node_count(&self) -> usize {
+        1 + self.interior.len() + self.leaves.len()
+    }
+
+    /// Iterates over every PTE of every allocated leaf, visiting
+    /// `(nodes_visited, ptes_scanned)` worth of work; used by the
+    /// full-table-scan protection strategy of Figure 1.
+    pub fn scan_leaves(&mut self, mut f: impl FnMut(&mut Pte)) -> (usize, usize) {
+        let nodes = self.node_count();
+        let mut scanned = 0;
+        for leaf in &mut self.leaves {
+            for pte in &mut leaf.ptes {
+                scanned += 1;
+                f(pte);
+            }
+        }
+        (nodes, scanned)
+    }
+}
+
+impl Default for PageTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_alloc_then_walk_agree() {
+        let mut pt = PageTable::new();
+        let vpn = 0x7000_0000_0000u64 >> 12;
+        let (loc, visited) = pt.walk_alloc(vpn);
+        assert_eq!(visited, PT_LEVELS);
+        let (found, _) = pt.walk(vpn);
+        assert_eq!(found, Some(loc));
+    }
+
+    #[test]
+    fn walk_missing_path_returns_none() {
+        let pt = PageTable::new();
+        let (loc, visited) = pt.walk(12345);
+        assert_eq!(loc, None);
+        assert_eq!(visited, 1);
+    }
+
+    #[test]
+    fn pte_loc_is_stable_across_allocations() {
+        let mut pt = PageTable::new();
+        let (loc_a, _) = pt.walk_alloc(0);
+        pt.pte_mut(loc_a).writable = true;
+        // Allocate many more leaves; loc_a must still resolve to the same
+        // PTE.
+        for vpn in (0..100u64).map(|i| i * PT_FANOUT as u64) {
+            pt.walk_alloc(vpn);
+        }
+        assert!(pt.pte(loc_a).writable);
+        let (again, _) = pt.walk(0);
+        assert_eq!(again, Some(loc_a));
+    }
+
+    #[test]
+    fn adjacent_vpns_share_a_leaf() {
+        let mut pt = PageTable::new();
+        let (a, _) = pt.walk_alloc(100);
+        let (b, _) = pt.walk_alloc(101);
+        assert_eq!(a.leaf, b.leaf);
+        assert_eq!(b.slot, a.slot + 1);
+    }
+
+    #[test]
+    fn distant_vpns_use_distinct_leaves() {
+        let mut pt = PageTable::new();
+        let (a, _) = pt.walk_alloc(0);
+        let (b, _) = pt.walk_alloc(PT_FANOUT as u64);
+        assert_ne!(a.leaf, b.leaf);
+    }
+
+    #[test]
+    fn scan_leaves_visits_all_ptes() {
+        let mut pt = PageTable::new();
+        pt.walk_alloc(0);
+        pt.walk_alloc(PT_FANOUT as u64 * 3);
+        let mut count = 0;
+        let (nodes, scanned) = pt.scan_leaves(|_| count += 1);
+        assert_eq!(scanned, 2 * PT_FANOUT);
+        assert_eq!(count, scanned);
+        assert_eq!(nodes, pt.node_count());
+    }
+
+    #[test]
+    fn node_count_grows_with_coverage() {
+        let mut pt = PageTable::new();
+        let n0 = pt.node_count();
+        pt.walk_alloc(0);
+        let n1 = pt.node_count();
+        assert!(n1 > n0);
+        // A 1 GiB mapping (262144 pages) needs 512 leaves.
+        for vpn in (0..262_144u64).step_by(PT_FANOUT) {
+            pt.walk_alloc(vpn);
+        }
+        assert!(pt.node_count() >= 512);
+    }
+}

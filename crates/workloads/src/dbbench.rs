@@ -1,0 +1,158 @@
+//! The SQLite `dbbench` microbenchmark (§7.1).
+//!
+//! "dbbench generates up to 1 M keys with 128 byte values. Key/value pairs
+//! are batched sequentially or randomly into write transactions ranging
+//! from 4 KiB to 1 MiB in size until 2 million total key value pair writes
+//! have been performed."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Value size: 128 bytes, as in the paper.
+pub const VALUE_SIZE: usize = 128;
+
+/// Key ordering within and across transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyOrder {
+    /// Monotonically increasing keys (the paper's "sequential IO" rows).
+    Sequential,
+    /// Uniformly random keys (the "random IO" rows).
+    Random,
+}
+
+/// One write transaction: a batch of key/value pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteBatch {
+    /// Keys written by the transaction.
+    pub keys: Vec<u64>,
+}
+
+impl WriteBatch {
+    /// The value bytes for `key` (deterministic, key-derived).
+    pub fn value_for(key: u64) -> [u8; VALUE_SIZE] {
+        let mut v = [0u8; VALUE_SIZE];
+        let bytes = key.to_le_bytes();
+        for (i, b) in v.iter_mut().enumerate() {
+            *b = bytes[i % 8] ^ (i as u8);
+        }
+        v
+    }
+}
+
+/// The dbbench generator. Iterates over write transactions until the
+/// configured number of key/value writes has been produced.
+#[derive(Debug)]
+pub struct DbBench {
+    key_space: u64,
+    kvs_per_txn: usize,
+    remaining_kvs: u64,
+    order: KeyOrder,
+    next_seq: u64,
+    rng: StdRng,
+}
+
+impl DbBench {
+    /// Creates a generator.
+    ///
+    /// * `txn_bytes` — target transaction size (4 KiB … 1 MiB in the
+    ///   paper); the batch holds `txn_bytes / VALUE_SIZE` pairs.
+    /// * `total_kvs` — total key/value writes to produce (2 M in the
+    ///   paper; scale down for CI).
+    /// * `key_space` — number of distinct keys (1 M in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `txn_bytes < VALUE_SIZE` or `key_space == 0`.
+    pub fn new(txn_bytes: usize, total_kvs: u64, key_space: u64, order: KeyOrder, seed: u64) -> Self {
+        assert!(txn_bytes >= VALUE_SIZE, "transaction smaller than one value");
+        assert!(key_space > 0, "empty key space");
+        DbBench {
+            key_space,
+            kvs_per_txn: txn_bytes / VALUE_SIZE,
+            remaining_kvs: total_kvs,
+            order,
+            next_seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Key/value pairs per transaction.
+    pub fn kvs_per_txn(&self) -> usize {
+        self.kvs_per_txn
+    }
+}
+
+impl Iterator for DbBench {
+    type Item = WriteBatch;
+
+    fn next(&mut self) -> Option<WriteBatch> {
+        if self.remaining_kvs == 0 {
+            return None;
+        }
+        let n = (self.kvs_per_txn as u64).min(self.remaining_kvs);
+        self.remaining_kvs -= n;
+        let keys = (0..n)
+            .map(|_| match self.order {
+                KeyOrder::Sequential => {
+                    let k = self.next_seq % self.key_space;
+                    self.next_seq += 1;
+                    k
+                }
+                KeyOrder::Random => self.rng.gen_range(0..self.key_space),
+            })
+            .collect();
+        Some(WriteBatch { keys })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_exact_total() {
+        let bench = DbBench::new(4096, 1000, 1 << 20, KeyOrder::Sequential, 1);
+        let total: usize = bench.map(|b| b.keys.len()).sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn batch_size_matches_txn_bytes() {
+        let bench = DbBench::new(64 * 1024, 10_000, 1 << 20, KeyOrder::Random, 1);
+        assert_eq!(bench.kvs_per_txn(), 512);
+        let first = DbBench::new(64 * 1024, 10_000, 1 << 20, KeyOrder::Random, 1)
+            .next()
+            .unwrap();
+        assert_eq!(first.keys.len(), 512);
+    }
+
+    #[test]
+    fn sequential_keys_are_monotone_and_wrap() {
+        let mut bench = DbBench::new(4096, 100, 10, KeyOrder::Sequential, 1);
+        let b = bench.next().unwrap();
+        assert_eq!(&b.keys[..12], &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0, 1]);
+    }
+
+    #[test]
+    fn random_keys_stay_in_space() {
+        let bench = DbBench::new(4096, 5000, 100, KeyOrder::Random, 9);
+        for batch in bench {
+            assert!(batch.keys.iter().all(|&k| k < 100));
+        }
+    }
+
+    #[test]
+    fn values_are_key_derived() {
+        assert_eq!(WriteBatch::value_for(5), WriteBatch::value_for(5));
+        assert_ne!(WriteBatch::value_for(5), WriteBatch::value_for(6));
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a: Vec<WriteBatch> =
+            DbBench::new(4096, 320, 1000, KeyOrder::Random, 3).collect();
+        let b: Vec<WriteBatch> =
+            DbBench::new(4096, 320, 1000, KeyOrder::Random, 3).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,144 @@
+//! Key distributions.
+
+use rand::Rng;
+
+/// A Zipf(θ) sampler over `0..n` using Gray–Wormald style inversion on the
+/// harmonic CDF (exact for the small `n` used here, O(1) per sample after
+//  an O(n) table build).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `0..n` with skew `theta` (0 = uniform-ish,
+    /// ~0.99 = classic YCSB skew).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples a rank in `0..n` (0 is the most popular).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// A bounded generalized-Pareto sampler over `0..n`, as used by MixGraph
+/// for write-key selection ("writes are chosen using a generalized Pareto
+/// distribution", §7.2 / Cao et al. FAST '20).
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedPareto {
+    n: u64,
+    /// Shape ξ of the generalized Pareto distribution.
+    shape: f64,
+    /// Scale σ.
+    scale: f64,
+}
+
+impl BoundedPareto {
+    /// Creates a sampler over `0..n` with MixGraph-like shape/scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: u64) -> Self {
+        assert!(n > 0, "Pareto needs a non-empty domain");
+        BoundedPareto {
+            n,
+            shape: 0.2,
+            scale: n as f64 / 50.0,
+        }
+    }
+
+    /// Samples a key in `0..n` (low keys are hot).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        // Inverse CDF of the generalized Pareto distribution.
+        let x = self.scale * ((u.powf(-self.shape) - 1.0) / self.shape);
+        (x as u64).min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_skewed() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut head = 0;
+        let samples = 20_000;
+        for _ in 0..samples {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Top-1% of keys take far more than 1% of accesses.
+        assert!(head > samples / 10, "head hits: {head}");
+    }
+
+    #[test]
+    fn zipf_stays_in_domain() {
+        let z = Zipf::new(10, 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn pareto_is_hot_at_low_keys() {
+        let p = BoundedPareto::new(1_000_000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut low = 0;
+        let samples = 20_000;
+        for _ in 0..samples {
+            if p.sample(&mut rng) < 100_000 {
+                low += 1;
+            }
+        }
+        assert!(low > samples / 2, "low-key hits: {low}");
+    }
+
+    #[test]
+    fn pareto_stays_in_domain() {
+        let p = BoundedPareto::new(100);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(p.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn samplers_are_deterministic_by_seed() {
+        let z = Zipf::new(100, 0.9);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..32).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..32).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

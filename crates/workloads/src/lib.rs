@@ -1,0 +1,27 @@
+//! Workload generators for the MemSnap evaluation.
+//!
+//! Each generator reproduces one workload from the paper's §6–§7,
+//! decoupled from the database engines (generators emit logical
+//! operations; the case-study drivers interpret them):
+//!
+//! - [`dbbench`]: the SQLite microbenchmark — 128-byte values batched into
+//!   write transactions of a configured size, sequential or random key
+//!   order (Tables 7/8, Figure 4).
+//! - [`tatp`]: the TATP telecom workload — 80% read / 20% write mix over
+//!   four tables (Figure 5).
+//! - [`mixgraph`]: Meta's MixGraph RocksDB workload — 83% Get / 14% Put /
+//!   3% Seek, uniform reads, Pareto-distributed writes (Tables 1/9/10).
+//! - [`tpcc`]: a TPC-C-style OLTP mix for the PostgreSQL case study
+//!   (Figure 6).
+//! - [`dist`]: the Zipf and generalized-Pareto key distributions the above
+//!   are built from.
+//!
+//! All generators are seeded and deterministic.
+
+#![warn(missing_docs)]
+
+pub mod dbbench;
+pub mod dist;
+pub mod mixgraph;
+pub mod tatp;
+pub mod tpcc;

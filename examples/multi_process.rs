@@ -1,0 +1,76 @@
+//! Multi-process regions: the PostgreSQL pattern (§7.3).
+//!
+//! Two simulated processes map the same MemSnap region (like PostgreSQL
+//! backends sharing a buffer cache). Writes by one are visible to the
+//! other; per-thread μCheckpoints persist each backend's transaction
+//! independently; protection resets reach every process's page tables
+//! through the reverse map.
+//!
+//! Run with: `cargo run --example multi_process`
+
+use memsnap::{MemSnap, PersistFlags, RegionSel, PAGE_SIZE};
+use msnap_disk::{Disk, DiskConfig};
+use msnap_sim::{Vt, VthreadId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut ms = MemSnap::format(Disk::new(DiskConfig::paper()));
+    let mut vt = Vt::new(0);
+
+    // Two "processes" (address spaces), one shared table region.
+    let backend_a = ms.vm_mut().create_space();
+    let backend_b = ms.vm_mut().create_space();
+    let region = ms.msnap_open(&mut vt, backend_a, "shared-table", 64)?;
+    ms.msnap_open(&mut vt, backend_b, "shared-table", 64)?;
+
+    let thread_a = VthreadId(1);
+    let thread_b = VthreadId(2);
+
+    // Backend A appends a tuple and commits its transaction.
+    ms.write(&mut vt, backend_a, thread_a, region.addr, b"tuple-1 from A")?;
+    ms.msnap_persist(&mut vt, thread_a, RegionSel::Region(region.md), PersistFlags::sync())?;
+
+    // Backend B sees it immediately through shared memory...
+    let mut seen = [0u8; 14];
+    ms.read(&mut vt, backend_b, region.addr, &mut seen)?;
+    println!("backend B reads: {:?}", std::str::from_utf8(&seen)?);
+
+    // ...and writes its own tuple on a different page; its μCheckpoint
+    // contains only its own dirty set (per-thread tracking).
+    ms.write(&mut vt, backend_b, thread_b, region.addr + PAGE_SIZE as u64, b"tuple-2 from B")?;
+    ms.msnap_persist(&mut vt, thread_b, RegionSel::Region(region.md), PersistFlags::sync())?;
+    println!(
+        "backend B's μCheckpoint carried {} page(s) — only its own work",
+        ms.last_persist_breakdown().pages
+    );
+
+    // Fault statistics show the mechanism at work: minor write faults
+    // tracked the dirty sets; the reverse map re-armed both processes'
+    // page tables after each persist.
+    let stats = ms.vm().stats();
+    println!(
+        "VM: {} minor faults, {} PTE resets, {} TLB shootdowns",
+        stats.minor_faults, stats.pte_resets, stats.shootdowns
+    );
+
+    // Crash and restore: both tuples are durable, at the same address,
+    // visible to a fresh "process".
+    let disk = ms.crash(vt.now());
+    let mut vt2 = Vt::new(9);
+    let mut ms2 = MemSnap::restore(&mut vt2, disk)?;
+    let backend_c = ms2.vm_mut().create_space();
+    let restored = ms2.msnap_open(&mut vt2, backend_c, "shared-table", 0)?;
+    assert_eq!(restored.addr, region.addr);
+    let mut t1 = [0u8; 14];
+    let mut t2 = [0u8; 14];
+    ms2.read(&mut vt2, backend_c, restored.addr, &mut t1)?;
+    ms2.read(&mut vt2, backend_c, restored.addr + PAGE_SIZE as u64, &mut t2)?;
+    println!(
+        "after reboot: {:?} + {:?}",
+        std::str::from_utf8(&t1)?,
+        std::str::from_utf8(&t2)?
+    );
+    assert_eq!(&t1, b"tuple-1 from A");
+    assert_eq!(&t2, b"tuple-2 from B");
+    println!("both backends' transactions survived ✓");
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! Umbrella crate for the MemSnap reproduction workspace.
+//!
+//! This crate hosts the repository-level integration tests (`tests/`) and
+//! runnable examples (`examples/`), and re-exports the workspace crates so
+//! examples can use a single dependency:
+//!
+//! - [`memsnap`] — the μCheckpoint API (the paper's core contribution)
+//! - [`msnap_vm`] — the simulated virtual-memory subsystem
+//! - [`msnap_store`] — the COW object store
+//! - [`msnap_disk`] — the simulated NVMe block device
+//! - [`msnap_fs`] / [`msnap_aurora`] — the baselines
+//! - [`msnap_litedb`] / [`msnap_skipdb`] / [`msnap_pgdb`] — case studies
+//! - [`msnap_workloads`] — workload generators
+//! - [`msnap_sim`] — the virtual-time substrate
+
+pub use memsnap;
+pub use msnap_aurora;
+pub use msnap_disk;
+pub use msnap_fs;
+pub use msnap_litedb;
+pub use msnap_pgdb;
+pub use msnap_sim;
+pub use msnap_skipdb;
+pub use msnap_store;
+pub use msnap_vm;
+pub use msnap_workloads;

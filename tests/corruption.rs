@@ -1,0 +1,159 @@
+//! Media-corruption robustness: checksummed commit records mean a
+//! corrupted root or delta slot degrades recovery to an earlier epoch
+//! instead of returning garbage.
+
+use msnap_disk::{Disk, DiskConfig, BLOCK_SIZE};
+use msnap_sim::Vt;
+use msnap_store::{ObjectStore, DELTA_SLOTS};
+
+fn page_of(b: u8) -> Vec<u8> {
+    vec![b; BLOCK_SIZE]
+}
+
+/// Commits `n` single-page checkpoints (page = epoch % 8, content = epoch).
+fn build(n: u64) -> (Disk, Vt) {
+    let mut disk = Disk::new(DiskConfig::paper());
+    let mut store = ObjectStore::format(&mut disk);
+    let mut vt = Vt::new(0);
+    let obj = store.create(&mut vt, &mut disk, "o").unwrap();
+    for epoch in 1..=n {
+        let p = page_of(epoch as u8);
+        let token = store.persist(&mut vt, &mut disk, obj, &[(epoch % 8, &p)]);
+        ObjectStore::wait(&mut vt, token);
+    }
+    disk.settle();
+    (disk, vt)
+}
+
+/// Finds the block holding the delta record of `epoch` by scanning for
+/// its magic + epoch field (test-side introspection).
+fn find_delta_block(disk: &Disk, epoch: u64) -> Option<u64> {
+    const DELTA_MAGIC: u64 = 0x4d534e_41504454;
+    for block in 0..4096u64 {
+        if let Some(data) = disk.peek(block) {
+            let magic = u64::from_le_bytes(data[0..8].try_into().unwrap());
+            let e = u64::from_le_bytes(data[16..24].try_into().unwrap());
+            if magic == DELTA_MAGIC && e == epoch {
+                return Some(block);
+            }
+        }
+    }
+    None
+}
+
+#[test]
+fn intact_store_recovers_every_epoch() {
+    let n = 10;
+    let (mut disk, _) = build(n);
+    let mut vt = Vt::new(1);
+    let store = ObjectStore::open(&mut vt, &mut disk).unwrap();
+    let obj = store.lookup("o").unwrap();
+    assert_eq!(store.epoch(obj), n);
+}
+
+#[test]
+fn corrupted_latest_delta_degrades_by_one_epoch() {
+    let n = 10; // all within one delta window
+    assert!(n < DELTA_SLOTS);
+    let (mut disk, _) = build(n);
+    let block = find_delta_block(&disk, n).expect("latest delta exists");
+    disk.corrupt_bit(block, 70, 3); // corrupt a payload pair
+
+    let mut vt = Vt::new(1);
+    let mut store = ObjectStore::open(&mut vt, &mut disk).unwrap();
+    let obj = store.lookup("o").unwrap();
+    assert_eq!(
+        store.epoch(obj),
+        n - 1,
+        "checksum failure must drop exactly the corrupted tail epoch"
+    );
+    // The surviving state is consistent: page contents match their
+    // epochs under the replayed prefix.
+    let mut buf = page_of(0);
+    store.read_page(&mut vt, &mut disk, obj, (n - 1) % 8, &mut buf).unwrap();
+    assert_eq!(buf[0], (n - 1) as u8);
+}
+
+#[test]
+fn corrupted_middle_delta_truncates_the_chain() {
+    let n = 10;
+    let (mut disk, _) = build(n);
+    let block = find_delta_block(&disk, 6).expect("delta 6 exists");
+    disk.corrupt_bit(block, 0, 0); // kill the magic
+
+    let mut vt = Vt::new(1);
+    let store = ObjectStore::open(&mut vt, &mut disk).unwrap();
+    let obj = store.lookup("o").unwrap();
+    assert_eq!(
+        store.epoch(obj),
+        5,
+        "replay must stop at the gap (consecutive-epoch rule)"
+    );
+}
+
+#[test]
+fn corrupted_full_root_falls_back_to_previous_root() {
+    // Drive past two full-root commits, then corrupt the newest full
+    // root: recovery must fall back to the previous one (the alternating
+    // slots exist for exactly this).
+    let n = 2 * DELTA_SLOTS + 4;
+    let (mut disk, _) = build(n);
+
+    // Find the newest full root by scanning for the root magic with the
+    // highest epoch.
+    const ROOT_MAGIC: u64 = 0x4d534e_41505253;
+    let mut best: Option<(u64, u64)> = None; // (epoch, block)
+    for block in 0..4096u64 {
+        if let Some(data) = disk.peek(block) {
+            let magic = u64::from_le_bytes(data[0..8].try_into().unwrap());
+            let e = u64::from_le_bytes(data[16..24].try_into().unwrap());
+            if magic == ROOT_MAGIC && best.is_none_or(|(be, _)| e > be) {
+                best = Some((e, block));
+            }
+        }
+    }
+    let (root_epoch, root_block) = best.expect("a full root exists");
+    disk.corrupt_bit(root_block, 24, 1); // corrupt the tree-root pointer
+
+    let mut vt = Vt::new(1);
+    let store = ObjectStore::open(&mut vt, &mut disk).unwrap();
+    let obj = store.lookup("o").unwrap();
+    let recovered = store.epoch(obj);
+    assert!(
+        recovered < root_epoch,
+        "recovery {recovered} must fall back below the corrupted root {root_epoch}"
+    );
+    // Deltas still present for the window after the *previous* root let
+    // recovery land close behind.
+    assert!(
+        recovered >= DELTA_SLOTS,
+        "the previous full root (epoch {DELTA_SLOTS}) must survive, got {recovered}"
+    );
+}
+
+#[test]
+fn corruption_in_a_data_block_does_not_break_recovery() {
+    // Data blocks are not checksummed by the store (the paper's store
+    // defers integrity to the device); corruption surfaces as wrong
+    // bytes, but recovery structure stays intact.
+    let n = 6;
+    let (mut disk, _) = build(n);
+    // Corrupt some block in the data region (past the metadata area).
+    let mut vt = Vt::new(1);
+    let mut store = ObjectStore::open(&mut vt, &mut disk).unwrap();
+    let obj = store.lookup("o").unwrap();
+    assert_eq!(store.epoch(obj), n);
+    // Find page 1's block via a read round trip before/after corruption.
+    let mut before = page_of(0);
+    store.read_page(&mut vt, &mut disk, obj, 1, &mut before).unwrap();
+    for block in 0..8192u64 {
+        if disk.peek(block).is_some_and(|d| d == &before[..]) {
+            disk.corrupt_bit(block, 5, 5);
+            break;
+        }
+    }
+    let mut after = page_of(0);
+    store.read_page(&mut vt, &mut disk, obj, 1, &mut after).unwrap();
+    assert_ne!(before, after, "corruption is visible in data");
+    assert_eq!(store.epoch(obj), n, "structure unaffected");
+}

@@ -1,0 +1,302 @@
+//! Property-based tests of the core invariants (DESIGN.md §6).
+
+use proptest::prelude::*;
+
+use msnap_disk::{Disk, DiskConfig, BLOCK_SIZE};
+use msnap_sim::{LatencyStats, Nanos, Vt, VthreadId};
+use msnap_store::{ObjectStore, RadixTree};
+use msnap_vm::{TrackMode, Vm, PAGE_SIZE};
+
+// ---- Radix tree ≅ BTreeMap --------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The COW radix tree behaves exactly like a map from page to block,
+    /// across arbitrary interleavings of set/get/commit.
+    #[test]
+    fn radix_tree_matches_model(ops in prop::collection::vec((0u64..100_000, 1u64..1_000_000), 1..200)) {
+        let mut tree = RadixTree::new();
+        let mut model = std::collections::BTreeMap::new();
+        let mut next_block = 1u64;
+        let mut writes = Vec::new();
+        for (i, (page, block)) in ops.iter().enumerate() {
+            let old = tree.set(*page, *block);
+            let model_old = model.insert(*page, *block);
+            prop_assert_eq!(old, model_old);
+            if i % 17 == 0 {
+                tree.commit(&mut || { next_block += 1; next_block + 10_000_000 }, &mut writes);
+            }
+        }
+        for (page, block) in &model {
+            prop_assert_eq!(tree.get(*page), Some(*block));
+        }
+        prop_assert_eq!(tree.pages().len(), model.len());
+    }
+
+    /// Committing and reloading a tree from its emitted blocks is an
+    /// identity, from any dirty state.
+    #[test]
+    fn radix_commit_reload_identity(pages in prop::collection::btree_set(0u64..50_000, 1..100)) {
+        let mut tree = RadixTree::new();
+        for (i, page) in pages.iter().enumerate() {
+            tree.set(*page, 1_000 + i as u64);
+        }
+        let mut next = 1u64;
+        let mut writes = Vec::new();
+        let root = tree.commit(&mut || { next += 1; next }, &mut writes);
+        let blocks: std::collections::HashMap<u64, Box<[u8]>> = writes.into_iter().collect();
+        let loaded = RadixTree::load(root, tree.len_pages(), &mut |b, out| {
+            out.copy_from_slice(&blocks[&b]);
+        });
+        prop_assert_eq!(loaded.pages(), tree.pages());
+    }
+}
+
+// ---- Object store crash serializability --------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After a crash at an arbitrary instant, recovery yields exactly the
+    /// state of a prefix of committed μCheckpoints, and that prefix
+    /// includes every checkpoint durable before the crash.
+    #[test]
+    fn store_crash_recovers_a_prefix(
+        commits in prop::collection::vec(prop::collection::vec(0u64..64, 1..6), 1..40),
+        crash_fraction in 0.0f64..1.0,
+    ) {
+        let mut disk = Disk::new(DiskConfig::paper());
+        let mut store = ObjectStore::format(&mut disk);
+        let mut vt = Vt::new(0);
+        let obj = store.create(&mut vt, &mut disk, "o").unwrap();
+        // The object exists durably from here; crash points before this
+        // instant would (correctly) lose the creation itself.
+        let created_at = vt.now();
+
+        // Apply the commits; page contents encode (epoch, page).
+        let mut completions = Vec::new();
+        for (epoch0, pages) in commits.iter().enumerate() {
+            let epoch = epoch0 as u64 + 1;
+            let images: Vec<Vec<u8>> = pages
+                .iter()
+                .map(|p| {
+                    let mut img = vec![0u8; BLOCK_SIZE];
+                    img[0..8].copy_from_slice(&epoch.to_le_bytes());
+                    img[8..16].copy_from_slice(&p.to_le_bytes());
+                    img
+                })
+                .collect();
+            let iov: Vec<(u64, &[u8])> =
+                pages.iter().zip(&images).map(|(p, img)| (*p, &img[..])).collect();
+            let token = store.persist(&mut vt, &mut disk, obj, &iov);
+            ObjectStore::wait(&mut vt, token);
+            completions.push(token.completes);
+        }
+
+        let end = vt.now();
+        let crash_at =
+            Nanos::from_ns((end.as_ns() as f64 * crash_fraction) as u64).max(created_at);
+        let durable_prefix = completions.iter().filter(|&&c| c <= crash_at).count();
+        disk.crash(crash_at);
+
+        let mut vt2 = Vt::new(1);
+        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let obj2 = store2.lookup("o").unwrap();
+        let recovered_epoch = store2.epoch(obj2) as usize;
+
+        prop_assert!(recovered_epoch <= commits.len());
+        prop_assert!(
+            recovered_epoch >= durable_prefix,
+            "recovered epoch {} < durable prefix {}",
+            recovered_epoch,
+            durable_prefix
+        );
+
+        // The recovered image equals the replay of the first
+        // `recovered_epoch` commits.
+        let mut model: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for (epoch0, pages) in commits.iter().take(recovered_epoch).enumerate() {
+            for p in pages {
+                model.insert(*p, epoch0 as u64 + 1);
+            }
+        }
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        for page in 0..64u64 {
+            store2.read_page(&mut vt2, &mut disk, obj2, page, &mut buf).unwrap();
+            let got_epoch = u64::from_le_bytes(buf[0..8].try_into().unwrap());
+            let got_page = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+            match model.get(&page) {
+                Some(&e) => {
+                    prop_assert_eq!(got_epoch, e, "page {}", page);
+                    prop_assert_eq!(got_page, page);
+                }
+                None => prop_assert_eq!(got_epoch, 0, "page {} should be empty", page),
+            }
+        }
+    }
+}
+
+// ---- VM per-thread isolation -------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dirty sets are per thread: each thread's take_dirty returns exactly
+    /// the distinct pages it dirtied, regardless of interleaving — as long
+    /// as threads touch disjoint pages (paper property (3), which the
+    /// databases enforce by locking).
+    #[test]
+    fn vm_dirty_sets_are_per_thread(
+        writes in prop::collection::vec((0u32..4, 0u64..64), 1..150),
+    ) {
+        let mut vm = Vm::new();
+        let space = vm.create_space();
+        // 4 threads own disjoint page ranges of one object.
+        let obj = vm.create_object(4 * 64);
+        vm.map(space, obj, 0x7000_0000_0000, TrackMode::Tracked).unwrap();
+        let mut vt = Vt::new(0);
+        let mut expected: Vec<std::collections::BTreeSet<u64>> =
+            vec![Default::default(); 4];
+        for (thread, page) in writes {
+            let global_page = thread as u64 * 64 + page;
+            vm.write(
+                &mut vt,
+                space,
+                VthreadId(thread),
+                0x7000_0000_0000 + global_page * PAGE_SIZE as u64,
+                &[1],
+            );
+            expected[thread as usize].insert(global_page);
+        }
+        for thread in 0..4u32 {
+            let dirty = vm.take_dirty(VthreadId(thread), None);
+            let got: std::collections::BTreeSet<u64> =
+                dirty.iter().map(|d| d.obj_page).collect();
+            prop_assert_eq!(got.len(), dirty.len(), "no duplicates");
+            prop_assert_eq!(&got, &expected[thread as usize], "thread {}", thread);
+        }
+    }
+
+    /// Write/read round trips through the VM at arbitrary (possibly
+    /// page-spanning) offsets.
+    #[test]
+    fn vm_write_read_round_trip(
+        offset in 0u64..60_000,
+        data in prop::collection::vec(any::<u8>(), 1..9_000),
+    ) {
+        let mut vm = Vm::new();
+        let space = vm.create_space();
+        let obj = vm.create_object(32);
+        vm.map(space, obj, 0x7000_0000_0000, TrackMode::Tracked).unwrap();
+        let mut vt = Vt::new(0);
+        let t = vt.id();
+        let offset = offset.min((32 * PAGE_SIZE - data.len()) as u64);
+        vm.write(&mut vt, space, t, 0x7000_0000_0000 + offset, &data);
+        let mut out = vec![0u8; data.len()];
+        vm.read(&mut vt, space, 0x7000_0000_0000 + offset, &mut out);
+        prop_assert_eq!(out, data);
+    }
+}
+
+// ---- Latency statistics accuracy ----------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Histogram percentiles stay within the documented ~5% relative
+    /// error of the exact order statistics.
+    #[test]
+    fn latency_stats_percentiles_accurate(
+        samples in prop::collection::vec(1u64..10_000_000, 10..500),
+    ) {
+        let mut stats = LatencyStats::new();
+        for &s in &samples {
+            stats.record(Nanos::from_ns(s));
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for p in [50.0, 90.0, 99.0] {
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            let exact = sorted[rank.saturating_sub(1).min(sorted.len() - 1)] as f64;
+            let approx = stats.percentile(p).as_ns() as f64;
+            prop_assert!(
+                (approx - exact).abs() / exact.max(1.0) < 0.05,
+                "p{}: approx {} vs exact {}",
+                p,
+                approx,
+                exact
+            );
+        }
+        prop_assert_eq!(stats.count(), samples.len() as u64);
+        prop_assert_eq!(stats.max().as_ns(), *sorted.last().unwrap());
+        prop_assert_eq!(stats.min().as_ns(), sorted[0]);
+    }
+}
+
+// ---- Skip index ≅ BTreeMap ----------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The skip index is a faithful ordered map.
+    #[test]
+    fn skiplist_matches_model(ops in prop::collection::vec((0u64..500, 0u64..1000), 1..300)) {
+        use msnap_skipdb::SkipIndex;
+        let mut index = SkipIndex::new(u64::MAX);
+        let mut model = std::collections::BTreeMap::new();
+        let mut vt = Vt::new(0);
+        for (key, payload) in ops {
+            index.insert(&mut vt, key, payload);
+            model.insert(key, payload);
+        }
+        prop_assert_eq!(index.len(), model.len());
+        let got: Vec<(u64, u64)> = index.iter_from(&mut vt, 0).map(|(k, p)| (k, *p)).collect();
+        let want: Vec<(u64, u64)> = model.iter().map(|(k, p)| (*k, *p)).collect();
+        prop_assert_eq!(got, want);
+        for (k, v) in &model {
+            prop_assert_eq!(index.find(&mut vt, *k), Some(v));
+        }
+    }
+}
+
+// ---- WAL crash prefix -----------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// WAL replay after a crash yields a prefix of appended records that
+    /// covers at least everything synced before the crash.
+    #[test]
+    fn wal_replay_is_a_covering_prefix(
+        batches in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..60), 1..20),
+        crash_fraction in 0.0f64..1.0,
+    ) {
+        use msnap_fs::{FileSystem, FsKind, WriteAheadLog};
+        let mut disk = Disk::new(DiskConfig::paper());
+        let mut fs = FileSystem::new(FsKind::Ffs);
+        let mut vt = Vt::new(0);
+        let mut wal = WriteAheadLog::create(&mut vt, &mut fs, "wal");
+        let mut synced_at = Vec::new();
+        for (i, payload) in batches.iter().enumerate() {
+            let mut record = vec![i as u8];
+            record.extend_from_slice(payload);
+            wal.append(&mut vt, &mut disk, &mut fs, &record);
+            wal.sync(&mut vt, &mut disk, &mut fs);
+            synced_at.push(vt.now());
+        }
+        let end = vt.now();
+        let crash_at = Nanos::from_ns((end.as_ns() as f64 * crash_fraction) as u64);
+        let durable = synced_at.iter().filter(|&&c| c <= crash_at).count();
+        disk.crash(crash_at);
+        fs.discard_cache(&disk);
+
+        let mut wal2 = WriteAheadLog::attach(&fs, "wal").unwrap();
+        let records = wal2.replay(&mut vt, &mut disk, &mut fs);
+        prop_assert!(records.len() >= durable, "lost a synced record");
+        prop_assert!(records.len() <= batches.len());
+        for (i, r) in records.iter().enumerate() {
+            prop_assert_eq!(r.payload[0], i as u8, "replay must be in order");
+        }
+    }
+}
