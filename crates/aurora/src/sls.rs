@@ -279,7 +279,15 @@ impl Aurora {
     ) -> CheckpointReport {
         let start = vt.now();
         let (mapping_pages, extra) = (self.regions[region.0 as usize].pages, 0u64);
-        let report = self.checkpoint_inner(vt, region, threads_running, sync, mapping_pages + extra, Nanos::ZERO, start);
+        let report = self.checkpoint_inner(
+            vt,
+            region,
+            threads_running,
+            sync,
+            mapping_pages + extra,
+            Nanos::ZERO,
+            start,
+        );
         self.meters.record("checkpoint", vt.now() - start);
         report
     }
@@ -384,13 +392,19 @@ impl Aurora {
             .iter()
             .map(|&p| {
                 let off = (p as usize) * PAGE_SIZE;
-                (p, &self.regions[region.0 as usize].data[off..off + PAGE_SIZE])
+                (
+                    p,
+                    &self.regions[region.0 as usize].data[off..off + PAGE_SIZE],
+                )
             })
             .collect();
         let completes = if images.is_empty() {
             vt.now()
         } else {
-            let token = self.store.persist(vt, &mut self.disk, store_obj, &images);
+            let token = self
+                .store
+                .persist(vt, &mut self.disk, store_obj, &images)
+                .expect("the Aurora baseline does not run under fault injection");
             token.completes
         };
         let flush_io = (completes - io_start).max(Nanos::ZERO);

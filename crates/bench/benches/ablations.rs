@@ -17,7 +17,10 @@ fn ablate_delta_commits() {
         "100 single-page μCheckpoints to scattered pages of one object.",
     );
     let mut rows = Vec::new();
-    for (label, delta) in [("delta records (default)", true), ("full root every commit", false)] {
+    for (label, delta) in [
+        ("delta records (default)", true),
+        ("full root every commit", false),
+    ] {
         let mut disk = Disk::new(DiskConfig::paper());
         let mut store = ObjectStore::format(&mut disk);
         store.set_delta_commits(delta);
@@ -26,7 +29,9 @@ fn ablate_delta_commits() {
         let page = vec![7u8; BLOCK_SIZE];
         let t0 = vt.now();
         for i in 0..100u64 {
-            let token = store.persist(&mut vt, &mut disk, obj, &[((i * 997) % 4096, &page[..])]);
+            let token = store
+                .persist(&mut vt, &mut disk, obj, &[((i * 997) % 4096, &page[..])])
+                .unwrap();
             ObjectStore::wait(&mut vt, token);
         }
         rows.push(vec![
@@ -36,7 +41,15 @@ fn ablate_delta_commits() {
             format!("{}", store.stats().nodes_written),
         ]);
     }
-    table(&["commit protocol", "latency us", "bytes/commit", "node blocks"], &rows);
+    table(
+        &[
+            "commit protocol",
+            "latency us",
+            "bytes/commit",
+            "node blocks",
+        ],
+        &rows,
+    );
 }
 
 /// Ablation 2: per-thread vs global dirty-set persistence.
@@ -47,7 +60,10 @@ fn ablate_global_flag() {
          persistence writes only the committer's data.",
     );
     let mut rows = Vec::new();
-    for (label, global) in [("per-thread (memsnap)", false), ("MS_GLOBAL (SLS semantics)", true)] {
+    for (label, global) in [
+        ("per-thread (memsnap)", false),
+        ("MS_GLOBAL (SLS semantics)", true),
+    ] {
         let mut ms = MemSnap::format(Disk::new(DiskConfig::paper()));
         let mut vt = Vt::new(0);
         let space = ms.vm_mut().create_space();
@@ -95,28 +111,39 @@ fn ablate_cip_cow() {
     let space = ms.vm_mut().create_space();
     let r = ms.msnap_open(&mut vt, space, "r", 64).unwrap();
     let thread = vt.id();
-    ms.write(&mut vt, space, thread, r.addr, &[1u8; PAGE_SIZE]).unwrap();
+    ms.write(&mut vt, space, thread, r.addr, &[1u8; PAGE_SIZE])
+        .unwrap();
     let epoch = ms
-        .msnap_persist(&mut vt, thread, RegionSel::Region(r.md), PersistFlags::async_())
+        .msnap_persist(
+            &mut vt,
+            thread,
+            RegionSel::Region(r.md),
+            PersistFlags::async_(),
+        )
         .unwrap();
 
     // COW path (what MemSnap does): the write proceeds immediately.
     let t0 = vt.now();
-    ms.write(&mut vt, space, thread, r.addr + 8, &[2u8; 16]).unwrap();
+    ms.write(&mut vt, space, thread, r.addr + 8, &[2u8; 16])
+        .unwrap();
     let cow_cost = vt.now() - t0;
 
     // Stall path (what a lock-the-page design would do): wait for the
     // in-flight IO before writing.
     let mut stall_vt = Vt::new(1);
     stall_vt.wait_until(t0);
-    ms.msnap_wait(&mut stall_vt, RegionSel::Region(r.md), epoch).unwrap();
+    ms.msnap_wait(&mut stall_vt, RegionSel::Region(r.md), epoch)
+        .unwrap();
     let stall_cost = (stall_vt.now() - t0) + Nanos::from_ns(200 /* the write itself */);
 
     table(
         &["policy", "hot-page rewrite latency us"],
         &[
             vec!["unified COW (memsnap)".into(), us(cow_cost.as_us_f64())],
-            vec!["stall until IO completes".into(), us(stall_cost.as_us_f64())],
+            vec![
+                "stall until IO completes".into(),
+                us(stall_cost.as_us_f64()),
+            ],
         ],
     );
     println!();
@@ -146,7 +173,7 @@ fn ablate_memtable_rotation() {
         let mut kv = MemSnapKv::format(Disk::new(DiskConfig::paper()), 1 << 14, &mut vt);
         let t0 = vt.now();
         for i in 0..puts {
-            kv.put(&mut vt, (i * 7919) % keys, &[1u8; 100]);
+            kv.put(&mut vt, (i * 7919) % keys, &[1u8; 100]).unwrap();
         }
         let wall = vt.now() - t0;
         rows.push(vec![
@@ -161,7 +188,7 @@ fn ablate_memtable_rotation() {
         let mut kv = RotatingMemSnapKv::format(Disk::new(DiskConfig::paper()), 1024, 512, &mut vt);
         let t0 = vt.now();
         for i in 0..puts {
-            kv.put(&mut vt, (i * 7919) % keys, &[1u8; 100]);
+            kv.put(&mut vt, (i * 7919) % keys, &[1u8; 100]).unwrap();
         }
         let wall = vt.now() - t0;
         rows.push(vec![

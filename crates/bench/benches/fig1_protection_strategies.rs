@@ -54,7 +54,15 @@ fn main() {
         }
         rows.push(cells);
     }
-    table(&["dirty KiB", "full-table scan", "per-page walk", "trace buffer"], &rows);
+    table(
+        &[
+            "dirty KiB",
+            "full-table scan",
+            "per-page walk",
+            "trace buffer",
+        ],
+        &rows,
+    );
     println!();
     println!(
         "Shape checks: the scan is flat and expensive regardless of dirty \

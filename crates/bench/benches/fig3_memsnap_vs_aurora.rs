@@ -16,23 +16,38 @@ fn memsnap_latency(pages: u64) -> f64 {
     let mut ms = MemSnap::format(Disk::new(DiskConfig::paper()));
     let mut vt = Vt::new(0);
     let space = ms.vm_mut().create_space();
-    let r = ms.msnap_open(&mut vt, space, "region", REGION_PAGES).unwrap();
+    let r = ms
+        .msnap_open(&mut vt, space, "region", REGION_PAGES)
+        .unwrap();
     let thread = vt.id();
     for i in 0..pages {
         let page = (i * 7919 + 3) % REGION_PAGES;
-        ms.write(&mut vt, space, thread, r.addr + page * PAGE_SIZE as u64, &[1u8; 32])
-            .unwrap();
+        ms.write(
+            &mut vt,
+            space,
+            thread,
+            r.addr + page * PAGE_SIZE as u64,
+            &[1u8; 32],
+        )
+        .unwrap();
     }
     let t0 = vt.now();
-    ms.msnap_persist(&mut vt, thread, RegionSel::Region(r.md), PersistFlags::sync())
-        .unwrap();
+    ms.msnap_persist(
+        &mut vt,
+        thread,
+        RegionSel::Region(r.md),
+        PersistFlags::sync(),
+    )
+    .unwrap();
     (vt.now() - t0).as_us_f64()
 }
 
 fn aurora_latency(pages: u64, app: bool) -> f64 {
     let mut aurora = Aurora::format(Disk::new(DiskConfig::paper()));
     let mut vt = Vt::new(0);
-    let region = aurora.create_region(&mut vt, "region", REGION_PAGES).unwrap();
+    let region = aurora
+        .create_region(&mut vt, "region", REGION_PAGES)
+        .unwrap();
     for i in 0..pages {
         let page = (i * 7919 + 3) % REGION_PAGES;
         aurora.write(&mut vt, region, page * PAGE_SIZE as u64, &[1u8; 32]);
@@ -68,7 +83,14 @@ fn main() {
         ]);
     }
     table(
-        &["dirty KiB", "memsnap", "aurora region", "aurora app", "region/ms", "app/ms"],
+        &[
+            "dirty KiB",
+            "memsnap",
+            "aurora region",
+            "aurora app",
+            "region/ms",
+            "app/ms",
+        ],
         &rows,
     );
     println!();

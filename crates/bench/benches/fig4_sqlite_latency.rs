@@ -23,8 +23,12 @@ fn run(memsnap: bool, txn_bytes: usize, order: KeyOrder) -> DbbenchReport {
         );
         LiteDb::new(Box::new(be), &mut vt)
     } else {
-        let be =
-            FileBackend::format(Disk::new(DiskConfig::paper()), FsKind::Ffs, "bench.db", &mut vt);
+        let be = FileBackend::format(
+            Disk::new(DiskConfig::paper()),
+            FsKind::Ffs,
+            "bench.db",
+            &mut vt,
+        );
         LiteDb::new(Box::new(be), &mut vt)
     };
     run_dbbench(
@@ -65,7 +69,14 @@ fn main() {
             ]);
         }
         table(
-            &["txn size", "msnap avg", "msnap p99", "wal avg", "wal p99", "avg ratio"],
+            &[
+                "txn size",
+                "msnap avg",
+                "msnap p99",
+                "wal avg",
+                "wal p99",
+                "avg ratio",
+            ],
             &rows,
         );
     }

@@ -22,8 +22,12 @@ fn run(memsnap: bool, subscribers: u64) -> f64 {
         );
         LiteDb::new(Box::new(be), &mut vt)
     } else {
-        let be =
-            FileBackend::format(Disk::new(DiskConfig::paper()), FsKind::Ffs, "tatp.db", &mut vt);
+        let be = FileBackend::format(
+            Disk::new(DiskConfig::paper()),
+            FsKind::Ffs,
+            "tatp.db",
+            &mut vt,
+        );
         LiteDb::new(Box::new(be), &mut vt)
     };
     let tables = setup_tatp(&mut db, &mut vt, subscribers);

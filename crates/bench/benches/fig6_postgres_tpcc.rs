@@ -40,13 +40,24 @@ fn main() {
             format!("{:.0}", report.tps),
             format!("{:+.1}%", (report.tps / baseline_tps - 1.0) * 100.0),
             format!("{:.1}", report.io.write_mib_s),
-            format!("{:.0}", report.io.bytes_written as f64 / report.txns as f64 / 1024.0),
+            format!(
+                "{:.0}",
+                report.io.bytes_written as f64 / report.txns as f64 / 1024.0
+            ),
             format!("{:.0}", report.io.iops),
             format!("{}", report.checkpoints),
         ]);
     }
     table(
-        &["variant", "tps", "vs baseline", "write MiB/s", "KiB/txn", "IO/s", "ckpts"],
+        &[
+            "variant",
+            "tps",
+            "vs baseline",
+            "write MiB/s",
+            "KiB/txn",
+            "IO/s",
+            "ckpts",
+        ],
         &rows,
     );
     println!();

@@ -29,8 +29,13 @@ fn build(pages: u64, batch: u64) -> Disk {
             .unwrap();
             page += 1;
         }
-        ms.msnap_persist(&mut vt, thread, RegionSel::Region(region.md), PersistFlags::sync())
-            .unwrap();
+        ms.msnap_persist(
+            &mut vt,
+            thread,
+            RegionSel::Region(region.md),
+            PersistFlags::sync(),
+        )
+        .unwrap();
     }
     ms.shutdown()
 }
@@ -70,7 +75,13 @@ fn main() {
         ]);
     }
     table(
-        &["dataset", "pages/commit", "store open us", "page-in us", "total us"],
+        &[
+            "dataset",
+            "pages/commit",
+            "store open us",
+            "page-in us",
+            "total us",
+        ],
         &rows,
     );
     println!();

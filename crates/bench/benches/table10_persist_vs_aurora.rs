@@ -18,22 +18,42 @@ fn main() {
     let mut ms = MemSnap::format(Disk::new(DiskConfig::paper()));
     let mut vt = Vt::new(0);
     let space = ms.vm_mut().create_space();
-    let r = ms.msnap_open(&mut vt, space, "memtable", 16 * 1024).unwrap();
+    let r = ms
+        .msnap_open(&mut vt, space, "memtable", 16 * 1024)
+        .unwrap();
     let thread = vt.id();
     for i in 0..16u64 {
-        ms.write(&mut vt, space, thread, r.addr + i * 11 * PAGE_SIZE as u64, &[1u8; PAGE_SIZE])
-            .unwrap();
-    }
-    ms.msnap_persist(&mut vt, thread, RegionSel::Region(r.md), PersistFlags::sync())
+        ms.write(
+            &mut vt,
+            space,
+            thread,
+            r.addr + i * 11 * PAGE_SIZE as u64,
+            &[1u8; PAGE_SIZE],
+        )
         .unwrap();
+    }
+    ms.msnap_persist(
+        &mut vt,
+        thread,
+        RegionSel::Region(r.md),
+        PersistFlags::sync(),
+    )
+    .unwrap();
     let b = ms.last_persist_breakdown();
 
     // Aurora side.
     let mut aurora = Aurora::format(Disk::new(DiskConfig::paper()));
     let mut avt = Vt::new(0);
-    let region = aurora.create_region(&mut avt, "memtable", 16 * 1024).unwrap();
+    let region = aurora
+        .create_region(&mut avt, "memtable", 16 * 1024)
+        .unwrap();
     for i in 0..16u64 {
-        aurora.write(&mut avt, region, i * 11 * PAGE_SIZE as u64, &[2u8; PAGE_SIZE]);
+        aurora.write(
+            &mut avt,
+            region,
+            i * 11 * PAGE_SIZE as u64,
+            &[2u8; PAGE_SIZE],
+        );
     }
     let rep = aurora.checkpoint_region(&mut avt, region, 12, true);
 
@@ -55,7 +75,10 @@ fn main() {
             ],
             vec![
                 "Flush IO".into(),
-                format!("{} (46.3)", us((b.initiating_writes + b.waiting_on_io).as_us_f64())),
+                format!(
+                    "{} (46.3)",
+                    us((b.initiating_writes + b.waiting_on_io).as_us_f64())
+                ),
                 format!("{} (27.9)", us(rep.flush_io.as_us_f64())),
             ],
             vec![

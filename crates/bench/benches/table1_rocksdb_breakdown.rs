@@ -57,8 +57,7 @@ fn main() {
     }
     table(&["side", "task", "paper %", "measured %"], &rows);
 
-    let user =
-        (report.costs.userspace_total() - report.costs.get(Category::IoWait)).as_ns() as f64;
+    let user = (report.costs.userspace_total() - report.costs.get(Category::IoWait)).as_ns() as f64;
     let kernel = report.costs.kernel_total().as_ns() as f64;
     println!();
     println!(

@@ -18,7 +18,9 @@ fn main() {
 
     let mut aurora = Aurora::format(Disk::new(DiskConfig::paper()));
     let mut vt = Vt::new(0);
-    let region = aurora.create_region(&mut vt, "memtable", 16 * 1024).unwrap();
+    let region = aurora
+        .create_region(&mut vt, "memtable", 16 * 1024)
+        .unwrap();
 
     for i in 0..16u64 {
         aurora.write(&mut vt, region, i * 7 * PAGE_SIZE as u64, &[2u8; PAGE_SIZE]);

@@ -21,7 +21,8 @@ fn verify_memsnap() -> (bool, bool, bool) {
     // thread 1's set intact.
     let (t0, t1) = (VthreadId(0), VthreadId(1));
     ms.write(&mut vt, space, t0, r.addr, &[1]).unwrap();
-    ms.write(&mut vt, space, t1, r.addr + PAGE_SIZE as u64, &[2]).unwrap();
+    ms.write(&mut vt, space, t1, r.addr + PAGE_SIZE as u64, &[2])
+        .unwrap();
     let start = vt.now();
     ms.msnap_persist(&mut vt, t0, RegionSel::Region(r.md), PersistFlags::sync())
         .unwrap();
@@ -45,8 +46,20 @@ fn main() {
     table(
         &["system", "subset", "atomic", "per-thread", "<1 ms"],
         &[
-            vec!["fsync".into(), "No".into(), "No".into(), "No".into(), "Yes".into()],
-            vec!["msync".into(), "Contig.".into(), "No".into(), "No".into(), "Yes".into()],
+            vec![
+                "fsync".into(),
+                "No".into(),
+                "No".into(),
+                "No".into(),
+                "Yes".into(),
+            ],
+            vec![
+                "msync".into(),
+                "Contig.".into(),
+                "No".into(),
+                "No".into(),
+                "Yes".into(),
+            ],
             vec![
                 "atomic msync".into(),
                 "Contig.".into(),
@@ -54,7 +67,13 @@ fn main() {
                 "No".into(),
                 "No".into(),
             ],
-            vec!["Aurora".into(), "Contig.".into(), "Yes".into(), "No".into(), "No".into()],
+            vec![
+                "Aurora".into(),
+                "Contig.".into(),
+                "Yes".into(),
+                "No".into(),
+                "No".into(),
+            ],
             vec![
                 "memsnap".into(),
                 yes_no(subset),
@@ -64,7 +83,10 @@ fn main() {
             ],
         ],
     );
-    assert!(subset && per_thread && sub_ms, "memsnap capability regression");
+    assert!(
+        subset && per_thread && sub_ms,
+        "memsnap capability regression"
+    );
     println!();
     println!("memsnap capabilities verified mechanically: OK");
 }

@@ -27,8 +27,13 @@ fn main() {
         )
         .unwrap();
     }
-    ms.msnap_persist(&mut vt, thread, RegionSel::Region(r.md), PersistFlags::sync())
-        .unwrap();
+    ms.msnap_persist(
+        &mut vt,
+        thread,
+        RegionSel::Region(r.md),
+        PersistFlags::sync(),
+    )
+    .unwrap();
     let b = ms.last_persist_breakdown();
 
     table(
@@ -42,7 +47,10 @@ fn main() {
                 "Initiating Writes".into(),
                 vs(6.5, b.initiating_writes.as_us_f64()),
             ],
-            vec!["Waiting on IO".into(), vs(39.7, b.waiting_on_io.as_us_f64())],
+            vec![
+                "Waiting on IO".into(),
+                vs(39.7, b.waiting_on_io.as_us_f64()),
+            ],
             vec!["Total".into(), vs(51.4, b.total().as_us_f64())],
         ],
     );

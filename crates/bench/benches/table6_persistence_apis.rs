@@ -26,7 +26,9 @@ const PAPER: &[(usize, f64, f64, f64, f64, f64, f64, f64)] = &[
     (512, 0.0, 338.0, 672.0, 12_600.0, 15_600.0, 168.0, 23.0),
     (1024, 0.0, 581.0, 937.0, 17_900.0, 18_200.0, 297.0, 36.0),
     (2048, 0.0, 1_100.0, 1_700.0, 23_500.0, 20_200.0, 552.0, 57.0),
-    (4096, 0.0, 1_900.0, 3_000.0, 33_700.0, 30_900.0, 1_000.0, 108.0),
+    (
+        4096, 0.0, 1_900.0, 3_000.0, 33_700.0, 30_900.0, 1_000.0, 108.0,
+    ),
 ];
 
 fn fsync_us(kind: FsKind, kib: usize, random: bool) -> f64 {
@@ -57,7 +59,9 @@ fn memsnap_us(kib: usize, sync: bool) -> f64 {
     let mut vt = Vt::new(0);
     let space = ms.vm_mut().create_space();
     let region_pages = (SPREAD_KIB * 1024 / PAGE_SIZE) as u64;
-    let r = ms.msnap_open(&mut vt, space, "bench", region_pages).unwrap();
+    let r = ms
+        .msnap_open(&mut vt, space, "bench", region_pages)
+        .unwrap();
     let thread = vt.id();
     let pages = kib * 1024 / PAGE_SIZE;
     for i in 0..pages {
@@ -98,9 +102,7 @@ fn main() {
     for &(kib, p_disk, p_ffs_s, p_zfs_s, p_ffs_r, p_zfs_r, p_sync, p_async) in PAPER {
         assert!(SIZES_KIB.contains(&kib));
         let disk_us = if kib <= 64 {
-            DiskConfig::paper()
-                .segment_latency(kib * 1024)
-                .as_us_f64()
+            DiskConfig::paper().segment_latency(kib * 1024).as_us_f64()
         } else {
             0.0
         };

@@ -25,7 +25,12 @@ fn run(memsnap: bool, txn_bytes: usize, order: KeyOrder) -> DbbenchReport {
         );
         LiteDb::new(Box::new(be), &mut vt)
     } else {
-        let be = FileBackend::format(Disk::new(DiskConfig::paper()), FsKind::Ffs, "bench.db", &mut vt);
+        let be = FileBackend::format(
+            Disk::new(DiskConfig::paper()),
+            FsKind::Ffs,
+            "bench.db",
+            &mut vt,
+        );
         LiteDb::new(Box::new(be), &mut vt)
     };
     run_dbbench(

@@ -24,8 +24,12 @@ fn run(memsnap: bool, order: KeyOrder) -> DbbenchReport {
         );
         LiteDb::new(Box::new(be), &mut vt)
     } else {
-        let be =
-            FileBackend::format(Disk::new(DiskConfig::paper()), FsKind::Ffs, "bench.db", &mut vt);
+        let be = FileBackend::format(
+            Disk::new(DiskConfig::paper()),
+            FsKind::Ffs,
+            "bench.db",
+            &mut vt,
+        );
         LiteDb::new(Box::new(be), &mut vt)
     };
     run_dbbench(
@@ -42,7 +46,10 @@ fn run(memsnap: bool, order: KeyOrder) -> DbbenchReport {
 }
 
 fn pct(report: &DbbenchReport, t: Nanos) -> String {
-    format!("{:.2}%", t.as_ns() as f64 / report.wall.as_ns() as f64 * 100.0)
+    format!(
+        "{:.2}%",
+        t.as_ns() as f64 / report.wall.as_ns() as f64 * 100.0
+    )
 }
 
 fn main() {
@@ -122,7 +129,11 @@ fn main() {
         println!(
             "  speedup: {:.1}x (paper: {})",
             fb.wall.as_ns() as f64 / ms.wall.as_ns() as f64,
-            if order == KeyOrder::Random { "4.9x" } else { "1.7x" }
+            if order == KeyOrder::Random {
+                "4.9x"
+            } else {
+                "1.7x"
+            }
         );
     }
 }

@@ -63,7 +63,12 @@ fn main() {
         ]
     };
     table(
-        &["configuration", "Kops (paper)", "avg us (paper)", "p99 us (paper)"],
+        &[
+            "configuration",
+            "Kops (paper)",
+            "avg us (paper)",
+            "p99 us (paper)",
+        ],
         &[
             row("memsnap", (420.7, 138.9, 239.6), &ms),
             row("Baseline+WAL", (388.0, 162.7, 248.4), &wal),

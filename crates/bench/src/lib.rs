@@ -60,7 +60,12 @@ pub fn vs(paper: f64, measured: f64) -> String {
     if paper == 0.0 {
         return format!("- / {}", us(measured));
     }
-    format!("{} / {} ({:+.0}%)", us(paper), us(measured), (measured / paper - 1.0) * 100.0)
+    format!(
+        "{} / {} ({:+.0}%)",
+        us(paper),
+        us(measured),
+        (measured / paper - 1.0) * 100.0
+    )
 }
 
 #[cfg(test)]

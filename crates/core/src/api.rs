@@ -49,6 +49,12 @@ pub struct MemSnap {
     strategy: ResetStrategy,
     /// Durability instants: per-selector epoch → completion time.
     completions: HashMap<RegionSel, BTreeMap<Epoch, Nanos>>,
+    /// Sticky per-region persist failures (fsync-gate semantics): once a
+    /// μCheckpoint fails, the region's error is reported by every
+    /// subsequent `msnap_persist`/`msnap_wait` until the application
+    /// acknowledges it with [`MemSnap::msnap_ack_error`]. Never silently
+    /// cleared.
+    sticky: BTreeMap<u32, MsnapError>,
     all_epoch: Epoch,
     meters: Meters,
     last_breakdown: PersistBreakdown,
@@ -81,11 +87,13 @@ impl MemSnap {
             next_va: REGION_VA_BASE,
             strategy: ResetStrategy::TraceBuffer,
             completions: HashMap::new(),
+            sticky: BTreeMap::new(),
             all_epoch: 0,
             meters: Meters::new(),
             last_breakdown: PersistBreakdown::default(),
         };
-        ms.persist_manifest(&mut vt);
+        ms.persist_manifest(&mut vt)
+            .expect("formatting a faulty device is unsupported");
         ms
     }
 
@@ -99,7 +107,9 @@ impl MemSnap {
     /// [`MsnapError::Store`] if the device holds no formatted store.
     pub fn restore(vt: &mut Vt, mut disk: Disk) -> Result<Self, MsnapError> {
         let mut store = ObjectStore::open(vt, &mut disk)?;
-        let manifest_obj = store.lookup(MANIFEST_NAME).ok_or(MsnapError::BadDescriptor)?;
+        let manifest_obj = store
+            .lookup(MANIFEST_NAME)
+            .ok_or(MsnapError::BadDescriptor)?;
         let manifest = Manifest::decode(&mut |page, out| {
             store
                 .read_page(vt, &mut disk, manifest_obj, page, &mut out[..])
@@ -116,6 +126,7 @@ impl MemSnap {
             next_va: REGION_VA_BASE,
             strategy: ResetStrategy::TraceBuffer,
             completions: HashMap::new(),
+            sticky: BTreeMap::new(),
             all_epoch: 0,
             meters: Meters::new(),
             last_breakdown: PersistBreakdown::default(),
@@ -153,6 +164,14 @@ impl MemSnap {
         disk
     }
 
+    /// Consumes the instance and returns the device as-is, with its undo
+    /// journal intact — neither crashed nor settled. This is the shape
+    /// [`msnap_disk::crash_at_every_io`] needs: the sweep driver decides
+    /// the crash instant itself.
+    pub fn into_disk(self) -> Disk {
+        self.disk
+    }
+
     /// Gracefully shuts down, declaring all submitted IO durable.
     pub fn shutdown(self) -> Disk {
         let mut disk = self.disk;
@@ -178,6 +197,18 @@ impl MemSnap {
     /// Resets device IO statistics (benchmark warm-up boundary).
     pub fn reset_disk_stats(&mut self) {
         self.disk.reset_stats();
+    }
+
+    /// Installs a deterministic fault plan on the underlying device
+    /// (robustness testing; see [`msnap_disk::FaultPlan`]).
+    pub fn set_fault_plan(&mut self, plan: msnap_disk::FaultPlan) {
+        self.disk.set_fault_plan(plan);
+    }
+
+    /// Removes the active fault plan, returning the injector with its log
+    /// of applied faults.
+    pub fn clear_fault_plan(&mut self) -> Option<msnap_disk::FaultInjector> {
+        self.disk.clear_fault_plan()
     }
 
     /// The object store (epochs, commit statistics).
@@ -262,7 +293,7 @@ impl MemSnap {
             populated: true,
         });
         self.by_name.insert(name.to_string(), md);
-        self.persist_manifest(vt);
+        self.persist_manifest(vt)?;
         Ok(RegionHandle { md, addr, pages })
     }
 
@@ -345,6 +376,11 @@ impl MemSnap {
     /// # Errors
     ///
     /// [`MsnapError::BadDescriptor`] for an unknown region.
+    /// [`MsnapError::Store`] when the μCheckpoint IO fails or the device
+    /// is out of space; the error is then *sticky* for the affected
+    /// region (reported by every later persist/wait until acknowledged
+    /// via [`MemSnap::msnap_ack_error`]) and the failed pages remain
+    /// dirty, so an acknowledged retry persists them.
     pub fn msnap_persist(
         &mut self,
         vt: &mut Vt,
@@ -354,6 +390,9 @@ impl MemSnap {
     ) -> Result<Epoch, MsnapError> {
         let start = vt.now();
         vt.charge(Category::Memsnap, SYSCALL_COST);
+        if let Some(e) = self.sticky_error(sel) {
+            return Err(e);
+        }
 
         let filter = match sel {
             RegionSel::All => None,
@@ -392,28 +431,50 @@ impl MemSnap {
         let mut epoch_for_sel: Epoch = 0;
         let mut all_entries: Vec<DirtyPage> = Vec::new();
         let mut total_pages = 0u64;
+        let mut failure: Option<MsnapError> = None;
         for (obj, group) in by_obj {
             let region_idx = self
                 .regions
                 .iter()
                 .position(|r| r.vm_obj.0 == obj)
                 .expect("dirty pages in tracked mappings belong to regions");
+            if failure.is_some() {
+                // A prior region already failed: leave the rest dirty and
+                // untouched rather than checkpointing half the selector.
+                self.vm.untake_dirty(thread, group);
+                continue;
+            }
             let store_obj = self.regions[region_idx].store_obj;
             let pages: Vec<(u64, &[u8])> = group
                 .iter()
                 .map(|e| (e.obj_page, self.vm.page_bytes(e)))
                 .collect();
             total_pages += pages.len() as u64;
-            let token = self.store.persist(vt, &mut self.disk, store_obj, &pages);
-            max_completes = max_completes.max(token.completes);
-            self.completions
-                .entry(RegionSel::Region(Md(region_idx as u32)))
-                .or_default()
-                .insert(token.epoch, token.completes);
-            if sel == RegionSel::Region(Md(region_idx as u32)) {
-                epoch_for_sel = token.epoch;
+            let result = self.store.persist(vt, &mut self.disk, store_obj, &pages);
+            drop(pages);
+            match result {
+                Ok(token) => {
+                    max_completes = max_completes.max(token.completes);
+                    self.completions
+                        .entry(RegionSel::Region(Md(region_idx as u32)))
+                        .or_default()
+                        .insert(token.epoch, token.completes);
+                    if sel == RegionSel::Region(Md(region_idx as u32)) {
+                        epoch_for_sel = token.epoch;
+                    }
+                    all_entries.extend(group);
+                }
+                Err(e) => {
+                    // The store aborted cleanly: the durable image still
+                    // holds the previous epoch. Arm the fsync gate and
+                    // keep the pages dirty for a post-ack retry.
+                    total_pages -= group.len() as u64;
+                    let err = MsnapError::from(e);
+                    self.sticky.insert(region_idx as u32, err.clone());
+                    self.vm.untake_dirty(thread, group);
+                    failure = Some(err);
+                }
             }
-            all_entries.extend(group);
         }
         let initiating = vt.now() - t_init;
 
@@ -424,6 +485,21 @@ impl MemSnap {
         } else {
             self.vm.reset_protection(vt, &all_entries, self.strategy)
         };
+
+        if let Some(e) = failure {
+            // Regions persisted before the failure stay committed (their
+            // completions are recorded above); the selector's epoch does
+            // not advance and the caller sees the error now — and again on
+            // every persist/wait until acknowledged.
+            self.last_breakdown = PersistBreakdown {
+                resetting_tracking: resetting,
+                initiating_writes: initiating,
+                waiting_on_io: Nanos::ZERO,
+                pages: total_pages,
+            };
+            self.meters.record("msnap_persist", vt.now() - start);
+            return Err(e);
+        }
 
         // Epoch bookkeeping for the all-regions selector.
         self.all_epoch += 1;
@@ -463,7 +539,11 @@ impl MemSnap {
     /// # Errors
     ///
     /// [`MsnapError::BadDescriptor`] if `epoch` was never issued for
-    /// `sel`.
+    /// `sel`; the sticky error of a failed μCheckpoint (see
+    /// [`MemSnap::msnap_persist`]) until it is acknowledged — waiting on
+    /// an epoch that predates the failure still reports the failure, the
+    /// moral equivalent of fsync-gate: durability cannot be assumed past
+    /// an unacknowledged error.
     pub fn msnap_wait(
         &mut self,
         vt: &mut Vt,
@@ -471,6 +551,9 @@ impl MemSnap {
         epoch: Epoch,
     ) -> Result<(), MsnapError> {
         vt.charge(Category::Memsnap, SYSCALL_COST);
+        if let Some(e) = self.sticky_error(sel) {
+            return Err(e);
+        }
         let map = self.completions.get(&sel);
         let completes = match map.and_then(|m| m.get(&epoch)) {
             Some(&t) => t,
@@ -491,8 +574,41 @@ impl MemSnap {
         Ok(())
     }
 
+    /// The sticky error covering `sel`, if any. `RegionSel::All` reports
+    /// the failure of any region (a whole-application persist cannot be
+    /// durable while one region's μCheckpoint is known-failed).
+    fn sticky_error(&self, sel: RegionSel) -> Option<MsnapError> {
+        match sel {
+            RegionSel::Region(md) => self.sticky.get(&md.0).cloned(),
+            RegionSel::All => self.sticky.values().next().cloned(),
+        }
+    }
+
+    /// Acknowledges and clears the sticky error(s) covering `sel`,
+    /// returning the first one, or `None` if the selector is healthy.
+    ///
+    /// This is the only way a persist failure is ever cleared. After
+    /// acknowledging, the pages of the failed μCheckpoint are still in the
+    /// calling thread's dirty set, so the next `msnap_persist` retries
+    /// them.
+    pub fn msnap_ack_error(&mut self, sel: RegionSel) -> Option<MsnapError> {
+        match sel {
+            RegionSel::Region(md) => self.sticky.remove(&md.0),
+            RegionSel::All => {
+                let first = self.sticky.values().next().cloned();
+                self.sticky.clear();
+                first
+            }
+        }
+    }
+
     /// Persists the region table through the store (synchronously).
-    fn persist_manifest(&mut self, vt: &mut Vt) {
+    ///
+    /// # Errors
+    ///
+    /// [`MsnapError::Store`] when the manifest μCheckpoint fails; the
+    /// in-memory region table is unchanged on disk (previous epoch).
+    fn persist_manifest(&mut self, vt: &mut Vt) -> Result<(), MsnapError> {
         let manifest = Manifest {
             entries: self
                 .regions
@@ -510,15 +626,19 @@ impl MemSnap {
             .enumerate()
             .map(|(i, p)| (i as u64, &p[..]))
             .collect();
-        let token = self.store.persist(vt, &mut self.disk, self.manifest_obj, &iov);
+        let token = self
+            .store
+            .persist(vt, &mut self.disk, self.manifest_obj, &iov)?;
         ObjectStore::wait(vt, token);
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use msnap_disk::DiskConfig;
+    use msnap_disk::{DiskConfig, Fault, FaultPlan};
+    use msnap_store::StoreError;
 
     fn fresh() -> (MemSnap, Vt, AsId) {
         let mut ms = MemSnap::format(Disk::new(DiskConfig::paper()));
@@ -537,7 +657,8 @@ mod tests {
             .msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
             .unwrap();
         assert_eq!(epoch, 1);
-        ms.msnap_wait(&mut vt, RegionSel::Region(r.md), epoch).unwrap();
+        ms.msnap_wait(&mut vt, RegionSel::Region(r.md), epoch)
+            .unwrap();
         let mut out = [0u8; 100];
         ms.read(&mut vt, space, r.addr, &mut out).unwrap();
         assert_eq!(out, [42; 100]);
@@ -548,13 +669,15 @@ mod tests {
         let (mut ms, mut vt, space) = fresh();
         let t = vt.id();
         let r = ms.msnap_open(&mut vt, space, "data", 16).unwrap();
-        ms.write(&mut vt, space, t, r.addr, &[1; PAGE_SIZE]).unwrap();
+        ms.write(&mut vt, space, t, r.addr, &[1; PAGE_SIZE])
+            .unwrap();
         let before = vt.now();
         let epoch = ms
             .msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::async_())
             .unwrap();
         let async_lat = vt.now() - before;
-        ms.msnap_wait(&mut vt, RegionSel::Region(r.md), epoch).unwrap();
+        ms.msnap_wait(&mut vt, RegionSel::Region(r.md), epoch)
+            .unwrap();
         let sync_lat = vt.now() - before;
         assert!(
             async_lat < sync_lat,
@@ -571,7 +694,8 @@ mod tests {
         let t0 = VthreadId(0);
         let t1 = VthreadId(1);
         ms.write(&mut vt, space, t0, r.addr, &[1]).unwrap();
-        ms.write(&mut vt, space, t1, r.addr + PAGE_SIZE as u64, &[2]).unwrap();
+        ms.write(&mut vt, space, t1, r.addr + PAGE_SIZE as u64, &[2])
+            .unwrap();
         ms.msnap_persist(&mut vt, t0, RegionSel::Region(r.md), PersistFlags::sync())
             .unwrap();
         // Thread 1's page is still dirty and untracked by the persist.
@@ -586,7 +710,8 @@ mod tests {
         let t0 = VthreadId(0);
         let t1 = VthreadId(1);
         ms.write(&mut vt, space, t0, r.addr, &[1]).unwrap();
-        ms.write(&mut vt, space, t1, r.addr + PAGE_SIZE as u64, &[2]).unwrap();
+        ms.write(&mut vt, space, t1, r.addr + PAGE_SIZE as u64, &[2])
+            .unwrap();
         ms.msnap_persist(
             &mut vt,
             t0,
@@ -616,7 +741,8 @@ mod tests {
         let (mut ms, mut vt, space) = fresh();
         let t = vt.id();
         let r = ms.msnap_open(&mut vt, space, "data", 16).unwrap();
-        ms.write(&mut vt, space, t, r.addr + 8192, b"durable").unwrap();
+        ms.write(&mut vt, space, t, r.addr + 8192, b"durable")
+            .unwrap();
         ms.msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
             .unwrap();
         // Unpersisted modification: must be lost.
@@ -631,7 +757,8 @@ mod tests {
         assert_eq!(r2.addr, r.addr, "regions map at the same address");
         assert_eq!(r2.pages, 16);
         let mut out = [0u8; 7];
-        ms2.read(&mut vt2, space2, r2.addr + 8192, &mut out).unwrap();
+        ms2.read(&mut vt2, space2, r2.addr + 8192, &mut out)
+            .unwrap();
         assert_eq!(&out, b"durable");
         let mut lost = [0u8; 8];
         ms2.read(&mut vt2, space2, r2.addr, &mut lost).unwrap();
@@ -646,8 +773,14 @@ mod tests {
         let t = vt.id();
         let r = ms.msnap_open(&mut vt, space, "data", 64).unwrap();
         for p in 0..16u64 {
-            ms.write(&mut vt, space, t, r.addr + p * PAGE_SIZE as u64, &[7; PAGE_SIZE])
-                .unwrap();
+            ms.write(
+                &mut vt,
+                space,
+                t,
+                r.addr + p * PAGE_SIZE as u64,
+                &[7; PAGE_SIZE],
+            )
+            .unwrap();
         }
         ms.msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
             .unwrap();
@@ -715,14 +848,16 @@ mod tests {
         let (mut ms, mut vt, space) = fresh();
         let t = vt.id();
         let r = ms.msnap_open(&mut vt, space, "data", 16).unwrap();
-        ms.write(&mut vt, space, t, r.addr, &[1; PAGE_SIZE]).unwrap();
+        ms.write(&mut vt, space, t, r.addr, &[1; PAGE_SIZE])
+            .unwrap();
         let epoch = ms
             .msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::async_())
             .unwrap();
         // Write the same page while the IO is in flight.
         ms.write(&mut vt, space, t, r.addr + 4, &[9]).unwrap();
         assert_eq!(ms.vm().stats().cow_faults, 1, "in-flight page must COW");
-        ms.msnap_wait(&mut vt, RegionSel::Region(r.md), epoch).unwrap();
+        ms.msnap_wait(&mut vt, RegionSel::Region(r.md), epoch)
+            .unwrap();
         // The durable image holds the *first* version; memory the second.
         let disk = ms.crash(vt.now());
         let mut vt2 = Vt::new(1);
@@ -744,6 +879,114 @@ mod tests {
             .unwrap();
         assert_eq!(epoch, 0, "no dirty data: current epoch");
         assert_eq!(ms.last_persist_breakdown().pages, 0);
+    }
+
+    #[test]
+    fn failed_persist_is_sticky_until_acknowledged() {
+        let (mut ms, mut vt, space) = fresh();
+        let t = vt.id();
+        let r = ms.msnap_open(&mut vt, space, "data", 16).unwrap();
+        ms.write(&mut vt, space, t, r.addr, &[1; 64]).unwrap();
+        // Hard-drop the next submission: the data extent of the persist.
+        let plan = FaultPlan::new().at(ms.disk().io_seq(), Fault::Drop { transient: false });
+        ms.set_fault_plan(plan);
+        let err = ms
+            .msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+            .unwrap_err();
+        assert!(matches!(err, MsnapError::Store(_)), "got {err:?}");
+        ms.clear_fault_plan();
+
+        // Fsync gate: the error is reported again on every persist and
+        // wait — even for epochs issued before the failure — and is not
+        // cleared by the report.
+        for _ in 0..2 {
+            let again = ms
+                .msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+                .unwrap_err();
+            assert_eq!(again, err, "sticky error must not be silently cleared");
+        }
+        assert_eq!(
+            ms.msnap_wait(&mut vt, RegionSel::Region(r.md), 0)
+                .unwrap_err(),
+            err
+        );
+        // The all-regions selector is poisoned too.
+        assert_eq!(
+            ms.msnap_persist(&mut vt, t, RegionSel::All, PersistFlags::sync())
+                .unwrap_err(),
+            err
+        );
+
+        // Acknowledge: the error is handed over exactly once, the failed
+        // pages are still dirty, and the retry commits them.
+        assert_eq!(ms.msnap_ack_error(RegionSel::Region(r.md)), Some(err));
+        assert_eq!(ms.msnap_ack_error(RegionSel::Region(r.md)), None);
+        assert_eq!(ms.vm().dirty_count(t), 1, "failed pages stay dirty");
+        let epoch = ms
+            .msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+            .unwrap();
+        assert_eq!(epoch, 1);
+        ms.msnap_wait(&mut vt, RegionSel::Region(r.md), epoch)
+            .unwrap();
+    }
+
+    #[test]
+    fn out_of_space_surfaces_as_sticky_store_error() {
+        let cfg = DiskConfig::paper().with_capacity_blocks(160);
+        let mut ms = MemSnap::format(Disk::new(cfg));
+        let mut vt = Vt::new(0);
+        let space = ms.vm_mut().create_space();
+        let t = vt.id();
+        // Distinct pages every round: recycling cannot help, the block map
+        // must grow until the 160-block device fills up.
+        let r = ms.msnap_open(&mut vt, space, "data", 256).unwrap();
+        let mut hit = None;
+        for i in 0..256u64 {
+            ms.write(
+                &mut vt,
+                space,
+                t,
+                r.addr + i * PAGE_SIZE as u64,
+                &[i as u8; 8],
+            )
+            .unwrap();
+            match ms.msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync()) {
+                Ok(_) => {}
+                Err(e) => {
+                    hit = Some(e);
+                    break;
+                }
+            }
+        }
+        let err = hit.expect("a 160-block device must fill up");
+        assert_eq!(err, MsnapError::Store(StoreError::OutOfSpace));
+        // Sticky until acknowledged, then the region is still readable:
+        // the abort left the previous epoch intact.
+        assert_eq!(
+            ms.msnap_wait(&mut vt, RegionSel::Region(r.md), 1)
+                .unwrap_err(),
+            err
+        );
+        assert_eq!(ms.msnap_ack_error(RegionSel::Region(r.md)), Some(err));
+        let mut out = [0u8; 8];
+        ms.read(&mut vt, space, r.addr, &mut out).unwrap();
+    }
+
+    #[test]
+    fn transient_faults_are_invisible_to_the_api() {
+        let (mut ms, mut vt, space) = fresh();
+        let t = vt.id();
+        let r = ms.msnap_open(&mut vt, space, "data", 16).unwrap();
+        ms.write(&mut vt, space, t, r.addr, &[7; 32]).unwrap();
+        let plan = FaultPlan::new().at(ms.disk().io_seq(), Fault::Drop { transient: true });
+        ms.set_fault_plan(plan);
+        let epoch = ms
+            .msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+            .unwrap();
+        assert_eq!(epoch, 1, "bounded retry hides transient faults");
+        let inj = ms.clear_fault_plan().unwrap();
+        assert_eq!(inj.injected().len(), 1);
+        assert!(ms.msnap_ack_error(RegionSel::All).is_none());
     }
 
     #[test]

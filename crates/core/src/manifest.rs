@@ -61,8 +61,7 @@ impl Manifest {
         let mut entries = Vec::new();
         for line in body.lines() {
             let mut parts = line.split_whitespace();
-            let (Some(name), Some(addr), Some(pages)) =
-                (parts.next(), parts.next(), parts.next())
+            let (Some(name), Some(addr), Some(pages)) = (parts.next(), parts.next(), parts.next())
             else {
                 continue;
             };

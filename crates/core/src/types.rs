@@ -125,9 +125,7 @@ impl fmt::Display for MsnapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MsnapError::BadDescriptor => f.write_str("unknown region descriptor"),
-            MsnapError::LengthMismatch => {
-                f.write_str("region exists with a different length")
-            }
+            MsnapError::LengthMismatch => f.write_str("region exists with a different length"),
             MsnapError::Store(e) => write!(f, "object store: {e}"),
             MsnapError::Vm(e) => write!(f, "vm: {e}"),
         }

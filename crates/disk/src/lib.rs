@@ -26,7 +26,9 @@
 //! let mut disk = Disk::new(DiskConfig::paper());
 //! let mut vt = Vt::new(0);
 //! let data = [7u8; BLOCK_SIZE];
-//! disk.write_block(&mut vt, 42, &data); // synchronous: waits for the IO
+//! // Synchronous: waits for the IO. Writes are fallible — the device can
+//! // run out of space or have a fault plan installed (see `FaultPlan`).
+//! disk.write_block(&mut vt, 42, &data).expect("no faults installed");
 //! let mut out = [0u8; BLOCK_SIZE];
 //! disk.read_block(&mut vt, 42, &mut out);
 //! assert_eq!(out, data);
@@ -35,10 +37,12 @@
 #![warn(missing_docs)]
 
 mod device;
+mod fault;
 mod model;
 mod stats;
 
-pub use device::{Disk, WriteToken};
+pub use device::{crash_at_every_io, Disk, WriteToken};
+pub use fault::{Fault, FaultInjector, FaultPlan, FaultProfile, InjectedFault, IoError};
 pub use model::DiskConfig;
 pub use stats::IoStats;
 

@@ -19,6 +19,9 @@ pub struct DiskConfig {
     /// Stripe size: IOs are split into segments of at most this many bytes,
     /// each dispatched to the earliest-free channel.
     pub stripe_bytes: usize,
+    /// Device capacity in blocks; writes at or beyond this address fail
+    /// with `IoError::NoSpace`. `None` models an unbounded device.
+    pub capacity_blocks: Option<u64>,
 }
 
 impl DiskConfig {
@@ -36,6 +39,7 @@ impl DiskConfig {
             // uses both devices; a single QD1 direct IO (the "Disk" column
             // of Table 6) is priced by `segment_latency` un-split.
             stripe_bytes: 32 * 1024,
+            capacity_blocks: None,
         }
     }
 
@@ -47,7 +51,14 @@ impl DiskConfig {
             ns_per_byte: 0.01,
             channels: 4,
             stripe_bytes: 64 * 1024,
+            capacity_blocks: None,
         }
+    }
+
+    /// Returns the configuration with a capacity ceiling of `blocks`.
+    pub fn with_capacity_blocks(mut self, blocks: u64) -> Self {
+        self.capacity_blocks = Some(blocks);
+        self
     }
 
     /// Service time of a single segment of `bytes` on one channel.
@@ -71,11 +82,19 @@ mod tests {
     #[test]
     fn qd1_matches_paper_table6() {
         let cfg = DiskConfig::paper();
-        for (kib, paper_us) in [(4usize, 17.0f64), (8, 18.0), (16, 22.0), (32, 31.0), (64, 44.0)]
-        {
+        for (kib, paper_us) in [
+            (4usize, 17.0f64),
+            (8, 18.0),
+            (16, 22.0),
+            (32, 31.0),
+            (64, 44.0),
+        ] {
             let model = cfg.segment_latency(kib * 1024).as_us_f64();
             let err = (model - paper_us).abs() / paper_us;
-            assert!(err < 0.10, "{kib} KiB: model {model:.1} us vs paper {paper_us} us");
+            assert!(
+                err < 0.10,
+                "{kib} KiB: model {model:.1} us vs paper {paper_us} us"
+            );
         }
     }
 

@@ -281,7 +281,9 @@ impl FileSystem {
         let iov: Vec<(u64, &[u8])> = images.iter().map(|(b, d)| (*b, &d[..])).collect();
         // The IO is issued when fsync enters the kernel; the modeled
         // journaling/metadata latency overlaps it.
-        let token = disk.writev_at(start, &iov);
+        let token = disk
+            .writev_at(start, &iov)
+            .expect("the fs baseline does not run under fault injection");
         file.flushed_edge = file
             .flushed_edge
             .max(dirty.iter().max().map_or(0, |&b| b + 1));
@@ -385,7 +387,10 @@ mod tests {
     #[test]
     fn fsync_random_matches_table6() {
         for (kind, expect) in [
-            (FsKind::Ffs, [(4usize, 156.0f64), (64, 1900.0), (4096, 33_700.0)]),
+            (
+                FsKind::Ffs,
+                [(4usize, 156.0f64), (64, 1900.0), (4096, 33_700.0)],
+            ),
             (FsKind::Zfs, [(4, 232.0), (64, 2900.0), (4096, 30_900.0)]),
         ] {
             for (kib, paper_us) in expect {

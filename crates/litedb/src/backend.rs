@@ -1,8 +1,39 @@
 //! The storage-engine persistence boundary (SQLite's "VFS").
 
+use std::fmt;
+
 use msnap_sim::{Meters, Vt, VthreadId};
 
 use crate::PAGE_SIZE;
+
+/// A commit the backend could not make durable. The transaction is
+/// *aborted*: none of its writes are durable, the engine releases the
+/// write lock, and the caller decides whether to acknowledge the
+/// underlying device error and retry.
+///
+/// On the MemSnap backend the failed pages stay dirty in the region, so
+/// an acknowledged retry re-persists exactly the aborted transaction
+/// (plus anything written since).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitError(pub memsnap::MsnapError);
+
+impl fmt::Display for CommitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transaction aborted: {}", self.0)
+    }
+}
+
+impl std::error::Error for CommitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.0)
+    }
+}
+
+impl From<memsnap::MsnapError> for CommitError {
+    fn from(e: memsnap::MsnapError) -> Self {
+        CommitError(e)
+    }
+}
 
 /// Aggregate persistence statistics a backend exposes for the evaluation
 /// tables.
@@ -32,7 +63,12 @@ pub trait Backend {
 
     /// Durably commits everything `thread` has written since its previous
     /// commit.
-    fn commit(&mut self, vt: &mut Vt, thread: VthreadId);
+    ///
+    /// # Errors
+    ///
+    /// [`CommitError`] when the device rejects the commit IO: the
+    /// transaction is aborted, not partially durable.
+    fn commit(&mut self, vt: &mut Vt, thread: VthreadId) -> Result<(), CommitError>;
 
     /// Initiates a commit without waiting for durability; pair with
     /// [`Backend::sync`]. The paper's `MS_ASYNC` usage: "MemSnap's
@@ -40,12 +76,23 @@ pub trait Backend {
     /// msnap_persist to unblock other transactions". Backends without an
     /// asynchronous path (the WAL baseline) fall back to a synchronous
     /// commit.
-    fn commit_async(&mut self, vt: &mut Vt, thread: VthreadId) {
-        self.commit(vt, thread);
+    ///
+    /// # Errors
+    ///
+    /// As for [`Backend::commit`].
+    fn commit_async(&mut self, vt: &mut Vt, thread: VthreadId) -> Result<(), CommitError> {
+        self.commit(vt, thread)
     }
 
     /// Blocks until every initiated commit is durable.
-    fn sync(&mut self, _vt: &mut Vt) {}
+    ///
+    /// # Errors
+    ///
+    /// [`CommitError`] when a previously initiated commit turns out to
+    /// have failed (the fsync-gate report of an asynchronous abort).
+    fn sync(&mut self, _vt: &mut Vt) -> Result<(), CommitError> {
+        Ok(())
+    }
 
     /// Number of pages the backend can hold.
     fn capacity_pages(&self) -> u64;

@@ -232,12 +232,7 @@ impl BTreeForest {
     }
 
     /// Point lookup.
-    pub fn get(
-        vt: &mut Vt,
-        backend: &mut dyn Backend,
-        slot: usize,
-        key: u64,
-    ) -> Option<Vec<u8>> {
+    pub fn get(vt: &mut Vt, backend: &mut dyn Backend, slot: usize, key: u64) -> Option<Vec<u8>> {
         let mut page_no = Self::tree_root(vt, backend, slot);
         if page_no == 0 {
             return None;
@@ -474,7 +469,13 @@ mod tests {
         fn write_page(&mut self, _vt: &mut Vt, _thread: VthreadId, page: u64, data: &Page) {
             self.pages.insert(page, *data);
         }
-        fn commit(&mut self, _vt: &mut Vt, _thread: VthreadId) {}
+        fn commit(
+            &mut self,
+            _vt: &mut Vt,
+            _thread: VthreadId,
+        ) -> Result<(), crate::backend::CommitError> {
+            Ok(())
+        }
         fn capacity_pages(&self) -> u64 {
             1 << 20
         }
@@ -504,7 +505,10 @@ mod tests {
         let (mut b, mut vt) = setup();
         let t = vt.id();
         BTreeForest::insert(&mut vt, &mut b, t, 0, 42, b"hello");
-        assert_eq!(BTreeForest::get(&mut vt, &mut b, 0, 42), Some(b"hello".to_vec()));
+        assert_eq!(
+            BTreeForest::get(&mut vt, &mut b, 0, 42),
+            Some(b"hello".to_vec())
+        );
         assert_eq!(BTreeForest::get(&mut vt, &mut b, 0, 43), None);
     }
 
@@ -580,7 +584,10 @@ mod tests {
         assert!(BTreeForest::delete(&mut vt, &mut b, t, 0, 250));
         assert!(!BTreeForest::delete(&mut vt, &mut b, t, 0, 250));
         assert_eq!(BTreeForest::get(&mut vt, &mut b, 0, 250), None);
-        assert_eq!(BTreeForest::get(&mut vt, &mut b, 0, 251), Some(b"v".to_vec()));
+        assert_eq!(
+            BTreeForest::get(&mut vt, &mut b, 0, 251),
+            Some(b"v".to_vec())
+        );
     }
 
     #[test]
@@ -590,10 +597,19 @@ mod tests {
         BTreeForest::create_tree(&mut vt, &mut b, t, 1);
         BTreeForest::insert(&mut vt, &mut b, t, 0, 7, b"t0");
         BTreeForest::insert(&mut vt, &mut b, t, 1, 7, b"t1");
-        assert_eq!(BTreeForest::get(&mut vt, &mut b, 0, 7), Some(b"t0".to_vec()));
-        assert_eq!(BTreeForest::get(&mut vt, &mut b, 1, 7), Some(b"t1".to_vec()));
+        assert_eq!(
+            BTreeForest::get(&mut vt, &mut b, 0, 7),
+            Some(b"t0".to_vec())
+        );
+        assert_eq!(
+            BTreeForest::get(&mut vt, &mut b, 1, 7),
+            Some(b"t1".to_vec())
+        );
         assert!(BTreeForest::delete(&mut vt, &mut b, t, 0, 7));
-        assert_eq!(BTreeForest::get(&mut vt, &mut b, 1, 7), Some(b"t1".to_vec()));
+        assert_eq!(
+            BTreeForest::get(&mut vt, &mut b, 1, 7),
+            Some(b"t1".to_vec())
+        );
     }
 
     #[test]

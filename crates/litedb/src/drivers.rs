@@ -58,14 +58,21 @@ pub fn run_dbbench(db: &mut LiteDb, vt: &mut Vt, cfg: &DbbenchConfig) -> Dbbench
     let mut txn_latency = LatencyStats::new();
     let mut txns = 0;
     let mut kvs = 0;
-    let bench = DbBench::new(cfg.txn_bytes, cfg.total_kvs, cfg.key_space, cfg.order, cfg.seed);
+    let bench = DbBench::new(
+        cfg.txn_bytes,
+        cfg.total_kvs,
+        cfg.key_space,
+        cfg.order,
+        cfg.seed,
+    );
     for batch in bench {
         let t0 = vt.now();
         db.begin(vt, thread);
         for &key in &batch.keys {
             db.put(vt, thread, table, key, &WriteBatch::value_for(key));
         }
-        db.commit(vt, thread);
+        db.commit(vt, thread)
+            .expect("benchmark workloads run without fault injection");
         txn_latency.record(vt.now() - t0);
         txns += 1;
         kvs += batch.keys.len() as u64;
@@ -115,7 +122,8 @@ pub fn setup_tatp(db: &mut LiteDb, vt: &mut Vt, subscribers: u64) -> TatpTables 
             db.put(vt, thread, tables.access_info, s * 4 + 1, &small_row(s, 2));
             db.put(vt, thread, tables.special_facility, s * 4, &small_row(s, 3));
         }
-        db.commit(vt, thread);
+        db.commit(vt, thread)
+            .expect("benchmark workloads run without fault injection");
         sid += chunk;
     }
     tables
@@ -179,9 +187,22 @@ pub fn run_tatp(
             }
             TatpTxn::UpdateSubscriberData { sid, bit } => {
                 db.begin(vt, thread);
-                db.put(vt, thread, tables.subscriber, sid, &subscriber_row(sid, bit, 0));
-                db.put(vt, thread, tables.special_facility, sid * 4, &small_row(sid, bit));
-                db.commit(vt, thread);
+                db.put(
+                    vt,
+                    thread,
+                    tables.subscriber,
+                    sid,
+                    &subscriber_row(sid, bit, 0),
+                );
+                db.put(
+                    vt,
+                    thread,
+                    tables.special_facility,
+                    sid * 4,
+                    &small_row(sid, bit),
+                );
+                db.commit(vt, thread)
+                    .expect("benchmark workloads run without fault injection");
             }
             TatpTxn::UpdateLocation { sid, location } => {
                 db.begin(vt, thread);
@@ -192,7 +213,8 @@ pub fn run_tatp(
                     sid,
                     &subscriber_row(sid, 0, location),
                 );
-                db.commit(vt, thread);
+                db.commit(vt, thread)
+                    .expect("benchmark workloads run without fault injection");
             }
             TatpTxn::InsertCallForwarding { sid, start } => {
                 db.begin(vt, thread);
@@ -203,12 +225,19 @@ pub fn run_tatp(
                     sid * 4 + (start / 8) as u64,
                     &small_row(sid, start),
                 );
-                db.commit(vt, thread);
+                db.commit(vt, thread)
+                    .expect("benchmark workloads run without fault injection");
             }
             TatpTxn::DeleteCallForwarding { sid, start } => {
                 db.begin(vt, thread);
-                db.delete(vt, thread, tables.call_forwarding, sid * 4 + (start / 8) as u64);
-                db.commit(vt, thread);
+                db.delete(
+                    vt,
+                    thread,
+                    tables.call_forwarding,
+                    sid * 4 + (start / 8) as u64,
+                );
+                db.commit(vt, thread)
+                    .expect("benchmark workloads run without fault injection");
             }
         }
         latency.record(vt.now() - t0);
@@ -309,14 +338,7 @@ mod tests {
             let mut vt = Vt::new(0);
             let mut db = mk(&mut vt);
             let tables = setup_tatp(&mut db, &mut vt, 500);
-            let report = run_tatp(
-                &mut db,
-                &mut vt,
-                tables,
-                500,
-                Nanos::from_ms(50),
-                7,
-            );
+            let report = run_tatp(&mut db, &mut vt, tables, 500, Nanos::from_ms(50), 7);
             assert!(report.txns > 50, "only {} txns", report.txns);
             assert!(report.tps > 0.0);
         }

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use msnap_sim::{SimLock, Vt, VthreadId};
 
-use crate::backend::{Backend, BackendStats};
+use crate::backend::{Backend, BackendStats, CommitError};
 use crate::btree::BTreeForest;
 
 /// Handle to a table (a B-tree slot).
@@ -77,11 +77,7 @@ impl LiteDb {
     ///
     /// Panics if this thread already holds the lock.
     pub fn begin(&mut self, vt: &mut Vt, thread: VthreadId) {
-        assert_ne!(
-            self.writer_thread,
-            Some(thread),
-            "nested write transaction"
-        );
+        assert_ne!(self.writer_thread, Some(thread), "nested write transaction");
         self.writer.lock(vt);
         self.writer_thread = Some(thread);
     }
@@ -92,7 +88,11 @@ impl LiteDb {
     ///
     /// Panics if `thread` does not hold the write lock.
     pub fn put(&mut self, vt: &mut Vt, thread: VthreadId, table: TableId, key: u64, value: &[u8]) {
-        assert_eq!(self.writer_thread, Some(thread), "put outside a transaction");
+        assert_eq!(
+            self.writer_thread,
+            Some(thread),
+            "put outside a transaction"
+        );
         BTreeForest::insert(vt, self.backend.as_mut(), thread, table.0, key, value);
     }
 
@@ -128,18 +128,27 @@ impl LiteDb {
 
     /// Commits the transaction durably and releases the write lock.
     ///
+    /// # Errors
+    ///
+    /// [`CommitError`] when the backend cannot make the transaction
+    /// durable. The transaction is aborted and the write lock released —
+    /// a failed commit never wedges the database. On the MemSnap backend
+    /// the device error stays sticky until acknowledged, so later commits
+    /// keep reporting it.
+    ///
     /// # Panics
     ///
     /// Panics if `thread` does not hold the write lock.
-    pub fn commit(&mut self, vt: &mut Vt, thread: VthreadId) {
+    pub fn commit(&mut self, vt: &mut Vt, thread: VthreadId) -> Result<(), CommitError> {
         assert_eq!(
             self.writer_thread,
             Some(thread),
             "commit outside a transaction"
         );
-        self.backend.commit(vt, thread);
+        let result = self.backend.commit(vt, thread);
         self.writer_thread = None;
         self.writer.unlock(vt);
+        result
     }
 
     /// Commits asynchronously (`MS_ASYNC`): the μCheckpoint IO is
@@ -148,23 +157,32 @@ impl LiteDb {
     /// "asynchronous mode lets a thread unlock the data in memory after
     /// msnap_persist". Call [`LiteDb::sync`] before acknowledging.
     ///
+    /// # Errors
+    ///
+    /// As for [`LiteDb::commit`]; the lock is released either way.
+    ///
     /// # Panics
     ///
     /// Panics if `thread` does not hold the write lock.
-    pub fn commit_nosync(&mut self, vt: &mut Vt, thread: VthreadId) {
+    pub fn commit_nosync(&mut self, vt: &mut Vt, thread: VthreadId) -> Result<(), CommitError> {
         assert_eq!(
             self.writer_thread,
             Some(thread),
             "commit outside a transaction"
         );
-        self.backend.commit_async(vt, thread);
+        let result = self.backend.commit_async(vt, thread);
         self.writer_thread = None;
         self.writer.unlock(vt);
+        result
     }
 
     /// Blocks until every asynchronously committed transaction is durable.
-    pub fn sync(&mut self, vt: &mut Vt) {
-        self.backend.sync(vt);
+    ///
+    /// # Errors
+    ///
+    /// [`CommitError`] when an initiated commit turns out to have failed.
+    pub fn sync(&mut self, vt: &mut Vt) -> Result<(), CommitError> {
+        self.backend.sync(vt)
     }
 
     /// Persistence statistics from the backend.
@@ -202,18 +220,13 @@ mod tests {
     use msnap_sim::Nanos;
 
     fn memsnap_db(vt: &mut Vt) -> LiteDb {
-        let backend = MemSnapBackend::format_with_capacity(
-            Disk::new(DiskConfig::paper()),
-            "t.db",
-            4096,
-            vt,
-        );
+        let backend =
+            MemSnapBackend::format_with_capacity(Disk::new(DiskConfig::paper()), "t.db", 4096, vt);
         LiteDb::new(Box::new(backend), vt)
     }
 
     fn file_db(vt: &mut Vt) -> LiteDb {
-        let backend =
-            FileBackend::format(Disk::new(DiskConfig::paper()), FsKind::Ffs, "t.db", vt);
+        let backend = FileBackend::format(Disk::new(DiskConfig::paper()), FsKind::Ffs, "t.db", vt);
         LiteDb::new(Box::new(backend), vt)
     }
 
@@ -227,7 +240,7 @@ mod tests {
             db.begin(&mut vt, thread);
             db.put(&mut vt, thread, t, 1, b"one");
             db.put(&mut vt, thread, t, 2, b"two");
-            db.commit(&mut vt, thread);
+            db.commit(&mut vt, thread).unwrap();
             assert_eq!(db.get(&mut vt, t, 1), Some(b"one".to_vec()));
             assert_eq!(db.get(&mut vt, t, 2), Some(b"two".to_vec()));
             assert_eq!(db.get(&mut vt, t, 3), None);
@@ -242,7 +255,7 @@ mod tests {
         let t0 = vt0.id();
         db.begin(&mut vt0, t0);
         db.put(&mut vt0, t0, t, 1, b"a");
-        db.commit(&mut vt0, t0);
+        db.commit(&mut vt0, t0).unwrap();
         let committed_at = vt0.now();
 
         // A second writer starting earlier in virtual time queues behind
@@ -252,7 +265,7 @@ mod tests {
         db.begin(&mut vt1, t1);
         assert!(vt1.now() >= committed_at, "writer lock serializes");
         db.put(&mut vt1, t1, t, 2, b"b");
-        db.commit(&mut vt1, t1);
+        db.commit(&mut vt1, t1).unwrap();
     }
 
     #[test]
@@ -269,14 +282,14 @@ mod tests {
             for k in 0..64u64 {
                 db.put(&mut vt, thread, t, k, &[1u8; 128]);
             }
-            db.commit(&mut vt, thread);
+            db.commit(&mut vt, thread).unwrap();
             // Measure one 32-key transaction.
             let t0 = vt.now();
             db.begin(&mut vt, thread);
             for k in 100..132u64 {
                 db.put(&mut vt, thread, t, k, &[2u8; 128]);
             }
-            db.commit(&mut vt, thread);
+            db.commit(&mut vt, thread).unwrap();
             lat.push(vt.now() - t0);
         }
         assert!(
@@ -303,7 +316,7 @@ mod tests {
         for k in 0..100u64 {
             db.put(&mut vt, thread, t, k, &k.to_le_bytes());
         }
-        db.commit(&mut vt, thread);
+        db.commit(&mut vt, thread).unwrap();
         // Uncommitted second transaction.
         db.begin(&mut vt, thread);
         db.put(&mut vt, thread, t, 555, b"uncommitted");
@@ -336,7 +349,7 @@ mod tests {
         for k in (0..100u64).rev() {
             db.put(&mut vt, thread, t, k, b"v");
         }
-        db.commit(&mut vt, thread);
+        db.commit(&mut vt, thread).unwrap();
         let scan = db.scan_from(&mut vt, t, 90, 100);
         assert_eq!(scan.len(), 10);
         assert_eq!(scan[0].0, 90);
@@ -356,12 +369,12 @@ mod tests {
                 db.begin(&mut vt, thread);
                 db.put(&mut vt, thread, t, i, &[i as u8; 128]);
                 if nosync {
-                    db.commit_nosync(&mut vt, thread);
+                    db.commit_nosync(&mut vt, thread).unwrap();
                 } else {
-                    db.commit(&mut vt, thread);
+                    db.commit(&mut vt, thread).unwrap();
                 }
             }
-            db.sync(&mut vt);
+            db.sync(&mut vt).unwrap();
             (vt.now() - t0, db)
         };
         let (async_time, mut db) = lat(true);
@@ -393,7 +406,7 @@ mod tests {
         for i in 0..8u64 {
             db.begin(&mut vt, thread);
             db.put(&mut vt, thread, t, i, &i.to_le_bytes());
-            db.commit_nosync(&mut vt, thread);
+            db.commit_nosync(&mut vt, thread).unwrap();
         }
         // Crash immediately: some tail of async commits may be lost, but
         // recovery must be a *prefix* (μCheckpoints are ordered).
@@ -441,12 +454,12 @@ mod tests {
         let thread = vt.id();
         db.begin(&mut vt, thread);
         db.put(&mut vt, thread, t, 1, &[0u8; 128]);
-        db.commit(&mut vt, thread);
+        db.commit(&mut vt, thread).unwrap();
 
         db.begin(&mut vt, thread);
         let t0 = vt.now();
         db.put(&mut vt, thread, t, 1, &[1u8; 128]);
-        db.commit(&mut vt, thread);
+        db.commit(&mut vt, thread).unwrap();
         let commit_us = (vt.now() - t0).as_us_f64();
         assert!(commit_us < 70.0, "memsnap 1-page commit {commit_us:.1} us");
         let _ = Nanos::ZERO;

@@ -13,7 +13,7 @@ use msnap_disk::Disk;
 use msnap_fs::{Fd, FileSystem, FsKind, WriteAheadLog};
 use msnap_sim::{Category, Meters, Nanos, Vt, VthreadId};
 
-use crate::backend::{Backend, BackendStats};
+use crate::backend::{Backend, BackendStats, CommitError};
 use crate::PAGE_SIZE;
 
 /// Default checkpoint threshold: 4 MiB of WAL, "as is the default"
@@ -115,8 +115,13 @@ impl FileBackend {
         // operation the paper's Table 7 attributes the fsync tail to.
         let frames: Vec<(u64, Box<[u8]>)> = self.wal_latest.drain().collect();
         for (page, data) in &frames {
-            self.fs
-                .write(vt, &mut self.disk, self.db_fd, page * PAGE_SIZE as u64, data);
+            self.fs.write(
+                vt,
+                &mut self.disk,
+                self.db_fd,
+                page * PAGE_SIZE as u64,
+                data,
+            );
         }
         self.fs.fsync(vt, &mut self.disk, self.db_fd);
         self.wal.reset(vt, &mut self.fs);
@@ -153,7 +158,7 @@ impl Backend for FileBackend {
         self.txn_pages.insert(page);
     }
 
-    fn commit(&mut self, vt: &mut Vt, _thread: VthreadId) {
+    fn commit(&mut self, vt: &mut Vt, _thread: VthreadId) -> Result<(), CommitError> {
         // SQLite WAL mode: at commit the pager appends one frame per page
         // dirtied by the transaction (a 128 B value amplifies to a whole
         // page) and fsyncs the log.
@@ -171,6 +176,7 @@ impl Backend for FileBackend {
         if self.wal.len() >= self.checkpoint_bytes {
             self.checkpoint(vt);
         }
+        Ok(())
     }
 
     fn capacity_pages(&self) -> u64 {
@@ -222,7 +228,7 @@ mod tests {
         let (mut b, mut vt) = setup();
         let t = vt.id();
         b.write_page(&mut vt, t, 5, &page_of(0xAA));
-        b.commit(&mut vt, t);
+        b.commit(&mut vt, t).unwrap();
         let mut out = page_of(0);
         b.read_page(&mut vt, 5, &mut out);
         assert_eq!(out, page_of(0xAA));
@@ -233,7 +239,7 @@ mod tests {
         let (mut b, mut vt) = setup();
         let t = vt.id();
         b.write_page(&mut vt, t, 3, &page_of(1));
-        b.commit(&mut vt, t);
+        b.commit(&mut vt, t).unwrap();
         b.write_page(&mut vt, t, 3, &page_of(2)); // uncommitted
         let now = vt.now();
         b.crash_and_recover(&mut vt, now);
@@ -249,7 +255,7 @@ mod tests {
         let t = vt.id();
         for i in 0..20u64 {
             b.write_page(&mut vt, t, i, &page_of(i as u8));
-            b.commit(&mut vt, t);
+            b.commit(&mut vt, t).unwrap();
         }
         assert!(b.stats().checkpoints >= 1, "checkpoint must have fired");
         // Data survives a crash even after the WAL was truncated.
@@ -267,7 +273,7 @@ mod tests {
         let before = b.wal.len();
         b.write_page(&mut vt, t, 7, &page_of(1));
         b.write_page(&mut vt, t, 7, &page_of(2));
-        b.commit(&mut vt, t);
+        b.commit(&mut vt, t).unwrap();
         let frames = (b.wal.len() - before) / (16 + 8 + PAGE_SIZE as u64);
         assert_eq!(frames, 1, "one frame per dirtied page per transaction");
         let mut out = page_of(0);
@@ -287,7 +293,7 @@ mod tests {
         let t = vt.id();
         for i in 0..32u64 {
             b.write_page(&mut vt, t, i, &page_of(i as u8));
-            b.commit(&mut vt, t);
+            b.commit(&mut vt, t).unwrap();
         }
         for i in 0..32u64 {
             let mut out = page_of(0);
@@ -301,7 +307,7 @@ mod tests {
         let (mut b, mut vt) = setup();
         let t = vt.id();
         b.write_page(&mut vt, t, 0, &page_of(1));
-        b.commit(&mut vt, t);
+        b.commit(&mut vt, t).unwrap();
         let meters = b.meters();
         assert!(meters.get("write").is_some());
         assert!(meters.get("fsync").is_some());

@@ -51,7 +51,7 @@ mod engine;
 mod file_backend;
 mod memsnap_backend;
 
-pub use backend::{Backend, BackendStats};
+pub use backend::{Backend, BackendStats, CommitError};
 pub use engine::{LiteDb, TableId};
 pub use file_backend::FileBackend;
 pub use memsnap_backend::MemSnapBackend;

@@ -11,7 +11,7 @@ use msnap_disk::Disk;
 use msnap_sim::{Meters, Nanos, Vt, VthreadId};
 use msnap_vm::AsId;
 
-use crate::backend::{Backend, BackendStats};
+use crate::backend::{Backend, BackendStats, CommitError};
 use crate::PAGE_SIZE;
 
 /// Default region capacity: 2^16 pages (256 MiB).
@@ -55,26 +55,43 @@ impl MemSnapBackend {
     ///
     /// # Panics
     ///
-    /// Panics if `disk` holds no region named `name`.
+    /// Panics if `disk` holds no region named `name`. Use
+    /// [`MemSnapBackend::try_restore`] when the device may predate the
+    /// database (e.g. a crash sweep that can land mid-format).
     pub fn restore(disk: Disk, name: &str, vt: &mut Vt) -> Self {
-        let mut ms = MemSnap::restore(vt, disk).expect("device holds a MemSnap store");
+        Self::try_restore(disk, name, vt).expect("device holds the database region")
+    }
+
+    /// Fallible [`MemSnapBackend::restore`]: reports an unformatted
+    /// device or a missing region as an error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`memsnap::MsnapError`] when the device holds no MemSnap store or
+    /// the store holds no region named `name`.
+    pub fn try_restore(disk: Disk, name: &str, vt: &mut Vt) -> Result<Self, memsnap::MsnapError> {
+        let mut ms = MemSnap::restore(vt, disk)?;
         let space = ms.vm_mut().create_space();
-        let region = ms
-            .msnap_open(vt, space, name, 0)
-            .expect("region exists in the store");
-        MemSnapBackend {
+        let region = ms.msnap_open(vt, space, name, 0)?;
+        Ok(MemSnapBackend {
             ms,
             space,
             region,
             stats: BackendStats::default(),
             pending_epoch: None,
-        }
+        })
     }
 
     /// Simulates a power failure at `at`; returns the device for
     /// [`MemSnapBackend::restore`].
     pub fn crash(self, at: Nanos) -> Disk {
         self.ms.crash(at)
+    }
+
+    /// Returns the device un-crashed and un-settled, for
+    /// [`msnap_disk::crash_at_every_io`] sweeps.
+    pub fn into_disk(self) -> Disk {
+        self.ms.into_disk()
     }
 
     /// The underlying MemSnap instance (fault statistics, breakdowns).
@@ -86,13 +103,31 @@ impl MemSnapBackend {
     pub fn set_strict_isolation(&mut self, strict: bool) {
         self.ms.vm_mut().set_strict_isolation(strict);
     }
+
+    /// Installs a deterministic fault plan on the underlying device
+    /// (robustness testing).
+    pub fn set_fault_plan(&mut self, plan: msnap_disk::FaultPlan) {
+        self.ms.set_fault_plan(plan);
+    }
+
+    /// Acknowledges and clears the database region's sticky persist
+    /// error, returning it. Until this is called, every commit and sync
+    /// keeps reporting the failure (fsync-gate semantics).
+    pub fn ack_error(&mut self) -> Option<memsnap::MsnapError> {
+        self.ms.msnap_ack_error(RegionSel::Region(self.region.md))
+    }
 }
 
 impl Backend for MemSnapBackend {
     fn read_page(&mut self, vt: &mut Vt, page: u64, out: &mut [u8; PAGE_SIZE]) {
         // Plain memory access: no syscall, no buffer cache.
         self.ms
-            .read(vt, self.space, self.region.addr + page * PAGE_SIZE as u64, out)
+            .read(
+                vt,
+                self.space,
+                self.region.addr + page * PAGE_SIZE as u64,
+                out,
+            )
             .expect("region reads are infallible");
     }
 
@@ -109,28 +144,35 @@ impl Backend for MemSnapBackend {
         self.stats.pages_persisted += 1;
     }
 
-    fn commit(&mut self, vt: &mut Vt, thread: VthreadId) {
-        self.ms
-            .msnap_persist(vt, thread, RegionSel::Region(self.region.md), PersistFlags::sync())
-            .expect("region exists");
+    fn commit(&mut self, vt: &mut Vt, thread: VthreadId) -> Result<(), CommitError> {
+        self.ms.msnap_persist(
+            vt,
+            thread,
+            RegionSel::Region(self.region.md),
+            PersistFlags::sync(),
+        )?;
         self.stats.commits += 1;
+        Ok(())
     }
 
-    fn commit_async(&mut self, vt: &mut Vt, thread: VthreadId) {
-        let epoch = self
-            .ms
-            .msnap_persist(vt, thread, RegionSel::Region(self.region.md), PersistFlags::async_())
-            .expect("region exists");
+    fn commit_async(&mut self, vt: &mut Vt, thread: VthreadId) -> Result<(), CommitError> {
+        let epoch = self.ms.msnap_persist(
+            vt,
+            thread,
+            RegionSel::Region(self.region.md),
+            PersistFlags::async_(),
+        )?;
         self.pending_epoch = Some(epoch);
         self.stats.commits += 1;
+        Ok(())
     }
 
-    fn sync(&mut self, vt: &mut Vt) {
+    fn sync(&mut self, vt: &mut Vt) -> Result<(), CommitError> {
         if let Some(epoch) = self.pending_epoch.take() {
             self.ms
-                .msnap_wait(vt, RegionSel::Region(self.region.md), epoch)
-                .expect("epoch was issued");
+                .msnap_wait(vt, RegionSel::Region(self.region.md), epoch)?;
         }
+        Ok(())
     }
 
     fn capacity_pages(&self) -> u64 {
@@ -179,7 +221,7 @@ mod tests {
         let (mut b, mut vt) = setup();
         let t = vt.id();
         b.write_page(&mut vt, t, 5, &page_of(0xBB));
-        b.commit(&mut vt, t);
+        b.commit(&mut vt, t).unwrap();
         let mut out = page_of(0);
         b.read_page(&mut vt, 5, &mut out);
         assert_eq!(out, page_of(0xBB));
@@ -190,7 +232,7 @@ mod tests {
         let (mut b, mut vt) = setup();
         let t = vt.id();
         b.write_page(&mut vt, t, 3, &page_of(1));
-        b.commit(&mut vt, t);
+        b.commit(&mut vt, t).unwrap();
         b.write_page(&mut vt, t, 4, &page_of(2)); // uncommitted
         let disk = b.crash(vt.now());
 
@@ -210,7 +252,7 @@ mod tests {
         for p in 0..10u64 {
             b.write_page(&mut vt, t, p, &page_of(p as u8));
         }
-        b.commit(&mut vt, t);
+        b.commit(&mut vt, t).unwrap();
         let meters = b.meters();
         assert_eq!(meters.get("msnap_persist").unwrap().count(), 1);
         assert!(meters.get("fsync").is_none(), "no fsync anywhere");
@@ -223,7 +265,7 @@ mod tests {
         let t = vt.id();
         b.write_page(&mut vt, t, 7, &page_of(1));
         b.write_page(&mut vt, t, 7, &page_of(2));
-        b.commit(&mut vt, t);
+        b.commit(&mut vt, t).unwrap();
         // Unlike the WAL baseline, the second write is free: one page in
         // the μCheckpoint.
         assert_eq!(b.memsnap().last_persist_breakdown().pages, 1);

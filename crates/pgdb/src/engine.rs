@@ -305,7 +305,10 @@ mod tests {
             db.insert(&mut vt, 0, t, tbl, k, &row);
         }
         db.commit(&mut vt, 0, t);
-        assert!(db.tables[1].nblocks > 1, "rows spilled into multiple blocks");
+        assert!(
+            db.tables[1].nblocks > 1,
+            "rows spilled into multiple blocks"
+        );
         for k in 0..40u64 {
             assert_eq!(db.read(&mut vt, 0, tbl, k), Some(row.clone()));
         }
@@ -329,7 +332,10 @@ mod tests {
         let mut db2 = PgDb::new(store, 3);
         db2.rebuild_index(&mut vt2, 0);
         assert_eq!(db2.read(&mut vt2, 0, tbl, 5), Some(b"updated!".to_vec()));
-        assert_eq!(db2.read(&mut vt2, 0, tbl, 20), Some(20u64.to_le_bytes().to_vec()));
+        assert_eq!(
+            db2.read(&mut vt2, 0, tbl, 20),
+            Some(20u64.to_le_bytes().to_vec())
+        );
         assert_eq!(db2.rows(), 30);
     }
 }

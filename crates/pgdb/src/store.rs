@@ -150,7 +150,11 @@ impl BlockStore {
                 BlockStore {
                     variant,
                     file: None,
-                    ms: Some(MsState { ms, spaces, regions }),
+                    ms: Some(MsState {
+                        ms,
+                        spaces,
+                        regions,
+                    }),
                     commits: 0,
                 }
             }
@@ -218,7 +222,12 @@ impl BlockStore {
     /// Resets device IO statistics (benchmark warm-up boundary).
     pub fn reset_io_stats(&mut self) {
         match self.variant {
-            StoreVariant::MemSnap => self.ms.as_mut().expect("memsnap state").ms.reset_disk_stats(),
+            StoreVariant::MemSnap => self
+                .ms
+                .as_mut()
+                .expect("memsnap state")
+                .ms
+                .reset_disk_stats(),
             _ => self.file.as_mut().expect("file state").disk.reset_stats(),
         }
     }
@@ -236,7 +245,12 @@ impl BlockStore {
                 let ms = self.ms.as_mut().expect("memsnap state");
                 let region = &ms.regions[table as usize];
                 ms.ms
-                    .read(vt, ms.spaces[_conn], region.addr + block * PG_BLOCK as u64, out)
+                    .read(
+                        vt,
+                        ms.spaces[_conn],
+                        region.addr + block * PG_BLOCK as u64,
+                        out,
+                    )
                     .expect("region reads are infallible");
             }
             StoreVariant::Baseline => {
@@ -306,7 +320,10 @@ impl BlockStore {
             }
             StoreVariant::Baseline => {
                 let f = self.file.as_mut().expect("file state");
-                vt.charge(Category::BufferCache, costs::BUFMGR_ACCESS + costs::BUFMGR_WRITE);
+                vt.charge(
+                    Category::BufferCache,
+                    costs::BUFMGR_ACCESS + costs::BUFMGR_WRITE,
+                );
                 f.blocks
                     .insert((table, block), data.to_vec().into_boxed_slice());
                 f.txn_dirty[conn].insert((table, block));
@@ -314,7 +331,10 @@ impl BlockStore {
             StoreVariant::FfsMmap | StoreVariant::FfsMmapBufdirect => {
                 let f = self.file.as_mut().expect("file state");
                 if self.variant == StoreVariant::FfsMmap {
-                    vt.charge(Category::BufferCache, costs::BUFMGR_ACCESS + costs::BUFMGR_WRITE);
+                    vt.charge(
+                        Category::BufferCache,
+                        costs::BUFMGR_ACCESS + costs::BUFMGR_WRITE,
+                    );
                 } else {
                     vt.charge(Category::TxMemory, costs::MMAP_ACCESS);
                 }
@@ -355,7 +375,8 @@ impl BlockStore {
                     // mapping scan plus per-page work.
                     vt.charge(
                         Category::Memsnap,
-                        costs::MSYNC_TABLE_SCAN + costs::MSYNC_COMMIT_PER_BLOCK * dirty.len() as u64,
+                        costs::MSYNC_TABLE_SCAN
+                            + costs::MSYNC_COMMIT_PER_BLOCK * dirty.len() as u64,
                     );
                 }
                 for &(table, block) in &dirty {
@@ -406,8 +427,8 @@ impl BlockStore {
                         }
                     }
                 }
-                let due = f.wal.len() >= f.ckpt_wal_bytes
-                    || vt.now() >= f.last_ckpt + f.ckpt_interval;
+                let due =
+                    f.wal.len() >= f.ckpt_wal_bytes || vt.now() >= f.last_ckpt + f.ckpt_interval;
                 if due && !f.since_ckpt.is_empty() && vt.now() >= f.ckpt_busy_until {
                     let at = vt.now();
                     let latest = Self::checkpoint(f, at, self.variant, vt);
@@ -442,7 +463,10 @@ impl BlockStore {
         let msync = variant != StoreVariant::Baseline;
         if msync {
             conn_vt.charge(Category::Memsnap, costs::MSYNC_TABLE_SCAN);
-            conn_vt.charge(Category::Memsnap, costs::MSYNC_PER_BLOCK * dirty.len() as u64);
+            conn_vt.charge(
+                Category::Memsnap,
+                costs::MSYNC_PER_BLOCK * dirty.len() as u64,
+            );
         }
         let mut touched_fds = HashSet::new();
         let mut writer = Vt::new(u32::MAX - 7);
@@ -450,8 +474,7 @@ impl BlockStore {
         for (table, block) in dirty {
             let fd = f.table_fds[table as usize];
             let data = f.blocks[&(table, block)].clone();
-            f.fs
-                .write(&mut writer, &mut f.disk, fd, block * PG_BLOCK as u64, &data);
+            f.fs.write(&mut writer, &mut f.disk, fd, block * PG_BLOCK as u64, &data);
             touched_fds.insert(fd);
         }
         // Each file's flush is issued at the same instant on its own
@@ -527,7 +550,11 @@ impl BlockStore {
         BlockStore {
             variant: StoreVariant::MemSnap,
             file: None,
-            ms: Some(MsState { ms, spaces, regions }),
+            ms: Some(MsState {
+                ms,
+                spaces,
+                regions,
+            }),
             commits: 0,
         }
     }

@@ -122,12 +122,7 @@ pub fn setup(variant: StoreVariant, warehouses: u64, connections: usize, vt: &mu
     db
 }
 
-fn execute_txn(
-    state: &mut TpccState,
-    vt: &mut Vt,
-    conn: usize,
-    txn: &TpccTxn,
-) {
+fn execute_txn(state: &mut TpccState, vt: &mut Vt, conn: usize, txn: &TpccTxn) {
     let thread = vt.id();
     vt.charge(Category::OtherUserspace, TXN_CPU);
     let db = &mut state.db;
@@ -259,7 +254,11 @@ pub fn run(mut db: PgDb, cfg: &TpccConfig, start: Nanos) -> (TpccReport, PgDb) {
         });
     }
     let threads = sched.run_to_completion();
-    let end = threads.iter().map(|vt| vt.now()).max().unwrap_or(Nanos::ZERO);
+    let end = threads
+        .iter()
+        .map(|vt| vt.now())
+        .max()
+        .unwrap_or(Nanos::ZERO);
     let wall = end.saturating_sub(start);
 
     let state = Rc::try_unwrap(state)

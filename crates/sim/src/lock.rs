@@ -53,7 +53,10 @@ impl SimLock {
     /// missing [`SimLock::unlock`], which under conservative scheduling is
     /// a bug in the calling component rather than real contention.
     pub fn lock(&mut self, vt: &mut Vt) {
-        assert!(!self.held, "SimLock::lock on a lock still held (missing unlock)");
+        assert!(
+            !self.held,
+            "SimLock::lock on a lock still held (missing unlock)"
+        );
         if self.free_at > vt.now() {
             self.contended += self.free_at - vt.now();
         }

@@ -104,10 +104,12 @@ impl AuroraKv {
                 self.index.insert(vt, key, page);
                 vt.charge(Category::Locking, NODE_LOCK);
                 let mut buf = [0u8; PAGE];
-                self.aurora.read(vt, self.region, page * PAGE as u64, &mut buf);
+                self.aurora
+                    .read(vt, self.region, page * PAGE as u64, &mut buf);
                 let node = decode_node(&buf).expect("index points at valid nodes");
                 let image = encode_node(key, value, node.next);
-                self.aurora.write(vt, self.region, page * PAGE as u64, &image);
+                self.aurora
+                    .write(vt, self.region, page * PAGE as u64, &image);
             }
             Insert::New {
                 pred_payload,
@@ -119,7 +121,8 @@ impl AuroraKv {
                 self.index.insert(vt, key, page);
                 vt.charge(Category::Locking, NODE_LOCK * 2);
                 let image = encode_node(key, value, succ_payload.unwrap_or(0));
-                self.aurora.write(vt, self.region, page * PAGE as u64, &image);
+                self.aurora
+                    .write(vt, self.region, page * PAGE as u64, &image);
                 let pred_page = pred_payload.unwrap_or(0);
                 self.aurora.write(
                     vt,
@@ -139,22 +142,25 @@ impl AuroraKv {
 }
 
 impl Kv for AuroraKv {
-    fn put(&mut self, vt: &mut Vt, key: u64, value: &[u8]) {
+    fn put(&mut self, vt: &mut Vt, key: u64, value: &[u8]) -> Result<(), crate::KvError> {
         self.insert_volatile(vt, key, value);
         self.checkpoint(vt);
+        Ok(())
     }
 
-    fn multi_put(&mut self, vt: &mut Vt, pairs: &[(u64, Vec<u8>)]) {
+    fn multi_put(&mut self, vt: &mut Vt, pairs: &[(u64, Vec<u8>)]) -> Result<(), crate::KvError> {
         for (key, value) in pairs {
             self.insert_volatile(vt, *key, value);
         }
         self.checkpoint(vt);
+        Ok(())
     }
 
     fn get(&mut self, vt: &mut Vt, key: u64) -> Option<Vec<u8>> {
         let page = *self.index.find(vt, key)?;
         let mut buf = [0u8; PAGE];
-        self.aurora.read(vt, self.region, page * PAGE as u64, &mut buf);
+        self.aurora
+            .read(vt, self.region, page * PAGE as u64, &mut buf);
         decode_node(&buf).map(|n| n.value)
     }
 
@@ -169,8 +175,14 @@ impl Kv for AuroraKv {
             .into_iter()
             .map(|(k, page)| {
                 let mut buf = [0u8; PAGE];
-                self.aurora.read(vt, self.region, page * PAGE as u64, &mut buf);
-                (k, decode_node(&buf).expect("index points at valid nodes").value)
+                self.aurora
+                    .read(vt, self.region, page * PAGE as u64, &mut buf);
+                (
+                    k,
+                    decode_node(&buf)
+                        .expect("index points at valid nodes")
+                        .value,
+                )
             })
             .collect()
     }
@@ -202,8 +214,8 @@ mod tests {
     #[test]
     fn put_get_round_trip() {
         let (mut kv, mut vt) = fresh();
-        kv.put(&mut vt, 5, b"five");
-        kv.put(&mut vt, 3, b"three");
+        kv.put(&mut vt, 5, b"five").unwrap();
+        kv.put(&mut vt, 3, b"three").unwrap();
         assert_eq!(kv.get(&mut vt, 5), Some(b"five".to_vec()));
         assert_eq!(kv.get(&mut vt, 3), Some(b"three".to_vec()));
         assert_eq!(kv.len(), 2);
@@ -213,7 +225,7 @@ mod tests {
     fn crash_restore_round_trips() {
         let (mut kv, mut vt) = fresh();
         for k in 0..50u64 {
-            kv.put(&mut vt, k, &k.to_le_bytes());
+            kv.put(&mut vt, k, &k.to_le_bytes()).unwrap();
         }
         let disk = kv.crash(vt.now());
         let mut vt2 = Vt::new(1);
@@ -229,20 +241,16 @@ mod tests {
         // The §7.2 comparison: region checkpointing's fixed costs dwarf
         // the 2-page dirty set.
         let (mut kv, mut vt) = fresh();
-        kv.put(&mut vt, 1, b"warm");
+        kv.put(&mut vt, 1, b"warm").unwrap();
         let t0 = vt.now();
-        kv.put(&mut vt, 2, b"x");
+        kv.put(&mut vt, 2, b"x").unwrap();
         let aurora_lat = (vt.now() - t0).as_us_f64();
 
         let mut vt2 = Vt::new(0);
-        let mut ms = crate::MemSnapKv::format(
-            Disk::new(DiskConfig::paper()),
-            4096,
-            &mut vt2,
-        );
-        ms.put(&mut vt2, 1, b"warm");
+        let mut ms = crate::MemSnapKv::format(Disk::new(DiskConfig::paper()), 4096, &mut vt2);
+        ms.put(&mut vt2, 1, b"warm").unwrap();
         let t0 = vt2.now();
-        ms.put(&mut vt2, 2, b"x");
+        ms.put(&mut vt2, 2, b"x").unwrap();
         let ms_lat = (vt2.now() - t0).as_us_f64();
 
         let ratio = aurora_lat / ms_lat;
@@ -255,7 +263,7 @@ mod tests {
     #[test]
     fn checkpoints_report_breakdown() {
         let (mut kv, mut vt) = fresh();
-        kv.put(&mut vt, 1, b"v");
+        kv.put(&mut vt, 1, b"v").unwrap();
         assert_eq!(kv.stats().commits, 1);
         assert_eq!(kv.meters().get("checkpoint").unwrap().count(), 1);
     }

@@ -145,14 +145,14 @@ impl BaselineKv {
     /// Merges all SSTables into one (single-level compaction), newest
     /// version of each key winning.
     fn compact(&mut self, vt: &mut Vt) {
-        let mut merged: std::collections::BTreeMap<u64, Vec<u8>> = std::collections::BTreeMap::new();
+        let mut merged: std::collections::BTreeMap<u64, Vec<u8>> =
+            std::collections::BTreeMap::new();
         let tables = std::mem::take(&mut self.sstables);
         for sst in &tables {
             // Newest tables are later in the vec, so later inserts win.
             for &(key, offset, vlen) in &sst.index {
                 let mut value = vec![0u8; vlen as usize];
-                self.fs
-                    .read(vt, &mut self.disk, sst.fd, offset, &mut value);
+                self.fs.read(vt, &mut self.disk, sst.fd, offset, &mut value);
                 merged.insert(key, value);
             }
         }
@@ -224,15 +224,16 @@ fn read_sst_index(
 }
 
 impl Kv for BaselineKv {
-    fn put(&mut self, vt: &mut Vt, key: u64, value: &[u8]) {
+    fn put(&mut self, vt: &mut Vt, key: u64, value: &[u8]) -> Result<(), crate::KvError> {
         self.log_one(vt, key, value);
         self.wal.sync(vt, &mut self.disk, &mut self.fs);
         self.insert_memtable(vt, key, value);
         self.stats.commits += 1;
         self.maybe_flush(vt);
+        Ok(())
     }
 
-    fn multi_put(&mut self, vt: &mut Vt, pairs: &[(u64, Vec<u8>)]) {
+    fn multi_put(&mut self, vt: &mut Vt, pairs: &[(u64, Vec<u8>)]) -> Result<(), crate::KvError> {
         for (key, value) in pairs {
             self.log_one(vt, *key, value);
         }
@@ -242,6 +243,7 @@ impl Kv for BaselineKv {
         }
         self.stats.commits += 1;
         self.maybe_flush(vt);
+        Ok(())
     }
 
     fn get(&mut self, vt: &mut Vt, key: u64) -> Option<Vec<u8>> {
@@ -262,7 +264,8 @@ impl Kv for BaselineKv {
 
     fn seek(&mut self, vt: &mut Vt, key: u64, limit: usize) -> Vec<(u64, Vec<u8>)> {
         // Merge the MemTable with every SSTable (newest wins).
-        let mut merged: std::collections::BTreeMap<u64, Vec<u8>> = std::collections::BTreeMap::new();
+        let mut merged: std::collections::BTreeMap<u64, Vec<u8>> =
+            std::collections::BTreeMap::new();
         for sst_i in 0..self.sstables.len() {
             let probes: Vec<(u64, u64, u16)> = {
                 let sst = &self.sstables[sst_i];
@@ -311,8 +314,8 @@ mod tests {
     #[test]
     fn put_get_round_trip() {
         let (mut kv, mut vt) = fresh(1 << 20);
-        kv.put(&mut vt, 5, b"five");
-        kv.put(&mut vt, 3, b"three");
+        kv.put(&mut vt, 5, b"five").unwrap();
+        kv.put(&mut vt, 3, b"three").unwrap();
         assert_eq!(kv.get(&mut vt, 5), Some(b"five".to_vec()));
         assert_eq!(kv.get(&mut vt, 3), Some(b"three".to_vec()));
         assert_eq!(kv.get(&mut vt, 4), None);
@@ -322,7 +325,7 @@ mod tests {
     fn flush_moves_memtable_to_sstable() {
         let (mut kv, mut vt) = fresh(2_000);
         for k in 0..40u64 {
-            kv.put(&mut vt, k, &[7u8; 100]);
+            kv.put(&mut vt, k, &[7u8; 100]).unwrap();
         }
         assert!(kv.stats().flushes >= 1);
         // Keys written before the flush are served from SSTables.
@@ -334,7 +337,7 @@ mod tests {
     fn compaction_merges_tables() {
         let (mut kv, mut vt) = fresh(1_000);
         for k in 0..400u64 {
-            kv.put(&mut vt, k % 50, &k.to_le_bytes()); // rewrites
+            kv.put(&mut vt, k % 50, &k.to_le_bytes()).unwrap(); // rewrites
         }
         assert!(kv.stats().compactions >= 1);
         // Latest version wins after compaction.
@@ -350,7 +353,7 @@ mod tests {
     fn crash_recovers_wal_and_sstables() {
         let (mut kv, mut vt) = fresh(2_000);
         for k in 0..30u64 {
-            kv.put(&mut vt, k, &k.to_le_bytes());
+            kv.put(&mut vt, k, &k.to_le_bytes()).unwrap();
         }
         let now = vt.now();
         kv.crash_and_recover(&mut vt, now);
@@ -366,9 +369,9 @@ mod tests {
     #[test]
     fn unsynced_put_lost_on_crash() {
         let (mut kv, mut vt) = fresh(1 << 20);
-        kv.put(&mut vt, 1, b"durable");
+        kv.put(&mut vt, 1, b"durable").unwrap();
         let after_first = vt.now();
-        kv.put(&mut vt, 2, b"later");
+        kv.put(&mut vt, 2, b"later").unwrap();
         kv.crash_and_recover(&mut vt, after_first);
         assert_eq!(kv.get(&mut vt, 1), Some(b"durable".to_vec()));
         assert_eq!(kv.get(&mut vt, 2), None);
@@ -378,12 +381,12 @@ mod tests {
     fn seek_merges_memtable_and_sstables() {
         let (mut kv, mut vt) = fresh(1_500);
         for k in (0..60u64).step_by(2) {
-            kv.put(&mut vt, k, b"even");
+            kv.put(&mut vt, k, b"even").unwrap();
         }
         // Some of these are in SSTables now; add odd keys to the
         // memtable.
         for k in (1..20u64).step_by(2) {
-            kv.put(&mut vt, k, b"odd");
+            kv.put(&mut vt, k, b"odd").unwrap();
         }
         let got = kv.seek(&mut vt, 5, 6);
         let keys: Vec<u64> = got.iter().map(|(k, _)| *k).collect();
@@ -394,7 +397,7 @@ mod tests {
     fn wal_fsync_dominates_put_latency() {
         let (mut kv, mut vt) = fresh(1 << 30);
         let t0 = vt.now();
-        kv.put(&mut vt, 1, &[0u8; 100]);
+        kv.put(&mut vt, 1, &[0u8; 100]).unwrap();
         let lat = (vt.now() - t0).as_us_f64();
         // One record + fsync: ~70-90 us on the FFS model (vs ~35 us for
         // the MemSnap variant's single-page μCheckpoint... plus its pred).

@@ -43,12 +43,14 @@ pub fn fill<K: Kv>(kv: &mut K, vt: &mut Vt, keys: u64, batch: usize) {
     for key in 0..keys {
         pairs.push((key, MixOp::value_bytes(key).to_vec()));
         if pairs.len() == batch {
-            kv.multi_put(vt, &pairs);
+            kv.multi_put(vt, &pairs)
+                .expect("the fill workload runs without fault injection");
             pairs.clear();
         }
     }
     if !pairs.is_empty() {
-        kv.multi_put(vt, &pairs);
+        kv.multi_put(vt, &pairs)
+            .expect("the fill workload runs without fault injection");
     }
 }
 
@@ -78,7 +80,9 @@ pub fn run_mixgraph<K: Kv + 'static>(
                     let _ = kv.borrow_mut().get(vt, key);
                 }
                 MixOp::Put(key) => {
-                    kv.borrow_mut().put(vt, key, &MixOp::value_bytes(key));
+                    kv.borrow_mut()
+                        .put(vt, key, &MixOp::value_bytes(key))
+                        .expect("the MixGraph workload runs without fault injection");
                 }
                 MixOp::Seek(key, len) => {
                     let _ = kv.borrow_mut().seek(vt, key, len);
@@ -94,7 +98,11 @@ pub fn run_mixgraph<K: Kv + 'static>(
         });
     }
     let threads = sched.run_to_completion();
-    let end = threads.iter().map(|vt| vt.now()).max().unwrap_or(Nanos::ZERO);
+    let end = threads
+        .iter()
+        .map(|vt| vt.now())
+        .max()
+        .unwrap_or(Nanos::ZERO);
     let wall = end.saturating_sub(start);
     let mut costs = CostTracker::new();
     for vt in &threads {
@@ -152,9 +160,12 @@ pub fn torture_memsnap(
     let mut boot = Vt::new(u32::MAX);
     let mut kv = MemSnapKv::format(Disk::new(DiskConfig::paper()), keys * 4 + 64, &mut boot);
     // Initialize all counters to zero, committed before the benchmark.
-    let pairs: Vec<(u64, Vec<u8>)> = (0..keys).map(|k| (k, 0u64.to_le_bytes().to_vec())).collect();
+    let pairs: Vec<(u64, Vec<u8>)> = (0..keys)
+        .map(|k| (k, 0u64.to_le_bytes().to_vec()))
+        .collect();
     for chunk in pairs.chunks(256) {
-        kv.multi_put(&mut boot, chunk);
+        kv.multi_put(&mut boot, chunk)
+            .expect("the fill workload runs without fault injection");
     }
     let fill_done = boot.now();
 
@@ -181,7 +192,8 @@ pub fn torture_memsnap(
                     .unwrap_or(0);
                 batch.push((key, (current + 1).to_le_bytes().to_vec()));
             }
-            kv.multi_put(vt, &batch);
+            kv.multi_put(vt, &batch)
+                .expect("the counter workload runs without fault injection");
             commits.borrow_mut().push(vt.now());
             remaining -= 1;
             if remaining == 0 {
@@ -200,7 +212,9 @@ pub fn torture_memsnap(
     let crash_at = fill_done + Nanos::from_ns((span * crash_fraction) as u64);
     let acked_txns = commits.borrow().iter().filter(|&&c| c <= crash_at).count() as u64;
 
-    let kv = Rc::try_unwrap(kv).expect("driver holds the only reference").into_inner();
+    let kv = Rc::try_unwrap(kv)
+        .expect("driver holds the only reference")
+        .into_inner();
     let disk = kv.crash(crash_at);
 
     let mut vt2 = Vt::new(u32::MAX - 1);

@@ -1,6 +1,33 @@
 //! The store-agnostic KV interface.
 
+use std::fmt;
+
 use msnap_sim::{Meters, Vt};
+
+/// A write the store could not make durable. The operation is *aborted*:
+/// in-memory state may retain the write (it will ride along with the next
+/// successful persist), but nothing new is durable and the caller decides
+/// whether to acknowledge the underlying device error and retry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvError(pub memsnap::MsnapError);
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "write aborted: {}", self.0)
+    }
+}
+
+impl std::error::Error for KvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.0)
+    }
+}
+
+impl From<memsnap::MsnapError> for KvError {
+    fn from(e: memsnap::MsnapError) -> Self {
+        KvError(e)
+    }
+}
 
 /// Persistence counters common to the three architectures.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -18,12 +45,21 @@ pub struct KvStats {
 /// synchronous persistence).
 pub trait Kv {
     /// Durably writes one key.
-    fn put(&mut self, vt: &mut Vt, key: u64, value: &[u8]);
+    ///
+    /// # Errors
+    ///
+    /// [`KvError`] when the device rejects the persist IO: the write is
+    /// aborted, not partially durable.
+    fn put(&mut self, vt: &mut Vt, key: u64, value: &[u8]) -> Result<(), KvError>;
 
     /// Durably writes a batch as one transaction (RocksDB's
     /// WriteCommitted path: the MemTable is modified only at commit, with
     /// a single MultiPut).
-    fn multi_put(&mut self, vt: &mut Vt, pairs: &[(u64, Vec<u8>)]);
+    ///
+    /// # Errors
+    ///
+    /// As for [`Kv::put`] — the batch aborts as a unit.
+    fn multi_put(&mut self, vt: &mut Vt, pairs: &[(u64, Vec<u8>)]) -> Result<(), KvError>;
 
     /// Point lookup.
     fn get(&mut self, vt: &mut Vt, key: u64) -> Option<Vec<u8>>;

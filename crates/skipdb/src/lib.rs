@@ -48,7 +48,7 @@ mod skiplist;
 
 pub use aurora_kv::AuroraKv;
 pub use baseline::BaselineKv;
-pub use kv::{Kv, KvStats};
+pub use kv::{Kv, KvError, KvStats};
 pub use memsnap_kv::MemSnapKv;
 pub use rotating::RotatingMemSnapKv;
 pub use skiplist::{Insert, SkipIndex};

@@ -83,33 +83,48 @@ impl MemSnapKv {
         self.list.pages_used()
     }
 
-    fn persist(&mut self, vt: &mut Vt) {
-        let thread = vt.id();
+    /// Installs a deterministic fault plan on the underlying device
+    /// (robustness testing).
+    pub fn set_fault_plan(&mut self, plan: msnap_disk::FaultPlan) {
+        self.ms.set_fault_plan(plan);
+    }
+
+    /// Acknowledges and clears the store's sticky persist error,
+    /// returning it. Until this is called, every write keeps reporting
+    /// the failure (fsync-gate semantics).
+    pub fn ack_error(&mut self) -> Option<memsnap::MsnapError> {
         self.ms
-            .msnap_persist(
-                vt,
-                thread,
-                RegionSel::Region(self.list.region.md),
-                PersistFlags::sync(),
-            )
-            .expect("memtable region exists");
+            .msnap_ack_error(RegionSel::Region(self.list.region.md))
+    }
+
+    fn persist(&mut self, vt: &mut Vt) -> Result<(), crate::KvError> {
+        let thread = vt.id();
+        self.ms.msnap_persist(
+            vt,
+            thread,
+            RegionSel::Region(self.list.region.md),
+            PersistFlags::sync(),
+        )?;
         self.stats.commits += 1;
+        Ok(())
     }
 }
 
 impl Kv for MemSnapKv {
-    fn put(&mut self, vt: &mut Vt, key: u64, value: &[u8]) {
-        self.list.insert_volatile(&mut self.ms, self.space, vt, key, value);
-        self.persist(vt);
+    fn put(&mut self, vt: &mut Vt, key: u64, value: &[u8]) -> Result<(), crate::KvError> {
+        self.list
+            .insert_volatile(&mut self.ms, self.space, vt, key, value);
+        self.persist(vt)
     }
 
-    fn multi_put(&mut self, vt: &mut Vt, pairs: &[(u64, Vec<u8>)]) {
+    fn multi_put(&mut self, vt: &mut Vt, pairs: &[(u64, Vec<u8>)]) -> Result<(), crate::KvError> {
         // WriteCommitted: all MemTable writes happen at commit, then one
         // μCheckpoint persists the whole batch atomically.
         for (key, value) in pairs {
-            self.list.insert_volatile(&mut self.ms, self.space, vt, *key, value);
+            self.list
+                .insert_volatile(&mut self.ms, self.space, vt, *key, value);
         }
-        self.persist(vt);
+        self.persist(vt)
     }
 
     fn get(&mut self, vt: &mut Vt, key: u64) -> Option<Vec<u8>> {
@@ -145,11 +160,29 @@ mod tests {
     }
 
     #[test]
+    fn dropped_write_aborts_the_put_without_panicking() {
+        use msnap_disk::{Fault, FaultPlan};
+        let (mut kv, mut vt) = fresh();
+        kv.put(&mut vt, 1, b"durable").unwrap();
+        kv.set_fault_plan(FaultPlan::new().at(
+            kv.memsnap().disk().io_seq(),
+            Fault::Drop { transient: false },
+        ));
+        let err = kv.put(&mut vt, 2, b"lost").unwrap_err();
+        // Fsync-gate: the error is sticky until acknowledged, then the
+        // retry persists the aborted write (it stayed in the MemTable).
+        assert_eq!(kv.put(&mut vt, 3, b"also blocked").unwrap_err(), err);
+        assert!(kv.ack_error().is_some());
+        kv.put(&mut vt, 4, b"after ack").unwrap();
+        assert_eq!(kv.get(&mut vt, 2).as_deref(), Some(&b"lost"[..]));
+    }
+
+    #[test]
     fn put_get_round_trip() {
         let (mut kv, mut vt) = fresh();
-        kv.put(&mut vt, 5, b"five");
-        kv.put(&mut vt, 3, b"three");
-        kv.put(&mut vt, 9, b"nine");
+        kv.put(&mut vt, 5, b"five").unwrap();
+        kv.put(&mut vt, 3, b"three").unwrap();
+        kv.put(&mut vt, 9, b"nine").unwrap();
         assert_eq!(kv.get(&mut vt, 3), Some(b"three".to_vec()));
         assert_eq!(kv.get(&mut vt, 5), Some(b"five".to_vec()));
         assert_eq!(kv.get(&mut vt, 9), Some(b"nine".to_vec()));
@@ -160,9 +193,9 @@ mod tests {
     #[test]
     fn overwrite_updates_in_place() {
         let (mut kv, mut vt) = fresh();
-        kv.put(&mut vt, 5, b"old");
+        kv.put(&mut vt, 5, b"old").unwrap();
         let pages_before = kv.pages_used();
-        kv.put(&mut vt, 5, b"new");
+        kv.put(&mut vt, 5, b"new").unwrap();
         assert_eq!(kv.pages_used(), pages_before, "rewrite allocates no node");
         assert_eq!(kv.get(&mut vt, 5), Some(b"new".to_vec()));
         assert_eq!(kv.len(), 1);
@@ -171,9 +204,9 @@ mod tests {
     #[test]
     fn put_persists_exactly_new_node_and_pred() {
         let (mut kv, mut vt) = fresh();
-        kv.put(&mut vt, 10, b"a"); // pred = head
+        kv.put(&mut vt, 10, b"a").unwrap(); // pred = head
         assert_eq!(kv.memsnap().last_persist_breakdown().pages, 2);
-        kv.put(&mut vt, 20, b"b"); // pred = node 10
+        kv.put(&mut vt, 20, b"b").unwrap(); // pred = node 10
         assert_eq!(kv.memsnap().last_persist_breakdown().pages, 2);
     }
 
@@ -181,7 +214,7 @@ mod tests {
     fn seek_returns_ordered_range() {
         let (mut kv, mut vt) = fresh();
         for k in [50u64, 10, 30, 20, 40] {
-            kv.put(&mut vt, k, &k.to_le_bytes());
+            kv.put(&mut vt, k, &k.to_le_bytes()).unwrap();
         }
         let got = kv.seek(&mut vt, 15, 3);
         let keys: Vec<u64> = got.iter().map(|(k, _)| *k).collect();
@@ -192,7 +225,7 @@ mod tests {
     fn crash_restore_rebuilds_skip_pointers() {
         let (mut kv, mut vt) = fresh();
         for k in 0..200u64 {
-            kv.put(&mut vt, (k * 7919) % 200, &k.to_le_bytes());
+            kv.put(&mut vt, (k * 7919) % 200, &k.to_le_bytes()).unwrap();
         }
         let crash_at = vt.now();
         let disk = kv.crash(crash_at);
@@ -209,9 +242,9 @@ mod tests {
     #[test]
     fn unpersisted_tail_is_lost_but_prefix_consistent() {
         let (mut kv, mut vt) = fresh();
-        kv.put(&mut vt, 1, b"one");
+        kv.put(&mut vt, 1, b"one").unwrap();
         let after_first = vt.now();
-        kv.put(&mut vt, 2, b"two");
+        kv.put(&mut vt, 2, b"two").unwrap();
         let disk = kv.crash(after_first);
 
         let mut vt2 = Vt::new(1);
@@ -225,7 +258,7 @@ mod tests {
     fn multi_put_is_one_checkpoint() {
         let (mut kv, mut vt) = fresh();
         let pairs: Vec<(u64, Vec<u8>)> = (0..10u64).map(|k| (k, vec![k as u8; 8])).collect();
-        kv.multi_put(&mut vt, &pairs);
+        kv.multi_put(&mut vt, &pairs).unwrap();
         assert_eq!(kv.stats().commits, 1);
         assert_eq!(
             kv.memsnap().meters().get("msnap_persist").unwrap().count(),
@@ -236,16 +269,18 @@ mod tests {
     #[test]
     fn multi_put_is_atomic_across_crash() {
         let (mut kv, mut vt) = fresh();
-        kv.put(&mut vt, 100, b"base");
+        kv.put(&mut vt, 100, b"base").unwrap();
         let before_batch = vt.now();
         let pairs: Vec<(u64, Vec<u8>)> = (0..20u64).map(|k| (k, vec![1u8; 4])).collect();
-        kv.multi_put(&mut vt, &pairs);
+        kv.multi_put(&mut vt, &pairs).unwrap();
         // Crash mid-batch-persist: the batch must be all-or-nothing.
         let disk = kv.crash(before_batch + Nanos::from_us(20));
 
         let mut vt2 = Vt::new(1);
         let mut kv2 = MemSnapKv::restore(disk, &mut vt2);
-        let batch_present = (0..20u64).filter(|k| kv2.get(&mut vt2, *k).is_some()).count();
+        let batch_present = (0..20u64)
+            .filter(|k| kv2.get(&mut vt2, *k).is_some())
+            .count();
         assert!(
             batch_present == 0 || batch_present == 20,
             "torn batch: {batch_present}/20 keys"

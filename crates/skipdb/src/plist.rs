@@ -99,8 +99,14 @@ impl PersistentSkipList {
                     .expect("region reads are infallible");
                 let node = decode_node(&buf).expect("index points at valid nodes");
                 let image = encode_node(key, value, node.next);
-                ms.write(vt, space, thread, self.region.addr + page * PAGE as u64, &image)
-                    .expect("region writes are infallible");
+                ms.write(
+                    vt,
+                    space,
+                    thread,
+                    self.region.addr + page * PAGE as u64,
+                    &image,
+                )
+                .expect("region writes are infallible");
             }
             Insert::New {
                 pred_payload,
@@ -114,13 +120,19 @@ impl PersistentSkipList {
                 );
                 self.next_page += 1;
                 self.index.insert(vt, key, page); // set real payload
-                // Lock pred + new node (per-node spinlocks, property ③).
+                                                  // Lock pred + new node (per-node spinlocks, property ③).
                 vt.charge(Category::Locking, NODE_LOCK * 2);
                 // New node first (points at the successor), then splice
                 // the predecessor — crash-safe publication order.
                 let image = encode_node(key, value, succ_payload.unwrap_or(0));
-                ms.write(vt, space, thread, self.region.addr + page * PAGE as u64, &image)
-                    .expect("region writes are infallible");
+                ms.write(
+                    vt,
+                    space,
+                    thread,
+                    self.region.addr + page * PAGE as u64,
+                    &image,
+                )
+                .expect("region writes are infallible");
                 let pred = pred_payload.unwrap_or(0);
                 ms.write(
                     vt,
@@ -164,7 +176,12 @@ impl PersistentSkipList {
                 let mut buf = [0u8; PAGE];
                 ms.read(vt, space, self.region.addr + page * PAGE as u64, &mut buf)
                     .expect("region reads are infallible");
-                (k, decode_node(&buf).expect("index points at valid nodes").value)
+                (
+                    k,
+                    decode_node(&buf)
+                        .expect("index points at valid nodes")
+                        .value,
+                )
             })
             .collect()
     }

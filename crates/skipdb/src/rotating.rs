@@ -154,16 +154,18 @@ impl RotatingMemSnapKv {
 }
 
 impl Kv for RotatingMemSnapKv {
-    fn put(&mut self, vt: &mut Vt, key: u64, value: &[u8]) {
+    fn put(&mut self, vt: &mut Vt, key: u64, value: &[u8]) -> Result<(), crate::KvError> {
         self.insert_one(vt, key, value);
         self.persist_active(vt);
+        Ok(())
     }
 
-    fn multi_put(&mut self, vt: &mut Vt, pairs: &[(u64, Vec<u8>)]) {
+    fn multi_put(&mut self, vt: &mut Vt, pairs: &[(u64, Vec<u8>)]) -> Result<(), crate::KvError> {
         for (key, value) in pairs {
             self.insert_one(vt, *key, value);
         }
         self.persist_active(vt);
+        Ok(())
     }
 
     fn get(&mut self, vt: &mut Vt, key: u64) -> Option<Vec<u8>> {
@@ -228,11 +230,15 @@ mod tests {
     fn put_get_across_rotation() {
         let (mut kv, mut vt) = fresh(16);
         for k in 0..60u64 {
-            kv.put(&mut vt, k, &k.to_le_bytes());
+            kv.put(&mut vt, k, &k.to_le_bytes()).unwrap();
         }
         assert!(kv.tiers() > 1, "rotation must have happened");
         for k in 0..60u64 {
-            assert_eq!(kv.get(&mut vt, k), Some(k.to_le_bytes().to_vec()), "key {k}");
+            assert_eq!(
+                kv.get(&mut vt, k),
+                Some(k.to_le_bytes().to_vec()),
+                "key {k}"
+            );
         }
     }
 
@@ -241,7 +247,8 @@ mod tests {
         let (mut kv, mut vt) = fresh(8);
         for round in 0..4u64 {
             for k in 0..10u64 {
-                kv.put(&mut vt, k, &(round * 100 + k).to_le_bytes());
+                kv.put(&mut vt, k, &(round * 100 + k).to_le_bytes())
+                    .unwrap();
             }
         }
         assert!(kv.tiers() >= 3);
@@ -255,7 +262,7 @@ mod tests {
     fn seek_merges_tiers_in_order() {
         let (mut kv, mut vt) = fresh(8);
         for k in (0..40u64).rev() {
-            kv.put(&mut vt, k, b"v");
+            kv.put(&mut vt, k, b"v").unwrap();
         }
         let keys: Vec<u64> = kv.seek(&mut vt, 10, 8).iter().map(|(k, _)| *k).collect();
         assert_eq!(keys, vec![10, 11, 12, 13, 14, 15, 16, 17]);
@@ -265,7 +272,7 @@ mod tests {
     fn crash_restore_recovers_all_tiers() {
         let (mut kv, mut vt) = fresh(12);
         for k in 0..50u64 {
-            kv.put(&mut vt, k, &(k * 3).to_le_bytes());
+            kv.put(&mut vt, k, &(k * 3).to_le_bytes()).unwrap();
         }
         let tiers_before = kv.tiers();
         assert!(tiers_before > 1);
@@ -287,7 +294,7 @@ mod tests {
     fn sealed_tiers_keep_independent_epochs() {
         let (mut kv, mut vt) = fresh(8);
         for k in 0..30u64 {
-            kv.put(&mut vt, k, b"x");
+            kv.put(&mut vt, k, b"x").unwrap();
         }
         // Epochs advance only on the active tier; sealed regions stay at
         // their sealing epoch (no global serialization).

@@ -1,12 +1,18 @@
 //! Block allocation.
 
-/// A bump block allocator with a free list.
+use std::collections::BTreeSet;
+
+/// A bump block allocator with a free list and an optional capacity
+/// ceiling.
 ///
 /// Sequential allocation is a load-bearing design point: the store turns a
 /// *random* set of dirty object pages into *sequential* device writes
 /// (paper §6: "MemSnap's … COW object store … translates random object
 /// updates into sequential writes on disk"). Blocks replaced by a committed
-/// μCheckpoint are recycled through the free list.
+/// μCheckpoint are recycled through the free list; contiguous extents
+/// prefer a run of recycled blocks before growing the bump frontier, so
+/// long-running workloads reach a steady-state footprint instead of
+/// growing the block map forever.
 ///
 /// After a crash the free list is not recovered; the allocator restarts
 /// bumping past the highest block reachable from any durable root (the
@@ -14,43 +20,109 @@
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockAllocator {
     next: u64,
-    free: Vec<u64>,
+    free: BTreeSet<u64>,
+    /// First block past the end of the device, if bounded.
+    capacity: Option<u64>,
 }
 
 impl BlockAllocator {
-    /// Creates an allocator whose first fresh block is `first_block`.
+    /// Creates an unbounded allocator whose first fresh block is
+    /// `first_block`.
     pub fn new(first_block: u64) -> Self {
+        Self::with_capacity(first_block, None)
+    }
+
+    /// Creates an allocator bounded by `capacity` (first invalid block
+    /// number; `None` for unbounded).
+    pub fn with_capacity(first_block: u64, capacity: Option<u64>) -> Self {
         BlockAllocator {
             next: first_block,
-            free: Vec::new(),
+            free: BTreeSet::new(),
+            capacity,
         }
     }
 
-    /// Allocates one block, preferring recycled blocks.
-    pub fn alloc(&mut self) -> u64 {
-        if let Some(block) = self.free.pop() {
-            block
-        } else {
-            let block = self.next;
-            self.next += 1;
-            block
+    /// Allocates one block, preferring recycled blocks. Returns `None`
+    /// when the device is full.
+    #[must_use = "allocation fails when the device is full"]
+    pub fn alloc(&mut self) -> Option<u64> {
+        if let Some(&block) = self.free.iter().next() {
+            self.free.remove(&block);
+            return Some(block);
         }
+        if self.capacity.is_some_and(|cap| self.next >= cap) {
+            return None;
+        }
+        let block = self.next;
+        self.next += 1;
+        Some(block)
     }
 
-    /// Allocates `n` *contiguous* fresh blocks and returns the first.
+    /// Allocates `n` *contiguous* blocks and returns the first, or `None`
+    /// when no run of `n` blocks is available.
     ///
     /// μCheckpoint data blocks are allocated contiguously so one commit is
-    /// one sequential extent.
-    pub fn alloc_contiguous(&mut self, n: u64) -> u64 {
+    /// one sequential extent. A run from the free list is preferred (the
+    /// steady-state path once the device has wrapped once); otherwise the
+    /// bump frontier grows.
+    #[must_use = "allocation fails when the device is full"]
+    pub fn alloc_contiguous(&mut self, n: u64) -> Option<u64> {
+        if n == 0 {
+            return Some(self.next);
+        }
+        // Look for n consecutive recycled blocks.
+        let mut run_start = None;
+        let mut run_len = 0u64;
+        let mut prev = None;
+        for &b in &self.free {
+            match prev {
+                Some(p) if b == p + 1 => run_len += 1,
+                _ => {
+                    run_start = Some(b);
+                    run_len = 1;
+                }
+            }
+            prev = Some(b);
+            if run_len == n {
+                let first = run_start.unwrap();
+                for blk in first..first + n {
+                    self.free.remove(&blk);
+                }
+                return Some(first);
+            }
+        }
+        // Fresh extent from the bump frontier.
+        if self.capacity.is_some_and(|cap| self.next + n > cap) {
+            return None;
+        }
         let first = self.next;
         self.next += n;
-        first
+        Some(first)
+    }
+
+    /// Whether an extent of `contiguous` blocks plus `singles` more
+    /// blocks can be allocated right now. Used by callers to pre-flight a
+    /// multi-allocation operation so it cannot fail halfway through.
+    pub fn can_alloc(&self, contiguous: u64, singles: u64) -> bool {
+        let mut probe = self.clone();
+        if probe.alloc_contiguous(contiguous).is_none() {
+            return false;
+        }
+        for _ in 0..singles {
+            if probe.alloc().is_none() {
+                return false;
+            }
+        }
+        true
     }
 
     /// Returns a block to the free list.
     pub fn free(&mut self, block: u64) {
-        debug_assert!(block < self.next, "freeing a block that was never allocated");
-        self.free.push(block);
+        debug_assert!(
+            block < self.next,
+            "freeing a block that was never allocated"
+        );
+        self.free.insert(block);
     }
 
     /// The next fresh (never-allocated) block.
@@ -62,6 +134,11 @@ impl BlockAllocator {
     pub fn free_blocks(&self) -> usize {
         self.free.len()
     }
+
+    /// The capacity ceiling (first invalid block), if bounded.
+    pub fn capacity(&self) -> Option<u64> {
+        self.capacity
+    }
 }
 
 #[cfg(test)]
@@ -71,28 +148,81 @@ mod tests {
     #[test]
     fn bump_is_sequential() {
         let mut a = BlockAllocator::new(10);
-        assert_eq!(a.alloc(), 10);
-        assert_eq!(a.alloc(), 11);
+        assert_eq!(a.alloc(), Some(10));
+        assert_eq!(a.alloc(), Some(11));
         assert_eq!(a.high_water(), 12);
     }
 
     #[test]
     fn free_list_recycles() {
         let mut a = BlockAllocator::new(0);
-        let b = a.alloc();
+        let b = a.alloc().unwrap();
         a.free(b);
         assert_eq!(a.free_blocks(), 1);
-        assert_eq!(a.alloc(), b);
+        assert_eq!(a.alloc(), Some(b));
         assert_eq!(a.free_blocks(), 0);
     }
 
     #[test]
-    fn contiguous_ignores_free_list() {
+    fn contiguous_prefers_recycled_runs() {
         let mut a = BlockAllocator::new(0);
-        let b = a.alloc();
-        a.free(b);
-        let first = a.alloc_contiguous(4);
-        assert_eq!(first, 1, "contiguous ranges must be fresh");
-        assert_eq!(a.high_water(), 5);
+        let first = a.alloc_contiguous(8).unwrap();
+        assert_eq!(first, 0);
+        // Free a 4-run in the middle plus a stray block.
+        for b in 2..6 {
+            a.free(b);
+        }
+        a.free(7);
+        let reused = a.alloc_contiguous(4).unwrap();
+        assert_eq!(reused, 2, "must reuse the freed run, not bump");
+        assert_eq!(a.high_water(), 8, "frontier must not grow");
+        // No 3-run left (only block 7): next request bumps.
+        let fresh = a.alloc_contiguous(3).unwrap();
+        assert_eq!(fresh, 8);
+    }
+
+    #[test]
+    fn capacity_ceiling_is_enforced() {
+        let mut a = BlockAllocator::with_capacity(0, Some(4));
+        assert_eq!(a.alloc_contiguous(3), Some(0));
+        assert_eq!(a.alloc_contiguous(2), None, "only one block left");
+        assert_eq!(a.alloc(), Some(3));
+        assert_eq!(a.alloc(), None, "device full");
+        // Freeing makes room again.
+        a.free(1);
+        assert_eq!(a.alloc(), Some(1));
+    }
+
+    #[test]
+    fn can_alloc_preflights_without_mutating() {
+        let mut a = BlockAllocator::with_capacity(0, Some(10));
+        assert!(a.can_alloc(8, 2));
+        assert!(!a.can_alloc(8, 3));
+        assert_eq!(a.high_water(), 0, "preflight must not allocate");
+        assert_eq!(a.alloc_contiguous(8), Some(0));
+        assert!(!a.can_alloc(4, 0));
+        for b in 2..6 {
+            a.free(b);
+        }
+        assert!(a.can_alloc(4, 0), "freed run counts");
+    }
+
+    #[test]
+    fn steady_state_footprint_is_bounded() {
+        // Allocate/free extents in a loop: the frontier must stop growing
+        // once recycling kicks in.
+        let mut a = BlockAllocator::new(0);
+        let mut last_high_water = 0;
+        for round in 0..100 {
+            let first = a.alloc_contiguous(16).unwrap();
+            for b in first..first + 16 {
+                a.free(b);
+            }
+            if round > 0 {
+                assert_eq!(a.high_water(), last_high_water, "round {round} grew");
+            }
+            last_high_water = a.high_water();
+        }
+        assert_eq!(last_high_water, 16);
     }
 }

@@ -52,14 +52,22 @@ pub(crate) const ENTRIES_PER_BLOCK: usize = BLOCK_SIZE / DIR_ENTRY_LEN;
 /// Maximum number of objects in a store.
 pub(crate) const MAX_OBJECTS: usize = ENTRIES_PER_BLOCK * DIR_BLOCKS as usize;
 
-/// FNV-1a 64-bit, used to checksum records.
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf29ce484222325;
+/// FNV-1a 64-bit offset basis.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+
+/// Extends an FNV-1a hash with more bytes (for checksumming a payload
+/// spread over several block images).
+pub(crate) fn fnv1a_extend(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash ^= b as u64;
         hash = hash.wrapping_mul(0x100000001b3);
     }
     hash
+}
+
+/// FNV-1a 64-bit, used to checksum records.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_extend(FNV_OFFSET, bytes)
 }
 
 /// A committed full root: written to one of the object's two alternating
@@ -124,6 +132,11 @@ pub struct DeltaRecord {
     pub epoch: Epoch,
     /// Object length in pages after this commit.
     pub len_pages: u64,
+    /// FNV-1a over the commit's data-block images, in pair order. Recovery
+    /// re-reads the referenced blocks and stops the replay prefix at the
+    /// first mismatch, so a torn or silently corrupted data extent cannot
+    /// surface as committed state.
+    pub payload_sum: u64,
     /// The commit's page → data-block mappings.
     pub pairs: Vec<(u64, u64)>,
 }
@@ -143,12 +156,13 @@ impl DeltaRecord {
         w(16, self.epoch);
         w(24, self.len_pages);
         w(32, self.pairs.len() as u64);
+        w(48, self.payload_sum);
         for (i, (page, data_block)) in self.pairs.iter().enumerate() {
             w(64 + i * 16, *page);
             w(64 + i * 16 + 8, *data_block);
         }
         let end = 64 + self.pairs.len() * 16;
-        let checksum = fnv1a(&block[0..40]) ^ fnv1a(&block[64..end]);
+        let checksum = fnv1a(&block[0..40]) ^ fnv1a(&block[48..end]);
         block[40..48].copy_from_slice(&checksum.to_le_bytes());
         block
     }
@@ -164,14 +178,17 @@ impl DeltaRecord {
             return None;
         }
         let end = 64 + count * 16;
-        if fnv1a(&block[0..40]) ^ fnv1a(&block[64..end]) != r(40) {
+        if fnv1a(&block[0..40]) ^ fnv1a(&block[48..end]) != r(40) {
             return None;
         }
-        let pairs = (0..count).map(|i| (r(64 + i * 16), r(64 + i * 16 + 8))).collect();
+        let pairs = (0..count)
+            .map(|i| (r(64 + i * 16), r(64 + i * 16 + 8)))
+            .collect();
         Some(DeltaRecord {
             object: expect,
             epoch: r(16),
             len_pages: r(24),
+            payload_sum: r(48),
             pairs,
         })
     }
@@ -269,6 +286,7 @@ mod tests {
             object: ObjectId(3),
             epoch: 17,
             len_pages: 1000,
+            payload_sum: 0xDEAD_BEEF,
             pairs: vec![(5, 100), (907, 101), (13, 102)],
         };
         let block = rec.to_block();
@@ -281,6 +299,7 @@ mod tests {
             object: ObjectId(3),
             epoch: 17,
             len_pages: 8,
+            payload_sum: 7,
             pairs: vec![(1, 50)],
         };
         let mut block = rec.to_block();
@@ -294,6 +313,7 @@ mod tests {
             object: ObjectId(0),
             epoch: 1,
             len_pages: 1,
+            payload_sum: 0,
             pairs: vec![(0, 1); MAX_DELTA_PAIRS],
         };
         let block = rec.to_block();
@@ -337,6 +357,27 @@ mod tests {
     fn absent_dir_entry_decodes_none() {
         let buf = [0u8; DIR_ENTRY_LEN];
         assert_eq!(DirEntry::decode(&buf), None);
+    }
+
+    #[test]
+    fn payload_sum_participates_in_the_record_checksum() {
+        let rec = DeltaRecord {
+            object: ObjectId(2),
+            epoch: 9,
+            len_pages: 4,
+            payload_sum: 0x1234,
+            pairs: vec![(0, 80)],
+        };
+        let mut block = rec.to_block();
+        block[48] ^= 1; // corrupt the payload checksum itself
+        assert_eq!(DeltaRecord::from_block(&block, ObjectId(2)), None);
+    }
+
+    #[test]
+    fn fnv_extends_incrementally() {
+        let whole = fnv1a(b"hello world");
+        let parts = fnv1a_extend(fnv1a(b"hello "), b"world");
+        assert_eq!(whole, parts);
     }
 
     #[test]

@@ -32,7 +32,7 @@
 //!
 //! let obj = store.create(&mut vt, &mut disk, "table.db")?;
 //! let page = [9u8; BLOCK_SIZE];
-//! let commit = store.persist(&mut vt, &mut disk, obj, &[(0, &page)]);
+//! let commit = store.persist(&mut vt, &mut disk, obj, &[(0, &page)])?;
 //! assert_eq!(commit.epoch, 1);
 //!
 //! let mut out = [0u8; BLOCK_SIZE];
@@ -51,4 +51,4 @@ mod store;
 pub use alloc::BlockAllocator;
 pub use layout::{DeltaRecord, Epoch, ObjectId, RootRecord, DELTA_SLOTS, MAX_DELTA_PAIRS};
 pub use radix::RadixTree;
-pub use store::{CommitToken, ObjectStore, StoreError, StoreStats};
+pub use store::{CommitToken, ObjectStore, StoreError, StoreStats, MAX_IO_ATTEMPTS};

@@ -303,10 +303,13 @@ mod tests {
         }
         let mut next = 10u64;
         let mut writes = Vec::new();
-        let root = t.commit(&mut || {
-            next += 1;
-            next
-        }, &mut writes);
+        let root = t.commit(
+            &mut || {
+                next += 1;
+                next
+            },
+            &mut writes,
+        );
         assert_ne!(root, 0);
         assert_eq!(t.dirty_nodes(), 0);
 

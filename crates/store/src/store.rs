@@ -14,13 +14,13 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use msnap_disk::{Disk, WriteToken, BLOCK_SIZE};
+use msnap_disk::{Disk, IoError, WriteToken, BLOCK_SIZE};
 use msnap_sim::{Category, Nanos, Vt};
 
 use crate::layout::{
-    DeltaRecord, DirEntry, Epoch, ObjectId, RootRecord, DELTA_SLOTS, DIR_BLOCKS, DIR_ENTRY_LEN,
-    DIR_START, ENTRIES_PER_BLOCK, FIRST_DATA_BLOCK, MAX_DELTA_PAIRS, MAX_OBJECTS, NAME_LEN,
-    OBJECT_META_BLOCKS, SUPERBLOCK, SUPER_MAGIC,
+    self, DeltaRecord, DirEntry, Epoch, ObjectId, RootRecord, DELTA_SLOTS, DIR_BLOCKS,
+    DIR_ENTRY_LEN, DIR_START, ENTRIES_PER_BLOCK, FIRST_DATA_BLOCK, MAX_DELTA_PAIRS, MAX_OBJECTS,
+    NAME_LEN, OBJECT_META_BLOCKS, SUPERBLOCK, SUPER_MAGIC,
 };
 use crate::{BlockAllocator, RadixTree};
 
@@ -38,22 +38,60 @@ pub enum StoreError {
     NameTooLong,
     /// The on-disk image is not a formatted store.
     NotFormatted,
+    /// The device (or the allocator's capacity ceiling) is out of blocks.
+    OutOfSpace,
+    /// A device write failed and retries (if the fault was transient) did
+    /// not help. The commit was aborted cleanly: no epoch advanced, no
+    /// blocks leaked.
+    Io(IoError),
 }
 
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let msg = match self {
-            StoreError::NotFound => "object not found",
-            StoreError::Exists => "object already exists",
-            StoreError::TooManyObjects => "object directory is full",
-            StoreError::NameTooLong => "object name too long",
-            StoreError::NotFormatted => "device does not contain a formatted store",
-        };
-        f.write_str(msg)
+        match self {
+            StoreError::NotFound => f.write_str("object not found"),
+            StoreError::Exists => f.write_str("object already exists"),
+            StoreError::TooManyObjects => f.write_str("object directory is full"),
+            StoreError::NameTooLong => f.write_str("object name too long"),
+            StoreError::NotFormatted => f.write_str("device does not contain a formatted store"),
+            StoreError::OutOfSpace => f.write_str("store is out of blocks"),
+            StoreError::Io(e) => write!(f, "device write failed: {e}"),
+        }
     }
 }
 
 impl Error for StoreError {}
+
+impl From<IoError> for StoreError {
+    fn from(e: IoError) -> Self {
+        match e {
+            IoError::NoSpace { .. } => StoreError::OutOfSpace,
+            other => StoreError::Io(other),
+        }
+    }
+}
+
+/// Bounded retry budget for transient device faults: a submission is
+/// retried at most this many times in total before the commit aborts.
+pub const MAX_IO_ATTEMPTS: u32 = 3;
+
+/// Block numbers handed out by the full-commit closure after the
+/// allocator is exhausted: far beyond any real device, never written —
+/// the commit aborts before any IO is issued.
+const SCRATCH_BLOCK_BASE: u64 = 1 << 62;
+
+/// Submits `iov`, retrying transient failures up to [`MAX_IO_ATTEMPTS`]
+/// total attempts. Each retry is a fresh submission (a new fault-plan
+/// index), which is what makes transient faults survivable.
+fn writev_retry(disk: &mut Disk, at: Nanos, iov: &[(u64, &[u8])]) -> Result<WriteToken, IoError> {
+    let mut attempts = 1;
+    loop {
+        match disk.writev_at(at, iov) {
+            Err(e) if e.is_transient() && attempts < MAX_IO_ATTEMPTS => attempts += 1,
+            other => return other,
+        }
+    }
+}
 
 /// Result of a committed μCheckpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,17 +180,23 @@ impl fmt::Debug for ObjectStore {
 
 impl ObjectStore {
     /// Formats `disk` with an empty store and returns it.
+    ///
+    /// Formatting happens before any workload runs; injecting faults into
+    /// it is unsupported, so a device error here is a setup bug and
+    /// panics.
     pub fn format(disk: &mut Disk) -> Self {
         let mut sb = [0u8; BLOCK_SIZE];
         sb[0..8].copy_from_slice(&SUPER_MAGIC.to_le_bytes());
-        disk.write_block_at(Nanos::ZERO, SUPERBLOCK, &sb);
+        disk.write_block_at(Nanos::ZERO, SUPERBLOCK, &sb)
+            .expect("formatting a faulty device is unsupported");
         let zero = [0u8; BLOCK_SIZE];
         for b in DIR_START..DIR_START + DIR_BLOCKS {
-            disk.write_block_at(Nanos::ZERO, b, &zero);
+            disk.write_block_at(Nanos::ZERO, b, &zero)
+                .expect("formatting a faulty device is unsupported");
         }
         disk.settle();
         ObjectStore {
-            alloc: BlockAllocator::new(FIRST_DATA_BLOCK),
+            alloc: BlockAllocator::with_capacity(FIRST_DATA_BLOCK, disk.config().capacity_blocks),
             objects: Vec::new(),
             by_name: HashMap::new(),
             pending_free: Vec::new(),
@@ -227,10 +271,23 @@ impl ObjectStore {
                 }
             }
             deltas.sort_by_key(|d| d.epoch);
-            // Replay the consecutive prefix.
+            // Replay the consecutive prefix. Each record's data extent is
+            // re-read and checked against the record's `payload_sum`
+            // before the commit is applied: a record can be durable while
+            // its data was torn or bit-flipped (the device "lied"), and
+            // the checksum is what keeps such a commit — and everything
+            // after it — out of the recovered prefix.
             let mut epoch = base_epoch;
             for delta in deltas {
                 if delta.epoch != epoch + 1 {
+                    break;
+                }
+                let mut sum = layout::FNV_OFFSET;
+                for (_, block) in &delta.pairs {
+                    disk.read_block(vt, *block, &mut buf);
+                    sum = layout::fnv1a_extend(sum, &buf);
+                }
+                if sum != delta.payload_sum {
                     break;
                 }
                 for (page, block) in &delta.pairs {
@@ -270,7 +327,10 @@ impl ObjectStore {
             .map(|o| o.expect("directory ids are dense"))
             .collect();
         Ok(ObjectStore {
-            alloc: BlockAllocator::new(high_water + node_block_margin(&objects)),
+            alloc: BlockAllocator::with_capacity(
+                high_water + node_block_margin(&objects),
+                disk.config().capacity_blocks,
+            ),
             objects,
             by_name,
             pending_free: Vec::new(),
@@ -286,8 +346,10 @@ impl ObjectStore {
     ///
     /// # Errors
     ///
-    /// [`StoreError::Exists`], [`StoreError::NameTooLong`], or
-    /// [`StoreError::TooManyObjects`].
+    /// [`StoreError::Exists`], [`StoreError::NameTooLong`],
+    /// [`StoreError::TooManyObjects`], [`StoreError::OutOfSpace`], or —
+    /// if the directory write fails after retries — [`StoreError::Io`].
+    /// On error the store is unchanged and no blocks are leaked.
     pub fn create(
         &mut self,
         vt: &mut Vt,
@@ -304,7 +366,10 @@ impl ObjectStore {
             return Err(StoreError::TooManyObjects);
         }
         let id = ObjectId(self.objects.len() as u32);
-        let meta_base = self.alloc.alloc_contiguous(OBJECT_META_BLOCKS);
+        let meta_base = self
+            .alloc
+            .alloc_contiguous(OBJECT_META_BLOCKS)
+            .ok_or(StoreError::OutOfSpace)?;
         let entry = DirEntry {
             name: name.to_string(),
             id,
@@ -321,7 +386,15 @@ impl ObjectStore {
             chain_completes: Nanos::ZERO,
         });
         self.by_name.insert(name.to_string(), id);
-        self.write_dir_entry(vt, disk, &entry);
+        if let Err(e) = self.write_dir_entry(vt, disk, &entry) {
+            // Clean abort: the object never existed.
+            self.by_name.remove(name);
+            self.objects.pop();
+            for b in meta_base..meta_base + OBJECT_META_BLOCKS {
+                self.alloc.free(b);
+            }
+            return Err(e);
+        }
         Ok(id)
     }
 
@@ -369,6 +442,17 @@ impl ObjectStore {
     /// completion instant. Synchronous callers follow with
     /// [`ObjectStore::wait`].
     ///
+    /// # Errors
+    ///
+    /// [`StoreError::OutOfSpace`] when the extent (or the tree-node
+    /// blocks of a full commit) cannot be allocated, and
+    /// [`StoreError::Io`] when a device write fails after
+    /// [`MAX_IO_ATTEMPTS`] bounded retries of transient faults. Either
+    /// way the commit aborts *cleanly*: the object stays at its previous
+    /// epoch, the in-memory tree is unchanged, and every block the
+    /// attempt allocated is returned to the allocator — a failed persist
+    /// leaks nothing and the caller may simply retry.
+    ///
     /// # Panics
     ///
     /// Panics if any page image is not exactly [`BLOCK_SIZE`] bytes.
@@ -378,8 +462,10 @@ impl ObjectStore {
         disk: &mut Disk,
         object: ObjectId,
         pages: &[(u64, &[u8])],
-    ) -> CommitToken {
-        // Recycle blocks whose gating instant has passed.
+    ) -> Result<CommitToken, StoreError> {
+        // Recycle blocks whose gating instant has passed. This is
+        // commit-independent maintenance: it stays applied even if this
+        // commit aborts.
         let now = vt.now();
         let mut i = 0;
         while i < self.pending_free.len() {
@@ -399,47 +485,109 @@ impl ObjectStore {
             costs::INITIATE_BASE + costs::INITIATE_PER_PAGE * pages.len() as u64,
         );
 
+        // Abort-safety snapshot. The allocator is cheap to clone (a bump
+        // pointer plus the free set), and restoring it un-does every
+        // allocation of an aborted commit in one move.
+        let alloc_snapshot = self.alloc.clone();
+
         // Data blocks: one contiguous, sequential extent.
-        let first = self.alloc.alloc_contiguous(pages.len() as u64);
-        let mut data_freed = Vec::new();
+        let Some(first) = self.alloc.alloc_contiguous(pages.len() as u64) else {
+            return Err(StoreError::OutOfSpace);
+        };
         let mut iov: Vec<(u64, &[u8])> = Vec::with_capacity(pages.len() + 8);
         let mut delta_pairs = Vec::with_capacity(pages.len());
         for (i, (page, data)) in pages.iter().enumerate() {
             let block = first + i as u64;
-            if let Some(old) = state.tree.set(*page, block) {
-                data_freed.push(old);
-            }
             delta_pairs.push((*page, block));
             iov.push((block, data));
         }
-        state.epoch += 1;
-        let epoch = state.epoch;
+        let epoch = state.epoch + 1;
 
         let use_delta = self.delta_commits
             && pages.len() <= MAX_DELTA_PAIRS
             && state.deltas_since_full + 1 < DELTA_SLOTS;
 
-        let (commit_token, node_count) = if use_delta {
-            // Fast path: data extent + one delta record. Dirty tree nodes
-            // stay in memory; their superseded on-disk versions wait for
-            // the next full root.
-            state.node_freed_pending.extend(state.tree.take_freed());
-            let data_token: WriteToken = disk.writev_at(vt.now(), &iov);
+        let (commit_token, node_count, data_freed) = if use_delta {
+            // Fast path: data extent + one delta record. The in-memory
+            // tree is not touched until both writes succeed, so aborting
+            // only needs the allocator snapshot. Dirty tree nodes stay in
+            // memory; their superseded on-disk versions wait for the next
+            // full root.
+            let len_pages = pages
+                .iter()
+                .map(|(p, _)| p + 1)
+                .fold(state.tree.len_pages(), u64::max);
+            let payload_sum = iov
+                .iter()
+                .fold(layout::FNV_OFFSET, |h, (_, d)| layout::fnv1a_extend(h, d));
             let record = DeltaRecord {
                 object,
                 epoch,
-                len_pages: state.tree.len_pages(),
+                len_pages,
+                payload_sum,
                 pairs: delta_pairs,
             };
             let slot = state.entry.delta_slot(epoch);
-            let token = disk.write_block_at(data_token.completes(), slot, &record.to_block());
+            let token = (|| {
+                let data_token = writev_retry(disk, vt.now(), &iov)?;
+                writev_retry(disk, data_token.completes(), &[(slot, &record.to_block())])
+            })();
+            let token = match token {
+                Ok(t) => t,
+                Err(e) => {
+                    self.alloc = alloc_snapshot;
+                    return Err(e.into());
+                }
+            };
+            // Durable: apply the commit to the in-memory tree. Superseded
+            // data blocks are still referenced by older delta records in
+            // the ring (recovery re-reads them to verify `payload_sum`),
+            // so like superseded nodes they are quarantined until the next
+            // full root supersedes the whole ring — never recycled early.
+            for (page, block) in &record.pairs {
+                if let Some(old) = state.tree.set(*page, *block) {
+                    state.node_freed_pending.push(old);
+                }
+            }
+            state.node_freed_pending.extend(state.tree.take_freed());
             state.deltas_since_full += 1;
             self.stats.delta_commits += 1;
-            (token, 0u64)
+            (token, 0u64, Vec::new())
         } else {
             // Full commit: flush dirty COW nodes and write a full root.
+            // The tree must be mutated *before* the IO (node images are
+            // serialized from it), so abort restores a pre-commit clone.
+            // Full commits are the rare path (every DELTA_SLOTS-th commit
+            // or oversized commits), which keeps the clone cost amortized.
+            let tree_snapshot = state.tree.clone();
+            let mut data_freed = Vec::new();
+            for (page, block) in &delta_pairs {
+                if let Some(old) = state.tree.set(*page, *block) {
+                    data_freed.push(old);
+                }
+            }
+            // The commit closure cannot fail, so allocator exhaustion is
+            // flagged and handed out of never-written scratch blocks,
+            // then the whole commit aborts.
+            let mut exhausted = false;
+            let mut scratch = SCRATCH_BLOCK_BASE;
             let mut node_writes = Vec::new();
-            let tree_root = state.tree.commit(&mut || self.alloc.alloc(), &mut node_writes);
+            let tree_root = state.tree.commit(
+                &mut || match self.alloc.alloc() {
+                    Some(b) => b,
+                    None => {
+                        exhausted = true;
+                        scratch += 1;
+                        scratch
+                    }
+                },
+                &mut node_writes,
+            );
+            if exhausted {
+                state.tree = tree_snapshot;
+                self.alloc = alloc_snapshot;
+                return Err(StoreError::OutOfSpace);
+            }
             vt.charge(
                 Category::FileSystem,
                 costs::NODE_SERIALIZE * node_writes.len() as u64,
@@ -447,24 +595,35 @@ impl ObjectStore {
             for (block, image) in &node_writes {
                 iov.push((*block, image));
             }
-            let data_token: WriteToken = disk.writev_at(vt.now(), &iov);
             let record = RootRecord {
                 object,
                 epoch,
                 tree_root,
                 len_pages: state.tree.len_pages(),
             };
+            let slot = state.entry.root_slot(state.full_count + 1);
+            let token = (|| {
+                let data_token = writev_retry(disk, vt.now(), &iov)?;
+                writev_retry(disk, data_token.completes(), &[(slot, &record.to_block())])
+            })();
+            let token = match token {
+                Ok(t) => t,
+                Err(e) => {
+                    state.tree = tree_snapshot;
+                    self.alloc = alloc_snapshot;
+                    return Err(e.into());
+                }
+            };
             state.full_count += 1;
-            let slot = state.entry.root_slot(state.full_count);
-            let token = disk.write_block_at(data_token.completes(), slot, &record.to_block());
             // Everything superseded up to and including this full root is
             // recyclable once it is durable.
             data_freed.append(&mut state.node_freed_pending);
             data_freed.extend(state.tree.take_freed());
             state.deltas_since_full = 0;
-            (token, node_writes.len() as u64)
+            (token, node_writes.len() as u64, data_freed)
         };
 
+        state.epoch = epoch;
         state.chain_completes = state.chain_completes.max(commit_token.completes());
         state.last_commit = commit_token.completes();
         self.pending_free.push((state.chain_completes, data_freed));
@@ -473,11 +632,11 @@ impl ObjectStore {
         self.stats.pages_written += pages.len() as u64;
         self.stats.nodes_written += node_count;
 
-        CommitToken {
+        Ok(CommitToken {
             epoch,
             completes: commit_token.completes(),
             bytes_written: (pages.len() as u64 + node_count + 1) * BLOCK_SIZE as u64,
-        }
+        })
     }
 
     /// Blocks `vt` until `token`'s μCheckpoint is durable.
@@ -513,14 +672,21 @@ impl ObjectStore {
         Ok(())
     }
 
-    fn write_dir_entry(&mut self, vt: &mut Vt, disk: &mut Disk, entry: &DirEntry) {
+    fn write_dir_entry(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        entry: &DirEntry,
+    ) -> Result<(), StoreError> {
         let slot = entry.id.0 as usize;
         let dir_block = DIR_START + (slot / ENTRIES_PER_BLOCK) as u64;
         let mut buf = [0u8; BLOCK_SIZE];
         disk.read_block(vt, dir_block, &mut buf);
         let off = (slot % ENTRIES_PER_BLOCK) * DIR_ENTRY_LEN;
         entry.encode(&mut buf[off..off + DIR_ENTRY_LEN]);
-        disk.write_block(vt, dir_block, &buf);
+        let token = writev_retry(disk, vt.now(), &[(dir_block, &buf[..])])?;
+        Disk::wait(vt, token);
+        Ok(())
     }
 }
 
@@ -556,7 +722,10 @@ mod tests {
         let id = store.create(&mut vt, &mut disk, "a").unwrap();
         assert_eq!(store.lookup("a"), Some(id));
         assert_eq!(store.lookup("b"), None);
-        assert_eq!(store.create(&mut vt, &mut disk, "a"), Err(StoreError::Exists));
+        assert_eq!(
+            store.create(&mut vt, &mut disk, "a"),
+            Err(StoreError::Exists)
+        );
     }
 
     #[test]
@@ -565,16 +734,24 @@ mod tests {
         let obj = store.create(&mut vt, &mut disk, "db").unwrap();
         let p0 = page_of(1);
         let p9 = page_of(2);
-        let token = store.persist(&mut vt, &mut disk, obj, &[(0, &p0), (9, &p9)]);
+        let token = store
+            .persist(&mut vt, &mut disk, obj, &[(0, &p0), (9, &p9)])
+            .unwrap();
         ObjectStore::wait(&mut vt, token);
         assert_eq!(token.epoch, 1);
 
         let mut out = page_of(0);
-        store.read_page(&mut vt, &mut disk, obj, 0, &mut out).unwrap();
+        store
+            .read_page(&mut vt, &mut disk, obj, 0, &mut out)
+            .unwrap();
         assert_eq!(out, p0);
-        store.read_page(&mut vt, &mut disk, obj, 9, &mut out).unwrap();
+        store
+            .read_page(&mut vt, &mut disk, obj, 9, &mut out)
+            .unwrap();
         assert_eq!(out, p9);
-        store.read_page(&mut vt, &mut disk, obj, 5, &mut out).unwrap();
+        store
+            .read_page(&mut vt, &mut disk, obj, 5, &mut out)
+            .unwrap();
         assert!(out.iter().all(|&b| b == 0), "unwritten pages read zero");
     }
 
@@ -585,11 +762,11 @@ mod tests {
         let b = store.create(&mut vt, &mut disk, "b").unwrap();
         let p = page_of(1);
         for i in 1..=3 {
-            let t = store.persist(&mut vt, &mut disk, a, &[(0, &p)]);
+            let t = store.persist(&mut vt, &mut disk, a, &[(0, &p)]).unwrap();
             ObjectStore::wait(&mut vt, t);
             assert_eq!(t.epoch, i);
         }
-        let t = store.persist(&mut vt, &mut disk, b, &[(0, &p)]);
+        let t = store.persist(&mut vt, &mut disk, b, &[(0, &p)]).unwrap();
         assert_eq!(t.epoch, 1, "objects have independent epochs");
     }
 
@@ -599,7 +776,7 @@ mod tests {
         let obj = store.create(&mut vt, &mut disk, "db").unwrap();
         let p = page_of(1);
         let before = disk.stats().writes();
-        let token = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]);
+        let token = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
         ObjectStore::wait(&mut vt, token);
         // Exactly two IOs: the data extent and the delta record — no tree
         // node writes.
@@ -614,7 +791,7 @@ mod tests {
         let obj = store.create(&mut vt, &mut disk, "db").unwrap();
         let p = page_of(3);
         for i in 0..DELTA_SLOTS + 2 {
-            let t = store.persist(&mut vt, &mut disk, obj, &[(i, &p)]);
+            let t = store.persist(&mut vt, &mut disk, obj, &[(i, &p)]).unwrap();
             ObjectStore::wait(&mut vt, t);
         }
         assert!(store.stats().nodes_written > 0, "a full commit happened");
@@ -628,7 +805,7 @@ mod tests {
         // Several delta commits, no full root yet.
         for i in 0..5u64 {
             let p = page_of(10 + i as u8);
-            let t = store.persist(&mut vt, &mut disk, obj, &[(i, &p)]);
+            let t = store.persist(&mut vt, &mut disk, obj, &[(i, &p)]).unwrap();
             ObjectStore::wait(&mut vt, t);
         }
         disk.settle();
@@ -639,7 +816,9 @@ mod tests {
         assert_eq!(store2.epoch(obj2), 5, "delta replay recovers all epochs");
         let mut out = page_of(0);
         for i in 0..5u64 {
-            store2.read_page(&mut vt2, &mut disk, obj2, i, &mut out).unwrap();
+            store2
+                .read_page(&mut vt2, &mut disk, obj2, i, &mut out)
+                .unwrap();
             assert_eq!(out, page_of(10 + i as u8), "page {i}");
         }
     }
@@ -651,7 +830,7 @@ mod tests {
         let total = DELTA_SLOTS + 10;
         for i in 0..total {
             let p = page_of((i % 250) as u8 + 1);
-            let t = store.persist(&mut vt, &mut disk, obj, &[(i, &p)]);
+            let t = store.persist(&mut vt, &mut disk, obj, &[(i, &p)]).unwrap();
             ObjectStore::wait(&mut vt, t);
         }
         disk.settle();
@@ -662,7 +841,9 @@ mod tests {
         assert_eq!(store2.epoch(obj2), total);
         let mut out = page_of(0);
         for i in 0..total {
-            store2.read_page(&mut vt2, &mut disk, obj2, i, &mut out).unwrap();
+            store2
+                .read_page(&mut vt2, &mut disk, obj2, i, &mut out)
+                .unwrap();
             assert_eq!(out, page_of((i % 250) as u8 + 1), "page {i}");
         }
     }
@@ -672,12 +853,12 @@ mod tests {
         let (mut disk, mut store, mut vt) = setup();
         let obj = store.create(&mut vt, &mut disk, "db").unwrap();
         let p1 = page_of(1);
-        let t1 = store.persist(&mut vt, &mut disk, obj, &[(0, &p1)]);
+        let t1 = store.persist(&mut vt, &mut disk, obj, &[(0, &p1)]).unwrap();
         ObjectStore::wait(&mut vt, t1);
 
         // Second checkpoint; crash before its commit record completes.
         let p2 = page_of(2);
-        let t2 = store.persist(&mut vt, &mut disk, obj, &[(0, &p2)]);
+        let t2 = store.persist(&mut vt, &mut disk, obj, &[(0, &p2)]).unwrap();
         disk.crash(t2.completes - Nanos::from_ns(1));
 
         let mut vt2 = Vt::new(1);
@@ -685,7 +866,9 @@ mod tests {
         let obj2 = store2.lookup("db").unwrap();
         assert_eq!(store2.epoch(obj2), 1, "recovery adopts the previous epoch");
         let mut out = page_of(0);
-        store2.read_page(&mut vt2, &mut disk, obj2, 0, &mut out).unwrap();
+        store2
+            .read_page(&mut vt2, &mut disk, obj2, 0, &mut out)
+            .unwrap();
         assert_eq!(out, p1);
     }
 
@@ -694,7 +877,7 @@ mod tests {
         let (mut disk, mut store, mut vt) = setup();
         let obj = store.create(&mut vt, &mut disk, "db").unwrap();
         let p2 = page_of(2);
-        let t = store.persist(&mut vt, &mut disk, obj, &[(0, &p2)]);
+        let t = store.persist(&mut vt, &mut disk, obj, &[(0, &p2)]).unwrap();
         disk.crash(t.completes);
 
         let mut vt2 = Vt::new(1);
@@ -702,8 +885,110 @@ mod tests {
         let obj2 = store2.lookup("db").unwrap();
         assert_eq!(store2.epoch(obj2), 1);
         let mut out = page_of(0);
-        store2.read_page(&mut vt2, &mut disk, obj2, 0, &mut out).unwrap();
+        store2
+            .read_page(&mut vt2, &mut disk, obj2, 0, &mut out)
+            .unwrap();
         assert_eq!(out, p2);
+    }
+
+    #[test]
+    fn torn_data_extent_truncates_the_recovered_prefix() {
+        use msnap_disk::{Fault, FaultPlan};
+        let (mut disk, mut store, mut vt) = setup();
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        let p1 = page_of(1);
+        let t1 = store.persist(&mut vt, &mut disk, obj, &[(0, &p1)]).unwrap();
+        ObjectStore::wait(&mut vt, t1);
+
+        // Commit 2's two-block data extent tears after its first block,
+        // but the record write (the next submission) lands intact — the
+        // device acknowledged a lie.
+        let pa = page_of(2);
+        let pb = page_of(3);
+        disk.set_fault_plan(FaultPlan::new().at(disk.io_seq(), Fault::Torn { prefix_blocks: 1 }));
+        let t2 = store
+            .persist(&mut vt, &mut disk, obj, &[(0, &pa), (1, &pb)])
+            .unwrap();
+        let t3 = store
+            .persist(&mut vt, &mut disk, obj, &[(1, &page_of(4))])
+            .unwrap();
+        ObjectStore::wait(&mut vt, t2);
+        disk.crash(t3.completes);
+
+        // Replay must stop *before* commit 2 (payload mismatch), which
+        // also keeps the durable commit 3 out: the recovered state is
+        // exactly the epoch-1 prefix, never a torn hybrid.
+        let mut vt2 = Vt::new(1);
+        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let obj2 = store2.lookup("db").unwrap();
+        assert_eq!(store2.epoch(obj2), 1, "torn commit and successors rejected");
+        let mut out = page_of(0);
+        store2
+            .read_page(&mut vt2, &mut disk, obj2, 0, &mut out)
+            .unwrap();
+        assert_eq!(out, p1);
+    }
+
+    #[test]
+    fn bit_flipped_data_block_truncates_the_recovered_prefix() {
+        use msnap_disk::{Fault, FaultPlan};
+        let (mut disk, mut store, mut vt) = setup();
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        let p1 = page_of(1);
+        let t1 = store.persist(&mut vt, &mut disk, obj, &[(0, &p1)]).unwrap();
+        ObjectStore::wait(&mut vt, t1);
+
+        // Silent media corruption: one bit of commit 2's data flips as it
+        // is written. No crash mid-commit — the corruption is only
+        // discoverable by checksum.
+        disk.set_fault_plan(FaultPlan::new().at(
+            disk.io_seq(),
+            Fault::BitFlip {
+                entry: 0,
+                byte: 100,
+                bit: 3,
+            },
+        ));
+        let t2 = store
+            .persist(&mut vt, &mut disk, obj, &[(0, &page_of(2))])
+            .unwrap();
+        disk.crash(t2.completes);
+
+        let mut vt2 = Vt::new(1);
+        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let obj2 = store2.lookup("db").unwrap();
+        assert_eq!(store2.epoch(obj2), 1, "flipped commit rejected");
+        let mut out = page_of(0);
+        store2
+            .read_page(&mut vt2, &mut disk, obj2, 0, &mut out)
+            .unwrap();
+        assert_eq!(out, p1);
+    }
+
+    #[test]
+    fn delta_superseded_blocks_stay_quarantined_until_the_full_root() {
+        let (mut disk, mut store, mut vt) = setup();
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        // Overwrite the same page across the whole delta window, then
+        // crash and corrupt nothing: every intermediate delta record must
+        // still verify, i.e. its superseded data block was not recycled.
+        let mut last = Nanos::ZERO;
+        for i in 1..DELTA_SLOTS as u8 {
+            let p = page_of(i);
+            let t = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
+            ObjectStore::wait(&mut vt, t);
+            last = t.completes;
+        }
+        disk.crash(last);
+        let mut vt2 = Vt::new(1);
+        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let obj2 = store2.lookup("db").unwrap();
+        assert_eq!(store2.epoch(obj2), DELTA_SLOTS - 1);
+        let mut out = page_of(0);
+        store2
+            .read_page(&mut vt2, &mut disk, obj2, 0, &mut out)
+            .unwrap();
+        assert_eq!(out, page_of((DELTA_SLOTS - 1) as u8));
     }
 
     #[test]
@@ -712,10 +997,12 @@ mod tests {
         let obj = store.create(&mut vt, &mut disk, "db").unwrap();
         // Random page indices...
         let p = page_of(7);
-        let pages: Vec<(u64, &[u8])> =
-            [907u64, 13, 500_000, 42].iter().map(|&i| (i, &p[..])).collect();
+        let pages: Vec<(u64, &[u8])> = [907u64, 13, 500_000, 42]
+            .iter()
+            .map(|&i| (i, &p[..]))
+            .collect();
         let before = disk.stats().writes();
-        let token = store.persist(&mut vt, &mut disk, obj, &pages);
+        let token = store.persist(&mut vt, &mut disk, obj, &pages).unwrap();
         ObjectStore::wait(&mut vt, token);
         // ...become exactly two IOs: one vectored data write and the
         // delta record.
@@ -738,7 +1025,9 @@ mod tests {
         let obj = store.create(&mut vt, &mut disk, "db").unwrap();
         let pages: Vec<Vec<u8>> = (0..60).map(|i| page_of(i as u8)).collect();
         for (i, p) in pages.iter().enumerate() {
-            let t = store.persist(&mut vt, &mut disk, obj, &[(i as u64, p)]);
+            let t = store
+                .persist(&mut vt, &mut disk, obj, &[(i as u64, p)])
+                .unwrap();
             ObjectStore::wait(&mut vt, t);
         }
         disk.settle();
@@ -749,7 +1038,9 @@ mod tests {
         let obj2 = store2.lookup("db").unwrap();
         let extra = page_of(0xFF);
         for i in 60..120u64 {
-            let t = store2.persist(&mut vt2, &mut disk, obj2, &[(i, &extra)]);
+            let t = store2
+                .persist(&mut vt2, &mut disk, obj2, &[(i, &extra)])
+                .unwrap();
             ObjectStore::wait(&mut vt2, t);
         }
         let mut out = page_of(0);
@@ -766,9 +1057,9 @@ mod tests {
         let (mut disk, mut store, mut vt) = setup();
         let obj = store.create(&mut vt, &mut disk, "db").unwrap();
         let p = page_of(1);
-        let t1 = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]);
+        let t1 = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
         ObjectStore::wait(&mut vt, t1);
-        let _t2 = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]);
+        let _t2 = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
         assert_eq!(store.alloc.free_blocks(), 0, "not yet durable");
     }
 
@@ -780,9 +1071,12 @@ mod tests {
         let p = page_of(1);
         let pages: Vec<(u64, &[u8])> = (0..16u64).map(|i| (i, &p[..])).collect();
         let before = vt.costs().get(Category::FileSystem);
-        store.persist(&mut vt, &mut disk, obj, &pages);
+        store.persist(&mut vt, &mut disk, obj, &pages).unwrap();
         let cpu = (vt.costs().get(Category::FileSystem) - before).as_us_f64();
-        assert!((cpu - 6.5).abs() < 2.0, "initiate CPU {cpu:.1} us vs paper 6.5 us");
+        assert!(
+            (cpu - 6.5).abs() < 2.0,
+            "initiate CPU {cpu:.1} us vs paper 6.5 us"
+        );
     }
 
     #[test]
@@ -795,11 +1089,187 @@ mod tests {
         let p = page_of(1);
         let pages: Vec<(u64, &[u8])> = (0..16u64).map(|i| (i, &p[..])).collect();
         let start = vt.now();
-        let token = store.persist(&mut vt, &mut disk, obj, &pages);
+        let token = store.persist(&mut vt, &mut disk, obj, &pages).unwrap();
         let io_wait = (token.completes - start).as_us_f64();
         assert!(
             (io_wait - 39.7).abs() / 39.7 < 0.45,
             "IO wait {io_wait:.1} us vs paper 39.7 us"
         );
+    }
+    #[test]
+    fn persist_out_of_space_aborts_cleanly() {
+        let mut disk = Disk::new(DiskConfig::fast().with_capacity_blocks(FIRST_DATA_BLOCK + 40));
+        let mut store = ObjectStore::format(&mut disk);
+        let mut vt = Vt::new(0);
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        let p = page_of(1);
+        // Fill the device with commits until one fails.
+        let mut committed = 0u64;
+        let err = loop {
+            match store.persist(&mut vt, &mut disk, obj, &[(committed, &p)]) {
+                Ok(t) => {
+                    ObjectStore::wait(&mut vt, t);
+                    committed += 1;
+                }
+                Err(e) => break e,
+            }
+            assert!(committed < 1000, "capacity ceiling never hit");
+        };
+        assert_eq!(err, StoreError::OutOfSpace);
+        // The abort is clean: epoch unchanged, data readable, and another
+        // failed attempt does not consume blocks (no leak => stable error).
+        assert_eq!(store.epoch(obj), committed);
+        let high_water = store.alloc.high_water();
+        let free = store.alloc.free_blocks();
+        assert_eq!(
+            store
+                .persist(&mut vt, &mut disk, obj, &[(committed, &p)])
+                .unwrap_err(),
+            StoreError::OutOfSpace
+        );
+        assert_eq!(
+            store.alloc.high_water(),
+            high_water,
+            "failed persist leaked frontier"
+        );
+        assert_eq!(
+            store.alloc.free_blocks(),
+            free,
+            "failed persist leaked free list"
+        );
+        let mut out = page_of(0);
+        for i in 0..committed {
+            store
+                .read_page(&mut vt, &mut disk, obj, i, &mut out)
+                .unwrap();
+            assert_eq!(out, p, "page {i} damaged by aborted commit");
+        }
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_hidden() {
+        use msnap_disk::{Fault, FaultPlan};
+        let (mut disk, mut store, mut vt) = setup();
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        // Every first attempt of the next two submissions fails
+        // transiently; the bounded retry must absorb both.
+        let next = disk.io_seq();
+        disk.set_fault_plan(
+            FaultPlan::new()
+                .at(next, Fault::Drop { transient: true })
+                .at(next + 2, Fault::Drop { transient: true }),
+        );
+        let p = page_of(9);
+        let t = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
+        ObjectStore::wait(&mut vt, t);
+        assert_eq!(t.epoch, 1);
+        let mut out = page_of(0);
+        store
+            .read_page(&mut vt, &mut disk, obj, 0, &mut out)
+            .unwrap();
+        assert_eq!(out, p);
+        assert_eq!(disk.fault_injector().unwrap().injected().len(), 2);
+    }
+
+    #[test]
+    fn hard_fault_aborts_persist_without_epoch_advance() {
+        use msnap_disk::{Fault, FaultPlan};
+        let (mut disk, mut store, mut vt) = setup();
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        let p = page_of(1);
+        let t = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
+        ObjectStore::wait(&mut vt, t);
+
+        // Hard-fail the data extent of the next commit.
+        disk.set_fault_plan(FaultPlan::new().at(disk.io_seq(), Fault::Drop { transient: false }));
+        let p2 = page_of(2);
+        let err = store
+            .persist(&mut vt, &mut disk, obj, &[(0, &p2)])
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "got {err:?}");
+        assert_eq!(
+            store.epoch(obj),
+            1,
+            "aborted commit must not advance the epoch"
+        );
+        let mut out = page_of(0);
+        store
+            .read_page(&mut vt, &mut disk, obj, 0, &mut out)
+            .unwrap();
+        assert_eq!(out, p, "old contents must survive the abort");
+
+        // The store keeps working afterwards.
+        disk.clear_fault_plan();
+        let t2 = store.persist(&mut vt, &mut disk, obj, &[(0, &p2)]).unwrap();
+        ObjectStore::wait(&mut vt, t2);
+        assert_eq!(t2.epoch, 2);
+        store
+            .read_page(&mut vt, &mut disk, obj, 0, &mut out)
+            .unwrap();
+        assert_eq!(out, p2);
+    }
+
+    #[test]
+    fn hard_fault_on_commit_record_aborts_full_commit() {
+        use msnap_disk::{Fault, FaultPlan};
+        let (mut disk, mut store, mut vt) = setup();
+        store.set_delta_commits(false); // force the full-root path
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        let p = page_of(1);
+        let t = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
+        ObjectStore::wait(&mut vt, t);
+
+        // Fail the *second* write of the commit (the root record), so the
+        // tree was already mutated and committed in memory — the abort
+        // must restore it.
+        disk.set_fault_plan(
+            FaultPlan::new().at(disk.io_seq() + 1, Fault::Drop { transient: false }),
+        );
+        let p2 = page_of(2);
+        let err = store
+            .persist(&mut vt, &mut disk, obj, &[(1, &p2)])
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)));
+        assert_eq!(store.epoch(obj), 1);
+        assert_eq!(store.len_pages(obj), 1, "aborted page must not appear");
+
+        // Subsequent commits and recovery still work.
+        disk.clear_fault_plan();
+        let t2 = store.persist(&mut vt, &mut disk, obj, &[(1, &p2)]).unwrap();
+        ObjectStore::wait(&mut vt, t2);
+        disk.settle();
+        let mut vt2 = Vt::new(1);
+        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let obj2 = store2.lookup("db").unwrap();
+        assert_eq!(store2.epoch(obj2), 2);
+        let mut out = page_of(0);
+        store2
+            .read_page(&mut vt2, &mut disk, obj2, 0, &mut out)
+            .unwrap();
+        assert_eq!(out, p);
+        store2
+            .read_page(&mut vt2, &mut disk, obj2, 1, &mut out)
+            .unwrap();
+        assert_eq!(out, p2);
+    }
+
+    #[test]
+    fn create_failure_rolls_back_directory_state() {
+        use msnap_disk::{Fault, FaultPlan};
+        let (mut disk, mut store, mut vt) = setup();
+        let free_before = store.alloc.free_blocks();
+        disk.set_fault_plan(FaultPlan::new().at(disk.io_seq(), Fault::Drop { transient: false }));
+        let err = store.create(&mut vt, &mut disk, "doomed").unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)));
+        assert_eq!(store.lookup("doomed"), None);
+        assert_eq!(store.object_names().len(), 0);
+        // The meta blocks went back to the free list (no leak).
+        assert_eq!(
+            store.alloc.free_blocks(),
+            free_before + OBJECT_META_BLOCKS as usize
+        );
+        // Creating the same name now succeeds.
+        disk.clear_fault_plan();
+        store.create(&mut vt, &mut disk, "doomed").unwrap();
     }
 }

@@ -52,9 +52,7 @@ mod pagetable;
 mod vm;
 
 pub use pagetable::{PageTable, Pte, PteLoc};
-pub use vm::{
-    costs, AsId, DirtyPage, MemObjectId, ResetStrategy, TrackMode, Vm, VmError, VmStats,
-};
+pub use vm::{costs, AsId, DirtyPage, MemObjectId, ResetStrategy, TrackMode, Vm, VmError, VmStats};
 
 /// Page size, matching the disk block size and the paper's 4 KiB tracking
 /// granularity.

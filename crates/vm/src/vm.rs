@@ -530,6 +530,14 @@ impl Vm {
         }
     }
 
+    /// Returns entries drained by [`Vm::take_dirty`] to `thread`'s dirty
+    /// set. A failed μCheckpoint must not silently drop the pages it was
+    /// persisting: they stay dirty so a retry (after the error is
+    /// acknowledged) includes them again.
+    pub fn untake_dirty(&mut self, thread: VthreadId, entries: Vec<DirtyPage>) {
+        self.threads.entry(thread).or_default().extend(entries);
+    }
+
     /// A page's current bytes (for assembling μCheckpoint IO).
     pub fn page_bytes(&self, entry: &DirtyPage) -> &[u8] {
         &self.phys[entry.phys as usize].data
@@ -879,7 +887,10 @@ mod tests {
         let cost = vm
             .reset_protection(&mut vt, &dirty, ResetStrategy::TraceBuffer)
             .as_us_f64();
-        assert!((cost - 5.1).abs() < 2.0, "reset cost {cost:.1} us vs paper 5.1 us");
+        assert!(
+            (cost - 5.1).abs() < 2.0,
+            "reset cost {cost:.1} us vs paper 5.1 us"
+        );
     }
 
     #[test]
@@ -893,7 +904,10 @@ mod tests {
             vm.map(s, b, VA + PAGE_SIZE as u64, TrackMode::Tracked),
             Err(VmError::Overlap)
         );
-        assert_eq!(vm.map(s, b, VA + 1, TrackMode::Tracked), Err(VmError::UnalignedVa));
+        assert_eq!(
+            vm.map(s, b, VA + 1, TrackMode::Tracked),
+            Err(VmError::UnalignedVa)
+        );
     }
 
     #[test]

@@ -63,8 +63,17 @@ impl DbBench {
     /// # Panics
     ///
     /// Panics if `txn_bytes < VALUE_SIZE` or `key_space == 0`.
-    pub fn new(txn_bytes: usize, total_kvs: u64, key_space: u64, order: KeyOrder, seed: u64) -> Self {
-        assert!(txn_bytes >= VALUE_SIZE, "transaction smaller than one value");
+    pub fn new(
+        txn_bytes: usize,
+        total_kvs: u64,
+        key_space: u64,
+        order: KeyOrder,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            txn_bytes >= VALUE_SIZE,
+            "transaction smaller than one value"
+        );
         assert!(key_space > 0, "empty key space");
         DbBench {
             key_space,
@@ -149,10 +158,8 @@ mod tests {
 
     #[test]
     fn deterministic_by_seed() {
-        let a: Vec<WriteBatch> =
-            DbBench::new(4096, 320, 1000, KeyOrder::Random, 3).collect();
-        let b: Vec<WriteBatch> =
-            DbBench::new(4096, 320, 1000, KeyOrder::Random, 3).collect();
+        let a: Vec<WriteBatch> = DbBench::new(4096, 320, 1000, KeyOrder::Random, 3).collect();
+        let b: Vec<WriteBatch> = DbBench::new(4096, 320, 1000, KeyOrder::Random, 3).collect();
         assert_eq!(a, b);
     }
 }

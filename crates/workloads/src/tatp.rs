@@ -140,12 +140,12 @@ impl Tatp {
         } else if roll < 0.98 {
             TatpTxn::InsertCallForwarding {
                 sid,
-                start: self.rng.gen_range(0..3) * 8,
+                start: self.rng.gen_range(0u8..3) * 8,
             }
         } else {
             TatpTxn::DeleteCallForwarding {
                 sid,
-                start: self.rng.gen_range(0..3) * 8,
+                start: self.rng.gen_range(0u8..3) * 8,
             }
         }
     }

@@ -157,7 +157,10 @@ mod tests {
         let n = 20_000;
         let writes = (0..n).filter(|_| g.next_txn().is_write()).count();
         let pct = writes as f64 / n as f64 * 100.0;
-        assert!((pct - 92.0).abs() < 2.0, "NewOrder+Payment+Delivery {pct:.1}%");
+        assert!(
+            (pct - 92.0).abs() < 2.0,
+            "NewOrder+Payment+Delivery {pct:.1}%"
+        );
     }
 
     #[test]

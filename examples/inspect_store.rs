@@ -15,18 +15,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut vt = Vt::new(0);
     let space = ms.vm_mut().create_space();
     let thread = vt.id();
-    for (name, pages, commits) in [("users.db", 64u64, 12u64), ("orders.db", 128, 40), ("wal-less!", 8, 3)] {
+    for (name, pages, commits) in [
+        ("users.db", 64u64, 12u64),
+        ("orders.db", 128, 40),
+        ("wal-less!", 8, 3),
+    ] {
         let r = ms.msnap_open(&mut vt, space, name, pages)?;
         for c in 0..commits {
-            ms.write(&mut vt, space, thread, r.addr + (c % pages) * PAGE_SIZE as u64, &[c as u8; 100])?;
-            ms.msnap_persist(&mut vt, thread, RegionSel::Region(r.md), PersistFlags::sync())?;
+            ms.write(
+                &mut vt,
+                space,
+                thread,
+                r.addr + (c % pages) * PAGE_SIZE as u64,
+                &[c as u8; 100],
+            )?;
+            ms.msnap_persist(
+                &mut vt,
+                thread,
+                RegionSel::Region(r.md),
+                PersistFlags::sync(),
+            )?;
         }
     }
     // Pull the plug mid-flight on one more commit.
     let r = ms.msnap_open(&mut vt, space, "orders.db", 0)?;
     ms.write(&mut vt, space, thread, r.addr, b"in flight, never lands")?;
     let crash_at = vt.now();
-    ms.msnap_persist(&mut vt, thread, RegionSel::Region(r.md), PersistFlags::async_())?;
+    ms.msnap_persist(
+        &mut vt,
+        thread,
+        RegionSel::Region(r.md),
+        PersistFlags::async_(),
+    )?;
     let mut disk = ms.crash(crash_at);
 
     // Inspect the durable image, exactly as recovery sees it.
@@ -38,7 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "object", "epoch", "pages", "bytes"
     );
     for name in store.object_names() {
-        let id = store.lookup(&name).expect("listed objects exist");
+        let Some(id) = store.lookup(&name) else {
+            continue;
+        };
         println!(
             "{:<20} {:>8} {:>12} {:>12}",
             name,

@@ -15,7 +15,7 @@ use msnap_sim::Vt;
 use msnap_skipdb::drivers::{fill, run_mixgraph, torture_memsnap, MixGraphConfig};
 use msnap_skipdb::{BaselineKv, Kv, MemSnapKv};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = MixGraphConfig {
         keys: 5_000,
         ops_per_thread: 500,
@@ -52,16 +52,20 @@ fn main() {
         "acked {} increment-transactions before the crash; recovered sum = {}",
         outcome.acked_txns, outcome.recovered_sum
     );
-    assert!(outcome.is_consistent(), "recovered state must match acknowledged work");
+    assert!(
+        outcome.is_consistent(),
+        "recovered state must match acknowledged work"
+    );
     println!("recovered sum equals acknowledged work: consistent ✓");
 
     println!("\n== put/get/seek round trip ==");
     let mut vt = Vt::new(0);
     let mut kv = MemSnapKv::format(Disk::new(DiskConfig::paper()), 4096, &mut vt);
-    kv.put(&mut vt, 3, b"three");
-    kv.put(&mut vt, 1, b"one");
-    kv.put(&mut vt, 2, b"two");
+    kv.put(&mut vt, 3, b"three")?;
+    kv.put(&mut vt, 1, b"one")?;
+    kv.put(&mut vt, 2, b"two")?;
     for (k, v) in kv.seek(&mut vt, 0, 10) {
         println!("  {k} => {}", String::from_utf8_lossy(&v));
     }
+    Ok(())
 }

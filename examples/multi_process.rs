@@ -27,7 +27,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Backend A appends a tuple and commits its transaction.
     ms.write(&mut vt, backend_a, thread_a, region.addr, b"tuple-1 from A")?;
-    ms.msnap_persist(&mut vt, thread_a, RegionSel::Region(region.md), PersistFlags::sync())?;
+    ms.msnap_persist(
+        &mut vt,
+        thread_a,
+        RegionSel::Region(region.md),
+        PersistFlags::sync(),
+    )?;
 
     // Backend B sees it immediately through shared memory...
     let mut seen = [0u8; 14];
@@ -36,8 +41,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ...and writes its own tuple on a different page; its μCheckpoint
     // contains only its own dirty set (per-thread tracking).
-    ms.write(&mut vt, backend_b, thread_b, region.addr + PAGE_SIZE as u64, b"tuple-2 from B")?;
-    ms.msnap_persist(&mut vt, thread_b, RegionSel::Region(region.md), PersistFlags::sync())?;
+    ms.write(
+        &mut vt,
+        backend_b,
+        thread_b,
+        region.addr + PAGE_SIZE as u64,
+        b"tuple-2 from B",
+    )?;
+    ms.msnap_persist(
+        &mut vt,
+        thread_b,
+        RegionSel::Region(region.md),
+        PersistFlags::sync(),
+    )?;
     println!(
         "backend B's μCheckpoint carried {} page(s) — only its own work",
         ms.last_persist_breakdown().pages
@@ -63,7 +79,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut t1 = [0u8; 14];
     let mut t2 = [0u8; 14];
     ms2.read(&mut vt2, backend_c, restored.addr, &mut t1)?;
-    ms2.read(&mut vt2, backend_c, restored.addr + PAGE_SIZE as u64, &mut t2)?;
+    ms2.read(
+        &mut vt2,
+        backend_c,
+        restored.addr + PAGE_SIZE as u64,
+        &mut t2,
+    )?;
     println!(
         "after reboot: {:?} + {:?}",
         std::str::from_utf8(&t1)?,

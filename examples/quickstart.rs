@@ -22,15 +22,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Modify memory in place. No write(), no WAL, no serialization.
     let thread = vt.id();
-    ms.write(&mut vt, space, thread, region.addr, b"don't forget: ship it")?;
+    ms.write(
+        &mut vt,
+        space,
+        thread,
+        region.addr,
+        b"don't forget: ship it",
+    )?;
 
     // One call makes the transaction durable.
     let t0 = vt.now();
-    let epoch = ms.msnap_persist(&mut vt, thread, RegionSel::Region(region.md), PersistFlags::sync())?;
+    let epoch = ms.msnap_persist(
+        &mut vt,
+        thread,
+        RegionSel::Region(region.md),
+        PersistFlags::sync(),
+    )?;
     println!("persisted epoch {epoch} in {}", vt.now() - t0);
 
     // An unpersisted scribble, then the power goes out.
-    ms.write(&mut vt, space, thread, region.addr + 4096, b"half-finished thought")?;
+    ms.write(
+        &mut vt,
+        space,
+        thread,
+        region.addr + 4096,
+        b"half-finished thought",
+    )?;
     let disk = ms.crash(vt.now());
     println!("-- power failure --");
 
@@ -49,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut lost = [0u8; 21];
     ms2.read(&mut vt2, space2, restored.addr + 4096, &mut lost)?;
-    assert!(lost.iter().all(|&b| b == 0), "the scribble was never persisted");
+    assert!(
+        lost.iter().all(|&b| b == 0),
+        "the scribble was never persisted"
+    );
     println!("the unpersisted scribble is gone, as it should be");
     Ok(())
 }

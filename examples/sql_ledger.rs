@@ -15,11 +15,15 @@ const OPENING_BALANCE: u64 = 1_000;
 
 fn balance(db: &mut LiteDb, vt: &mut Vt, table: msnap_litedb::TableId, account: u64) -> u64 {
     db.get(vt, table, account)
-        .map(|v| u64::from_le_bytes(v[..8].try_into().unwrap()))
+        .and_then(|v| {
+            v.get(..8)
+                .and_then(|b| b.try_into().ok())
+                .map(u64::from_le_bytes)
+        })
         .unwrap_or(0)
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut vt = Vt::new(0);
     let backend = MemSnapBackend::format_with_capacity(
         Disk::new(DiskConfig::paper()),
@@ -36,7 +40,7 @@ fn main() {
     for a in 0..ACCOUNTS {
         db.put(&mut vt, thread, accounts, a, &OPENING_BALANCE.to_le_bytes());
     }
-    db.commit(&mut vt, thread);
+    db.commit(&mut vt, thread)?;
     println!("opened {ACCOUNTS} accounts with {OPENING_BALANCE} each");
 
     // Shuffle money around; every transfer is a durable transaction.
@@ -53,10 +57,22 @@ fn main() {
         let from_balance = balance(&mut db, &mut vt, accounts, from);
         let to_balance = balance(&mut db, &mut vt, accounts, to);
         if from_balance >= amount {
-            db.put(&mut vt, thread, accounts, from, &(from_balance - amount).to_le_bytes());
-            db.put(&mut vt, thread, accounts, to, &(to_balance + amount).to_le_bytes());
+            db.put(
+                &mut vt,
+                thread,
+                accounts,
+                from,
+                &(from_balance - amount).to_le_bytes(),
+            );
+            db.put(
+                &mut vt,
+                thread,
+                accounts,
+                to,
+                &(to_balance + amount).to_le_bytes(),
+            );
         }
-        db.commit(&mut vt, thread);
+        db.commit(&mut vt, thread)?;
         committed_transfers += 1;
         if i == 149 {
             crash_at = vt.now(); // we'll pull the plug right here
@@ -70,7 +86,7 @@ fn main() {
         .into_backend()
         .into_any()
         .downcast::<MemSnapBackend>()
-        .expect("memsnap backend");
+        .map_err(|_| "the ledger runs on the MemSnap backend")?;
     let disk = backend.crash(crash_at);
 
     // Recover and audit.
@@ -88,4 +104,5 @@ fn main() {
         "money must be conserved through the crash"
     );
     println!("invariant holds: no money created or destroyed ✓");
+    Ok(())
 }

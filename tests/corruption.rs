@@ -2,7 +2,7 @@
 //! corrupted root or delta slot degrades recovery to an earlier epoch
 //! instead of returning garbage.
 
-use msnap_disk::{Disk, DiskConfig, BLOCK_SIZE};
+use msnap_disk::{Disk, DiskConfig, Fault, FaultPlan, BLOCK_SIZE};
 use msnap_sim::Vt;
 use msnap_store::{ObjectStore, DELTA_SLOTS};
 
@@ -18,7 +18,9 @@ fn build(n: u64) -> (Disk, Vt) {
     let obj = store.create(&mut vt, &mut disk, "o").unwrap();
     for epoch in 1..=n {
         let p = page_of(epoch as u8);
-        let token = store.persist(&mut vt, &mut disk, obj, &[(epoch % 8, &p)]);
+        let token = store
+            .persist(&mut vt, &mut disk, obj, &[(epoch % 8, &p)])
+            .unwrap();
         ObjectStore::wait(&mut vt, token);
     }
     disk.settle();
@@ -70,7 +72,9 @@ fn corrupted_latest_delta_degrades_by_one_epoch() {
     // The surviving state is consistent: page contents match their
     // epochs under the replayed prefix.
     let mut buf = page_of(0);
-    store.read_page(&mut vt, &mut disk, obj, (n - 1) % 8, &mut buf).unwrap();
+    store
+        .read_page(&mut vt, &mut disk, obj, (n - 1) % 8, &mut buf)
+        .unwrap();
     assert_eq!(buf[0], (n - 1) as u8);
 }
 
@@ -132,10 +136,96 @@ fn corrupted_full_root_falls_back_to_previous_root() {
 }
 
 #[test]
+fn torn_data_extent_mid_chain_truncates_recovery_there() {
+    // Epoch 5's two-page data extent tears after its first block while
+    // its record (and four later durable commits) land intact. Recovery
+    // verifies each delta's payload checksum before replaying it, so the
+    // prefix stops at epoch 4 — never a torn hybrid, and never the
+    // later commits that build on the torn one.
+    let mut disk = Disk::new(DiskConfig::paper());
+    let mut store = ObjectStore::format(&mut disk);
+    let mut vt = Vt::new(0);
+    let obj = store.create(&mut vt, &mut disk, "o").unwrap();
+    let mut last = msnap_sim::Nanos::ZERO;
+    for epoch in 1..=9u64 {
+        if epoch == 5 {
+            disk.set_fault_plan(
+                FaultPlan::new().at(disk.io_seq(), Fault::Torn { prefix_blocks: 1 }),
+            );
+        }
+        let pa = page_of(epoch as u8);
+        let pb = page_of(epoch as u8 + 100);
+        let token = store
+            .persist(&mut vt, &mut disk, obj, &[(0, &pa), (1, &pb)])
+            .unwrap();
+        ObjectStore::wait(&mut vt, token);
+        last = token.completes;
+    }
+    disk.crash(last);
+
+    let mut vt2 = Vt::new(1);
+    let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+    let obj2 = store2.lookup("o").unwrap();
+    assert_eq!(store2.epoch(obj2), 4, "replay stops before the torn commit");
+    let mut buf = page_of(0);
+    store2
+        .read_page(&mut vt2, &mut disk, obj2, 0, &mut buf)
+        .unwrap();
+    assert_eq!(buf[0], 4);
+    store2
+        .read_page(&mut vt2, &mut disk, obj2, 1, &mut buf)
+        .unwrap();
+    assert_eq!(buf[0], 104);
+}
+
+#[test]
+fn bit_flipped_data_block_mid_chain_truncates_recovery_there() {
+    // Same shape, but the device silently flips one data bit as epoch 5
+    // is written: no crash signal, no record damage — only the payload
+    // checksum can catch it.
+    let mut disk = Disk::new(DiskConfig::paper());
+    let mut store = ObjectStore::format(&mut disk);
+    let mut vt = Vt::new(0);
+    let obj = store.create(&mut vt, &mut disk, "o").unwrap();
+    let mut last = msnap_sim::Nanos::ZERO;
+    for epoch in 1..=9u64 {
+        if epoch == 5 {
+            disk.set_fault_plan(FaultPlan::new().at(
+                disk.io_seq(),
+                Fault::BitFlip {
+                    entry: 0,
+                    byte: 17,
+                    bit: 6,
+                },
+            ));
+        }
+        let p = page_of(epoch as u8);
+        let token = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
+        ObjectStore::wait(&mut vt, token);
+        last = token.completes;
+    }
+    disk.crash(last);
+
+    let mut vt2 = Vt::new(1);
+    let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+    let obj2 = store2.lookup("o").unwrap();
+    assert_eq!(
+        store2.epoch(obj2),
+        4,
+        "replay stops before the flipped commit"
+    );
+    let mut buf = page_of(0);
+    store2
+        .read_page(&mut vt2, &mut disk, obj2, 0, &mut buf)
+        .unwrap();
+    assert_eq!(buf[0], 4);
+}
+
+#[test]
 fn corruption_in_a_data_block_does_not_break_recovery() {
-    // Data blocks are not checksummed by the store (the paper's store
-    // defers integrity to the device); corruption surfaces as wrong
-    // bytes, but recovery structure stays intact.
+    // Data-block payload checksums are verified at *recovery* (delta
+    // replay); corruption that happens after the store is open surfaces
+    // as wrong bytes on read, but the recovery structure stays intact.
     let n = 6;
     let (mut disk, _) = build(n);
     // Corrupt some block in the data region (past the metadata area).
@@ -145,7 +235,9 @@ fn corruption_in_a_data_block_does_not_break_recovery() {
     assert_eq!(store.epoch(obj), n);
     // Find page 1's block via a read round trip before/after corruption.
     let mut before = page_of(0);
-    store.read_page(&mut vt, &mut disk, obj, 1, &mut before).unwrap();
+    store
+        .read_page(&mut vt, &mut disk, obj, 1, &mut before)
+        .unwrap();
     for block in 0..8192u64 {
         if disk.peek(block).is_some_and(|d| d == &before[..]) {
             disk.corrupt_bit(block, 5, 5);
@@ -153,7 +245,9 @@ fn corruption_in_a_data_block_does_not_break_recovery() {
         }
     }
     let mut after = page_of(0);
-    store.read_page(&mut vt, &mut disk, obj, 1, &mut after).unwrap();
+    store
+        .read_page(&mut vt, &mut disk, obj, 1, &mut after)
+        .unwrap();
     assert_ne!(before, after, "corruption is visible in data");
     assert_eq!(store.epoch(obj), n, "structure unaffected");
 }

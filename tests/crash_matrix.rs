@@ -1,34 +1,39 @@
 //! Crash-point matrix: power-fail a LiteDB/MemSnap workload at many
 //! instants and verify that recovery always yields exactly the prefix of
 //! committed transactions (persistence serializability, paper §4).
+//!
+//! Two granularities: a coarse 12-point matrix over the full 120-txn
+//! workload, and an exhaustive [`crash_at_every_io`] sweep that crashes
+//! on both sides of *every* write-completion boundary of a shorter run.
 
-use msnap_disk::{Disk, DiskConfig};
+use msnap_disk::{crash_at_every_io, Disk, DiskConfig, Fault, FaultPlan};
 use msnap_litedb::{LiteDb, MemSnapBackend};
 use msnap_sim::{Nanos, Vt};
 
 const KEYS: u64 = 64;
 const TXNS: u64 = 120;
 
-/// Runs the deterministic workload, returning per-transaction commit
-/// completion times and the final clock.
-fn run_workload(db: &mut LiteDb, vt: &mut Vt) -> Vec<Nanos> {
+/// Runs `txns` deterministic transactions, returning the instant each
+/// commit call returned (durability upper bound) and the final clock.
+fn run_workload(db: &mut LiteDb, vt: &mut Vt, txns: u64) -> Vec<Nanos> {
     let table = db.create_table(vt, "kv");
     let thread = vt.id();
     let mut commits = Vec::new();
-    for i in 0..TXNS {
+    for i in 0..txns {
         db.begin(vt, thread);
         // Each transaction stamps three keys with its own index.
         for j in 0..3u64 {
             let key = (i * 7 + j * 13) % KEYS;
             db.put(vt, thread, table, key, &i.to_le_bytes());
         }
-        db.commit(vt, thread);
+        db.commit(vt, thread)
+            .expect("workload runs without fault injection");
         commits.push(vt.now());
     }
     commits
 }
 
-/// Replays the workload's effects up to transaction `j` on a plain map.
+/// Replays the workload's effects up to transaction `upto` on a plain map.
 fn expected_state(upto: u64) -> std::collections::HashMap<u64, u64> {
     let mut state = std::collections::HashMap::new();
     for i in 0..upto {
@@ -39,14 +44,58 @@ fn expected_state(upto: u64) -> std::collections::HashMap<u64, u64> {
     state
 }
 
+/// Restores from `disk` and asserts the database holds exactly the state
+/// of the first `committed` transactions.
+fn assert_recovers_prefix(disk: Disk, committed: u64, context: &str) {
+    let mut vt2 = Vt::new(1);
+    let restored = match MemSnapBackend::try_restore(disk, "m", &mut vt2) {
+        Ok(b) => b,
+        Err(e) => {
+            // A crash can land during setup, before the store (or the
+            // database region) is durable. Nothing was committed then.
+            assert_eq!(
+                committed, 0,
+                "restore failed ({e}) {context} despite committed transactions"
+            );
+            return;
+        }
+    };
+    let mut db2 = LiteDb::new(Box::new(restored), &mut vt2);
+    let table = db2.create_table(&mut vt2, "kv");
+
+    let expected = expected_state(committed);
+    for key in 0..KEYS {
+        let got = db2
+            .get(&mut vt2, table, key)
+            .map(|v| u64::from_le_bytes(v[..8].try_into().expect("8-byte values")));
+        assert_eq!(
+            got,
+            expected.get(&key).copied(),
+            "key {key} {context} ({committed} committed txns)"
+        );
+    }
+}
+
+fn fresh_db(vt: &mut Vt) -> LiteDb {
+    let backend =
+        MemSnapBackend::format_with_capacity(Disk::new(DiskConfig::paper()), "m", 4096, vt);
+    LiteDb::new(Box::new(backend), vt)
+}
+
+fn into_disk(db: LiteDb) -> Disk {
+    db.into_backend()
+        .into_any()
+        .downcast::<MemSnapBackend>()
+        .expect("memsnap backend")
+        .into_disk()
+}
+
 #[test]
 fn recovery_is_a_committed_prefix_at_every_crash_point() {
     // First, one run to learn the commit timeline.
     let mut vt = Vt::new(0);
-    let backend =
-        MemSnapBackend::format_with_capacity(Disk::new(DiskConfig::paper()), "m", 4096, &mut vt);
-    let mut db = LiteDb::new(Box::new(backend), &mut vt);
-    let commits = run_workload(&mut db, &mut vt);
+    let mut db = fresh_db(&mut vt);
+    let commits = run_workload(&mut db, &mut vt, TXNS);
     let end = vt.now();
     drop(db);
 
@@ -60,38 +109,113 @@ fn recovery_is_a_committed_prefix_at_every_crash_point() {
 
     for crash_at in crash_points {
         let mut vt = Vt::new(0);
-        let backend = MemSnapBackend::format_with_capacity(
-            Disk::new(DiskConfig::paper()),
-            "m",
-            4096,
-            &mut vt,
-        );
-        let mut db = LiteDb::new(Box::new(backend), &mut vt);
-        let commits = run_workload(&mut db, &mut vt);
+        let mut db = fresh_db(&mut vt);
+        let commits = run_workload(&mut db, &mut vt, TXNS);
 
         let committed = commits.iter().filter(|&&c| c <= crash_at).count() as u64;
-        let backend = db
-            .into_backend()
-            .into_any()
-            .downcast::<MemSnapBackend>()
-            .expect("memsnap backend");
-        let disk = backend.crash(crash_at);
+        let mut disk = into_disk(db);
+        disk.crash(crash_at);
+        assert_recovers_prefix(disk, committed, &format!("after crash at {crash_at}"));
+    }
+}
 
-        let mut vt2 = Vt::new(1);
-        let restored = MemSnapBackend::restore(disk, "m", &mut vt2);
-        let mut db2 = LiteDb::new(Box::new(restored), &mut vt2);
-        let table = db2.create_table(&mut vt2, "kv");
+#[test]
+fn every_io_boundary_recovers_to_a_committed_prefix() {
+    // Exhaustive sweep: crash just before and exactly at every write
+    // completion of the run. 40 transactions cross a full delta window
+    // plus a full-root commit, so both commit paths are swept.
+    const SWEEP_TXNS: u64 = 40;
+    let run_to_db = || {
+        let mut vt = Vt::new(0);
+        let mut db = fresh_db(&mut vt);
+        let commits = run_workload(&mut db, &mut vt, SWEEP_TXNS);
+        (db, commits)
+    };
 
-        let expected = expected_state(committed);
-        for key in 0..KEYS {
-            let got = db2
-                .get(&mut vt2, table, key)
-                .map(|v| u64::from_le_bytes(v[..8].try_into().unwrap()));
-            assert_eq!(
-                got,
-                expected.get(&key).copied(),
-                "key {key} after crash at {crash_at} ({committed} committed txns)"
-            );
-        }
+    // Learn each transaction's exact durability instant: the completion
+    // of the last write segment at or before the moment its synchronous
+    // commit returned (the commit-record write).
+    let (db, commits) = run_to_db();
+    let reference = into_disk(db);
+    let completions = reference.write_completions().to_vec();
+    let commit_done: Vec<Nanos> = commits
+        .iter()
+        .map(|&by| {
+            completions
+                .iter()
+                .copied()
+                .filter(|&c| c <= by)
+                .max()
+                .expect("every transaction writes")
+        })
+        .collect();
+
+    let points = crash_at_every_io(
+        || into_disk(run_to_db().0),
+        |disk, at| {
+            let committed = commit_done.iter().filter(|&&c| c <= at).count() as u64;
+            assert_recovers_prefix(disk, committed, &format!("after boundary crash at {at}"));
+        },
+    );
+    assert!(
+        points as u64 > 2 * SWEEP_TXNS,
+        "the sweep must visit both sides of every commit boundary, got {points}"
+    );
+}
+
+#[test]
+fn dropped_commit_write_surfaces_as_a_sticky_abort() {
+    // A deliberately injected dropped write must surface as a
+    // transaction abort and stay sticky across the next commit attempt —
+    // never a panic, never silently cleared.
+    let mut vt = Vt::new(0);
+    let mut backend =
+        MemSnapBackend::format_with_capacity(Disk::new(DiskConfig::paper()), "m", 4096, &mut vt);
+    backend.set_fault_plan(FaultPlan::new().at(
+        backend.memsnap().disk().io_seq(),
+        Fault::Drop { transient: false },
+    ));
+    let mut db = LiteDb::new(Box::new(backend), &mut vt);
+    let table = db.create_table(&mut vt, "kv");
+    let thread = vt.id();
+
+    db.begin(&mut vt, thread);
+    db.put(&mut vt, thread, table, 1, &7u64.to_le_bytes());
+    let err = db
+        .commit(&mut vt, thread)
+        .expect_err("the injected drop aborts the commit");
+
+    // Fsync-gate: the next commit reports the same failure instead of
+    // silently succeeding over lost data.
+    db.begin(&mut vt, thread);
+    db.put(&mut vt, thread, table, 2, &8u64.to_le_bytes());
+    let again = db
+        .commit(&mut vt, thread)
+        .expect_err("the error is sticky until acknowledged");
+    assert_eq!(err, again, "the sticky report is the original device error");
+
+    // Acknowledge, retry: both transactions' pages are still dirty in
+    // the region, so the retry persists everything that was aborted.
+    let mut backend = db
+        .into_backend()
+        .into_any()
+        .downcast::<MemSnapBackend>()
+        .expect("memsnap backend");
+    assert!(
+        backend.ack_error().is_some(),
+        "the abort is reported exactly once"
+    );
+    let mut db = LiteDb::new(backend, &mut vt);
+    let table = db.create_table(&mut vt, "kv");
+    db.begin(&mut vt, thread);
+    db.put(&mut vt, thread, table, 3, &9u64.to_le_bytes());
+    db.commit(&mut vt, thread)
+        .expect("acknowledged device works again");
+
+    for (key, val) in [(1u64, 7u64), (2, 8), (3, 9)] {
+        let got = db
+            .get(&mut vt, table, key)
+            .map(|v| u64::from_le_bytes(v[..8].try_into().expect("8-byte values")));
+        assert_eq!(got, Some(val), "key {key} survives the acknowledged retry");
     }
 }

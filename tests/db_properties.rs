@@ -47,7 +47,7 @@ proptest! {
                     }
                 }
             }
-            db.commit(&mut vt, thread);
+            db.commit(&mut vt, thread).unwrap();
         }
 
         for (key, v) in &model {
@@ -87,7 +87,7 @@ proptest! {
         let mut kv = RotatingMemSnapKv::format(Disk::new(DiskConfig::paper()), 48, 24, &mut vt);
         let mut model = std::collections::BTreeMap::new();
         for (key, v) in &puts {
-            kv.put(&mut vt, *key, &[*v; 8]);
+            kv.put(&mut vt, *key, &[*v; 8]).unwrap();
             model.insert(*key, *v);
         }
         for (key, v) in &model {

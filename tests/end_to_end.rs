@@ -19,11 +19,22 @@ fn headline_latency_claims() {
     let space = ms.vm_mut().create_space();
     let region = ms.msnap_open(&mut vt, space, "r", 4096).unwrap();
     let thread = vt.id();
-    ms.write(&mut vt, space, thread, region.addr + 17 * PAGE_SIZE as u64, &[1u8; 64])
-        .unwrap();
+    ms.write(
+        &mut vt,
+        space,
+        thread,
+        region.addr + 17 * PAGE_SIZE as u64,
+        &[1u8; 64],
+    )
+    .unwrap();
     let t0 = vt.now();
-    ms.msnap_persist(&mut vt, thread, RegionSel::Region(region.md), PersistFlags::sync())
-        .unwrap();
+    ms.msnap_persist(
+        &mut vt,
+        thread,
+        RegionSel::Region(region.md),
+        PersistFlags::sync(),
+    )
+    .unwrap();
     let memsnap_us = (vt.now() - t0).as_us_f64();
 
     // Direct disk IO of the same size.
@@ -109,11 +120,21 @@ fn rocksdb_case_study_ordering() {
     let wal = run_mixgraph(Rc::new(RefCell::new(kv)), &cfg, vt.now());
 
     let mut vt = Vt::new(u32::MAX);
-    let mut kv = AuroraKv::format(Disk::new(DiskConfig::paper()), 1 << 14, cfg.threads, &mut vt);
+    let mut kv = AuroraKv::format(
+        Disk::new(DiskConfig::paper()),
+        1 << 14,
+        cfg.threads,
+        &mut vt,
+    );
     fill(&mut kv, &mut vt, cfg.keys, 256);
     let aurora = run_mixgraph(Rc::new(RefCell::new(kv)), &cfg, vt.now());
 
-    assert!(ms.kops > wal.kops, "memsnap {:.1} vs wal {:.1}", ms.kops, wal.kops);
+    assert!(
+        ms.kops > wal.kops,
+        "memsnap {:.1} vs wal {:.1}",
+        ms.kops,
+        wal.kops
+    );
     assert!(
         ms.kops / aurora.kops > 3.0,
         "memsnap {:.1} should be ~4x aurora {:.1}",
@@ -148,14 +169,22 @@ fn postgres_case_study_ordering() {
         let (report, _) = run(db, &cfg, vt.now());
         results.push(report);
     }
-    let (baseline, mmap, bufdirect, memsnap) =
-        (&results[0], &results[1], &results[2], &results[3]);
-    assert!(memsnap.tps >= baseline.tps, "memsnap matches or beats the baseline");
-    assert!(baseline.tps > mmap.tps, "mmap persistence penalizes throughput");
+    let (baseline, mmap, bufdirect, memsnap) = (&results[0], &results[1], &results[2], &results[3]);
+    assert!(
+        memsnap.tps >= baseline.tps,
+        "memsnap matches or beats the baseline"
+    );
+    assert!(
+        baseline.tps > mmap.tps,
+        "mmap persistence penalizes throughput"
+    );
     assert!(mmap.tps > bufdirect.tps, "bufdirect is the slowest stack");
     let ms_bytes = memsnap.io.bytes_written as f64 / memsnap.txns as f64;
     let base_bytes = baseline.io.bytes_written as f64 / baseline.txns as f64;
-    assert!(ms_bytes < base_bytes, "memsnap writes fewer bytes per transaction");
+    assert!(
+        ms_bytes < base_bytes,
+        "memsnap writes fewer bytes per transaction"
+    );
 }
 
 /// The complete SLS loop: open → mutate → persist → crash → restore →
@@ -170,13 +199,25 @@ fn sls_crash_cycle_two_regions() {
     let thread = vt.id();
 
     for round in 0..5u8 {
-        ms.write(&mut vt, space, thread, a.addr, &[round; 32]).unwrap();
-        ms.msnap_persist(&mut vt, thread, RegionSel::Region(a.md), PersistFlags::sync())
+        ms.write(&mut vt, space, thread, a.addr, &[round; 32])
             .unwrap();
-    }
-    ms.write(&mut vt, space, thread, b.addr, b"only-once").unwrap();
-    ms.msnap_persist(&mut vt, thread, RegionSel::Region(b.md), PersistFlags::sync())
+        ms.msnap_persist(
+            &mut vt,
+            thread,
+            RegionSel::Region(a.md),
+            PersistFlags::sync(),
+        )
         .unwrap();
+    }
+    ms.write(&mut vt, space, thread, b.addr, b"only-once")
+        .unwrap();
+    ms.msnap_persist(
+        &mut vt,
+        thread,
+        RegionSel::Region(b.md),
+        PersistFlags::sync(),
+    )
+    .unwrap();
 
     let disk = ms.crash(vt.now());
     let mut vt2 = Vt::new(1);
