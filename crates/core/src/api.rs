@@ -1,6 +1,6 @@
 //! The MemSnap single level store.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use msnap_disk::Disk;
 use msnap_sim::{Category, Meters, Nanos, Vt, VthreadId};
@@ -8,7 +8,9 @@ use msnap_store::{ObjectId as StoreObjId, ObjectStore};
 use msnap_vm::{AsId, DirtyPage, MemObjectId, ResetStrategy, TrackMode, Vm, PAGE_SIZE};
 
 use crate::manifest::{Manifest, ManifestEntry};
-use crate::types::{Md, MsnapError, PersistBreakdown, PersistFlags, RegionHandle, RegionSel};
+use crate::types::{
+    CommitTicket, Md, MsnapError, PersistBreakdown, PersistFlags, RegionHandle, RegionSel,
+};
 use crate::Epoch;
 
 /// Base of the region address range: "the high end of the address space"
@@ -22,6 +24,18 @@ const MANIFEST_NAME: &str = "__msnap_manifest";
 /// Syscall entry/exit cost of a MemSnap call.
 const SYSCALL_COST: Nanos = Nanos::from_ns(500);
 
+/// Cost of copying one dirty page into the coalescing buffer at
+/// group-commit enqueue time (an eager COW of the checkpoint image).
+const GATHER_PER_PAGE: Nanos = Nanos::from_ns(150);
+
+/// Default group-commit coalescing window (see
+/// [`MemSnap::set_coalesce_window`]).
+const DEFAULT_COALESCE_WINDOW: Nanos = Nanos::from_us(8);
+
+/// Default depth of the `MS_ASYNC` writeback pipeline (see
+/// [`MemSnap::set_async_pipeline_depth`]).
+const DEFAULT_PIPELINE_DEPTH: usize = 8;
+
 #[derive(Debug)]
 struct Region {
     name: String,
@@ -31,6 +45,45 @@ struct Region {
     pages: u64,
     mapped: Vec<AsId>,
     populated: bool,
+}
+
+/// One caller's contribution to an open (not yet flushed) group commit.
+#[derive(Debug)]
+struct GroupParticipant {
+    thread: VthreadId,
+    sel: RegionSel,
+    flags: PersistFlags,
+    /// Dirty-list entries taken at enqueue, kept so a failed batch can put
+    /// them back (fsync-gate retry semantics).
+    entries: Vec<DirtyPage>,
+    /// Page images copied at enqueue: `(region index, page, bytes)`. The
+    /// eager copy is the COW — later writes to the same pages land in the
+    /// writer's own dirty set and cannot bleed into this μCheckpoint.
+    copied: Vec<(u32, u64, Vec<u8>)>,
+    /// Enqueue instant, for end-to-end latency metering.
+    start: Nanos,
+}
+
+/// A group commit accepting participants until its window closes.
+#[derive(Debug)]
+struct OpenBatch {
+    id: u64,
+    /// The instant the coalescing window closes; the first poll at or
+    /// after this instant flushes the batch.
+    submit_at: Nanos,
+    participants: Vec<GroupParticipant>,
+}
+
+/// A flushed group commit awaiting its participants' polls.
+#[derive(Debug)]
+struct FinishedBatch {
+    /// Batch-wide outcome: a faulted batch fails *every* participant.
+    error: Option<MsnapError>,
+    /// Durability instant of the combined commit record.
+    completes: Nanos,
+    /// Per-participant `(flags, epoch, enqueue instant)`, removed as each
+    /// participant polls; the batch is pruned when the map drains.
+    results: HashMap<u32, (PersistFlags, Epoch, Nanos)>,
 }
 
 /// The MemSnap single level store: regions, μCheckpoints, crash/restore.
@@ -58,6 +111,19 @@ pub struct MemSnap {
     all_epoch: Epoch,
     meters: Meters,
     last_breakdown: PersistBreakdown,
+    /// Group-commit coalescing window ([`MemSnap::set_coalesce_window`]).
+    coalesce_window: Nanos,
+    /// The batch currently accepting participants, if any.
+    open_batch: Option<OpenBatch>,
+    /// Flushed batches whose participants have not all polled yet.
+    finished: HashMap<u64, FinishedBatch>,
+    /// Next batch id.
+    batch_seq: u64,
+    /// Completion instants of in-flight `MS_ASYNC` μCheckpoints, oldest
+    /// first. Bounded by `pipeline_depth`; admission past the bound blocks
+    /// on the oldest entry (writeback backpressure).
+    pipeline: VecDeque<Nanos>,
+    pipeline_depth: usize,
 }
 
 impl std::fmt::Debug for MemSnap {
@@ -91,6 +157,12 @@ impl MemSnap {
             all_epoch: 0,
             meters: Meters::new(),
             last_breakdown: PersistBreakdown::default(),
+            coalesce_window: DEFAULT_COALESCE_WINDOW,
+            open_batch: None,
+            finished: HashMap::new(),
+            batch_seq: 0,
+            pipeline: VecDeque::new(),
+            pipeline_depth: DEFAULT_PIPELINE_DEPTH,
         };
         ms.persist_manifest(&mut vt)
             .expect("formatting a faulty device is unsupported");
@@ -130,6 +202,12 @@ impl MemSnap {
             all_epoch: 0,
             meters: Meters::new(),
             last_breakdown: PersistBreakdown::default(),
+            coalesce_window: DEFAULT_COALESCE_WINDOW,
+            open_batch: None,
+            finished: HashMap::new(),
+            batch_seq: 0,
+            pipeline: VecDeque::new(),
+            pipeline_depth: DEFAULT_PIPELINE_DEPTH,
         };
         for entry in manifest.entries {
             let store_obj = ms
@@ -394,6 +472,14 @@ impl MemSnap {
             return Err(e);
         }
 
+        // MS_ASYNC admission: at most `pipeline_depth` μCheckpoints may be
+        // in flight; a full pipeline blocks here for the oldest one.
+        let admit_wait = if flags.sync {
+            Nanos::ZERO
+        } else {
+            self.pipeline_admit(vt)
+        };
+
         let filter = match sel {
             RegionSel::All => None,
             RegionSel::Region(md) => Some(
@@ -494,7 +580,7 @@ impl MemSnap {
             self.last_breakdown = PersistBreakdown {
                 resetting_tracking: resetting,
                 initiating_writes: initiating,
-                waiting_on_io: Nanos::ZERO,
+                waiting_on_io: admit_wait,
                 pages: total_pages,
             };
             self.meters.record("msnap_persist", vt.now() - start);
@@ -516,11 +602,14 @@ impl MemSnap {
             }
         }
 
-        // Synchronous callers block until durable.
-        let mut waiting = Nanos::ZERO;
+        // Synchronous callers block until durable; async callers join the
+        // writeback pipeline instead.
+        let mut waiting = admit_wait;
         if flags.sync && max_completes > vt.now() {
             waiting = max_completes - vt.now();
             vt.charge(Category::IoWait, waiting);
+        } else if !flags.sync && total_pages > 0 {
+            self.pipeline.push_back(max_completes);
         }
 
         self.last_breakdown = PersistBreakdown {
@@ -531,6 +620,320 @@ impl MemSnap {
         };
         self.meters.record("msnap_persist", vt.now() - start);
         Ok(epoch_for_sel)
+    }
+
+    /// Sets the group-commit coalescing window: `msnap_persist_grouped`
+    /// calls arriving within `window` of the batch opener merge into one
+    /// μCheckpoint IO. `Nanos::ZERO` disables coalescing across time (only
+    /// same-instant callers merge).
+    pub fn set_coalesce_window(&mut self, window: Nanos) {
+        self.coalesce_window = window;
+    }
+
+    /// Sets the `MS_ASYNC` writeback pipeline depth: how many asynchronous
+    /// μCheckpoints may be in flight before `msnap_persist(MS_ASYNC)`
+    /// blocks on the oldest one. Clamped to at least 1.
+    pub fn set_async_pipeline_depth(&mut self, depth: usize) {
+        self.pipeline_depth = depth.max(1);
+    }
+
+    /// Joins (or opens) a group commit with the calling thread's dirty
+    /// pages of `sel`, returning a [`CommitTicket`] to redeem with
+    /// [`MemSnap::msnap_group_poll`].
+    ///
+    /// The enqueue itself is cheap: the dirty set is taken, the page
+    /// images are copied into the coalescing buffer (an eager COW, so the
+    /// caller may keep writing immediately), and tracking is re-armed.
+    /// The combined μCheckpoint IO — one scatter/gather extent plus one
+    /// commit record for *all* participants — is initiated when the
+    /// batch's window closes, by the first poller to reach that instant.
+    ///
+    /// # Errors
+    ///
+    /// [`MsnapError::BadDescriptor`] for an unknown region, or the
+    /// region's sticky error (see [`MemSnap::msnap_persist`]).
+    pub fn msnap_persist_grouped(
+        &mut self,
+        vt: &mut Vt,
+        thread: VthreadId,
+        sel: RegionSel,
+        flags: PersistFlags,
+    ) -> Result<CommitTicket, MsnapError> {
+        vt.charge(Category::Memsnap, SYSCALL_COST);
+        if let Some(e) = self.sticky_error(sel) {
+            return Err(e);
+        }
+        // A late arrival cannot join a window that has already closed:
+        // flush the stale batch first (this enqueuer pays for it).
+        if matches!(&self.open_batch, Some(b) if vt.now() >= b.submit_at) {
+            self.flush_open_batch(vt);
+        }
+
+        let filter = match sel {
+            RegionSel::All => None,
+            RegionSel::Region(md) => Some(
+                self.regions
+                    .get(md.0 as usize)
+                    .ok_or(MsnapError::BadDescriptor)?
+                    .vm_obj,
+            ),
+        };
+        let mut entries: Vec<DirtyPage> = Vec::new();
+        if flags.global {
+            let mut threads = self.vm.threads_with_dirty();
+            if !threads.contains(&thread) {
+                threads.push(thread);
+            }
+            for t in threads {
+                entries.extend(self.vm.take_dirty(t, filter));
+            }
+        } else {
+            entries = self.vm.take_dirty(thread, filter);
+        }
+
+        // Eagerly copy the page images: the μCheckpoint content is fixed
+        // here, so the caller's next write needs no COW machinery.
+        let regions = &self.regions;
+        let vm = &self.vm;
+        let copied: Vec<(u32, u64, Vec<u8>)> = entries
+            .iter()
+            .map(|e| {
+                let region_idx = regions
+                    .iter()
+                    .position(|r| r.vm_obj == e.object)
+                    .expect("dirty pages in tracked mappings belong to regions");
+                (region_idx as u32, e.obj_page, vm.page_bytes(e).to_vec())
+            })
+            .collect();
+        if !entries.is_empty() {
+            vt.charge(Category::Memsnap, GATHER_PER_PAGE * entries.len() as u64);
+            self.vm.freeze(&entries, vt.now());
+            self.vm.reset_protection(vt, &entries, self.strategy);
+        }
+
+        let participant = GroupParticipant {
+            thread,
+            sel,
+            flags,
+            entries,
+            copied,
+            start: vt.now(),
+        };
+        let ticket = match &mut self.open_batch {
+            Some(b) => {
+                b.participants.push(participant);
+                CommitTicket {
+                    batch: b.id,
+                    participant: (b.participants.len() - 1) as u32,
+                }
+            }
+            None => {
+                let id = self.batch_seq;
+                self.batch_seq += 1;
+                self.open_batch = Some(OpenBatch {
+                    id,
+                    submit_at: vt.now() + self.coalesce_window,
+                    participants: vec![participant],
+                });
+                CommitTicket {
+                    batch: id,
+                    participant: 0,
+                }
+            }
+        };
+        Ok(ticket)
+    }
+
+    /// Polls a group commit joined via [`MemSnap::msnap_persist_grouped`].
+    ///
+    /// Returns `Ok(None)` while the batch's coalescing window is still
+    /// open (the caller's clock is advanced to the window close, so the
+    /// next poll makes progress). Once flushed, returns the participant's
+    /// epoch; `MS_SYNC` participants block until the batch is durable
+    /// first. Each ticket is redeemable exactly once.
+    ///
+    /// # Errors
+    ///
+    /// The batch's error, for *every* participant, if the combined
+    /// μCheckpoint IO failed — each involved region's error is sticky and
+    /// each participant's pages went back to its dirty set for a post-ack
+    /// retry. [`MsnapError::BadDescriptor`] for an unknown or already
+    /// redeemed ticket.
+    pub fn msnap_group_poll(
+        &mut self,
+        vt: &mut Vt,
+        ticket: CommitTicket,
+    ) -> Result<Option<Epoch>, MsnapError> {
+        vt.charge(Category::Memsnap, SYSCALL_COST);
+        if matches!(&self.open_batch, Some(b) if b.id == ticket.batch) {
+            let submit_at = self.open_batch.as_ref().unwrap().submit_at;
+            if vt.now() < submit_at {
+                vt.wait_until(submit_at);
+                return Ok(None);
+            }
+            self.flush_open_batch(vt);
+        }
+        let fin = self
+            .finished
+            .get_mut(&ticket.batch)
+            .ok_or(MsnapError::BadDescriptor)?;
+        let (flags, epoch, start) = fin
+            .results
+            .remove(&ticket.participant)
+            .ok_or(MsnapError::BadDescriptor)?;
+        let error = fin.error.clone();
+        let completes = fin.completes;
+        if fin.results.is_empty() {
+            self.finished.remove(&ticket.batch);
+        }
+        if let Some(e) = error {
+            self.meters
+                .record("msnap_persist_grouped", vt.now() - start);
+            return Err(e);
+        }
+        if flags.sync && completes > vt.now() {
+            vt.charge(Category::IoWait, completes - vt.now());
+        }
+        self.meters
+            .record("msnap_persist_grouped", vt.now() - start);
+        Ok(Some(epoch))
+    }
+
+    /// Force-flushes the open group commit, if any, without waiting for
+    /// its window to close (shutdown paths, tests). Participants still
+    /// collect their results via [`MemSnap::msnap_group_poll`].
+    pub fn msnap_group_flush(&mut self, vt: &mut Vt) {
+        vt.charge(Category::Memsnap, SYSCALL_COST);
+        if self.open_batch.is_some() {
+            self.flush_open_batch(vt);
+        }
+    }
+
+    /// Drains completed pipeline entries and, if the pipeline is still
+    /// full, blocks on the oldest in-flight μCheckpoint. Returns the time
+    /// spent blocked.
+    fn pipeline_admit(&mut self, vt: &mut Vt) -> Nanos {
+        let mut waited = Nanos::ZERO;
+        let now = vt.now();
+        while matches!(self.pipeline.front(), Some(&c) if c <= now) {
+            self.pipeline.pop_front();
+        }
+        if self.pipeline.len() >= self.pipeline_depth {
+            if let Some(oldest) = self.pipeline.pop_front() {
+                if oldest > vt.now() {
+                    waited = oldest - vt.now();
+                    vt.charge(Category::IoWait, waited);
+                }
+            }
+            let now = vt.now();
+            while matches!(self.pipeline.front(), Some(&c) if c <= now) {
+                self.pipeline.pop_front();
+            }
+        }
+        waited
+    }
+
+    /// Flushes the open batch: one combined μCheckpoint IO for every
+    /// participant, then a [`FinishedBatch`] for their polls. The caller
+    /// (the first poller past the window, or a late enqueuer) pays the
+    /// initiation cost — group commit's "leader pays" rule.
+    #[allow(clippy::type_complexity)]
+    fn flush_open_batch(&mut self, vt: &mut Vt) {
+        let batch = self.open_batch.take().expect("caller checked open_batch");
+
+        // Merge the participants' copied pages per region; a later
+        // enqueuer's image of the same page wins (it was copied later).
+        let mut merged: BTreeMap<u32, BTreeMap<u64, Vec<u8>>> = BTreeMap::new();
+        for p in &batch.participants {
+            for (region, page, bytes) in &p.copied {
+                merged
+                    .entry(*region)
+                    .or_default()
+                    .insert(*page, bytes.clone());
+            }
+        }
+
+        let mut error: Option<MsnapError> = None;
+        let mut completes = vt.now();
+        let mut epochs: HashMap<u32, Epoch> = HashMap::new();
+        if !merged.is_empty() {
+            let any_async = batch.participants.iter().any(|p| !p.flags.sync);
+            if any_async {
+                self.pipeline_admit(vt);
+            }
+            let groups_pages: Vec<(StoreObjId, Vec<(u64, &[u8])>)> = merged
+                .iter()
+                .map(|(region, pages)| {
+                    let obj = self.regions[*region as usize].store_obj;
+                    (obj, pages.iter().map(|(p, b)| (*p, &b[..])).collect())
+                })
+                .collect();
+            let groups: Vec<(StoreObjId, &[(u64, &[u8])])> = groups_pages
+                .iter()
+                .map(|(obj, pages)| (*obj, &pages[..]))
+                .collect();
+            match self.store.persist_batch(vt, &mut self.disk, &groups) {
+                Ok(tokens) => {
+                    for ((region, _), token) in merged.iter().zip(&tokens) {
+                        completes = completes.max(token.completes);
+                        epochs.insert(*region, token.epoch);
+                        self.completions
+                            .entry(RegionSel::Region(Md(*region)))
+                            .or_default()
+                            .insert(token.epoch, token.completes);
+                    }
+                    self.all_epoch += 1;
+                    self.completions
+                        .entry(RegionSel::All)
+                        .or_default()
+                        .insert(self.all_epoch, completes);
+                    if any_async {
+                        self.pipeline.push_back(completes);
+                    }
+                    // Several transactions coalesced into one region's
+                    // commit: the store took the plain single-object path,
+                    // so account the merge here (multi-object batches are
+                    // accounted by the store itself).
+                    if merged.len() == 1 && batch.participants.len() > 1 {
+                        self.disk.note_merged(batch.participants.len() as u64);
+                    }
+                }
+                Err(e) => {
+                    // All-or-nothing: the store aborted the whole batch.
+                    // Every involved region arms its fsync gate, every
+                    // participant gets its pages back, and every poll
+                    // reports the failure.
+                    let err = MsnapError::from(e);
+                    for region in merged.keys() {
+                        self.sticky.insert(*region, err.clone());
+                    }
+                    for p in &batch.participants {
+                        self.vm.untake_dirty(p.thread, p.entries.clone());
+                    }
+                    error = Some(err);
+                }
+            }
+        }
+
+        let mut results = HashMap::new();
+        for (i, p) in batch.participants.iter().enumerate() {
+            let epoch = match p.sel {
+                RegionSel::Region(md) => epochs
+                    .get(&md.0)
+                    .copied()
+                    .unwrap_or_else(|| self.store.epoch(self.regions[md.0 as usize].store_obj)),
+                RegionSel::All => self.all_epoch,
+            };
+            results.insert(i as u32, (p.flags, epoch, p.start));
+        }
+        self.finished.insert(
+            batch.id,
+            FinishedBatch {
+                error,
+                completes,
+                results,
+            },
+        );
     }
 
     /// Blocks until `epoch` of `sel` is durable (the paper's
@@ -987,6 +1390,235 @@ mod tests {
         let inj = ms.clear_fault_plan().unwrap();
         assert_eq!(inj.injected().len(), 1);
         assert!(ms.msnap_ack_error(RegionSel::All).is_none());
+    }
+
+    #[test]
+    fn grouped_persists_coalesce_into_one_batch() {
+        let (mut ms, mut vt0, space) = fresh();
+        ms.set_coalesce_window(Nanos::from_us(100));
+        let mut vts = [Vt::new(1), Vt::new(2), Vt::new(3)];
+        let mut regions = Vec::new();
+        for (i, vt) in vts.iter_mut().enumerate() {
+            let r = ms
+                .msnap_open(&mut vt0, space, &format!("r{i}"), 16)
+                .unwrap();
+            let t = vt.id();
+            ms.write(vt, space, t, r.addr, &[i as u8 + 1; 64]).unwrap();
+            regions.push(r);
+        }
+        let before = ms.disk().stats().writes();
+        let tickets: Vec<_> = vts
+            .iter_mut()
+            .zip(&regions)
+            .map(|(vt, r)| {
+                let t = vt.id();
+                ms.msnap_persist_grouped(vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+                    .unwrap()
+            })
+            .collect();
+        // The enqueue is cheap — no IO was initiated yet.
+        assert_eq!(ms.disk().stats().writes(), before);
+        // First polls ride out the window; repolls flush and complete.
+        for (vt, ticket) in vts.iter_mut().zip(&tickets) {
+            let mut epoch = ms.msnap_group_poll(vt, *ticket).unwrap();
+            while epoch.is_none() {
+                epoch = ms.msnap_group_poll(vt, *ticket).unwrap();
+            }
+            assert_eq!(epoch, Some(1), "each region advances to epoch 1");
+        }
+        // Three regions, two IOs: one merged extent + one commit record.
+        assert_eq!(ms.disk().stats().writes() - before, 2);
+        assert_eq!(ms.disk().stats().merged_submissions(), 1);
+        assert_eq!(ms.disk().stats().merged_parts(), 3);
+        assert_eq!(ms.store().stats().batch_commits, 1);
+        // A redeemed ticket is gone.
+        assert_eq!(
+            ms.msnap_group_poll(&mut vts[0], tickets[0]).unwrap_err(),
+            MsnapError::BadDescriptor
+        );
+    }
+
+    #[test]
+    fn grouped_commit_survives_crash() {
+        let (mut ms, mut vt, space) = fresh();
+        ms.set_coalesce_window(Nanos::from_us(10));
+        let t = vt.id();
+        let a = ms.msnap_open(&mut vt, space, "a", 16).unwrap();
+        let b = ms.msnap_open(&mut vt, space, "b", 16).unwrap();
+        ms.write(&mut vt, space, t, a.addr, b"alpha").unwrap();
+        ms.write(&mut vt, space, t, b.addr, b"bravo").unwrap();
+        let ta = ms
+            .msnap_persist_grouped(&mut vt, t, RegionSel::Region(a.md), PersistFlags::sync())
+            .unwrap();
+        let tb = ms
+            .msnap_persist_grouped(&mut vt, t, RegionSel::Region(b.md), PersistFlags::sync())
+            .unwrap();
+        for ticket in [ta, tb] {
+            let mut epoch = ms.msnap_group_poll(&mut vt, ticket).unwrap();
+            while epoch.is_none() {
+                epoch = ms.msnap_group_poll(&mut vt, ticket).unwrap();
+            }
+        }
+        let disk = ms.crash(vt.now());
+        let mut vt2 = Vt::new(9);
+        let mut ms2 = MemSnap::restore(&mut vt2, disk).unwrap();
+        let space2 = ms2.vm_mut().create_space();
+        let a2 = ms2.msnap_open(&mut vt2, space2, "a", 0).unwrap();
+        let b2 = ms2.msnap_open(&mut vt2, space2, "b", 0).unwrap();
+        let mut out = [0u8; 5];
+        ms2.read(&mut vt2, space2, a2.addr, &mut out).unwrap();
+        assert_eq!(&out, b"alpha");
+        ms2.read(&mut vt2, space2, b2.addr, &mut out).unwrap();
+        assert_eq!(&out, b"bravo");
+    }
+
+    #[test]
+    fn faulted_batch_sticky_fails_every_participant() {
+        let (mut ms, mut vt, space) = fresh();
+        ms.set_coalesce_window(Nanos::from_us(10));
+        let a = ms.msnap_open(&mut vt, space, "a", 16).unwrap();
+        let b = ms.msnap_open(&mut vt, space, "b", 16).unwrap();
+        let t0 = VthreadId(0);
+        let t1 = VthreadId(1);
+        ms.write(&mut vt, space, t0, a.addr, &[1; 32]).unwrap();
+        ms.write(&mut vt, space, t1, b.addr, &[2; 32]).unwrap();
+        // Hard-drop the batch's data extent.
+        let plan = FaultPlan::new().at(ms.disk().io_seq(), Fault::Drop { transient: false });
+        ms.set_fault_plan(plan);
+        let ta = ms
+            .msnap_persist_grouped(&mut vt, t0, RegionSel::Region(a.md), PersistFlags::sync())
+            .unwrap();
+        let tb = ms
+            .msnap_persist_grouped(&mut vt, t1, RegionSel::Region(b.md), PersistFlags::sync())
+            .unwrap();
+        ms.msnap_group_flush(&mut vt);
+        ms.clear_fault_plan();
+        // Every participant of the faulted batch fails, not just the one
+        // whose pages happened to hit the bad block.
+        let ea = ms.msnap_group_poll(&mut vt, ta).unwrap_err();
+        let eb = ms.msnap_group_poll(&mut vt, tb).unwrap_err();
+        assert!(matches!(ea, MsnapError::Store(_)));
+        assert_eq!(ea, eb);
+        // Both regions' fsync gates are armed...
+        assert_eq!(
+            ms.msnap_persist(&mut vt, t0, RegionSel::Region(a.md), PersistFlags::sync())
+                .unwrap_err(),
+            ea
+        );
+        assert_eq!(
+            ms.msnap_persist(&mut vt, t1, RegionSel::Region(b.md), PersistFlags::sync())
+                .unwrap_err(),
+            ea
+        );
+        // ...and each thread's pages went back to its dirty set, so the
+        // acknowledged retry persists them.
+        assert_eq!(ms.vm().dirty_count(t0), 1);
+        assert_eq!(ms.vm().dirty_count(t1), 1);
+        ms.msnap_ack_error(RegionSel::Region(a.md));
+        ms.msnap_ack_error(RegionSel::Region(b.md));
+        let epoch = ms
+            .msnap_persist(&mut vt, t0, RegionSel::Region(a.md), PersistFlags::sync())
+            .unwrap();
+        assert_eq!(epoch, 1);
+    }
+
+    #[test]
+    fn single_participant_group_takes_the_plain_path() {
+        let (mut ms, mut vt, space) = fresh();
+        ms.set_coalesce_window(Nanos::from_us(5));
+        let t = vt.id();
+        let r = ms.msnap_open(&mut vt, space, "data", 16).unwrap();
+        ms.write(&mut vt, space, t, r.addr, &[3; 16]).unwrap();
+        let ticket = ms
+            .msnap_persist_grouped(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+            .unwrap();
+        let mut epoch = ms.msnap_group_poll(&mut vt, ticket).unwrap();
+        while epoch.is_none() {
+            epoch = ms.msnap_group_poll(&mut vt, ticket).unwrap();
+        }
+        assert_eq!(epoch, Some(1));
+        // A lone participant is a plain delta commit, not a batch record.
+        assert_eq!(ms.store().stats().batch_commits, 0);
+        assert_eq!(
+            ms.store().stats().delta_commits,
+            3,
+            "format + open manifests, then the commit itself"
+        );
+    }
+
+    #[test]
+    fn empty_grouped_persist_reports_current_epoch() {
+        let (mut ms, mut vt, space) = fresh();
+        let t = vt.id();
+        let r = ms.msnap_open(&mut vt, space, "data", 16).unwrap();
+        let ticket = ms
+            .msnap_persist_grouped(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+            .unwrap();
+        ms.msnap_group_flush(&mut vt);
+        assert_eq!(ms.msnap_group_poll(&mut vt, ticket).unwrap(), Some(0));
+    }
+
+    #[test]
+    fn async_pipeline_applies_backpressure_at_depth() {
+        let (mut ms, mut vt, space) = fresh();
+        ms.set_async_pipeline_depth(2);
+        let t = vt.id();
+        let r = ms.msnap_open(&mut vt, space, "data", 64).unwrap();
+        let mut latencies = Vec::new();
+        for i in 0..3u64 {
+            ms.write(
+                &mut vt,
+                space,
+                t,
+                r.addr + i * PAGE_SIZE as u64,
+                &[i as u8 + 1; PAGE_SIZE],
+            )
+            .unwrap();
+            let before = vt.now();
+            ms.msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::async_())
+                .unwrap();
+            latencies.push(vt.now() - before);
+        }
+        // The first two admissions are free; the third finds the pipeline
+        // full and blocks on the oldest in-flight μCheckpoint.
+        assert!(latencies[0] < Nanos::from_us(15), "free: {}", latencies[0]);
+        assert!(latencies[1] < Nanos::from_us(15), "free: {}", latencies[1]);
+        assert!(
+            latencies[2] > Nanos::from_us(15),
+            "backpressure: {}",
+            latencies[2]
+        );
+        assert!(ms.last_persist_breakdown().waiting_on_io > Nanos::ZERO);
+        // Once the device catches up, admissions are free again.
+        vt.wait_until(vt.now() + Nanos::from_secs(1));
+        ms.write(&mut vt, space, t, r.addr, &[9; 16]).unwrap();
+        let before = vt.now();
+        ms.msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::async_())
+            .unwrap();
+        assert!(vt.now() - before < Nanos::from_us(15));
+    }
+
+    #[test]
+    fn late_enqueuer_flushes_the_stale_batch_first() {
+        let (mut ms, mut vt, space) = fresh();
+        ms.set_coalesce_window(Nanos::from_us(4));
+        let t = vt.id();
+        let r = ms.msnap_open(&mut vt, space, "data", 16).unwrap();
+        ms.write(&mut vt, space, t, r.addr, &[1; 8]).unwrap();
+        let t1 = ms
+            .msnap_persist_grouped(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+            .unwrap();
+        // Long after the window closed, a new enqueue arrives: it must not
+        // join the expired batch.
+        vt.wait_until(vt.now() + Nanos::from_us(50));
+        ms.write(&mut vt, space, t, r.addr + 4096, &[2; 8]).unwrap();
+        let t2 = ms
+            .msnap_persist_grouped(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+            .unwrap();
+        assert_ne!(t1.batch, t2.batch, "expired window starts a new batch");
+        assert_eq!(ms.msnap_group_poll(&mut vt, t1).unwrap(), Some(1));
+        ms.msnap_group_flush(&mut vt);
+        assert_eq!(ms.msnap_group_poll(&mut vt, t2).unwrap(), Some(2));
     }
 
     #[test]

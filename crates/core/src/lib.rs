@@ -58,7 +58,9 @@ mod manifest;
 mod types;
 
 pub use api::MemSnap;
-pub use types::{Md, MsnapError, PersistBreakdown, PersistFlags, RegionHandle, RegionSel};
+pub use types::{
+    CommitTicket, Md, MsnapError, PersistBreakdown, PersistFlags, RegionHandle, RegionSel,
+};
 
 /// Region page size (4 KiB), re-exported from the VM.
 pub use msnap_vm::PAGE_SIZE;

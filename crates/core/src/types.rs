@@ -73,6 +73,20 @@ impl Default for PersistFlags {
     }
 }
 
+/// Handle to one participant's share of a pending group commit, returned
+/// by [`MemSnap::msnap_persist_grouped`](crate::MemSnap::msnap_persist_grouped)
+/// and redeemed — exactly once — with
+/// [`MemSnap::msnap_group_poll`](crate::MemSnap::msnap_group_poll).
+///
+/// The ticket is opaque: it identifies the batch the caller joined and the
+/// caller's slot within it. Polling a ticket twice reports
+/// [`MsnapError::BadDescriptor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitTicket {
+    pub(crate) batch: u64,
+    pub(crate) participant: u32,
+}
+
 /// Result of `msnap_open`: the region descriptor plus its fixed address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RegionHandle {

@@ -1,6 +1,7 @@
 //! The simulated block device.
 
-use std::collections::{BTreeSet, HashMap};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
 
 use msnap_sim::{Category, ChannelPool, Nanos, Vt};
 
@@ -59,6 +60,10 @@ pub struct Disk {
     /// the IO boundaries [`crash_at_every_io`] sweeps. Torn tails
     /// (never-durable segments) are excluded.
     write_log: Vec<Nanos>,
+    /// Completion instants of write submissions still in flight — the
+    /// explicit queue-depth model. Popped past entries lazily at each
+    /// submission; the remaining occupancy is sampled into [`IoStats`].
+    inflight: BinaryHeap<Reverse<Nanos>>,
 }
 
 impl Disk {
@@ -74,6 +79,7 @@ impl Disk {
             injector: None,
             io_seq: 0,
             write_log: Vec::new(),
+            inflight: BinaryHeap::new(),
         }
     }
 
@@ -238,12 +244,28 @@ impl Disk {
             }
         }
 
+        // Queue-depth model: retire submissions that completed by `now`,
+        // then sample the occupancy this submission observes (itself
+        // included).
+        while matches!(self.inflight.peek(), Some(Reverse(done)) if *done <= now) {
+            self.inflight.pop();
+        }
+        self.inflight.push(Reverse(completes));
+        self.stats.record_depth(self.inflight.len() as u64);
+
         self.stats
             .record_write(total, completes.saturating_sub(now));
         Ok(WriteToken {
             completes,
             bytes: total,
         })
+    }
+
+    /// Reports that the submission just issued carried `parts` logical
+    /// commits merged into one IO (group commit). Pure accounting — see
+    /// [`IoStats::merged_submissions`].
+    pub fn note_merged(&mut self, parts: u64) {
+        self.stats.record_merged(parts);
     }
 
     /// Submits a single-block write at `now`. See [`Disk::writev_at`].
@@ -631,6 +653,21 @@ mod tests {
             "spike must add exactly the configured extra latency"
         );
         assert_eq!(spiky.peek(0).unwrap(), &block_of(1)[..], "data still lands");
+    }
+
+    #[test]
+    fn queue_depth_tracks_overlapping_submissions() {
+        let mut disk = Disk::new(DiskConfig::paper());
+        let data = block_of(1);
+        // Three submissions at the same instant stack up; a fourth far in
+        // the future sees an empty queue again.
+        for b in 0..3u64 {
+            disk.write_block_at(Nanos::ZERO, b, &data).unwrap();
+        }
+        assert_eq!(disk.stats().max_queue_depth(), 3);
+        disk.write_block_at(Nanos::from_secs(1), 9, &data).unwrap();
+        let avg = disk.stats().avg_queue_depth();
+        assert!((avg - (1.0 + 2.0 + 3.0 + 1.0) / 4.0).abs() < 1e-9, "{avg}");
     }
 
     #[test]

@@ -15,6 +15,11 @@ pub struct IoStats {
     bytes_written: u64,
     write_latency: LatencyStats,
     read_latency: LatencyStats,
+    depth_samples: u64,
+    depth_sum: u64,
+    max_depth: u64,
+    merged_submissions: u64,
+    merged_parts: u64,
 }
 
 impl IoStats {
@@ -33,6 +38,17 @@ impl IoStats {
         self.reads += 1;
         self.bytes_read += bytes as u64;
         self.read_latency.record(latency);
+    }
+
+    pub(crate) fn record_depth(&mut self, depth: u64) {
+        self.depth_samples += 1;
+        self.depth_sum += depth;
+        self.max_depth = self.max_depth.max(depth);
+    }
+
+    pub(crate) fn record_merged(&mut self, parts: u64) {
+        self.merged_submissions += 1;
+        self.merged_parts += parts;
     }
 
     /// Number of read IOs.
@@ -63,6 +79,33 @@ impl IoStats {
     /// End-to-end latency distribution of read IOs.
     pub fn read_latency(&self) -> &LatencyStats {
         &self.read_latency
+    }
+
+    /// Mean write-queue occupancy sampled at each submission (the
+    /// submission itself included), i.e. the device's average inflight
+    /// depth as seen by arriving writes.
+    pub fn avg_queue_depth(&self) -> f64 {
+        if self.depth_samples == 0 {
+            0.0
+        } else {
+            self.depth_sum as f64 / self.depth_samples as f64
+        }
+    }
+
+    /// Peak write-queue occupancy observed at any submission.
+    pub fn max_queue_depth(&self) -> u64 {
+        self.max_depth
+    }
+
+    /// Submissions that carried more than one logical commit (group
+    /// commit), as reported by the store via [`crate::Disk::note_merged`].
+    pub fn merged_submissions(&self) -> u64 {
+        self.merged_submissions
+    }
+
+    /// Logical commits carried by merged submissions in total.
+    pub fn merged_parts(&self) -> u64 {
+        self.merged_parts
     }
 
     /// Average device write throughput over `elapsed`, in MiB/s.
@@ -101,6 +144,20 @@ mod tests {
         assert_eq!(s.bytes_written(), 12288);
         assert_eq!(s.bytes_read(), 4096);
         assert_eq!(s.write_latency().count(), 2);
+    }
+
+    #[test]
+    fn queue_depth_and_merge_counters() {
+        let mut s = IoStats::new();
+        assert_eq!(s.avg_queue_depth(), 0.0);
+        s.record_depth(1);
+        s.record_depth(3);
+        assert!((s.avg_queue_depth() - 2.0).abs() < 1e-9);
+        assert_eq!(s.max_queue_depth(), 3);
+        s.record_merged(8);
+        s.record_merged(2);
+        assert_eq!(s.merged_submissions(), 2);
+        assert_eq!(s.merged_parts(), 10);
     }
 
     #[test]

@@ -94,6 +94,39 @@ pub trait Backend {
         Ok(())
     }
 
+    /// Enqueues `thread`'s writes into a cross-thread group commit and
+    /// returns a ticket for [`Backend::commit_poll`], or `None` if the
+    /// backend committed durably right here (the default for backends
+    /// without a group-commit path, e.g. the WAL baseline).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Backend::commit`].
+    fn commit_enqueue(
+        &mut self,
+        vt: &mut Vt,
+        thread: VthreadId,
+    ) -> Result<Option<memsnap::CommitTicket>, CommitError> {
+        self.commit(vt, thread)?;
+        Ok(None)
+    }
+
+    /// Polls a ticket from [`Backend::commit_enqueue`]: `Ok(true)` once
+    /// the transaction is durable, `Ok(false)` while the group's
+    /// coalescing window is still open (poll again).
+    ///
+    /// # Errors
+    ///
+    /// The group's error if the combined commit failed — a faulted batch
+    /// aborts *every* transaction in it.
+    fn commit_poll(
+        &mut self,
+        _vt: &mut Vt,
+        _ticket: memsnap::CommitTicket,
+    ) -> Result<bool, CommitError> {
+        Ok(true)
+    }
+
     /// Number of pages the backend can hold.
     fn capacity_pages(&self) -> u64;
 
@@ -109,4 +142,11 @@ pub trait Backend {
 
     /// Recovers the concrete backend type (crash-test plumbing).
     fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
+
+    /// In-place access to the concrete backend type, for configuration
+    /// that has no trait-level surface (coalescing window, pipeline
+    /// depth). `None` for backends that opt out.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }

@@ -1,15 +1,20 @@
-//! Workload drivers: dbbench and TATP over a [`LiteDb`] instance.
+//! Workload drivers: dbbench, TATP, and the multi-thread group-commit
+//! driver over a [`LiteDb`] instance.
 //!
 //! These reproduce the paper's §7.1 experiments; the bench harnesses in
 //! `msnap-bench` call them once per configuration and print the paper's
 //! tables.
 
-use msnap_sim::{CostTracker, LatencyStats, Meters, Nanos, Vt};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use msnap_disk::{Disk, DiskConfig};
+use msnap_sim::{CostTracker, LatencyStats, Meters, Nanos, Scheduler, StepOutcome, Vt};
 use msnap_workloads::dbbench::{DbBench, KeyOrder, WriteBatch};
 use msnap_workloads::tatp::{Tatp, TatpTxn};
 
 use crate::backend::BackendStats;
-use crate::{LiteDb, TableId};
+use crate::{LiteDb, MemSnapBackend, TableId};
 
 /// dbbench parameters (paper defaults: 2 M kvs over 1 M keys; scale down
 /// for CI).
@@ -253,10 +258,162 @@ pub fn run_tatp(
     }
 }
 
+/// Parameters of the multi-thread group-commit driver
+/// ([`run_group_commit`]).
+#[derive(Debug, Clone)]
+pub struct GroupCommitConfig {
+    /// Concurrent writer threads.
+    pub threads: u32,
+    /// Transactions per thread.
+    pub txns_per_thread: u64,
+    /// Keys written per transaction.
+    pub keys_per_txn: u64,
+    /// Group-commit coalescing window.
+    pub window: Nanos,
+    /// `true`: commit via enqueue/poll through the coalescer. `false`:
+    /// each thread commits synchronously under the write lock (the
+    /// uncoalesced baseline the ablation compares against).
+    pub coalesced: bool,
+}
+
+/// Results of one [`run_group_commit`] run.
+#[derive(Debug, Clone)]
+pub struct GroupCommitReport {
+    /// Transactions committed durably.
+    pub txns: u64,
+    /// Virtual wall-clock time of the run (max over threads).
+    pub wall: Nanos,
+    /// Per-transaction commit latency (begin → durable).
+    pub commit_latency: LatencyStats,
+    /// Disk write submissions during the run.
+    pub disk_writes: u64,
+    /// Submissions that carried more than one transaction.
+    pub merged_submissions: u64,
+    /// Transactions carried by merged submissions.
+    pub merged_parts: u64,
+    /// Mean device write-queue occupancy at submission.
+    pub avg_queue_depth: f64,
+    /// Store-level batch commits (shared commit records written).
+    pub batch_commits: u64,
+}
+
+/// Runs `cfg.threads` writer threads over one MemSnap-backed database,
+/// committing through the cross-thread group-commit path (or the
+/// uncoalesced sync path, for the ablation baseline). Thread `t` writes
+/// keys `t*1_000_000 + i` so every thread's transactions are disjoint.
+pub fn run_group_commit(cfg: &GroupCommitConfig) -> GroupCommitReport {
+    let mut vt0 = Vt::new(u32::MAX); // setup thread
+    let mut backend = MemSnapBackend::format_with_capacity(
+        Disk::new(DiskConfig::paper()),
+        "group.db",
+        1 << 14,
+        &mut vt0,
+    );
+    backend.memsnap_mut().set_coalesce_window(cfg.window);
+    let mut db = LiteDb::new(Box::new(backend), &mut vt0);
+    let table = db.create_table(&mut vt0, "kv");
+    // Dirty pages belong to their first writer: persist the setup
+    // thread's pages (the fresh table root) so the workers' per-thread
+    // commits start from a clean slate.
+    let setup = vt0.id();
+    db.begin(&mut vt0, setup);
+    db.commit(&mut vt0, setup)
+        .expect("setup runs without fault injection");
+    db.reset_metrics();
+    if let Some(b) = db
+        .backend_mut()
+        .as_any_mut()
+        .and_then(|a| a.downcast_mut::<MemSnapBackend>())
+    {
+        b.memsnap_mut().reset_disk_stats();
+    }
+
+    let db = Rc::new(RefCell::new(db));
+    let latency = Rc::new(RefCell::new(LatencyStats::new()));
+    let mut sched = Scheduler::new();
+    for t in 0..cfg.threads {
+        let db = Rc::clone(&db);
+        let latency = Rc::clone(&latency);
+        let cfg = cfg.clone();
+        // One transaction phase per atomic step: begin+write+enqueue in
+        // one step, each poll in its own step, so other threads' enqueues
+        // interleave into the open window.
+        let mut txn = 0u64;
+        let mut pending: Option<(memsnap::CommitTicket, Nanos)> = None;
+        sched.spawn(move |vt: &mut Vt| {
+            let thread = vt.id();
+            let mut db = db.borrow_mut();
+            if let Some((ticket, t0)) = pending {
+                match db
+                    .commit_poll(vt, ticket)
+                    .expect("driver runs without fault injection")
+                {
+                    true => {
+                        latency.borrow_mut().record(vt.now() - t0);
+                        pending = None;
+                        txn += 1;
+                    }
+                    false => return StepOutcome::Continue,
+                }
+            }
+            if txn >= cfg.txns_per_thread {
+                return StepOutcome::Done;
+            }
+            let t0 = vt.now();
+            db.begin(vt, thread);
+            let base = t as u64 * 1_000_000 + txn * cfg.keys_per_txn;
+            for k in 0..cfg.keys_per_txn {
+                db.put(
+                    vt,
+                    thread,
+                    table,
+                    base + k,
+                    &WriteBatch::value_for(base + k),
+                );
+            }
+            if cfg.coalesced {
+                let ticket = db
+                    .commit_enqueue(vt, thread)
+                    .expect("driver runs without fault injection")
+                    .expect("memsnap backend issues tickets");
+                pending = Some((ticket, t0));
+            } else {
+                db.commit(vt, thread)
+                    .expect("driver runs without fault injection");
+                latency.borrow_mut().record(vt.now() - t0);
+                txn += 1;
+            }
+            StepOutcome::Continue
+        });
+    }
+    let vts = sched.run_to_completion();
+    let wall = vts.iter().map(|vt| vt.now()).max().unwrap_or(Nanos::ZERO);
+
+    let db = Rc::try_unwrap(db).expect("all threads done").into_inner();
+    let backend = db
+        .into_backend()
+        .into_any()
+        .downcast::<MemSnapBackend>()
+        .expect("memsnap backend");
+    let ms = backend.memsnap();
+    let disk = ms.disk().stats();
+    let commit_latency = latency.borrow().clone();
+    GroupCommitReport {
+        txns: cfg.threads as u64 * cfg.txns_per_thread,
+        wall,
+        commit_latency,
+        disk_writes: disk.writes(),
+        merged_submissions: disk.merged_submissions(),
+        merged_parts: disk.merged_parts(),
+        avg_queue_depth: disk.avg_queue_depth(),
+        batch_commits: ms.store().stats().batch_commits,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{FileBackend, MemSnapBackend};
+    use crate::FileBackend;
     use msnap_disk::{Disk, DiskConfig};
     use msnap_fs::FsKind;
 
@@ -342,6 +499,38 @@ mod tests {
             assert!(report.txns > 50, "only {} txns", report.txns);
             assert!(report.tps > 0.0);
         }
+    }
+
+    #[test]
+    fn group_commit_coalesces_multi_thread_transactions() {
+        let cfg = GroupCommitConfig {
+            threads: 4,
+            txns_per_thread: 8,
+            keys_per_txn: 4,
+            window: Nanos::from_us(32),
+            coalesced: true,
+        };
+        let grouped = run_group_commit(&cfg);
+        let solo = run_group_commit(&GroupCommitConfig {
+            coalesced: false,
+            ..cfg.clone()
+        });
+        assert_eq!(grouped.txns, 32);
+        assert_eq!(grouped.commit_latency.count(), 32);
+        // All threads share one region, so a shared batch is one delta
+        // commit carrying several transactions (no multi-object record).
+        assert!(
+            grouped.merged_submissions > 0 && grouped.merged_parts > grouped.merged_submissions,
+            "threads actually shared batches: {} merged submissions, {} parts",
+            grouped.merged_submissions,
+            grouped.merged_parts
+        );
+        assert!(
+            grouped.disk_writes < solo.disk_writes,
+            "coalesced {} IOs should beat uncoalesced {}",
+            grouped.disk_writes,
+            solo.disk_writes
+        );
     }
 
     #[test]

@@ -185,6 +185,53 @@ impl LiteDb {
         self.backend.sync(vt)
     }
 
+    /// Enqueues the transaction into a cross-thread group commit and
+    /// releases the write lock *immediately* — this is what lets several
+    /// threads' transactions land in the same coalescing window: the next
+    /// writer acquires the lock, runs its transaction, and enqueues into
+    /// the same batch while the window is still open. Redeem the ticket
+    /// with [`LiteDb::commit_poll`] (`None` means the backend committed
+    /// durably inline, e.g. the WAL baseline).
+    ///
+    /// # Errors
+    ///
+    /// As for [`LiteDb::commit`]; the lock is released either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` does not hold the write lock.
+    pub fn commit_enqueue(
+        &mut self,
+        vt: &mut Vt,
+        thread: VthreadId,
+    ) -> Result<Option<memsnap::CommitTicket>, CommitError> {
+        assert_eq!(
+            self.writer_thread,
+            Some(thread),
+            "commit outside a transaction"
+        );
+        let result = self.backend.commit_enqueue(vt, thread);
+        self.writer_thread = None;
+        self.writer.unlock(vt);
+        result
+    }
+
+    /// Polls a group-commit ticket: `Ok(true)` once the transaction is
+    /// durable, `Ok(false)` while its batch's window is still open.
+    ///
+    /// # Errors
+    ///
+    /// The batch's error if the combined commit failed; every transaction
+    /// in the batch is aborted, and on the MemSnap backend the device
+    /// error stays sticky until acknowledged.
+    pub fn commit_poll(
+        &mut self,
+        vt: &mut Vt,
+        ticket: memsnap::CommitTicket,
+    ) -> Result<bool, CommitError> {
+        self.backend.commit_poll(vt, ticket)
+    }
+
     /// Persistence statistics from the backend.
     pub fn backend_stats(&self) -> BackendStats {
         self.backend.stats()

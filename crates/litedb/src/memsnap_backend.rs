@@ -99,6 +99,12 @@ impl MemSnapBackend {
         &self.ms
     }
 
+    /// Mutable access to the MemSnap instance (coalescing window,
+    /// pipeline depth configuration).
+    pub fn memsnap_mut(&mut self) -> &mut MemSnap {
+        &mut self.ms
+    }
+
     /// Enables strict property-③ checking in the VM (tests).
     pub fn set_strict_isolation(&mut self, strict: bool) {
         self.ms.vm_mut().set_strict_isolation(strict);
@@ -175,6 +181,34 @@ impl Backend for MemSnapBackend {
         Ok(())
     }
 
+    fn commit_enqueue(
+        &mut self,
+        vt: &mut Vt,
+        thread: VthreadId,
+    ) -> Result<Option<memsnap::CommitTicket>, CommitError> {
+        let ticket = self.ms.msnap_persist_grouped(
+            vt,
+            thread,
+            RegionSel::Region(self.region.md),
+            PersistFlags::sync(),
+        )?;
+        Ok(Some(ticket))
+    }
+
+    fn commit_poll(
+        &mut self,
+        vt: &mut Vt,
+        ticket: memsnap::CommitTicket,
+    ) -> Result<bool, CommitError> {
+        match self.ms.msnap_group_poll(vt, ticket)? {
+            Some(_epoch) => {
+                self.stats.commits += 1;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
     fn capacity_pages(&self) -> u64 {
         self.region.pages
     }
@@ -193,6 +227,10 @@ impl Backend for MemSnapBackend {
 
     fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
         self
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 }
 

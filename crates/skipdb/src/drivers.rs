@@ -232,6 +232,132 @@ pub fn torture_memsnap(
     }
 }
 
+/// Cross-thread group-commit driver parameters (KV variant of the LiteDB
+/// ablation: same sweep axes, MultiPut transactions instead of B-tree
+/// transactions).
+#[derive(Debug, Clone)]
+pub struct KvGroupConfig {
+    /// Writer threads.
+    pub threads: u32,
+    /// MultiPut transactions each thread commits.
+    pub txns_per_thread: u64,
+    /// Keys per MultiPut.
+    pub keys_per_txn: u64,
+    /// Coalescing window to configure on the store.
+    pub window: Nanos,
+    /// `true` routes commits through the group-commit path; `false` runs
+    /// the uncoalesced per-thread `multi_put` baseline.
+    pub coalesced: bool,
+}
+
+/// Results of a [`run_kv_group_commit`] run.
+#[derive(Debug, Clone)]
+pub struct KvGroupReport {
+    /// MultiPut transactions committed.
+    pub txns: u64,
+    /// Virtual wall-clock time (latest thread finish).
+    pub wall: Nanos,
+    /// Enqueue-to-durable latency per transaction.
+    pub commit_latency: LatencyStats,
+    /// Device write submissions.
+    pub disk_writes: u64,
+    /// Merged submissions the coalescer reported to the device.
+    pub merged_submissions: u64,
+    /// Commits carried by those merged submissions.
+    pub merged_parts: u64,
+    /// Mean device write-queue occupancy at submission.
+    pub avg_queue_depth: f64,
+}
+
+/// Runs `cfg.threads` writer threads over one shared [`MemSnapKv`],
+/// committing through the cross-thread group-commit path (or uncoalesced
+/// MultiPuts for the ablation baseline). Thread `t` writes keys
+/// `t*1_000_000 + i` so transactions never collide.
+///
+/// All threads share the skiplist region, so a coalesced batch is one
+/// delta μCheckpoint carrying several MultiPuts; the eager page copy at
+/// enqueue is what lets the next thread keep inserting into the same
+/// region while the window is open.
+pub fn run_kv_group_commit(cfg: &KvGroupConfig) -> KvGroupReport {
+    use crate::MemSnapKv;
+    use msnap_disk::{Disk, DiskConfig};
+
+    let mut vt0 = Vt::new(u32::MAX); // setup thread
+    let mut kv = MemSnapKv::format(Disk::new(DiskConfig::paper()), 1 << 15, &mut vt0);
+    kv.memsnap_mut().set_coalesce_window(cfg.window);
+    // Dirty pages belong to their first writer: persist the setup
+    // thread's pages (the skiplist head) so the workers' per-thread
+    // enqueues start from a clean slate.
+    kv.multi_put(&mut vt0, &[])
+        .expect("setup runs without fault injection");
+    kv.memsnap_mut().reset_disk_stats();
+
+    let kv = Rc::new(RefCell::new(kv));
+    let latency = Rc::new(RefCell::new(LatencyStats::new()));
+    let mut sched = Scheduler::new();
+    for t in 0..cfg.threads {
+        let kv = Rc::clone(&kv);
+        let latency = Rc::clone(&latency);
+        let cfg = cfg.clone();
+        // One transaction phase per atomic step — the inserts and enqueue
+        // together, then each poll on its own — so other threads' enqueues
+        // land inside the open window.
+        let mut txn = 0u64;
+        let mut pending: Option<(memsnap::CommitTicket, Nanos)> = None;
+        sched.spawn(move |vt: &mut Vt| {
+            let mut kv = kv.borrow_mut();
+            if let Some((ticket, t0)) = pending {
+                match kv
+                    .persist_poll(vt, ticket)
+                    .expect("driver runs without fault injection")
+                {
+                    true => {
+                        latency.borrow_mut().record(vt.now() - t0);
+                        pending = None;
+                        txn += 1;
+                    }
+                    false => return StepOutcome::Continue,
+                }
+            }
+            if txn >= cfg.txns_per_thread {
+                return StepOutcome::Done;
+            }
+            let t0 = vt.now();
+            let base = t as u64 * 1_000_000 + txn * cfg.keys_per_txn;
+            let pairs: Vec<(u64, Vec<u8>)> = (0..cfg.keys_per_txn)
+                .map(|k| (base + k, MixOp::value_bytes(base + k).to_vec()))
+                .collect();
+            if cfg.coalesced {
+                let ticket = kv
+                    .multi_put_enqueue(vt, &pairs)
+                    .expect("driver runs without fault injection");
+                pending = Some((ticket, t0));
+            } else {
+                kv.multi_put(vt, &pairs)
+                    .expect("driver runs without fault injection");
+                latency.borrow_mut().record(vt.now() - t0);
+                txn += 1;
+            }
+            StepOutcome::Continue
+        });
+    }
+    let vts = sched.run_to_completion();
+    let wall = vts.iter().map(|vt| vt.now()).max().unwrap_or(Nanos::ZERO);
+
+    let kv = Rc::try_unwrap(kv).expect("all threads done").into_inner();
+    let disk = kv.memsnap().disk().stats();
+    let commit_latency = latency.borrow().clone();
+    KvGroupReport {
+        txns: cfg.threads as u64 * cfg.txns_per_thread,
+        wall,
+        commit_latency,
+        disk_writes: disk.writes(),
+        merged_submissions: disk.merged_submissions(),
+        merged_parts: disk.merged_parts(),
+        avg_queue_depth: disk.avg_queue_depth(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +422,40 @@ mod tests {
             memsnap.kops / aurora.kops > 2.0,
             "memsnap/aurora ratio {:.1}",
             memsnap.kops / aurora.kops
+        );
+    }
+
+    #[test]
+    fn kv_group_commit_coalesces_multi_thread_multiputs() {
+        let base = KvGroupConfig {
+            threads: 4,
+            txns_per_thread: 8,
+            keys_per_txn: 4,
+            window: Nanos::from_us(32),
+            coalesced: true,
+        };
+        let grouped = run_kv_group_commit(&base);
+        let solo = run_kv_group_commit(&KvGroupConfig {
+            coalesced: false,
+            ..base.clone()
+        });
+
+        assert_eq!(grouped.txns, 32);
+        assert_eq!(grouped.commit_latency.count(), 32);
+        // All threads share one skiplist region, so a shared batch is one
+        // delta μCheckpoint carrying several MultiPuts — the coalescer
+        // reports the merge to the device.
+        assert!(
+            grouped.merged_submissions > 0 && grouped.merged_parts > grouped.merged_submissions,
+            "threads actually shared batches: {} batches, {} parts",
+            grouped.merged_submissions,
+            grouped.merged_parts
+        );
+        assert!(
+            grouped.disk_writes < solo.disk_writes,
+            "coalescing reduces device submissions: {} grouped vs {} solo",
+            grouped.disk_writes,
+            solo.disk_writes
         );
     }
 

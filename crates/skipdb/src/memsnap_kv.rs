@@ -73,6 +73,12 @@ impl MemSnapKv {
         &self.ms
     }
 
+    /// Mutable access to the MemSnap instance (coalescing window,
+    /// pipeline depth configuration).
+    pub fn memsnap_mut(&mut self) -> &mut MemSnap {
+        &mut self.ms
+    }
+
     /// Enables strict property-③ checking in the VM (tests).
     pub fn set_strict_isolation(&mut self, strict: bool) {
         self.ms.vm_mut().set_strict_isolation(strict);
@@ -107,6 +113,58 @@ impl MemSnapKv {
         )?;
         self.stats.commits += 1;
         Ok(())
+    }
+
+    /// Applies `pairs` to the MemTable and enqueues the calling thread's
+    /// dirty nodes into a cross-thread group commit; redeem the ticket
+    /// with [`MemSnapKv::persist_poll`]. The enqueue copies the node
+    /// pages eagerly, so the thread may start its next batch immediately
+    /// — concurrent threads' writes land in their own dirty sets and
+    /// coalesce into the same window.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Kv::multi_put`].
+    pub fn multi_put_enqueue(
+        &mut self,
+        vt: &mut Vt,
+        pairs: &[(u64, Vec<u8>)],
+    ) -> Result<memsnap::CommitTicket, crate::KvError> {
+        for (key, value) in pairs {
+            self.list
+                .insert_volatile(&mut self.ms, self.space, vt, *key, value);
+        }
+        let thread = vt.id();
+        let ticket = self.ms.msnap_persist_grouped(
+            vt,
+            thread,
+            RegionSel::Region(self.list.region.md),
+            PersistFlags::sync(),
+        )?;
+        Ok(ticket)
+    }
+
+    /// Polls a group-commit ticket from [`MemSnapKv::multi_put_enqueue`]:
+    /// `Ok(true)` once the batch is durable, `Ok(false)` while its
+    /// coalescing window is still open.
+    ///
+    /// # Errors
+    ///
+    /// The batch's error if the combined μCheckpoint failed — every batch
+    /// participant is aborted and the store's error is sticky until
+    /// [`MemSnapKv::ack_error`].
+    pub fn persist_poll(
+        &mut self,
+        vt: &mut Vt,
+        ticket: memsnap::CommitTicket,
+    ) -> Result<bool, crate::KvError> {
+        match self.ms.msnap_group_poll(vt, ticket)? {
+            Some(_epoch) => {
+                self.stats.commits += 1;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
     }
 }
 

@@ -20,6 +20,8 @@ impl std::fmt::Display for ObjectId {
 pub(crate) const ROOT_MAGIC: u64 = 0x4d534e_41505253; // "MSN APRS"
 /// Magic number of a delta record block.
 pub(crate) const DELTA_MAGIC: u64 = 0x4d534e_41504454; // "MSN APDT"
+/// Magic number of a batch (group-commit) record block.
+pub(crate) const BATCH_MAGIC: u64 = 0x4d534e_41504254; // "MSN APBT"
 /// Magic number of the superblock.
 pub(crate) const SUPER_MAGIC: u64 = 0x4d534e41_50535550; // "MSNA PSUP"
 
@@ -29,8 +31,14 @@ pub(crate) const SUPERBLOCK: u64 = 0;
 pub(crate) const DIR_START: u64 = 1;
 /// Number of directory blocks.
 pub(crate) const DIR_BLOCKS: u64 = 8;
-/// First allocatable block (after superblock + directory).
-pub(crate) const FIRST_DATA_BLOCK: u64 = DIR_START + DIR_BLOCKS;
+/// First block of the store-wide batch-record ring (group commit).
+pub(crate) const BATCH_RING_START: u64 = DIR_START + DIR_BLOCKS;
+/// Batch-record slots shared by all objects. A slot is reused only after
+/// every object it mentions has flushed a newer full root, so a live
+/// batch commit is never overwritten.
+pub const BATCH_SLOTS: u64 = 32;
+/// First allocatable block (after superblock + directory + batch ring).
+pub(crate) const FIRST_DATA_BLOCK: u64 = BATCH_RING_START + BATCH_SLOTS;
 
 /// Delta-record slots per object. Every `DELTA_SLOTS`-th commit flushes
 /// the COW tree nodes and writes a full root, so a delta slot is never
@@ -194,6 +202,132 @@ impl DeltaRecord {
     }
 }
 
+/// One object's share of a batch (group-commit) record: its epoch, its
+/// page → data-block pairs, and a checksum over *its* payload blocks, so
+/// recovery truncation stays per-object even though the commit record is
+/// shared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchGroup {
+    /// The object.
+    pub object: ObjectId,
+    /// The object's epoch after this commit.
+    pub epoch: Epoch,
+    /// The object's length in pages after this commit.
+    pub len_pages: u64,
+    /// FNV-1a over this object's data-block images, in pair order.
+    pub payload_sum: u64,
+    /// This object's page → data-block mappings.
+    pub pairs: Vec<(u64, u64)>,
+}
+
+/// Fixed bytes at the head of a batch record block.
+const BATCH_HEADER: usize = 32;
+/// Fixed bytes per group before its pairs.
+const GROUP_HEADER: usize = 40;
+
+/// A batch record: one commit block covering several objects' deltas at
+/// once (the group-commit path). Written to the shared
+/// [`BATCH_SLOTS`]-entry ring; recovery folds each group into the owning
+/// object's delta chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRecord {
+    /// Monotone store-wide batch sequence number (picks the ring slot).
+    pub seq: u64,
+    /// Per-object commit groups.
+    pub groups: Vec<BatchGroup>,
+}
+
+impl BatchRecord {
+    /// Encoded size of a record with the given per-group pair counts.
+    pub fn encoded_len(pair_counts: impl Iterator<Item = usize>) -> usize {
+        BATCH_HEADER + pair_counts.map(|n| GROUP_HEADER + n * 16).sum::<usize>()
+    }
+
+    /// Whether a record with these per-group pair counts fits one block.
+    pub fn fits(pair_counts: impl Iterator<Item = usize>) -> bool {
+        Self::encoded_len(pair_counts) <= BLOCK_SIZE
+    }
+
+    /// Serializes into a block image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record does not fit one block (callers check with
+    /// [`BatchRecord::fits`] first).
+    pub fn to_block(&self) -> [u8; BLOCK_SIZE] {
+        let end = Self::encoded_len(self.groups.iter().map(|g| g.pairs.len()));
+        assert!(end <= BLOCK_SIZE, "batch record overflow");
+        let mut block = [0u8; BLOCK_SIZE];
+        let mut w = |off: usize, v: u64| block[off..off + 8].copy_from_slice(&v.to_le_bytes());
+        w(0, BATCH_MAGIC);
+        w(8, self.seq);
+        w(16, self.groups.len() as u64);
+        let mut off = BATCH_HEADER;
+        for g in &self.groups {
+            w(off, g.object.0 as u64);
+            w(off + 8, g.epoch);
+            w(off + 16, g.len_pages);
+            w(off + 24, g.payload_sum);
+            w(off + 32, g.pairs.len() as u64);
+            off += GROUP_HEADER;
+            for (page, data_block) in &g.pairs {
+                w(off, *page);
+                w(off + 8, *data_block);
+                off += 16;
+            }
+        }
+        let checksum = fnv1a(&block[0..24]) ^ fnv1a(&block[BATCH_HEADER..end]);
+        block[24..32].copy_from_slice(&checksum.to_le_bytes());
+        block
+    }
+
+    /// Parses and validates a batch-slot block; `None` if the slot is
+    /// empty or torn.
+    pub fn from_block(block: &[u8]) -> Option<BatchRecord> {
+        let r = |off: usize| u64::from_le_bytes(block[off..off + 8].try_into().unwrap());
+        if r(0) != BATCH_MAGIC {
+            return None;
+        }
+        let group_count = r(16) as usize;
+        // A record holds at least one pair-less group header per group.
+        if BATCH_HEADER + group_count * GROUP_HEADER > BLOCK_SIZE {
+            return None;
+        }
+        let mut groups = Vec::with_capacity(group_count);
+        let mut off = BATCH_HEADER;
+        for _ in 0..group_count {
+            if off + GROUP_HEADER > BLOCK_SIZE {
+                return None;
+            }
+            let count = r(off + 32) as usize;
+            let pairs_end = off + GROUP_HEADER + count * 16;
+            if pairs_end > BLOCK_SIZE {
+                return None;
+            }
+            let pairs = (0..count)
+                .map(|i| {
+                    (
+                        r(off + GROUP_HEADER + i * 16),
+                        r(off + GROUP_HEADER + i * 16 + 8),
+                    )
+                })
+                .collect();
+            groups.push(BatchGroup {
+                object: ObjectId(r(off) as u32),
+                epoch: r(off + 8),
+                len_pages: r(off + 16),
+                payload_sum: r(off + 24),
+                pairs,
+            });
+            off = pairs_end;
+        }
+        if fnv1a(&block[0..24]) ^ fnv1a(&block[BATCH_HEADER..off]) != r(24) {
+            return None;
+        }
+        Some(BatchRecord { seq: r(8), groups })
+    }
+}
+
 /// An in-memory directory entry. `meta_base` is the first of the
 /// object's [`OBJECT_META_BLOCKS`] reserved blocks: two root slots, then
 /// the delta ring.
@@ -325,6 +459,77 @@ mod tests {
         let block = [0u8; BLOCK_SIZE];
         assert_eq!(RootRecord::from_block(&block, ObjectId(0)), None);
         assert_eq!(DeltaRecord::from_block(&block, ObjectId(0)), None);
+        assert_eq!(BatchRecord::from_block(&block), None);
+    }
+
+    fn sample_batch() -> BatchRecord {
+        BatchRecord {
+            seq: 99,
+            groups: vec![
+                BatchGroup {
+                    object: ObjectId(1),
+                    epoch: 7,
+                    len_pages: 12,
+                    payload_sum: 0xAB,
+                    pairs: vec![(0, 100), (11, 101)],
+                },
+                BatchGroup {
+                    object: ObjectId(4),
+                    epoch: 31,
+                    len_pages: 2,
+                    payload_sum: 0xCD,
+                    pairs: vec![(1, 102)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn batch_record_round_trips() {
+        let rec = sample_batch();
+        let block = rec.to_block();
+        assert_eq!(BatchRecord::from_block(&block), Some(rec));
+    }
+
+    #[test]
+    fn torn_batch_record_rejected() {
+        let mut block = sample_batch().to_block();
+        block[40] ^= 1; // corrupt a group header
+        assert_eq!(BatchRecord::from_block(&block), None);
+        let mut block = sample_batch().to_block();
+        block[25] ^= 0x80; // corrupt the checksum itself
+        assert_eq!(BatchRecord::from_block(&block), None);
+    }
+
+    #[test]
+    fn batch_payload_sum_participates_in_the_checksum() {
+        let mut block = sample_batch().to_block();
+        block[32 + 24] ^= 1; // first group's payload_sum field
+        assert_eq!(BatchRecord::from_block(&block), None);
+    }
+
+    #[test]
+    fn batch_capacity_check_matches_encoding() {
+        // The largest record `fits` accepts must actually encode.
+        let mut pairs = Vec::new();
+        let mut n = 0usize;
+        while BatchRecord::fits([n + 1].into_iter()) {
+            n += 1;
+            pairs.push((n as u64, 1000 + n as u64));
+        }
+        let rec = BatchRecord {
+            seq: 1,
+            groups: vec![BatchGroup {
+                object: ObjectId(0),
+                epoch: 1,
+                len_pages: n as u64,
+                payload_sum: 0,
+                pairs,
+            }],
+        };
+        let block = rec.to_block();
+        assert_eq!(BatchRecord::from_block(&block), Some(rec));
+        assert!(!BatchRecord::fits([n + 1].into_iter()));
     }
 
     #[test]

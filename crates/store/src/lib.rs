@@ -49,6 +49,9 @@ mod radix;
 mod store;
 
 pub use alloc::BlockAllocator;
-pub use layout::{DeltaRecord, Epoch, ObjectId, RootRecord, DELTA_SLOTS, MAX_DELTA_PAIRS};
+pub use layout::{
+    BatchGroup, BatchRecord, DeltaRecord, Epoch, ObjectId, RootRecord, BATCH_SLOTS, DELTA_SLOTS,
+    MAX_DELTA_PAIRS,
+};
 pub use radix::RadixTree;
 pub use store::{CommitToken, ObjectStore, StoreError, StoreStats, MAX_IO_ATTEMPTS};

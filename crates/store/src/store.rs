@@ -10,7 +10,8 @@
 //! cost at "data + one block", which is what the paper's Table 5 measures
 //! (39.7 μs of IO for a 64 KiB μCheckpoint).
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::error::Error;
 use std::fmt;
 
@@ -18,9 +19,10 @@ use msnap_disk::{Disk, IoError, WriteToken, BLOCK_SIZE};
 use msnap_sim::{Category, Nanos, Vt};
 
 use crate::layout::{
-    self, DeltaRecord, DirEntry, Epoch, ObjectId, RootRecord, DELTA_SLOTS, DIR_BLOCKS,
-    DIR_ENTRY_LEN, DIR_START, ENTRIES_PER_BLOCK, FIRST_DATA_BLOCK, MAX_DELTA_PAIRS, MAX_OBJECTS,
-    NAME_LEN, OBJECT_META_BLOCKS, SUPERBLOCK, SUPER_MAGIC,
+    self, BatchGroup, BatchRecord, DeltaRecord, DirEntry, Epoch, ObjectId, RootRecord,
+    BATCH_RING_START, BATCH_SLOTS, DELTA_SLOTS, DIR_BLOCKS, DIR_ENTRY_LEN, DIR_START,
+    ENTRIES_PER_BLOCK, FIRST_DATA_BLOCK, MAX_DELTA_PAIRS, MAX_OBJECTS, NAME_LEN,
+    OBJECT_META_BLOCKS, SUPERBLOCK, SUPER_MAGIC,
 };
 use crate::{BlockAllocator, RadixTree};
 
@@ -115,6 +117,11 @@ pub struct StoreStats {
     pub pages_written: u64,
     /// Radix-tree node blocks written (full commits only).
     pub nodes_written: u64,
+    /// Batched (group-commit) submissions: each covers several objects'
+    /// μCheckpoints with one data extent and one commit record.
+    pub batch_commits: u64,
+    /// Per-object μCheckpoints committed through batched submissions.
+    pub batched_objects: u64,
 }
 
 /// CPU cost constants for store operations.
@@ -161,8 +168,15 @@ pub struct ObjectStore {
     objects: Vec<ObjectState>,
     by_name: HashMap<String, ObjectId>,
     /// Blocks superseded by a commit, recyclable once the entry's instant
-    /// has passed.
-    pending_free: Vec<(Nanos, Vec<u64>)>,
+    /// has passed: a min-heap on the gating instant, popped until `now`.
+    pending_free: BinaryHeap<Reverse<(Nanos, Vec<u64>)>>,
+    /// What each batch-ring slot currently holds: the `(object, epoch)`
+    /// of every group in the record occupying it. A slot entry is *live*
+    /// while its epoch is newer than the object's latest full root, and a
+    /// live entry forces a full-root flush before the slot is reused.
+    batch_ring: Vec<Vec<(ObjectId, Epoch)>>,
+    /// Next store-wide batch sequence number.
+    batch_seq: u64,
     stats: StoreStats,
     /// Ablation knob: disable the delta-record fast path (every commit
     /// flushes tree nodes and writes a full root).
@@ -194,12 +208,18 @@ impl ObjectStore {
             disk.write_block_at(Nanos::ZERO, b, &zero)
                 .expect("formatting a faulty device is unsupported");
         }
+        for b in BATCH_RING_START..BATCH_RING_START + BATCH_SLOTS {
+            disk.write_block_at(Nanos::ZERO, b, &zero)
+                .expect("formatting a faulty device is unsupported");
+        }
         disk.settle();
         ObjectStore {
             alloc: BlockAllocator::with_capacity(FIRST_DATA_BLOCK, disk.config().capacity_blocks),
             objects: Vec::new(),
             by_name: HashMap::new(),
-            pending_free: Vec::new(),
+            pending_free: BinaryHeap::new(),
+            batch_ring: vec![Vec::new(); BATCH_SLOTS as usize],
+            batch_seq: 0,
             stats: StoreStats::default(),
             delta_commits: true,
         }
@@ -227,6 +247,24 @@ impl ObjectStore {
                 if let Some(e) = DirEntry::decode(&buf[i * DIR_ENTRY_LEN..(i + 1) * DIR_ENTRY_LEN])
                 {
                     entries.push(e);
+                }
+            }
+        }
+
+        // Scan the batch ring once: rebuild the next sequence number and
+        // the slot occupancy, and bucket each record's groups by object so
+        // the per-object replay below can fold them into its delta chain.
+        let mut batch_seq = 0u64;
+        let mut batch_ring: Vec<Vec<(ObjectId, Epoch)>> = vec![Vec::new(); BATCH_SLOTS as usize];
+        let mut batch_groups: HashMap<u32, Vec<BatchGroup>> = HashMap::new();
+        for i in 0..BATCH_SLOTS {
+            vt.charge(Category::FileSystem, costs::ROOT_PARSE);
+            disk.read_block(vt, BATCH_RING_START + i, &mut buf);
+            if let Some(rec) = BatchRecord::from_block(&buf) {
+                batch_seq = batch_seq.max(rec.seq + 1);
+                batch_ring[i as usize] = rec.groups.iter().map(|g| (g.object, g.epoch)).collect();
+                for g in rec.groups {
+                    batch_groups.entry(g.object.0).or_default().push(g);
                 }
             }
         }
@@ -259,7 +297,9 @@ impl ObjectStore {
                 None => RadixTree::new(),
             };
 
-            // Collect valid delta records newer than the base.
+            // Collect valid delta records newer than the base, plus this
+            // object's groups from the batch ring (a batched commit is a
+            // delta whose record happens to be shared with other objects).
             let mut deltas = Vec::new();
             for i in 0..DELTA_SLOTS {
                 vt.charge(Category::FileSystem, costs::ROOT_PARSE);
@@ -270,25 +310,53 @@ impl ObjectStore {
                     }
                 }
             }
+            for g in batch_groups.remove(&entry.id.0).unwrap_or_default() {
+                if g.epoch > base_epoch {
+                    deltas.push(DeltaRecord {
+                        object: entry.id,
+                        epoch: g.epoch,
+                        len_pages: g.len_pages,
+                        payload_sum: g.payload_sum,
+                        pairs: g.pairs,
+                    });
+                }
+            }
             deltas.sort_by_key(|d| d.epoch);
             // Replay the consecutive prefix. Each record's data extent is
             // re-read and checked against the record's `payload_sum`
             // before the commit is applied: a record can be durable while
             // its data was torn or bit-flipped (the device "lied"), and
             // the checksum is what keeps such a commit — and everything
-            // after it — out of the recovered prefix.
+            // after it — out of the recovered prefix. With the batch ring
+            // a *stale* record (a truncated-future epoch whose slot was
+            // not yet reused) can share an epoch with the live chain, so
+            // every candidate at the next epoch is tried and the first
+            // one whose payload verifies extends the prefix.
             let mut epoch = base_epoch;
-            for delta in deltas {
-                if delta.epoch != epoch + 1 {
+            let mut i = 0;
+            while i < deltas.len() {
+                if deltas[i].epoch != epoch + 1 {
+                    // Past the chain tip (or a duplicate of an epoch that
+                    // already verified): skip candidates until the chain
+                    // either extends or provably ends.
+                    if deltas[i].epoch <= epoch {
+                        i += 1;
+                        continue;
+                    }
                     break;
                 }
+                let delta = &deltas[i];
+                i += 1;
                 let mut sum = layout::FNV_OFFSET;
                 for (_, block) in &delta.pairs {
                     disk.read_block(vt, *block, &mut buf);
                     sum = layout::fnv1a_extend(sum, &buf);
                 }
                 if sum != delta.payload_sum {
-                    break;
+                    // A torn candidate: another record of the same epoch
+                    // (if any) may still verify, so only this candidate is
+                    // rejected, not the whole tail.
+                    continue;
                 }
                 for (page, block) in &delta.pairs {
                     tree.set(*page, *block);
@@ -333,7 +401,9 @@ impl ObjectStore {
             ),
             objects,
             by_name,
-            pending_free: Vec::new(),
+            pending_free: BinaryHeap::new(),
+            batch_ring,
+            batch_seq,
             stats: StoreStats::default(),
             delta_commits: true,
         })
@@ -466,18 +536,7 @@ impl ObjectStore {
         // Recycle blocks whose gating instant has passed. This is
         // commit-independent maintenance: it stays applied even if this
         // commit aborts.
-        let now = vt.now();
-        let mut i = 0;
-        while i < self.pending_free.len() {
-            if self.pending_free[i].0 <= now {
-                let (_, blocks) = self.pending_free.swap_remove(i);
-                for b in blocks {
-                    self.alloc.free(b);
-                }
-            } else {
-                i += 1;
-            }
-        }
+        self.recycle_pending(vt.now());
 
         let state = &mut self.objects[object.0 as usize];
         vt.charge(
@@ -626,7 +685,8 @@ impl ObjectStore {
         state.epoch = epoch;
         state.chain_completes = state.chain_completes.max(commit_token.completes());
         state.last_commit = commit_token.completes();
-        self.pending_free.push((state.chain_completes, data_freed));
+        self.pending_free
+            .push(Reverse((state.chain_completes, data_freed)));
 
         self.stats.commits += 1;
         self.stats.pages_written += pages.len() as u64;
@@ -637,6 +697,261 @@ impl ObjectStore {
             completes: commit_token.completes(),
             bytes_written: (pages.len() as u64 + node_count + 1) * BLOCK_SIZE as u64,
         })
+    }
+
+    /// Commits several objects' μCheckpoints as **one** batched
+    /// submission (the group-commit path): a single contiguous data
+    /// extent covering every group's pages followed by a single
+    /// [`BatchRecord`] carrying each object's `(page, block)` pairs and
+    /// per-object payload checksum. `INITIATE_BASE` and the commit-record
+    /// IO are paid once for the whole batch instead of once per object.
+    ///
+    /// Each group still commits its own epoch and gets its own
+    /// [`CommitToken`] (all sharing the batch's completion instant), and
+    /// recovery truncation stays per-object: a torn extent segment only
+    /// truncates the chains of the objects whose payload it corrupts.
+    ///
+    /// Batches of zero or one group, and batches too large for one
+    /// record block, fall back to [`ObjectStore::persist`] per group.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ObjectStore::persist`]. The batched submission is
+    /// all-or-nothing: on error **no** group's epoch advances and every
+    /// allocated block is returned. (In the serial fallback, groups
+    /// committed before the failing one stay committed, exactly as
+    /// separate `persist` calls would.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if a group is empty, an object appears in more than one
+    /// group, or a page image is not exactly [`BLOCK_SIZE`] bytes.
+    #[allow(clippy::type_complexity)]
+    pub fn persist_batch(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        groups: &[(ObjectId, &[(u64, &[u8])])],
+    ) -> Result<Vec<CommitToken>, StoreError> {
+        self.recycle_pending(vt.now());
+        // Small or oversized batches gain nothing from the shared record:
+        // take the plain per-object path (which also keeps the
+        // single-caller cost model exactly as Table 5 calibrates it).
+        if groups.len() <= 1 || !BatchRecord::fits(groups.iter().map(|(_, p)| p.len())) {
+            return groups
+                .iter()
+                .map(|(obj, pages)| self.persist(vt, disk, *obj, pages))
+                .collect();
+        }
+        {
+            let mut seen: Vec<u32> = groups.iter().map(|(o, _)| o.0).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), groups.len(), "one group per object");
+        }
+        assert!(
+            groups.iter().all(|(_, p)| !p.is_empty()),
+            "batched groups carry at least one page"
+        );
+
+        // Maintenance before the batch proper, charged to the submitter
+        // and kept even if the batch later aborts (like block recycling):
+        // any object whose chain would outgrow its delta window, and any
+        // object still live in the ring slot this batch is about to
+        // overwrite, first flushes a full root.
+        let slot = (self.batch_seq % BATCH_SLOTS) as usize;
+        for (object, _) in groups {
+            let state = &self.objects[object.0 as usize];
+            if state.deltas_since_full + 1 >= DELTA_SLOTS {
+                self.flush_full_root(vt, disk, *object)?;
+            }
+        }
+        for (object, epoch) in self.batch_ring[slot].clone() {
+            let state = &self.objects[object.0 as usize];
+            if epoch > state.epoch - state.deltas_since_full {
+                self.flush_full_root(vt, disk, object)?;
+            }
+        }
+
+        // One initiation charge for the whole batch: this is the
+        // amortization that group commit buys.
+        let total_pages: usize = groups.iter().map(|(_, p)| p.len()).sum();
+        vt.charge(
+            Category::FileSystem,
+            costs::INITIATE_BASE + costs::INITIATE_PER_PAGE * total_pages as u64,
+        );
+
+        let alloc_snapshot = self.alloc.clone();
+        let Some(first) = self.alloc.alloc_contiguous(total_pages as u64) else {
+            return Err(StoreError::OutOfSpace);
+        };
+        let mut iov: Vec<(u64, &[u8])> = Vec::with_capacity(total_pages + 1);
+        let mut rec_groups = Vec::with_capacity(groups.len());
+        let mut next = first;
+        for (object, pages) in groups {
+            let state = &self.objects[object.0 as usize];
+            let len_pages = pages
+                .iter()
+                .map(|(p, _)| p + 1)
+                .fold(state.tree.len_pages(), u64::max);
+            let mut pairs = Vec::with_capacity(pages.len());
+            let mut payload_sum = layout::FNV_OFFSET;
+            for (page, data) in *pages {
+                pairs.push((*page, next));
+                iov.push((next, *data));
+                payload_sum = layout::fnv1a_extend(payload_sum, data);
+                next += 1;
+            }
+            rec_groups.push(BatchGroup {
+                object: *object,
+                epoch: state.epoch + 1,
+                len_pages,
+                payload_sum,
+                pairs,
+            });
+        }
+        let record = BatchRecord {
+            seq: self.batch_seq,
+            groups: rec_groups,
+        };
+        let record_block = BATCH_RING_START + self.batch_seq % BATCH_SLOTS;
+        let token = (|| {
+            let data_token = writev_retry(disk, vt.now(), &iov)?;
+            writev_retry(
+                disk,
+                data_token.completes(),
+                &[(record_block, &record.to_block())],
+            )
+        })();
+        let token = match token {
+            Ok(t) => t,
+            Err(e) => {
+                self.alloc = alloc_snapshot;
+                return Err(e.into());
+            }
+        };
+        disk.note_merged(groups.len() as u64);
+
+        // Durable: apply every group, exactly like the delta fast path.
+        let mut tokens = Vec::with_capacity(groups.len());
+        for g in &record.groups {
+            let state = &mut self.objects[g.object.0 as usize];
+            for (page, block) in &g.pairs {
+                if let Some(old) = state.tree.set(*page, *block) {
+                    state.node_freed_pending.push(old);
+                }
+            }
+            state.node_freed_pending.extend(state.tree.take_freed());
+            state.deltas_since_full += 1;
+            state.epoch = g.epoch;
+            state.chain_completes = state.chain_completes.max(token.completes());
+            state.last_commit = token.completes();
+            tokens.push(CommitToken {
+                epoch: g.epoch,
+                // The record block is shared; attribute it to the first
+                // participant so batch bytes sum correctly.
+                bytes_written: (g.pairs.len() as u64 + u64::from(tokens.is_empty()))
+                    * BLOCK_SIZE as u64,
+                completes: token.completes(),
+            });
+        }
+        self.batch_ring[slot] = record.groups.iter().map(|g| (g.object, g.epoch)).collect();
+        self.batch_seq += 1;
+        self.stats.commits += groups.len() as u64;
+        self.stats.delta_commits += groups.len() as u64;
+        self.stats.batch_commits += 1;
+        self.stats.batched_objects += groups.len() as u64;
+        self.stats.pages_written += total_pages as u64;
+        Ok(tokens)
+    }
+
+    /// Pops every `pending_free` entry whose gating instant has passed
+    /// and returns its blocks to the allocator.
+    fn recycle_pending(&mut self, now: Nanos) {
+        while let Some(Reverse((gate, _))) = self.pending_free.peek() {
+            if *gate > now {
+                break;
+            }
+            let Reverse((_, blocks)) = self.pending_free.pop().expect("peeked entry exists");
+            for b in blocks {
+                self.alloc.free(b);
+            }
+        }
+    }
+
+    /// Flushes `object`'s COW tree and writes a full root at its
+    /// *current* epoch (no data, no epoch advance). This supersedes every
+    /// delta and batch record of the object, freeing its delta window and
+    /// releasing its claim on batch-ring slots.
+    ///
+    /// On error the tree and allocator are restored; nothing leaks.
+    fn flush_full_root(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        object: ObjectId,
+    ) -> Result<(), StoreError> {
+        let alloc_snapshot = self.alloc.clone();
+        let state = &mut self.objects[object.0 as usize];
+        let tree_snapshot = state.tree.clone();
+        let mut exhausted = false;
+        let mut scratch = SCRATCH_BLOCK_BASE;
+        let mut node_writes = Vec::new();
+        let tree_root = state.tree.commit(
+            &mut || match self.alloc.alloc() {
+                Some(b) => b,
+                None => {
+                    exhausted = true;
+                    scratch += 1;
+                    scratch
+                }
+            },
+            &mut node_writes,
+        );
+        if exhausted {
+            state.tree = tree_snapshot;
+            self.alloc = alloc_snapshot;
+            return Err(StoreError::OutOfSpace);
+        }
+        vt.charge(
+            Category::FileSystem,
+            costs::NODE_SERIALIZE * node_writes.len() as u64,
+        );
+        let record = RootRecord {
+            object,
+            epoch: state.epoch,
+            tree_root,
+            len_pages: state.tree.len_pages(),
+        };
+        let slot = state.entry.root_slot(state.full_count + 1);
+        let token = (|| {
+            let record_at = if node_writes.is_empty() {
+                vt.now()
+            } else {
+                let iov: Vec<(u64, &[u8])> =
+                    node_writes.iter().map(|(b, img)| (*b, &img[..])).collect();
+                writev_retry(disk, vt.now(), &iov)?.completes()
+            };
+            writev_retry(disk, record_at, &[(slot, &record.to_block())])
+        })();
+        match token {
+            Ok(t) => {
+                state.full_count += 1;
+                state.deltas_since_full = 0;
+                let mut freed = std::mem::take(&mut state.node_freed_pending);
+                freed.extend(state.tree.take_freed());
+                state.chain_completes = state.chain_completes.max(t.completes());
+                self.pending_free
+                    .push(Reverse((state.chain_completes, freed)));
+                self.stats.nodes_written += node_writes.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                state.tree = tree_snapshot;
+                self.alloc = alloc_snapshot;
+                Err(e.into())
+            }
+        }
     }
 
     /// Blocks `vt` until `token`'s μCheckpoint is durable.
@@ -702,6 +1017,7 @@ fn node_block_margin(objects: &[ObjectState]) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::type_complexity)]
 mod tests {
     use super::*;
     use msnap_disk::DiskConfig;
@@ -1251,6 +1567,285 @@ mod tests {
             .read_page(&mut vt2, &mut disk, obj2, 1, &mut out)
             .unwrap();
         assert_eq!(out, p2);
+    }
+
+    #[test]
+    fn batch_persist_is_two_ios_for_many_objects() {
+        let (mut disk, mut store, mut vt) = setup();
+        let a = store.create(&mut vt, &mut disk, "a").unwrap();
+        let b = store.create(&mut vt, &mut disk, "b").unwrap();
+        let c = store.create(&mut vt, &mut disk, "c").unwrap();
+        let p1 = page_of(1);
+        let p2 = page_of(2);
+        let p3 = page_of(3);
+        let before = disk.stats().writes();
+        let ga = [(0, &p1[..]), (5, &p2[..])];
+        let gb = [(9, &p2[..])];
+        let gc = [(0, &p3[..])];
+        let groups: Vec<(ObjectId, &[(u64, &[u8])])> =
+            vec![(a, &ga[..]), (b, &gb[..]), (c, &gc[..])];
+        let tokens = store.persist_batch(&mut vt, &mut disk, &groups).unwrap();
+        // One data extent + one shared batch record for all three objects.
+        assert_eq!(disk.stats().writes() - before, 2);
+        assert_eq!(tokens.len(), 3);
+        assert!(tokens.iter().all(|t| t.epoch == 1));
+        assert!(tokens.windows(2).all(|w| w[0].completes == w[1].completes));
+        assert_eq!(disk.stats().merged_submissions(), 1);
+        assert_eq!(disk.stats().merged_parts(), 3);
+        assert_eq!(store.stats().batch_commits, 1);
+        assert_eq!(store.stats().batched_objects, 3);
+        assert_eq!(store.stats().commits, 3);
+
+        let mut out = page_of(0);
+        for (obj, page, want) in [(a, 0, &p1), (a, 5, &p2), (b, 9, &p2), (c, 0, &p3)] {
+            store
+                .read_page(&mut vt, &mut disk, obj, page, &mut out)
+                .unwrap();
+            assert_eq!(&out, want);
+        }
+    }
+
+    #[test]
+    fn batch_initiation_is_charged_once() {
+        // 8 objects × 2 pages batched must charge far less initiation CPU
+        // than 8 separate persists (INITIATE_BASE is paid once).
+        let (mut disk, mut store, mut vt) = setup();
+        let ids: Vec<ObjectId> = (0..8)
+            .map(|i| store.create(&mut vt, &mut disk, &format!("o{i}")).unwrap())
+            .collect();
+        let p = page_of(7);
+        let pages: Vec<(u64, &[u8])> = vec![(0, &p[..]), (1, &p[..])];
+        let groups: Vec<(ObjectId, &[(u64, &[u8])])> =
+            ids.iter().map(|id| (*id, &pages[..])).collect();
+        let before = vt.costs().get(Category::FileSystem);
+        store.persist_batch(&mut vt, &mut disk, &groups).unwrap();
+        let batched = vt.costs().get(Category::FileSystem) - before;
+        let expect = costs::INITIATE_BASE + costs::INITIATE_PER_PAGE * 16;
+        assert_eq!(batched, expect, "one initiation for the whole batch");
+    }
+
+    #[test]
+    fn single_group_batches_take_the_plain_path() {
+        let (mut disk, mut store, mut vt) = setup();
+        let a = store.create(&mut vt, &mut disk, "a").unwrap();
+        let p = page_of(1);
+        let ga = [(0, &p[..])];
+        let groups: Vec<(ObjectId, &[(u64, &[u8])])> = vec![(a, &ga[..])];
+        let tokens = store.persist_batch(&mut vt, &mut disk, &groups).unwrap();
+        assert_eq!(tokens.len(), 1);
+        assert_eq!(store.stats().batch_commits, 0, "no batch record written");
+        assert_eq!(store.stats().delta_commits, 1);
+    }
+
+    #[test]
+    fn batch_recovery_restores_every_group() {
+        let (mut disk, mut store, mut vt) = setup();
+        let a = store.create(&mut vt, &mut disk, "a").unwrap();
+        let b = store.create(&mut vt, &mut disk, "b").unwrap();
+        let mut last = Nanos::ZERO;
+        for round in 0..5u8 {
+            let pa = page_of(10 + round);
+            let pb = page_of(20 + round);
+            let ga = [(round as u64, &pa[..])];
+            let gb = [(round as u64, &pb[..])];
+            let groups: Vec<(ObjectId, &[(u64, &[u8])])> = vec![(a, &ga[..]), (b, &gb[..])];
+            let tokens = store.persist_batch(&mut vt, &mut disk, &groups).unwrap();
+            last = tokens[0].completes;
+            vt.wait_until(last);
+        }
+        disk.crash(last);
+
+        let mut vt2 = Vt::new(1);
+        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let a2 = store2.lookup("a").unwrap();
+        let b2 = store2.lookup("b").unwrap();
+        assert_eq!(store2.epoch(a2), 5);
+        assert_eq!(store2.epoch(b2), 5);
+        let mut out = page_of(0);
+        for round in 0..5u8 {
+            store2
+                .read_page(&mut vt2, &mut disk, a2, round as u64, &mut out)
+                .unwrap();
+            assert_eq!(out, page_of(10 + round));
+            store2
+                .read_page(&mut vt2, &mut disk, b2, round as u64, &mut out)
+                .unwrap();
+            assert_eq!(out, page_of(20 + round));
+        }
+    }
+
+    #[test]
+    fn torn_batch_extent_truncates_only_affected_objects() {
+        use msnap_disk::{Fault, FaultPlan};
+        let (mut disk, mut store, mut vt) = setup();
+        let a = store.create(&mut vt, &mut disk, "a").unwrap();
+        let b = store.create(&mut vt, &mut disk, "b").unwrap();
+        // A durable baseline for both objects.
+        let p = page_of(1);
+        let ga = [(0, &p[..])];
+        let gb = [(0, &p[..])];
+        let groups: Vec<(ObjectId, &[(u64, &[u8])])> = vec![(a, &ga[..]), (b, &gb[..])];
+        let t = store.persist_batch(&mut vt, &mut disk, &groups).unwrap();
+        vt.wait_until(t[0].completes);
+
+        // Next batch: a's page is the extent's first block, b's pages
+        // follow. Tear the extent after one block — only b's payload is
+        // lost, and only b's chain must truncate.
+        let pa = page_of(2);
+        let pb = page_of(3);
+        disk.set_fault_plan(FaultPlan::new().at(disk.io_seq(), Fault::Torn { prefix_blocks: 1 }));
+        let ga = [(0, &pa[..])];
+        let gb = [(0, &pb[..])];
+        let groups: Vec<(ObjectId, &[(u64, &[u8])])> = vec![(a, &ga[..]), (b, &gb[..])];
+        let t = store.persist_batch(&mut vt, &mut disk, &groups).unwrap();
+        disk.crash(t[1].completes);
+
+        let mut vt2 = Vt::new(1);
+        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let a2 = store2.lookup("a").unwrap();
+        let b2 = store2.lookup("b").unwrap();
+        assert_eq!(store2.epoch(a2), 2, "a's share of the batch verified");
+        assert_eq!(store2.epoch(b2), 1, "b's torn share truncated");
+        let mut out = page_of(0);
+        store2
+            .read_page(&mut vt2, &mut disk, a2, 0, &mut out)
+            .unwrap();
+        assert_eq!(out, pa);
+        store2
+            .read_page(&mut vt2, &mut disk, b2, 0, &mut out)
+            .unwrap();
+        assert_eq!(out, p, "b rolls back to the baseline");
+    }
+
+    #[test]
+    fn failed_batch_aborts_every_group_cleanly() {
+        use msnap_disk::{Fault, FaultPlan};
+        let (mut disk, mut store, mut vt) = setup();
+        let a = store.create(&mut vt, &mut disk, "a").unwrap();
+        let b = store.create(&mut vt, &mut disk, "b").unwrap();
+        let p = page_of(1);
+        let ga = [(0, &p[..])];
+        let gb = [(0, &p[..])];
+        let groups: Vec<(ObjectId, &[(u64, &[u8])])> = vec![(a, &ga[..]), (b, &gb[..])];
+        let t = store.persist_batch(&mut vt, &mut disk, &groups).unwrap();
+        vt.wait_until(t[0].completes);
+
+        // Hard-fail the shared commit record: neither object may advance.
+        disk.set_fault_plan(
+            FaultPlan::new().at(disk.io_seq() + 1, Fault::Drop { transient: false }),
+        );
+        let p2 = page_of(2);
+        let ga = [(0, &p2[..])];
+        let gb = [(0, &p2[..])];
+        let groups: Vec<(ObjectId, &[(u64, &[u8])])> = vec![(a, &ga[..]), (b, &gb[..])];
+        let free = store.alloc.free_blocks();
+        let high_water = store.alloc.high_water();
+        let err = store
+            .persist_batch(&mut vt, &mut disk, &groups)
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)));
+        assert_eq!(store.epoch(a), 1);
+        assert_eq!(store.epoch(b), 1);
+        assert_eq!(store.alloc.free_blocks(), free, "no leaked free list");
+        assert_eq!(store.alloc.high_water(), high_water, "no leaked frontier");
+
+        // The store keeps working afterwards.
+        disk.clear_fault_plan();
+        let t2 = store.persist_batch(&mut vt, &mut disk, &groups).unwrap();
+        assert_eq!(t2[0].epoch, 2);
+        assert_eq!(t2[1].epoch, 2);
+    }
+
+    #[test]
+    fn batch_ring_reuse_flushes_live_objects_first() {
+        let (mut disk, mut store, mut vt) = setup();
+        let a = store.create(&mut vt, &mut disk, "a").unwrap();
+        let b = store.create(&mut vt, &mut disk, "b").unwrap();
+        let c = store.create(&mut vt, &mut disk, "c").unwrap();
+        // Batch 0 includes `a`; then b+c batch until the ring wraps and
+        // slot 0 is reused. `a` never commits again, so its batch-0 group
+        // stays live until the reuse forces its full root.
+        let pa = page_of(9);
+        let ga = [(0, &pa[..])];
+        let gb = [(0, &pa[..])];
+        let gc = [(0, &pa[..])];
+        let groups: Vec<(ObjectId, &[(u64, &[u8])])> =
+            vec![(a, &ga[..]), (b, &gb[..]), (c, &gc[..])];
+        let t = store.persist_batch(&mut vt, &mut disk, &groups).unwrap();
+        vt.wait_until(t[0].completes);
+        let mut last = Nanos::ZERO;
+        for round in 0..BATCH_SLOTS {
+            let pb = page_of((round % 200) as u8);
+            let gb = [(1 + round, &pb[..])];
+            let gc = [(1 + round, &pb[..])];
+            let groups: Vec<(ObjectId, &[(u64, &[u8])])> = vec![(b, &gb[..]), (c, &gc[..])];
+            let t = store.persist_batch(&mut vt, &mut disk, &groups).unwrap();
+            last = t[0].completes;
+            vt.wait_until(last);
+        }
+        assert!(
+            store.stats().nodes_written > 0,
+            "ring reuse must have flushed a full root"
+        );
+        // After the wrap `a`'s batch-0 record is gone; its state must
+        // survive via its full root.
+        disk.crash(last);
+        let mut vt2 = Vt::new(1);
+        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let a2 = store2.lookup("a").unwrap();
+        assert_eq!(store2.epoch(a2), 1, "a's epoch survives ring reuse");
+        let mut out = page_of(0);
+        store2
+            .read_page(&mut vt2, &mut disk, a2, 0, &mut out)
+            .unwrap();
+        assert_eq!(out, pa);
+    }
+
+    #[test]
+    fn batch_equals_serial_persists_after_recovery() {
+        // The same commits applied batched and serially must recover to
+        // identical epochs and contents.
+        let run = |batched: bool| {
+            let (mut disk, mut store, mut vt) = setup();
+            let a = store.create(&mut vt, &mut disk, "a").unwrap();
+            let b = store.create(&mut vt, &mut disk, "b").unwrap();
+            let mut last = Nanos::ZERO;
+            for round in 0..6u8 {
+                let pa = page_of(round + 1);
+                let pb = page_of(round + 101);
+                let ga: [(u64, &[u8]); 2] = [(0, &pa[..]), (round as u64, &pa[..])];
+                let gb: [(u64, &[u8]); 1] = [(2 * round as u64, &pb[..])];
+                if batched {
+                    let t = store
+                        .persist_batch(&mut vt, &mut disk, &[(a, &ga[..]), (b, &gb[..])])
+                        .unwrap();
+                    last = t[1].completes;
+                } else {
+                    let t1 = store.persist(&mut vt, &mut disk, a, &ga).unwrap();
+                    let t2 = store.persist(&mut vt, &mut disk, b, &gb).unwrap();
+                    last = t1.completes.max(t2.completes);
+                }
+                vt.wait_until(last);
+            }
+            disk.crash(last);
+            let mut vt2 = Vt::new(1);
+            let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+            let a2 = store2.lookup("a").unwrap();
+            let b2 = store2.lookup("b").unwrap();
+            let mut image = Vec::new();
+            for obj in [a2, b2] {
+                image.push(store2.epoch(obj).to_le_bytes().to_vec());
+                for page in 0..12u64 {
+                    let mut out = page_of(0);
+                    store2
+                        .read_page(&mut vt2, &mut disk, obj, page, &mut out)
+                        .unwrap();
+                    image.push(out);
+                }
+            }
+            image
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The VM subsystem: objects, address spaces, faults, dirty tracking.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -167,7 +167,9 @@ pub struct Vm {
     free_phys: Vec<u32>,
     objects: Vec<MemObject>,
     spaces: Vec<Space>,
-    threads: HashMap<VthreadId, Vec<DirtyPage>>,
+    /// Per-thread dirty sets. Ordered so that MS_GLOBAL persists and
+    /// seeded fault-plan replays iterate threads deterministically.
+    threads: BTreeMap<VthreadId, Vec<DirtyPage>>,
     stats: VmStats,
     strict_isolation: bool,
 }
@@ -191,7 +193,7 @@ impl Vm {
             free_phys: Vec::new(),
             objects: Vec::new(),
             spaces: Vec::new(),
-            threads: HashMap::new(),
+            threads: BTreeMap::new(),
             stats: VmStats::default(),
             strict_isolation: false,
         }
