@@ -1,0 +1,274 @@
+//! Snapshot retention and replication: what a retained epoch costs and
+//! what incremental shipping saves.
+//!
+//! Two sweeps on the raw object store, and one end-to-end online-backup
+//! run through LiteDB:
+//!
+//! - snapshot-create cost vs dirty-set size (the create flushes a full
+//!   root, so its cost is O(pages dirtied since the last flush), plus a
+//!   constant dual-slot catalog write);
+//! - delta bytes shipped vs the full image at the same instant, as the
+//!   churn between consecutive snapshots grows;
+//! - LiteDB online backup: full-image bootstrap, then delta rounds.
+//!
+//! Emits the machine-readable `BENCH_snapshot.json` at the workspace
+//! root.
+
+use msnap_bench::{header, table, us};
+use msnap_disk::{Disk, DiskConfig, BLOCK_SIZE};
+use msnap_litedb::drivers::{run_online_backup, OnlineBackupConfig};
+use msnap_sim::{Nanos, Vt};
+use msnap_snap::sync_to;
+use msnap_store::ObjectStore;
+
+const OBJECT_PAGES: u64 = 1024;
+const DIRTY_SIZES: [u64; 4] = [16, 64, 256, 1024];
+const CHURN_SIZES: [u64; 4] = [8, 32, 128, 512];
+
+fn page_image(tag: u64, page: u64) -> Vec<u8> {
+    let mut img = vec![0u8; BLOCK_SIZE];
+    img[0..8].copy_from_slice(&tag.to_le_bytes());
+    img[8..16].copy_from_slice(&page.to_le_bytes());
+    img
+}
+
+/// Persists `pages` sequential page images in one μCheckpoint.
+fn churn(
+    vt: &mut Vt,
+    disk: &mut Disk,
+    store: &mut ObjectStore,
+    obj: msnap_store::ObjectId,
+    tag: u64,
+    pages: u64,
+) {
+    let images: Vec<Vec<u8>> = (0..pages).map(|p| page_image(tag, p)).collect();
+    let iov: Vec<(u64, &[u8])> = images
+        .iter()
+        .enumerate()
+        .map(|(p, img)| (p as u64, &img[..]))
+        .collect();
+    let t = store.persist(vt, disk, obj, &iov).unwrap();
+    ObjectStore::wait(vt, t);
+}
+
+struct CreatePoint {
+    dirty_pages: u64,
+    create: Nanos,
+    pinned_blocks: usize,
+}
+
+/// Snapshot-create cost as a function of the dirty set it must flush.
+fn sweep_create() -> Vec<CreatePoint> {
+    header(
+        "Snapshot create cost vs dirty-set size",
+        &format!(
+            "{OBJECT_PAGES}-page object; each point dirties N pages, then \
+             retains the epoch. Create = full-root flush + catalog write."
+        ),
+    );
+    let mut points = Vec::new();
+    for dirty in DIRTY_SIZES {
+        let mut disk = Disk::new(DiskConfig::paper());
+        let mut store = ObjectStore::format(&mut disk);
+        let mut vt = Vt::new(0);
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        churn(&mut vt, &mut disk, &mut store, obj, 0, OBJECT_PAGES);
+        store
+            .snapshot_create(&mut vt, &mut disk, obj, "warm")
+            .unwrap();
+        churn(&mut vt, &mut disk, &mut store, obj, 1, dirty);
+        let t0 = vt.now();
+        store
+            .snapshot_create(&mut vt, &mut disk, obj, "bench")
+            .unwrap();
+        points.push(CreatePoint {
+            dirty_pages: dirty,
+            create: vt.now() - t0,
+            pinned_blocks: store.pinned_blocks(),
+        });
+    }
+    table(
+        &["dirty pages", "create us", "pinned blocks"],
+        &points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{}", p.dirty_pages),
+                    us(p.create.as_us_f64()),
+                    format!("{}", p.pinned_blocks),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    points
+}
+
+struct DeltaPoint {
+    churned_pages: u64,
+    delta_pages: u64,
+    delta_bytes: u64,
+    full_bytes: u64,
+    sync: Nanos,
+}
+
+/// Delta bytes shipped vs the full image at the same instant.
+fn sweep_delta() -> Vec<DeltaPoint> {
+    header(
+        "Delta shipping vs full image",
+        &format!(
+            "{OBJECT_PAGES}-page object replicated once in full; each round \
+             churns N pages and ships the structural diff."
+        ),
+    );
+    let mut disk = Disk::new(DiskConfig::paper());
+    let mut store = ObjectStore::format(&mut disk);
+    let mut vt = Vt::new(0);
+    let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+    churn(&mut vt, &mut disk, &mut store, obj, 0, OBJECT_PAGES);
+    store
+        .snapshot_create(&mut vt, &mut disk, obj, "s0")
+        .unwrap();
+
+    let mut rdisk = Disk::new(DiskConfig::paper());
+    let mut replica = ObjectStore::format(&mut rdisk);
+    sync_to(&mut vt, &store, &mut disk, &mut replica, &mut rdisk, "s0").unwrap();
+
+    let mut points = Vec::new();
+    let mut base = "s0".to_string();
+    for (round, churned) in CHURN_SIZES.into_iter().enumerate() {
+        churn(
+            &mut vt,
+            &mut disk,
+            &mut store,
+            obj,
+            round as u64 + 1,
+            churned,
+        );
+        let name = format!("s{}", round + 1);
+        store
+            .snapshot_create(&mut vt, &mut disk, obj, &name)
+            .unwrap();
+        // What a non-incremental backup would ship at this instant.
+        let full_bytes = msnap_snap::DeltaStream::build(&mut vt, &mut disk, &store, None, &name)
+            .unwrap()
+            .encoded_len() as u64;
+        let t0 = vt.now();
+        let report = sync_to(&mut vt, &store, &mut disk, &mut replica, &mut rdisk, &name).unwrap();
+        assert!(!report.full_sync, "base is retained: rounds must be deltas");
+        points.push(DeltaPoint {
+            churned_pages: churned,
+            delta_pages: report.pages,
+            delta_bytes: report.bytes,
+            full_bytes,
+            sync: vt.now() - t0,
+        });
+        store.snapshot_delete(&mut vt, &mut disk, &base).unwrap();
+        base = name;
+    }
+    table(
+        &[
+            "churned",
+            "delta pages",
+            "delta KiB",
+            "full KiB",
+            "saved",
+            "sync us",
+        ],
+        &points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{}", p.churned_pages),
+                    format!("{}", p.delta_pages),
+                    format!("{:.1}", p.delta_bytes as f64 / 1024.0),
+                    format!("{:.1}", p.full_bytes as f64 / 1024.0),
+                    format!("{:.1}x", p.full_bytes as f64 / p.delta_bytes as f64),
+                    us(p.sync.as_us_f64()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    points
+}
+
+fn main() {
+    let create = sweep_create();
+    let delta = sweep_delta();
+
+    header(
+        "LiteDB online backup",
+        "12 transactions, backup every 4: one full bootstrap, then deltas.",
+    );
+    let backup = run_online_backup(&OnlineBackupConfig {
+        txns: 12,
+        keys_per_txn: 8,
+        backup_every: 4,
+    });
+    assert!(backup.consistent, "replica must match the last snapshot");
+    table(
+        &[
+            "backups",
+            "full",
+            "delta",
+            "delta pages",
+            "full-equiv pages",
+            "bytes shipped",
+        ],
+        &[vec![
+            format!("{}", backup.backups),
+            format!("{}", backup.full_syncs),
+            format!("{}", backup.delta_syncs),
+            format!("{}", backup.delta_pages),
+            format!("{}", backup.full_equivalent_pages),
+            format!("{}", backup.bytes_shipped),
+        ]],
+    );
+
+    let create_json = create
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"dirty_pages\":{},\"create_us\":{:.3},\"pinned_blocks\":{}}}",
+                p.dirty_pages,
+                p.create.as_us_f64(),
+                p.pinned_blocks
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    let delta_json = delta
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"churned_pages\":{},\"delta_pages\":{},\"delta_bytes\":{},\
+                 \"full_bytes\":{},\"sync_us\":{:.3}}}",
+                p.churned_pages,
+                p.delta_pages,
+                p.delta_bytes,
+                p.full_bytes,
+                p.sync.as_us_f64()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    let json = format!(
+        "{{\n  \"bench\": \"snapshot\",\n  \"object_pages\": {OBJECT_PAGES},\n  \
+         \"create\": [\n    {create_json}\n  ],\n  \"delta\": [\n    {delta_json}\n  ],\n  \
+         \"online_backup\": {{\"backups\":{},\"full_syncs\":{},\"delta_syncs\":{},\
+         \"delta_pages\":{},\"full_equivalent_pages\":{},\"bytes_shipped\":{}}}\n}}\n",
+        backup.backups,
+        backup.full_syncs,
+        backup.delta_syncs,
+        backup.delta_pages,
+        backup.full_equivalent_pages,
+        backup.bytes_shipped,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_snapshot.json");
+    std::fs::write(path, &json).expect("workspace root is writable");
+    println!();
+    println!(
+        "wrote {} create + {} delta points to BENCH_snapshot.json",
+        create.len(),
+        delta.len()
+    );
+}

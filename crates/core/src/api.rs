@@ -10,6 +10,7 @@ use msnap_vm::{AsId, DirtyPage, MemObjectId, ResetStrategy, TrackMode, Vm, PAGE_
 use crate::manifest::{Manifest, ManifestEntry};
 use crate::types::{
     CommitTicket, Md, MsnapError, PersistBreakdown, PersistFlags, RegionHandle, RegionSel,
+    SnapshotView,
 };
 use crate::Epoch;
 
@@ -1005,6 +1006,178 @@ impl MemSnap {
         }
     }
 
+    /// Pins the region's current *durable* state as a named, retained
+    /// snapshot — an O(1) COW of the committed radix root, crash-atomic
+    /// via the dual-slot snapshot catalog. Returns the retained epoch.
+    ///
+    /// The snapshot captures what `msnap_persist` has made durable, not
+    /// the in-memory image: dirty pages not yet persisted are excluded
+    /// (persist first for an exact memory snapshot). The retained image
+    /// stays byte-for-byte readable via [`MemSnap::msnap_open_at`] no
+    /// matter how many μCheckpoints or full-root flushes follow, until
+    /// the snapshot is deleted through the store.
+    ///
+    /// # Errors
+    ///
+    /// [`MsnapError::BadDescriptor`] for an unknown region, the region's
+    /// sticky error (see [`MemSnap::msnap_persist`]), or a wrapped
+    /// [`msnap_store::StoreError`] (duplicate name, catalog full, IO).
+    pub fn msnap_snapshot(&mut self, vt: &mut Vt, md: Md, name: &str) -> Result<Epoch, MsnapError> {
+        vt.charge(Category::Memsnap, SYSCALL_COST);
+        if let Some(e) = self.sticky_error(RegionSel::Region(md)) {
+            return Err(e);
+        }
+        let store_obj = self
+            .regions
+            .get(md.0 as usize)
+            .ok_or(MsnapError::BadDescriptor)?
+            .store_obj;
+        let epoch = self
+            .store
+            .snapshot_create(vt, &mut self.disk, store_obj, name)?;
+        Ok(epoch)
+    }
+
+    /// Deletes a retained snapshot, releasing its pinned blocks for
+    /// reclamation.
+    ///
+    /// # Errors
+    ///
+    /// A wrapped [`msnap_store::StoreError::SnapshotNotFound`], or an IO
+    /// error from the catalog write.
+    pub fn msnap_snapshot_delete(&mut self, vt: &mut Vt, name: &str) -> Result<(), MsnapError> {
+        vt.charge(Category::Memsnap, SYSCALL_COST);
+        self.store.snapshot_delete(vt, &mut self.disk, name)?;
+        Ok(())
+    }
+
+    /// Split borrow of the object store and the device, for the snapshot
+    /// shipping layer (`msnap-snap`): building a delta stream reads
+    /// retained pages from the store while charging the IO to this
+    /// device.
+    pub fn replication_parts(&mut self) -> (&ObjectStore, &mut Disk) {
+        (&self.store, &mut self.disk)
+    }
+
+    /// Maps the named retained snapshot read-only at a fresh fixed
+    /// address: a point-in-time view of the region as of the snapshot's
+    /// epoch, independent of everything persisted since.
+    ///
+    /// The mapping is untracked — writes to it are volatile scratch and
+    /// can never reach the store; the live region is unaffected either
+    /// way. Each call creates a fresh mapping.
+    ///
+    /// # Errors
+    ///
+    /// [`MsnapError::BadDescriptor`] if the snapshot does not exist or
+    /// its object is not a region.
+    pub fn msnap_open_at(
+        &mut self,
+        vt: &mut Vt,
+        space: AsId,
+        snapshot: &str,
+    ) -> Result<SnapshotView, MsnapError> {
+        vt.charge(Category::Syscall, SYSCALL_COST);
+        let entry = self
+            .store
+            .snapshot_lookup(snapshot)
+            .ok_or(MsnapError::BadDescriptor)?
+            .clone();
+        let region_idx = self
+            .regions
+            .iter()
+            .position(|r| r.store_obj == entry.object)
+            .ok_or(MsnapError::BadDescriptor)?;
+        let pages = self.regions[region_idx].pages;
+        let addr = self.next_va;
+        self.next_va += (pages + REGION_GUARD_PAGES) * PAGE_SIZE as u64;
+        let vm_obj = self.vm.create_object(pages);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for page in 0..entry.len_pages.min(pages) {
+            self.store
+                .read_page_at(vt, &mut self.disk, snapshot, page, &mut buf)
+                .expect("snapshot entry was just looked up");
+            self.vm.populate_page(vm_obj, page, &buf);
+        }
+        self.vm.map(space, vm_obj, addr, TrackMode::Untracked)?;
+        Ok(SnapshotView {
+            addr,
+            pages,
+            epoch: entry.epoch,
+        })
+    }
+
+    /// Rolls the live region back to the named retained snapshot: every
+    /// page whose current in-memory content differs from the snapshot
+    /// image is rewritten through the dirty-tracked VM path, then the
+    /// restored image is persisted as one ordinary synchronous
+    /// μCheckpoint (all threads' dirty pages of the region included).
+    /// Returns the new epoch — time moves forward, content moves back.
+    ///
+    /// Crash-atomic by construction: the rollback is a normal commit, so
+    /// a crash leaves the region at either the pre-rollback epoch or the
+    /// fully restored one. The region must be open in `space`.
+    ///
+    /// # Errors
+    ///
+    /// [`MsnapError::BadDescriptor`] if the snapshot does not exist or
+    /// its object is not a region, the region's sticky error, or a
+    /// wrapped store error from the persisting μCheckpoint.
+    pub fn msnap_rollback(
+        &mut self,
+        vt: &mut Vt,
+        space: AsId,
+        thread: VthreadId,
+        snapshot: &str,
+    ) -> Result<Epoch, MsnapError> {
+        vt.charge(Category::Memsnap, SYSCALL_COST);
+        let entry = self
+            .store
+            .snapshot_lookup(snapshot)
+            .ok_or(MsnapError::BadDescriptor)?
+            .clone();
+        let region_idx = self
+            .regions
+            .iter()
+            .position(|r| r.store_obj == entry.object)
+            .ok_or(MsnapError::BadDescriptor)?;
+        let md = Md(region_idx as u32);
+        if let Some(e) = self.sticky_error(RegionSel::Region(md)) {
+            return Err(e);
+        }
+        if !self.regions[region_idx].populated {
+            self.populate(vt, md);
+        }
+        let region = &self.regions[region_idx];
+        let (addr, pages, vm_obj) = (region.addr, region.pages, region.vm_obj);
+        if !region.mapped.contains(&space) {
+            self.vm.map(space, vm_obj, addr, TrackMode::Tracked)?;
+            self.regions[region_idx].mapped.push(space);
+        }
+        let mut want = vec![0u8; PAGE_SIZE];
+        let mut have = vec![0u8; PAGE_SIZE];
+        for page in 0..pages {
+            if page < entry.len_pages {
+                self.store
+                    .read_page_at(vt, &mut self.disk, snapshot, page, &mut want)
+                    .expect("snapshot entry was just looked up");
+            } else {
+                want.fill(0);
+            }
+            let va = addr + page * PAGE_SIZE as u64;
+            self.vm.read(vt, space, va, &mut have);
+            if have != want {
+                self.vm.write(vt, space, thread, va, &want);
+            }
+        }
+        self.msnap_persist(
+            vt,
+            thread,
+            RegionSel::Region(md),
+            PersistFlags::sync().with_global(),
+        )
+    }
+
     /// Persists the region table through the store (synchronously).
     ///
     /// # Errors
@@ -1619,6 +1792,150 @@ mod tests {
         assert_eq!(ms.msnap_group_poll(&mut vt, t1).unwrap(), Some(1));
         ms.msnap_group_flush(&mut vt);
         assert_eq!(ms.msnap_group_poll(&mut vt, t2).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn snapshot_survives_full_root_flushes_and_reads_via_open_at() {
+        let (mut ms, mut vt, space) = fresh();
+        let t = vt.id();
+        let r = ms.msnap_open(&mut vt, space, "data", 8).unwrap();
+        for p in 0..8u64 {
+            ms.write(
+                &mut vt,
+                space,
+                t,
+                r.addr + p * PAGE_SIZE as u64,
+                &[0x40 + p as u8; PAGE_SIZE],
+            )
+            .unwrap();
+        }
+        ms.msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+            .unwrap();
+        let snap_epoch = ms.msnap_snapshot(&mut vt, r.md, "before-churn").unwrap();
+
+        // Churn page 0 through enough μCheckpoints for at least two
+        // full-root flushes (one every DELTA_SLOTS=32 delta commits).
+        let deltas_before = ms.store().stats().delta_commits;
+        let commits_before = ms.store().stats().commits;
+        for i in 0..68u64 {
+            ms.write(&mut vt, space, t, r.addr, &[i as u8; PAGE_SIZE])
+                .unwrap();
+            let e = ms
+                .msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+                .unwrap();
+            ms.msnap_wait(&mut vt, RegionSel::Region(r.md), e).unwrap();
+        }
+        let fulls = (ms.store().stats().commits - commits_before)
+            - (ms.store().stats().delta_commits - deltas_before);
+        assert!(fulls >= 2, "churn crossed {fulls} full-root flushes");
+
+        // The retained image is intact, byte for byte, at a fresh address.
+        let view = ms.msnap_open_at(&mut vt, space, "before-churn").unwrap();
+        assert_eq!(view.epoch, snap_epoch);
+        assert_ne!(view.addr, r.addr, "the view maps beside the live region");
+        let mut out = [0u8; PAGE_SIZE];
+        for p in 0..8u64 {
+            ms.read(&mut vt, space, view.addr + p * PAGE_SIZE as u64, &mut out)
+                .unwrap();
+            assert_eq!(out, [0x40 + p as u8; PAGE_SIZE], "snapshot page {p}");
+        }
+        // The live region still shows the churned content.
+        ms.read(&mut vt, space, r.addr, &mut out).unwrap();
+        assert_eq!(out, [67; PAGE_SIZE]);
+    }
+
+    #[test]
+    fn rollback_restores_snapshot_content_and_survives_crash() {
+        let (mut ms, mut vt, space) = fresh();
+        let t = vt.id();
+        let r = ms.msnap_open(&mut vt, space, "data", 4).unwrap();
+        ms.write(&mut vt, space, t, r.addr, b"genesis").unwrap();
+        ms.msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+            .unwrap();
+        let snap_epoch = ms.msnap_snapshot(&mut vt, r.md, "good").unwrap();
+        // Diverge, persist the divergence, and leave an unpersisted write
+        // dirty — rollback must overwrite both.
+        ms.write(&mut vt, space, t, r.addr, b"corrupt").unwrap();
+        ms.msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+            .unwrap();
+        ms.write(&mut vt, space, t, r.addr + PAGE_SIZE as u64, b"junk")
+            .unwrap();
+
+        let epoch = ms.msnap_rollback(&mut vt, space, t, "good").unwrap();
+        assert!(epoch > snap_epoch, "time moves forward, content back");
+        let mut out = [0u8; 7];
+        ms.read(&mut vt, space, r.addr, &mut out).unwrap();
+        assert_eq!(&out, b"genesis");
+
+        // The rollback is durable: crash and restore still shows it.
+        let disk = ms.crash(vt.now());
+        let mut vt2 = Vt::new(1);
+        let mut ms2 = MemSnap::restore(&mut vt2, disk).unwrap();
+        let space2 = ms2.vm_mut().create_space();
+        let r2 = ms2.msnap_open(&mut vt2, space2, "data", 0).unwrap();
+        ms2.read(&mut vt2, space2, r2.addr, &mut out).unwrap();
+        assert_eq!(&out, b"genesis");
+        let mut junk = [0u8; 4];
+        ms2.read(&mut vt2, space2, r2.addr + PAGE_SIZE as u64, &mut junk)
+            .unwrap();
+        assert_eq!(junk, [0; 4], "unpersisted junk did not survive");
+        // The snapshot catalog also survived: the view still opens.
+        let view = ms2.msnap_open_at(&mut vt2, space2, "good").unwrap();
+        ms2.read(&mut vt2, space2, view.addr, &mut out).unwrap();
+        assert_eq!(&out, b"genesis");
+    }
+
+    #[test]
+    fn snapshot_calls_reject_unknown_names_and_regions() {
+        let (mut ms, mut vt, space) = fresh();
+        let t = vt.id();
+        assert_eq!(
+            ms.msnap_snapshot(&mut vt, Md(9), "x").unwrap_err(),
+            MsnapError::BadDescriptor
+        );
+        assert_eq!(
+            ms.msnap_open_at(&mut vt, space, "missing").unwrap_err(),
+            MsnapError::BadDescriptor
+        );
+        assert_eq!(
+            ms.msnap_rollback(&mut vt, space, t, "missing").unwrap_err(),
+            MsnapError::BadDescriptor
+        );
+        // A duplicate snapshot name surfaces the store's error.
+        let r = ms.msnap_open(&mut vt, space, "data", 4).unwrap();
+        ms.msnap_snapshot(&mut vt, r.md, "s").unwrap();
+        assert_eq!(
+            ms.msnap_snapshot(&mut vt, r.md, "s").unwrap_err(),
+            MsnapError::Store(StoreError::SnapshotExists)
+        );
+    }
+
+    #[test]
+    fn writes_to_a_snapshot_view_never_reach_the_store() {
+        let (mut ms, mut vt, space) = fresh();
+        let t = vt.id();
+        let r = ms.msnap_open(&mut vt, space, "data", 4).unwrap();
+        ms.write(&mut vt, space, t, r.addr, b"keep").unwrap();
+        ms.msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+            .unwrap();
+        ms.msnap_snapshot(&mut vt, r.md, "s").unwrap();
+        let view = ms.msnap_open_at(&mut vt, space, "s").unwrap();
+        // Scribble on the view: untracked, so nothing becomes dirty and a
+        // global persist ships nothing.
+        ms.write(&mut vt, space, t, view.addr, b"scribble").unwrap();
+        ms.msnap_persist(
+            &mut vt,
+            t,
+            RegionSel::All,
+            PersistFlags::sync().with_global(),
+        )
+        .unwrap();
+        assert_eq!(ms.last_persist_breakdown().pages, 0);
+        // A second view of the same snapshot still shows the pinned image.
+        let view2 = ms.msnap_open_at(&mut vt, space, "s").unwrap();
+        let mut out = [0u8; 4];
+        ms.read(&mut vt, space, view2.addr, &mut out).unwrap();
+        assert_eq!(&out, b"keep");
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //! | `int msnap_open(name, &addr, len, flags)` | [`MemSnap::msnap_open`] |
 //! | `epoch_t msnap_persist(md, flags)` | [`MemSnap::msnap_persist`] |
 //! | `int msnap_wait(md, epoch)` | [`MemSnap::msnap_wait`] |
+//! | `epoch_t msnap_snapshot(md, name)` | [`MemSnap::msnap_snapshot`] |
+//! | `int msnap_open_at(name, &addr)` | [`MemSnap::msnap_open_at`] |
+//! | `epoch_t msnap_rollback(name)` | [`MemSnap::msnap_rollback`] |
 //!
 //! Semantics reproduced from §3–§4:
 //!
@@ -60,6 +63,7 @@ mod types;
 pub use api::MemSnap;
 pub use types::{
     CommitTicket, Md, MsnapError, PersistBreakdown, PersistFlags, RegionHandle, RegionSel,
+    SnapshotView,
 };
 
 /// Region page size (4 KiB), re-exported from the VM.

@@ -99,6 +99,19 @@ pub struct RegionHandle {
     pub pages: u64,
 }
 
+/// Result of [`MemSnap::msnap_open_at`](crate::MemSnap::msnap_open_at): a
+/// read-only mapping of one retained snapshot's image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotView {
+    /// Fresh fixed virtual address of the mapping (distinct from the live
+    /// region's address, so both images can be compared side by side).
+    pub addr: u64,
+    /// Mapping length in pages (the live region's length).
+    pub pages: u64,
+    /// The retained epoch the view shows.
+    pub epoch: crate::Epoch,
+}
+
 /// Cost breakdown of one `msnap_persist` call — the rows of the paper's
 /// Table 5.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]

@@ -13,6 +13,7 @@ use msnap_sim::{Meters, Nanos, Vt};
 use msnap_vm::AsId;
 
 use crate::kv::{Kv, KvStats};
+use crate::node::{decode_head, decode_node, PAGE};
 use crate::plist::PersistentSkipList;
 
 /// The persistent-skip-list store. See the module docs.
@@ -101,6 +102,57 @@ impl MemSnapKv {
     pub fn ack_error(&mut self) -> Option<memsnap::MsnapError> {
         self.ms
             .msnap_ack_error(RegionSel::Region(self.list.region.md))
+    }
+
+    /// Pins the MemTable's current durable state as the named retained
+    /// snapshot (every `Put`/`MultiPut` commits before returning, so the
+    /// durable state is the latest acknowledged one). Readers scan it
+    /// with [`MemSnapKv::snapshot_scan`] while writes keep flowing.
+    ///
+    /// # Errors
+    ///
+    /// A wrapped store error (duplicate name, catalog full, IO).
+    pub fn snapshot(&mut self, vt: &mut Vt, name: &str) -> Result<memsnap::Epoch, crate::KvError> {
+        Ok(self.ms.msnap_snapshot(vt, self.list.region.md, name)?)
+    }
+
+    /// Deletes a retained snapshot, releasing its pinned blocks.
+    ///
+    /// # Errors
+    ///
+    /// A wrapped store error if the snapshot does not exist.
+    pub fn snapshot_delete(&mut self, vt: &mut Vt, name: &str) -> Result<(), crate::KvError> {
+        Ok(self.ms.msnap_snapshot_delete(vt, name)?)
+    }
+
+    /// Ordered point-in-time scan of a retained snapshot: maps the
+    /// snapshot image read-only at a fresh address and walks its
+    /// persistent linked list — the node pages carry page-relative links,
+    /// so the pinned image is self-contained. Puts committed after the
+    /// snapshot are invisible, no matter how many have landed since.
+    ///
+    /// # Errors
+    ///
+    /// A wrapped [`memsnap::MsnapError::BadDescriptor`] for an unknown
+    /// snapshot name.
+    pub fn snapshot_scan(
+        &mut self,
+        vt: &mut Vt,
+        name: &str,
+    ) -> Result<Vec<(u64, Vec<u8>)>, crate::KvError> {
+        let view = self.ms.msnap_open_at(vt, self.space, name)?;
+        let mut out = Vec::new();
+        let mut buf = [0u8; PAGE];
+        self.ms.read(vt, self.space, view.addr, &mut buf)?;
+        let mut next = decode_head(&buf).unwrap_or(0);
+        while next != 0 {
+            self.ms
+                .read(vt, self.space, view.addr + next * PAGE as u64, &mut buf)?;
+            let node = decode_node(&buf).expect("snapshot list points at valid nodes");
+            out.push((node.key, node.value));
+            next = node.next;
+        }
+        Ok(out)
     }
 
     fn persist(&mut self, vt: &mut Vt) -> Result<(), crate::KvError> {

@@ -1,0 +1,740 @@
+//! Snapshot shipping: checksummed, resumable delta streams between a
+//! primary [`ObjectStore`] and a replica.
+//!
+//! The store layer retains named epoch snapshots
+//! ([`ObjectStore::snapshot_create`]) and can structurally diff two
+//! retained epochs in time proportional to what changed
+//! ([`ObjectStore::snapshot_diff`]). This crate turns that diff into a
+//! **delta stream** — a self-describing framed byte sequence — and
+//! applies it on a replica as **one crash-atomic commit**:
+//!
+//! - [`DeltaStream::build`] reads the changed pages of a retained target
+//!   snapshot (relative to a retained base, or the empty image for a
+//!   full sync) and frames them: a checksummed header, one checksummed
+//!   frame per page, and a trailer binding the whole stream.
+//! - [`ApplySession`] consumes frames one at a time on the replica side,
+//!   validating sequence numbers and checksums as it goes. A truncated
+//!   transfer resumes from [`ApplySession::next_seq`] — already-fed
+//!   frames are not re-shipped.
+//! - [`ApplySession::finish`] verifies the trailer and lands every
+//!   staged page through [`ObjectStore::apply_image`] at the stream's
+//!   target epoch. The root-record write is the single commit point, so
+//!   a crash mid-apply leaves the replica at exactly its previous epoch
+//!   or exactly the target epoch — never between.
+//! - [`sync_to`] is the one-call driver: incremental when the replica's
+//!   epoch matches a retained base snapshot on the primary, full-sync
+//!   fallback when that base is gone.
+
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+use msnap_disk::{Disk, BLOCK_SIZE};
+use msnap_sim::Vt;
+use msnap_store::{fnv1a, fnv1a_extend, CommitToken, Epoch, ObjectId, ObjectStore, StoreError};
+
+/// Magic number opening a delta-stream header.
+const STREAM_MAGIC: u64 = 0x4d534e_41504453; // "MSN APDS"
+/// Magic number opening each page frame.
+const FRAME_MAGIC: u64 = 0x4d534e_41504446; // "MSN APDF"
+/// Magic number opening the stream trailer.
+const TRAILER_MAGIC: u64 = 0x4d534e_41504454 ^ 0xFF; // distinct from records
+
+/// Encoded header size before the object-name bytes.
+const HEADER_FIXED: usize = 64;
+/// Encoded size of one page frame.
+const FRAME_LEN: usize = 32 + BLOCK_SIZE;
+/// Encoded trailer size.
+const TRAILER_LEN: usize = 32;
+
+/// Errors raised while building, decoding, or applying a delta stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnapError {
+    /// An error surfaced by the underlying object store.
+    Store(StoreError),
+    /// The stream's base epoch does not match the replica's current
+    /// epoch — the delta does not apply; the caller falls back to a full
+    /// sync.
+    BaseMismatch {
+        /// Base epoch the stream was diffed against.
+        stream_base: Epoch,
+        /// The replica object's current epoch.
+        replica: Epoch,
+    },
+    /// The replica is already at (or past) the stream's target epoch.
+    AlreadyCurrent,
+    /// A frame arrived out of order: resumable streams must be fed in
+    /// sequence.
+    SequenceGap {
+        /// The next sequence number the session expects.
+        expected: u64,
+        /// The sequence number that arrived.
+        got: u64,
+    },
+    /// A frame's checksum does not cover its content: the frame was
+    /// corrupted in flight.
+    FrameCorrupt {
+        /// Sequence number of the corrupt frame.
+        seq: u64,
+    },
+    /// The trailer is missing frames or its stream checksum mismatches.
+    TrailerMismatch,
+    /// The byte stream is truncated or structurally invalid.
+    Malformed,
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Store(e) => write!(f, "object store: {e}"),
+            SnapError::BaseMismatch {
+                stream_base,
+                replica,
+            } => write!(
+                f,
+                "delta base epoch {stream_base} does not match replica epoch {replica}"
+            ),
+            SnapError::AlreadyCurrent => f.write_str("replica is already at the target epoch"),
+            SnapError::SequenceGap { expected, got } => {
+                write!(f, "frame sequence gap: expected {expected}, got {got}")
+            }
+            SnapError::FrameCorrupt { seq } => write!(f, "frame {seq} failed its checksum"),
+            SnapError::TrailerMismatch => f.write_str("stream trailer does not bind the frames"),
+            SnapError::Malformed => f.write_str("malformed delta stream"),
+        }
+    }
+}
+
+impl Error for SnapError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SnapError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for SnapError {
+    fn from(e: StoreError) -> Self {
+        SnapError::Store(e)
+    }
+}
+
+/// The self-describing head of a delta stream: which object it updates,
+/// the epoch span it covers, and how many frames follow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamHeader {
+    /// Name of the object the stream updates (store-directory name).
+    pub object: String,
+    /// Epoch the delta was diffed against; `None` for a full image.
+    pub base_epoch: Option<Epoch>,
+    /// Epoch the replica lands at when the stream is applied.
+    pub target_epoch: Epoch,
+    /// Object length in pages at the target epoch.
+    pub len_pages: u64,
+    /// Number of page frames in the stream.
+    pub frame_count: u64,
+}
+
+/// One shipped page: its index, its 4 KiB image, and a checksum binding
+/// both to the frame's position in the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageFrame {
+    /// 0-based position in the stream.
+    pub seq: u64,
+    /// Page index within the object.
+    pub page: u64,
+    /// The page image ([`BLOCK_SIZE`] bytes).
+    pub data: Vec<u8>,
+    /// FNV-1a over `seq || page || data`.
+    pub checksum: u64,
+}
+
+impl PageFrame {
+    fn compute_checksum(seq: u64, page: u64, data: &[u8]) -> u64 {
+        let mut sum = fnv1a(&seq.to_le_bytes());
+        sum = fnv1a_extend(sum, &page.to_le_bytes());
+        fnv1a_extend(sum, data)
+    }
+
+    /// Whether the frame's checksum covers its content.
+    pub fn verify(&self) -> bool {
+        self.data.len() == BLOCK_SIZE
+            && self.checksum == Self::compute_checksum(self.seq, self.page, &self.data)
+    }
+}
+
+/// The stream's end marker: the frame count and a checksum chaining
+/// every frame checksum, so a truncated or reordered stream cannot pass
+/// as complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamTrailer {
+    /// Total frames the stream carries.
+    pub frames: u64,
+    /// FNV-1a over the concatenated frame checksums, in order.
+    pub stream_sum: u64,
+}
+
+/// A complete delta stream: header, page frames, trailer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaStream {
+    /// The stream head.
+    pub header: StreamHeader,
+    /// The page frames, in sequence order.
+    pub frames: Vec<PageFrame>,
+    /// The end marker.
+    pub trailer: StreamTrailer,
+}
+
+fn chain_sum(frames: &[PageFrame]) -> u64 {
+    frames.iter().fold(msnap_store::FNV_OFFSET, |h, f| {
+        fnv1a_extend(h, &f.checksum.to_le_bytes())
+    })
+}
+
+impl DeltaStream {
+    /// Builds the stream shipping `target` (a retained snapshot on the
+    /// primary) as a delta against `base` (another retained snapshot of
+    /// the same object), or as a full image when `base` is `None`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Store`] wrapping [`StoreError::SnapshotNotFound`] /
+    /// [`StoreError::SnapshotMismatch`] for bad snapshot pairs.
+    pub fn build(
+        vt: &mut Vt,
+        disk: &mut Disk,
+        store: &ObjectStore,
+        base: Option<&str>,
+        target: &str,
+    ) -> Result<DeltaStream, SnapError> {
+        let entry = store
+            .snapshot_lookup(target)
+            .ok_or(StoreError::SnapshotNotFound)?
+            .clone();
+        let base_epoch = match base {
+            None => None,
+            Some(name) => Some(
+                store
+                    .snapshot_lookup(name)
+                    .ok_or(StoreError::SnapshotNotFound)?
+                    .epoch,
+            ),
+        };
+        let pages = store.snapshot_diff(base, target)?;
+        let object = store.object_names()[entry.object.0 as usize].clone();
+        let mut frames = Vec::with_capacity(pages.len());
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        for (seq, page) in pages.into_iter().enumerate() {
+            store.read_page_at(vt, disk, target, page, &mut buf)?;
+            frames.push(PageFrame {
+                seq: seq as u64,
+                page,
+                data: buf.clone(),
+                checksum: PageFrame::compute_checksum(seq as u64, page, &buf),
+            });
+        }
+        let trailer = StreamTrailer {
+            frames: frames.len() as u64,
+            stream_sum: chain_sum(&frames),
+        };
+        Ok(DeltaStream {
+            header: StreamHeader {
+                object,
+                base_epoch,
+                target_epoch: entry.epoch,
+                len_pages: entry.len_pages,
+                frame_count: frames.len() as u64,
+            },
+            frames,
+            trailer,
+        })
+    }
+
+    /// Payload bytes the stream ships (the replication cost a full image
+    /// is compared against).
+    pub fn encoded_len(&self) -> usize {
+        HEADER_FIXED + self.header.object.len() + self.frames.len() * FRAME_LEN + TRAILER_LEN
+    }
+
+    /// Serializes the stream to its wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        let h = &self.header;
+        let mut head = [0u8; HEADER_FIXED];
+        let w = |buf: &mut [u8], off: usize, v: u64| {
+            buf[off..off + 8].copy_from_slice(&v.to_le_bytes())
+        };
+        w(&mut head, 0, STREAM_MAGIC);
+        w(&mut head, 8, h.object.len() as u64);
+        w(&mut head, 16, u64::from(h.base_epoch.is_some()));
+        w(&mut head, 24, h.base_epoch.unwrap_or(0));
+        w(&mut head, 32, h.target_epoch);
+        w(&mut head, 40, h.len_pages);
+        w(&mut head, 48, h.frame_count);
+        let sum = fnv1a_extend(fnv1a(&head[0..56]), h.object.as_bytes());
+        w(&mut head, 56, sum);
+        out.extend_from_slice(&head);
+        out.extend_from_slice(h.object.as_bytes());
+        for f in &self.frames {
+            let mut fh = [0u8; 32];
+            w(&mut fh, 0, FRAME_MAGIC);
+            w(&mut fh, 8, f.seq);
+            w(&mut fh, 16, f.page);
+            w(&mut fh, 24, f.checksum);
+            out.extend_from_slice(&fh);
+            out.extend_from_slice(&f.data);
+        }
+        let mut t = [0u8; TRAILER_LEN];
+        w(&mut t, 0, TRAILER_MAGIC);
+        w(&mut t, 8, self.trailer.frames);
+        w(&mut t, 16, self.trailer.stream_sum);
+        let sum = fnv1a(&t[0..24]);
+        w(&mut t, 24, sum);
+        out.extend_from_slice(&t);
+        out
+    }
+
+    /// Parses and fully validates a wire-form stream: header checksum,
+    /// every frame checksum, and the trailer binding.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Malformed`] for structural damage,
+    /// [`SnapError::FrameCorrupt`] / [`SnapError::TrailerMismatch`] for
+    /// checksum failures.
+    pub fn decode(bytes: &[u8]) -> Result<DeltaStream, SnapError> {
+        let r = |buf: &[u8], off: usize| {
+            u64::from_le_bytes(buf[off..off + 8].try_into().expect("bounds checked"))
+        };
+        if bytes.len() < HEADER_FIXED {
+            return Err(SnapError::Malformed);
+        }
+        if r(bytes, 0) != STREAM_MAGIC {
+            return Err(SnapError::Malformed);
+        }
+        let name_len = r(bytes, 8) as usize;
+        if bytes.len() < HEADER_FIXED + name_len {
+            return Err(SnapError::Malformed);
+        }
+        let name_bytes = &bytes[HEADER_FIXED..HEADER_FIXED + name_len];
+        if fnv1a_extend(fnv1a(&bytes[0..56]), name_bytes) != r(bytes, 56) {
+            return Err(SnapError::Malformed);
+        }
+        let header = StreamHeader {
+            object: String::from_utf8(name_bytes.to_vec()).map_err(|_| SnapError::Malformed)?,
+            base_epoch: (r(bytes, 16) != 0).then(|| r(bytes, 24)),
+            target_epoch: r(bytes, 32),
+            len_pages: r(bytes, 40),
+            frame_count: r(bytes, 48),
+        };
+        let mut off = HEADER_FIXED + name_len;
+        let mut frames = Vec::with_capacity(header.frame_count as usize);
+        for seq in 0..header.frame_count {
+            if bytes.len() < off + FRAME_LEN {
+                return Err(SnapError::Malformed);
+            }
+            if r(bytes, off) != FRAME_MAGIC || r(bytes, off + 8) != seq {
+                return Err(SnapError::Malformed);
+            }
+            let frame = PageFrame {
+                seq,
+                page: r(bytes, off + 16),
+                checksum: r(bytes, off + 24),
+                data: bytes[off + 32..off + FRAME_LEN].to_vec(),
+            };
+            if !frame.verify() {
+                return Err(SnapError::FrameCorrupt { seq });
+            }
+            frames.push(frame);
+            off += FRAME_LEN;
+        }
+        if bytes.len() < off + TRAILER_LEN {
+            return Err(SnapError::Malformed);
+        }
+        if r(bytes, off) != TRAILER_MAGIC || fnv1a(&bytes[off..off + 24]) != r(bytes, off + 24) {
+            return Err(SnapError::Malformed);
+        }
+        let trailer = StreamTrailer {
+            frames: r(bytes, off + 8),
+            stream_sum: r(bytes, off + 16),
+        };
+        if trailer.frames != frames.len() as u64 || trailer.stream_sum != chain_sum(&frames) {
+            return Err(SnapError::TrailerMismatch);
+        }
+        Ok(DeltaStream {
+            header,
+            frames,
+            trailer,
+        })
+    }
+}
+
+/// Replica-side application of one delta stream: feed frames in order
+/// (resuming from [`ApplySession::next_seq`] after an interruption),
+/// then [`ApplySession::finish`] to land the whole stream as one
+/// crash-atomic commit.
+#[derive(Debug)]
+pub struct ApplySession {
+    object: ObjectId,
+    target_epoch: Epoch,
+    expected_frames: u64,
+    staged: Vec<(u64, Vec<u8>)>,
+    next_seq: u64,
+    running_sum: u64,
+}
+
+impl ApplySession {
+    /// Opens an apply session against the replica for `header`.
+    ///
+    /// A delta stream (`base_epoch = Some`) requires the replica to sit
+    /// exactly at the base epoch; a full stream applies from any epoch
+    /// behind the target. The replica object is created if missing.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::BaseMismatch`] (caller falls back to a full sync),
+    /// [`SnapError::AlreadyCurrent`], or [`SnapError::Store`].
+    pub fn begin(
+        vt: &mut Vt,
+        disk: &mut Disk,
+        replica: &mut ObjectStore,
+        header: &StreamHeader,
+    ) -> Result<ApplySession, SnapError> {
+        let object = match replica.lookup(&header.object) {
+            Some(id) => id,
+            None => replica.create(vt, disk, &header.object)?,
+        };
+        let at = replica.epoch(object);
+        if at >= header.target_epoch {
+            return Err(SnapError::AlreadyCurrent);
+        }
+        if let Some(base) = header.base_epoch {
+            if base != at {
+                return Err(SnapError::BaseMismatch {
+                    stream_base: base,
+                    replica: at,
+                });
+            }
+        }
+        Ok(ApplySession {
+            object,
+            target_epoch: header.target_epoch,
+            expected_frames: header.frame_count,
+            staged: Vec::with_capacity(header.frame_count as usize),
+            next_seq: 0,
+            running_sum: msnap_store::FNV_OFFSET,
+        })
+    }
+
+    /// The sequence number the session expects next — the resume point
+    /// after an interrupted transfer.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Stages one frame. Frames must arrive in sequence order and verify
+    /// their checksum; a rejected frame leaves the session unchanged, so
+    /// the sender may retransmit it.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::SequenceGap`] or [`SnapError::FrameCorrupt`].
+    pub fn feed(&mut self, frame: &PageFrame) -> Result<(), SnapError> {
+        if frame.seq != self.next_seq {
+            return Err(SnapError::SequenceGap {
+                expected: self.next_seq,
+                got: frame.seq,
+            });
+        }
+        if !frame.verify() {
+            return Err(SnapError::FrameCorrupt { seq: frame.seq });
+        }
+        self.staged.push((frame.page, frame.data.clone()));
+        self.running_sum = fnv1a_extend(self.running_sum, &frame.checksum.to_le_bytes());
+        self.next_seq += 1;
+        Ok(())
+    }
+
+    /// Verifies the trailer against everything staged and commits the
+    /// stream through [`ObjectStore::apply_image`] — one crash-atomic
+    /// root switch landing the replica exactly at the target epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::TrailerMismatch`] if frames are missing or the
+    /// stream checksum disagrees (nothing is written), or
+    /// [`SnapError::Store`] if the commit itself fails (the replica
+    /// stays at its previous epoch).
+    pub fn finish(
+        self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        replica: &mut ObjectStore,
+        trailer: &StreamTrailer,
+    ) -> Result<CommitToken, SnapError> {
+        if self.next_seq != self.expected_frames
+            || trailer.frames != self.expected_frames
+            || trailer.stream_sum != self.running_sum
+        {
+            return Err(SnapError::TrailerMismatch);
+        }
+        let iov: Vec<(u64, &[u8])> = self.staged.iter().map(|(p, d)| (*p, &d[..])).collect();
+        let token = replica.apply_image(vt, disk, self.object, &iov, self.target_epoch)?;
+        Ok(token)
+    }
+}
+
+/// Outcome of one [`sync_to`] catch-up round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Epoch the replica landed at.
+    pub target_epoch: Epoch,
+    /// Pages shipped.
+    pub pages: u64,
+    /// Wire bytes of the stream.
+    pub bytes: u64,
+    /// Whether the round fell back to a full image (no usable base).
+    pub full_sync: bool,
+}
+
+/// Ships the retained snapshot `target` from the primary to the replica:
+/// incrementally when the primary still retains a snapshot at exactly
+/// the replica's epoch (the delta base), as a full image otherwise —
+/// the base-epoch-gone fallback. The stream round-trips through its
+/// wire encoding, so every checksum in the framing is exercised on
+/// every sync.
+///
+/// # Errors
+///
+/// [`SnapError::AlreadyCurrent`] if the replica is at or past the
+/// target, or any build/decode/apply error. A failed apply leaves the
+/// replica at its previous epoch; the call may simply be retried.
+#[allow(clippy::too_many_arguments)]
+pub fn sync_to(
+    vt: &mut Vt,
+    primary: &ObjectStore,
+    primary_disk: &mut Disk,
+    replica: &mut ObjectStore,
+    replica_disk: &mut Disk,
+    target: &str,
+) -> Result<SyncReport, SnapError> {
+    let entry = primary
+        .snapshot_lookup(target)
+        .ok_or(StoreError::SnapshotNotFound)?
+        .clone();
+    let object_name = primary.object_names()[entry.object.0 as usize].clone();
+    let replica_epoch = replica
+        .lookup(&object_name)
+        .map_or(0, |id| replica.epoch(id));
+    if replica_epoch >= entry.epoch {
+        return Err(SnapError::AlreadyCurrent);
+    }
+    // A delta needs a retained base at exactly the replica's epoch; when
+    // reclamation (snapshot_delete) has dropped it, fall back to full.
+    let base = primary
+        .snapshots()
+        .into_iter()
+        .find(|s| s.object == entry.object && s.epoch == replica_epoch)
+        .map(|s| s.name);
+    let stream = DeltaStream::build(vt, primary_disk, primary, base.as_deref(), target)?;
+    let wire = stream.encode();
+    let bytes = wire.len() as u64;
+    let stream = DeltaStream::decode(&wire)?;
+    let mut session = ApplySession::begin(vt, replica_disk, replica, &stream.header)?;
+    for frame in &stream.frames {
+        session.feed(frame)?;
+    }
+    let token = session.finish(vt, replica_disk, replica, &stream.trailer)?;
+    ObjectStore::wait(vt, token);
+    Ok(SyncReport {
+        target_epoch: token.epoch,
+        pages: stream.trailer.frames,
+        bytes,
+        full_sync: base.is_none(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msnap_disk::DiskConfig;
+
+    fn page_of(byte: u8) -> Vec<u8> {
+        vec![byte; BLOCK_SIZE]
+    }
+
+    fn primary_with_two_snapshots() -> (Disk, ObjectStore, Vt, ObjectId) {
+        let mut disk = Disk::new(DiskConfig::paper());
+        let mut store = ObjectStore::format(&mut disk);
+        let mut vt = Vt::new(0);
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        for i in 0..5u64 {
+            let p = page_of(0x10 + i as u8);
+            let t = store.persist(&mut vt, &mut disk, obj, &[(i, &p)]).unwrap();
+            ObjectStore::wait(&mut vt, t);
+        }
+        store.snapshot_create(&mut vt, &mut disk, obj, "a").unwrap();
+        for i in [1u64, 3] {
+            let p = page_of(0x90 + i as u8);
+            let t = store.persist(&mut vt, &mut disk, obj, &[(i, &p)]).unwrap();
+            ObjectStore::wait(&mut vt, t);
+        }
+        store.snapshot_create(&mut vt, &mut disk, obj, "b").unwrap();
+        (disk, store, vt, obj)
+    }
+
+    #[test]
+    fn stream_round_trips_through_wire_form() {
+        let (mut disk, store, mut vt, _) = primary_with_two_snapshots();
+        let stream = DeltaStream::build(&mut vt, &mut disk, &store, Some("a"), "b").unwrap();
+        assert_eq!(stream.frames.len(), 2);
+        assert_eq!(
+            stream.frames.iter().map(|f| f.page).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+        let wire = stream.encode();
+        assert_eq!(wire.len(), stream.encoded_len());
+        assert_eq!(DeltaStream::decode(&wire).unwrap(), stream);
+    }
+
+    #[test]
+    fn corrupted_wire_bytes_are_rejected() {
+        let (mut disk, store, mut vt, _) = primary_with_two_snapshots();
+        let stream = DeltaStream::build(&mut vt, &mut disk, &store, Some("a"), "b").unwrap();
+        let wire = stream.encode();
+
+        // Header damage.
+        let mut bad = wire.clone();
+        bad[40] ^= 1;
+        assert_eq!(DeltaStream::decode(&bad), Err(SnapError::Malformed));
+        // Frame payload damage.
+        let mut bad = wire.clone();
+        let frame0_data = HEADER_FIXED + stream.header.object.len() + 32;
+        bad[frame0_data + 17] ^= 0x20;
+        assert_eq!(
+            DeltaStream::decode(&bad),
+            Err(SnapError::FrameCorrupt { seq: 0 })
+        );
+        // Truncation.
+        assert_eq!(
+            DeltaStream::decode(&wire[..wire.len() - 1]),
+            Err(SnapError::Malformed)
+        );
+    }
+
+    #[test]
+    fn apply_session_enforces_order_and_resumes() {
+        let (mut disk, store, mut vt, _) = primary_with_two_snapshots();
+        let full = DeltaStream::build(&mut vt, &mut disk, &store, None, "a").unwrap();
+
+        let mut rdisk = Disk::new(DiskConfig::paper());
+        let mut replica = ObjectStore::format(&mut rdisk);
+        let mut session =
+            ApplySession::begin(&mut vt, &mut rdisk, &mut replica, &full.header).unwrap();
+        // Out-of-order feed is rejected and does not advance the session.
+        assert_eq!(
+            session.feed(&full.frames[1]),
+            Err(SnapError::SequenceGap {
+                expected: 0,
+                got: 1
+            })
+        );
+        // A corrupted frame is rejected; the retransmitted original lands.
+        let mut torn = full.frames[0].clone();
+        torn.data[9] ^= 1;
+        assert_eq!(session.feed(&torn), Err(SnapError::FrameCorrupt { seq: 0 }));
+        session.feed(&full.frames[0]).unwrap();
+        assert_eq!(session.next_seq(), 1);
+        // "Crash" of the transfer: a fresh session resumes from 0 — the
+        // staging is in memory; durability comes only from finish().
+        for f in &full.frames[1..] {
+            session.feed(f).unwrap();
+        }
+        // Premature finish with a wrong trailer is refused.
+        assert!(matches!(
+            session.finish(
+                &mut vt,
+                &mut rdisk,
+                &mut replica,
+                &StreamTrailer {
+                    frames: full.trailer.frames + 1,
+                    stream_sum: 0
+                }
+            ),
+            Err(SnapError::TrailerMismatch)
+        ));
+    }
+
+    #[test]
+    fn sync_to_uses_delta_when_base_is_retained_and_full_otherwise() {
+        let (mut disk, mut store, mut vt, obj) = primary_with_two_snapshots();
+        let mut rdisk = Disk::new(DiskConfig::paper());
+        let mut replica = ObjectStore::format(&mut rdisk);
+
+        // First round: replica at epoch 0, no base retained → full sync.
+        let r1 = sync_to(&mut vt, &store, &mut disk, &mut replica, &mut rdisk, "a").unwrap();
+        assert!(r1.full_sync);
+        assert_eq!(r1.pages, 5);
+
+        // Second round: replica sits exactly at snapshot "a" → delta.
+        let r2 = sync_to(&mut vt, &store, &mut disk, &mut replica, &mut rdisk, "b").unwrap();
+        assert!(!r2.full_sync);
+        assert_eq!(r2.pages, 2, "only the changed pages ship");
+        assert!(r2.bytes < r1.bytes);
+
+        // Replica image now equals the target snapshot byte-for-byte.
+        let robj = replica.lookup("db").unwrap();
+        assert_eq!(
+            replica.epoch(robj),
+            store.snapshot_lookup("b").unwrap().epoch
+        );
+        let mut want = page_of(0);
+        let mut got = page_of(0);
+        for page in 0..5u64 {
+            store
+                .read_page_at(&mut vt, &mut disk, "b", page, &mut want)
+                .unwrap();
+            replica
+                .read_page(&mut vt, &mut rdisk, robj, page, &mut got)
+                .unwrap();
+            assert_eq!(got, want, "replica page {page} diverges");
+        }
+
+        // Already-current replica refuses the round.
+        assert_eq!(
+            sync_to(&mut vt, &store, &mut disk, &mut replica, &mut rdisk, "b").unwrap_err(),
+            SnapError::AlreadyCurrent
+        );
+
+        // Base gone (snapshot deleted on the primary): advance the
+        // primary, snapshot again, delete "b" — the replica at "b" must
+        // fall back to a full image for "c".
+        let p = page_of(0xEE);
+        let t = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
+        ObjectStore::wait(&mut vt, t);
+        store.snapshot_create(&mut vt, &mut disk, obj, "c").unwrap();
+        store.snapshot_delete(&mut vt, &mut disk, "b").unwrap();
+        let r3 = sync_to(&mut vt, &store, &mut disk, &mut replica, &mut rdisk, "c").unwrap();
+        assert!(r3.full_sync, "missing base epoch must fall back to full");
+        assert_eq!(
+            replica.epoch(robj),
+            store.snapshot_lookup("c").unwrap().epoch
+        );
+    }
+
+    #[test]
+    fn delta_against_wrong_replica_epoch_reports_base_mismatch() {
+        let (mut disk, store, mut vt, _) = primary_with_two_snapshots();
+        let delta = DeltaStream::build(&mut vt, &mut disk, &store, Some("a"), "b").unwrap();
+        let mut rdisk = Disk::new(DiskConfig::paper());
+        let mut replica = ObjectStore::format(&mut rdisk);
+        // Fresh replica (epoch 0) cannot take a delta based at "a".
+        let err = ApplySession::begin(&mut vt, &mut rdisk, &mut replica, &delta.header)
+            .err()
+            .unwrap();
+        assert!(matches!(err, SnapError::BaseMismatch { replica: 0, .. }));
+    }
+}

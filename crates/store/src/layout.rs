@@ -24,6 +24,8 @@ pub(crate) const DELTA_MAGIC: u64 = 0x4d534e_41504454; // "MSN APDT"
 pub(crate) const BATCH_MAGIC: u64 = 0x4d534e_41504254; // "MSN APBT"
 /// Magic number of the superblock.
 pub(crate) const SUPER_MAGIC: u64 = 0x4d534e41_50535550; // "MSNA PSUP"
+/// Magic number of a snapshot-catalog block.
+pub(crate) const SNAP_MAGIC: u64 = 0x4d534e_41505350; // "MSN APSP"
 
 /// Block number of the superblock.
 pub(crate) const SUPERBLOCK: u64 = 0;
@@ -37,8 +39,15 @@ pub(crate) const BATCH_RING_START: u64 = DIR_START + DIR_BLOCKS;
 /// every object it mentions has flushed a newer full root, so a live
 /// batch commit is never overwritten.
 pub const BATCH_SLOTS: u64 = 32;
-/// First allocatable block (after superblock + directory + batch ring).
-pub(crate) const FIRST_DATA_BLOCK: u64 = BATCH_RING_START + BATCH_SLOTS;
+/// First block of the snapshot catalog: two alternating slots written
+/// with a sequence number, so a torn catalog write leaves the previous
+/// catalog intact (same dual-slot discipline as the per-object roots).
+pub(crate) const SNAP_CATALOG_START: u64 = BATCH_RING_START + BATCH_SLOTS;
+/// Snapshot-catalog slots.
+pub(crate) const SNAP_CATALOG_SLOTS: u64 = 2;
+/// First allocatable block (after superblock + directory + batch ring +
+/// snapshot catalog).
+pub(crate) const FIRST_DATA_BLOCK: u64 = SNAP_CATALOG_START + SNAP_CATALOG_SLOTS;
 
 /// Delta-record slots per object. Every `DELTA_SLOTS`-th commit flushes
 /// the COW tree nodes and writes a full root, so a delta slot is never
@@ -61,11 +70,11 @@ pub(crate) const ENTRIES_PER_BLOCK: usize = BLOCK_SIZE / DIR_ENTRY_LEN;
 pub(crate) const MAX_OBJECTS: usize = ENTRIES_PER_BLOCK * DIR_BLOCKS as usize;
 
 /// FNV-1a 64-bit offset basis.
-pub(crate) const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+pub const FNV_OFFSET: u64 = 0xcbf29ce484222325;
 
 /// Extends an FNV-1a hash with more bytes (for checksumming a payload
 /// spread over several block images).
-pub(crate) fn fnv1a_extend(mut hash: u64, bytes: &[u8]) -> u64 {
+pub fn fnv1a_extend(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash ^= b as u64;
         hash = hash.wrapping_mul(0x100000001b3);
@@ -74,7 +83,7 @@ pub(crate) fn fnv1a_extend(mut hash: u64, bytes: &[u8]) -> u64 {
 }
 
 /// FNV-1a 64-bit, used to checksum records.
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     fnv1a_extend(FNV_OFFSET, bytes)
 }
 
@@ -328,6 +337,119 @@ impl BatchRecord {
     }
 }
 
+/// Fixed bytes at the head of a snapshot-catalog block.
+const SNAP_HEADER: usize = 32;
+/// Encoded size of one snapshot-catalog entry.
+const SNAP_ENTRY_LEN: usize = 128;
+/// Maximum retained snapshots in a store (one catalog block's worth).
+pub const MAX_SNAPSHOTS: usize = (BLOCK_SIZE - SNAP_HEADER) / SNAP_ENTRY_LEN;
+
+/// One retained snapshot: a named pin of an object's committed epoch.
+/// The `tree_root` / `len_pages` pair is everything needed to reopen the
+/// epoch's radix tree read-only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapEntry {
+    /// Snapshot name, unique within the store.
+    pub name: String,
+    /// The object the snapshot belongs to.
+    pub object: ObjectId,
+    /// The pinned epoch.
+    pub epoch: Epoch,
+    /// Disk block of the pinned radix-tree root, or 0 for an empty object.
+    pub tree_root: u64,
+    /// Object length in pages at the pinned epoch.
+    pub len_pages: u64,
+}
+
+/// The snapshot catalog: the full set of retained snapshots, rewritten
+/// whole on every snapshot create/delete into the catalog slot
+/// `seq % SNAP_CATALOG_SLOTS`. Mount adopts the valid slot with the
+/// highest `seq`, so a torn catalog write falls back to the previous
+/// catalog — snapshot create/delete is crash-atomic.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SnapCatalog {
+    /// Monotone catalog sequence number (picks the slot).
+    pub seq: u64,
+    /// The retained snapshots.
+    pub entries: Vec<SnapEntry>,
+}
+
+impl SnapCatalog {
+    /// The catalog slot this sequence number writes to.
+    pub(crate) fn slot(seq: u64) -> u64 {
+        SNAP_CATALOG_START + seq % SNAP_CATALOG_SLOTS
+    }
+
+    /// Serializes into a block image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than [`MAX_SNAPSHOTS`] entries or a name
+    /// exceeds [`NAME_LEN`] bytes (callers enforce both before mutating
+    /// the catalog).
+    pub fn to_block(&self) -> [u8; BLOCK_SIZE] {
+        assert!(
+            self.entries.len() <= MAX_SNAPSHOTS,
+            "snapshot catalog overflow"
+        );
+        let mut block = [0u8; BLOCK_SIZE];
+        let w = |block: &mut [u8; BLOCK_SIZE], off: usize, v: u64| {
+            block[off..off + 8].copy_from_slice(&v.to_le_bytes())
+        };
+        w(&mut block, 0, SNAP_MAGIC);
+        w(&mut block, 8, self.seq);
+        w(&mut block, 16, self.entries.len() as u64);
+        let mut off = SNAP_HEADER;
+        for e in &self.entries {
+            assert!(e.name.len() <= NAME_LEN, "snapshot name too long");
+            w(&mut block, off, e.object.0 as u64);
+            w(&mut block, off + 8, e.epoch);
+            w(&mut block, off + 16, e.tree_root);
+            w(&mut block, off + 24, e.len_pages);
+            block[off + 32] = e.name.len() as u8;
+            block[off + 33..off + 33 + e.name.len()].copy_from_slice(e.name.as_bytes());
+            off += SNAP_ENTRY_LEN;
+        }
+        let checksum = fnv1a(&block[0..24]) ^ fnv1a(&block[SNAP_HEADER..off]);
+        block[24..32].copy_from_slice(&checksum.to_le_bytes());
+        block
+    }
+
+    /// Parses and validates a catalog-slot block; `None` if the slot is
+    /// empty or torn.
+    pub fn from_block(block: &[u8]) -> Option<SnapCatalog> {
+        let r = |off: usize| u64::from_le_bytes(block[off..off + 8].try_into().unwrap());
+        if r(0) != SNAP_MAGIC {
+            return None;
+        }
+        let count = r(16) as usize;
+        if count > MAX_SNAPSHOTS {
+            return None;
+        }
+        let end = SNAP_HEADER + count * SNAP_ENTRY_LEN;
+        if fnv1a(&block[0..24]) ^ fnv1a(&block[SNAP_HEADER..end]) != r(24) {
+            return None;
+        }
+        let mut entries = Vec::with_capacity(count);
+        for i in 0..count {
+            let off = SNAP_HEADER + i * SNAP_ENTRY_LEN;
+            let name_len = block[off + 32] as usize;
+            if name_len > NAME_LEN {
+                return None;
+            }
+            let name = String::from_utf8(block[off + 33..off + 33 + name_len].to_vec()).ok()?;
+            entries.push(SnapEntry {
+                name,
+                object: ObjectId(r(off) as u32),
+                epoch: r(off + 8),
+                tree_root: r(off + 16),
+                len_pages: r(off + 24),
+            });
+        }
+        Some(SnapCatalog { seq: r(8), entries })
+    }
+}
+
 /// An in-memory directory entry. `meta_base` is the first of the
 /// object's [`OBJECT_META_BLOCKS`] reserved blocks: two root slots, then
 /// the delta ring.
@@ -530,6 +652,76 @@ mod tests {
         let block = rec.to_block();
         assert_eq!(BatchRecord::from_block(&block), Some(rec));
         assert!(!BatchRecord::fits([n + 1].into_iter()));
+    }
+
+    fn sample_catalog() -> SnapCatalog {
+        SnapCatalog {
+            seq: 5,
+            entries: vec![
+                SnapEntry {
+                    name: "nightly".into(),
+                    object: ObjectId(2),
+                    epoch: 17,
+                    tree_root: 900,
+                    len_pages: 64,
+                },
+                SnapEntry {
+                    name: "before-migration".into(),
+                    object: ObjectId(2),
+                    epoch: 40,
+                    tree_root: 1800,
+                    len_pages: 128,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn snap_catalog_round_trips() {
+        let cat = sample_catalog();
+        let block = cat.to_block();
+        assert_eq!(SnapCatalog::from_block(&block), Some(cat));
+    }
+
+    #[test]
+    fn empty_snap_catalog_round_trips() {
+        let cat = SnapCatalog::default();
+        let block = cat.to_block();
+        assert_eq!(SnapCatalog::from_block(&block), Some(cat));
+    }
+
+    #[test]
+    fn torn_snap_catalog_rejected() {
+        let mut block = sample_catalog().to_block();
+        block[SNAP_HEADER + 16] ^= 1; // first entry's tree_root
+        assert_eq!(SnapCatalog::from_block(&block), None);
+        let mut block = sample_catalog().to_block();
+        block[25] ^= 0x40; // the checksum itself
+        assert_eq!(SnapCatalog::from_block(&block), None);
+        assert_eq!(SnapCatalog::from_block(&[0u8; BLOCK_SIZE]), None);
+    }
+
+    #[test]
+    fn snap_catalog_slots_alternate() {
+        assert_eq!(SnapCatalog::slot(0), SNAP_CATALOG_START);
+        assert_eq!(SnapCatalog::slot(1), SNAP_CATALOG_START + 1);
+        assert_eq!(SnapCatalog::slot(2), SNAP_CATALOG_START);
+    }
+
+    #[test]
+    fn snap_catalog_capacity_matches_encoding() {
+        let entries = (0..MAX_SNAPSHOTS)
+            .map(|i| SnapEntry {
+                name: format!("snap-{i}"),
+                object: ObjectId(i as u32),
+                epoch: i as u64,
+                tree_root: 100 + i as u64,
+                len_pages: 1,
+            })
+            .collect();
+        let cat = SnapCatalog { seq: 1, entries };
+        let block = cat.to_block();
+        assert_eq!(SnapCatalog::from_block(&block), Some(cat));
     }
 
     #[test]

@@ -50,8 +50,8 @@ mod store;
 
 pub use alloc::BlockAllocator;
 pub use layout::{
-    BatchGroup, BatchRecord, DeltaRecord, Epoch, ObjectId, RootRecord, BATCH_SLOTS, DELTA_SLOTS,
-    MAX_DELTA_PAIRS,
+    fnv1a, fnv1a_extend, BatchGroup, BatchRecord, DeltaRecord, Epoch, ObjectId, RootRecord,
+    SnapCatalog, SnapEntry, BATCH_SLOTS, DELTA_SLOTS, FNV_OFFSET, MAX_DELTA_PAIRS, MAX_SNAPSHOTS,
 };
 pub use radix::RadixTree;
 pub use store::{CommitToken, ObjectStore, StoreError, StoreStats, MAX_IO_ATTEMPTS};

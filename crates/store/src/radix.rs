@@ -241,6 +241,85 @@ impl RadixTree {
         self.len_pages
     }
 
+    /// Disk block of the committed root node (`0` for an empty tree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the root is dirty — callers commit first.
+    pub fn committed_root(&self) -> u64 {
+        self.root.as_deref().map_or(0, |n| {
+            n.disk_block.expect("committed_root called on a dirty tree")
+        })
+    }
+
+    /// Every disk block reachable from the committed tree: all node
+    /// blocks plus all data blocks. This is the block set a retained
+    /// snapshot pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node is dirty — callers commit first.
+    pub fn reachable_blocks(&self) -> Vec<u64> {
+        fn walk(node: &Node, out: &mut Vec<u64>) {
+            out.push(node.disk_block.expect("reachable_blocks on a dirty tree"));
+            for child in &node.children {
+                match child {
+                    Child::Empty => {}
+                    Child::Data(b) => out.push(*b),
+                    Child::Node(n) => walk(n, out),
+                }
+            }
+        }
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            walk(root, &mut out);
+        }
+        out
+    }
+
+    /// Pages whose mapping differs between `base` and `target`, as
+    /// `(page, target data block)` pairs in page order. Subtrees whose
+    /// committed block numbers match on both sides are skipped without
+    /// descent — the COW invariant makes equal block numbers imply equal
+    /// content, *provided* neither tree's blocks can have been recycled
+    /// in between (true for retained snapshots, whose blocks are pinned).
+    /// A dirty node compares unequal to everything, which is conservative
+    /// but never wrong. Pages present only in `base` are not reported
+    /// (the store never deletes pages).
+    pub fn diff_pages(base: &RadixTree, target: &RadixTree) -> Vec<(u64, u64)> {
+        fn walk(a: Option<&Node>, b: &Node, prefix: u64, level: usize, out: &mut Vec<(u64, u64)>) {
+            if let Some(a) = a {
+                if a.disk_block.is_some() && a.disk_block == b.disk_block {
+                    return; // shared committed subtree
+                }
+            }
+            for (i, child) in b.children.iter().enumerate() {
+                let idx = prefix | ((i as u64) << SHIFT[level]);
+                let ac = a.map(|n| &n.children[i]);
+                match child {
+                    Child::Empty => {}
+                    Child::Data(db) => {
+                        if !matches!(ac, Some(Child::Data(ab)) if ab == db) {
+                            out.push((idx, *db));
+                        }
+                    }
+                    Child::Node(bn) => {
+                        let an = match ac {
+                            Some(Child::Node(n)) => Some(&**n),
+                            _ => None,
+                        };
+                        walk(an, bn, idx, level + 1, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        if let Some(b) = target.root.as_deref() {
+            walk(base.root.as_deref(), b, 0, 0, &mut out);
+        }
+        out
+    }
+
     /// All `(page, data_block)` pairs, in page order (test/recovery aid).
     pub fn pages(&self) -> Vec<(u64, u64)> {
         fn walk(node: &Node, prefix: u64, level: usize, out: &mut Vec<(u64, u64)>) {
@@ -372,6 +451,74 @@ mod tests {
         let mut t = RadixTree::new();
         t.set(0, 100);
         assert_eq!(t.dirty_nodes(), LEVELS);
+    }
+
+    fn committed(pages: &[(u64, u64)], next: &mut u64) -> RadixTree {
+        let mut t = RadixTree::new();
+        for (p, b) in pages {
+            t.set(*p, *b);
+        }
+        let mut writes = Vec::new();
+        t.commit(
+            &mut || {
+                *next += 1;
+                *next
+            },
+            &mut writes,
+        );
+        t
+    }
+
+    #[test]
+    fn reachable_blocks_covers_nodes_and_data() {
+        let mut next = 1_000u64;
+        let t = committed(&[(0, 100), (513, 101)], &mut next);
+        let blocks = t.reachable_blocks();
+        assert!(blocks.contains(&t.committed_root()));
+        assert!(blocks.contains(&100) && blocks.contains(&101));
+        // root + shared L1 node + two leaf nodes + 2 data blocks
+        assert_eq!(blocks.len(), 4 + 2);
+        assert!(RadixTree::new().reachable_blocks().is_empty());
+        assert_eq!(RadixTree::new().committed_root(), 0);
+    }
+
+    #[test]
+    fn diff_skips_shared_subtrees_and_finds_changes() {
+        let mut next = 1_000u64;
+        let base = committed(&[(0, 100), (513, 101), (300_000, 102)], &mut next);
+        // Target: shares base's committed subtrees for untouched pages.
+        let mut target = base.clone();
+        target.set(513, 200); // overwrite
+        target.set(7, 201); // new page in page 0's subtree
+        let mut writes = Vec::new();
+        target.commit(
+            &mut || {
+                next += 1;
+                next
+            },
+            &mut writes,
+        );
+        assert_eq!(
+            RadixTree::diff_pages(&base, &target),
+            vec![(7, 201), (513, 200)]
+        );
+        assert_eq!(RadixTree::diff_pages(&target, &target), vec![]);
+        // Diff against an empty base is the full image.
+        assert_eq!(
+            RadixTree::diff_pages(&RadixTree::new(), &base),
+            base.pages()
+        );
+    }
+
+    #[test]
+    fn diff_treats_dirty_nodes_conservatively() {
+        let mut next = 1_000u64;
+        let base = committed(&[(0, 100)], &mut next);
+        let mut target = base.clone();
+        target.set(0, 100); // same mapping, but the path is now dirty
+        assert_eq!(RadixTree::diff_pages(&base, &target), vec![]);
+        target.set(1, 300);
+        assert_eq!(RadixTree::diff_pages(&base, &target), vec![(1, 300)]);
     }
 
     #[test]

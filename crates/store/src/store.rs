@@ -11,7 +11,7 @@
 //! (39.7 μs of IO for a 64 KiB μCheckpoint).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 
@@ -19,10 +19,10 @@ use msnap_disk::{Disk, IoError, WriteToken, BLOCK_SIZE};
 use msnap_sim::{Category, Nanos, Vt};
 
 use crate::layout::{
-    self, BatchGroup, BatchRecord, DeltaRecord, DirEntry, Epoch, ObjectId, RootRecord,
-    BATCH_RING_START, BATCH_SLOTS, DELTA_SLOTS, DIR_BLOCKS, DIR_ENTRY_LEN, DIR_START,
-    ENTRIES_PER_BLOCK, FIRST_DATA_BLOCK, MAX_DELTA_PAIRS, MAX_OBJECTS, NAME_LEN,
-    OBJECT_META_BLOCKS, SUPERBLOCK, SUPER_MAGIC,
+    self, BatchGroup, BatchRecord, DeltaRecord, DirEntry, Epoch, ObjectId, RootRecord, SnapCatalog,
+    SnapEntry, BATCH_RING_START, BATCH_SLOTS, DELTA_SLOTS, DIR_BLOCKS, DIR_ENTRY_LEN, DIR_START,
+    ENTRIES_PER_BLOCK, FIRST_DATA_BLOCK, MAX_DELTA_PAIRS, MAX_OBJECTS, MAX_SNAPSHOTS, NAME_LEN,
+    OBJECT_META_BLOCKS, SNAP_CATALOG_SLOTS, SNAP_CATALOG_START, SUPERBLOCK, SUPER_MAGIC,
 };
 use crate::{BlockAllocator, RadixTree};
 
@@ -46,6 +46,17 @@ pub enum StoreError {
     /// not help. The commit was aborted cleanly: no epoch advanced, no
     /// blocks leaked.
     Io(IoError),
+    /// No retained snapshot with the given name.
+    SnapshotNotFound,
+    /// A retained snapshot with this name already exists.
+    SnapshotExists,
+    /// The snapshot catalog is full ([`MAX_SNAPSHOTS`] entries).
+    TooManySnapshots,
+    /// A diff was requested between snapshots of different objects.
+    SnapshotMismatch,
+    /// [`ObjectStore::apply_image`] with a target epoch at or behind the
+    /// object's current epoch: the image would move the replica backward.
+    StaleEpoch,
 }
 
 impl fmt::Display for StoreError {
@@ -58,6 +69,11 @@ impl fmt::Display for StoreError {
             StoreError::NotFormatted => f.write_str("device does not contain a formatted store"),
             StoreError::OutOfSpace => f.write_str("store is out of blocks"),
             StoreError::Io(e) => write!(f, "device write failed: {e}"),
+            StoreError::SnapshotNotFound => f.write_str("snapshot not found"),
+            StoreError::SnapshotExists => f.write_str("snapshot already exists"),
+            StoreError::TooManySnapshots => f.write_str("snapshot catalog is full"),
+            StoreError::SnapshotMismatch => f.write_str("snapshots belong to different objects"),
+            StoreError::StaleEpoch => f.write_str("image target epoch is not ahead of the object"),
         }
     }
 }
@@ -162,6 +178,15 @@ struct ObjectState {
     chain_completes: Nanos,
 }
 
+/// A retained snapshot held in memory: its catalog entry, the pinned
+/// epoch's (fully committed) tree for point-in-time reads and diffs, and
+/// the exact block set the snapshot pins.
+struct SnapState {
+    entry: SnapEntry,
+    tree: RadixTree,
+    blocks: Vec<u64>,
+}
+
 /// The copy-on-write object store. See the crate and module docs.
 pub struct ObjectStore {
     alloc: BlockAllocator,
@@ -170,6 +195,16 @@ pub struct ObjectStore {
     /// Blocks superseded by a commit, recyclable once the entry's instant
     /// has passed: a min-heap on the gating instant, popped until `now`.
     pending_free: BinaryHeap<Reverse<(Nanos, Vec<u64>)>>,
+    /// Retained snapshots, in catalog order.
+    snapshots: Vec<SnapState>,
+    /// Next snapshot-catalog sequence number.
+    snap_seq: u64,
+    /// Pin refcount per disk block reachable from a retained snapshot.
+    /// Pinned blocks are withheld from recycling instead of freed.
+    snap_pins: HashMap<u64, u32>,
+    /// Pinned blocks whose recycle gate has already passed: they return
+    /// to the allocator the moment their last pin drops.
+    withheld: HashSet<u64>,
     /// What each batch-ring slot currently holds: the `(object, epoch)`
     /// of every group in the record occupying it. A slot entry is *live*
     /// while its epoch is newer than the object's latest full root, and a
@@ -212,12 +247,20 @@ impl ObjectStore {
             disk.write_block_at(Nanos::ZERO, b, &zero)
                 .expect("formatting a faulty device is unsupported");
         }
+        for b in SNAP_CATALOG_START..SNAP_CATALOG_START + SNAP_CATALOG_SLOTS {
+            disk.write_block_at(Nanos::ZERO, b, &zero)
+                .expect("formatting a faulty device is unsupported");
+        }
         disk.settle();
         ObjectStore {
             alloc: BlockAllocator::with_capacity(FIRST_DATA_BLOCK, disk.config().capacity_blocks),
             objects: Vec::new(),
             by_name: HashMap::new(),
             pending_free: BinaryHeap::new(),
+            snapshots: Vec::new(),
+            snap_seq: 0,
+            snap_pins: HashMap::new(),
+            withheld: HashSet::new(),
             batch_ring: vec![Vec::new(); BATCH_SLOTS as usize],
             batch_seq: 0,
             stats: StoreStats::default(),
@@ -394,6 +437,51 @@ impl ObjectStore {
             .into_iter()
             .map(|o| o.expect("directory ids are dense"))
             .collect();
+
+        // Snapshot catalog: adopt the valid slot with the highest seq (a
+        // torn catalog write leaves the previous catalog intact), then
+        // reload every retained epoch's tree to rebuild the pin set and
+        // push the allocator past every pinned block — a pinned block may
+        // lie beyond the live trees' high-water mark when the live chain
+        // has since reused freed low blocks.
+        let mut catalog: Option<SnapCatalog> = None;
+        for i in 0..SNAP_CATALOG_SLOTS {
+            vt.charge(Category::FileSystem, costs::ROOT_PARSE);
+            disk.read_block(vt, SNAP_CATALOG_START + i, &mut buf);
+            if let Some(cat) = SnapCatalog::from_block(&buf) {
+                if catalog.as_ref().is_none_or(|c| cat.seq > c.seq) {
+                    catalog = Some(cat);
+                }
+            }
+        }
+        let catalog = catalog.unwrap_or_default();
+        let snap_seq = if catalog.entries.is_empty() && catalog.seq == 0 {
+            0
+        } else {
+            catalog.seq + 1
+        };
+        let mut snapshots = Vec::with_capacity(catalog.entries.len());
+        let mut snap_pins: HashMap<u64, u32> = HashMap::new();
+        for entry in catalog.entries {
+            if entry.object.0 as usize >= objects.len() {
+                continue; // catalog can never outrun the directory
+            }
+            let tree = RadixTree::load(entry.tree_root, entry.len_pages, &mut |b, out| {
+                let done = disk.read_block_at(vt.now(), b, out);
+                vt.wait_until(done);
+            });
+            let blocks = tree.reachable_blocks();
+            for &b in &blocks {
+                high_water = high_water.max(b + 1);
+                *snap_pins.entry(b).or_insert(0) += 1;
+            }
+            snapshots.push(SnapState {
+                entry,
+                tree,
+                blocks,
+            });
+        }
+
         Ok(ObjectStore {
             alloc: BlockAllocator::with_capacity(
                 high_water + node_block_margin(&objects),
@@ -402,6 +490,10 @@ impl ObjectStore {
             objects,
             by_name,
             pending_free: BinaryHeap::new(),
+            snapshots,
+            snap_seq,
+            snap_pins,
+            withheld: HashSet::new(),
             batch_ring,
             batch_seq,
             stats: StoreStats::default(),
@@ -538,40 +630,38 @@ impl ObjectStore {
         // commit aborts.
         self.recycle_pending(vt.now());
 
-        let state = &mut self.objects[object.0 as usize];
         vt.charge(
             Category::FileSystem,
             costs::INITIATE_BASE + costs::INITIATE_PER_PAGE * pages.len() as u64,
         );
 
-        // Abort-safety snapshot. The allocator is cheap to clone (a bump
-        // pointer plus the free set), and restoring it un-does every
-        // allocation of an aborted commit in one move.
-        let alloc_snapshot = self.alloc.clone();
-
-        // Data blocks: one contiguous, sequential extent.
-        let Some(first) = self.alloc.alloc_contiguous(pages.len() as u64) else {
-            return Err(StoreError::OutOfSpace);
-        };
-        let mut iov: Vec<(u64, &[u8])> = Vec::with_capacity(pages.len() + 8);
-        let mut delta_pairs = Vec::with_capacity(pages.len());
-        for (i, (page, data)) in pages.iter().enumerate() {
-            let block = first + i as u64;
-            delta_pairs.push((*page, block));
-            iov.push((block, data));
-        }
+        let state = &mut self.objects[object.0 as usize];
         let epoch = state.epoch + 1;
-
         let use_delta = self.delta_commits
             && pages.len() <= MAX_DELTA_PAIRS
             && state.deltas_since_full + 1 < DELTA_SLOTS;
 
-        let (commit_token, node_count, data_freed) = if use_delta {
+        let token = if use_delta {
             // Fast path: data extent + one delta record. The in-memory
             // tree is not touched until both writes succeed, so aborting
             // only needs the allocator snapshot. Dirty tree nodes stay in
             // memory; their superseded on-disk versions wait for the next
             // full root.
+
+            // Abort-safety snapshot. The allocator is cheap to clone (a
+            // bump pointer plus the free set), and restoring it un-does
+            // every allocation of an aborted commit in one move.
+            let alloc_snapshot = self.alloc.clone();
+            let Some(first) = self.alloc.alloc_contiguous(pages.len() as u64) else {
+                return Err(StoreError::OutOfSpace);
+            };
+            let mut iov: Vec<(u64, &[u8])> = Vec::with_capacity(pages.len() + 1);
+            let mut delta_pairs = Vec::with_capacity(pages.len());
+            for (i, (page, data)) in pages.iter().enumerate() {
+                let block = first + i as u64;
+                delta_pairs.push((*page, block));
+                iov.push((block, data));
+            }
             let len_pages = pages
                 .iter()
                 .map(|(p, _)| p + 1)
@@ -610,92 +700,133 @@ impl ObjectStore {
             }
             state.node_freed_pending.extend(state.tree.take_freed());
             state.deltas_since_full += 1;
+            state.epoch = epoch;
+            state.chain_completes = state.chain_completes.max(token.completes());
+            state.last_commit = token.completes();
             self.stats.delta_commits += 1;
-            (token, 0u64, Vec::new())
-        } else {
-            // Full commit: flush dirty COW nodes and write a full root.
-            // The tree must be mutated *before* the IO (node images are
-            // serialized from it), so abort restores a pre-commit clone.
-            // Full commits are the rare path (every DELTA_SLOTS-th commit
-            // or oversized commits), which keeps the clone cost amortized.
-            let tree_snapshot = state.tree.clone();
-            let mut data_freed = Vec::new();
-            for (page, block) in &delta_pairs {
-                if let Some(old) = state.tree.set(*page, *block) {
-                    data_freed.push(old);
-                }
-            }
-            // The commit closure cannot fail, so allocator exhaustion is
-            // flagged and handed out of never-written scratch blocks,
-            // then the whole commit aborts.
-            let mut exhausted = false;
-            let mut scratch = SCRATCH_BLOCK_BASE;
-            let mut node_writes = Vec::new();
-            let tree_root = state.tree.commit(
-                &mut || match self.alloc.alloc() {
-                    Some(b) => b,
-                    None => {
-                        exhausted = true;
-                        scratch += 1;
-                        scratch
-                    }
-                },
-                &mut node_writes,
-            );
-            if exhausted {
-                state.tree = tree_snapshot;
-                self.alloc = alloc_snapshot;
-                return Err(StoreError::OutOfSpace);
-            }
-            vt.charge(
-                Category::FileSystem,
-                costs::NODE_SERIALIZE * node_writes.len() as u64,
-            );
-            for (block, image) in &node_writes {
-                iov.push((*block, image));
-            }
-            let record = RootRecord {
-                object,
+            CommitToken {
                 epoch,
-                tree_root,
-                len_pages: state.tree.len_pages(),
-            };
-            let slot = state.entry.root_slot(state.full_count + 1);
-            let token = (|| {
-                let data_token = writev_retry(disk, vt.now(), &iov)?;
-                writev_retry(disk, data_token.completes(), &[(slot, &record.to_block())])
-            })();
-            let token = match token {
-                Ok(t) => t,
-                Err(e) => {
-                    state.tree = tree_snapshot;
-                    self.alloc = alloc_snapshot;
-                    return Err(e.into());
-                }
-            };
-            state.full_count += 1;
-            // Everything superseded up to and including this full root is
-            // recyclable once it is durable.
-            data_freed.append(&mut state.node_freed_pending);
-            data_freed.extend(state.tree.take_freed());
-            state.deltas_since_full = 0;
-            (token, node_writes.len() as u64, data_freed)
+                completes: token.completes(),
+                bytes_written: (pages.len() as u64 + 1) * BLOCK_SIZE as u64,
+            }
+        } else {
+            // Slow path: flush dirty COW nodes and write a full root.
+            self.full_commit(vt, disk, object, pages, epoch)?
         };
-
-        state.epoch = epoch;
-        state.chain_completes = state.chain_completes.max(commit_token.completes());
-        state.last_commit = commit_token.completes();
-        self.pending_free
-            .push(Reverse((state.chain_completes, data_freed)));
 
         self.stats.commits += 1;
         self.stats.pages_written += pages.len() as u64;
-        self.stats.nodes_written += node_count;
+        Ok(token)
+    }
+
+    /// Shared full-commit core: COW-sets `pages` into the tree at
+    /// `epoch`, flushes every dirty node, writes data + nodes as one
+    /// extent followed by a full root record, and updates all commit
+    /// state. `epoch` may equal the object's current epoch (a data-less
+    /// root flush) or jump ahead of it (replica image application); the
+    /// root record is the single commit point either way.
+    ///
+    /// On error the tree and allocator are restored; nothing leaks.
+    fn full_commit(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        object: ObjectId,
+        pages: &[(u64, &[u8])],
+        epoch: Epoch,
+    ) -> Result<CommitToken, StoreError> {
+        let alloc_snapshot = self.alloc.clone();
+        let state = &mut self.objects[object.0 as usize];
+        // The tree must be mutated *before* the IO (node images are
+        // serialized from it), so abort restores a pre-commit clone. Full
+        // commits are the rare path (every DELTA_SLOTS-th commit,
+        // oversized commits, snapshot/image flushes), which keeps the
+        // clone cost amortized.
+        let tree_snapshot = state.tree.clone();
+
+        let data_blocks = match self.alloc.alloc_contiguous(pages.len() as u64) {
+            Some(first) => first,
+            None if pages.is_empty() => 0,
+            None => return Err(StoreError::OutOfSpace),
+        };
+        let mut iov: Vec<(u64, &[u8])> = Vec::with_capacity(pages.len() + 8);
+        let mut data_freed = Vec::new();
+        for (i, (page, data)) in pages.iter().enumerate() {
+            let block = data_blocks + i as u64;
+            iov.push((block, data));
+            if let Some(old) = state.tree.set(*page, block) {
+                data_freed.push(old);
+            }
+        }
+        // The commit closure cannot fail, so allocator exhaustion is
+        // flagged and handed out of never-written scratch blocks, then
+        // the whole commit aborts.
+        let mut exhausted = false;
+        let mut scratch = SCRATCH_BLOCK_BASE;
+        let mut node_writes = Vec::new();
+        let tree_root = state.tree.commit(
+            &mut || match self.alloc.alloc() {
+                Some(b) => b,
+                None => {
+                    exhausted = true;
+                    scratch += 1;
+                    scratch
+                }
+            },
+            &mut node_writes,
+        );
+        if exhausted {
+            state.tree = tree_snapshot;
+            self.alloc = alloc_snapshot;
+            return Err(StoreError::OutOfSpace);
+        }
+        vt.charge(
+            Category::FileSystem,
+            costs::NODE_SERIALIZE * node_writes.len() as u64,
+        );
+        for (block, image) in &node_writes {
+            iov.push((*block, image));
+        }
+        let record = RootRecord {
+            object,
+            epoch,
+            tree_root,
+            len_pages: state.tree.len_pages(),
+        };
+        let slot = state.entry.root_slot(state.full_count + 1);
+        let token = (|| {
+            let record_at = if iov.is_empty() {
+                vt.now()
+            } else {
+                writev_retry(disk, vt.now(), &iov)?.completes()
+            };
+            writev_retry(disk, record_at, &[(slot, &record.to_block())])
+        })();
+        let token = match token {
+            Ok(t) => t,
+            Err(e) => {
+                state.tree = tree_snapshot;
+                self.alloc = alloc_snapshot;
+                return Err(e.into());
+            }
+        };
+        state.full_count += 1;
+        // Everything superseded up to and including this full root is
+        // recyclable once it is durable.
+        data_freed.append(&mut state.node_freed_pending);
+        data_freed.extend(state.tree.take_freed());
+        state.deltas_since_full = 0;
+        state.epoch = epoch;
+        state.chain_completes = state.chain_completes.max(token.completes());
+        state.last_commit = token.completes();
+        self.pending_free
+            .push(Reverse((state.chain_completes, data_freed)));
+        self.stats.nodes_written += node_writes.len() as u64;
 
         Ok(CommitToken {
             epoch,
-            completes: commit_token.completes(),
-            bytes_written: (pages.len() as u64 + node_count + 1) * BLOCK_SIZE as u64,
+            completes: token.completes(),
+            bytes_written: (pages.len() as u64 + node_writes.len() as u64 + 1) * BLOCK_SIZE as u64,
         })
     }
 
@@ -865,8 +996,11 @@ impl ObjectStore {
         Ok(tokens)
     }
 
-    /// Pops every `pending_free` entry whose gating instant has passed
-    /// and returns its blocks to the allocator.
+    /// Pops every `pending_free` entry whose gating instant has passed.
+    /// Blocks pinned by a retained snapshot are **withheld** rather than
+    /// freed — they return to the allocator only when their last pin
+    /// drops — so pinned epochs survive the full-root flushes that would
+    /// otherwise recycle their superseded blocks.
     fn recycle_pending(&mut self, now: Nanos) {
         while let Some(Reverse((gate, _))) = self.pending_free.peek() {
             if *gate > now {
@@ -874,7 +1008,11 @@ impl ObjectStore {
             }
             let Reverse((_, blocks)) = self.pending_free.pop().expect("peeked entry exists");
             for b in blocks {
-                self.alloc.free(b);
+                if self.snap_pins.contains_key(&b) {
+                    self.withheld.insert(b);
+                } else {
+                    self.alloc.free(b);
+                }
             }
         }
     }
@@ -891,65 +1029,264 @@ impl ObjectStore {
         disk: &mut Disk,
         object: ObjectId,
     ) -> Result<(), StoreError> {
-        let alloc_snapshot = self.alloc.clone();
-        let state = &mut self.objects[object.0 as usize];
-        let tree_snapshot = state.tree.clone();
-        let mut exhausted = false;
-        let mut scratch = SCRATCH_BLOCK_BASE;
-        let mut node_writes = Vec::new();
-        let tree_root = state.tree.commit(
-            &mut || match self.alloc.alloc() {
-                Some(b) => b,
-                None => {
-                    exhausted = true;
-                    scratch += 1;
-                    scratch
+        let epoch = self.objects[object.0 as usize].epoch;
+        self.full_commit(vt, disk, object, &[], epoch)?;
+        Ok(())
+    }
+
+    /// Pins `object`'s current epoch as the named, persisted snapshot and
+    /// returns the pinned epoch.
+    ///
+    /// The call first flushes a full root (so the pinned tree is wholly
+    /// durable — the flush writes only *dirty* nodes, so snapshot cost is
+    /// O(dirty set), not O(object size)), pins every block the tree
+    /// reaches, and appends the snapshot to the catalog with a
+    /// crash-atomic dual-slot write ordered after the root is durable: a
+    /// crash mid-call leaves either no snapshot or a complete one. The
+    /// snapshot shares all blocks with the live tree (COW); subsequent
+    /// commits diverge from it without copying.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`], [`StoreError::NameTooLong`],
+    /// [`StoreError::SnapshotExists`], [`StoreError::TooManySnapshots`],
+    /// [`StoreError::OutOfSpace`], or [`StoreError::Io`]. On error the
+    /// store is unchanged (a durable root flush may remain — harmless
+    /// maintenance).
+    pub fn snapshot_create(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        object: ObjectId,
+        name: &str,
+    ) -> Result<Epoch, StoreError> {
+        if name.len() > NAME_LEN {
+            return Err(StoreError::NameTooLong);
+        }
+        if self.snapshots.iter().any(|s| s.entry.name == name) {
+            return Err(StoreError::SnapshotExists);
+        }
+        if self.snapshots.len() >= MAX_SNAPSHOTS {
+            return Err(StoreError::TooManySnapshots);
+        }
+        if self.objects.get(object.0 as usize).is_none() {
+            return Err(StoreError::NotFound);
+        }
+        self.flush_full_root(vt, disk, object)?;
+        let state = &self.objects[object.0 as usize];
+        let entry = SnapEntry {
+            name: name.to_string(),
+            object,
+            epoch: state.epoch,
+            tree_root: state.tree.committed_root(),
+            len_pages: state.tree.len_pages(),
+        };
+        let tree = state.tree.clone();
+        let root_durable = state.chain_completes;
+        let blocks = tree.reachable_blocks();
+        for &b in &blocks {
+            *self.snap_pins.entry(b).or_insert(0) += 1;
+        }
+        let epoch = entry.epoch;
+        self.snapshots.push(SnapState {
+            entry,
+            tree,
+            blocks,
+        });
+        if let Err(e) = self.write_catalog(vt, disk, root_durable) {
+            let snap = self.snapshots.pop().expect("entry was just pushed");
+            self.unpin(&snap.blocks);
+            return Err(e);
+        }
+        Ok(epoch)
+    }
+
+    /// Drops the named snapshot: rewrites the catalog without it
+    /// (crash-atomically) and releases its pins. Withheld blocks whose
+    /// last pin drops return to the allocator immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::SnapshotNotFound`], or [`StoreError::Io`] if the
+    /// catalog write fails (the snapshot is then still retained).
+    pub fn snapshot_delete(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        name: &str,
+    ) -> Result<(), StoreError> {
+        let idx = self
+            .snapshots
+            .iter()
+            .position(|s| s.entry.name == name)
+            .ok_or(StoreError::SnapshotNotFound)?;
+        let snap = self.snapshots.remove(idx);
+        if let Err(e) = self.write_catalog(vt, disk, vt.now()) {
+            self.snapshots.insert(idx, snap);
+            return Err(e);
+        }
+        self.unpin(&snap.blocks);
+        Ok(())
+    }
+
+    /// The retained snapshots, in catalog order.
+    pub fn snapshots(&self) -> Vec<SnapEntry> {
+        self.snapshots.iter().map(|s| s.entry.clone()).collect()
+    }
+
+    /// Looks up a retained snapshot by name.
+    pub fn snapshot_lookup(&self, name: &str) -> Option<&SnapEntry> {
+        self.snapshots
+            .iter()
+            .find(|s| s.entry.name == name)
+            .map(|s| &s.entry)
+    }
+
+    /// Reads one page of the named snapshot — the object's image as of
+    /// the pinned epoch, regardless of anything committed since. Pages
+    /// unwritten at that epoch read as zeroes.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::SnapshotNotFound`].
+    pub fn read_page_at(
+        &self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        name: &str,
+        page: u64,
+        out: &mut [u8],
+    ) -> Result<(), StoreError> {
+        let snap = self
+            .snapshots
+            .iter()
+            .find(|s| s.entry.name == name)
+            .ok_or(StoreError::SnapshotNotFound)?;
+        match snap.tree.get(page) {
+            Some(block) => disk.read_block(vt, block, out),
+            None => out.fill(0),
+        }
+        Ok(())
+    }
+
+    /// Pages that differ between two retained snapshots of the same
+    /// object (in page order): the incremental delta a replica at
+    /// `base`'s epoch needs to reach `target`'s. Shared COW subtrees are
+    /// skipped without descent, so the walk is proportional to the
+    /// changed region, not the object size. `base = None` diffs against
+    /// the empty image (the full-sync fallback).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::SnapshotNotFound`], or
+    /// [`StoreError::SnapshotMismatch`] if the snapshots belong to
+    /// different objects.
+    pub fn snapshot_diff(&self, base: Option<&str>, target: &str) -> Result<Vec<u64>, StoreError> {
+        let t = self
+            .snapshots
+            .iter()
+            .find(|s| s.entry.name == target)
+            .ok_or(StoreError::SnapshotNotFound)?;
+        let empty = RadixTree::new();
+        let base_tree = match base {
+            None => &empty,
+            Some(n) => {
+                let b = self
+                    .snapshots
+                    .iter()
+                    .find(|s| s.entry.name == n)
+                    .ok_or(StoreError::SnapshotNotFound)?;
+                if b.entry.object != t.entry.object {
+                    return Err(StoreError::SnapshotMismatch);
                 }
-            },
-            &mut node_writes,
-        );
-        if exhausted {
-            state.tree = tree_snapshot;
-            self.alloc = alloc_snapshot;
-            return Err(StoreError::OutOfSpace);
+                &b.tree
+            }
+        };
+        Ok(RadixTree::diff_pages(base_tree, &t.tree)
+            .into_iter()
+            .map(|(page, _)| page)
+            .collect())
+    }
+
+    /// Replica-side commit: applies `pages` as one crash-atomic full
+    /// image landing exactly at `target_epoch` (which must be ahead of
+    /// the object's current epoch — full roots, unlike delta records,
+    /// may jump epochs). The root-record write is the single commit
+    /// point, so a crash anywhere during the apply recovers the replica
+    /// at exactly its previous epoch or exactly `target_epoch`, never
+    /// between.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`], [`StoreError::StaleEpoch`],
+    /// [`StoreError::OutOfSpace`], or [`StoreError::Io`]. On error the
+    /// replica stays at its previous epoch and nothing leaks.
+    pub fn apply_image(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        object: ObjectId,
+        pages: &[(u64, &[u8])],
+        target_epoch: Epoch,
+    ) -> Result<CommitToken, StoreError> {
+        self.recycle_pending(vt.now());
+        let state = self
+            .objects
+            .get(object.0 as usize)
+            .ok_or(StoreError::NotFound)?;
+        if target_epoch <= state.epoch {
+            return Err(StoreError::StaleEpoch);
         }
         vt.charge(
             Category::FileSystem,
-            costs::NODE_SERIALIZE * node_writes.len() as u64,
+            costs::INITIATE_BASE + costs::INITIATE_PER_PAGE * pages.len() as u64,
         );
-        let record = RootRecord {
-            object,
-            epoch: state.epoch,
-            tree_root,
-            len_pages: state.tree.len_pages(),
+        let token = self.full_commit(vt, disk, object, pages, target_epoch)?;
+        self.stats.commits += 1;
+        self.stats.pages_written += pages.len() as u64;
+        Ok(token)
+    }
+
+    /// Blocks currently pinned by retained snapshots.
+    pub fn pinned_blocks(&self) -> usize {
+        self.snap_pins.len()
+    }
+
+    /// Pinned blocks whose recycle gate has passed: they are withheld
+    /// from the allocator until their last pin drops.
+    pub fn withheld_blocks(&self) -> usize {
+        self.withheld.len()
+    }
+
+    /// Rewrites the snapshot catalog from the in-memory snapshot list
+    /// into the next alternating slot, submitted no earlier than `at`
+    /// (callers pass the pinned root's durability instant so the catalog
+    /// never lands before the tree it references). Synchronous; bumps the
+    /// catalog sequence only on success.
+    fn write_catalog(&mut self, vt: &mut Vt, disk: &mut Disk, at: Nanos) -> Result<(), StoreError> {
+        let cat = SnapCatalog {
+            seq: self.snap_seq,
+            entries: self.snapshots.iter().map(|s| s.entry.clone()).collect(),
         };
-        let slot = state.entry.root_slot(state.full_count + 1);
-        let token = (|| {
-            let record_at = if node_writes.is_empty() {
-                vt.now()
-            } else {
-                let iov: Vec<(u64, &[u8])> =
-                    node_writes.iter().map(|(b, img)| (*b, &img[..])).collect();
-                writev_retry(disk, vt.now(), &iov)?.completes()
-            };
-            writev_retry(disk, record_at, &[(slot, &record.to_block())])
-        })();
-        match token {
-            Ok(t) => {
-                state.full_count += 1;
-                state.deltas_since_full = 0;
-                let mut freed = std::mem::take(&mut state.node_freed_pending);
-                freed.extend(state.tree.take_freed());
-                state.chain_completes = state.chain_completes.max(t.completes());
-                self.pending_free
-                    .push(Reverse((state.chain_completes, freed)));
-                self.stats.nodes_written += node_writes.len() as u64;
-                Ok(())
-            }
-            Err(e) => {
-                state.tree = tree_snapshot;
-                self.alloc = alloc_snapshot;
-                Err(e.into())
+        let slot = SnapCatalog::slot(cat.seq);
+        let token = writev_retry(disk, at.max(vt.now()), &[(slot, &cat.to_block())])?;
+        Disk::wait(vt, token);
+        self.snap_seq += 1;
+        Ok(())
+    }
+
+    /// Releases one pin on each block; blocks whose last pin drops and
+    /// that were withheld return to the allocator.
+    fn unpin(&mut self, blocks: &[u64]) {
+        for &b in blocks {
+            match self.snap_pins.get_mut(&b) {
+                Some(count) if *count > 1 => *count -= 1,
+                _ => {
+                    self.snap_pins.remove(&b);
+                    if self.withheld.remove(&b) {
+                        self.alloc.free(b);
+                    }
+                }
             }
         }
     }
@@ -1305,6 +1642,263 @@ mod tests {
             .read_page(&mut vt2, &mut disk, obj2, 0, &mut out)
             .unwrap();
         assert_eq!(out, page_of((DELTA_SLOTS - 1) as u8));
+    }
+
+    #[test]
+    fn snapshot_pinned_blocks_survive_full_root_flushes() {
+        // Extends the quarantine regression above to retained epochs:
+        // once a snapshot pins an epoch, full-root flushes — which
+        // release the delta window's quarantine — must *withhold* the
+        // pinned blocks instead of recycling them.
+        let (mut disk, mut store, mut vt) = setup();
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        let originals: Vec<Vec<u8>> = (0..4).map(|i| page_of(0xA0 + i as u8)).collect();
+        for (i, p) in originals.iter().enumerate() {
+            let t = store
+                .persist(&mut vt, &mut disk, obj, &[(i as u64, p)])
+                .unwrap();
+            ObjectStore::wait(&mut vt, t);
+        }
+        let snap_epoch = store
+            .snapshot_create(&mut vt, &mut disk, obj, "keep")
+            .unwrap();
+        assert_eq!(snap_epoch, 4);
+
+        // Churn page 0 across more than two full delta windows: at least
+        // two full roots pass, every pre-snapshot block is superseded and
+        // its recycle gate expires.
+        for i in 0..(2 * DELTA_SLOTS + 4) {
+            let p = page_of(i as u8);
+            let t = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
+            ObjectStore::wait(&mut vt, t);
+        }
+        assert!(
+            store.withheld_blocks() > 0,
+            "expired-but-pinned blocks must be withheld, not freed"
+        );
+        let mut out = page_of(0);
+        for (i, p) in originals.iter().enumerate() {
+            store
+                .read_page_at(&mut vt, &mut disk, "keep", i as u64, &mut out)
+                .unwrap();
+            assert_eq!(&out, p, "snapshot page {i} changed under churn");
+        }
+
+        // The pins survive recovery: reopen and read the epoch again.
+        disk.settle();
+        let mut vt2 = Vt::new(1);
+        let store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        assert_eq!(store2.snapshot_lookup("keep").unwrap().epoch, snap_epoch);
+        for (i, p) in originals.iter().enumerate() {
+            store2
+                .read_page_at(&mut vt2, &mut disk, "keep", i as u64, &mut out)
+                .unwrap();
+            assert_eq!(&out, p, "snapshot page {i} lost across recovery");
+        }
+    }
+
+    #[test]
+    fn snapshot_delete_releases_withheld_blocks() {
+        let (mut disk, mut store, mut vt) = setup();
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        let p = page_of(1);
+        let t = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
+        ObjectStore::wait(&mut vt, t);
+        store
+            .snapshot_create(&mut vt, &mut disk, obj, "old")
+            .unwrap();
+        for i in 0..(DELTA_SLOTS + 2) {
+            let q = page_of(i as u8);
+            let t = store.persist(&mut vt, &mut disk, obj, &[(0, &q)]).unwrap();
+            ObjectStore::wait(&mut vt, t);
+        }
+        assert!(store.withheld_blocks() > 0);
+        let free_before = store.alloc.free_blocks();
+        store.snapshot_delete(&mut vt, &mut disk, "old").unwrap();
+        assert_eq!(store.withheld_blocks(), 0);
+        assert_eq!(store.pinned_blocks(), 0);
+        assert!(store.alloc.free_blocks() > free_before);
+        assert_eq!(
+            store
+                .read_page_at(&mut vt, &mut disk, "old", 0, &mut page_of(0))
+                .unwrap_err(),
+            StoreError::SnapshotNotFound
+        );
+    }
+
+    #[test]
+    fn snapshot_catalog_write_is_crash_atomic() {
+        let (mut disk, mut store, mut vt) = setup();
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        let p = page_of(1);
+        let t = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
+        ObjectStore::wait(&mut vt, t);
+        store
+            .snapshot_create(&mut vt, &mut disk, obj, "s1")
+            .unwrap();
+        let q = page_of(2);
+        let t = store.persist(&mut vt, &mut disk, obj, &[(0, &q)]).unwrap();
+        ObjectStore::wait(&mut vt, t);
+        store
+            .snapshot_create(&mut vt, &mut disk, obj, "s2")
+            .unwrap();
+        disk.settle();
+
+        // Tear the newest catalog slot (seq 1 → slot 1): mount must fall
+        // back to the seq-0 catalog, i.e. exactly the first snapshot.
+        disk.corrupt_bit(crate::layout::SNAP_CATALOG_START + 1, 30, 2);
+        let mut vt2 = Vt::new(1);
+        let store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let names: Vec<String> = store2.snapshots().iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names, vec!["s1".to_string()]);
+    }
+
+    #[test]
+    fn snapshot_name_and_capacity_limits() {
+        let (mut disk, mut store, mut vt) = setup();
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        let p = page_of(1);
+        let t = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
+        ObjectStore::wait(&mut vt, t);
+        assert_eq!(
+            store
+                .snapshot_create(&mut vt, &mut disk, obj, &"x".repeat(NAME_LEN + 1))
+                .unwrap_err(),
+            StoreError::NameTooLong
+        );
+        store.snapshot_create(&mut vt, &mut disk, obj, "a").unwrap();
+        assert_eq!(
+            store
+                .snapshot_create(&mut vt, &mut disk, obj, "a")
+                .unwrap_err(),
+            StoreError::SnapshotExists
+        );
+        for i in 1..MAX_SNAPSHOTS {
+            store
+                .snapshot_create(&mut vt, &mut disk, obj, &format!("a{i}"))
+                .unwrap();
+        }
+        assert_eq!(
+            store
+                .snapshot_create(&mut vt, &mut disk, obj, "overflow")
+                .unwrap_err(),
+            StoreError::TooManySnapshots
+        );
+    }
+
+    #[test]
+    fn snapshot_diff_and_apply_image_replicate_byte_for_byte() {
+        let (mut disk, mut store, mut vt) = setup();
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        let base_pages: Vec<Vec<u8>> = (0..6).map(|i| page_of(0x10 + i as u8)).collect();
+        for (i, p) in base_pages.iter().enumerate() {
+            let t = store
+                .persist(&mut vt, &mut disk, obj, &[(i as u64, p)])
+                .unwrap();
+            ObjectStore::wait(&mut vt, t);
+        }
+        let epoch_a = store.snapshot_create(&mut vt, &mut disk, obj, "a").unwrap();
+        // Change pages 2 and 4, add page 6.
+        for i in [2u64, 4, 6] {
+            let p = page_of(0x80 + i as u8);
+            let t = store.persist(&mut vt, &mut disk, obj, &[(i, &p)]).unwrap();
+            ObjectStore::wait(&mut vt, t);
+        }
+        let epoch_b = store.snapshot_create(&mut vt, &mut disk, obj, "b").unwrap();
+
+        assert_eq!(
+            store.snapshot_diff(Some("a"), "b").unwrap(),
+            vec![2, 4, 6],
+            "diff must report exactly the changed pages"
+        );
+        let full = store.snapshot_diff(None, "a").unwrap();
+        assert_eq!(full, vec![0, 1, 2, 3, 4, 5]);
+
+        // Replica: full-sync to "a", then the incremental delta to "b".
+        let mut rdisk = Disk::new(DiskConfig::paper());
+        let mut replica = ObjectStore::format(&mut rdisk);
+        let robj = replica.create(&mut vt, &mut rdisk, "db").unwrap();
+        let mut buf = page_of(0);
+        let ship = |store: &ObjectStore,
+                    disk: &mut Disk,
+                    replica: &mut ObjectStore,
+                    rdisk: &mut Disk,
+                    vt: &mut Vt,
+                    snap: &str,
+                    pages: &[u64],
+                    epoch| {
+            let mut images = Vec::new();
+            let mut out = page_of(0);
+            for &pg in pages {
+                store.read_page_at(vt, disk, snap, pg, &mut out).unwrap();
+                images.push((pg, out.clone()));
+            }
+            let iov: Vec<(u64, &[u8])> = images.iter().map(|(p, d)| (*p, &d[..])).collect();
+            let t = replica.apply_image(vt, rdisk, robj, &iov, epoch).unwrap();
+            ObjectStore::wait(vt, t);
+        };
+        ship(
+            &store,
+            &mut disk,
+            &mut replica,
+            &mut rdisk,
+            &mut vt,
+            "a",
+            &full,
+            epoch_a,
+        );
+        assert_eq!(replica.epoch(robj), epoch_a);
+        ship(
+            &store,
+            &mut disk,
+            &mut replica,
+            &mut rdisk,
+            &mut vt,
+            "b",
+            &[2, 4, 6],
+            epoch_b,
+        );
+        assert_eq!(replica.epoch(robj), epoch_b);
+        for pg in 0..7u64 {
+            let mut want = page_of(0);
+            store
+                .read_page_at(&mut vt, &mut disk, "b", pg, &mut want)
+                .unwrap();
+            replica
+                .read_page(&mut vt, &mut rdisk, robj, pg, &mut buf)
+                .unwrap();
+            assert_eq!(buf, want, "replica page {pg} diverges");
+        }
+
+        // A stale or equal target epoch is refused.
+        assert_eq!(
+            replica
+                .apply_image(&mut vt, &mut rdisk, robj, &[], epoch_b)
+                .unwrap_err(),
+            StoreError::StaleEpoch
+        );
+    }
+
+    #[test]
+    fn snapshot_diff_rejects_cross_object_pairs() {
+        let (mut disk, mut store, mut vt) = setup();
+        let a = store.create(&mut vt, &mut disk, "a").unwrap();
+        let b = store.create(&mut vt, &mut disk, "b").unwrap();
+        let p = page_of(1);
+        for obj in [a, b] {
+            let t = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
+            ObjectStore::wait(&mut vt, t);
+        }
+        store.snapshot_create(&mut vt, &mut disk, a, "sa").unwrap();
+        store.snapshot_create(&mut vt, &mut disk, b, "sb").unwrap();
+        assert_eq!(
+            store.snapshot_diff(Some("sa"), "sb").unwrap_err(),
+            StoreError::SnapshotMismatch
+        );
+        assert_eq!(
+            store.snapshot_diff(Some("sa"), "nope").unwrap_err(),
+            StoreError::SnapshotNotFound
+        );
     }
 
     #[test]

@@ -219,3 +219,119 @@ fn dropped_commit_write_surfaces_as_a_sticky_abort() {
         assert_eq!(got, Some(val), "key {key} survives the acknowledged retry");
     }
 }
+
+/// Replication invariant: power-failing a delta-stream apply at *every*
+/// IO boundary leaves the replica at exactly the base-snapshot image or
+/// exactly the target-snapshot image — never an epoch in between, never
+/// a mixed page set. The root-record write inside
+/// [`msnap_store::ObjectStore::apply_image`] is the single commit point.
+#[test]
+fn delta_apply_crash_sweep_lands_at_base_or_target_epoch() {
+    use msnap_disk::BLOCK_SIZE;
+    use msnap_snap::{ApplySession, DeltaStream};
+    use msnap_store::ObjectStore;
+
+    // Primary: six pages, snapshot "base", churn three, snapshot "tip".
+    const PAGES: u64 = 6;
+    let mut pdisk = Disk::new(DiskConfig::paper());
+    let mut store = ObjectStore::format(&mut pdisk);
+    let mut vt = Vt::new(0);
+    let obj = store.create(&mut vt, &mut pdisk, "db").unwrap();
+    for p in 0..PAGES {
+        let img = vec![0x30 + p as u8; BLOCK_SIZE];
+        let t = store
+            .persist(&mut vt, &mut pdisk, obj, &[(p, &img[..])])
+            .unwrap();
+        ObjectStore::wait(&mut vt, t);
+    }
+    store
+        .snapshot_create(&mut vt, &mut pdisk, obj, "base")
+        .unwrap();
+    for p in [0u64, 2, 5] {
+        let img = vec![0xC0 + p as u8; BLOCK_SIZE];
+        let t = store
+            .persist(&mut vt, &mut pdisk, obj, &[(p, &img[..])])
+            .unwrap();
+        ObjectStore::wait(&mut vt, t);
+    }
+    store
+        .snapshot_create(&mut vt, &mut pdisk, obj, "tip")
+        .unwrap();
+
+    // Reference images of both retained epochs, page by page.
+    let base_epoch = store.snapshot_lookup("base").unwrap().epoch;
+    let tip_epoch = store.snapshot_lookup("tip").unwrap().epoch;
+    let mut images = std::collections::HashMap::new();
+    for (name, epoch) in [("base", base_epoch), ("tip", tip_epoch)] {
+        let mut pages = Vec::new();
+        for p in 0..PAGES {
+            let mut img = vec![0u8; BLOCK_SIZE];
+            store
+                .read_page_at(&mut vt, &mut pdisk, name, p, &mut img)
+                .unwrap();
+            pages.push(img);
+        }
+        images.insert(epoch, pages);
+    }
+
+    let full_wire = DeltaStream::build(&mut vt, &mut pdisk, &store, None, "base")
+        .unwrap()
+        .encode();
+    let delta_wire = DeltaStream::build(&mut vt, &mut pdisk, &store, Some("base"), "tip")
+        .unwrap()
+        .encode();
+
+    let apply = |vt: &mut Vt, disk: &mut Disk, replica: &mut ObjectStore, wire: &[u8]| {
+        let stream = DeltaStream::decode(wire).unwrap();
+        let mut session = ApplySession::begin(vt, disk, replica, &stream.header).unwrap();
+        for frame in &stream.frames {
+            session.feed(frame).unwrap();
+        }
+        session.finish(vt, disk, replica, &stream.trailer).unwrap();
+    };
+
+    let run = || {
+        let mut vt = Vt::new(7);
+        let mut rdisk = Disk::new(DiskConfig::paper());
+        let mut replica = ObjectStore::format(&mut rdisk);
+        // Land the base image and settle it; the sweep then exercises
+        // crashes during the *delta* apply only.
+        apply(&mut vt, &mut rdisk, &mut replica, &full_wire);
+        rdisk.settle();
+        apply(&mut vt, &mut rdisk, &mut replica, &delta_wire);
+        rdisk
+    };
+
+    let mut reached_target = 0usize;
+    let points = crash_at_every_io(run, |mut disk, at| {
+        let mut vt = Vt::new(9);
+        let mut replica = ObjectStore::open(&mut vt, &mut disk)
+            .unwrap_or_else(|e| panic!("replica unreadable after crash at {at}: {e}"));
+        let robj = replica.lookup("db").expect("settled base image lost");
+        let epoch = replica.epoch(robj);
+        assert!(
+            epoch == base_epoch || epoch == tip_epoch,
+            "crash at {at} left the replica at epoch {epoch}, \
+             expected exactly {base_epoch} (base) or {tip_epoch} (target)"
+        );
+        if epoch == tip_epoch {
+            reached_target += 1;
+        }
+        let want = &images[&epoch];
+        let mut got = vec![0u8; BLOCK_SIZE];
+        for p in 0..PAGES {
+            replica
+                .read_page(&mut vt, &mut disk, robj, p, &mut got)
+                .unwrap();
+            assert_eq!(
+                got, want[p as usize],
+                "page {p} diverges from the epoch-{epoch} image after crash at {at}"
+            );
+        }
+    });
+    assert!(points > 20, "sweep too small to be meaningful: {points}");
+    assert!(
+        reached_target >= 1,
+        "no crash point observed the committed target epoch"
+    );
+}

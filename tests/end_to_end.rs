@@ -232,3 +232,108 @@ fn sls_crash_cycle_two_regions() {
     ms2.read(&mut vt2, space2, b2.addr, &mut buf).unwrap();
     assert_eq!(&buf, b"only-once");
 }
+
+/// Replication acceptance: a replica whose device suffers transient IO
+/// faults mid-apply still catches up to the primary's newest retained
+/// snapshot through delta streams alone — one initial full image, and
+/// every later round an incremental delta, even the rounds whose first
+/// apply attempt was aborted by injected faults. Retention keeps exactly
+/// one shipped base alive on the primary.
+#[test]
+fn faulted_replica_catches_up_with_deltas_alone() {
+    use msnap_disk::{Fault, FaultPlan, BLOCK_SIZE};
+    use msnap_snap::{sync_to, SnapError};
+    use msnap_store::{ObjectStore, StoreError, MAX_IO_ATTEMPTS};
+
+    const PAGES: u64 = 16;
+    const ROUNDS: u64 = 6;
+
+    let mut vt = Vt::new(0);
+    let mut pdisk = Disk::new(DiskConfig::paper());
+    let mut store = ObjectStore::format(&mut pdisk);
+    let obj = store.create(&mut vt, &mut pdisk, "db").unwrap();
+    let mut rdisk = Disk::new(DiskConfig::paper());
+    let mut replica = ObjectStore::format(&mut rdisk);
+
+    let mut full_syncs = 0u64;
+    let mut delta_syncs = 0u64;
+    let mut aborted_applies = 0u64;
+    let mut shipped_base: Option<String> = None;
+    for round in 0..ROUNDS {
+        // Churn a sliding window of pages, then retain the epoch.
+        for k in 0..4u64 {
+            let page = (round * 3 + k) % PAGES;
+            let img = vec![(0x11 * (round + 1)) as u8 ^ page as u8; BLOCK_SIZE];
+            let t = store
+                .persist(&mut vt, &mut pdisk, obj, &[(page, &img[..])])
+                .unwrap();
+            ObjectStore::wait(&mut vt, t);
+        }
+        let name = format!("e{round}");
+        store
+            .snapshot_create(&mut vt, &mut pdisk, obj, &name)
+            .unwrap();
+
+        // Every other round, exhaust the store's internal retry budget
+        // on the replica device so the sync itself fails and must be
+        // re-driven by the replication layer.
+        if round % 2 == 1 {
+            let mut plan = FaultPlan::new();
+            for i in 0..MAX_IO_ATTEMPTS as u64 {
+                plan = plan.at(rdisk.io_seq() + i, Fault::Drop { transient: true });
+            }
+            rdisk.set_fault_plan(plan);
+        }
+
+        let epoch_before = replica.lookup("db").map(|o| replica.epoch(o));
+        let report = loop {
+            match sync_to(&mut vt, &store, &mut pdisk, &mut replica, &mut rdisk, &name) {
+                Ok(r) => break r,
+                Err(SnapError::Store(StoreError::Io(e))) => {
+                    assert!(e.is_transient(), "only transient faults were injected");
+                    // The aborted apply must not have moved the replica:
+                    // the retry below re-ships the *same* delta.
+                    let robj = replica.lookup("db").unwrap();
+                    assert_eq!(Some(replica.epoch(robj)), epoch_before);
+                    aborted_applies += 1;
+                }
+                Err(e) => panic!("unexpected sync failure in round {round}: {e}"),
+            }
+        };
+        if report.full_sync {
+            full_syncs += 1;
+        } else {
+            delta_syncs += 1;
+        }
+
+        // Retire the previously shipped base; `name` is the next base.
+        if let Some(old) = shipped_base.replace(name) {
+            store.snapshot_delete(&mut vt, &mut pdisk, &old).unwrap();
+        }
+    }
+
+    assert_eq!(full_syncs, 1, "only the bootstrap round ships a full image");
+    assert_eq!(delta_syncs, ROUNDS - 1, "every later round is incremental");
+    assert_eq!(
+        aborted_applies,
+        ROUNDS / 2,
+        "each faulted round aborts exactly one apply before the retry lands"
+    );
+
+    // The replica sits at the newest retained epoch, byte-for-byte.
+    let last = format!("e{}", ROUNDS - 1);
+    let tip = store.snapshot_lookup(&last).unwrap();
+    let robj = replica.lookup("db").unwrap();
+    assert_eq!(replica.epoch(robj), tip.epoch);
+    let mut want = vec![0u8; BLOCK_SIZE];
+    let mut got = vec![0u8; BLOCK_SIZE];
+    for page in 0..tip.len_pages {
+        store
+            .read_page_at(&mut vt, &mut pdisk, &last, page, &mut want)
+            .unwrap();
+        replica
+            .read_page(&mut vt, &mut rdisk, robj, page, &mut got)
+            .unwrap();
+        assert_eq!(got, want, "replica page {page} diverges from {last}");
+    }
+}
