@@ -1055,8 +1055,101 @@ impl MemSnap {
     /// shipping layer (`msnap-snap`): building a delta stream reads
     /// retained pages from the store while charging the IO to this
     /// device.
+    ///
+    /// Pure *inspection* — which epochs are committed, what the catalog
+    /// retains — never needs this escape hatch: use
+    /// [`MemSnap::region_epoch`], [`MemSnap::object_epoch`],
+    /// [`MemSnap::retained_snapshots`], or [`MemSnap::store`] instead.
+    /// The `&mut` split borrow is only for paths that actually move
+    /// bytes (building or applying streams).
     pub fn replication_parts(&mut self) -> (&ObjectStore, &mut Disk) {
         (&self.store, &mut self.disk)
+    }
+
+    /// The committed epoch of a region's backing store object —
+    /// read-only; the replication daemon's pacing loop polls this to
+    /// detect new μCheckpoints without borrowing the device.
+    pub fn region_epoch(&self, md: Md) -> Option<Epoch> {
+        let region = self.regions.get(md.0 as usize)?;
+        Some(self.store.epoch(region.store_obj))
+    }
+
+    /// The committed epoch of any store object by directory name — the
+    /// regions, and bookkeeping objects such as the manifest (see
+    /// [`MemSnap::manifest_object_name`]), which replication must ship
+    /// too for a replica to be promotable.
+    pub fn object_epoch(&self, name: &str) -> Option<Epoch> {
+        self.store.lookup(name).map(|id| self.store.epoch(id))
+    }
+
+    /// The store-directory name of a region (what a delta-stream header
+    /// carries), read-only.
+    pub fn region_object_name(&self, md: Md) -> Option<&str> {
+        self.regions.get(md.0 as usize).map(|r| r.name.as_str())
+    }
+
+    /// The store-directory name of the region manifest object. The
+    /// manifest is an ordinary store object holding the region table;
+    /// shipping it alongside the regions is what lets
+    /// [`MemSnap::restore`] bring a replica's disk up as a full
+    /// instance after a promotion.
+    pub fn manifest_object_name(&self) -> &'static str {
+        MANIFEST_NAME
+    }
+
+    /// The retained-snapshot catalog, read-only (name, object, pinned
+    /// epoch, length of every retained snapshot).
+    pub fn retained_snapshots(&self) -> Vec<msnap_store::SnapEntry> {
+        self.store.snapshots()
+    }
+
+    /// Pins the current epoch of **any** store object (by directory
+    /// name) as a named retained snapshot, returning the pinned epoch.
+    /// [`MemSnap::msnap_snapshot`] covers regions; this variant also
+    /// reaches bookkeeping objects — above all the manifest — which a
+    /// replication daemon snapshots and ships so a promoted replica can
+    /// recover the region table.
+    ///
+    /// # Errors
+    ///
+    /// [`MsnapError::BadDescriptor`] for an unknown object, or a
+    /// wrapped [`msnap_store::StoreError`] (duplicate name, catalog
+    /// full, IO).
+    pub fn msnap_snapshot_object(
+        &mut self,
+        vt: &mut Vt,
+        object: &str,
+        name: &str,
+    ) -> Result<Epoch, MsnapError> {
+        vt.charge(Category::Memsnap, SYSCALL_COST);
+        let id = self.store.lookup(object).ok_or(MsnapError::BadDescriptor)?;
+        let epoch = self.store.snapshot_create(vt, &mut self.disk, id, name)?;
+        Ok(epoch)
+    }
+
+    /// Jumps an object's committed epoch forward without changing its
+    /// content (a data-less full commit) — the **promotion fence** of the
+    /// replication layer: a replica promoted to primary fences each
+    /// object past anything the failed primary might have committed, so
+    /// its own epochs can never collide with unacknowledged divergent
+    /// history. Waits for durability before returning.
+    ///
+    /// # Errors
+    ///
+    /// [`MsnapError::BadDescriptor`] for an unknown object, or a wrapped
+    /// [`msnap_store::StoreError::StaleEpoch`] when `epoch` does not move
+    /// forward.
+    pub fn msnap_fence(
+        &mut self,
+        vt: &mut Vt,
+        object: &str,
+        epoch: Epoch,
+    ) -> Result<Epoch, MsnapError> {
+        vt.charge(Category::Memsnap, SYSCALL_COST);
+        let id = self.store.lookup(object).ok_or(MsnapError::BadDescriptor)?;
+        let token = self.store.fence_epoch(vt, &mut self.disk, id, epoch)?;
+        ObjectStore::wait(vt, token);
+        Ok(token.epoch)
     }
 
     /// Maps the named retained snapshot read-only at a fresh fixed
@@ -1947,5 +2040,98 @@ mod tests {
         ms.msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
             .unwrap();
         assert_eq!(ms.meters().get("msnap_persist").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn inspection_api_reads_epochs_and_catalog_without_mut() {
+        let (mut ms, mut vt, space) = fresh();
+        let t = vt.id();
+        let r = ms.msnap_open(&mut vt, space, "data", 4).unwrap();
+        assert_eq!(ms.region_epoch(r.md), Some(0));
+        assert_eq!(ms.region_object_name(r.md), Some("data"));
+        assert_eq!(ms.region_epoch(Md(9)), None);
+        assert_eq!(ms.region_object_name(Md(9)), None);
+
+        ms.write(&mut vt, space, t, r.addr, b"v1").unwrap();
+        let epoch = ms
+            .msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+            .unwrap();
+        assert_eq!(ms.region_epoch(r.md), Some(epoch));
+        assert_eq!(ms.object_epoch("data"), Some(epoch));
+        assert_eq!(ms.object_epoch("nope"), None);
+        // The manifest is an ordinary object, visible by name: opening
+        // the region committed a manifest update.
+        let manifest = ms.manifest_object_name().to_string();
+        assert!(ms.object_epoch(&manifest).unwrap() > 0);
+
+        // Snapshot the region and the manifest; both land in the
+        // read-only catalog view.
+        let pinned = ms.msnap_snapshot(&mut vt, r.md, "r1").unwrap();
+        ms.msnap_snapshot_object(&mut vt, &manifest, "m1").unwrap();
+        let snaps = ms.retained_snapshots();
+        assert_eq!(snaps.len(), 2);
+        let r1 = snaps.iter().find(|s| s.name == "r1").unwrap();
+        assert_eq!(r1.epoch, pinned);
+        assert!(snaps.iter().any(|s| s.name == "m1"));
+        assert_eq!(
+            ms.msnap_snapshot_object(&mut vt, "nope", "x").unwrap_err(),
+            MsnapError::BadDescriptor
+        );
+    }
+
+    #[test]
+    fn snapshot_view_survives_rollback_past_its_epoch() {
+        let (mut ms, mut vt, space) = fresh();
+        let t = vt.id();
+        let r = ms.msnap_open(&mut vt, space, "data", 4).unwrap();
+
+        // Epoch 1: a distinctive full-region image, pinned as "mid".
+        let mut image = vec![0u8; 4 * PAGE_SIZE];
+        for (i, b) in image.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        ms.write(&mut vt, space, t, r.addr, &image).unwrap();
+        ms.msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+            .unwrap();
+        ms.msnap_snapshot(&mut vt, r.md, "early").unwrap();
+        ms.write(&mut vt, space, t, r.addr, b"midway-state")
+            .unwrap();
+        ms.msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+            .unwrap();
+        let mid_epoch = ms.msnap_snapshot(&mut vt, r.md, "mid").unwrap();
+
+        // More traffic past "mid", then open a view of it...
+        ms.write(&mut vt, space, t, r.addr, b"later-state").unwrap();
+        ms.msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+            .unwrap();
+        let view = ms.msnap_open_at(&mut vt, space, "mid").unwrap();
+        assert_eq!(view.epoch, mid_epoch);
+        let mut expect = image.clone();
+        expect[..12].copy_from_slice(b"midway-state");
+        let mut before = vec![0u8; 4 * PAGE_SIZE];
+        ms.read(&mut vt, space, view.addr, &mut before).unwrap();
+        assert_eq!(before, expect);
+
+        // ...and roll the live region back PAST the view's epoch, to
+        // "early". The rollback commits a new epoch above everything.
+        let rolled = ms.msnap_rollback(&mut vt, space, t, "early").unwrap();
+        assert!(rolled > mid_epoch);
+        let mut live = vec![0u8; 4 * PAGE_SIZE];
+        ms.read(&mut vt, space, r.addr, &mut live).unwrap();
+        assert_eq!(live, image, "live region equals the early image");
+
+        // The open view still serves the pinned mid image byte-for-byte:
+        // the mapping was populated from pinned blocks the rollback
+        // cannot recycle.
+        let mut after = vec![0u8; 4 * PAGE_SIZE];
+        ms.read(&mut vt, space, view.addr, &mut after).unwrap();
+        assert_eq!(after, expect, "view is byte-for-byte stable");
+
+        // A fresh view of "mid" opened after the rollback agrees too.
+        let view2 = ms.msnap_open_at(&mut vt, space, "mid").unwrap();
+        let mut fresh_view = vec![0u8; 4 * PAGE_SIZE];
+        ms.read(&mut vt, space, view2.addr, &mut fresh_view)
+            .unwrap();
+        assert_eq!(fresh_view, expect);
     }
 }

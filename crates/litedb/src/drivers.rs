@@ -518,8 +518,8 @@ pub fn run_online_backup(cfg: &OnlineBackupConfig) -> OnlineBackupReport {
         } else {
             report.delta_syncs += 1;
             report.delta_pages += sync.pages;
-            let (store, _) = ms.replication_parts();
-            report.full_equivalent_pages += store
+            report.full_equivalent_pages += ms
+                .store()
                 .snapshot_diff(None, &name)
                 .expect("the snapshot is retained")
                 .len() as u64;
@@ -555,6 +555,188 @@ pub fn run_online_backup(cfg: &OnlineBackupConfig) -> OnlineBackupReport {
             want == got
         }) && replica.epoch(robj) == entry.epoch;
     }
+    report
+}
+
+/// Parameters of the replication driver ([`run_replicated`]).
+#[derive(Debug, Clone)]
+pub struct ReplicatedConfig {
+    /// Write transactions to run on the primary.
+    pub txns: u64,
+    /// Keys written per transaction.
+    pub keys_per_txn: u64,
+    /// Replicas attached to the primary.
+    pub replicas: usize,
+    /// Network model of each replica link (seeds offset per replica).
+    pub net: msnap_sim::NetConfig,
+    /// Replication engine tuning.
+    pub repl: msnap_repl::ReplConfig,
+}
+
+/// Results of one [`run_replicated`] run.
+#[derive(Debug, Clone)]
+pub struct ReplicatedReport {
+    /// Transactions committed on the primary.
+    pub txns: u64,
+    /// Ingest stalls forced by the lag budget (flow control).
+    pub throttle_stalls: u64,
+    /// Worst epoch lag observed on any link.
+    pub max_lag_epochs: u64,
+    /// Wire bytes sent down all links (retransmissions included).
+    pub bytes_shipped: u64,
+    /// Full-image ships across all links.
+    pub full_syncs: u64,
+    /// Incremental delta ships across all links.
+    pub delta_syncs: u64,
+    /// Whether every primary read observed the transaction it had just
+    /// committed, without waiting for replication (read-your-writes).
+    pub read_your_writes: bool,
+    /// Whether every replica's final image matches the primary byte for
+    /// byte.
+    pub replicas_consistent: bool,
+    /// Virtual wall-clock time of the whole run.
+    pub wall: Nanos,
+}
+
+/// Downcasts a [`LiteDb`]'s backend to the primary [`memsnap::MemSnap`].
+fn memsnap_of(db: &mut LiteDb) -> &mut memsnap::MemSnap {
+    db.backend_mut()
+        .as_any_mut()
+        .and_then(|a| a.downcast_mut::<MemSnapBackend>())
+        .expect("the replication driver runs on the MemSnap backend")
+        .memsnap_mut()
+}
+
+/// The replicated-LiteDB experiment: a primary commits write
+/// transactions while a [`msnap_repl::ReplEngine`] continuously ships
+/// its committed epochs to N replicas over simulated links. The primary
+/// serves read-your-writes (reads never wait for replication); replicas
+/// serve bounded-staleness reads — the lag budget in
+/// [`ReplicatedConfig::repl`] caps how stale, by stalling ingest when a
+/// link falls too far behind. The run ends with a settle and a
+/// byte-for-byte comparison of every replica against the primary.
+pub fn run_replicated(cfg: &ReplicatedConfig) -> ReplicatedReport {
+    let mut vt = Vt::new(0);
+    let backend = MemSnapBackend::format_with_capacity(
+        Disk::new(DiskConfig::paper()),
+        "replicated.db",
+        1 << 14,
+        &mut vt,
+    );
+    let mut db = LiteDb::new(Box::new(backend), &mut vt);
+    let table = db.create_table(&mut vt, "kv");
+    let thread = vt.id();
+
+    let mut eng = msnap_repl::ReplEngine::new(cfg.repl);
+    let names: Vec<String> = (0..cfg.replicas).map(|i| format!("replica{i}")).collect();
+    for (i, name) in names.iter().enumerate() {
+        let net = msnap_sim::NetConfig {
+            seed: cfg.net.seed.wrapping_add(i as u64),
+            ..cfg.net
+        };
+        eng.add_replica(name, net).expect("replica names are fresh");
+    }
+    // Bootstrap: replicas must finish their initial full sync before the
+    // primary takes writes, else the lag budget cannot bound staleness
+    // (an unattached link is exempt from flow control).
+    eng.settle(&mut vt, memsnap_of(&mut db), Nanos::from_secs(120))
+        .expect("the replication workload runs without fault injection");
+
+    let mut report = ReplicatedReport {
+        txns: 0,
+        throttle_stalls: 0,
+        max_lag_epochs: 0,
+        bytes_shipped: 0,
+        full_syncs: 0,
+        delta_syncs: 0,
+        read_your_writes: true,
+        replicas_consistent: false,
+        wall: Nanos::ZERO,
+    };
+    for txn in 0..cfg.txns {
+        db.begin(&mut vt, thread);
+        let mut last_key = 0;
+        for k in 0..cfg.keys_per_txn {
+            let key = txn * cfg.keys_per_txn + k;
+            db.put(&mut vt, thread, table, key, &WriteBatch::value_for(key));
+            last_key = key;
+        }
+        db.commit(&mut vt, thread)
+            .expect("the replication workload runs without fault injection");
+        report.txns += 1;
+        // The primary answers from its own committed state immediately —
+        // replication lag never delays read-your-writes.
+        report.read_your_writes &= db.get(&mut vt, table, last_key).as_deref()
+            == Some(&WriteBatch::value_for(last_key)[..]);
+
+        let mut tick = eng
+            .tick(&mut vt, memsnap_of(&mut db))
+            .expect("the replication workload runs without fault injection");
+        for name in &names {
+            let lag = eng.link_metrics(name).expect("link exists").lag_epochs;
+            report.max_lag_epochs = report.max_lag_epochs.max(lag);
+        }
+        // Lag-driven flow control: over budget, the ingest path stalls
+        // (bounding replica staleness) until acks drain the backlog.
+        while tick.throttled {
+            report.throttle_stalls += 1;
+            vt.advance(cfg.repl.retransmit_timeout / 2);
+            tick = eng
+                .tick(&mut vt, memsnap_of(&mut db))
+                .expect("the replication workload runs without fault injection");
+        }
+    }
+    let settled = eng
+        .settle(&mut vt, memsnap_of(&mut db), Nanos::from_secs(120))
+        .expect("the replication workload runs without fault injection");
+    for name in &names {
+        let (down, _up) = eng.link_net_stats(name).expect("link exists");
+        report.bytes_shipped += down.bytes_sent;
+        let m = eng.link_metrics(name).expect("link exists");
+        report.full_syncs += m.full_syncs;
+        report.delta_syncs += m.delta_syncs;
+    }
+
+    // Byte-for-byte verification of every replica against the primary's
+    // final committed image.
+    let ms = memsnap_of(&mut db);
+    let md = ms.region("replicated.db").expect("the region exists");
+    let object = ms
+        .region_object_name(md)
+        .expect("the region exists")
+        .to_string();
+    let live = ms.object_epoch(&object).expect("the object exists");
+    ms.msnap_snapshot_object(&mut vt, &object, "rfinal")
+        .expect("the replication workload runs without fault injection");
+    let pages = ms
+        .store()
+        .snapshot_diff(None, "rfinal")
+        .expect("the snapshot is retained");
+    let mut consistent = settled;
+    for name in &names {
+        consistent &= eng.replica(name).expect("replica exists").epoch(&object) == live;
+        let mut want = vec![0u8; 4096];
+        let mut got = vec![0u8; 4096];
+        for &page in &pages {
+            {
+                let ms = memsnap_of(&mut db);
+                let (store, pdisk) = ms.replication_parts();
+                store
+                    .read_page_at(&mut vt, pdisk, "rfinal", page, &mut want)
+                    .expect("the snapshot is retained");
+            }
+            eng.replica_mut(name)
+                .expect("replica exists")
+                .read_page(&object, page, &mut got)
+                .expect("the replica was synced");
+            consistent &= want == got;
+        }
+    }
+    memsnap_of(&mut db)
+        .msnap_snapshot_delete(&mut vt, "rfinal")
+        .expect("the snapshot is retained");
+    report.replicas_consistent = consistent;
+    report.wall = vt.now();
     report
 }
 
@@ -699,6 +881,51 @@ mod tests {
             report.delta_pages,
             report.full_equivalent_pages
         );
+    }
+
+    #[test]
+    fn replicated_primary_serves_rw_and_replicas_converge() {
+        let report = run_replicated(&ReplicatedConfig {
+            txns: 12,
+            keys_per_txn: 4,
+            replicas: 2,
+            net: msnap_sim::NetConfig::calm(11),
+            repl: msnap_repl::ReplConfig::default(),
+        });
+        assert_eq!(report.txns, 12);
+        assert!(
+            report.read_your_writes,
+            "primary reads never wait on the links"
+        );
+        assert!(
+            report.replicas_consistent,
+            "replicas must converge to the primary"
+        );
+        assert!(
+            report.delta_syncs > 0,
+            "steady state ships deltas, not images"
+        );
+        assert!(report.bytes_shipped > 0);
+    }
+
+    #[test]
+    fn replicated_lossy_link_throttles_ingest() {
+        let report = run_replicated(&ReplicatedConfig {
+            txns: 16,
+            keys_per_txn: 8,
+            replicas: 1,
+            net: msnap_sim::NetConfig::lossy(5),
+            repl: msnap_repl::ReplConfig {
+                max_lag_epochs: 2,
+                ..Default::default()
+            },
+        });
+        assert!(
+            report.throttle_stalls > 0,
+            "a lossy link must trip flow control"
+        );
+        assert!(report.replicas_consistent);
+        assert!(report.read_your_writes);
     }
 
     #[test]

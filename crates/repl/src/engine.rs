@@ -1,0 +1,1450 @@
+//! The replication engine: primary-side shipping daemon and replica
+//! state machines over simulated lossy links.
+//!
+//! See the [crate docs](crate) for the protocol and failover design.
+
+use std::collections::BTreeMap;
+
+use memsnap::{MemSnap, MsnapError};
+use msnap_disk::{Disk, DiskConfig};
+use msnap_sim::{Meters, Nanos, NetConfig, SimLink, Vt};
+use msnap_snap::{ApplySession, DeltaStream, SnapError};
+use msnap_store::{Epoch, ObjectStore, StoreError};
+
+use crate::proto::{Msg, ObjectStatus};
+
+/// Tuning knobs of one [`ReplEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplConfig {
+    /// Epoch lag (primary live epoch − replica durable epoch) beyond
+    /// which a link counts as throttled: [`TickReport::throttled`] tells
+    /// the ingest path to stall until replicas catch up.
+    pub max_lag_epochs: u64,
+    /// Unacknowledged wire bytes in flight per link beyond which the
+    /// link counts as throttled and no new ship starts.
+    pub max_lag_bytes: u64,
+    /// Epoch lag beyond which the primary stops retaining a lagging
+    /// link's delta base (bounding retention cost); the link's next
+    /// catch-up then ships the full image.
+    pub drop_base_lag: u64,
+    /// Virtual time without acknowledgement progress before a ship's
+    /// datagrams are retransmitted from the last known resume point.
+    pub retransmit_timeout: Nanos,
+    /// Retained applied-epoch snapshots a replica keeps per object —
+    /// the candidate rebase bases a promoted replica can diff a
+    /// rejoining old primary from.
+    pub keep_applied: usize,
+    /// Epoch gap a promotion fence jumps, so a new primary's epochs
+    /// stay disjoint from the failed primary's unacknowledged history.
+    pub fence_gap: u64,
+}
+
+impl Default for ReplConfig {
+    fn default() -> Self {
+        ReplConfig {
+            max_lag_epochs: 8,
+            max_lag_bytes: 1 << 20,
+            drop_base_lag: 64,
+            retransmit_timeout: Nanos::from_ms(20),
+            keep_applied: 2,
+            fence_gap: 16,
+        }
+    }
+}
+
+/// Errors raised by the replication engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReplError {
+    /// No replica with the given name is attached.
+    UnknownReplica,
+    /// A replica with the given name is already attached.
+    DuplicateReplica,
+    /// An error surfaced by the primary's MemSnap instance.
+    Msnap(MsnapError),
+    /// An error surfaced by an object store (primary or replica side).
+    Store(StoreError),
+    /// An error surfaced by the delta-stream layer.
+    Snap(SnapError),
+}
+
+impl std::fmt::Display for ReplError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplError::UnknownReplica => f.write_str("unknown replica"),
+            ReplError::DuplicateReplica => f.write_str("replica name already attached"),
+            ReplError::Msnap(e) => write!(f, "memsnap: {e}"),
+            ReplError::Store(e) => write!(f, "object store: {e}"),
+            ReplError::Snap(e) => write!(f, "delta stream: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplError::Msnap(e) => Some(e),
+            ReplError::Store(e) => Some(e),
+            ReplError::Snap(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MsnapError> for ReplError {
+    fn from(e: MsnapError) -> Self {
+        ReplError::Msnap(e)
+    }
+}
+impl From<StoreError> for ReplError {
+    fn from(e: StoreError) -> Self {
+        ReplError::Store(e)
+    }
+}
+impl From<SnapError> for ReplError {
+    fn from(e: SnapError) -> Self {
+        ReplError::Snap(e)
+    }
+}
+
+/// Where a replica stands in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaState {
+    /// No stream has landed yet; the replica holds no usable image.
+    Bootstrapping,
+    /// Applying deltas in step with the primary.
+    Streaming,
+    /// Continuity was lost (full-image fallback or rebase in progress);
+    /// the replica is healing and returns to `Streaming` on the next
+    /// successful apply.
+    Degraded,
+    /// Promoted to primary by [`ReplEngine::promote`].
+    Promoted,
+}
+
+/// Per-link counters the engine maintains (all deterministic for a
+/// fixed seed).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LinkMetrics {
+    /// Epoch lag (primary live − replica durable), worst object, as of
+    /// the last tick.
+    pub lag_epochs: u64,
+    /// Unacknowledged wire bytes in flight as of the last tick.
+    pub lag_bytes: u64,
+    /// Acknowledged ships.
+    pub acks: u64,
+    /// Frames retransmitted (Nak- and timeout-driven).
+    pub retransmit_frames: u64,
+    /// Ships that had to carry the full image (no usable delta base).
+    pub full_syncs: u64,
+    /// Ships that carried an incremental delta.
+    pub delta_syncs: u64,
+    /// Datagrams dropped by the receiver as malformed.
+    pub malformed: u64,
+    /// Ticks this link spent over its lag budget.
+    pub throttled_ticks: u64,
+}
+
+/// What one [`ReplEngine::tick`] did.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TickReport {
+    /// Some link is over its epoch or byte budget: the ingest path
+    /// should stall before committing more (lag-driven flow control).
+    pub throttled: bool,
+    /// Every attached link is fully acknowledged with nothing in
+    /// flight.
+    pub caught_up: bool,
+    /// Acknowledgements processed this tick.
+    pub acks: u64,
+    /// Ships started this tick.
+    pub ships_started: u64,
+    /// Promotion fences issued this tick (a divergent peer re-attached
+    /// at or past the primary's epoch).
+    pub fences: u64,
+}
+
+/// The outcome of [`ReplEngine::promote`]: everything needed to bring
+/// the chosen replica up as the new primary and to re-attach the
+/// survivors to a fresh engine around it.
+pub struct Promotion {
+    /// Name of the promoted replica.
+    pub replica: String,
+    /// The promoted replica's device, every object already fenced
+    /// [`ReplConfig::fence_gap`] epochs past its durable tip. Boot the
+    /// new primary from it (`MemSnap::restore`, `MemSnapKv::restore`,
+    /// …).
+    pub disk: Disk,
+    /// The promoted node's virtual clock, carried forward so failover
+    /// latency is measurable end to end.
+    pub vt: Vt,
+    /// Fenced epoch per object.
+    pub epochs: BTreeMap<String, Epoch>,
+    /// The surviving replicas' devices, for re-attachment.
+    pub survivors: Vec<(String, Disk)>,
+}
+
+/// One replica "machine": its own virtual clock, device, object store,
+/// in-progress apply sessions, and lifecycle state.
+pub struct ReplicaNode {
+    name: String,
+    vt: Vt,
+    disk: Disk,
+    store: ObjectStore,
+    state: ReplicaState,
+    /// In-progress apply sessions keyed by ship id, with the object
+    /// name each updates.
+    sessions: BTreeMap<u64, (String, ApplySession)>,
+    /// Recently finished ships, so a retransmitted `End` whose `Ack`
+    /// was lost re-acknowledges instead of re-applying.
+    completed: BTreeMap<u64, (String, Epoch)>,
+    /// Retained applied-epoch snapshot names per object, oldest first.
+    applied: BTreeMap<String, Vec<String>>,
+    bootstrapped: bool,
+}
+
+/// Ships the replica remembers as finished; older entries are pruned.
+const COMPLETED_KEEP: usize = 64;
+
+impl ReplicaNode {
+    fn format(name: &str, vt_id: u32) -> ReplicaNode {
+        let mut disk = Disk::new(DiskConfig::paper());
+        let store = ObjectStore::format(&mut disk);
+        ReplicaNode::with_store(name, vt_id, disk, store, false)
+    }
+
+    fn attach(name: &str, vt_id: u32, mut disk: Disk) -> Result<ReplicaNode, ReplError> {
+        let mut vt = Vt::new(vt_id);
+        let store = ObjectStore::open(&mut vt, &mut disk)?;
+        let mut node = ReplicaNode::with_store(name, vt_id, disk, store, true);
+        node.vt = vt;
+        Ok(node)
+    }
+
+    fn with_store(
+        name: &str,
+        vt_id: u32,
+        disk: Disk,
+        store: ObjectStore,
+        bootstrapped: bool,
+    ) -> ReplicaNode {
+        ReplicaNode {
+            name: name.to_string(),
+            vt: Vt::new(vt_id),
+            disk,
+            store,
+            state: ReplicaState::Bootstrapping,
+            sessions: BTreeMap::new(),
+            completed: BTreeMap::new(),
+            applied: BTreeMap::new(),
+            bootstrapped,
+        }
+    }
+
+    /// The replica's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The replica's lifecycle state.
+    pub fn state(&self) -> ReplicaState {
+        self.state
+    }
+
+    /// The replica's committed epoch for an object (0 when the object
+    /// has not reached it yet).
+    pub fn epoch(&self, object: &str) -> Epoch {
+        self.store
+            .lookup(object)
+            .map_or(0, |id| self.store.epoch(id))
+    }
+
+    /// The replica's virtual clock.
+    pub fn now(&self) -> Nanos {
+        self.vt.now()
+    }
+
+    /// Reads one page of an object from the replica's store — a
+    /// bounded-staleness read served locally.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplError::Store`] for an unknown object or out-of-range page.
+    pub fn read_page(&mut self, object: &str, page: u64, out: &mut [u8]) -> Result<(), ReplError> {
+        let id = self.store.lookup(object).ok_or(StoreError::NotFound)?;
+        self.store
+            .read_page(&mut self.vt, &mut self.disk, id, page, out)?;
+        Ok(())
+    }
+
+    /// The replica's full durable status, as a `Hello` reports it.
+    fn status(&self) -> Vec<ObjectStatus> {
+        let mut objects = Vec::new();
+        for name in self.store.object_names() {
+            let Some(id) = self.store.lookup(&name) else {
+                continue;
+            };
+            let mut retained: Vec<Epoch> = self
+                .store
+                .snapshots()
+                .into_iter()
+                .filter(|s| s.object == id)
+                .map(|s| s.epoch)
+                .collect();
+            retained.sort_unstable();
+            objects.push(ObjectStatus {
+                name: name.clone(),
+                epoch: self.store.epoch(id),
+                retained,
+            });
+        }
+        objects
+    }
+
+    fn hello(&self) -> Msg {
+        Msg::Hello {
+            objects: self.status(),
+        }
+    }
+
+    /// Pins the just-applied epoch as a retained snapshot and prunes the
+    /// per-object window to `keep` — these are the rebase bases a
+    /// promoted replica diffs a rejoining primary from. Best effort: a
+    /// full catalog only costs the delta-only rejoin optimization.
+    fn retain_applied(&mut self, object: &str, epoch: Epoch, keep: usize) {
+        let Some(id) = self.store.lookup(object) else {
+            return;
+        };
+        let name = format!("rk-{epoch}-{object}");
+        if self
+            .store
+            .snapshot_create(&mut self.vt, &mut self.disk, id, &name)
+            .is_err()
+        {
+            return;
+        }
+        let window = self.applied.entry(object.to_string()).or_default();
+        window.push(name);
+        while window.len() > keep {
+            let old = window.remove(0);
+            let _ = self
+                .store
+                .snapshot_delete(&mut self.vt, &mut self.disk, &old);
+        }
+    }
+
+    /// Processes one datagram at the replica, returning the replies to
+    /// send up the link.
+    fn handle(&mut self, msg: Msg, cfg: &ReplConfig) -> Vec<Msg> {
+        match msg {
+            Msg::Begin { ship, header } => {
+                if self.sessions.contains_key(&ship) {
+                    return Vec::new(); // duplicate Begin; session already open
+                }
+                if let Some((object, epoch)) = self.completed.get(&ship) {
+                    return vec![Msg::Ack {
+                        ship,
+                        object: object.clone(),
+                        epoch: *epoch,
+                    }];
+                }
+                match ApplySession::begin(&mut self.vt, &mut self.disk, &mut self.store, &header) {
+                    Ok(session) => {
+                        // Losing delta continuity (full-image fallback)
+                        // or abandoning divergent history (rebase) is
+                        // the degraded path until the apply lands.
+                        if self.bootstrapped && (header.base_epoch.is_none() || session.is_rebase())
+                        {
+                            self.state = ReplicaState::Degraded;
+                        }
+                        self.sessions.insert(ship, (header.object.clone(), session));
+                        Vec::new()
+                    }
+                    Err(SnapError::AlreadyCurrent) => {
+                        let epoch = self.epoch(&header.object);
+                        vec![Msg::Ack {
+                            ship,
+                            object: header.object,
+                            epoch,
+                        }]
+                    }
+                    // Base mismatch or store trouble: report full status
+                    // so the primary re-plans (full image or rebase).
+                    Err(_) => {
+                        self.state = ReplicaState::Degraded;
+                        vec![self.hello()]
+                    }
+                }
+            }
+            Msg::Frame { ship, frame } => {
+                let Some((_, session)) = self.sessions.get_mut(&ship) else {
+                    return match self.completed.get(&ship) {
+                        Some((object, epoch)) => vec![Msg::Ack {
+                            ship,
+                            object: object.clone(),
+                            epoch: *epoch,
+                        }],
+                        // Frames for a ship we never saw begin: the
+                        // Begin was dropped — ask for everything.
+                        None => vec![Msg::Nak { ship, next_seq: 0 }],
+                    };
+                };
+                match session.feed(&frame) {
+                    Ok(()) => Vec::new(),
+                    // A stale duplicate (retransmit overlap): ignore.
+                    Err(SnapError::SequenceGap { expected, got }) if got < expected => Vec::new(),
+                    // A gap: frames were dropped; resume from the hole.
+                    Err(SnapError::SequenceGap { expected, .. }) => vec![Msg::Nak {
+                        ship,
+                        next_seq: expected,
+                    }],
+                    Err(SnapError::FrameCorrupt { .. }) => {
+                        let next_seq = session.next_seq();
+                        vec![Msg::Nak { ship, next_seq }]
+                    }
+                    Err(_) => Vec::new(),
+                }
+            }
+            Msg::End { ship, trailer } => {
+                if let Some((object, epoch)) = self.completed.get(&ship) {
+                    return vec![Msg::Ack {
+                        ship,
+                        object: object.clone(),
+                        epoch: *epoch,
+                    }];
+                }
+                let Some((_, session)) = self.sessions.get(&ship) else {
+                    return vec![Msg::Nak { ship, next_seq: 0 }];
+                };
+                if session.next_seq() < trailer.frames {
+                    let next_seq = session.next_seq();
+                    return vec![Msg::Nak { ship, next_seq }];
+                }
+                let (object, session) = self
+                    .sessions
+                    .remove(&ship)
+                    .expect("session presence was just checked");
+                match session.finish(&mut self.vt, &mut self.disk, &mut self.store, &trailer) {
+                    Ok(token) => {
+                        ObjectStore::wait(&mut self.vt, token);
+                        self.bootstrapped = true;
+                        self.state = ReplicaState::Streaming;
+                        self.retain_applied(&object, token.epoch, cfg.keep_applied);
+                        self.completed.insert(ship, (object.clone(), token.epoch));
+                        while self.completed.len() > COMPLETED_KEEP {
+                            let oldest = *self
+                                .completed
+                                .keys()
+                                .next()
+                                .expect("completed is non-empty");
+                            self.completed.remove(&oldest);
+                        }
+                        vec![Msg::Ack {
+                            ship,
+                            object,
+                            epoch: token.epoch,
+                        }]
+                    }
+                    Err(_) => {
+                        self.state = ReplicaState::Degraded;
+                        vec![self.hello()]
+                    }
+                }
+            }
+            // Hello / Ack / Nak never travel down the link.
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// One delta stream in flight on a link.
+#[derive(Debug)]
+struct Ship {
+    id: u64,
+    target_snap: String,
+    target_epoch: Epoch,
+    stream: DeltaStream,
+    /// Primary instant the target snapshot was pinned — the zero point
+    /// of the ship's acknowledgement-lag measurement.
+    created_at: Nanos,
+    last_send: Nanos,
+    /// Resume point requested by the latest `Nak`, if any.
+    resend_from: Option<u64>,
+}
+
+impl Ship {
+    fn wire_bytes(&self) -> u64 {
+        self.stream.encoded_len() as u64
+    }
+}
+
+/// Primary-side shipping state for one (link, object) pair.
+#[derive(Debug, Default)]
+struct ObjShip {
+    /// The replica's durable epoch for the object, as last reported.
+    remote: Epoch,
+    /// Epochs the replica retains as snapshots (rebase candidates).
+    retained_remote: Vec<Epoch>,
+    /// The retained primary snapshot chain base: name and epoch of the
+    /// last shipped-and-acknowledged target.
+    base: Option<(String, Epoch)>,
+    inflight: Option<Ship>,
+    /// Content provenance of the replica's epoch is unknown (it just
+    /// re-attached): never trust a numeric epoch match against the
+    /// primary's own history; diff only from an epoch both sides
+    /// retain, or ship the full image. Cleared by the first ack.
+    divergent: bool,
+}
+
+/// One attached replica: both link directions, the node itself, and the
+/// per-object shipping state.
+struct Link {
+    name: String,
+    /// Primary → replica.
+    down: SimLink,
+    /// Replica → primary.
+    up: SimLink,
+    node: Option<ReplicaNode>,
+    ships: BTreeMap<String, ObjShip>,
+    /// A `Hello` has arrived; shipping may start.
+    known: bool,
+    /// When the replica last announced itself (primary clock) — a lossy
+    /// link may eat the Hello, so it is re-sent until heard.
+    last_hello: Nanos,
+    meters: Meters,
+    metrics: LinkMetrics,
+}
+
+/// A snapshot the engine created on the primary, shared by every link
+/// that needs it and garbage-collected when none does.
+#[derive(Debug, Clone)]
+struct OwnedSnap {
+    name: String,
+    object: String,
+    epoch: Epoch,
+}
+
+/// The replication engine. Owns every replica node and both directions
+/// of every link; borrows the primary per [`ReplEngine::tick`].
+pub struct ReplEngine {
+    cfg: ReplConfig,
+    links: Vec<Link>,
+    owned: Vec<OwnedSnap>,
+    next_ship: u64,
+    next_snap: u64,
+    next_vtid: u32,
+}
+
+impl ReplEngine {
+    /// Creates an engine with no replicas attached.
+    pub fn new(cfg: ReplConfig) -> ReplEngine {
+        ReplEngine {
+            cfg,
+            links: Vec::new(),
+            owned: Vec::new(),
+            next_ship: 1,
+            next_snap: 0,
+            next_vtid: 1000,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ReplConfig {
+        &self.cfg
+    }
+
+    /// Attaches a fresh, empty replica over a link with the given
+    /// network model (the reverse direction derives its seed from
+    /// `net.seed`). The replica announces itself with a `Hello`; its
+    /// first catch-up ships the full image.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplError::DuplicateReplica`] if the name is taken.
+    pub fn add_replica(&mut self, name: &str, net: NetConfig) -> Result<(), ReplError> {
+        let node = ReplicaNode::format(name, self.next_vtid);
+        self.attach_node(name, net, node)
+    }
+
+    /// Re-attaches a replica from an existing device — a survivor after
+    /// a promotion, or a failed old primary rejoining the cluster. Its
+    /// `Hello` reports the durable epoch and every retained snapshot,
+    /// and the primary diffs it forward from a commonly retained base
+    /// (or fences first, if the device's history runs past the
+    /// primary's own epoch).
+    ///
+    /// # Errors
+    ///
+    /// [`ReplError::DuplicateReplica`] for a taken name,
+    /// [`ReplError::Store`] if the device holds no object store.
+    pub fn attach_replica(
+        &mut self,
+        name: &str,
+        net: NetConfig,
+        disk: Disk,
+    ) -> Result<(), ReplError> {
+        let node = ReplicaNode::attach(name, self.next_vtid, disk)?;
+        self.attach_node(name, net, node)
+    }
+
+    fn attach_node(
+        &mut self,
+        name: &str,
+        net: NetConfig,
+        node: ReplicaNode,
+    ) -> Result<(), ReplError> {
+        if self.links.iter().any(|l| l.name == name) {
+            return Err(ReplError::DuplicateReplica);
+        }
+        self.next_vtid += 1;
+        let up_cfg = NetConfig {
+            seed: net.seed ^ 0x5EED_0F7E,
+            ..net
+        };
+        let mut up = SimLink::new(up_cfg);
+        // The replica announces itself; the primary hears the Hello one
+        // network latency later and starts shipping.
+        let node_now = node.vt.now();
+        up.send(node_now, node.hello().encode());
+        self.links.push(Link {
+            name: name.to_string(),
+            down: SimLink::new(net),
+            up,
+            node: Some(node),
+            ships: BTreeMap::new(),
+            known: false,
+            last_hello: node_now,
+            meters: Meters::new(),
+            metrics: LinkMetrics::default(),
+        });
+        Ok(())
+    }
+
+    /// Partitions or heals both directions of a replica's link.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplError::UnknownReplica`].
+    pub fn set_partitioned(&mut self, name: &str, partitioned: bool) -> Result<(), ReplError> {
+        let link = self
+            .links
+            .iter_mut()
+            .find(|l| l.name == name)
+            .ok_or(ReplError::UnknownReplica)?;
+        link.down.set_partitioned(partitioned);
+        link.up.set_partitioned(partitioned);
+        Ok(())
+    }
+
+    /// Read access to an attached replica node.
+    pub fn replica(&self, name: &str) -> Option<&ReplicaNode> {
+        self.links
+            .iter()
+            .find(|l| l.name == name)
+            .and_then(|l| l.node.as_ref())
+    }
+
+    /// Mutable access to an attached replica node (local reads).
+    pub fn replica_mut(&mut self, name: &str) -> Option<&mut ReplicaNode> {
+        self.links
+            .iter_mut()
+            .find(|l| l.name == name)
+            .and_then(|l| l.node.as_mut())
+    }
+
+    /// The per-link metric counters.
+    pub fn link_metrics(&self, name: &str) -> Option<&LinkMetrics> {
+        self.links
+            .iter()
+            .find(|l| l.name == name)
+            .map(|l| &l.metrics)
+    }
+
+    /// The per-link latency meters (`repl_ack_lag`: snapshot-pinned to
+    /// acknowledged, in virtual time).
+    pub fn link_meters(&self, name: &str) -> Option<&Meters> {
+        self.links
+            .iter()
+            .find(|l| l.name == name)
+            .map(|l| &l.meters)
+    }
+
+    /// The raw network counters of a link: `(down, up)` direction
+    /// stats.
+    pub fn link_net_stats(
+        &self,
+        name: &str,
+    ) -> Option<(msnap_sim::LinkStats, msnap_sim::LinkStats)> {
+        self.links
+            .iter()
+            .find(|l| l.name == name)
+            .map(|l| (*l.down.stats(), *l.up.stats()))
+    }
+
+    /// One engine round at the primary's current instant: drain
+    /// acknowledgements, fence if a divergent peer re-attached, start
+    /// and retransmit ships, garbage-collect retained bases, and pump
+    /// every replica's inbound datagrams.
+    ///
+    /// # Errors
+    ///
+    /// Primary-side store errors (snapshot creation, fencing, stream
+    /// building) — replica-side failures never propagate; they surface
+    /// as `Degraded` states and resync traffic instead.
+    pub fn tick(&mut self, vt: &mut Vt, ms: &mut MemSnap) -> Result<TickReport, ReplError> {
+        let mut report = TickReport::default();
+        self.drain_up(vt, &mut report);
+        self.fence_divergent(vt, ms, &mut report)?;
+        self.ship(vt, ms, &mut report)?;
+        self.retransmit(vt);
+        self.gc_snapshots(vt, ms);
+        self.pump();
+        self.refresh_lag(ms, &mut report);
+        Ok(report)
+    }
+
+    /// Processes every datagram the replicas can deliver, without
+    /// touching the primary — usable after the primary has died to let
+    /// in-flight datagrams land before a promotion.
+    pub fn pump(&mut self) {
+        let horizon = Nanos::MAX;
+        for link in &mut self.links {
+            let Some(node) = link.node.as_mut() else {
+                continue;
+            };
+            while let Some((at, payload)) = link.down.poll(horizon) {
+                node.vt.wait_until(at);
+                match Msg::decode(&payload) {
+                    Ok(msg) => {
+                        for reply in node.handle(msg, &self.cfg) {
+                            link.up.send(node.vt.now(), reply.encode());
+                        }
+                    }
+                    Err(_) => link.metrics.malformed += 1,
+                }
+            }
+        }
+    }
+
+    fn drain_up(&mut self, vt: &mut Vt, report: &mut TickReport) {
+        for link in &mut self.links {
+            while let Some((_, payload)) = link.up.poll(vt.now()) {
+                let msg = match Msg::decode(&payload) {
+                    Ok(m) => m,
+                    Err(_) => {
+                        link.metrics.malformed += 1;
+                        continue;
+                    }
+                };
+                match msg {
+                    Msg::Hello { objects } => {
+                        link.known = true;
+                        for status in objects {
+                            let os = link.ships.entry(status.name).or_default();
+                            os.remote = status.epoch;
+                            os.retained_remote = status.retained;
+                            os.inflight = None;
+                            os.base = None;
+                            os.divergent = true;
+                        }
+                    }
+                    Msg::Ack {
+                        ship,
+                        object,
+                        epoch,
+                    } => {
+                        let Some(os) = link.ships.get_mut(&object) else {
+                            continue;
+                        };
+                        if epoch > os.remote {
+                            os.remote = epoch;
+                        }
+                        let matches = os.inflight.as_ref().is_some_and(|s| s.id == ship);
+                        if matches {
+                            let ship = os
+                                .inflight
+                                .take()
+                                .expect("inflight presence was just checked");
+                            link.meters
+                                .record("repl_ack_lag", vt.now().saturating_sub(ship.created_at));
+                            os.base = Some((ship.target_snap, ship.target_epoch));
+                            os.divergent = false;
+                            link.metrics.acks += 1;
+                            report.acks += 1;
+                        }
+                    }
+                    Msg::Nak { ship, next_seq } => {
+                        for os in link.ships.values_mut() {
+                            if let Some(s) = os.inflight.as_mut() {
+                                if s.id == ship {
+                                    let from = s.resend_from.map_or(next_seq, |f| f.min(next_seq));
+                                    s.resend_from = Some(from);
+                                }
+                            }
+                        }
+                    }
+                    // Begin/Frame/End never travel up the link.
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// A re-attached peer whose durable epoch runs at or past the
+    /// primary's own must be fenced away: jump the primary's epoch past
+    /// the peer's tip so the catch-up stream lands strictly forward and
+    /// the divergent history is abandoned by a rebase.
+    fn fence_divergent(
+        &mut self,
+        vt: &mut Vt,
+        ms: &mut MemSnap,
+        report: &mut TickReport,
+    ) -> Result<(), ReplError> {
+        for object in ms.store().object_names() {
+            let Some(live) = ms.object_epoch(&object) else {
+                continue;
+            };
+            let max_remote = self
+                .links
+                .iter()
+                .filter(|l| l.known)
+                .filter_map(|l| l.ships.get(&object))
+                // Only divergent peers (just re-attached, provenance
+                // unknown) force a fence — a healthy caught-up replica
+                // legitimately sits at the live epoch.
+                .filter(|os| os.divergent)
+                .map(|os| os.remote)
+                .max()
+                .unwrap_or(0);
+            if max_remote >= live && max_remote > 0 {
+                ms.msnap_fence(vt, &object, max_remote + self.cfg.fence_gap)?;
+                report.fences += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn ship(
+        &mut self,
+        vt: &mut Vt,
+        ms: &mut MemSnap,
+        report: &mut TickReport,
+    ) -> Result<(), ReplError> {
+        let objects = ms.store().object_names();
+        for li in 0..self.links.len() {
+            if !self.links[li].known {
+                continue;
+            }
+            for object in &objects {
+                let Some(live) = ms.object_epoch(object) else {
+                    continue;
+                };
+                let inflight_bytes: u64 = self.links[li]
+                    .ships
+                    .values()
+                    .filter_map(|os| os.inflight.as_ref())
+                    .map(Ship::wire_bytes)
+                    .sum();
+                let link = &mut self.links[li];
+                let os = link.ships.entry(object.clone()).or_default();
+                if os.inflight.is_some() || live <= os.remote {
+                    continue;
+                }
+                if inflight_bytes >= self.cfg.max_lag_bytes {
+                    continue; // over budget: coalesce until acks free it
+                }
+                // Retention cap: a link lagging too far loses its delta
+                // base (so primary-side retention stays bounded); its
+                // catch-up ships the full image instead.
+                let deep_lag = live.saturating_sub(os.remote) > self.cfg.drop_base_lag;
+                if deep_lag {
+                    os.base = None;
+                }
+                let (target_snap, target_epoch) =
+                    Self::target_snapshot(&mut self.owned, &mut self.next_snap, vt, ms, object)?;
+                let link = &mut self.links[li];
+                let os = link.ships.entry(object.clone()).or_default();
+                let base = if deep_lag {
+                    None
+                } else {
+                    Self::choose_base(&self.owned, ms, object, os, target_epoch)
+                };
+                let stream = {
+                    let (store, disk) = ms.replication_parts();
+                    DeltaStream::build(vt, disk, store, base.as_deref(), &target_snap)?
+                };
+                if base.is_none() {
+                    link.metrics.full_syncs += 1;
+                } else {
+                    link.metrics.delta_syncs += 1;
+                }
+                let id = self.next_ship;
+                self.next_ship += 1;
+                let now = vt.now();
+                link.down.send(
+                    now,
+                    Msg::Begin {
+                        ship: id,
+                        header: stream.header.clone(),
+                    }
+                    .encode(),
+                );
+                for frame in &stream.frames {
+                    link.down.send(
+                        now,
+                        Msg::Frame {
+                            ship: id,
+                            frame: frame.clone(),
+                        }
+                        .encode(),
+                    );
+                }
+                link.down.send(
+                    now,
+                    Msg::End {
+                        ship: id,
+                        trailer: stream.trailer,
+                    }
+                    .encode(),
+                );
+                os.inflight = Some(Ship {
+                    id,
+                    target_snap,
+                    target_epoch,
+                    stream,
+                    created_at: now,
+                    last_send: now,
+                    resend_from: None,
+                });
+                report.ships_started += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Finds or pins the engine-owned snapshot of `object` at its live
+    /// epoch — shared across links shipping the same epoch.
+    fn target_snapshot(
+        owned: &mut Vec<OwnedSnap>,
+        next_snap: &mut u64,
+        vt: &mut Vt,
+        ms: &mut MemSnap,
+        object: &str,
+    ) -> Result<(String, Epoch), ReplError> {
+        let live = ms.object_epoch(object).ok_or(StoreError::NotFound)?;
+        if let Some(s) = owned.iter().find(|s| s.object == object && s.epoch == live) {
+            return Ok((s.name.clone(), s.epoch));
+        }
+        let name = format!("rp{}", *next_snap);
+        *next_snap += 1;
+        let epoch = ms.msnap_snapshot_object(vt, object, &name)?;
+        owned.push(OwnedSnap {
+            name: name.clone(),
+            object: object.to_string(),
+            epoch,
+        });
+        Ok((name, epoch))
+    }
+
+    /// Picks the delta base for a ship, or `None` for a full image.
+    ///
+    /// For a link in good standing the base is the last acknowledged
+    /// target (or any primary snapshot pinned at exactly the replica's
+    /// epoch). For a divergent link — one that just (re-)attached — a
+    /// numeric epoch match proves nothing about content, so the base
+    /// must be an epoch *both* sides retain from common history: the
+    /// newest replica-retained epoch the primary also has pinned below
+    /// its own first post-promotion snapshot.
+    fn choose_base(
+        owned: &[OwnedSnap],
+        ms: &MemSnap,
+        object: &str,
+        os: &ObjShip,
+        target_epoch: Epoch,
+    ) -> Option<String> {
+        let id = ms.store().lookup(object)?;
+        if !os.divergent {
+            if let Some((name, epoch)) = &os.base {
+                if *epoch == os.remote {
+                    return Some(name.clone());
+                }
+            }
+            if os.remote == 0 {
+                return None;
+            }
+            return ms
+                .retained_snapshots()
+                .into_iter()
+                .find(|s| s.object == id && s.epoch == os.remote)
+                .map(|s| s.name);
+        }
+        // Divergent: restrict to epochs predating the engine's own
+        // snapshots (which pin post-promotion history the peer cannot
+        // share) and retained on both sides.
+        let first_owned = owned
+            .iter()
+            .filter(|s| s.object == object)
+            .map(|s| s.epoch)
+            .min()
+            .unwrap_or(Epoch::MAX);
+        let catalog = ms.retained_snapshots();
+        os.retained_remote
+            .iter()
+            .rev()
+            .filter(|&&e| e < target_epoch && e < first_owned)
+            .find_map(|&e| {
+                catalog
+                    .iter()
+                    .find(|s| s.object == id && s.epoch == e)
+                    .map(|s| s.name.clone())
+            })
+    }
+
+    fn retransmit(&mut self, vt: &mut Vt) {
+        let now = vt.now();
+        for link in &mut self.links {
+            // A Bootstrapping replica's Hello may itself have been lost:
+            // it re-announces until the primary has heard it (duplicate
+            // Hellos are idempotent).
+            if !link.known && now.saturating_sub(link.last_hello) > self.cfg.retransmit_timeout {
+                if let Some(node) = link.node.as_ref() {
+                    link.up.send(node.vt.now(), node.hello().encode());
+                }
+                link.last_hello = now;
+            }
+            for os in link.ships.values_mut() {
+                let Some(ship) = os.inflight.as_mut() else {
+                    continue;
+                };
+                if let Some(from) = ship.resend_from.take() {
+                    // Nak-driven: resume the frames from the hole. A Nak
+                    // at 0 may mean the Begin itself was lost, so replay
+                    // it too (a duplicate Begin is ignored).
+                    if from == 0 {
+                        link.down.send(
+                            now,
+                            Msg::Begin {
+                                ship: ship.id,
+                                header: ship.stream.header.clone(),
+                            }
+                            .encode(),
+                        );
+                    }
+                    let mut frames = 0u64;
+                    for frame in ship.stream.frames.iter().skip(from as usize) {
+                        link.down.send(
+                            now,
+                            Msg::Frame {
+                                ship: ship.id,
+                                frame: frame.clone(),
+                            }
+                            .encode(),
+                        );
+                        frames += 1;
+                    }
+                    link.down.send(
+                        now,
+                        Msg::End {
+                            ship: ship.id,
+                            trailer: ship.stream.trailer,
+                        }
+                        .encode(),
+                    );
+                    link.metrics.retransmit_frames += frames;
+                    ship.last_send = now;
+                } else if now.saturating_sub(ship.last_send) > self.cfg.retransmit_timeout {
+                    // Timeout: even the Begin may have been lost; replay
+                    // the whole ship (duplicates are ignored).
+                    link.down.send(
+                        now,
+                        Msg::Begin {
+                            ship: ship.id,
+                            header: ship.stream.header.clone(),
+                        }
+                        .encode(),
+                    );
+                    for frame in &ship.stream.frames {
+                        link.down.send(
+                            now,
+                            Msg::Frame {
+                                ship: ship.id,
+                                frame: frame.clone(),
+                            }
+                            .encode(),
+                        );
+                    }
+                    link.down.send(
+                        now,
+                        Msg::End {
+                            ship: ship.id,
+                            trailer: ship.stream.trailer,
+                        }
+                        .encode(),
+                    );
+                    link.metrics.retransmit_frames += ship.stream.frames.len() as u64;
+                    ship.last_send = now;
+                }
+            }
+        }
+    }
+
+    /// Deletes engine-owned primary snapshots no link needs anymore
+    /// (bases survive until their ship is acknowledged and replaced).
+    fn gc_snapshots(&mut self, vt: &mut Vt, ms: &mut MemSnap) {
+        let mut needed: Vec<&str> = Vec::new();
+        for link in &self.links {
+            for os in link.ships.values() {
+                if let Some((name, _)) = &os.base {
+                    needed.push(name);
+                }
+                if let Some(ship) = &os.inflight {
+                    needed.push(&ship.target_snap);
+                }
+            }
+        }
+        let mut keep = Vec::new();
+        for snap in std::mem::take(&mut self.owned) {
+            if needed.iter().any(|n| *n == snap.name) {
+                keep.push(snap);
+            } else {
+                let _ = ms.msnap_snapshot_delete(vt, &snap.name);
+            }
+        }
+        self.owned = keep;
+    }
+
+    fn refresh_lag(&mut self, ms: &MemSnap, report: &mut TickReport) {
+        let objects = ms.store().object_names();
+        let mut caught_up = true;
+        for link in &mut self.links {
+            if !link.known {
+                caught_up = false;
+                continue;
+            }
+            let mut lag_epochs = 0u64;
+            let mut lag_bytes = 0u64;
+            for object in &objects {
+                let Some(live) = ms.object_epoch(object) else {
+                    continue;
+                };
+                let (remote, inflight) = link.ships.get(object).map_or((0, 0), |os| {
+                    (os.remote, os.inflight.as_ref().map_or(0, Ship::wire_bytes))
+                });
+                lag_epochs = lag_epochs.max(live.saturating_sub(remote));
+                lag_bytes += inflight;
+            }
+            link.metrics.lag_epochs = lag_epochs;
+            link.metrics.lag_bytes = lag_bytes;
+            if lag_epochs > self.cfg.max_lag_epochs || lag_bytes > self.cfg.max_lag_bytes {
+                link.metrics.throttled_ticks += 1;
+                report.throttled = true;
+            }
+            if lag_epochs > 0 || lag_bytes > 0 {
+                caught_up = false;
+            }
+        }
+        report.caught_up = caught_up && !self.links.is_empty();
+    }
+
+    /// Ticks until every link is caught up or `limit` of virtual time
+    /// passes, advancing the primary clock between rounds (modelling an
+    /// ingest stall / quiescent wait). Returns whether the links caught
+    /// up.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ReplEngine::tick`].
+    pub fn settle(
+        &mut self,
+        vt: &mut Vt,
+        ms: &mut MemSnap,
+        limit: Nanos,
+    ) -> Result<bool, ReplError> {
+        let deadline = vt.now() + limit;
+        let step = (self.cfg.retransmit_timeout / 2).max(Nanos::from_ns(1));
+        loop {
+            let report = self.tick(vt, ms)?;
+            if report.caught_up {
+                return Ok(true);
+            }
+            if vt.now() >= deadline {
+                return Ok(false);
+            }
+            vt.advance(step);
+        }
+    }
+
+    /// Fails over to the named replica: lets its in-flight datagrams
+    /// land, fences every object [`ReplConfig::fence_gap`] epochs past
+    /// its durable tip (so the new reign's epochs can never collide with
+    /// the dead primary's unacknowledged history), and returns its
+    /// device ready to boot plus the surviving replicas' devices.
+    ///
+    /// Incomplete apply sessions are discarded — their staging was
+    /// volatile, so the promoted store *is* exactly one of its committed
+    /// epochs; a crash-mid-stream never surfaces.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplError::UnknownReplica`], or [`ReplError::Store`] if a
+    /// fence fails.
+    pub fn promote(mut self, name: &str) -> Result<Promotion, ReplError> {
+        self.pump(); // let already-sent datagrams land everywhere
+        let idx = self
+            .links
+            .iter()
+            .position(|l| l.name == name && l.node.is_some())
+            .ok_or(ReplError::UnknownReplica)?;
+        let mut link = self.links.remove(idx);
+        let mut node = link.node.take().expect("node presence was just checked");
+        node.sessions.clear();
+        node.state = ReplicaState::Promoted;
+        let mut epochs = BTreeMap::new();
+        for object in node.store.object_names() {
+            let Some(id) = node.store.lookup(&object) else {
+                continue;
+            };
+            let fenced = node.store.epoch(id) + self.cfg.fence_gap;
+            let token = node
+                .store
+                .fence_epoch(&mut node.vt, &mut node.disk, id, fenced)?;
+            ObjectStore::wait(&mut node.vt, token);
+            epochs.insert(object, fenced);
+        }
+        let survivors = self
+            .links
+            .into_iter()
+            .filter_map(|mut l| l.node.take().map(|n| (l.name, n.disk)))
+            .collect();
+        Ok(Promotion {
+            replica: node.name,
+            disk: node.disk,
+            vt: node.vt,
+            epochs,
+            survivors,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsnap::{PersistFlags, RegionHandle, RegionSel, PAGE_SIZE};
+    use msnap_disk::DiskConfig;
+    use msnap_vm::AsId;
+
+    fn primary() -> (MemSnap, Vt, AsId, RegionHandle, String) {
+        let mut ms = MemSnap::format(Disk::new(DiskConfig::paper()));
+        let mut vt = Vt::new(0);
+        let space = ms.vm_mut().create_space();
+        let r = ms.msnap_open(&mut vt, space, "data", 16).unwrap();
+        let object = ms.region_object_name(r.md).unwrap().to_string();
+        (ms, vt, space, r, object)
+    }
+
+    fn commit(ms: &mut MemSnap, vt: &mut Vt, space: AsId, r: &RegionHandle, fill: u8) -> Epoch {
+        let t = vt.id();
+        ms.write(vt, space, t, r.addr, &[fill; PAGE_SIZE]).unwrap();
+        ms.msnap_persist(vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+            .unwrap()
+    }
+
+    fn assert_replica_page(eng: &mut ReplEngine, name: &str, object: &str, page: u64, fill: u8) {
+        let node = eng.replica_mut(name).unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        node.read_page(object, page, &mut buf).unwrap();
+        assert_eq!(buf, vec![fill; PAGE_SIZE], "replica {name} page {page}");
+    }
+
+    #[test]
+    fn calm_link_syncs_replica_byte_for_byte() {
+        let (mut ms, mut vt, space, r, object) = primary();
+        let mut eng = ReplEngine::new(ReplConfig::default());
+        eng.add_replica("r1", NetConfig::calm(7)).unwrap();
+        for fill in 1..=3u8 {
+            commit(&mut ms, &mut vt, space, &r, fill);
+            assert!(eng.settle(&mut vt, &mut ms, Nanos::from_secs(5)).unwrap());
+        }
+        let live = ms.object_epoch(&object).unwrap();
+        assert_eq!(eng.replica("r1").unwrap().state(), ReplicaState::Streaming);
+        assert_eq!(eng.replica("r1").unwrap().epoch(&object), live);
+        assert_replica_page(&mut eng, "r1", &object, 0, 3);
+        let m = *eng.link_metrics("r1").unwrap();
+        // Bootstrap ships the full image once; per-commit catch-ups are
+        // deltas against the last acknowledged base.
+        assert!(m.full_syncs >= 1, "bootstrap full sync: {m:?}");
+        assert!(m.delta_syncs >= 1, "steady-state deltas: {m:?}");
+        assert!(m.acks >= 2, "{m:?}");
+        assert_eq!(m.lag_epochs, 0);
+        let meters = eng.link_meters("r1").unwrap();
+        assert!(meters.get("repl_ack_lag").is_some());
+    }
+
+    #[test]
+    fn lossy_link_converges_with_retransmits() {
+        let (mut ms, mut vt, space, r, object) = primary();
+        let mut eng = ReplEngine::new(ReplConfig::default());
+        eng.add_replica("r1", NetConfig::lossy(3)).unwrap();
+        for fill in 1..=8u8 {
+            commit(&mut ms, &mut vt, space, &r, fill);
+            eng.tick(&mut vt, &mut ms).unwrap();
+        }
+        assert!(eng.settle(&mut vt, &mut ms, Nanos::from_secs(30)).unwrap());
+        assert_eq!(
+            eng.replica("r1").unwrap().epoch(&object),
+            ms.object_epoch(&object).unwrap()
+        );
+        assert_replica_page(&mut eng, "r1", &object, 0, 8);
+        let (down, _up) = eng.link_net_stats("r1").unwrap();
+        assert!(down.dropped > 0, "a 15% link drops something: {down:?}");
+        let m = eng.link_metrics("r1").unwrap();
+        assert!(m.retransmit_frames > 0, "drops force retransmission: {m:?}");
+    }
+
+    #[test]
+    fn partition_throttles_then_heals() {
+        let (mut ms, mut vt, space, r, object) = primary();
+        let cfg = ReplConfig {
+            max_lag_epochs: 1,
+            ..ReplConfig::default()
+        };
+        let mut eng = ReplEngine::new(cfg);
+        eng.add_replica("r1", NetConfig::calm(11)).unwrap();
+        commit(&mut ms, &mut vt, space, &r, 1);
+        assert!(eng.settle(&mut vt, &mut ms, Nanos::from_secs(5)).unwrap());
+        eng.set_partitioned("r1", true).unwrap();
+        for fill in 2..=5u8 {
+            commit(&mut ms, &mut vt, space, &r, fill);
+        }
+        let report = eng.tick(&mut vt, &mut ms).unwrap();
+        assert!(report.throttled, "lag 4 > budget 1 must throttle");
+        assert!(!eng.settle(&mut vt, &mut ms, Nanos::from_ms(200)).unwrap());
+        assert!(eng.link_metrics("r1").unwrap().throttled_ticks > 0);
+        eng.set_partitioned("r1", false).unwrap();
+        assert!(eng.settle(&mut vt, &mut ms, Nanos::from_secs(10)).unwrap());
+        assert_eq!(
+            eng.replica("r1").unwrap().epoch(&object),
+            ms.object_epoch(&object).unwrap()
+        );
+        assert_replica_page(&mut eng, "r1", &object, 0, 5);
+    }
+
+    #[test]
+    fn deep_lag_drops_base_and_falls_back_to_full_image() {
+        let (mut ms, mut vt, space, r, object) = primary();
+        let cfg = ReplConfig {
+            drop_base_lag: 2,
+            ..ReplConfig::default()
+        };
+        let mut eng = ReplEngine::new(cfg);
+        eng.add_replica("r1", NetConfig::calm(13)).unwrap();
+        commit(&mut ms, &mut vt, space, &r, 1);
+        assert!(eng.settle(&mut vt, &mut ms, Nanos::from_secs(5)).unwrap());
+        let after_bootstrap = eng.link_metrics("r1").unwrap().full_syncs;
+        // Race ahead of the replica by more than drop_base_lag without
+        // letting the engine ship.
+        for fill in 2..=6u8 {
+            commit(&mut ms, &mut vt, space, &r, fill);
+        }
+        assert!(eng.settle(&mut vt, &mut ms, Nanos::from_secs(10)).unwrap());
+        let m = *eng.link_metrics("r1").unwrap();
+        assert!(
+            m.full_syncs > after_bootstrap,
+            "deep lag must fall back to a full image: {m:?}"
+        );
+        assert_replica_page(&mut eng, "r1", &object, 0, 6);
+    }
+
+    #[test]
+    fn promote_then_reattach_old_primary_converges_by_delta() {
+        let (mut ms, mut vt, space, r, object) = primary();
+        let mut eng = ReplEngine::new(ReplConfig::default());
+        eng.add_replica("r1", NetConfig::calm(17)).unwrap();
+        eng.add_replica("r2", NetConfig::calm(18)).unwrap();
+        for fill in 1..=3u8 {
+            commit(&mut ms, &mut vt, space, &r, fill);
+            assert!(eng.settle(&mut vt, &mut ms, Nanos::from_secs(5)).unwrap());
+        }
+        // One more commit the replicas never hear about: the primary
+        // dies mid-stream.
+        commit(&mut ms, &mut vt, space, &r, 4);
+        eng.set_partitioned("r1", true).unwrap();
+        eng.set_partitioned("r2", true).unwrap();
+        let _ = eng.tick(&mut vt, &mut ms).unwrap();
+        let promo = eng.promote("r1").unwrap();
+        assert_eq!(promo.replica, "r1");
+        assert_eq!(promo.survivors.len(), 1);
+        assert_eq!(promo.survivors[0].0, "r2");
+
+        // The promoted store boots and serves reads and writes from
+        // exactly the last replicated committed state.
+        let mut vt2 = promo.vt;
+        let mut ms2 = MemSnap::restore(&mut vt2, promo.disk).unwrap();
+        let space2 = ms2.vm_mut().create_space();
+        let r2 = ms2.msnap_open(&mut vt2, space2, "data", 16).unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        ms2.read(&mut vt2, space2, r2.addr, &mut buf).unwrap();
+        assert_eq!(
+            buf,
+            vec![3u8; PAGE_SIZE],
+            "unacked epoch 4 must not surface"
+        );
+        commit(&mut ms2, &mut vt2, space2, &r2, 9);
+
+        // The failed primary rejoins as a replica and converges through
+        // a rebase delta alone — no full image.
+        let old_disk = ms.crash(vt.now());
+        let mut eng2 = ReplEngine::new(ReplConfig::default());
+        eng2.attach_replica("old", NetConfig::calm(19), old_disk)
+            .unwrap();
+        assert!(eng2
+            .settle(&mut vt2, &mut ms2, Nanos::from_secs(10))
+            .unwrap());
+        let m = *eng2.link_metrics("old").unwrap();
+        assert_eq!(
+            m.full_syncs, 0,
+            "rejoin must diff from a common base: {m:?}"
+        );
+        assert!(m.delta_syncs >= 1, "{m:?}");
+        assert_eq!(
+            eng2.replica("old").unwrap().epoch(&object),
+            ms2.object_epoch(&object).unwrap()
+        );
+        assert_replica_page(&mut eng2, "old", &object, 0, 9);
+    }
+
+    #[test]
+    fn promote_unknown_replica_fails() {
+        let eng = ReplEngine::new(ReplConfig::default());
+        assert!(matches!(
+            eng.promote("ghost"),
+            Err(ReplError::UnknownReplica)
+        ));
+    }
+
+    fn lossy_trace(seed: u64) -> String {
+        let (mut ms, mut vt, space, r, object) = primary();
+        let mut eng = ReplEngine::new(ReplConfig::default());
+        eng.add_replica("r1", NetConfig::lossy(seed)).unwrap();
+        for fill in 1..=6u8 {
+            commit(&mut ms, &mut vt, space, &r, fill);
+            eng.tick(&mut vt, &mut ms).unwrap();
+        }
+        eng.settle(&mut vt, &mut ms, Nanos::from_secs(30)).unwrap();
+        let (down, up) = eng.link_net_stats("r1").unwrap();
+        format!(
+            "{:?}|{:?}|{:?}|{:?}|{}|{}",
+            eng.link_metrics("r1").unwrap(),
+            down,
+            up,
+            eng.link_meters("r1").unwrap().get("repl_ack_lag"),
+            eng.replica("r1").unwrap().epoch(&object),
+            vt.now(),
+        )
+    }
+
+    #[test]
+    fn identical_seeds_replay_identical_traces() {
+        assert_eq!(lossy_trace(42), lossy_trace(42));
+        assert_ne!(lossy_trace(42), lossy_trace(43));
+    }
+}

@@ -1,0 +1,59 @@
+//! Primary/replica replication over lossy links: continuous delta
+//! shipping, lag-driven flow control, and crash-consistent failover.
+//!
+//! A [`ReplEngine`] sits beside a primary [`memsnap::MemSnap`] and keeps
+//! any number of replicas converging on its committed epochs. Each
+//! replica hangs off a pair of simulated datagram links
+//! ([`msnap_sim::SimLink`]) that drop, delay, reorder, and partition
+//! deterministically under a seed, so every protocol path — including
+//! the ugly ones — replays bit-identically.
+//!
+//! # How shipping works
+//!
+//! Every [`ReplEngine::tick`] the engine compares each object's live
+//! committed epoch against what each replica last acknowledged. A
+//! lagging replica gets a **ship**: the engine pins the live epoch as a
+//! retained snapshot, builds a [`msnap_snap::DeltaStream`] against the
+//! replica's acknowledged base (or the full image when no base
+//! survives), and sends it down the link as one datagram per frame —
+//! `Begin`, `Frame`…, `End` ([`Msg`]). Replicas apply a completed
+//! stream as **one crash-atomic commit** and answer `Ack`; holes and
+//! corrupt frames answer `Nak{next_seq}` and the engine resumes from
+//! exactly there. A silent loss is covered by a go-back-N timeout
+//! replay. Duplicates are harmless by construction.
+//!
+//! # Flow control
+//!
+//! Lag is measured three ways — epochs behind, wire bytes in flight,
+//! and virtual time from snapshot to acknowledgement (the `repl_ack_lag`
+//! meter) — and budgeted by [`ReplConfig`]. Over budget, the tick
+//! reports [`TickReport::throttled`] so the ingest path stalls
+//! (bounded-staleness writes), and no new ship starts until acks drain
+//! the pipe. A replica lagging beyond [`ReplConfig::drop_base_lag`]
+//! loses its retained delta base and pays for a full image instead —
+//! retention on the primary stays bounded no matter how dead a replica
+//! is.
+//!
+//! # Failover
+//!
+//! [`ReplEngine::promote`] consumes the engine: in-flight datagrams
+//! land, incomplete apply sessions are discarded (their staging was
+//! volatile), and the chosen replica's objects are fenced
+//! [`ReplConfig::fence_gap`] epochs forward. The invariant: **a promoted
+//! replica's store is byte-identical to some committed primary epoch**,
+//! never a torn intermediate. The old primary can rejoin via
+//! [`ReplEngine::attach_replica`]; its `Hello` lists every epoch it
+//! retains, and the new primary diffs it forward from a commonly
+//! retained base — rebasing away the divergent tail — without a full
+//! image.
+
+#![warn(missing_docs)]
+
+mod engine;
+mod proto;
+
+pub use engine::{
+    LinkMetrics, Promotion, ReplConfig, ReplEngine, ReplError, ReplicaNode, ReplicaState,
+    TickReport,
+};
+pub use proto::{Msg, ObjectStatus};

@@ -1,0 +1,320 @@
+//! The replication wire protocol: one datagram per message.
+//!
+//! Six message kinds move between a primary and each replica. Down the
+//! link (primary → replica) a delta stream travels as a `Begin` carrying
+//! the [`StreamHeader`], one `Frame` per page, and an `End` carrying the
+//! [`StreamTrailer`] — the `msnap-snap` piecewise framing, so every page
+//! keeps its own checksum and the trailer binds the stream. Up the link
+//! travel `Hello` (a replica announcing its per-object durable state),
+//! `Ack` (a stream landed durably), and `Nak` (resume transmission from
+//! [`Msg::Nak::next_seq`]).
+//!
+//! Datagrams are self-contained and idempotent to retransmit: the link
+//! may drop, reorder, or duplicate them freely. Decoding never panics —
+//! bytes come off a network, so a malformed datagram decodes to an error
+//! and is dropped by the receiver.
+
+use msnap_snap::{PageFrame, SnapError, StreamHeader, StreamTrailer};
+use msnap_store::Epoch;
+
+const TAG_HELLO: u64 = 1;
+const TAG_BEGIN: u64 = 2;
+const TAG_FRAME: u64 = 3;
+const TAG_END: u64 = 4;
+const TAG_ACK: u64 = 5;
+const TAG_NAK: u64 = 6;
+
+/// Longest object name accepted off the wire (matches the store's
+/// directory limit with slack); longer claims are malformed.
+const MAX_NAME: usize = 256;
+/// Most per-object entries a `Hello` may carry.
+const MAX_OBJECTS: usize = 4096;
+/// Most retained epochs one `Hello` entry may list.
+const MAX_RETAINED: usize = 4096;
+
+/// One object's durable state as a replica reports it: the committed
+/// epoch plus every epoch the replica retains as a pinned snapshot (the
+/// candidate delta/rebase bases).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectStatus {
+    /// Store-directory name of the object.
+    pub name: String,
+    /// The replica's committed epoch for the object.
+    pub epoch: Epoch,
+    /// Epochs the replica retains as snapshots, ascending.
+    pub retained: Vec<Epoch>,
+}
+
+/// A replication datagram. See the module docs above for the wire
+/// framing and loss-recovery rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Msg {
+    /// Replica → primary: full durable-state announcement, sent on
+    /// attach and whenever the replica needs a resync (base mismatch,
+    /// failed apply).
+    Hello {
+        /// Per-object durable state.
+        objects: Vec<ObjectStatus>,
+    },
+    /// Primary → replica: a delta stream starts.
+    Begin {
+        /// Ship identifier, unique per engine lifetime.
+        ship: u64,
+        /// The stream's self-describing head.
+        header: StreamHeader,
+    },
+    /// Primary → replica: one page of the stream.
+    Frame {
+        /// Ship the frame belongs to.
+        ship: u64,
+        /// The checksummed page.
+        frame: PageFrame,
+    },
+    /// Primary → replica: the stream's end marker.
+    End {
+        /// Ship the trailer closes.
+        ship: u64,
+        /// The trailer binding every frame.
+        trailer: StreamTrailer,
+    },
+    /// Replica → primary: the ship landed durably at `epoch`.
+    Ack {
+        /// The acknowledged ship.
+        ship: u64,
+        /// Object the ship updated.
+        object: String,
+        /// The replica's committed epoch after the apply.
+        epoch: Epoch,
+    },
+    /// Replica → primary: retransmit the ship's frames starting at
+    /// `next_seq` (0 asks for the `Begin` again too).
+    Nak {
+        /// The ship to resume.
+        ship: u64,
+        /// First missing sequence number.
+        next_seq: u64,
+    },
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_u64(buf: &[u8], off: &mut usize) -> Result<u64, SnapError> {
+    let end = off.checked_add(8).ok_or(SnapError::Malformed)?;
+    let bytes = buf.get(*off..end).ok_or(SnapError::Malformed)?;
+    *off = end;
+    let mut v = [0u8; 8];
+    v.copy_from_slice(bytes);
+    Ok(u64::from_le_bytes(v))
+}
+
+fn read_name(buf: &[u8], off: &mut usize) -> Result<String, SnapError> {
+    let len = read_u64(buf, off)? as usize;
+    if len > MAX_NAME {
+        return Err(SnapError::Malformed);
+    }
+    let end = off.checked_add(len).ok_or(SnapError::Malformed)?;
+    let bytes = buf.get(*off..end).ok_or(SnapError::Malformed)?;
+    *off = end;
+    String::from_utf8(bytes.to_vec()).map_err(|_| SnapError::Malformed)
+}
+
+impl Msg {
+    /// Serializes the message to one datagram.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Msg::Hello { objects } => {
+                push_u64(&mut out, TAG_HELLO);
+                push_u64(&mut out, objects.len() as u64);
+                for o in objects {
+                    push_u64(&mut out, o.name.len() as u64);
+                    out.extend_from_slice(o.name.as_bytes());
+                    push_u64(&mut out, o.epoch);
+                    push_u64(&mut out, o.retained.len() as u64);
+                    for &e in &o.retained {
+                        push_u64(&mut out, e);
+                    }
+                }
+            }
+            Msg::Begin { ship, header } => {
+                push_u64(&mut out, TAG_BEGIN);
+                push_u64(&mut out, *ship);
+                out.extend_from_slice(&header.encode());
+            }
+            Msg::Frame { ship, frame } => {
+                push_u64(&mut out, TAG_FRAME);
+                push_u64(&mut out, *ship);
+                out.extend_from_slice(&frame.encode());
+            }
+            Msg::End { ship, trailer } => {
+                push_u64(&mut out, TAG_END);
+                push_u64(&mut out, *ship);
+                out.extend_from_slice(&trailer.encode());
+            }
+            Msg::Ack {
+                ship,
+                object,
+                epoch,
+            } => {
+                push_u64(&mut out, TAG_ACK);
+                push_u64(&mut out, *ship);
+                push_u64(&mut out, object.len() as u64);
+                out.extend_from_slice(object.as_bytes());
+                push_u64(&mut out, *epoch);
+            }
+            Msg::Nak { ship, next_seq } => {
+                push_u64(&mut out, TAG_NAK);
+                push_u64(&mut out, *ship);
+                push_u64(&mut out, *next_seq);
+            }
+        }
+        out
+    }
+
+    /// Parses one datagram. Never panics or over-allocates on malformed
+    /// input — a receiver drops datagrams this rejects.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Malformed`] for structural damage (truncation, bad
+    /// tag, oversized claims).
+    pub fn decode(buf: &[u8]) -> Result<Msg, SnapError> {
+        let mut off = 0;
+        let tag = read_u64(buf, &mut off)?;
+        match tag {
+            TAG_HELLO => {
+                let count = read_u64(buf, &mut off)? as usize;
+                if count > MAX_OBJECTS {
+                    return Err(SnapError::Malformed);
+                }
+                let mut objects = Vec::with_capacity(count.min(buf.len() / 24 + 1));
+                for _ in 0..count {
+                    let name = read_name(buf, &mut off)?;
+                    let epoch = read_u64(buf, &mut off)?;
+                    let n = read_u64(buf, &mut off)? as usize;
+                    if n > MAX_RETAINED {
+                        return Err(SnapError::Malformed);
+                    }
+                    let mut retained = Vec::with_capacity(n.min(buf.len() / 8 + 1));
+                    for _ in 0..n {
+                        retained.push(read_u64(buf, &mut off)?);
+                    }
+                    objects.push(ObjectStatus {
+                        name,
+                        epoch,
+                        retained,
+                    });
+                }
+                Ok(Msg::Hello { objects })
+            }
+            TAG_BEGIN => {
+                let ship = read_u64(buf, &mut off)?;
+                let rest = buf.get(off..).ok_or(SnapError::Malformed)?;
+                let (header, _) = StreamHeader::decode(rest)?;
+                Ok(Msg::Begin { ship, header })
+            }
+            TAG_FRAME => {
+                let ship = read_u64(buf, &mut off)?;
+                let rest = buf.get(off..).ok_or(SnapError::Malformed)?;
+                let (frame, _) = PageFrame::decode(rest)?;
+                Ok(Msg::Frame { ship, frame })
+            }
+            TAG_END => {
+                let ship = read_u64(buf, &mut off)?;
+                let rest = buf.get(off..).ok_or(SnapError::Malformed)?;
+                let (trailer, _) = StreamTrailer::decode(rest)?;
+                Ok(Msg::End { ship, trailer })
+            }
+            TAG_ACK => {
+                let ship = read_u64(buf, &mut off)?;
+                let object = read_name(buf, &mut off)?;
+                let epoch = read_u64(buf, &mut off)?;
+                Ok(Msg::Ack {
+                    ship,
+                    object,
+                    epoch,
+                })
+            }
+            TAG_NAK => {
+                let ship = read_u64(buf, &mut off)?;
+                let next_seq = read_u64(buf, &mut off)?;
+                Ok(Msg::Nak { ship, next_seq })
+            }
+            _ => Err(SnapError::Malformed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_message_kind_round_trips() {
+        let msgs = vec![
+            Msg::Hello {
+                objects: vec![
+                    ObjectStatus {
+                        name: "db".into(),
+                        epoch: 17,
+                        retained: vec![3, 9, 17],
+                    },
+                    ObjectStatus {
+                        name: "__msnap_manifest".into(),
+                        epoch: 2,
+                        retained: vec![],
+                    },
+                ],
+            },
+            Msg::Ack {
+                ship: 7,
+                object: "db".into(),
+                epoch: 42,
+            },
+            Msg::Nak {
+                ship: 7,
+                next_seq: 13,
+            },
+            Msg::End {
+                ship: 9,
+                trailer: StreamTrailer {
+                    frames: 4,
+                    stream_sum: 0xDEAD,
+                },
+            },
+        ];
+        for m in msgs {
+            assert_eq!(Msg::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn garbage_datagrams_decode_to_errors_not_panics() {
+        assert!(Msg::decode(&[]).is_err());
+        assert!(Msg::decode(&[0u8; 7]).is_err());
+        assert!(Msg::decode(&99u64.to_le_bytes()).is_err());
+        // A Hello lying about its counts must not over-allocate.
+        let mut lying = Vec::new();
+        push_u64(&mut lying, TAG_HELLO);
+        push_u64(&mut lying, u64::MAX);
+        assert!(Msg::decode(&lying).is_err());
+        let ok = Msg::Ack {
+            ship: 1,
+            object: "x".into(),
+            epoch: 5,
+        }
+        .encode();
+        for len in 0..ok.len() {
+            assert!(Msg::decode(&ok[..len]).is_err());
+        }
+        for stride in [1usize, 5, 11] {
+            let mut bad = ok.clone();
+            for i in (0..bad.len()).step_by(stride) {
+                bad[i] ^= 0xA5;
+            }
+            let _ = Msg::decode(&bad);
+        }
+    }
+}

@@ -15,6 +15,9 @@
 //! - [`Vt`]: a virtual thread — a clock plus a per-thread cost tracker.
 //! - [`Resource`] and [`ChannelPool`]: availability-time models for shared
 //!   hardware (a lock, a disk channel).
+//! - [`SimLink`] / [`NetConfig`]: a deterministic seeded lossy network
+//!   link (latency, bandwidth, drops, reordering, partitions) for
+//!   replication experiments.
 //! - [`SimLock`]: a virtual-time mutex usable from conservatively scheduled
 //!   virtual threads.
 //! - [`Scheduler`] and [`Process`]: a conservative (min-clock-first)
@@ -41,6 +44,7 @@
 
 mod cost;
 mod lock;
+mod net;
 mod resource;
 mod sched;
 mod stats;
@@ -49,6 +53,7 @@ mod vthread;
 
 pub use cost::{Category, CostTracker};
 pub use lock::SimLock;
+pub use net::{LinkStats, NetConfig, SimLink};
 pub use resource::{ChannelPool, Resource};
 pub use sched::{Process, Scheduler, StepOutcome};
 pub use stats::{LatencyStats, Meters};

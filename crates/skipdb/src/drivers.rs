@@ -269,7 +269,8 @@ pub struct KvGroupReport {
     pub avg_queue_depth: f64,
 }
 
-/// Runs `cfg.threads` writer threads over one shared [`MemSnapKv`],
+/// Runs `cfg.threads` writer threads over one shared
+/// [`MemSnapKv`](crate::MemSnapKv),
 /// committing through the cross-thread group-commit path (or uncoalesced
 /// MultiPuts for the ablation baseline). Thread `t` writes keys
 /// `t*1_000_000 + i` so transactions never collide.
@@ -372,7 +373,8 @@ pub struct SnapshotScanReport {
     pub point_in_time: bool,
 }
 
-/// The snapshot-scan experiment: fill a [`MemSnapKv`], pin a retained
+/// The snapshot-scan experiment: fill a
+/// [`MemSnapKv`](crate::MemSnapKv), pin a retained
 /// snapshot, keep writing (new keys *and* overwrites of old ones), then
 /// scan the snapshot. The scan must see the exact pre-churn state —
 /// RocksDB's long-running-iterator use case, but against a durable
@@ -416,6 +418,223 @@ pub fn run_snapshot_scan(keys: u64, churn: u64) -> SnapshotScanReport {
         churn_keys: churn,
         scanned: scanned.len() as u64,
         point_in_time,
+    }
+}
+
+/// Parameters of the replicated-KV failover experiment
+/// ([`run_replicated_kv`]).
+#[derive(Debug, Clone)]
+pub struct KvReplConfig {
+    /// MultiPut batches committed (and replicated) before the primary is
+    /// killed.
+    pub batches_before_crash: u64,
+    /// Batches the *promoted* primary commits afterwards, with the old
+    /// primary re-attached as a replica under this load.
+    pub extra_batches: u64,
+    /// Keys per MultiPut batch.
+    pub keys_per_batch: u64,
+    /// Network model of the replication links.
+    pub net: msnap_sim::NetConfig,
+    /// Replication engine tuning.
+    pub repl: msnap_repl::ReplConfig,
+}
+
+/// Results of one [`run_replicated_kv`] run.
+#[derive(Debug, Clone)]
+pub struct KvReplReport {
+    /// Batches the old primary committed before it was killed (one more
+    /// was committed behind the partition and must not survive failover).
+    pub committed_batches: u64,
+    /// Whole batches visible on the promoted primary.
+    pub visible_batches: u64,
+    /// Whether the promoted store is an exact batch prefix: every key of
+    /// the visible batches present with the right value, no key of any
+    /// later batch, and no torn batch.
+    pub prefix_consistent: bool,
+    /// Promotion-to-first-read latency on the promoted node's clock.
+    pub failover_latency: Nanos,
+    /// Full-image ships needed to re-sync the re-attached old primary.
+    pub reattach_full_syncs: u64,
+    /// Delta ships to the re-attached old primary.
+    pub reattach_delta_syncs: u64,
+    /// Whether the old primary converged byte for byte with the promoted
+    /// primary (its divergent unacknowledged batch fenced away).
+    pub reattach_converged: bool,
+    /// Live keys on the promoted primary at the end.
+    pub final_len: u64,
+}
+
+/// One replicated MultiPut batch; throttles on the engine's lag budget.
+fn replicated_batch(
+    kv: &mut crate::MemSnapKv,
+    vt: &mut Vt,
+    eng: &mut msnap_repl::ReplEngine,
+    batch: u64,
+    keys_per_batch: u64,
+) {
+    let pairs: Vec<(u64, Vec<u8>)> = (0..keys_per_batch)
+        .map(|k| {
+            let key = batch * keys_per_batch + k;
+            (key, MixOp::value_bytes(key).to_vec())
+        })
+        .collect();
+    kv.multi_put(vt, &pairs)
+        .expect("the replication workload runs without fault injection");
+    let step = eng.config().retransmit_timeout / 2;
+    let mut tick = eng
+        .tick(vt, kv.memsnap_mut())
+        .expect("the replication workload runs without fault injection");
+    while tick.throttled {
+        vt.advance(step);
+        tick = eng
+            .tick(vt, kv.memsnap_mut())
+            .expect("the replication workload runs without fault injection");
+    }
+}
+
+/// The KV failover experiment: a [`MemSnapKv`](crate::MemSnapKv) primary
+/// replicates MultiPut batches to a standby, the primary is killed with
+/// one batch committed locally but unacknowledged behind a partition,
+/// and the standby is promoted. The promoted store must be an exact
+/// batch prefix of the primary's history (crash-consistent failover: a
+/// promoted replica equals some committed primary epoch, and the
+/// partitioned batch is gone). The old primary's crashed device then
+/// re-attaches as a replica and must converge with the new primary while
+/// it keeps committing batches.
+pub fn run_replicated_kv(cfg: &KvReplConfig) -> KvReplReport {
+    use crate::MemSnapKv;
+    use msnap_disk::{Disk, DiskConfig};
+
+    let mut vt = Vt::new(0);
+    let capacity = (cfg.batches_before_crash + cfg.extra_batches + 2) * cfg.keys_per_batch * 2 + 64;
+    let mut kv = MemSnapKv::format(Disk::new(DiskConfig::paper()), capacity, &mut vt);
+    let mut eng = msnap_repl::ReplEngine::new(cfg.repl);
+    eng.add_replica("standby", cfg.net)
+        .expect("the engine is fresh");
+    eng.settle(&mut vt, kv.memsnap_mut(), Nanos::from_secs(120))
+        .expect("the replication workload runs without fault injection");
+
+    for batch in 0..cfg.batches_before_crash {
+        replicated_batch(&mut kv, &mut vt, &mut eng, batch, cfg.keys_per_batch);
+    }
+    eng.settle(&mut vt, kv.memsnap_mut(), Nanos::from_secs(120))
+        .expect("the replication workload runs without fault injection");
+
+    // Kill the primary mid-stream: one more batch commits locally but its
+    // delta never crosses the partitioned link.
+    eng.set_partitioned("standby", true)
+        .expect("the standby is attached");
+    replicated_batch(
+        &mut kv,
+        &mut vt,
+        &mut eng,
+        cfg.batches_before_crash,
+        cfg.keys_per_batch,
+    );
+    let old_disk = kv.crash(vt.now());
+
+    // Failover: promote the standby and boot a new primary from its
+    // fenced device.
+    let promo = eng.promote("standby").expect("the standby is attached");
+    let mut vt2 = promo.vt;
+    let promoted_at = vt2.now();
+    let mut kv2 = MemSnapKv::restore(promo.disk, &mut vt2);
+    let probe = cfg.keys_per_batch.saturating_sub(1);
+    let first_read = kv2.get(&mut vt2, probe);
+    let failover_latency = vt2.now().saturating_sub(promoted_at);
+
+    // Prefix consistency: the promoted store holds exactly the first N
+    // batches for some N ≤ committed — never a torn batch, never the
+    // partitioned one.
+    let len = kv2.len() as u64;
+    let visible_batches = len / cfg.keys_per_batch;
+    let mut prefix_consistent = len.is_multiple_of(cfg.keys_per_batch)
+        && visible_batches <= cfg.batches_before_crash
+        && first_read.as_deref() == Some(&MixOp::value_bytes(probe)[..]);
+    for key in 0..visible_batches * cfg.keys_per_batch {
+        prefix_consistent &=
+            kv2.get(&mut vt2, key).as_deref() == Some(&MixOp::value_bytes(key)[..]);
+    }
+    prefix_consistent &= kv2
+        .get(&mut vt2, visible_batches * cfg.keys_per_batch)
+        .is_none();
+
+    // Re-attach the old primary's crashed device as a replica of the new
+    // primary; its unacknowledged batch is divergent history the engine
+    // must fence away before deltas resume.
+    let mut eng2 = msnap_repl::ReplEngine::new(cfg.repl);
+    let net2 = msnap_sim::NetConfig {
+        seed: cfg.net.seed.wrapping_add(1),
+        ..cfg.net
+    };
+    eng2.attach_replica("old-primary", net2, old_disk)
+        .expect("the engine is fresh");
+
+    // The promoted primary keeps taking writes while the old one
+    // re-syncs under load.
+    for extra in 0..cfg.extra_batches {
+        replicated_batch(
+            &mut kv2,
+            &mut vt2,
+            &mut eng2,
+            cfg.batches_before_crash + 1 + extra,
+            cfg.keys_per_batch,
+        );
+    }
+    let settled = eng2
+        .settle(&mut vt2, kv2.memsnap_mut(), Nanos::from_secs(120))
+        .expect("the replication workload runs without fault injection");
+
+    // Byte-for-byte comparison of the re-attached replica against the
+    // new primary's final committed image.
+    let ms = kv2.memsnap_mut();
+    let md = ms.region("memtable").expect("the region exists");
+    let object = ms
+        .region_object_name(md)
+        .expect("the region exists")
+        .to_string();
+    let live = ms.object_epoch(&object).expect("the object exists");
+    ms.msnap_snapshot_object(&mut vt2, &object, "kfinal")
+        .expect("the replication workload runs without fault injection");
+    let pages = ms
+        .store()
+        .snapshot_diff(None, "kfinal")
+        .expect("the snapshot is retained");
+    let mut converged = settled
+        && eng2
+            .replica("old-primary")
+            .expect("attached")
+            .epoch(&object)
+            == live;
+    let mut want = vec![0u8; memsnap::PAGE_SIZE];
+    let mut got = vec![0u8; memsnap::PAGE_SIZE];
+    for &page in &pages {
+        {
+            let (store, pdisk) = kv2.memsnap_mut().replication_parts();
+            store
+                .read_page_at(&mut vt2, pdisk, "kfinal", page, &mut want)
+                .expect("the snapshot is retained");
+        }
+        eng2.replica_mut("old-primary")
+            .expect("attached")
+            .read_page(&object, page, &mut got)
+            .expect("the replica was synced");
+        converged &= want == got;
+    }
+    kv2.memsnap_mut()
+        .msnap_snapshot_delete(&mut vt2, "kfinal")
+        .expect("the snapshot is retained");
+    let m = eng2.link_metrics("old-primary").expect("attached");
+
+    KvReplReport {
+        committed_batches: cfg.batches_before_crash,
+        visible_batches,
+        prefix_consistent,
+        failover_latency,
+        reattach_full_syncs: m.full_syncs,
+        reattach_delta_syncs: m.delta_syncs,
+        reattach_converged: converged,
+        final_len: kv2.len() as u64,
     }
 }
 
@@ -543,6 +762,42 @@ mod tests {
             grouped.disk_writes,
             solo.disk_writes
         );
+    }
+
+    #[test]
+    fn replicated_kv_promotes_a_prefix_and_resyncs_the_old_primary() {
+        let report = run_replicated_kv(&KvReplConfig {
+            batches_before_crash: 6,
+            extra_batches: 4,
+            keys_per_batch: 8,
+            net: msnap_sim::NetConfig::calm(23),
+            repl: msnap_repl::ReplConfig::default(),
+        });
+        assert_eq!(report.visible_batches, 6, "settled batches all survive");
+        assert!(
+            report.prefix_consistent,
+            "failover must surface an exact committed batch prefix: {report:?}"
+        );
+        assert!(report.failover_latency > Nanos::ZERO);
+        assert!(
+            report.reattach_converged,
+            "the old primary must converge with the promoted one: {report:?}"
+        );
+        assert!(report.reattach_delta_syncs > 0, "{report:?}");
+        assert_eq!(report.final_len, (6 + 4) * 8);
+    }
+
+    #[test]
+    fn replicated_kv_survives_a_lossy_link() {
+        let report = run_replicated_kv(&KvReplConfig {
+            batches_before_crash: 4,
+            extra_batches: 2,
+            keys_per_batch: 4,
+            net: msnap_sim::NetConfig::lossy(31),
+            repl: msnap_repl::ReplConfig::default(),
+        });
+        assert!(report.prefix_consistent, "{report:?}");
+        assert!(report.reattach_converged, "{report:?}");
     }
 
     #[test]

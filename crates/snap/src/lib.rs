@@ -24,6 +24,21 @@
 //! - [`sync_to`] is the one-call driver: incremental when the replica's
 //!   epoch matches a retained base snapshot on the primary, full-sync
 //!   fallback when that base is gone.
+//!
+//! Every wire structure also encodes and decodes **piecewise**
+//! ([`StreamHeader::encode`], [`PageFrame::encode`],
+//! [`StreamTrailer::encode`]), so a replication transport can ship each
+//! frame as its own datagram over a lossy link and resume from
+//! [`ApplySession::next_seq`] after drops. The decode path never
+//! panics on malformed bytes — an arbitrary byte string from the
+//! network produces [`SnapError::Malformed`], not a crashed replica.
+//!
+//! For failover, [`ApplySession::begin`] also accepts a **rebase**: if
+//! the stream's base epoch does not match the replica's live epoch but
+//! the replica retains a snapshot at exactly that epoch (a failed
+//! primary rejoining always does — the last shipped-and-acked base),
+//! the session lands through [`ObjectStore::apply_image_at_base`],
+//! atomically abandoning the replica's divergent history.
 
 #![warn(missing_docs)]
 
@@ -152,6 +167,79 @@ pub struct PageFrame {
     pub checksum: u64,
 }
 
+/// Reads a little-endian `u64` at `off`, failing with
+/// [`SnapError::Malformed`] instead of panicking on short input —
+/// network bytes are untrusted.
+fn read_u64(buf: &[u8], off: usize) -> Result<u64, SnapError> {
+    let end = off.checked_add(8).ok_or(SnapError::Malformed)?;
+    let bytes = buf.get(off..end).ok_or(SnapError::Malformed)?;
+    let mut v = [0u8; 8];
+    v.copy_from_slice(bytes);
+    Ok(u64::from_le_bytes(v))
+}
+
+fn write_u64(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+impl StreamHeader {
+    /// Wire size of this header: the fixed part plus the object name.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_FIXED + self.object.len()
+    }
+
+    /// Serializes the header to its checksummed, self-delimiting wire
+    /// form (the first piece of [`DeltaStream::encode`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut head = [0u8; HEADER_FIXED];
+        write_u64(&mut head, 0, STREAM_MAGIC);
+        write_u64(&mut head, 8, self.object.len() as u64);
+        write_u64(&mut head, 16, u64::from(self.base_epoch.is_some()));
+        write_u64(&mut head, 24, self.base_epoch.unwrap_or(0));
+        write_u64(&mut head, 32, self.target_epoch);
+        write_u64(&mut head, 40, self.len_pages);
+        write_u64(&mut head, 48, self.frame_count);
+        let sum = fnv1a_extend(fnv1a(&head[0..56]), self.object.as_bytes());
+        write_u64(&mut head, 56, sum);
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(&head);
+        out.extend_from_slice(self.object.as_bytes());
+        out
+    }
+
+    /// Parses a header from the front of `bytes`, returning it and the
+    /// number of bytes consumed. Never panics on malformed input.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Malformed`] for truncation, a bad magic, or a
+    /// checksum that does not cover the bytes.
+    pub fn decode(bytes: &[u8]) -> Result<(StreamHeader, usize), SnapError> {
+        if read_u64(bytes, 0)? != STREAM_MAGIC {
+            return Err(SnapError::Malformed);
+        }
+        let name_len = read_u64(bytes, 8)? as usize;
+        let total = HEADER_FIXED
+            .checked_add(name_len)
+            .ok_or(SnapError::Malformed)?;
+        let name_bytes = bytes.get(HEADER_FIXED..total).ok_or(SnapError::Malformed)?;
+        let fixed = bytes.get(0..56).ok_or(SnapError::Malformed)?;
+        if fnv1a_extend(fnv1a(fixed), name_bytes) != read_u64(bytes, 56)? {
+            return Err(SnapError::Malformed);
+        }
+        let header = StreamHeader {
+            object: String::from_utf8(name_bytes.to_vec()).map_err(|_| SnapError::Malformed)?,
+            base_epoch: (read_u64(bytes, 16)? != 0)
+                .then(|| read_u64(bytes, 24))
+                .transpose()?,
+            target_epoch: read_u64(bytes, 32)?,
+            len_pages: read_u64(bytes, 40)?,
+            frame_count: read_u64(bytes, 48)?,
+        };
+        Ok((header, total))
+    }
+}
+
 impl PageFrame {
     fn compute_checksum(seq: u64, page: u64, data: &[u8]) -> u64 {
         let mut sum = fnv1a(&seq.to_le_bytes());
@@ -163,6 +251,95 @@ impl PageFrame {
     pub fn verify(&self) -> bool {
         self.data.len() == BLOCK_SIZE
             && self.checksum == Self::compute_checksum(self.seq, self.page, &self.data)
+    }
+
+    /// Wire size of one frame.
+    pub const fn encoded_len() -> usize {
+        FRAME_LEN
+    }
+
+    /// Serializes the frame — one datagram's worth of stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not [`BLOCK_SIZE`] bytes (frames built by
+    /// this crate always are).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(FRAME_LEN);
+        let mut fh = [0u8; 32];
+        write_u64(&mut fh, 0, FRAME_MAGIC);
+        write_u64(&mut fh, 8, self.seq);
+        write_u64(&mut fh, 16, self.page);
+        write_u64(&mut fh, 24, self.checksum);
+        out.extend_from_slice(&fh);
+        assert_eq!(self.data.len(), BLOCK_SIZE, "page frames carry one block");
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Parses a frame from the front of `bytes`, returning it and the
+    /// bytes consumed. Structural only — the content checksum is checked
+    /// by [`PageFrame::verify`] / [`ApplySession::feed`], so a transport
+    /// can report [`SnapError::FrameCorrupt`] with the right sequence
+    /// number.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Malformed`] for truncation or a bad magic.
+    pub fn decode(bytes: &[u8]) -> Result<(PageFrame, usize), SnapError> {
+        if read_u64(bytes, 0)? != FRAME_MAGIC {
+            return Err(SnapError::Malformed);
+        }
+        let data = bytes.get(32..FRAME_LEN).ok_or(SnapError::Malformed)?;
+        let frame = PageFrame {
+            seq: read_u64(bytes, 8)?,
+            page: read_u64(bytes, 16)?,
+            checksum: read_u64(bytes, 24)?,
+            data: data.to_vec(),
+        };
+        Ok((frame, FRAME_LEN))
+    }
+}
+
+impl StreamTrailer {
+    /// Wire size of the trailer.
+    pub const fn encoded_len() -> usize {
+        TRAILER_LEN
+    }
+
+    /// Serializes the trailer (checksummed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut t = [0u8; TRAILER_LEN];
+        write_u64(&mut t, 0, TRAILER_MAGIC);
+        write_u64(&mut t, 8, self.frames);
+        write_u64(&mut t, 16, self.stream_sum);
+        let sum = fnv1a(&t[0..24]);
+        write_u64(&mut t, 24, sum);
+        t.to_vec()
+    }
+
+    /// Parses a trailer from the front of `bytes`, returning it and the
+    /// bytes consumed. Never panics on malformed input.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Malformed`] for truncation, a bad magic, or a
+    /// self-checksum mismatch.
+    pub fn decode(bytes: &[u8]) -> Result<(StreamTrailer, usize), SnapError> {
+        if read_u64(bytes, 0)? != TRAILER_MAGIC {
+            return Err(SnapError::Malformed);
+        }
+        let fixed = bytes.get(0..24).ok_or(SnapError::Malformed)?;
+        if fnv1a(fixed) != read_u64(bytes, 24)? {
+            return Err(SnapError::Malformed);
+        }
+        Ok((
+            StreamTrailer {
+                frames: read_u64(bytes, 8)?,
+                stream_sum: read_u64(bytes, 16)?,
+            },
+            TRAILER_LEN,
+        ))
     }
 }
 
@@ -224,7 +401,11 @@ impl DeltaStream {
             ),
         };
         let pages = store.snapshot_diff(base, target)?;
-        let object = store.object_names()[entry.object.0 as usize].clone();
+        let object = store
+            .object_names()
+            .get(entry.object.0 as usize)
+            .cloned()
+            .ok_or(StoreError::NotFound)?;
         let mut frames = Vec::with_capacity(pages.len());
         let mut buf = vec![0u8; BLOCK_SIZE];
         for (seq, page) in pages.into_iter().enumerate() {
@@ -262,43 +443,17 @@ impl DeltaStream {
     /// Serializes the stream to its wire form.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.encoded_len());
-        let h = &self.header;
-        let mut head = [0u8; HEADER_FIXED];
-        let w = |buf: &mut [u8], off: usize, v: u64| {
-            buf[off..off + 8].copy_from_slice(&v.to_le_bytes())
-        };
-        w(&mut head, 0, STREAM_MAGIC);
-        w(&mut head, 8, h.object.len() as u64);
-        w(&mut head, 16, u64::from(h.base_epoch.is_some()));
-        w(&mut head, 24, h.base_epoch.unwrap_or(0));
-        w(&mut head, 32, h.target_epoch);
-        w(&mut head, 40, h.len_pages);
-        w(&mut head, 48, h.frame_count);
-        let sum = fnv1a_extend(fnv1a(&head[0..56]), h.object.as_bytes());
-        w(&mut head, 56, sum);
-        out.extend_from_slice(&head);
-        out.extend_from_slice(h.object.as_bytes());
+        out.extend_from_slice(&self.header.encode());
         for f in &self.frames {
-            let mut fh = [0u8; 32];
-            w(&mut fh, 0, FRAME_MAGIC);
-            w(&mut fh, 8, f.seq);
-            w(&mut fh, 16, f.page);
-            w(&mut fh, 24, f.checksum);
-            out.extend_from_slice(&fh);
-            out.extend_from_slice(&f.data);
+            out.extend_from_slice(&f.encode());
         }
-        let mut t = [0u8; TRAILER_LEN];
-        w(&mut t, 0, TRAILER_MAGIC);
-        w(&mut t, 8, self.trailer.frames);
-        w(&mut t, 16, self.trailer.stream_sum);
-        let sum = fnv1a(&t[0..24]);
-        w(&mut t, 24, sum);
-        out.extend_from_slice(&t);
+        out.extend_from_slice(&self.trailer.encode());
         out
     }
 
     /// Parses and fully validates a wire-form stream: header checksum,
-    /// every frame checksum, and the trailer binding.
+    /// every frame checksum, and the trailer binding. Never panics (or
+    /// over-allocates) on malformed input.
     ///
     /// # Errors
     ///
@@ -306,61 +461,25 @@ impl DeltaStream {
     /// [`SnapError::FrameCorrupt`] / [`SnapError::TrailerMismatch`] for
     /// checksum failures.
     pub fn decode(bytes: &[u8]) -> Result<DeltaStream, SnapError> {
-        let r = |buf: &[u8], off: usize| {
-            u64::from_le_bytes(buf[off..off + 8].try_into().expect("bounds checked"))
-        };
-        if bytes.len() < HEADER_FIXED {
-            return Err(SnapError::Malformed);
-        }
-        if r(bytes, 0) != STREAM_MAGIC {
-            return Err(SnapError::Malformed);
-        }
-        let name_len = r(bytes, 8) as usize;
-        if bytes.len() < HEADER_FIXED + name_len {
-            return Err(SnapError::Malformed);
-        }
-        let name_bytes = &bytes[HEADER_FIXED..HEADER_FIXED + name_len];
-        if fnv1a_extend(fnv1a(&bytes[0..56]), name_bytes) != r(bytes, 56) {
-            return Err(SnapError::Malformed);
-        }
-        let header = StreamHeader {
-            object: String::from_utf8(name_bytes.to_vec()).map_err(|_| SnapError::Malformed)?,
-            base_epoch: (r(bytes, 16) != 0).then(|| r(bytes, 24)),
-            target_epoch: r(bytes, 32),
-            len_pages: r(bytes, 40),
-            frame_count: r(bytes, 48),
-        };
-        let mut off = HEADER_FIXED + name_len;
-        let mut frames = Vec::with_capacity(header.frame_count as usize);
+        let (header, mut off) = StreamHeader::decode(bytes)?;
+        // An attacker-controlled frame count must not drive the
+        // allocation — cap the reserve by what the bytes could hold.
+        let cap = (header.frame_count as usize).min(bytes.len() / FRAME_LEN + 1);
+        let mut frames = Vec::with_capacity(cap);
         for seq in 0..header.frame_count {
-            if bytes.len() < off + FRAME_LEN {
+            let rest = bytes.get(off..).ok_or(SnapError::Malformed)?;
+            let (frame, used) = PageFrame::decode(rest)?;
+            if frame.seq != seq {
                 return Err(SnapError::Malformed);
             }
-            if r(bytes, off) != FRAME_MAGIC || r(bytes, off + 8) != seq {
-                return Err(SnapError::Malformed);
-            }
-            let frame = PageFrame {
-                seq,
-                page: r(bytes, off + 16),
-                checksum: r(bytes, off + 24),
-                data: bytes[off + 32..off + FRAME_LEN].to_vec(),
-            };
             if !frame.verify() {
                 return Err(SnapError::FrameCorrupt { seq });
             }
             frames.push(frame);
-            off += FRAME_LEN;
+            off += used;
         }
-        if bytes.len() < off + TRAILER_LEN {
-            return Err(SnapError::Malformed);
-        }
-        if r(bytes, off) != TRAILER_MAGIC || fnv1a(&bytes[off..off + 24]) != r(bytes, off + 24) {
-            return Err(SnapError::Malformed);
-        }
-        let trailer = StreamTrailer {
-            frames: r(bytes, off + 8),
-            stream_sum: r(bytes, off + 16),
-        };
+        let rest = bytes.get(off..).ok_or(SnapError::Malformed)?;
+        let (trailer, _) = StreamTrailer::decode(rest)?;
         if trailer.frames != frames.len() as u64 || trailer.stream_sum != chain_sum(&frames) {
             return Err(SnapError::TrailerMismatch);
         }
@@ -384,14 +503,23 @@ pub struct ApplySession {
     staged: Vec<(u64, Vec<u8>)>,
     next_seq: u64,
     running_sum: u64,
+    /// A retained snapshot on the replica at exactly the stream's base
+    /// epoch, when the replica's *live* epoch has diverged past it: the
+    /// failover rebase path ([`ObjectStore::apply_image_at_base`]).
+    rebase_from: Option<String>,
 }
 
 impl ApplySession {
     /// Opens an apply session against the replica for `header`.
     ///
     /// A delta stream (`base_epoch = Some`) requires the replica to sit
-    /// exactly at the base epoch; a full stream applies from any epoch
-    /// behind the target. The replica object is created if missing.
+    /// exactly at the base epoch — **or** to retain a snapshot at
+    /// exactly that epoch, in which case the session becomes a *rebase*:
+    /// [`ApplySession::finish`] applies the delta on top of the retained
+    /// snapshot, atomically abandoning everything the replica committed
+    /// past it (how a failed primary rejoins after promotion elsewhere).
+    /// A full stream applies from any epoch behind the target. The
+    /// replica object is created if missing.
     ///
     /// # Errors
     ///
@@ -411,22 +539,40 @@ impl ApplySession {
         if at >= header.target_epoch {
             return Err(SnapError::AlreadyCurrent);
         }
+        let mut rebase_from = None;
         if let Some(base) = header.base_epoch {
             if base != at {
-                return Err(SnapError::BaseMismatch {
-                    stream_base: base,
-                    replica: at,
-                });
+                rebase_from = replica
+                    .snapshots()
+                    .into_iter()
+                    .find(|s| s.object == object && s.epoch == base)
+                    .map(|s| s.name);
+                if rebase_from.is_none() {
+                    return Err(SnapError::BaseMismatch {
+                        stream_base: base,
+                        replica: at,
+                    });
+                }
             }
         }
         Ok(ApplySession {
             object,
             target_epoch: header.target_epoch,
             expected_frames: header.frame_count,
-            staged: Vec::with_capacity(header.frame_count as usize),
+            // An untrusted frame count must not drive the allocation;
+            // the staging vector grows as frames actually arrive.
+            staged: Vec::new(),
             next_seq: 0,
             running_sum: msnap_store::FNV_OFFSET,
+            rebase_from,
         })
+    }
+
+    /// Whether this session will rebase onto a retained snapshot,
+    /// abandoning the replica's divergent history at
+    /// [`ApplySession::finish`].
+    pub fn is_rebase(&self) -> bool {
+        self.rebase_from.is_some()
     }
 
     /// The sequence number the session expects next — the resume point
@@ -459,8 +605,10 @@ impl ApplySession {
     }
 
     /// Verifies the trailer against everything staged and commits the
-    /// stream through [`ObjectStore::apply_image`] — one crash-atomic
-    /// root switch landing the replica exactly at the target epoch.
+    /// stream through [`ObjectStore::apply_image`] (or
+    /// [`ObjectStore::apply_image_at_base`] for a rebase session) — one
+    /// crash-atomic root switch landing the replica exactly at the
+    /// target epoch.
     ///
     /// # Errors
     ///
@@ -482,7 +630,12 @@ impl ApplySession {
             return Err(SnapError::TrailerMismatch);
         }
         let iov: Vec<(u64, &[u8])> = self.staged.iter().map(|(p, d)| (*p, &d[..])).collect();
-        let token = replica.apply_image(vt, disk, self.object, &iov, self.target_epoch)?;
+        let token = match &self.rebase_from {
+            None => replica.apply_image(vt, disk, self.object, &iov, self.target_epoch)?,
+            Some(base) => {
+                replica.apply_image_at_base(vt, disk, self.object, base, &iov, self.target_epoch)?
+            }
+        };
         Ok(token)
     }
 }
@@ -525,7 +678,11 @@ pub fn sync_to(
         .snapshot_lookup(target)
         .ok_or(StoreError::SnapshotNotFound)?
         .clone();
-    let object_name = primary.object_names()[entry.object.0 as usize].clone();
+    let object_name = primary
+        .object_names()
+        .get(entry.object.0 as usize)
+        .cloned()
+        .ok_or(StoreError::NotFound)?;
     let replica_epoch = replica
         .lookup(&object_name)
         .map_or(0, |id| replica.epoch(id));
@@ -723,6 +880,113 @@ mod tests {
             replica.epoch(robj),
             store.snapshot_lookup("c").unwrap().epoch
         );
+    }
+
+    #[test]
+    fn piecewise_codec_matches_the_stream_form() {
+        let (mut disk, store, mut vt, _) = primary_with_two_snapshots();
+        let stream = DeltaStream::build(&mut vt, &mut disk, &store, Some("a"), "b").unwrap();
+        // header ++ frames ++ trailer, each encoded alone, is the wire form.
+        let mut wire = stream.header.encode();
+        for f in &stream.frames {
+            wire.extend_from_slice(&f.encode());
+        }
+        wire.extend_from_slice(&stream.trailer.encode());
+        assert_eq!(wire, stream.encode());
+
+        let (h, used) = StreamHeader::decode(&wire).unwrap();
+        assert_eq!(h, stream.header);
+        let (f0, fused) = PageFrame::decode(&wire[used..]).unwrap();
+        assert_eq!(f0, stream.frames[0]);
+        assert!(f0.verify());
+        let (t, _) = StreamTrailer::decode(&wire[used + 2 * fused..]).unwrap();
+        assert_eq!(t, stream.trailer);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoders() {
+        // A replica faces untrusted network bytes: every decoder must
+        // fail cleanly on garbage, truncations, and bit flips.
+        let (mut disk, store, mut vt, _) = primary_with_two_snapshots();
+        let wire = DeltaStream::build(&mut vt, &mut disk, &store, None, "b")
+            .unwrap()
+            .encode();
+        for len in 0..wire.len() {
+            assert!(DeltaStream::decode(&wire[..len]).is_err());
+            let _ = StreamHeader::decode(&wire[..len]);
+            let _ = PageFrame::decode(&wire[..len]);
+            let _ = StreamTrailer::decode(&wire[..len]);
+        }
+        for stride in [1usize, 7, 13] {
+            let mut bad = wire.clone();
+            for i in (0..bad.len()).step_by(stride) {
+                bad[i] ^= 0x5A;
+            }
+            assert!(DeltaStream::decode(&bad).is_err());
+        }
+        // A header lying about its frame count must not over-allocate
+        // or panic.
+        let mut lying = wire.clone();
+        lying[48..56].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(DeltaStream::decode(&lying).is_err());
+    }
+
+    #[test]
+    fn rebase_session_abandons_divergent_replica_history() {
+        let (mut disk, mut store, mut vt, obj) = primary_with_two_snapshots();
+        // "Replica" is an old primary: it holds snapshot "a" and then
+        // diverged past it on its own.
+        let mut rdisk = Disk::new(DiskConfig::paper());
+        let mut replica = ObjectStore::format(&mut rdisk);
+        sync_to(&mut vt, &store, &mut disk, &mut replica, &mut rdisk, "a").unwrap();
+        let robj = replica.lookup("db").unwrap();
+        replica
+            .snapshot_create(&mut vt, &mut rdisk, robj, "acked")
+            .unwrap();
+        for i in 0..6u64 {
+            let p = page_of(0xC0 + i as u8);
+            let t = replica
+                .persist(&mut vt, &mut rdisk, robj, &[(i % 5, &p)])
+                .unwrap();
+            ObjectStore::wait(&mut vt, t);
+        }
+        let diverged = replica.epoch(robj);
+        assert!(diverged > store.snapshot_lookup("a").unwrap().epoch);
+
+        // New primary fences past the divergence, snapshots, and ships
+        // the delta a → fence. The replica's live epoch mismatches the
+        // base, but it retains "acked" at exactly the base epoch: rebase.
+        let t = store
+            .fence_epoch(&mut vt, &mut disk, obj, diverged + 10)
+            .unwrap();
+        ObjectStore::wait(&mut vt, t);
+        store.snapshot_create(&mut vt, &mut disk, obj, "f").unwrap();
+        let stream = DeltaStream::build(&mut vt, &mut disk, &store, Some("a"), "f").unwrap();
+        let mut session =
+            ApplySession::begin(&mut vt, &mut rdisk, &mut replica, &stream.header).unwrap();
+        assert!(session.is_rebase());
+        for f in &stream.frames {
+            session.feed(f).unwrap();
+        }
+        let token = session
+            .finish(&mut vt, &mut rdisk, &mut replica, &stream.trailer)
+            .unwrap();
+        ObjectStore::wait(&mut vt, token);
+        assert_eq!(replica.epoch(robj), diverged + 10);
+
+        // Byte-for-byte the rejoined replica equals the fence snapshot;
+        // the divergent writes are gone.
+        let mut want = page_of(0);
+        let mut got = page_of(0);
+        for page in 0..5u64 {
+            store
+                .read_page_at(&mut vt, &mut disk, "f", page, &mut want)
+                .unwrap();
+            replica
+                .read_page(&mut vt, &mut rdisk, robj, page, &mut got)
+                .unwrap();
+            assert_eq!(got, want, "rejoined page {page} diverges");
+        }
     }
 
     #[test]

@@ -385,7 +385,7 @@ impl SnapCatalog {
     /// # Panics
     ///
     /// Panics if there are more than [`MAX_SNAPSHOTS`] entries or a name
-    /// exceeds [`NAME_LEN`] bytes (callers enforce both before mutating
+    /// exceeds `NAME_LEN` bytes (callers enforce both before mutating
     /// the catalog).
     pub fn to_block(&self) -> [u8; BLOCK_SIZE] {
         assert!(

@@ -277,6 +277,31 @@ impl RadixTree {
         out
     }
 
+    /// Every disk block the tree references, tolerating dirty nodes: a
+    /// dirty node has no committed block of its own yet, but the data
+    /// blocks and committed nodes below it are real. This is the on-disk
+    /// footprint an abandoned (possibly mid-delta-window) history leaves
+    /// behind, which the rebase path quarantines for recycling.
+    pub fn disk_blocks(&self) -> Vec<u64> {
+        fn walk(node: &Node, out: &mut Vec<u64>) {
+            if let Some(b) = node.disk_block {
+                out.push(b);
+            }
+            for child in &node.children {
+                match child {
+                    Child::Empty => {}
+                    Child::Data(b) => out.push(*b),
+                    Child::Node(n) => walk(n, out),
+                }
+            }
+        }
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            walk(root, &mut out);
+        }
+        out
+    }
+
     /// Pages whose mapping differs between `base` and `target`, as
     /// `(page, target data block)` pairs in page order. Subtrees whose
     /// committed block numbers match on both sides are skipped without

@@ -1247,6 +1247,123 @@ impl ObjectStore {
         Ok(token)
     }
 
+    /// Advances `object` to `epoch` without changing its content: a
+    /// data-less full root at the new epoch. Replication uses this as a
+    /// **promotion fence**: a replica promoted to primary first jumps
+    /// its epoch past anything the failed primary could have durably
+    /// committed, so every epoch the new primary hands out is strictly
+    /// newer than the abandoned history and [`ObjectStore::apply_image`]'s
+    /// forward-only rule keeps holding on every node.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`], [`StoreError::StaleEpoch`] if `epoch`
+    /// is not ahead of the object, [`StoreError::OutOfSpace`], or
+    /// [`StoreError::Io`]. On error the object is unchanged.
+    pub fn fence_epoch(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        object: ObjectId,
+        epoch: Epoch,
+    ) -> Result<CommitToken, StoreError> {
+        self.recycle_pending(vt.now());
+        let state = self
+            .objects
+            .get(object.0 as usize)
+            .ok_or(StoreError::NotFound)?;
+        if epoch <= state.epoch {
+            return Err(StoreError::StaleEpoch);
+        }
+        vt.charge(Category::FileSystem, costs::INITIATE_BASE);
+        let token = self.full_commit(vt, disk, object, &[], epoch)?;
+        self.stats.commits += 1;
+        Ok(token)
+    }
+
+    /// Rebase commit: applies `pages` **on top of the retained snapshot
+    /// `base`** (not the live tree) as one crash-atomic full image at
+    /// `target_epoch`, abandoning everything the object committed since
+    /// the snapshot.
+    ///
+    /// This is how a failed primary rejoins as a replica: its live tree
+    /// holds epochs the new primary never acknowledged (a divergent
+    /// history), but both sides retain the last shipped-and-acked
+    /// snapshot, so the new primary ships a delta diffed against that
+    /// common base and the old primary lands it here. The root-record
+    /// write is the single commit point — a crash mid-rebase recovers
+    /// the object at exactly its divergent epoch or exactly
+    /// `target_epoch`, never a blend. Blocks only the abandoned history
+    /// reached are quarantined and recycled once the rebase root is
+    /// durable (snapshot pins still withhold what retained epochs
+    /// reach).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::SnapshotNotFound`] / [`StoreError::SnapshotMismatch`]
+    /// for a bad base, [`StoreError::NotFound`],
+    /// [`StoreError::StaleEpoch`] if `target_epoch` is not ahead of the
+    /// live epoch, [`StoreError::OutOfSpace`], or [`StoreError::Io`].
+    /// On error the object keeps its divergent history unchanged.
+    pub fn apply_image_at_base(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        object: ObjectId,
+        base: &str,
+        pages: &[(u64, &[u8])],
+        target_epoch: Epoch,
+    ) -> Result<CommitToken, StoreError> {
+        self.recycle_pending(vt.now());
+        let snap = self
+            .snapshots
+            .iter()
+            .find(|s| s.entry.name == base)
+            .ok_or(StoreError::SnapshotNotFound)?;
+        if snap.entry.object != object {
+            return Err(StoreError::SnapshotMismatch);
+        }
+        let base_tree = snap.tree.clone();
+        let base_blocks: HashSet<u64> = snap.blocks.iter().copied().collect();
+        let state = self
+            .objects
+            .get_mut(object.0 as usize)
+            .ok_or(StoreError::NotFound)?;
+        if target_epoch <= state.epoch {
+            return Err(StoreError::StaleEpoch);
+        }
+        vt.charge(
+            Category::FileSystem,
+            costs::INITIATE_BASE + costs::INITIATE_PER_PAGE * pages.len() as u64,
+        );
+        let divergent = std::mem::replace(&mut state.tree, base_tree);
+        let token = match self.full_commit(vt, disk, object, pages, target_epoch) {
+            Ok(t) => t,
+            Err(e) => {
+                // full_commit restored the (cloned) base tree; put the
+                // divergent history back so the object is untouched.
+                self.objects[object.0 as usize].tree = divergent;
+                return Err(e);
+            }
+        };
+        // Quarantine the blocks only the abandoned history reached.
+        // Blocks shared with the base snapshot went through the ordinary
+        // superseded path inside full_commit (and stay withheld while
+        // pinned); blocks still reachable from the rebased tree are live.
+        let state = &mut self.objects[object.0 as usize];
+        let live: HashSet<u64> = state.tree.reachable_blocks().into_iter().collect();
+        let dead: Vec<u64> = divergent
+            .disk_blocks()
+            .into_iter()
+            .filter(|b| !live.contains(b) && !base_blocks.contains(b))
+            .collect();
+        let gate = state.chain_completes;
+        self.pending_free.push(Reverse((gate, dead)));
+        self.stats.commits += 1;
+        self.stats.pages_written += pages.len() as u64;
+        Ok(token)
+    }
+
     /// Blocks currently pinned by retained snapshots.
     pub fn pinned_blocks(&self) -> usize {
         self.snap_pins.len()
@@ -1877,6 +1994,187 @@ mod tests {
                 .unwrap_err(),
             StoreError::StaleEpoch
         );
+    }
+
+    #[test]
+    fn fence_epoch_jumps_forward_without_changing_content() {
+        let (mut disk, mut store, mut vt) = setup();
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        let p = page_of(0x33);
+        let t = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
+        ObjectStore::wait(&mut vt, t);
+        assert_eq!(store.epoch(obj), 1);
+
+        let t = store.fence_epoch(&mut vt, &mut disk, obj, 100).unwrap();
+        ObjectStore::wait(&mut vt, t);
+        assert_eq!(store.epoch(obj), 100);
+        let mut out = page_of(0);
+        store
+            .read_page(&mut vt, &mut disk, obj, 0, &mut out)
+            .unwrap();
+        assert_eq!(out, p, "a fence never changes content");
+        // The fence survives reopen.
+        disk.settle();
+        let mut vt2 = Vt::new(1);
+        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        assert_eq!(store2.epoch(obj), 100);
+        store2
+            .read_page(&mut vt2, &mut disk, obj, 0, &mut out)
+            .unwrap();
+        assert_eq!(out, p);
+        // A fence at or behind the live epoch is refused.
+        assert_eq!(
+            store.fence_epoch(&mut vt, &mut disk, obj, 100).unwrap_err(),
+            StoreError::StaleEpoch
+        );
+    }
+
+    #[test]
+    fn apply_image_at_base_abandons_divergent_history() {
+        let (mut disk, mut store, mut vt) = setup();
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        for i in 0..4u64 {
+            let p = page_of(0x10 + i as u8);
+            let t = store.persist(&mut vt, &mut disk, obj, &[(i, &p)]).unwrap();
+            ObjectStore::wait(&mut vt, t);
+        }
+        store
+            .snapshot_create(&mut vt, &mut disk, obj, "acked")
+            .unwrap();
+        let base_epoch = store.epoch(obj);
+
+        // Divergent history: commits the new primary never saw.
+        for i in 0..8u64 {
+            let p = page_of(0xD0 + i as u8);
+            let t = store
+                .persist(&mut vt, &mut disk, obj, &[(i % 4, &p)])
+                .unwrap();
+            ObjectStore::wait(&mut vt, t);
+        }
+        assert!(store.epoch(obj) > base_epoch);
+
+        // The rebase delta: the new primary changed pages 1 and 3 since
+        // the common base, and its fence puts the target far ahead.
+        let p1 = page_of(0xA1);
+        let p3 = page_of(0xA3);
+        let target = store.epoch(obj) + 50;
+        let t = store
+            .apply_image_at_base(
+                &mut vt,
+                &mut disk,
+                obj,
+                "acked",
+                &[(1, &p1), (3, &p3)],
+                target,
+            )
+            .unwrap();
+        ObjectStore::wait(&mut vt, t);
+        assert_eq!(store.epoch(obj), target);
+
+        // Content = base image with the delta applied; the divergent
+        // writes (0xD0..) are gone everywhere.
+        let mut out = page_of(0);
+        let want: Vec<Vec<u8>> = vec![page_of(0x10), p1.clone(), page_of(0x12), p3.clone()];
+        for (pg, w) in want.iter().enumerate() {
+            store
+                .read_page(&mut vt, &mut disk, obj, pg as u64, &mut out)
+                .unwrap();
+            assert_eq!(&out, w, "page {pg} after rebase");
+        }
+        // And the rebase is durable: reopen sees the same image.
+        disk.settle();
+        let mut vt2 = Vt::new(1);
+        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        assert_eq!(store2.epoch(obj), target);
+        for (pg, w) in want.iter().enumerate() {
+            store2
+                .read_page(&mut vt2, &mut disk, obj, pg as u64, &mut out)
+                .unwrap();
+            assert_eq!(&out, w, "page {pg} after rebase + reopen");
+        }
+
+        // The base snapshot still reads its pinned image afterwards.
+        store
+            .read_page_at(&mut vt, &mut disk, "acked", 1, &mut out)
+            .unwrap();
+        assert_eq!(out, page_of(0x11));
+
+        // Error cases leave the divergent history untouched.
+        let (mut disk3, mut store3, mut vt3) = setup();
+        let other = store3.create(&mut vt3, &mut disk3, "other").unwrap();
+        assert_eq!(
+            store3
+                .apply_image_at_base(&mut vt3, &mut disk3, other, "nope", &[], 10)
+                .unwrap_err(),
+            StoreError::SnapshotNotFound
+        );
+        assert_eq!(
+            store
+                .apply_image_at_base(&mut vt, &mut disk, obj, "acked", &[], target)
+                .unwrap_err(),
+            StoreError::StaleEpoch
+        );
+    }
+
+    #[test]
+    fn apply_image_at_base_recycles_only_abandoned_blocks() {
+        let (mut disk, mut store, mut vt) = setup();
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        for i in 0..4u64 {
+            let p = page_of(1 + i as u8);
+            let t = store.persist(&mut vt, &mut disk, obj, &[(i, &p)]).unwrap();
+            ObjectStore::wait(&mut vt, t);
+        }
+        store
+            .snapshot_create(&mut vt, &mut disk, obj, "base")
+            .unwrap();
+        for round in 0..20u64 {
+            let p = page_of(0x40 + round as u8);
+            let t = store
+                .persist(&mut vt, &mut disk, obj, &[(round % 4, &p)])
+                .unwrap();
+            ObjectStore::wait(&mut vt, t);
+        }
+        let p0 = page_of(0xEE);
+        let target = store.epoch(obj) + 1;
+        let t = store
+            .apply_image_at_base(&mut vt, &mut disk, obj, "base", &[(0, &p0)], target)
+            .unwrap();
+        ObjectStore::wait(&mut vt, t);
+
+        // Long after the rebase, heavy traffic must be able to reuse the
+        // abandoned blocks without ever corrupting the live image or the
+        // pinned base snapshot.
+        for round in 0..64u64 {
+            let p = page_of(round as u8);
+            let t = store
+                .persist(&mut vt, &mut disk, obj, &[(round % 4, &p)])
+                .unwrap();
+            ObjectStore::wait(&mut vt, t);
+        }
+        let mut out = page_of(0);
+        for pg in 0..4u64 {
+            store
+                .read_page_at(&mut vt, &mut disk, "base", pg, &mut out)
+                .unwrap();
+            assert_eq!(out, page_of(1 + pg as u8), "pinned base page {pg}");
+        }
+        disk.settle();
+        let mut vt2 = Vt::new(1);
+        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        for pg in 0..4u64 {
+            let want = {
+                let mut w = page_of(0);
+                store
+                    .read_page(&mut vt, &mut disk, obj, pg, &mut w)
+                    .unwrap();
+                w
+            };
+            store2
+                .read_page(&mut vt2, &mut disk, obj, pg, &mut out)
+                .unwrap();
+            assert_eq!(out, want, "reopened page {pg}");
+        }
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! A replicated key-value store: delta shipping over a lossy link,
+//! lag-driven flow control, and a crash-consistent failover.
+//!
+//! A MemSnap KV primary streams its committed epochs to a standby over a
+//! simulated WAN link that drops 15% of datagrams. The primary is then
+//! killed with one batch committed locally but unacknowledged behind a
+//! partition; the standby promotes, serves reads of exactly a committed
+//! batch prefix, and the old primary's crashed device re-attaches as a
+//! replica and converges by delta alone.
+//!
+//! Run with: `cargo run --example replicated_kv`
+
+use msnap_repl::{ReplConfig, ReplEngine};
+use msnap_sim::NetConfig;
+use msnap_skipdb::drivers::{run_replicated_kv, KvReplConfig};
+
+fn main() {
+    println!("== replicated KV over a 15%-loss WAN link ==");
+    let report = run_replicated_kv(&KvReplConfig {
+        batches_before_crash: 8,
+        extra_batches: 4,
+        keys_per_batch: 8,
+        net: NetConfig::lossy(13),
+        repl: ReplConfig::default(),
+    });
+    println!(
+        "committed {} batches, then one more behind a partition; killed the primary",
+        report.committed_batches
+    );
+    println!(
+        "promoted standby sees {}/{} batches (the partitioned one is gone), \
+         first read {} after promotion",
+        report.visible_batches, report.committed_batches, report.failover_latency
+    );
+    assert!(
+        report.prefix_consistent,
+        "failover must surface an exact committed batch prefix"
+    );
+    println!("promoted store is an exact committed batch prefix ✓");
+    println!(
+        "old primary re-attached and converged via {} delta ships, {} full images",
+        report.reattach_delta_syncs, report.reattach_full_syncs
+    );
+    assert!(report.reattach_converged);
+    println!("old primary matches the new one byte for byte ✓");
+    println!("final store: {} keys", report.final_len);
+
+    println!("\n== flow control: a 1-epoch lag budget on the same link ==");
+    let tight = run_replicated_kv(&KvReplConfig {
+        batches_before_crash: 8,
+        extra_batches: 0,
+        keys_per_batch: 8,
+        net: NetConfig::lossy(13),
+        repl: ReplConfig {
+            max_lag_epochs: 1,
+            ..ReplConfig::default()
+        },
+    });
+    assert!(tight.prefix_consistent && tight.reattach_converged);
+    println!(
+        "with max_lag_epochs = 1 the standby never trails more than one \
+         commit; everything above still holds ✓"
+    );
+
+    // The engine API directly, for orientation: the drivers above wrap
+    // exactly this loop.
+    println!("\n== the raw loop: engine.tick() after every commit ==");
+    let mut eng = ReplEngine::new(ReplConfig::default());
+    eng.add_replica("standby", NetConfig::calm(1)).unwrap();
+    println!(
+        "replica state machine starts at {:?}; tick() ships deltas, settle() \
+         drains, promote() consumes the engine and fences the new primary",
+        eng.replica("standby").unwrap().state()
+    );
+}
