@@ -131,7 +131,15 @@ fn sweep_delta() -> Vec<DeltaPoint> {
 
     let mut rdisk = Disk::new(DiskConfig::paper());
     let mut replica = ObjectStore::format(&mut rdisk);
-    sync_to(&mut vt, &store, &mut disk, &mut replica, &mut rdisk, "s0").unwrap();
+    sync_to(
+        &mut vt,
+        &mut store,
+        &mut disk,
+        &mut replica,
+        &mut rdisk,
+        "s0",
+    )
+    .unwrap();
 
     let mut points = Vec::new();
     let mut base = "s0".to_string();
@@ -149,11 +157,19 @@ fn sweep_delta() -> Vec<DeltaPoint> {
             .snapshot_create(&mut vt, &mut disk, obj, &name)
             .unwrap();
         // What a non-incremental backup would ship at this instant.
-        let full_bytes = msnap_snap::DeltaStream::build(&mut vt, &mut disk, &store, None, &name)
+        let full_bytes = msnap_snap::DeltaStream::build(&mut vt, &mut disk, &mut store, None, &name)
             .unwrap()
             .encoded_len() as u64;
         let t0 = vt.now();
-        let report = sync_to(&mut vt, &store, &mut disk, &mut replica, &mut rdisk, &name).unwrap();
+        let report = sync_to(
+            &mut vt,
+            &mut store,
+            &mut disk,
+            &mut replica,
+            &mut rdisk,
+            &name,
+        )
+        .unwrap();
         assert!(!report.full_sync, "base is retained: rounds must be deltas");
         points.push(DeltaPoint {
             churned_pages: churned,

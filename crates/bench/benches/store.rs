@@ -1,0 +1,373 @@
+//! O(dirty-set) store metadata: what Arc-shared COW nodes, demand-loaded
+//! subtrees, and the unified block cache buy.
+//!
+//! Three sweeps on the raw object store:
+//!
+//! - open latency vs object size: the lazy open reads a constant number
+//!   of metadata blocks regardless of size, while an eager open (which
+//!   materializes the whole tree, the pre-lazy behavior) grows linearly;
+//! - snapshot-create cost vs object size at a fixed 16-page dirty set:
+//!   the retained clone is an O(1) Arc share and the root flush is
+//!   O(dirty path), so the cost is flat — against it, the wall-clock of
+//!   a deep copy of the same tree, which grows with the object;
+//! - block-cache hit rate under uniform vs Zipfian page reads, 10k reads
+//!   against a 1024-page object through the default 256-block cache.
+//!
+//! Emits the machine-readable `BENCH_store.json` at the workspace root.
+
+use std::time::Instant;
+
+use msnap_bench::{header, table, us};
+use msnap_disk::{Disk, DiskConfig, BLOCK_SIZE};
+use msnap_sim::Vt;
+use msnap_store::{ObjectStore, RadixTree, DEFAULT_CACHE_BLOCKS};
+
+const SIZES: [u64; 4] = [64, 256, 1024, 4096];
+const DIRTY_PAGES: u64 = 16;
+const READ_OBJECT_PAGES: u64 = 1024;
+const READS: u64 = 10_000;
+
+fn page_image(tag: u64, page: u64) -> Vec<u8> {
+    let mut img = vec![0u8; BLOCK_SIZE];
+    img[0..8].copy_from_slice(&tag.to_le_bytes());
+    img[8..16].copy_from_slice(&page.to_le_bytes());
+    img
+}
+
+/// Persists pages `0..pages` in one μCheckpoint.
+fn churn(
+    vt: &mut Vt,
+    disk: &mut Disk,
+    store: &mut ObjectStore,
+    obj: msnap_store::ObjectId,
+    tag: u64,
+    pages: u64,
+) {
+    let images: Vec<Vec<u8>> = (0..pages).map(|p| page_image(tag, p)).collect();
+    let iov: Vec<(u64, &[u8])> = images
+        .iter()
+        .enumerate()
+        .map(|(p, img)| (p as u64, &img[..]))
+        .collect();
+    let t = store.persist(vt, disk, obj, &iov).unwrap();
+    ObjectStore::wait(vt, t);
+}
+
+/// A settled device holding one `pages`-page object whose tree is on
+/// disk as a full root with no trailing deltas (a reopen replays
+/// nothing and adopts every node cold). Returns the build's clock too:
+/// measurements must continue on the same timeline, or the reopen's
+/// first IO would absorb the build's queued channel time.
+fn device_with(pages: u64) -> (Disk, Vt) {
+    let mut disk = Disk::new(DiskConfig::paper());
+    let mut store = ObjectStore::format(&mut disk);
+    let mut vt = Vt::new(0);
+    let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+    churn(&mut vt, &mut disk, &mut store, obj, 0, pages);
+    // Create-then-delete flushes the full root without retaining a pin.
+    store
+        .snapshot_create(&mut vt, &mut disk, obj, "flush")
+        .unwrap();
+    store.snapshot_delete(&mut vt, &mut disk, "flush").unwrap();
+    disk.settle();
+    (disk, vt)
+}
+
+struct OpenPoint {
+    pages: u64,
+    lazy_us: f64,
+    lazy_hydrations: u64,
+    eager_us: f64,
+    eager_hydrations: u64,
+}
+
+/// Open latency vs object size, lazy vs eager.
+fn sweep_open() -> Vec<OpenPoint> {
+    header(
+        "Open latency vs object size",
+        "lazy = ObjectStore::open alone (O(1) metadata IO); eager = open \
+         plus materializing every page, the pre-lazy behavior.",
+    );
+    let mut points = Vec::new();
+    for pages in SIZES {
+        let (mut disk, mut vt) = device_with(pages);
+        let t0 = vt.now();
+        let mut store = ObjectStore::open(&mut vt, &mut disk).unwrap();
+        let lazy = vt.now() - t0;
+        let lazy_hydrations = store.stats().hydrations;
+        assert_eq!(lazy_hydrations, 0, "lazy open must not hydrate");
+
+        let obj = store.lookup("db").unwrap();
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        for p in 0..pages {
+            store
+                .read_page(&mut vt, &mut disk, obj, p, &mut buf)
+                .unwrap();
+        }
+        let eager = vt.now() - t0;
+        points.push(OpenPoint {
+            pages,
+            lazy_us: lazy.as_us_f64(),
+            lazy_hydrations,
+            eager_us: eager.as_us_f64(),
+            eager_hydrations: store.stats().hydrations,
+        });
+    }
+    table(
+        &["pages", "lazy us", "lazy loads", "eager us", "eager loads"],
+        &points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{}", p.pages),
+                    us(p.lazy_us),
+                    format!("{}", p.lazy_hydrations),
+                    us(p.eager_us),
+                    format!("{}", p.eager_hydrations),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let lo = points.iter().map(|p| p.lazy_us).fold(f64::MAX, f64::min);
+    let hi = points.iter().map(|p| p.lazy_us).fold(0.0, f64::max);
+    assert!(
+        hi <= 2.0 * lo,
+        "lazy open must stay flat across sizes: {lo:.1}us .. {hi:.1}us"
+    );
+    points
+}
+
+struct SnapPoint {
+    pages: u64,
+    create_us: f64,
+    arc_clone_ns: u128,
+    deep_clone_ns: u128,
+}
+
+/// Snapshot-create cost at a fixed dirty set vs object size; Arc clone
+/// vs deep clone of a same-sized tree (wall clock).
+fn sweep_snapshot() -> Vec<SnapPoint> {
+    header(
+        "Snapshot create vs object size (fixed 16-page dirty set)",
+        "create = full-root flush (O(dirty path)) + catalog write + O(1) \
+         Arc clone of the tree; deep clone of the same tree shown for \
+         contrast (wall-clock ns, grows with the object).",
+    );
+    let mut points = Vec::new();
+    for pages in SIZES {
+        let mut disk = Disk::new(DiskConfig::paper());
+        let mut store = ObjectStore::format(&mut disk);
+        let mut vt = Vt::new(0);
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        churn(&mut vt, &mut disk, &mut store, obj, 0, pages);
+        store
+            .snapshot_create(&mut vt, &mut disk, obj, "warm")
+            .unwrap();
+        churn(&mut vt, &mut disk, &mut store, obj, 1, DIRTY_PAGES);
+        let t0 = vt.now();
+        store
+            .snapshot_create(&mut vt, &mut disk, obj, "bench")
+            .unwrap();
+        let create = vt.now() - t0;
+
+        // Clone costs on a standalone tree of the same shape.
+        let mut tree = RadixTree::new();
+        for p in 0..pages {
+            tree.set(p, 1_000 + p);
+        }
+        let mut next = 1u64;
+        let mut writes = Vec::new();
+        tree.commit(
+            &mut || {
+                next += 1;
+                next
+            },
+            &mut writes,
+        );
+        const ITERS: u32 = 512;
+        let t = Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(tree.clone());
+        }
+        let arc_clone_ns = t.elapsed().as_nanos() / u128::from(ITERS);
+        let t = Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(tree.deep_clone());
+        }
+        let deep_clone_ns = t.elapsed().as_nanos() / u128::from(ITERS);
+
+        points.push(SnapPoint {
+            pages,
+            create_us: create.as_us_f64(),
+            arc_clone_ns,
+            deep_clone_ns,
+        });
+    }
+    table(
+        &["pages", "create us", "arc clone ns", "deep clone ns"],
+        &points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{}", p.pages),
+                    us(p.create_us),
+                    format!("{}", p.arc_clone_ns),
+                    format!("{}", p.deep_clone_ns),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let lo = points.iter().map(|p| p.create_us).fold(f64::MAX, f64::min);
+    let hi = points.iter().map(|p| p.create_us).fold(0.0, f64::max);
+    assert!(
+        hi <= 2.0 * lo,
+        "snapshot create must stay flat across sizes: {lo:.1}us .. {hi:.1}us"
+    );
+    points
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+struct ReadPoint {
+    dist: &'static str,
+    hits: u64,
+    misses: u64,
+    hydrations: u64,
+    hit_rate: f64,
+}
+
+/// Cache hit rate over 10k reads, uniform vs Zipfian(s=1).
+fn sweep_reads() -> Vec<ReadPoint> {
+    header(
+        "Block-cache hit rate, uniform vs Zipfian reads",
+        &format!(
+            "{READ_OBJECT_PAGES}-page object, {DEFAULT_CACHE_BLOCKS}-block \
+             cache, {READS} fixed-seed reads."
+        ),
+    );
+    // Zipfian(s=1) CDF over page ranks.
+    let mut cdf = Vec::with_capacity(READ_OBJECT_PAGES as usize);
+    let mut acc = 0.0f64;
+    for rank in 1..=READ_OBJECT_PAGES {
+        acc += 1.0 / rank as f64;
+        cdf.push(acc);
+    }
+    let total = acc;
+
+    let mut points = Vec::new();
+    for dist in ["uniform", "zipfian"] {
+        let (mut disk, mut vt) = device_with(READ_OBJECT_PAGES);
+        let mut store = ObjectStore::open(&mut vt, &mut disk).unwrap();
+        let obj = store.lookup("db").unwrap();
+        let mut rng = 0x9e37_79b9_7f4a_7c15u64;
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        for _ in 0..READS {
+            let x = xorshift(&mut rng);
+            let page = if dist == "uniform" {
+                x % READ_OBJECT_PAGES
+            } else {
+                let u = (x >> 11) as f64 / (1u64 << 53) as f64 * total;
+                let rank = cdf.partition_point(|&c| c < u) as u64;
+                // Scatter hot ranks across the page space (7919 is
+                // coprime with the page count, so this is a bijection).
+                (rank * 7919) % READ_OBJECT_PAGES
+            };
+            store
+                .read_page(&mut vt, &mut disk, obj, page, &mut buf)
+                .unwrap();
+        }
+        let stats = store.stats();
+        let hit_rate = stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses) as f64;
+        points.push(ReadPoint {
+            dist,
+            hits: stats.cache_hits,
+            misses: stats.cache_misses,
+            hydrations: stats.hydrations,
+            hit_rate,
+        });
+    }
+    table(
+        &["dist", "hits", "misses", "node loads", "hit rate"],
+        &points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.dist.to_string(),
+                    format!("{}", p.hits),
+                    format!("{}", p.misses),
+                    format!("{}", p.hydrations),
+                    format!("{:.1}%", p.hit_rate * 100.0),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let zipf = points.iter().find(|p| p.dist == "zipfian").unwrap();
+    assert!(
+        zipf.hit_rate >= 0.5,
+        "skewed reads must be cache-friendly: {:.1}%",
+        zipf.hit_rate * 100.0
+    );
+    points
+}
+
+fn main() {
+    let open = sweep_open();
+    let snapshot = sweep_snapshot();
+    let reads = sweep_reads();
+
+    let open_json = open
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"pages\":{},\"lazy_us\":{:.3},\"lazy_hydrations\":{},\
+                 \"eager_us\":{:.3},\"eager_hydrations\":{}}}",
+                p.pages, p.lazy_us, p.lazy_hydrations, p.eager_us, p.eager_hydrations
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    let snap_json = snapshot
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"pages\":{},\"create_us\":{:.3},\"arc_clone_ns\":{},\
+                 \"deep_clone_ns\":{}}}",
+                p.pages, p.create_us, p.arc_clone_ns, p.deep_clone_ns
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    let reads_json = reads
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"dist\":\"{}\",\"reads\":{READS},\"hits\":{},\"misses\":{},\
+                 \"hydrations\":{},\"hit_rate\":{:.4}}}",
+                p.dist, p.hits, p.misses, p.hydrations, p.hit_rate
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    let json = format!(
+        "{{\n  \"bench\": \"store\",\n  \"cache_blocks\": {DEFAULT_CACHE_BLOCKS},\n  \
+         \"open\": [\n    {open_json}\n  ],\n  \
+         \"snapshot_create\": [\n    {snap_json}\n  ],\n  \
+         \"reads\": [\n    {reads_json}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");
+    std::fs::write(path, &json).expect("workspace root is writable");
+    println!();
+    println!(
+        "wrote {} open + {} snapshot + {} read points to BENCH_store.json",
+        open.len(),
+        snapshot.len(),
+        reads.len()
+    );
+}

@@ -840,17 +840,16 @@ impl MemSnap {
     /// initiation cost — group commit's "leader pays" rule.
     #[allow(clippy::type_complexity)]
     fn flush_open_batch(&mut self, vt: &mut Vt) {
-        let batch = self.open_batch.take().expect("caller checked open_batch");
+        let mut batch = self.open_batch.take().expect("caller checked open_batch");
 
         // Merge the participants' copied pages per region; a later
         // enqueuer's image of the same page wins (it was copied later).
+        // The buffers were copied once at enqueue — move them, the batch
+        // owns them and nothing reads `copied` after the flush.
         let mut merged: BTreeMap<u32, BTreeMap<u64, Vec<u8>>> = BTreeMap::new();
-        for p in &batch.participants {
-            for (region, page, bytes) in &p.copied {
-                merged
-                    .entry(*region)
-                    .or_default()
-                    .insert(*page, bytes.clone());
+        for p in &mut batch.participants {
+            for (region, page, bytes) in p.copied.drain(..) {
+                merged.entry(region).or_default().insert(page, bytes);
             }
         }
 
@@ -908,8 +907,11 @@ impl MemSnap {
                     for region in merged.keys() {
                         self.sticky.insert(*region, err.clone());
                     }
-                    for p in &batch.participants {
-                        self.vm.untake_dirty(p.thread, p.entries.clone());
+                    // Hand the taken entry lists straight back; the flush
+                    // is consuming the batch, so no clone is needed.
+                    for p in &mut batch.participants {
+                        self.vm
+                            .untake_dirty(p.thread, std::mem::take(&mut p.entries));
                     }
                     error = Some(err);
                 }
@@ -1062,8 +1064,8 @@ impl MemSnap {
     /// [`MemSnap::retained_snapshots`], or [`MemSnap::store`] instead.
     /// The `&mut` split borrow is only for paths that actually move
     /// bytes (building or applying streams).
-    pub fn replication_parts(&mut self) -> (&ObjectStore, &mut Disk) {
-        (&self.store, &mut self.disk)
+    pub fn replication_parts(&mut self) -> (&mut ObjectStore, &mut Disk) {
+        (&mut self.store, &mut self.disk)
     }
 
     /// The committed epoch of a region's backing store object —

@@ -5,7 +5,9 @@ use std::collections::{BTreeSet, BinaryHeap, HashMap};
 
 use msnap_sim::{Category, ChannelPool, Nanos, Vt};
 
-use crate::{DiskConfig, Fault, FaultInjector, FaultPlan, IoError, IoStats, BLOCK_SIZE};
+use crate::{
+    DiskConfig, Fault, FaultInjector, FaultPlan, IoError, IoStats, ReadFaultPlan, BLOCK_SIZE,
+};
 
 /// Handle for an asynchronously submitted write.
 ///
@@ -64,6 +66,11 @@ pub struct Disk {
     /// explicit queue-depth model. Popped past entries lazily at each
     /// submission; the remaining occupancy is sampled into [`IoStats`].
     inflight: BinaryHeap<Reverse<Nanos>>,
+    /// 0-based sequence number of the next *fallible* read submission —
+    /// the key [`ReadFaultPlan`] is indexed by. Infallible reads do not
+    /// consume sequence numbers.
+    read_seq: u64,
+    read_faults: ReadFaultPlan,
 }
 
 impl Disk {
@@ -80,6 +87,8 @@ impl Disk {
             io_seq: 0,
             write_log: Vec::new(),
             inflight: BinaryHeap::new(),
+            read_seq: 0,
+            read_faults: ReadFaultPlan::new(),
         }
     }
 
@@ -329,6 +338,59 @@ impl Disk {
         }
     }
 
+    /// Installs a read-fault plan; every *fallible* read submission from
+    /// now on consults it. Replaces any previous plan. The fallible-read
+    /// sequence counter is not reset — plans are indexed by the device
+    /// lifetime counter (see [`Disk::read_seq`]).
+    pub fn set_read_fault_plan(&mut self, plan: ReadFaultPlan) {
+        self.read_faults = plan;
+    }
+
+    /// Number of fallible read submissions so far — the index the read
+    /// fault plan will assign to the *next* [`Disk::try_read_block_at`].
+    pub fn read_seq(&self) -> u64 {
+        self.read_seq
+    }
+
+    /// Fallible counterpart of [`Disk::read_block_at`]: reads one block at
+    /// `now` without blocking a thread and returns the completion instant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Failed`] if the installed [`ReadFaultPlan`]
+    /// schedules a failure for this submission. No bytes are transferred
+    /// and no time is charged; a retry is a *new* submission (fresh
+    /// sequence number) the plan may treat differently.
+    pub fn try_read_block_at(
+        &mut self,
+        now: Nanos,
+        block: u64,
+        out: &mut [u8],
+    ) -> Result<Nanos, IoError> {
+        let seq = self.read_seq;
+        self.read_seq += 1;
+        if let Some(transient) = self.read_faults.fault_for(seq) {
+            return Err(IoError::Failed { block, transient });
+        }
+        Ok(self.read_block_at(now, block, out))
+    }
+
+    /// Synchronous fallible single-block read; charges the wait as
+    /// [`Category::IoWait`] on success. See [`Disk::try_read_block_at`].
+    pub fn try_read_block(
+        &mut self,
+        vt: &mut Vt,
+        block: u64,
+        out: &mut [u8],
+    ) -> Result<(), IoError> {
+        let done = self.try_read_block_at(vt.now(), block, out)?;
+        let wait = done.saturating_sub(vt.now());
+        if wait > Nanos::ZERO {
+            vt.charge(Category::IoWait, wait);
+        }
+        Ok(())
+    }
+
     /// Simulates a power failure at instant `at`: every write that had not
     /// completed by `at` is rolled back, leaving exactly the durable image.
     ///
@@ -441,6 +503,27 @@ mod tests {
         let mut out = vec![0u8; BLOCK_SIZE];
         disk.read_block(&mut vt, 5, &mut out);
         assert_eq!(out, block_of(0xAB));
+    }
+
+    #[test]
+    fn read_fault_plan_hits_only_scheduled_fallible_reads() {
+        let mut disk = Disk::new(DiskConfig::fast());
+        let mut vt = Vt::new(0);
+        disk.write_block(&mut vt, 5, &block_of(0xAB)).unwrap();
+        disk.set_read_fault_plan(ReadFaultPlan::new().at(1, true));
+        let mut out = vec![0u8; BLOCK_SIZE];
+        // Infallible reads neither consult the plan nor consume numbers.
+        disk.read_block(&mut vt, 5, &mut out);
+        assert_eq!(disk.read_seq(), 0);
+        // Fallible read 0: clean. Read 1: scheduled transient failure.
+        disk.try_read_block(&mut vt, 5, &mut out).unwrap();
+        let err = disk.try_read_block(&mut vt, 5, &mut out).unwrap_err();
+        assert!(err.is_transient());
+        // The retry is submission 2 — past the plan, so it succeeds.
+        out.fill(0);
+        disk.try_read_block(&mut vt, 5, &mut out).unwrap();
+        assert_eq!(out, block_of(0xAB));
+        assert_eq!(disk.read_seq(), 3);
     }
 
     #[test]

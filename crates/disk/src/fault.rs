@@ -251,6 +251,55 @@ impl FaultPlan {
     }
 }
 
+/// A deterministic schedule of *read* failures, keyed by fallible-read
+/// index.
+///
+/// The device numbers every fallible read submission
+/// ([`Disk::try_read_block_at`](crate::Disk::try_read_block_at) /
+/// [`Disk::try_read_block`](crate::Disk::try_read_block)) with a 0-based
+/// sequence counter, separate from the write `io_seq`. A scheduled entry
+/// makes that read fail with [`IoError::Failed`] — no bytes are
+/// transferred and no time is charged. The legacy infallible read paths
+/// (`read_block_at` / `read_block`) neither consume sequence numbers nor
+/// consult the plan, so recovery code that predates fallible reads is
+/// unaffected.
+///
+/// Like [`FaultPlan`], read plans are plain data: the same plan against
+/// the same deterministic workload injects the same faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReadFaultPlan {
+    faults: BTreeMap<u64, bool>,
+}
+
+impl ReadFaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules the `read`-th fallible read (0-based) to fail;
+    /// `transient` is reported through [`IoError::is_transient`].
+    pub fn at(mut self, read: u64, transient: bool) -> Self {
+        self.faults.insert(read, transient);
+        self
+    }
+
+    /// Whether the `read`-th fallible read should fail, and transiently so.
+    pub fn fault_for(&self, read: u64) -> Option<bool> {
+        self.faults.get(&read).copied()
+    }
+
+    /// Number of scheduled read faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan schedules no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
 /// A fault injected into a completed (or failed) submission — the
 /// injector's audit log entry.
 #[derive(Debug, Clone, PartialEq)]

@@ -42,7 +42,9 @@ mod model;
 mod stats;
 
 pub use device::{crash_at_every_io, Disk, WriteToken};
-pub use fault::{Fault, FaultInjector, FaultPlan, FaultProfile, InjectedFault, IoError};
+pub use fault::{
+    Fault, FaultInjector, FaultPlan, FaultProfile, InjectedFault, IoError, ReadFaultPlan,
+};
 pub use model::DiskConfig;
 pub use stats::IoStats;
 

@@ -518,11 +518,13 @@ pub fn run_online_backup(cfg: &OnlineBackupConfig) -> OnlineBackupReport {
         } else {
             report.delta_syncs += 1;
             report.delta_pages += sync.pages;
-            report.full_equivalent_pages += ms
-                .store()
-                .snapshot_diff(None, &name)
-                .expect("the snapshot is retained")
-                .len() as u64;
+            report.full_equivalent_pages += {
+                let (store, pdisk) = ms.replication_parts();
+                store
+                    .snapshot_diff(&mut vt, pdisk, None, &name)
+                    .expect("the snapshot is retained")
+                    .len() as u64
+            };
         }
         // The shipped base has served its purpose; keep only the newest
         // snapshot as the next round's delta base.
@@ -708,10 +710,12 @@ pub fn run_replicated(cfg: &ReplicatedConfig) -> ReplicatedReport {
     let live = ms.object_epoch(&object).expect("the object exists");
     ms.msnap_snapshot_object(&mut vt, &object, "rfinal")
         .expect("the replication workload runs without fault injection");
-    let pages = ms
-        .store()
-        .snapshot_diff(None, "rfinal")
-        .expect("the snapshot is retained");
+    let pages = {
+        let (store, pdisk) = ms.replication_parts();
+        store
+            .snapshot_diff(&mut vt, pdisk, None, "rfinal")
+            .expect("the snapshot is retained")
+    };
     let mut consistent = settled;
     for name in &names {
         consistent &= eng.replica(name).expect("replica exists").epoch(&object) == live;

@@ -143,6 +143,15 @@ pub struct LinkMetrics {
     pub malformed: u64,
     /// Ticks this link spent over its lag budget.
     pub throttled_ticks: u64,
+    /// Primary-side block-cache hits while assembling this link's delta
+    /// streams.
+    pub cache_hits: u64,
+    /// Primary-side block-cache misses (device reads) while assembling
+    /// this link's delta streams.
+    pub cache_misses: u64,
+    /// Radix nodes demand-loaded from the device while assembling this
+    /// link's delta streams (IO the lazy tree deferred until shipping).
+    pub hydrations: u64,
 }
 
 /// What one [`ReplEngine::tick`] did.
@@ -868,10 +877,15 @@ impl ReplEngine {
                 } else {
                     Self::choose_base(&self.owned, ms, object, os, target_epoch)
                 };
+                let stats_before = ms.store().stats();
                 let stream = {
                     let (store, disk) = ms.replication_parts();
                     DeltaStream::build(vt, disk, store, base.as_deref(), &target_snap)?
                 };
+                let stats_after = ms.store().stats();
+                link.metrics.cache_hits += stats_after.cache_hits - stats_before.cache_hits;
+                link.metrics.cache_misses += stats_after.cache_misses - stats_before.cache_misses;
+                link.metrics.hydrations += stats_after.hydrations - stats_before.hydrations;
                 if base.is_none() {
                     link.metrics.full_syncs += 1;
                 } else {

@@ -596,10 +596,12 @@ pub fn run_replicated_kv(cfg: &KvReplConfig) -> KvReplReport {
     let live = ms.object_epoch(&object).expect("the object exists");
     ms.msnap_snapshot_object(&mut vt2, &object, "kfinal")
         .expect("the replication workload runs without fault injection");
-    let pages = ms
-        .store()
-        .snapshot_diff(None, "kfinal")
-        .expect("the snapshot is retained");
+    let pages = {
+        let (store, pdisk) = ms.replication_parts();
+        store
+            .snapshot_diff(&mut vt2, pdisk, None, "kfinal")
+            .expect("the snapshot is retained")
+    };
     let mut converged = settled
         && eng2
             .replica("old-primary")

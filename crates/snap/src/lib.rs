@@ -383,7 +383,7 @@ impl DeltaStream {
     pub fn build(
         vt: &mut Vt,
         disk: &mut Disk,
-        store: &ObjectStore,
+        store: &mut ObjectStore,
         base: Option<&str>,
         target: &str,
     ) -> Result<DeltaStream, SnapError> {
@@ -400,7 +400,7 @@ impl DeltaStream {
                     .epoch,
             ),
         };
-        let pages = store.snapshot_diff(base, target)?;
+        let pages = store.snapshot_diff(vt, disk, base, target)?;
         let object = store
             .object_names()
             .get(entry.object.0 as usize)
@@ -668,7 +668,7 @@ pub struct SyncReport {
 #[allow(clippy::too_many_arguments)]
 pub fn sync_to(
     vt: &mut Vt,
-    primary: &ObjectStore,
+    primary: &mut ObjectStore,
     primary_disk: &mut Disk,
     replica: &mut ObjectStore,
     replica_disk: &mut Disk,
@@ -745,8 +745,8 @@ mod tests {
 
     #[test]
     fn stream_round_trips_through_wire_form() {
-        let (mut disk, store, mut vt, _) = primary_with_two_snapshots();
-        let stream = DeltaStream::build(&mut vt, &mut disk, &store, Some("a"), "b").unwrap();
+        let (mut disk, mut store, mut vt, _) = primary_with_two_snapshots();
+        let stream = DeltaStream::build(&mut vt, &mut disk, &mut store, Some("a"), "b").unwrap();
         assert_eq!(stream.frames.len(), 2);
         assert_eq!(
             stream.frames.iter().map(|f| f.page).collect::<Vec<_>>(),
@@ -759,8 +759,8 @@ mod tests {
 
     #[test]
     fn corrupted_wire_bytes_are_rejected() {
-        let (mut disk, store, mut vt, _) = primary_with_two_snapshots();
-        let stream = DeltaStream::build(&mut vt, &mut disk, &store, Some("a"), "b").unwrap();
+        let (mut disk, mut store, mut vt, _) = primary_with_two_snapshots();
+        let stream = DeltaStream::build(&mut vt, &mut disk, &mut store, Some("a"), "b").unwrap();
         let wire = stream.encode();
 
         // Header damage.
@@ -784,8 +784,8 @@ mod tests {
 
     #[test]
     fn apply_session_enforces_order_and_resumes() {
-        let (mut disk, store, mut vt, _) = primary_with_two_snapshots();
-        let full = DeltaStream::build(&mut vt, &mut disk, &store, None, "a").unwrap();
+        let (mut disk, mut store, mut vt, _) = primary_with_two_snapshots();
+        let full = DeltaStream::build(&mut vt, &mut disk, &mut store, None, "a").unwrap();
 
         let mut rdisk = Disk::new(DiskConfig::paper());
         let mut replica = ObjectStore::format(&mut rdisk);
@@ -832,12 +832,28 @@ mod tests {
         let mut replica = ObjectStore::format(&mut rdisk);
 
         // First round: replica at epoch 0, no base retained → full sync.
-        let r1 = sync_to(&mut vt, &store, &mut disk, &mut replica, &mut rdisk, "a").unwrap();
+        let r1 = sync_to(
+            &mut vt,
+            &mut store,
+            &mut disk,
+            &mut replica,
+            &mut rdisk,
+            "a",
+        )
+        .unwrap();
         assert!(r1.full_sync);
         assert_eq!(r1.pages, 5);
 
         // Second round: replica sits exactly at snapshot "a" → delta.
-        let r2 = sync_to(&mut vt, &store, &mut disk, &mut replica, &mut rdisk, "b").unwrap();
+        let r2 = sync_to(
+            &mut vt,
+            &mut store,
+            &mut disk,
+            &mut replica,
+            &mut rdisk,
+            "b",
+        )
+        .unwrap();
         assert!(!r2.full_sync);
         assert_eq!(r2.pages, 2, "only the changed pages ship");
         assert!(r2.bytes < r1.bytes);
@@ -862,7 +878,15 @@ mod tests {
 
         // Already-current replica refuses the round.
         assert_eq!(
-            sync_to(&mut vt, &store, &mut disk, &mut replica, &mut rdisk, "b").unwrap_err(),
+            sync_to(
+                &mut vt,
+                &mut store,
+                &mut disk,
+                &mut replica,
+                &mut rdisk,
+                "b"
+            )
+            .unwrap_err(),
             SnapError::AlreadyCurrent
         );
 
@@ -874,7 +898,15 @@ mod tests {
         ObjectStore::wait(&mut vt, t);
         store.snapshot_create(&mut vt, &mut disk, obj, "c").unwrap();
         store.snapshot_delete(&mut vt, &mut disk, "b").unwrap();
-        let r3 = sync_to(&mut vt, &store, &mut disk, &mut replica, &mut rdisk, "c").unwrap();
+        let r3 = sync_to(
+            &mut vt,
+            &mut store,
+            &mut disk,
+            &mut replica,
+            &mut rdisk,
+            "c",
+        )
+        .unwrap();
         assert!(r3.full_sync, "missing base epoch must fall back to full");
         assert_eq!(
             replica.epoch(robj),
@@ -884,8 +916,8 @@ mod tests {
 
     #[test]
     fn piecewise_codec_matches_the_stream_form() {
-        let (mut disk, store, mut vt, _) = primary_with_two_snapshots();
-        let stream = DeltaStream::build(&mut vt, &mut disk, &store, Some("a"), "b").unwrap();
+        let (mut disk, mut store, mut vt, _) = primary_with_two_snapshots();
+        let stream = DeltaStream::build(&mut vt, &mut disk, &mut store, Some("a"), "b").unwrap();
         // header ++ frames ++ trailer, each encoded alone, is the wire form.
         let mut wire = stream.header.encode();
         for f in &stream.frames {
@@ -907,8 +939,8 @@ mod tests {
     fn arbitrary_bytes_never_panic_the_decoders() {
         // A replica faces untrusted network bytes: every decoder must
         // fail cleanly on garbage, truncations, and bit flips.
-        let (mut disk, store, mut vt, _) = primary_with_two_snapshots();
-        let wire = DeltaStream::build(&mut vt, &mut disk, &store, None, "b")
+        let (mut disk, mut store, mut vt, _) = primary_with_two_snapshots();
+        let wire = DeltaStream::build(&mut vt, &mut disk, &mut store, None, "b")
             .unwrap()
             .encode();
         for len in 0..wire.len() {
@@ -938,7 +970,15 @@ mod tests {
         // diverged past it on its own.
         let mut rdisk = Disk::new(DiskConfig::paper());
         let mut replica = ObjectStore::format(&mut rdisk);
-        sync_to(&mut vt, &store, &mut disk, &mut replica, &mut rdisk, "a").unwrap();
+        sync_to(
+            &mut vt,
+            &mut store,
+            &mut disk,
+            &mut replica,
+            &mut rdisk,
+            "a",
+        )
+        .unwrap();
         let robj = replica.lookup("db").unwrap();
         replica
             .snapshot_create(&mut vt, &mut rdisk, robj, "acked")
@@ -961,7 +1001,7 @@ mod tests {
             .unwrap();
         ObjectStore::wait(&mut vt, t);
         store.snapshot_create(&mut vt, &mut disk, obj, "f").unwrap();
-        let stream = DeltaStream::build(&mut vt, &mut disk, &store, Some("a"), "f").unwrap();
+        let stream = DeltaStream::build(&mut vt, &mut disk, &mut store, Some("a"), "f").unwrap();
         let mut session =
             ApplySession::begin(&mut vt, &mut rdisk, &mut replica, &stream.header).unwrap();
         assert!(session.is_rebase());
@@ -991,8 +1031,8 @@ mod tests {
 
     #[test]
     fn delta_against_wrong_replica_epoch_reports_base_mismatch() {
-        let (mut disk, store, mut vt, _) = primary_with_two_snapshots();
-        let delta = DeltaStream::build(&mut vt, &mut disk, &store, Some("a"), "b").unwrap();
+        let (mut disk, mut store, mut vt, _) = primary_with_two_snapshots();
+        let delta = DeltaStream::build(&mut vt, &mut disk, &mut store, Some("a"), "b").unwrap();
         let mut rdisk = Disk::new(DiskConfig::paper());
         let mut replica = ObjectStore::format(&mut rdisk);
         // Fresh replica (epoch 0) cannot take a delta based at "a".

@@ -99,6 +99,12 @@ pub struct RootRecord {
     pub tree_root: u64,
     /// Object length in pages (highest written page + 1).
     pub len_pages: u64,
+    /// The allocator's bump frontier (first never-allocated block) at the
+    /// instant this root committed. Recovery restarts allocation past the
+    /// maximum surviving frontier instead of walking every tree — the
+    /// O(1)-open invariant (nothing below `high_water` is ever handed out
+    /// fresh, so lazily loaded subtrees cannot be overwritten).
+    pub high_water: u64,
 }
 
 impl RootRecord {
@@ -111,8 +117,9 @@ impl RootRecord {
         w(16, self.epoch);
         w(24, self.tree_root);
         w(32, self.len_pages);
-        let checksum = fnv1a(&block[0..40]);
-        block[40..48].copy_from_slice(&checksum.to_le_bytes());
+        w(40, self.high_water);
+        let checksum = fnv1a(&block[0..48]);
+        block[48..56].copy_from_slice(&checksum.to_le_bytes());
         block
     }
 
@@ -123,7 +130,7 @@ impl RootRecord {
         if r(0) != ROOT_MAGIC {
             return None;
         }
-        if fnv1a(&block[0..40]) != r(40) {
+        if fnv1a(&block[0..48]) != r(48) {
             return None;
         }
         if r(8) != expect.0 as u64 {
@@ -134,6 +141,7 @@ impl RootRecord {
             epoch: r(16),
             tree_root: r(24),
             len_pages: r(32),
+            high_water: r(40),
         })
     }
 }
@@ -506,6 +514,7 @@ mod tests {
             epoch: 42,
             tree_root: 1234,
             len_pages: 99,
+            high_water: 5000,
         };
         let block = rec.to_block();
         assert_eq!(RootRecord::from_block(&block, ObjectId(7)), Some(rec));
@@ -518,6 +527,7 @@ mod tests {
             epoch: 5,
             tree_root: 10,
             len_pages: 1,
+            high_water: 11,
         };
         let mut block = rec.to_block();
         block[20] ^= 0xFF;
@@ -531,6 +541,7 @@ mod tests {
             epoch: 5,
             tree_root: 10,
             len_pages: 1,
+            high_water: 11,
         };
         let block = rec.to_block();
         assert_eq!(RootRecord::from_block(&block, ObjectId(2)), None);

@@ -44,14 +44,18 @@
 #![warn(missing_docs)]
 
 mod alloc;
+mod cache;
 mod layout;
 mod radix;
 mod store;
 
 pub use alloc::BlockAllocator;
+pub use cache::BlockCache;
 pub use layout::{
     fnv1a, fnv1a_extend, BatchGroup, BatchRecord, DeltaRecord, Epoch, ObjectId, RootRecord,
     SnapCatalog, SnapEntry, BATCH_SLOTS, DELTA_SLOTS, FNV_OFFSET, MAX_DELTA_PAIRS, MAX_SNAPSHOTS,
 };
 pub use radix::RadixTree;
-pub use store::{CommitToken, ObjectStore, StoreError, StoreStats, MAX_IO_ATTEMPTS};
+pub use store::{
+    CommitToken, ObjectStore, StoreError, StoreStats, DEFAULT_CACHE_BLOCKS, MAX_IO_ATTEMPTS,
+};

@@ -6,8 +6,24 @@
 //! frequently" (§3). One tree node fills one 4 KiB block: 512 little-endian
 //! `u64` child pointers; `0` means empty. Three fixed levels cover
 //! 512³ ≈ 134 M pages (512 GiB) per object.
+//!
+//! Nodes are reference-counted (`Arc<Node>`) and mutated through
+//! [`Arc::make_mut`] path copying, so `RadixTree::clone` is O(1) structural
+//! sharing: a clone shares every node with the original until one side
+//! dirties a path, at which point only that root-to-leaf path is copied.
+//! This is what makes abort snapshots and retained-snapshot views
+//! proportional to the *subsequently dirtied* set instead of the object.
+//!
+//! A committed subtree need not be resident: [`Child::Unloaded`] records
+//! the node's disk block without reading it, and the tree hydrates nodes on
+//! first touch ([`RadixTree::hydrate_path`]). Opening an object is
+//! therefore O(1) IO — just the root record — and
+//! [`RadixTree::diff_pages_with`] skips shared subtrees by comparing block
+//! numbers *without* hydrating either side.
 
-use msnap_disk::BLOCK_SIZE;
+use std::sync::Arc;
+
+use msnap_disk::{IoError, BLOCK_SIZE};
 
 /// Children per node: one 4 KiB block of u64 pointers.
 pub const FANOUT: usize = BLOCK_SIZE / 8;
@@ -18,13 +34,36 @@ pub const MAX_PAGES: u64 = (FANOUT as u64).pow(LEVELS as u32);
 
 const SHIFT: [u32; LEVELS] = [18, 9, 0];
 
+/// Fallible single-block read used for demand hydration. The store wires
+/// this to the device (charging simulated IO) and its block cache.
+pub type BlockRead<'a> = &'a mut dyn FnMut(u64, &mut [u8; BLOCK_SIZE]) -> Result<(), IoError>;
+
 #[derive(Debug, Clone)]
 enum Child {
     Empty,
     /// At the last level: a data block number.
     Data(u64),
-    /// At interior levels: a child node.
-    Node(Box<Node>),
+    /// At interior levels: a resident child node, possibly shared with
+    /// other trees (clones, snapshots, abort snapshots).
+    Node(Arc<Node>),
+    /// A committed child node that has not been read from disk yet. The
+    /// block number is enough to commit, diff, and serialize around it;
+    /// only descending *into* the subtree forces a read.
+    Unloaded(u64),
+}
+
+impl Child {
+    /// The committed block this child refers to, or `None` if the child is
+    /// empty or dirty. Two children with equal `Some` refs index identical
+    /// subtrees (the COW invariant: committed blocks are never rewritten).
+    fn committed_ref(&self) -> Option<u64> {
+        match self {
+            Child::Empty => None,
+            Child::Data(b) => Some(*b),
+            Child::Node(n) => n.disk_block,
+            Child::Unloaded(b) => Some(*b),
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -36,11 +75,30 @@ struct Node {
 }
 
 impl Node {
-    fn new() -> Box<Node> {
-        Box::new(Node {
-            children: (0..FANOUT).map(|_| Child::Empty).collect(),
+    fn new() -> Node {
+        Node {
+            children: vec![Child::Empty; FANOUT],
             disk_block: None,
-        })
+        }
+    }
+
+    /// Parses a node image read from `block`. Children at interior levels
+    /// come back [`Child::Unloaded`]; nothing below is read.
+    fn parse(block: u64, buf: &[u8; BLOCK_SIZE], level: usize) -> Node {
+        let mut node = Node::new();
+        node.disk_block = Some(block);
+        for i in 0..FANOUT {
+            let v = u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().unwrap());
+            if v == 0 {
+                continue;
+            }
+            node.children[i] = if level == LEVELS - 1 {
+                Child::Data(v)
+            } else {
+                Child::Unloaded(v)
+            };
+        }
+        node
     }
 
     fn serialize(&self) -> [u8; BLOCK_SIZE] {
@@ -49,6 +107,7 @@ impl Node {
             let v = match child {
                 Child::Empty => 0,
                 Child::Data(b) => *b,
+                Child::Unloaded(b) => *b,
                 Child::Node(n) => n
                     .disk_block
                     .expect("serialize called before children were assigned blocks"),
@@ -56,6 +115,26 @@ impl Node {
             block[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
         }
         block
+    }
+}
+
+/// Replaces an [`Child::Unloaded`] slot with its resident node (reading it
+/// via `read`) and returns a mutable reference to the node. On a read
+/// error the slot is left `Unloaded` — nothing is poisoned and a retry
+/// starts from the same state.
+fn hydrate_slot<'a>(
+    slot: &'a mut Child,
+    level: usize,
+    read: BlockRead,
+) -> Result<&'a mut Node, IoError> {
+    if let Child::Unloaded(block) = *slot {
+        let mut buf = [0u8; BLOCK_SIZE];
+        read(block, &mut buf)?;
+        *slot = Child::Node(Arc::new(Node::parse(block, &buf, level)));
+    }
+    match slot {
+        Child::Node(n) => Ok(Arc::make_mut(n)),
+        _ => unreachable!("hydrate_slot called on a non-node child"),
     }
 }
 
@@ -67,12 +146,28 @@ impl Node {
 /// superseded by the commit are reported for recycling — committed nodes
 /// are never mutated in place, which is the COW invariant the crash-
 /// consistency argument rests on.
-#[derive(Debug, Clone, Default)]
+///
+/// Cloning is O(1): nodes are `Arc`-shared and copied lazily, path by
+/// path, as either side mutates. A clone taken of a dirty tree keeps its
+/// own view of the dirty nodes — `commit` copies shared dirty nodes before
+/// assigning them blocks — which is what the store's abort snapshots rely
+/// on.
+#[derive(Debug, Clone)]
 pub struct RadixTree {
-    root: Option<Box<Node>>,
+    root: Child,
     /// Disk blocks of committed nodes/pages superseded since last commit.
     freed: Vec<u64>,
     len_pages: u64,
+}
+
+impl Default for RadixTree {
+    fn default() -> Self {
+        RadixTree {
+            root: Child::Empty,
+            freed: Vec::new(),
+            len_pages: 0,
+        }
+    }
 }
 
 impl RadixTree {
@@ -81,79 +176,159 @@ impl RadixTree {
         Self::default()
     }
 
-    /// Loads a committed tree eagerly from disk.
-    ///
-    /// `read` reads one block into the provided buffer (the store charges
-    /// the IO cost). `root_block == 0` yields an empty tree.
-    pub fn load(
-        root_block: u64,
-        len_pages: u64,
-        read: &mut dyn FnMut(u64, &mut [u8; BLOCK_SIZE]),
-    ) -> Self {
-        fn load_node(
-            block: u64,
-            level: usize,
-            read: &mut dyn FnMut(u64, &mut [u8; BLOCK_SIZE]),
-        ) -> Box<Node> {
-            let mut buf = [0u8; BLOCK_SIZE];
-            read(block, &mut buf);
-            let mut node = Node::new();
-            node.disk_block = Some(block);
-            for i in 0..FANOUT {
-                let v = u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().unwrap());
-                if v == 0 {
-                    continue;
-                }
-                node.children[i] = if level == LEVELS - 1 {
-                    Child::Data(v)
-                } else {
-                    Child::Node(load_node(v, level + 1, read))
-                };
-            }
-            node
-        }
-
-        let root = if root_block == 0 {
-            None
-        } else {
-            Some(load_node(root_block, 0, read))
-        };
+    /// Wraps a committed root block without reading anything: O(1). Nodes
+    /// hydrate on first touch. `root_block == 0` yields an empty tree.
+    pub fn from_committed(root_block: u64, len_pages: u64) -> Self {
         RadixTree {
-            root,
+            root: if root_block == 0 {
+                Child::Empty
+            } else {
+                Child::Unloaded(root_block)
+            },
             freed: Vec::new(),
             len_pages,
         }
     }
 
+    /// Loads a committed tree eagerly from disk.
+    ///
+    /// `read` reads one block into the provided buffer (the store charges
+    /// the IO cost). `root_block == 0` yields an empty tree. This is the
+    /// pre-lazy-hydration path, kept for ablation and for callers that
+    /// know they will touch everything.
+    pub fn load(
+        root_block: u64,
+        len_pages: u64,
+        read: &mut dyn FnMut(u64, &mut [u8; BLOCK_SIZE]),
+    ) -> Self {
+        let mut tree = Self::from_committed(root_block, len_pages);
+        tree.hydrate_all(&mut |b, out| {
+            read(b, out);
+            Ok(())
+        })
+        .expect("infallible read callback");
+        tree
+    }
+
+    /// Reads every unloaded node so the whole tree is resident.
+    pub fn hydrate_all(&mut self, read: BlockRead) -> Result<(), IoError> {
+        fn rec(slot: &mut Child, level: usize, read: BlockRead) -> Result<(), IoError> {
+            match slot {
+                Child::Empty | Child::Data(_) => Ok(()),
+                _ => {
+                    let node = hydrate_slot(slot, level, read)?;
+                    if level == LEVELS - 1 {
+                        return Ok(());
+                    }
+                    for child in &mut node.children {
+                        rec(child, level + 1, read)?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        rec(&mut self.root, 0, read)
+    }
+
+    /// Hydrates the root-to-leaf path for `page` without dirtying it.
+    /// After this returns `Ok`, [`RadixTree::get`] and [`RadixTree::set`]
+    /// on `page` cannot cross an unloaded node. On error nothing has been
+    /// mutated except already-completed hydrations (which are semantically
+    /// neutral), so retrying is safe.
+    pub fn hydrate_path(&mut self, page: u64, read: BlockRead) -> Result<(), IoError> {
+        assert!(page < MAX_PAGES, "page index out of range");
+        let mut slot = &mut self.root;
+        for (level, &shift) in SHIFT.iter().enumerate() {
+            match slot {
+                Child::Empty | Child::Data(_) => return Ok(()),
+                _ => {}
+            }
+            let node = hydrate_slot(slot, level, read)?;
+            if level == LEVELS - 1 {
+                return Ok(());
+            }
+            let idx = ((page >> shift) as usize) & (FANOUT - 1);
+            slot = &mut node.children[idx];
+        }
+        Ok(())
+    }
+
+    /// The data block holding `page`, hydrating the path on demand.
+    pub fn get_or_load(&mut self, page: u64, read: BlockRead) -> Result<Option<u64>, IoError> {
+        self.hydrate_path(page, read)?;
+        Ok(self.get(page))
+    }
+
+    /// [`RadixTree::set`] with demand hydration. The path is hydrated
+    /// *before* any mutation, so an IO error leaves the mapping unchanged.
+    pub fn set_with(
+        &mut self,
+        page: u64,
+        data_block: u64,
+        read: BlockRead,
+    ) -> Result<Option<u64>, IoError> {
+        self.hydrate_path(page, read)?;
+        Ok(self.set(page, data_block))
+    }
+
     /// The data block holding `page`, if the page has been written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lookup crosses an unloaded subtree — use
+    /// [`RadixTree::get_or_load`] on lazily opened trees.
     #[allow(clippy::needless_range_loop)] // SHIFT is indexed by level on purpose
     pub fn get(&self, page: u64) -> Option<u64> {
         assert!(page < MAX_PAGES, "page index out of range");
-        let mut node = self.root.as_deref()?;
+        let mut child = &self.root;
         for level in 0..LEVELS {
-            let idx = ((page >> SHIFT[level]) as usize) & (FANOUT - 1);
-            match &node.children[idx] {
+            let node = match child {
                 Child::Empty => return None,
-                Child::Data(b) => return Some(*b),
-                Child::Node(n) => node = n,
+                Child::Unloaded(_) => {
+                    panic!("get crossed an unloaded subtree; use get_or_load")
+                }
+                Child::Node(n) => n,
+                Child::Data(_) => unreachable!("Data children only exist at the last level"),
+            };
+            let idx = ((page >> SHIFT[level]) as usize) & (FANOUT - 1);
+            child = &node.children[idx];
+            if level == LEVELS - 1 {
+                return match child {
+                    Child::Data(b) => Some(*b),
+                    Child::Empty => None,
+                    _ => panic!("interior child at leaf level"),
+                };
             }
         }
-        unreachable!("Data children only exist at the last level")
+        unreachable!()
     }
 
     /// Points `page` at `data_block`, COW-dirtying the path. Returns the
     /// replaced data block, if any (the caller recycles it after commit).
+    /// Shared nodes along the path are copied (`Arc::make_mut`), so clones
+    /// of this tree are unaffected.
     ///
     /// # Panics
     ///
-    /// Panics if `page >= MAX_PAGES` or `data_block == 0`.
+    /// Panics if `page >= MAX_PAGES`, `data_block == 0`, or the path
+    /// crosses an unloaded subtree (use [`RadixTree::set_with`]).
     #[allow(clippy::needless_range_loop)] // SHIFT is indexed by level on purpose
     pub fn set(&mut self, page: u64, data_block: u64) -> Option<u64> {
         assert!(page < MAX_PAGES, "page index out of range");
         assert!(data_block != 0, "block 0 is reserved");
-        let mut node = self.root.get_or_insert_with(Node::new);
         self.len_pages = self.len_pages.max(page + 1);
+        if matches!(self.root, Child::Empty) {
+            self.root = Child::Node(Arc::new(Node::new()));
+        }
+        let mut slot = &mut self.root;
         for level in 0..LEVELS {
+            let node = match slot {
+                Child::Node(n) => Arc::make_mut(n),
+                Child::Unloaded(_) => {
+                    panic!("set crossed an unloaded subtree; use set_with")
+                }
+                _ => unreachable!("interior slots always hold nodes here"),
+            };
             // Dirty the node; recycle its committed image.
             if let Some(b) = node.disk_block.take() {
                 self.freed.push(b);
@@ -163,18 +338,15 @@ impl RadixTree {
                 let old = match node.children[idx] {
                     Child::Data(b) => Some(b),
                     Child::Empty => None,
-                    Child::Node(_) => unreachable!("interior child at leaf level"),
+                    _ => unreachable!("interior child at leaf level"),
                 };
                 node.children[idx] = Child::Data(data_block);
                 return old;
             }
             if matches!(node.children[idx], Child::Empty) {
-                node.children[idx] = Child::Node(Node::new());
+                node.children[idx] = Child::Node(Arc::new(Node::new()));
             }
-            node = match &mut node.children[idx] {
-                Child::Node(n) => n,
-                _ => unreachable!("just ensured an interior node"),
-            };
+            slot = &mut node.children[idx];
         }
         unreachable!()
     }
@@ -184,35 +356,42 @@ impl RadixTree {
     /// (`0` for an empty tree).
     ///
     /// After `commit` returns, the in-memory tree matches the emitted
-    /// on-disk image and nothing is dirty.
+    /// on-disk image and nothing is dirty. Dirty nodes still shared with a
+    /// clone (an abort snapshot taken of the dirty tree) are copied before
+    /// being assigned blocks, so the clone stays dirty and restorable.
     pub fn commit(
         &mut self,
         alloc: &mut dyn FnMut() -> u64,
         writes: &mut Vec<(u64, Box<[u8]>)>,
     ) -> u64 {
-        fn commit_node(
-            node: &mut Node,
+        fn commit_slot(
+            slot: &mut Child,
             alloc: &mut dyn FnMut() -> u64,
             writes: &mut Vec<(u64, Box<[u8]>)>,
         ) -> u64 {
-            if let Some(b) = node.disk_block {
-                return b; // clean subtree
-            }
-            for child in &mut node.children {
-                if let Child::Node(n) = child {
-                    commit_node(n, alloc, writes);
+            match slot {
+                Child::Empty => 0,
+                Child::Data(b) => *b,
+                Child::Unloaded(b) => *b, // clean on disk, never read
+                Child::Node(arc) => {
+                    if let Some(b) = arc.disk_block {
+                        return b; // clean subtree
+                    }
+                    let node = Arc::make_mut(arc);
+                    for child in &mut node.children {
+                        if let Child::Node(_) = child {
+                            commit_slot(child, alloc, writes);
+                        }
+                    }
+                    let block = alloc();
+                    node.disk_block = Some(block);
+                    writes.push((block, Box::new(node.serialize())));
+                    block
                 }
             }
-            let block = alloc();
-            node.disk_block = Some(block);
-            writes.push((block, Box::new(node.serialize())));
-            block
         }
 
-        match &mut self.root {
-            None => 0,
-            Some(root) => commit_node(root, alloc, writes),
-        }
+        commit_slot(&mut self.root, alloc, writes)
     }
 
     /// Drains the list of blocks superseded since the last drain.
@@ -220,20 +399,32 @@ impl RadixTree {
         std::mem::take(&mut self.freed)
     }
 
-    /// Number of dirty (uncommitted) nodes.
+    /// Number of dirty (uncommitted) nodes. Unloaded subtrees are clean
+    /// by construction.
     pub fn dirty_nodes(&self) -> usize {
-        fn count(node: &Node) -> usize {
-            let own = usize::from(node.disk_block.is_none());
-            own + node
-                .children
-                .iter()
-                .map(|c| match c {
-                    Child::Node(n) => count(n),
-                    _ => 0,
-                })
-                .sum::<usize>()
+        fn count(child: &Child) -> usize {
+            match child {
+                Child::Node(n) => {
+                    let own = usize::from(n.disk_block.is_none());
+                    own + n.children.iter().map(count).sum::<usize>()
+                }
+                _ => 0,
+            }
         }
-        self.root.as_deref().map_or(0, count)
+        count(&self.root)
+    }
+
+    /// Number of unloaded (non-resident) subtree roots — a hydration-state
+    /// probe for tests and benches.
+    pub fn unloaded_nodes(&self) -> usize {
+        fn count(child: &Child) -> usize {
+            match child {
+                Child::Unloaded(_) => 1,
+                Child::Node(n) => n.children.iter().map(count).sum(),
+                _ => 0,
+            }
+        }
+        count(&self.root)
     }
 
     /// Object length in pages (highest written page + 1).
@@ -242,14 +433,18 @@ impl RadixTree {
     }
 
     /// Disk block of the committed root node (`0` for an empty tree).
+    /// Works on unloaded trees — the root block is known without a read.
     ///
     /// # Panics
     ///
     /// Panics if the root is dirty — callers commit first.
     pub fn committed_root(&self) -> u64 {
-        self.root.as_deref().map_or(0, |n| {
-            n.disk_block.expect("committed_root called on a dirty tree")
-        })
+        match &self.root {
+            Child::Empty => 0,
+            Child::Unloaded(b) => *b,
+            Child::Node(n) => n.disk_block.expect("committed_root called on a dirty tree"),
+            Child::Data(_) => unreachable!("the root is never a data block"),
+        }
     }
 
     /// Every disk block reachable from the committed tree: all node
@@ -258,23 +453,34 @@ impl RadixTree {
     ///
     /// # Panics
     ///
-    /// Panics if any node is dirty — callers commit first.
+    /// Panics if any node is dirty (callers commit first) or not resident
+    /// (use [`RadixTree::reachable_blocks_with`]).
     pub fn reachable_blocks(&self) -> Vec<u64> {
-        fn walk(node: &Node, out: &mut Vec<u64>) {
-            out.push(node.disk_block.expect("reachable_blocks on a dirty tree"));
-            for child in &node.children {
-                match child {
-                    Child::Empty => {}
-                    Child::Data(b) => out.push(*b),
-                    Child::Node(n) => walk(n, out),
+        fn walk(child: &Child, out: &mut Vec<u64>) {
+            match child {
+                Child::Empty => {}
+                Child::Data(b) => out.push(*b),
+                Child::Unloaded(_) => {
+                    panic!("reachable_blocks on a partially loaded tree; use reachable_blocks_with")
+                }
+                Child::Node(n) => {
+                    out.push(n.disk_block.expect("reachable_blocks on a dirty tree"));
+                    for c in &n.children {
+                        walk(c, out);
+                    }
                 }
             }
         }
         let mut out = Vec::new();
-        if let Some(root) = &self.root {
-            walk(root, &mut out);
-        }
+        walk(&self.root, &mut out);
         out
+    }
+
+    /// [`RadixTree::reachable_blocks`] with demand hydration: reads any
+    /// unloaded nodes (enumerating a subtree requires its contents).
+    pub fn reachable_blocks_with(&mut self, read: BlockRead) -> Result<Vec<u64>, IoError> {
+        self.hydrate_all(read)?;
+        Ok(self.reachable_blocks())
     }
 
     /// Every disk block the tree references, tolerating dirty nodes: a
@@ -283,23 +489,32 @@ impl RadixTree {
     /// footprint an abandoned (possibly mid-delta-window) history leaves
     /// behind, which the rebase path quarantines for recycling.
     pub fn disk_blocks(&self) -> Vec<u64> {
-        fn walk(node: &Node, out: &mut Vec<u64>) {
-            if let Some(b) = node.disk_block {
-                out.push(b);
-            }
-            for child in &node.children {
-                match child {
-                    Child::Empty => {}
-                    Child::Data(b) => out.push(*b),
-                    Child::Node(n) => walk(n, out),
+        fn walk(child: &Child, out: &mut Vec<u64>) {
+            match child {
+                Child::Empty => {}
+                Child::Data(b) => out.push(*b),
+                Child::Unloaded(_) => {
+                    panic!("disk_blocks on a partially loaded tree; use disk_blocks_with")
+                }
+                Child::Node(n) => {
+                    if let Some(b) = n.disk_block {
+                        out.push(b);
+                    }
+                    for c in &n.children {
+                        walk(c, out);
+                    }
                 }
             }
         }
         let mut out = Vec::new();
-        if let Some(root) = &self.root {
-            walk(root, &mut out);
-        }
+        walk(&self.root, &mut out);
         out
+    }
+
+    /// [`RadixTree::disk_blocks`] with demand hydration.
+    pub fn disk_blocks_with(&mut self, read: BlockRead) -> Result<Vec<u64>, IoError> {
+        self.hydrate_all(read)?;
+        Ok(self.disk_blocks())
     }
 
     /// Pages whose mapping differs between `base` and `target`, as
@@ -311,57 +526,167 @@ impl RadixTree {
     /// A dirty node compares unequal to everything, which is conservative
     /// but never wrong. Pages present only in `base` are not reported
     /// (the store never deletes pages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the walk must descend into an unloaded subtree — use
+    /// [`RadixTree::diff_pages_with`] on lazily opened trees. (Shared
+    /// unloaded subtrees are still skipped by block number.)
     pub fn diff_pages(base: &RadixTree, target: &RadixTree) -> Vec<(u64, u64)> {
-        fn walk(a: Option<&Node>, b: &Node, prefix: u64, level: usize, out: &mut Vec<(u64, u64)>) {
-            if let Some(a) = a {
-                if a.disk_block.is_some() && a.disk_block == b.disk_block {
+        fn walk(
+            a: Option<&Child>,
+            b: &Child,
+            prefix: u64,
+            level: usize,
+            out: &mut Vec<(u64, u64)>,
+        ) {
+            if let Some(ac) = a {
+                if ac.committed_ref().is_some() && ac.committed_ref() == b.committed_ref() {
                     return; // shared committed subtree
                 }
             }
-            for (i, child) in b.children.iter().enumerate() {
+            let bn = match b {
+                Child::Empty => return,
+                Child::Node(n) => n,
+                Child::Unloaded(_) => {
+                    panic!("diff_pages descended into an unloaded subtree; use diff_pages_with")
+                }
+                Child::Data(_) => unreachable!("handled at the level above"),
+            };
+            let an = match a {
+                Some(Child::Node(n)) => Some(&**n),
+                Some(Child::Unloaded(_)) => {
+                    panic!("diff_pages descended into an unloaded subtree; use diff_pages_with")
+                }
+                _ => None,
+            };
+            for (i, child) in bn.children.iter().enumerate() {
                 let idx = prefix | ((i as u64) << SHIFT[level]);
-                let ac = a.map(|n| &n.children[i]);
-                match child {
-                    Child::Empty => {}
-                    Child::Data(db) => {
+                let ac = an.map(|n| &n.children[i]);
+                if level == LEVELS - 1 {
+                    if let Child::Data(db) = child {
                         if !matches!(ac, Some(Child::Data(ab)) if ab == db) {
                             out.push((idx, *db));
                         }
                     }
-                    Child::Node(bn) => {
-                        let an = match ac {
-                            Some(Child::Node(n)) => Some(&**n),
-                            _ => None,
-                        };
-                        walk(an, bn, idx, level + 1, out);
+                } else if !matches!(child, Child::Empty) {
+                    walk(ac, child, idx, level + 1, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(Some(&base.root), &target.root, 0, 0, &mut out);
+        out
+    }
+
+    /// [`RadixTree::diff_pages`] over possibly-lazy trees. Shared
+    /// committed subtrees are skipped by comparing block numbers — zero
+    /// hydration reads for shared state; only *divergent* subtrees are
+    /// hydrated (on both sides) to walk their pages.
+    pub fn diff_pages_with(
+        base: Option<&mut RadixTree>,
+        target: &mut RadixTree,
+        read: BlockRead,
+    ) -> Result<Vec<(u64, u64)>, IoError> {
+        fn walk(
+            a: Option<&mut Child>,
+            b: &mut Child,
+            prefix: u64,
+            level: usize,
+            read: BlockRead,
+            out: &mut Vec<(u64, u64)>,
+        ) -> Result<(), IoError> {
+            if let Some(ac) = &a {
+                if ac.committed_ref().is_some() && ac.committed_ref() == b.committed_ref() {
+                    return Ok(()); // shared committed subtree: no hydration
+                }
+            }
+            if matches!(b, Child::Empty) {
+                return Ok(());
+            }
+            let bn = hydrate_slot(b, level, read)?;
+            let mut an = None;
+            if let Some(slot) = a {
+                if matches!(slot, Child::Node(_) | Child::Unloaded(_)) {
+                    an = Some(hydrate_slot(slot, level, read)?);
+                }
+            }
+            for i in 0..FANOUT {
+                let idx = prefix | ((i as u64) << SHIFT[level]);
+                let child = &mut bn.children[i];
+                let ac = an.as_deref_mut().map(|n| &mut n.children[i]);
+                if level == LEVELS - 1 {
+                    if let Child::Data(db) = child {
+                        if !matches!(&ac, Some(Child::Data(ab)) if ab == db) {
+                            out.push((idx, *db));
+                        }
+                    }
+                } else if !matches!(child, Child::Empty) {
+                    walk(ac, child, idx, level + 1, read, out)?;
+                }
+            }
+            Ok(())
+        }
+        let mut out = Vec::new();
+        walk(
+            base.map(|t| &mut t.root),
+            &mut target.root,
+            0,
+            0,
+            read,
+            &mut out,
+        )?;
+        Ok(out)
+    }
+
+    /// All `(page, data_block)` pairs, in page order (test/recovery aid).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a partially loaded tree — hydrate first.
+    pub fn pages(&self) -> Vec<(u64, u64)> {
+        fn walk(child: &Child, prefix: u64, level: usize, out: &mut Vec<(u64, u64)>) {
+            match child {
+                Child::Empty => {}
+                Child::Data(b) => out.push((prefix, *b)),
+                Child::Unloaded(_) => panic!("pages() on a partially loaded tree; hydrate first"),
+                Child::Node(n) => {
+                    for (i, c) in n.children.iter().enumerate() {
+                        let idx = prefix | ((i as u64) << SHIFT[level]);
+                        walk(c, idx, level + 1, out);
                     }
                 }
             }
         }
         let mut out = Vec::new();
-        if let Some(b) = target.root.as_deref() {
-            walk(base.root.as_deref(), b, 0, 0, &mut out);
+        if let Child::Node(n) = &self.root {
+            for (i, c) in n.children.iter().enumerate() {
+                walk(c, (i as u64) << SHIFT[0], 1, &mut out);
+            }
+        } else if let Child::Unloaded(_) = &self.root {
+            panic!("pages() on a partially loaded tree; hydrate first");
         }
         out
     }
 
-    /// All `(page, data_block)` pairs, in page order (test/recovery aid).
-    pub fn pages(&self) -> Vec<(u64, u64)> {
-        fn walk(node: &Node, prefix: u64, level: usize, out: &mut Vec<(u64, u64)>) {
-            for (i, child) in node.children.iter().enumerate() {
-                let idx = prefix | ((i as u64) << SHIFT[level]);
-                match child {
-                    Child::Empty => {}
-                    Child::Data(b) => out.push((idx, *b)),
-                    Child::Node(n) => walk(n, idx, level + 1, out),
-                }
+    /// A structurally independent copy sharing no nodes with `self` — the
+    /// pre-Arc `clone` semantics, kept as a bench ablation so the cost of
+    /// deep copying can be measured against O(1) structural sharing.
+    pub fn deep_clone(&self) -> Self {
+        fn deep(child: &Child) -> Child {
+            match child {
+                Child::Node(n) => Child::Node(Arc::new(Node {
+                    children: n.children.iter().map(deep).collect(),
+                    disk_block: n.disk_block,
+                })),
+                other => other.clone(),
             }
         }
-        let mut out = Vec::new();
-        if let Some(root) = &self.root {
-            walk(root, 0, 0, &mut out);
+        RadixTree {
+            root: deep(&self.root),
+            freed: self.freed.clone(),
+            len_pages: self.len_pages,
         }
-        out
     }
 }
 
@@ -494,6 +819,28 @@ mod tests {
         t
     }
 
+    /// Commits `pages` into a block map and returns a *lazy* tree over it
+    /// plus the map, for hydration tests.
+    fn committed_on_disk(
+        pages: &[(u64, u64)],
+        next: &mut u64,
+    ) -> (RadixTree, HashMap<u64, Box<[u8]>>) {
+        let mut t = RadixTree::new();
+        for (p, b) in pages {
+            t.set(*p, *b);
+        }
+        let mut writes = Vec::new();
+        let root = t.commit(
+            &mut || {
+                *next += 1;
+                *next
+            },
+            &mut writes,
+        );
+        let blocks: HashMap<u64, Box<[u8]>> = writes.into_iter().collect();
+        (RadixTree::from_committed(root, t.len_pages()), blocks)
+    }
+
     #[test]
     fn reachable_blocks_covers_nodes_and_data() {
         let mut next = 1_000u64;
@@ -558,5 +905,209 @@ mod tests {
     fn block_zero_rejected() {
         let mut t = RadixTree::new();
         t.set(0, 0);
+    }
+
+    // ---- Arc sharing & lazy hydration ------------------------------------
+
+    #[test]
+    fn clone_shares_structure_until_mutated() {
+        let mut next = 1_000u64;
+        let mut a = committed(&[(0, 100), (513, 101)], &mut next);
+        let b = a.clone();
+        // Mutating `a` must not leak into `b`.
+        a.set(0, 200);
+        assert_eq!(a.get(0), Some(200));
+        assert_eq!(b.get(0), Some(100));
+        assert_eq!(b.dirty_nodes(), 0, "clone must stay clean");
+        // Untouched subtree still shared: diff sees only the change.
+        assert_eq!(b.get(513), Some(101));
+    }
+
+    #[test]
+    fn abort_snapshot_of_dirty_tree_survives_commit() {
+        // The store clones a *dirty* tree as its abort snapshot, commits
+        // the original, and restores the clone on failure. The clone must
+        // keep its dirty nodes (and freed list) across the commit.
+        let mut next = 1_000u64;
+        let mut t = committed(&[(0, 100)], &mut next);
+        t.set(0, 200);
+        let snapshot = t.clone();
+        let mut writes = Vec::new();
+        t.commit(
+            &mut || {
+                next += 1;
+                next
+            },
+            &mut writes,
+        );
+        assert_eq!(t.dirty_nodes(), 0);
+        assert_eq!(snapshot.dirty_nodes(), LEVELS, "snapshot must stay dirty");
+        assert_eq!(snapshot.get(0), Some(200));
+    }
+
+    #[test]
+    fn lazy_tree_hydrates_only_the_touched_path() {
+        let mut next = 1_000u64;
+        let (mut lazy, blocks) =
+            committed_on_disk(&[(0, 100), (513, 101), (300_000, 102)], &mut next);
+        assert_eq!(lazy.unloaded_nodes(), 1, "only the root slot pre-hydration");
+        let mut reads = Vec::new();
+        let got = lazy
+            .get_or_load(0, &mut |b, out| {
+                reads.push(b);
+                out.copy_from_slice(&blocks[&b]);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(got, Some(100));
+        assert_eq!(reads.len(), LEVELS, "one read per level on the path");
+        assert!(lazy.unloaded_nodes() > 0, "other subtrees stay unloaded");
+        // A second read of the same page costs nothing.
+        let got = lazy
+            .get_or_load(0, &mut |_b, _out| panic!("path already resident"))
+            .unwrap();
+        assert_eq!(got, Some(100));
+    }
+
+    #[test]
+    fn lazy_set_with_hydrates_then_dirties() {
+        let mut next = 1_000u64;
+        let (mut lazy, blocks) = committed_on_disk(&[(0, 100), (513, 101)], &mut next);
+        let old = lazy
+            .set_with(0, 999, &mut |b, out| {
+                out.copy_from_slice(&blocks[&b]);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(old, Some(100));
+        assert_eq!(lazy.dirty_nodes(), LEVELS);
+        assert_eq!(lazy.take_freed().len(), LEVELS, "superseded path recycled");
+    }
+
+    #[test]
+    fn failed_hydration_leaves_tree_retryable() {
+        let mut next = 1_000u64;
+        let (mut lazy, blocks) = committed_on_disk(&[(0, 100)], &mut next);
+        let err = lazy.get_or_load(0, &mut |b, _out| {
+            Err(IoError::Failed {
+                block: b,
+                transient: true,
+            })
+        });
+        assert!(err.is_err());
+        assert_eq!(lazy.dirty_nodes(), 0, "failure must not dirty anything");
+        // Retry with a working device succeeds from the same state.
+        let got = lazy
+            .get_or_load(0, &mut |b, out| {
+                out.copy_from_slice(&blocks[&b]);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(got, Some(100));
+    }
+
+    #[test]
+    fn commit_preserves_unloaded_subtrees_without_reading() {
+        let mut next = 1_000u64;
+        let (mut lazy, blocks) = committed_on_disk(&[(0, 100), (513, 101)], &mut next);
+        let old_root = lazy.committed_root();
+        // Dirty one path; the sibling subtree stays unloaded.
+        lazy.set_with(0, 999, &mut |b, out| {
+            out.copy_from_slice(&blocks[&b]);
+            Ok(())
+        })
+        .unwrap();
+        let mut writes = Vec::new();
+        let new_root = lazy.commit(
+            &mut || {
+                next += 1;
+                next
+            },
+            &mut writes,
+        );
+        assert_ne!(new_root, old_root);
+        assert_eq!(writes.len(), LEVELS, "only the dirtied path is rewritten");
+        assert!(lazy.unloaded_nodes() > 0, "sibling subtree never hydrated");
+        // The recommitted tree still resolves the untouched page.
+        let got = lazy
+            .get_or_load(513, &mut |b, out| {
+                out.copy_from_slice(&blocks[&b]);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(got, Some(101));
+    }
+
+    #[test]
+    fn diff_pages_with_skips_shared_subtrees_without_hydration() {
+        let mut next = 1_000u64;
+        let mut t = RadixTree::new();
+        for (p, b) in [(0u64, 100u64), (513, 101), (300_000, 102)] {
+            t.set(p, b);
+        }
+        let mut blocks: HashMap<u64, Box<[u8]>> = HashMap::new();
+        let mut writes = Vec::new();
+        let root1 = t.commit(
+            &mut || {
+                next += 1;
+                next
+            },
+            &mut writes,
+        );
+        blocks.extend(writes);
+        // Advance the tree by one page and commit again.
+        t.set(513, 200);
+        let mut writes = Vec::new();
+        let root2 = t.commit(
+            &mut || {
+                next += 1;
+                next
+            },
+            &mut writes,
+        );
+        blocks.extend(writes);
+
+        let mut base = RadixTree::from_committed(root1, t.len_pages());
+        let mut target = RadixTree::from_committed(root2, t.len_pages());
+        let mut reads = Vec::new();
+        let diff = RadixTree::diff_pages_with(Some(&mut base), &mut target, &mut |b, out| {
+            reads.push(b);
+            out.copy_from_slice(&blocks[&b]);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(diff, vec![(513, 200)]);
+        // Both roots differ (hydrated on both sides) and the divergent L1
+        // path differs; the page-0 and page-300000 subtrees are shared and
+        // must not be read. 2 roots + 2 L1 + 2 leaf nodes = 6 reads max.
+        assert!(
+            reads.len() <= 2 * LEVELS,
+            "shared subtrees must not hydrate (read {} blocks)",
+            reads.len()
+        );
+        // Equal lazy trees diff with zero reads: the root refs match.
+        let mut x = RadixTree::from_committed(root2, t.len_pages());
+        let mut y = RadixTree::from_committed(root2, t.len_pages());
+        let diff = RadixTree::diff_pages_with(Some(&mut x), &mut y, &mut |_b, _out| {
+            panic!("identical trees must not hydrate")
+        })
+        .unwrap();
+        assert!(diff.is_empty());
+    }
+
+    #[test]
+    fn deep_clone_matches_clone_semantics() {
+        let mut next = 1_000u64;
+        let mut a = committed(&[(0, 100), (513, 101)], &mut next);
+        let mut b = a.clone();
+        let mut c = a.deep_clone();
+        a.set(0, 1);
+        b.set(0, 2);
+        c.set(0, 3);
+        assert_eq!(a.get(0), Some(1));
+        assert_eq!(b.get(0), Some(2));
+        assert_eq!(c.get(0), Some(3));
+        assert_eq!(b.get(513), Some(101));
+        assert_eq!(c.get(513), Some(101));
     }
 }

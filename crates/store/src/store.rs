@@ -24,7 +24,7 @@ use crate::layout::{
     ENTRIES_PER_BLOCK, FIRST_DATA_BLOCK, MAX_DELTA_PAIRS, MAX_OBJECTS, MAX_SNAPSHOTS, NAME_LEN,
     OBJECT_META_BLOCKS, SNAP_CATALOG_SLOTS, SNAP_CATALOG_START, SUPERBLOCK, SUPER_MAGIC,
 };
-use crate::{BlockAllocator, RadixTree};
+use crate::{BlockAllocator, BlockCache, RadixTree};
 
 /// Errors returned by the object store.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,14 +101,66 @@ const SCRATCH_BLOCK_BASE: u64 = 1 << 62;
 /// Submits `iov`, retrying transient failures up to [`MAX_IO_ATTEMPTS`]
 /// total attempts. Each retry is a fresh submission (a new fault-plan
 /// index), which is what makes transient faults survivable.
-fn writev_retry(disk: &mut Disk, at: Nanos, iov: &[(u64, &[u8])]) -> Result<WriteToken, IoError> {
+///
+/// On success every written block is dropped from `cache`: the cache is
+/// invalidated by writes, never populated by them, so the first read of a
+/// freshly written block always observes the device (and any fault that
+/// corrupted it).
+fn writev_retry(
+    disk: &mut Disk,
+    at: Nanos,
+    iov: &[(u64, &[u8])],
+    cache: &mut BlockCache,
+) -> Result<WriteToken, IoError> {
     let mut attempts = 1;
     loop {
         match disk.writev_at(at, iov) {
             Err(e) if e.is_transient() && attempts < MAX_IO_ATTEMPTS => attempts += 1,
-            other => return other,
+            other => {
+                if other.is_ok() {
+                    for (block, _) in iov {
+                        cache.invalidate(*block);
+                    }
+                }
+                return other;
+            }
         }
     }
+}
+
+/// Default block-cache capacity, in 4 KiB blocks (1 MiB of cached state).
+pub const DEFAULT_CACHE_BLOCKS: usize = 256;
+
+/// Reads `block` into `out` through the store's block cache, charging
+/// device IO only on a miss. `node` marks radix-node demand loads so
+/// [`StoreStats::hydrations`] counts exactly the tree reads that reached
+/// the device.
+///
+/// A free function (not a method) so callers can borrow the cache and
+/// stats disjointly from an object's tree while a hydration closure is
+/// live.
+fn read_block_cached(
+    vt: &mut Vt,
+    disk: &mut Disk,
+    cache: &mut BlockCache,
+    stats: &mut StoreStats,
+    block: u64,
+    out: &mut [u8],
+    node: bool,
+) -> Result<(), IoError> {
+    if cache.get(block, out) {
+        stats.cache_hits += 1;
+        return Ok(());
+    }
+    disk.try_read_block(vt, block, out)?;
+    stats.cache_misses += 1;
+    if node {
+        stats.hydrations += 1;
+    }
+    if cache.insert(block, out) {
+        stats.cache_evictions += 1;
+    }
+    Ok(())
 }
 
 /// Result of a committed μCheckpoint.
@@ -138,6 +190,16 @@ pub struct StoreStats {
     pub batch_commits: u64,
     /// Per-object μCheckpoints committed through batched submissions.
     pub batched_objects: u64,
+    /// Reads served from the block cache without touching the device.
+    pub cache_hits: u64,
+    /// Cached reads that missed and went to the device.
+    pub cache_misses: u64,
+    /// Cache slots reclaimed by the CLOCK sweep to admit a new block.
+    pub cache_evictions: u64,
+    /// Radix-node demand loads that reached the device: the IO cost of
+    /// hydrating unloaded subtrees (a cache hit on a node block is a
+    /// `cache_hits` increment, not a hydration).
+    pub hydrations: u64,
 }
 
 /// CPU cost constants for store operations.
@@ -181,10 +243,18 @@ struct ObjectState {
 /// A retained snapshot held in memory: its catalog entry, the pinned
 /// epoch's (fully committed) tree for point-in-time reads and diffs, and
 /// the exact block set the snapshot pins.
+///
+/// After [`ObjectStore::open`] the tree is *unloaded* (an O(1) wrapper
+/// around the catalog's root block) and `pinned` is false: `blocks` is
+/// empty and no pins are registered. Pins materialize on demand — see
+/// [`ObjectStore::ensure_pins`] — before the store frees its first
+/// block, which is the only moment pins are consulted.
 struct SnapState {
     entry: SnapEntry,
     tree: RadixTree,
     blocks: Vec<u64>,
+    /// Whether `blocks` is populated and counted in `snap_pins`.
+    pinned: bool,
 }
 
 /// The copy-on-write object store. See the crate and module docs.
@@ -197,6 +267,12 @@ pub struct ObjectStore {
     pending_free: BinaryHeap<Reverse<(Nanos, Vec<u64>)>>,
     /// Retained snapshots, in catalog order.
     snapshots: Vec<SnapState>,
+    /// Snapshot name → index into `snapshots`, so per-page snapshot reads
+    /// do not linear-scan the catalog.
+    snap_by_name: HashMap<String, usize>,
+    /// False while some snapshot adopted by `open` has not yet had its
+    /// pin set enumerated. No block may be freed until this is true.
+    pins_ready: bool,
     /// Next snapshot-catalog sequence number.
     snap_seq: u64,
     /// Pin refcount per disk block reachable from a retained snapshot.
@@ -216,6 +292,10 @@ pub struct ObjectStore {
     /// Ablation knob: disable the delta-record fast path (every commit
     /// flushes tree nodes and writes a full root).
     delta_commits: bool,
+    /// Unified CLOCK block cache serving page reads, snapshot reads, and
+    /// radix-node hydration. Invalidated on write; discarded across
+    /// `open` (recovery never trusts pre-crash cached state).
+    cache: BlockCache,
 }
 
 impl fmt::Debug for ObjectStore {
@@ -258,6 +338,8 @@ impl ObjectStore {
             by_name: HashMap::new(),
             pending_free: BinaryHeap::new(),
             snapshots: Vec::new(),
+            snap_by_name: HashMap::new(),
+            pins_ready: true,
             snap_seq: 0,
             snap_pins: HashMap::new(),
             withheld: HashSet::new(),
@@ -265,12 +347,24 @@ impl ObjectStore {
             batch_seq: 0,
             stats: StoreStats::default(),
             delta_commits: true,
+            cache: BlockCache::new(DEFAULT_CACHE_BLOCKS),
         }
     }
 
     /// Opens the store from a (possibly crashed) device: adopt each
     /// object's newest valid full root, replay consecutive delta records
     /// on top, and rebuild the allocator past every reachable block.
+    ///
+    /// Recovery IO is **O(dirty set), not O(object size)**: trees are
+    /// adopted as unloaded wrappers around their committed root blocks
+    /// (hydrated on first touch), and the allocator frontier comes from
+    /// the root records' persisted `high_water` — the bump frontier is
+    /// monotone, so the newest durable root of each object covers every
+    /// block any earlier commit allocated — raised past each replayed
+    /// delta's data blocks. Blocks of *unreplayed* (torn) deltas are
+    /// unreferenced garbage and safe to reuse. Retained snapshots are
+    /// adopted unloaded too; their pin sets materialize on demand before
+    /// the store frees its first block (`ensure_pins`).
     ///
     /// # Errors
     ///
@@ -333,10 +427,7 @@ impl ObjectStore {
             }
             let base_epoch = base.map_or(0, |b| b.epoch);
             let mut tree = match base {
-                Some(rec) => RadixTree::load(rec.tree_root, rec.len_pages, &mut |b, out| {
-                    let done = disk.read_block_at(vt.now(), b, out);
-                    vt.wait_until(done);
-                }),
+                Some(rec) => RadixTree::from_committed(rec.tree_root, rec.len_pages),
                 None => RadixTree::new(),
             };
 
@@ -402,18 +493,27 @@ impl ObjectStore {
                     continue;
                 }
                 for (page, block) in &delta.pairs {
-                    tree.set(*page, *block);
+                    // Replay hydrates only the touched paths; open-time
+                    // reads use the infallible device path (recovery is
+                    // not a fault-injection target), so the error is
+                    // unreachable.
+                    tree.set_with(*page, *block, &mut |b, out| {
+                        disk.read_block(vt, b, out);
+                        Ok(())
+                    })
+                    .expect("open-time node reads are infallible");
                     high_water = high_water.max(*block + 1);
                 }
                 epoch = delta.epoch;
             }
             let _ = tree.take_freed();
 
-            for (_, b) in tree.pages() {
-                high_water = high_water.max(b + 1);
-            }
+            // The newest durable root's `high_water` is the allocator
+            // frontier as of that commit; the frontier is monotone, so it
+            // covers every data and node block any earlier commit of any
+            // object allocated. No tree walk needed.
             if let Some(rec) = base {
-                high_water = high_water.max(rec.tree_root + 1);
+                high_water = high_water.max(rec.high_water).max(rec.tree_root + 1);
             }
 
             let idx = entry.id.0 as usize;
@@ -439,11 +539,12 @@ impl ObjectStore {
             .collect();
 
         // Snapshot catalog: adopt the valid slot with the highest seq (a
-        // torn catalog write leaves the previous catalog intact), then
-        // reload every retained epoch's tree to rebuild the pin set and
-        // push the allocator past every pinned block — a pinned block may
-        // lie beyond the live trees' high-water mark when the live chain
-        // has since reused freed low blocks.
+        // torn catalog write leaves the previous catalog intact). Trees
+        // are adopted unloaded — pin sets materialize on demand (see
+        // `ensure_pins`) before anything is freed. Pinned blocks need no
+        // frontier adjustment here: every snapshot block was allocated at
+        // or before its object's root flush, so the newest durable roots'
+        // monotone `high_water` already covers them.
         let mut catalog: Option<SnapCatalog> = None;
         for i in 0..SNAP_CATALOG_SLOTS {
             vt.charge(Category::FileSystem, costs::ROOT_PARSE);
@@ -461,43 +562,39 @@ impl ObjectStore {
             catalog.seq + 1
         };
         let mut snapshots = Vec::with_capacity(catalog.entries.len());
-        let mut snap_pins: HashMap<u64, u32> = HashMap::new();
+        let mut snap_by_name = HashMap::new();
         for entry in catalog.entries {
             if entry.object.0 as usize >= objects.len() {
                 continue; // catalog can never outrun the directory
             }
-            let tree = RadixTree::load(entry.tree_root, entry.len_pages, &mut |b, out| {
-                let done = disk.read_block_at(vt.now(), b, out);
-                vt.wait_until(done);
-            });
-            let blocks = tree.reachable_blocks();
-            for &b in &blocks {
-                high_water = high_water.max(b + 1);
-                *snap_pins.entry(b).or_insert(0) += 1;
-            }
+            high_water = high_water.max(entry.tree_root + 1);
+            let tree = RadixTree::from_committed(entry.tree_root, entry.len_pages);
+            snap_by_name.insert(entry.name.clone(), snapshots.len());
             snapshots.push(SnapState {
                 entry,
                 tree,
-                blocks,
+                blocks: Vec::new(),
+                pinned: false,
             });
         }
+        let pins_ready = snapshots.is_empty();
 
         Ok(ObjectStore {
-            alloc: BlockAllocator::with_capacity(
-                high_water + node_block_margin(&objects),
-                disk.config().capacity_blocks,
-            ),
+            alloc: BlockAllocator::with_capacity(high_water, disk.config().capacity_blocks),
             objects,
             by_name,
             pending_free: BinaryHeap::new(),
             snapshots,
+            snap_by_name,
+            pins_ready,
             snap_seq,
-            snap_pins,
+            snap_pins: HashMap::new(),
             withheld: HashSet::new(),
             batch_ring,
             batch_seq,
             stats: StoreStats::default(),
             delta_commits: true,
+            cache: BlockCache::new(DEFAULT_CACHE_BLOCKS),
         })
     }
 
@@ -590,6 +687,24 @@ impl ObjectStore {
         self.stats
     }
 
+    /// Resizes the block cache to `blocks` 4 KiB slots, dropping current
+    /// contents. Zero disables caching (every read goes to the device).
+    pub fn set_cache_capacity(&mut self, blocks: usize) {
+        self.cache = BlockCache::new(blocks);
+    }
+
+    /// Drops every cached block without resizing. Tests that corrupt the
+    /// device behind the store's back call this so the next read observes
+    /// the raw device, as direct IO would.
+    pub fn drop_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Blocks currently resident in the cache.
+    pub fn cached_blocks(&self) -> usize {
+        self.cache.len()
+    }
+
     /// Ablation knob: when `false`, every μCheckpoint flushes the COW
     /// tree and writes a full root (no delta-record fast path).
     pub fn set_delta_commits(&mut self, enabled: bool) {
@@ -627,8 +742,15 @@ impl ObjectStore {
     ) -> Result<CommitToken, StoreError> {
         // Recycle blocks whose gating instant has passed. This is
         // commit-independent maintenance: it stays applied even if this
-        // commit aborts.
+        // commit aborts. Pins must be materialized before anything is
+        // freed.
+        self.ensure_pins(vt, disk)?;
         self.recycle_pending(vt.now());
+
+        // Demand-load the tree paths this commit will touch *before* any
+        // allocation or mutation: a failed node read aborts with the
+        // object untouched.
+        self.hydrate_object_paths(vt, disk, object, pages)?;
 
         vt.charge(
             Category::FileSystem,
@@ -677,9 +799,15 @@ impl ObjectStore {
                 pairs: delta_pairs,
             };
             let slot = state.entry.delta_slot(epoch);
+            let cache = &mut self.cache;
             let token = (|| {
-                let data_token = writev_retry(disk, vt.now(), &iov)?;
-                writev_retry(disk, data_token.completes(), &[(slot, &record.to_block())])
+                let data_token = writev_retry(disk, vt.now(), &iov, cache)?;
+                writev_retry(
+                    disk,
+                    data_token.completes(),
+                    &[(slot, &record.to_block())],
+                    cache,
+                )
             })();
             let token = match token {
                 Ok(t) => t,
@@ -792,15 +920,21 @@ impl ObjectStore {
             epoch,
             tree_root,
             len_pages: state.tree.len_pages(),
+            // The bump frontier *after* this commit's allocations: at
+            // recovery the newest durable root's frontier covers every
+            // block any earlier commit allocated, which is what lets
+            // `open` skip the O(object) tree walk.
+            high_water: self.alloc.high_water(),
         };
         let slot = state.entry.root_slot(state.full_count + 1);
+        let cache = &mut self.cache;
         let token = (|| {
             let record_at = if iov.is_empty() {
                 vt.now()
             } else {
-                writev_retry(disk, vt.now(), &iov)?.completes()
+                writev_retry(disk, vt.now(), &iov, cache)?.completes()
             };
-            writev_retry(disk, record_at, &[(slot, &record.to_block())])
+            writev_retry(disk, record_at, &[(slot, &record.to_block())], cache)
         })();
         let token = match token {
             Ok(t) => t,
@@ -864,6 +998,7 @@ impl ObjectStore {
         disk: &mut Disk,
         groups: &[(ObjectId, &[(u64, &[u8])])],
     ) -> Result<Vec<CommitToken>, StoreError> {
+        self.ensure_pins(vt, disk)?;
         self.recycle_pending(vt.now());
         // Small or oversized batches gain nothing from the shared record:
         // take the plain per-object path (which also keeps the
@@ -884,6 +1019,12 @@ impl ObjectStore {
             groups.iter().all(|(_, p)| !p.is_empty()),
             "batched groups carry at least one page"
         );
+
+        // Demand-load every touched tree path up front: a failed node
+        // read aborts the whole batch before any group is mutated.
+        for (object, pages) in groups {
+            self.hydrate_object_paths(vt, disk, *object, pages)?;
+        }
 
         // Maintenance before the batch proper, charged to the submitter
         // and kept even if the batch later aborts (like block recycling):
@@ -946,12 +1087,14 @@ impl ObjectStore {
             groups: rec_groups,
         };
         let record_block = BATCH_RING_START + self.batch_seq % BATCH_SLOTS;
+        let cache = &mut self.cache;
         let token = (|| {
-            let data_token = writev_retry(disk, vt.now(), &iov)?;
+            let data_token = writev_retry(disk, vt.now(), &iov, cache)?;
             writev_retry(
                 disk,
                 data_token.completes(),
                 &[(record_block, &record.to_block())],
+                cache,
             )
         })();
         let token = match token {
@@ -994,6 +1137,65 @@ impl ObjectStore {
         self.stats.batched_objects += groups.len() as u64;
         self.stats.pages_written += total_pages as u64;
         Ok(tokens)
+    }
+
+    /// Materializes the pin sets of snapshots adopted unloaded by
+    /// [`ObjectStore::open`]: hydrates each snapshot tree (through the
+    /// block cache) and registers its reachable blocks in `snap_pins`.
+    ///
+    /// Called before any path that can free a block (recycling, snapshot
+    /// deletion) — pins are consulted only at free time, so deferring
+    /// them is what makes `open` O(1) IO even with retained snapshots.
+    /// Until the first free, the allocator hands out only blocks past the
+    /// recovered frontier, which no snapshot can reach. Materialization
+    /// is per-snapshot atomic: a failed read leaves the remaining
+    /// snapshots unpinned and the call retryable.
+    fn ensure_pins(&mut self, vt: &mut Vt, disk: &mut Disk) -> Result<(), StoreError> {
+        if self.pins_ready {
+            return Ok(());
+        }
+        for i in 0..self.snapshots.len() {
+            if self.snapshots[i].pinned {
+                continue;
+            }
+            let blocks = {
+                let snap = &mut self.snapshots[i];
+                let cache = &mut self.cache;
+                let stats = &mut self.stats;
+                snap.tree.reachable_blocks_with(&mut |b, out| {
+                    read_block_cached(vt, disk, cache, stats, b, out, true)
+                })?
+            };
+            for &b in &blocks {
+                *self.snap_pins.entry(b).or_insert(0) += 1;
+            }
+            let snap = &mut self.snapshots[i];
+            snap.blocks = blocks;
+            snap.pinned = true;
+        }
+        self.pins_ready = true;
+        Ok(())
+    }
+
+    /// Demand-loads the tree paths `pages` will touch, before any commit
+    /// mutation: a failed node read surfaces here, with the tree, cache,
+    /// and allocator all unchanged.
+    fn hydrate_object_paths(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        object: ObjectId,
+        pages: &[(u64, &[u8])],
+    ) -> Result<(), StoreError> {
+        let state = &mut self.objects[object.0 as usize];
+        let cache = &mut self.cache;
+        let stats = &mut self.stats;
+        for (page, _) in pages {
+            state.tree.hydrate_path(*page, &mut |b, out| {
+                read_block_cached(vt, disk, cache, stats, b, out, true)
+            })?;
+        }
+        Ok(())
     }
 
     /// Pops every `pending_free` entry whose gating instant has passed.
@@ -1063,7 +1265,7 @@ impl ObjectStore {
         if name.len() > NAME_LEN {
             return Err(StoreError::NameTooLong);
         }
-        if self.snapshots.iter().any(|s| s.entry.name == name) {
+        if self.snap_by_name.contains_key(name) {
             return Err(StoreError::SnapshotExists);
         }
         if self.snapshots.len() >= MAX_SNAPSHOTS {
@@ -1073,6 +1275,17 @@ impl ObjectStore {
             return Err(StoreError::NotFound);
         }
         self.flush_full_root(vt, disk, object)?;
+        // Hydrate the live tree before cloning so the pin enumeration
+        // below is infallible and the snapshot shares every resident
+        // node with the live tree (the clone itself is O(1)).
+        {
+            let state = &mut self.objects[object.0 as usize];
+            let cache = &mut self.cache;
+            let stats = &mut self.stats;
+            state.tree.hydrate_all(&mut |b, out| {
+                read_block_cached(vt, disk, cache, stats, b, out, true)
+            })?;
+        }
         let state = &self.objects[object.0 as usize];
         let entry = SnapEntry {
             name: name.to_string(),
@@ -1088,13 +1301,17 @@ impl ObjectStore {
             *self.snap_pins.entry(b).or_insert(0) += 1;
         }
         let epoch = entry.epoch;
+        self.snap_by_name
+            .insert(name.to_string(), self.snapshots.len());
         self.snapshots.push(SnapState {
             entry,
             tree,
             blocks,
+            pinned: true,
         });
         if let Err(e) = self.write_catalog(vt, disk, root_durable) {
             let snap = self.snapshots.pop().expect("entry was just pushed");
+            self.snap_by_name.remove(name);
             self.unpin(&snap.blocks);
             return Err(e);
         }
@@ -1115,18 +1332,32 @@ impl ObjectStore {
         disk: &mut Disk,
         name: &str,
     ) -> Result<(), StoreError> {
-        let idx = self
-            .snapshots
-            .iter()
-            .position(|s| s.entry.name == name)
+        let idx = *self
+            .snap_by_name
+            .get(name)
             .ok_or(StoreError::SnapshotNotFound)?;
         let snap = self.snapshots.remove(idx);
+        self.rebuild_snap_index();
         if let Err(e) = self.write_catalog(vt, disk, vt.now()) {
             self.snapshots.insert(idx, snap);
+            self.rebuild_snap_index();
             return Err(e);
         }
+        // A snapshot adopted unloaded and deleted before its pins ever
+        // materialized has nothing registered to release.
         self.unpin(&snap.blocks);
         Ok(())
+    }
+
+    /// Rebuilds the name → index map after `snapshots` reorders (removal
+    /// shifts every later index).
+    fn rebuild_snap_index(&mut self) {
+        self.snap_by_name = self
+            .snapshots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.entry.name.clone(), i))
+            .collect();
     }
 
     /// The retained snapshots, in catalog order.
@@ -1136,34 +1367,44 @@ impl ObjectStore {
 
     /// Looks up a retained snapshot by name.
     pub fn snapshot_lookup(&self, name: &str) -> Option<&SnapEntry> {
-        self.snapshots
-            .iter()
-            .find(|s| s.entry.name == name)
-            .map(|s| &s.entry)
+        self.snap_by_name
+            .get(name)
+            .map(|&i| &self.snapshots[i].entry)
     }
 
     /// Reads one page of the named snapshot — the object's image as of
     /// the pinned epoch, regardless of anything committed since. Pages
     /// unwritten at that epoch read as zeroes.
     ///
+    /// The snapshot is looked up by name in O(1), its tree hydrates on
+    /// demand (only the touched path), and both node and data reads go
+    /// through the block cache.
+    ///
     /// # Errors
     ///
-    /// [`StoreError::SnapshotNotFound`].
+    /// [`StoreError::SnapshotNotFound`], or [`StoreError::Io`] if a
+    /// demand-load read fails (the tree is left unpoisoned; retry after
+    /// the fault clears).
     pub fn read_page_at(
-        &self,
+        &mut self,
         vt: &mut Vt,
         disk: &mut Disk,
         name: &str,
         page: u64,
         out: &mut [u8],
     ) -> Result<(), StoreError> {
-        let snap = self
-            .snapshots
-            .iter()
-            .find(|s| s.entry.name == name)
+        let idx = *self
+            .snap_by_name
+            .get(name)
             .ok_or(StoreError::SnapshotNotFound)?;
-        match snap.tree.get(page) {
-            Some(block) => disk.read_block(vt, block, out),
+        let snap = &mut self.snapshots[idx];
+        let cache = &mut self.cache;
+        let stats = &mut self.stats;
+        let block = snap.tree.get_or_load(page, &mut |b, buf| {
+            read_block_cached(vt, disk, cache, stats, b, buf, true)
+        })?;
+        match block {
+            Some(block) => read_block_cached(vt, disk, cache, stats, block, out, false)?,
             None => out.fill(0),
         }
         Ok(())
@@ -1172,40 +1413,65 @@ impl ObjectStore {
     /// Pages that differ between two retained snapshots of the same
     /// object (in page order): the incremental delta a replica at
     /// `base`'s epoch needs to reach `target`'s. Shared COW subtrees are
-    /// skipped without descent, so the walk is proportional to the
-    /// changed region, not the object size. `base = None` diffs against
-    /// the empty image (the full-sync fallback).
+    /// skipped without descent — and, for trees adopted unloaded by
+    /// `open`, **without hydration**: equal committed block numbers on
+    /// both sides imply identical subtrees (the COW invariant), so only
+    /// divergent regions are demand-loaded. The walk is proportional to
+    /// the changed region, not the object size. `base = None` diffs
+    /// against the empty image (the full-sync fallback).
     ///
     /// # Errors
     ///
-    /// [`StoreError::SnapshotNotFound`], or
+    /// [`StoreError::SnapshotNotFound`],
     /// [`StoreError::SnapshotMismatch`] if the snapshots belong to
-    /// different objects.
-    pub fn snapshot_diff(&self, base: Option<&str>, target: &str) -> Result<Vec<u64>, StoreError> {
-        let t = self
-            .snapshots
-            .iter()
-            .find(|s| s.entry.name == target)
+    /// different objects, or [`StoreError::Io`] if a demand-load read of
+    /// a divergent subtree fails (the trees stay unpoisoned; retry).
+    pub fn snapshot_diff(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        base: Option<&str>,
+        target: &str,
+    ) -> Result<Vec<u64>, StoreError> {
+        let ti = *self
+            .snap_by_name
+            .get(target)
             .ok_or(StoreError::SnapshotNotFound)?;
-        let empty = RadixTree::new();
-        let base_tree = match base {
-            None => &empty,
+        let bi = match base {
+            None => None,
             Some(n) => {
-                let b = self
-                    .snapshots
-                    .iter()
-                    .find(|s| s.entry.name == n)
+                let bi = *self
+                    .snap_by_name
+                    .get(n)
                     .ok_or(StoreError::SnapshotNotFound)?;
-                if b.entry.object != t.entry.object {
+                if self.snapshots[bi].entry.object != self.snapshots[ti].entry.object {
                     return Err(StoreError::SnapshotMismatch);
                 }
-                &b.tree
+                Some(bi)
             }
         };
-        Ok(RadixTree::diff_pages(base_tree, &t.tree)
-            .into_iter()
-            .map(|(page, _)| page)
-            .collect())
+        // Split the snapshot vector so base and target can hydrate
+        // independently during the walk.
+        let (base_tree, target_tree) = match bi {
+            None => (None, &mut self.snapshots[ti].tree),
+            Some(bi) if bi == ti => return Ok(Vec::new()),
+            Some(bi) => {
+                let (lo, hi) = (bi.min(ti), bi.max(ti));
+                let (left, right) = self.snapshots.split_at_mut(hi);
+                let (a, b) = (&mut left[lo].tree, &mut right[0].tree);
+                if bi < ti {
+                    (Some(a), b)
+                } else {
+                    (Some(b), a)
+                }
+            }
+        };
+        let cache = &mut self.cache;
+        let stats = &mut self.stats;
+        let pairs = RadixTree::diff_pages_with(base_tree, target_tree, &mut |b, out| {
+            read_block_cached(vt, disk, cache, stats, b, out, true)
+        })?;
+        Ok(pairs.into_iter().map(|(page, _)| page).collect())
     }
 
     /// Replica-side commit: applies `pages` as one crash-atomic full
@@ -1229,6 +1495,7 @@ impl ObjectStore {
         pages: &[(u64, &[u8])],
         target_epoch: Epoch,
     ) -> Result<CommitToken, StoreError> {
+        self.ensure_pins(vt, disk)?;
         self.recycle_pending(vt.now());
         let state = self
             .objects
@@ -1237,6 +1504,7 @@ impl ObjectStore {
         if target_epoch <= state.epoch {
             return Err(StoreError::StaleEpoch);
         }
+        self.hydrate_object_paths(vt, disk, object, pages)?;
         vt.charge(
             Category::FileSystem,
             costs::INITIATE_BASE + costs::INITIATE_PER_PAGE * pages.len() as u64,
@@ -1267,6 +1535,7 @@ impl ObjectStore {
         object: ObjectId,
         epoch: Epoch,
     ) -> Result<CommitToken, StoreError> {
+        self.ensure_pins(vt, disk)?;
         self.recycle_pending(vt.now());
         let state = self
             .objects
@@ -1314,12 +1583,16 @@ impl ObjectStore {
         pages: &[(u64, &[u8])],
         target_epoch: Epoch,
     ) -> Result<CommitToken, StoreError> {
+        // `ensure_pins` both registers the base snapshot's pin set
+        // (consulted for the quarantine filter below) and hydrates every
+        // snapshot tree, so the cloned base is fully resident.
+        self.ensure_pins(vt, disk)?;
         self.recycle_pending(vt.now());
-        let snap = self
-            .snapshots
-            .iter()
-            .find(|s| s.entry.name == base)
+        let idx = *self
+            .snap_by_name
+            .get(base)
             .ok_or(StoreError::SnapshotNotFound)?;
+        let snap = &self.snapshots[idx];
         if snap.entry.object != object {
             return Err(StoreError::SnapshotMismatch);
         }
@@ -1332,10 +1605,22 @@ impl ObjectStore {
         if target_epoch <= state.epoch {
             return Err(StoreError::StaleEpoch);
         }
+        // Hydrate the live (about-to-be-divergent) tree up front: the
+        // post-commit quarantine walk must not fail once the rebase root
+        // is durable.
+        {
+            let state = &mut self.objects[object.0 as usize];
+            let cache = &mut self.cache;
+            let stats = &mut self.stats;
+            state.tree.hydrate_all(&mut |b, out| {
+                read_block_cached(vt, disk, cache, stats, b, out, true)
+            })?;
+        }
         vt.charge(
             Category::FileSystem,
             costs::INITIATE_BASE + costs::INITIATE_PER_PAGE * pages.len() as u64,
         );
+        let state = &mut self.objects[object.0 as usize];
         let divergent = std::mem::replace(&mut state.tree, base_tree);
         let token = match self.full_commit(vt, disk, object, pages, target_epoch) {
             Ok(t) => t,
@@ -1386,7 +1671,12 @@ impl ObjectStore {
             entries: self.snapshots.iter().map(|s| s.entry.clone()).collect(),
         };
         let slot = SnapCatalog::slot(cat.seq);
-        let token = writev_retry(disk, at.max(vt.now()), &[(slot, &cat.to_block())])?;
+        let token = writev_retry(
+            disk,
+            at.max(vt.now()),
+            &[(slot, &cat.to_block())],
+            &mut self.cache,
+        )?;
         Disk::wait(vt, token);
         self.snap_seq += 1;
         Ok(())
@@ -1419,9 +1709,14 @@ impl ObjectStore {
     /// Reads one page of `object` into `out`. Pages never written read as
     /// zeroes (regions are zero-initialized).
     ///
+    /// The tree hydrates on demand (only the touched path) and both node
+    /// and data reads go through the block cache.
+    ///
     /// # Errors
     ///
-    /// [`StoreError::NotFound`] if `object` does not exist.
+    /// [`StoreError::NotFound`] if `object` does not exist, or
+    /// [`StoreError::Io`] if a demand-load read fails (the tree is left
+    /// unpoisoned; retry after the fault clears).
     pub fn read_page(
         &mut self,
         vt: &mut Vt,
@@ -1432,10 +1727,15 @@ impl ObjectStore {
     ) -> Result<(), StoreError> {
         let state = self
             .objects
-            .get(object.0 as usize)
+            .get_mut(object.0 as usize)
             .ok_or(StoreError::NotFound)?;
-        match state.tree.get(page) {
-            Some(block) => disk.read_block(vt, block, out),
+        let cache = &mut self.cache;
+        let stats = &mut self.stats;
+        let block = state.tree.get_or_load(page, &mut |b, buf| {
+            read_block_cached(vt, disk, cache, stats, b, buf, true)
+        })?;
+        match block {
+            Some(block) => read_block_cached(vt, disk, cache, stats, block, out, false)?,
             None => out.fill(0),
         }
         Ok(())
@@ -1453,21 +1753,10 @@ impl ObjectStore {
         disk.read_block(vt, dir_block, &mut buf);
         let off = (slot % ENTRIES_PER_BLOCK) * DIR_ENTRY_LEN;
         entry.encode(&mut buf[off..off + DIR_ENTRY_LEN]);
-        let token = writev_retry(disk, vt.now(), &[(dir_block, &buf[..])])?;
+        let token = writev_retry(disk, vt.now(), &[(dir_block, &buf[..])], &mut self.cache)?;
         Disk::wait(vt, token);
         Ok(())
     }
-}
-
-/// Conservative allocator margin covering interior tree-node blocks that
-/// recovery does not enumerate individually (committed node blocks are
-/// interleaved with data blocks in allocation order, so bounding them by
-/// tree size strictly over-covers).
-fn node_block_margin(objects: &[ObjectState]) -> u64 {
-    objects
-        .iter()
-        .map(|o| 3 * o.tree.pages().len() as u64 + 8)
-        .sum()
 }
 
 #[cfg(test)]
@@ -1804,7 +2093,7 @@ mod tests {
         // The pins survive recovery: reopen and read the epoch again.
         disk.settle();
         let mut vt2 = Vt::new(1);
-        let store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
         assert_eq!(store2.snapshot_lookup("keep").unwrap().epoch, snap_epoch);
         for (i, p) in originals.iter().enumerate() {
             store2
@@ -1924,11 +2213,13 @@ mod tests {
         let epoch_b = store.snapshot_create(&mut vt, &mut disk, obj, "b").unwrap();
 
         assert_eq!(
-            store.snapshot_diff(Some("a"), "b").unwrap(),
+            store
+                .snapshot_diff(&mut vt, &mut disk, Some("a"), "b")
+                .unwrap(),
             vec![2, 4, 6],
             "diff must report exactly the changed pages"
         );
-        let full = store.snapshot_diff(None, "a").unwrap();
+        let full = store.snapshot_diff(&mut vt, &mut disk, None, "a").unwrap();
         assert_eq!(full, vec![0, 1, 2, 3, 4, 5]);
 
         // Replica: full-sync to "a", then the incremental delta to "b".
@@ -1936,7 +2227,7 @@ mod tests {
         let mut replica = ObjectStore::format(&mut rdisk);
         let robj = replica.create(&mut vt, &mut rdisk, "db").unwrap();
         let mut buf = page_of(0);
-        let ship = |store: &ObjectStore,
+        let ship = |store: &mut ObjectStore,
                     disk: &mut Disk,
                     replica: &mut ObjectStore,
                     rdisk: &mut Disk,
@@ -1955,7 +2246,7 @@ mod tests {
             ObjectStore::wait(vt, t);
         };
         ship(
-            &store,
+            &mut store,
             &mut disk,
             &mut replica,
             &mut rdisk,
@@ -1966,7 +2257,7 @@ mod tests {
         );
         assert_eq!(replica.epoch(robj), epoch_a);
         ship(
-            &store,
+            &mut store,
             &mut disk,
             &mut replica,
             &mut rdisk,
@@ -2190,11 +2481,15 @@ mod tests {
         store.snapshot_create(&mut vt, &mut disk, a, "sa").unwrap();
         store.snapshot_create(&mut vt, &mut disk, b, "sb").unwrap();
         assert_eq!(
-            store.snapshot_diff(Some("sa"), "sb").unwrap_err(),
+            store
+                .snapshot_diff(&mut vt, &mut disk, Some("sa"), "sb")
+                .unwrap_err(),
             StoreError::SnapshotMismatch
         );
         assert_eq!(
-            store.snapshot_diff(Some("sa"), "nope").unwrap_err(),
+            store
+                .snapshot_diff(&mut vt, &mut disk, Some("sa"), "nope")
+                .unwrap_err(),
             StoreError::SnapshotNotFound
         );
     }

@@ -2,9 +2,9 @@
 //! corrupted root or delta slot degrades recovery to an earlier epoch
 //! instead of returning garbage.
 
-use msnap_disk::{Disk, DiskConfig, Fault, FaultPlan, BLOCK_SIZE};
+use msnap_disk::{Disk, DiskConfig, Fault, FaultPlan, ReadFaultPlan, BLOCK_SIZE};
 use msnap_sim::Vt;
-use msnap_store::{ObjectStore, DELTA_SLOTS};
+use msnap_store::{ObjectStore, StoreError, DELTA_SLOTS};
 
 fn page_of(b: u8) -> Vec<u8> {
     vec![b; BLOCK_SIZE]
@@ -244,10 +244,68 @@ fn corruption_in_a_data_block_does_not_break_recovery() {
             break;
         }
     }
+    // The block cache is invalidated by store writes, not by external
+    // mutation of the device; drop it so the next read hits raw IO.
+    store.drop_cache();
     let mut after = page_of(0);
     store
         .read_page(&mut vt, &mut disk, obj, 1, &mut after)
         .unwrap();
     assert_ne!(before, after, "corruption is visible in data");
     assert_eq!(store.epoch(obj), n, "structure unaffected");
+}
+
+#[test]
+fn read_fault_during_node_demand_load_is_retryable() {
+    // A seeded device read error during a radix-node demand-load must
+    // surface as a StoreError, leave the tree and the block cache
+    // unpoisoned, and let the identical read succeed once the fault
+    // clears.
+    let mut disk = Disk::new(DiskConfig::paper());
+    let mut store = ObjectStore::format(&mut disk);
+    let mut vt = Vt::new(0);
+    let obj = store.create(&mut vt, &mut disk, "o").unwrap();
+    let a = page_of(7);
+    let b = page_of(9);
+    let token = store
+        .persist(&mut vt, &mut disk, obj, &[(0, &a), (1000, &b)])
+        .unwrap();
+    ObjectStore::wait(&mut vt, token);
+    // Flush the full tree so a reopen starts from committed node blocks
+    // with no deltas to replay: every node is cold.
+    store.snapshot_create(&mut vt, &mut disk, obj, "s").unwrap();
+    disk.settle();
+
+    let mut vt = Vt::new(1);
+    let mut store = ObjectStore::open(&mut vt, &mut disk).unwrap();
+    let obj = store.lookup("o").unwrap();
+    assert_eq!(store.stats().hydrations, 0, "open does no hydration IO");
+
+    // Fail the very next fallible read — the node demand-load the page
+    // read below triggers.
+    disk.set_read_fault_plan(ReadFaultPlan::new().at(disk.read_seq(), true));
+    let mut buf = page_of(0);
+    let err = store
+        .read_page(&mut vt, &mut disk, obj, 1000, &mut buf)
+        .unwrap_err();
+    assert!(
+        matches!(err, StoreError::Io(_)),
+        "read fault surfaces as an IO error, got {err:?}"
+    );
+    assert_eq!(
+        store.stats().hydrations,
+        0,
+        "the failed load left nothing half-hydrated"
+    );
+
+    // Unpoisoned: the identical read succeeds now that the fault is
+    // spent, and the demand-load happens then.
+    store
+        .read_page(&mut vt, &mut disk, obj, 1000, &mut buf)
+        .unwrap();
+    assert_eq!(buf[0], 9, "retry returns the committed bytes");
+    assert!(
+        store.stats().hydrations > 0,
+        "retry re-issued the demand-load the fault blocked"
+    );
 }

@@ -274,10 +274,10 @@ fn delta_apply_crash_sweep_lands_at_base_or_target_epoch() {
         images.insert(epoch, pages);
     }
 
-    let full_wire = DeltaStream::build(&mut vt, &mut pdisk, &store, None, "base")
+    let full_wire = DeltaStream::build(&mut vt, &mut pdisk, &mut store, None, "base")
         .unwrap()
         .encode();
-    let delta_wire = DeltaStream::build(&mut vt, &mut pdisk, &store, Some("base"), "tip")
+    let delta_wire = DeltaStream::build(&mut vt, &mut pdisk, &mut store, Some("base"), "tip")
         .unwrap()
         .encode();
 

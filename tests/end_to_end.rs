@@ -287,7 +287,14 @@ fn faulted_replica_catches_up_with_deltas_alone() {
 
         let epoch_before = replica.lookup("db").map(|o| replica.epoch(o));
         let report = loop {
-            match sync_to(&mut vt, &store, &mut pdisk, &mut replica, &mut rdisk, &name) {
+            match sync_to(
+                &mut vt,
+                &mut store,
+                &mut pdisk,
+                &mut replica,
+                &mut rdisk,
+                &name,
+            ) {
                 Ok(r) => break r,
                 Err(SnapError::Store(StoreError::Io(e))) => {
                     assert!(e.is_transient(), "only transient faults were injected");

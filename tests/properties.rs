@@ -51,6 +51,84 @@ proptest! {
         });
         prop_assert_eq!(loaded.pages(), tree.pages());
     }
+
+    /// An Arc-shared O(1) clone diverged on both sides behaves exactly
+    /// like the old deep-copy semantics: path-copying keeps every
+    /// mutation private to its side, byte for byte.
+    #[test]
+    fn arc_clone_divergence_matches_deep_clone(
+        base in prop::collection::vec((0u64..50_000, 1u64..1_000_000), 1..100),
+        left in prop::collection::vec((0u64..50_000, 1u64..1_000_000), 0..100),
+        right in prop::collection::vec((0u64..50_000, 1u64..1_000_000), 0..100),
+    ) {
+        let mut tree = RadixTree::new();
+        for (page, block) in &base {
+            tree.set(*page, *block);
+        }
+        let mut next = 1u64;
+        let mut writes = Vec::new();
+        tree.commit(&mut || { next += 1; next }, &mut writes);
+
+        let mut shared_l = tree.clone();
+        let mut shared_r = tree;
+        let mut deep_l = shared_l.deep_clone();
+        let mut deep_r = shared_r.deep_clone();
+        for (page, block) in &left {
+            prop_assert_eq!(shared_l.set(*page, *block), deep_l.set(*page, *block));
+        }
+        for (page, block) in &right {
+            prop_assert_eq!(shared_r.set(*page, *block), deep_r.set(*page, *block));
+        }
+        // Neither side's mutations leaked into the other (the deep
+        // copies never shared structure, so they are the oracle).
+        prop_assert_eq!(shared_l.pages(), deep_l.pages());
+        prop_assert_eq!(shared_r.pages(), deep_r.pages());
+    }
+
+    /// Diffing partially-hydrated trees gives the same answer as diffing
+    /// fully-resident ones: equal committed block numbers substitute for
+    /// descending into (or even loading) shared subtrees.
+    #[test]
+    fn lazy_diff_matches_eager_diff(
+        base in prop::collection::vec((0u64..50_000, 1u64..1_000_000), 1..100),
+        delta in prop::collection::vec((0u64..50_000, 1u64..1_000_000), 1..50),
+        prehydrate in prop::collection::vec(0u64..50_000, 0..10),
+    ) {
+        let mut next = 10_000u64;
+        let mut tree_a = RadixTree::new();
+        for (page, block) in &base {
+            tree_a.set(*page, *block);
+        }
+        let mut writes = Vec::new();
+        let root_a = tree_a.commit(&mut || { next += 1; next }, &mut writes);
+        let mut tree_b = tree_a.clone();
+        for (page, block) in &delta {
+            tree_b.set(*page, *block);
+        }
+        let root_b = tree_b.commit(&mut || { next += 1; next }, &mut writes);
+        let blocks: std::collections::HashMap<u64, Box<[u8]>> = writes.into_iter().collect();
+
+        let eager = RadixTree::diff_pages(&tree_a, &tree_b);
+
+        let mut lazy_a = RadixTree::from_committed(root_a, tree_a.len_pages());
+        let mut lazy_b = RadixTree::from_committed(root_b, tree_b.len_pages());
+        let mut read = |b: u64, out: &mut [u8; BLOCK_SIZE]| {
+            out.copy_from_slice(&blocks[&b][..]);
+            Ok(())
+        };
+        // Hydrate an arbitrary subset of paths on alternating sides so
+        // the diff walks a mix of resident and unloaded nodes.
+        for (i, page) in prehydrate.iter().enumerate() {
+            if i % 2 == 0 {
+                lazy_a.hydrate_path(*page, &mut read).unwrap();
+            } else {
+                lazy_b.hydrate_path(*page, &mut read).unwrap();
+            }
+        }
+        let lazy =
+            RadixTree::diff_pages_with(Some(&mut lazy_a), &mut lazy_b, &mut read).unwrap();
+        prop_assert_eq!(lazy, eager);
+    }
 }
 
 // ---- Object store crash serializability --------------------------------
@@ -478,12 +556,12 @@ proptest! {
         // Replica: full image of "a", then the structural delta to "b".
         let mut rdisk = Disk::new(DiskConfig::paper());
         let mut replica = ObjectStore::format(&mut rdisk);
-        let r1 = sync_to(&mut vt, &store, &mut pdisk, &mut replica, &mut rdisk, "a").unwrap();
+        let r1 = sync_to(&mut vt, &mut store, &mut pdisk, &mut replica, &mut rdisk, "a").unwrap();
         prop_assert!(r1.full_sync);
-        let r2 = sync_to(&mut vt, &store, &mut pdisk, &mut replica, &mut rdisk, "b").unwrap();
+        let r2 = sync_to(&mut vt, &mut store, &mut pdisk, &mut replica, &mut rdisk, "b").unwrap();
         prop_assert!(!r2.full_sync, "base is retained: the second round must ship a delta");
 
-        let b = store.snapshot_lookup("b").unwrap();
+        let b = store.snapshot_lookup("b").unwrap().clone();
         let robj = replica.lookup("o").unwrap();
         prop_assert_eq!(replica.epoch(robj), b.epoch);
         prop_assert_eq!(replica.len_pages(robj), b.len_pages);
