@@ -11,7 +11,12 @@
 //!   O(dirty path), so the cost is flat — against it, the wall-clock of
 //!   a deep copy of the same tree, which grows with the object;
 //! - block-cache hit rate under uniform vs Zipfian page reads, 10k reads
-//!   against a 1024-page object through the default 256-block cache.
+//!   against a 1024-page object through the default 256-block cache;
+//! - checksummed-read overhead: cache hits serve the already-verified
+//!   image for free, media misses pay the inline digest verification —
+//!   plus the raw wall-clock throughput of the page digest itself;
+//! - scrub throughput vs per-call IO budget: one full verification pass
+//!   over a 4096-page object, sliced finer or coarser.
 //!
 //! Emits the machine-readable `BENCH_store.json` at the workspace root.
 
@@ -20,7 +25,7 @@ use std::time::Instant;
 use msnap_bench::{header, table, us};
 use msnap_disk::{Disk, DiskConfig, BLOCK_SIZE};
 use msnap_sim::Vt;
-use msnap_store::{ObjectStore, RadixTree, DEFAULT_CACHE_BLOCKS};
+use msnap_store::{digest32, ObjectStore, RadixTree, DEFAULT_CACHE_BLOCKS};
 
 const SIZES: [u64; 4] = [64, 256, 1024, 4096];
 const DIRTY_PAGES: u64 = 16;
@@ -317,10 +322,166 @@ fn sweep_reads() -> Vec<ReadPoint> {
     points
 }
 
+struct VerifyPoint {
+    mode: &'static str,
+    reads: u64,
+    avg_read_us: f64,
+}
+
+/// Per-read cost with digest verification, cache hit vs media miss,
+/// plus the raw wall-clock throughput of the digest.
+fn sweep_verify() -> (Vec<VerifyPoint>, f64) {
+    header(
+        "Checksummed read: cache hit vs media miss",
+        "hits serve the cached, already-verified image (no digest work); \
+         misses read media and verify the page digest inline before the \
+         bytes are served.",
+    );
+    let mut points = Vec::new();
+
+    // Cache hits: one hot page re-read after warming.
+    {
+        let (mut disk, mut vt) = device_with(READ_OBJECT_PAGES);
+        let mut store = ObjectStore::open(&mut vt, &mut disk).unwrap();
+        let obj = store.lookup("db").unwrap();
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        store
+            .read_page(&mut vt, &mut disk, obj, 0, &mut buf)
+            .unwrap();
+        let t0 = vt.now();
+        for _ in 0..READS {
+            store
+                .read_page(&mut vt, &mut disk, obj, 0, &mut buf)
+                .unwrap();
+        }
+        points.push(VerifyPoint {
+            mode: "cache_hit",
+            reads: READS,
+            avg_read_us: (vt.now() - t0).as_us_f64() / READS as f64,
+        });
+    }
+
+    // Media misses: sequential sweeps with the cache dropped per round,
+    // so every read verifies a page fresh off the device.
+    {
+        let (mut disk, mut vt) = device_with(READ_OBJECT_PAGES);
+        let mut store = ObjectStore::open(&mut vt, &mut disk).unwrap();
+        let obj = store.lookup("db").unwrap();
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        let rounds = READS / READ_OBJECT_PAGES;
+        let mut n = 0u64;
+        let t0 = vt.now();
+        for _ in 0..rounds {
+            store.drop_cache();
+            for p in 0..READ_OBJECT_PAGES {
+                store
+                    .read_page(&mut vt, &mut disk, obj, p, &mut buf)
+                    .unwrap();
+                n += 1;
+            }
+        }
+        points.push(VerifyPoint {
+            mode: "media_miss",
+            reads: n,
+            avg_read_us: (vt.now() - t0).as_us_f64() / n as f64,
+        });
+    }
+
+    // Raw digest cost, wall clock (bytes/ns == GB/s).
+    let img = page_image(7, 7);
+    const ITERS: u32 = 1 << 15;
+    let t = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..ITERS {
+        acc ^= u64::from(digest32(std::hint::black_box(&img[..])));
+    }
+    std::hint::black_box(acc);
+    let ns_per_page = t.elapsed().as_nanos() as f64 / f64::from(ITERS);
+    let digest_gb_per_s = BLOCK_SIZE as f64 / ns_per_page;
+
+    table(
+        &["mode", "reads", "avg read us"],
+        &points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.mode.to_string(),
+                    format!("{}", p.reads),
+                    us(p.avg_read_us),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("  raw digest: {ns_per_page:.0} ns/page ({digest_gb_per_s:.2} GB/s wall clock)");
+    (points, digest_gb_per_s)
+}
+
+struct ScrubPoint {
+    budget: u64,
+    calls: u64,
+    pages_verified: u64,
+    nodes_verified: u64,
+    pass_us: f64,
+    pages_per_s: f64,
+}
+
+/// One full scrub pass over a 4096-page object, at several per-call IO
+/// budgets.
+fn sweep_scrub() -> Vec<ScrubPoint> {
+    header(
+        "Scrub throughput vs IO budget",
+        "full verification pass over a 4096-page object; finer budgets \
+         interleave better with foreground work, coarser budgets finish \
+         the pass in fewer calls.",
+    );
+    let mut points = Vec::new();
+    for budget in [64u64, 256, 1024, 4096] {
+        let (mut disk, mut vt) = device_with(4096);
+        let mut store = ObjectStore::open(&mut vt, &mut disk).unwrap();
+        let mut calls = 0u64;
+        let t0 = vt.now();
+        while store.scrub_stats().passes == 0 {
+            store.scrub(&mut vt, &mut disk, budget).unwrap();
+            calls += 1;
+            assert!(calls < 1_000_000, "scrub never completed a pass");
+        }
+        let pass = vt.now() - t0;
+        let s = store.scrub_stats();
+        assert_eq!(s.corruptions_found, 0, "clean device scrubs clean");
+        points.push(ScrubPoint {
+            budget,
+            calls,
+            pages_verified: s.pages_verified,
+            nodes_verified: s.nodes_verified,
+            pass_us: pass.as_us_f64(),
+            pages_per_s: s.pages_verified as f64 / (pass.as_us_f64() / 1e6),
+        });
+    }
+    table(
+        &["budget", "calls", "pages", "nodes", "pass us", "pages/s"],
+        &points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{}", p.budget),
+                    format!("{}", p.calls),
+                    format!("{}", p.pages_verified),
+                    format!("{}", p.nodes_verified),
+                    us(p.pass_us),
+                    format!("{:.0}", p.pages_per_s),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    points
+}
+
 fn main() {
     let open = sweep_open();
     let snapshot = sweep_snapshot();
     let reads = sweep_reads();
+    let (verify, digest_gb_per_s) = sweep_verify();
+    let scrub = sweep_scrub();
 
     let open_json = open
         .iter()
@@ -355,19 +516,45 @@ fn main() {
         })
         .collect::<Vec<_>>()
         .join(",\n    ");
+    let verify_json = verify
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"mode\":\"{}\",\"reads\":{},\"avg_read_us\":{:.3}}}",
+                p.mode, p.reads, p.avg_read_us
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    let scrub_json = scrub
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"budget\":{},\"calls\":{},\"pages_verified\":{},\
+                 \"nodes_verified\":{},\"pass_us\":{:.1},\"pages_per_s\":{:.0}}}",
+                p.budget, p.calls, p.pages_verified, p.nodes_verified, p.pass_us, p.pages_per_s
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ");
     let json = format!(
         "{{\n  \"bench\": \"store\",\n  \"cache_blocks\": {DEFAULT_CACHE_BLOCKS},\n  \
          \"open\": [\n    {open_json}\n  ],\n  \
          \"snapshot_create\": [\n    {snap_json}\n  ],\n  \
-         \"reads\": [\n    {reads_json}\n  ]\n}}\n"
+         \"reads\": [\n    {reads_json}\n  ],\n  \
+         \"digest_gb_per_s\": {digest_gb_per_s:.2},\n  \
+         \"read_verify\": [\n    {verify_json}\n  ],\n  \
+         \"scrub\": [\n    {scrub_json}\n  ]\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");
     std::fs::write(path, &json).expect("workspace root is writable");
     println!();
     println!(
-        "wrote {} open + {} snapshot + {} read points to BENCH_store.json",
+        "wrote {} open + {} snapshot + {} read + {} verify + {} scrub points to BENCH_store.json",
         open.len(),
         snapshot.len(),
-        reads.len()
+        reads.len(),
+        verify.len(),
+        scrub.len()
     );
 }

@@ -71,3 +71,7 @@ pub use msnap_vm::PAGE_SIZE;
 
 /// μCheckpoint epoch type (the paper's `epoch_t`).
 pub use msnap_store::Epoch;
+
+/// Per-slice integrity scrub report (see [`MemSnap::msnap_scrub`]),
+/// re-exported from the store.
+pub use msnap_store::ScrubStats;

@@ -6,7 +6,8 @@ use std::collections::{BTreeSet, BinaryHeap, HashMap};
 use msnap_sim::{Category, ChannelPool, Nanos, Vt};
 
 use crate::{
-    DiskConfig, Fault, FaultInjector, FaultPlan, IoError, IoStats, ReadFaultPlan, BLOCK_SIZE,
+    DiskConfig, Fault, FaultInjector, FaultPlan, IoError, IoStats, ReadFault, ReadFaultPlan,
+    BLOCK_SIZE,
 };
 
 /// Handle for an asynchronously submitted write.
@@ -369,8 +370,17 @@ impl Disk {
     ) -> Result<Nanos, IoError> {
         let seq = self.read_seq;
         self.read_seq += 1;
-        if let Some(transient) = self.read_faults.fault_for(seq) {
-            return Err(IoError::Failed { block, transient });
+        match self.read_faults.fault_for(seq) {
+            Some(ReadFault::Fail { transient }) => {
+                return Err(IoError::Failed { block, transient });
+            }
+            Some(ReadFault::BitRot { byte, bit }) => {
+                // Rot the media in place, then serve the read normally:
+                // the caller gets corrupted bytes with Ok, and every
+                // later read of this block sees the same rot.
+                self.corrupt_bit(block, byte, bit);
+            }
+            None => {}
         }
         Ok(self.read_block_at(now, block, out))
     }
@@ -433,6 +443,38 @@ impl Disk {
         if let Some(data) = self.blocks.get_mut(&block) {
             data[byte % BLOCK_SIZE] ^= 1 << (bit % 8);
         }
+    }
+
+    /// Fault injection: deterministically rots `count` distinct blocks out
+    /// of `candidates`, flipping one pseudorandom bit in each — the bulk
+    /// counterpart of [`Disk::corrupt_bit`] for seeded at-rest corruption
+    /// sweeps. Returns the blocks that were actually rotted (candidates
+    /// never written are skipped). Same seed + same candidates → same rot.
+    pub fn seeded_rot(&mut self, seed: u64, candidates: &[u64], count: usize) -> Vec<u64> {
+        // splitmix64: tiny, deterministic, and good enough to scatter the
+        // picks; no external RNG dependency.
+        let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut pool: Vec<u64> = candidates.to_vec();
+        let mut rotted = Vec::new();
+        while rotted.len() < count && !pool.is_empty() {
+            let pick = (next() as usize) % pool.len();
+            let block = pool.swap_remove(pick);
+            if !self.blocks.contains_key(&block) {
+                continue;
+            }
+            let byte = (next() as usize) % BLOCK_SIZE;
+            let bit = (next() % 8) as u8;
+            self.corrupt_bit(block, byte, bit);
+            rotted.push(block);
+        }
+        rotted
     }
 
     /// Number of distinct blocks ever written (and not rolled back).
@@ -524,6 +566,55 @@ mod tests {
         disk.try_read_block(&mut vt, 5, &mut out).unwrap();
         assert_eq!(out, block_of(0xAB));
         assert_eq!(disk.read_seq(), 3);
+    }
+
+    #[test]
+    fn bit_rot_fault_serves_corrupted_data_without_error() {
+        let mut disk = Disk::new(DiskConfig::fast());
+        let mut vt = Vt::new(0);
+        disk.write_block(&mut vt, 5, &block_of(0xAB)).unwrap();
+        disk.set_read_fault_plan(ReadFaultPlan::new().rot_at(0, 3, 1));
+        let mut out = vec![0u8; BLOCK_SIZE];
+        // The rotted read reports success but byte 3 has bit 1 flipped.
+        disk.try_read_block(&mut vt, 5, &mut out).unwrap();
+        let mut want = block_of(0xAB);
+        want[3] ^= 1 << 1;
+        assert_eq!(out, want);
+        // Rot is on the media, not the wire: later clean reads see it too.
+        out.fill(0);
+        disk.try_read_block(&mut vt, 5, &mut out).unwrap();
+        assert_eq!(out, want);
+        disk.read_block(&mut vt, 5, &mut out);
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn seeded_rot_is_deterministic_and_skips_unwritten_blocks() {
+        let mut vt = Vt::new(0);
+        let build = || {
+            let mut d = Disk::new(DiskConfig::fast());
+            let mut v = Vt::new(0);
+            for b in 0..8u64 {
+                d.write_block(&mut v, b, &block_of(b as u8)).unwrap();
+            }
+            d
+        };
+        let mut a = build();
+        let mut b = build();
+        let candidates: Vec<u64> = (0..12).collect(); // 8..12 never written
+        let rot_a = a.seeded_rot(42, &candidates, 3);
+        let rot_b = b.seeded_rot(42, &candidates, 3);
+        assert_eq!(rot_a, rot_b);
+        assert_eq!(rot_a.len(), 3);
+        assert!(rot_a.iter().all(|&blk| blk < 8));
+        for &blk in &rot_a {
+            let mut out = vec![0u8; BLOCK_SIZE];
+            a.read_block(&mut vt, blk, &mut out);
+            assert_ne!(out, block_of(blk as u8), "block {blk} not rotted");
+            let mut out_b = vec![0u8; BLOCK_SIZE];
+            b.read_block(&mut vt, blk, &mut out_b);
+            assert_eq!(out, out_b, "rot differs between identical seeds");
+        }
     }
 
     #[test]

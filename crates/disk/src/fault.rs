@@ -251,24 +251,47 @@ impl FaultPlan {
     }
 }
 
-/// A deterministic schedule of *read* failures, keyed by fallible-read
+/// A fault scheduled against one fallible read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReadFault {
+    /// Fail the read with [`IoError::Failed`]; no bytes are transferred.
+    Fail {
+        /// Whether a retry may succeed, via [`IoError::is_transient`].
+        transient: bool,
+    },
+    /// Silent bit rot: flip one bit of the target block *on the media*
+    /// before serving the read. The read itself succeeds — corrupted
+    /// bytes come back with `Ok` and the rot persists for every later
+    /// read of the block. No error is reported; detection is the job of
+    /// the digest layers above.
+    BitRot {
+        /// Byte offset within the block (wrapped into range).
+        byte: usize,
+        /// Bit position within the byte (wrapped into range).
+        bit: u8,
+    },
+}
+
+/// A deterministic schedule of *read* faults, keyed by fallible-read
 /// index.
 ///
 /// The device numbers every fallible read submission
 /// ([`Disk::try_read_block_at`](crate::Disk::try_read_block_at) /
 /// [`Disk::try_read_block`](crate::Disk::try_read_block)) with a 0-based
-/// sequence counter, separate from the write `io_seq`. A scheduled entry
-/// makes that read fail with [`IoError::Failed`] — no bytes are
-/// transferred and no time is charged. The legacy infallible read paths
-/// (`read_block_at` / `read_block`) neither consume sequence numbers nor
-/// consult the plan, so recovery code that predates fallible reads is
-/// unaffected.
+/// sequence counter, separate from the write `io_seq`. A scheduled
+/// [`ReadFault::Fail`] makes that read fail with [`IoError::Failed`] — no
+/// bytes are transferred and no time is charged; a [`ReadFault::BitRot`]
+/// silently corrupts the media and serves the rotted bytes with `Ok`. The
+/// legacy infallible read paths (`read_block_at` / `read_block`) neither
+/// consume sequence numbers nor consult the plan, so recovery code that
+/// predates fallible reads is unaffected.
 ///
 /// Like [`FaultPlan`], read plans are plain data: the same plan against
 /// the same deterministic workload injects the same faults.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ReadFaultPlan {
-    faults: BTreeMap<u64, bool>,
+    faults: BTreeMap<u64, ReadFault>,
 }
 
 impl ReadFaultPlan {
@@ -280,12 +303,20 @@ impl ReadFaultPlan {
     /// Schedules the `read`-th fallible read (0-based) to fail;
     /// `transient` is reported through [`IoError::is_transient`].
     pub fn at(mut self, read: u64, transient: bool) -> Self {
-        self.faults.insert(read, transient);
+        self.faults.insert(read, ReadFault::Fail { transient });
         self
     }
 
-    /// Whether the `read`-th fallible read should fail, and transiently so.
-    pub fn fault_for(&self, read: u64) -> Option<bool> {
+    /// Schedules silent bit rot on the `read`-th fallible read: the
+    /// target block's media is corrupted in place and the read succeeds
+    /// with the rotted bytes.
+    pub fn rot_at(mut self, read: u64, byte: usize, bit: u8) -> Self {
+        self.faults.insert(read, ReadFault::BitRot { byte, bit });
+        self
+    }
+
+    /// The fault scheduled for the `read`-th fallible read, if any.
+    pub fn fault_for(&self, read: u64) -> Option<ReadFault> {
         self.faults.get(&read).copied()
     }
 

@@ -43,7 +43,7 @@ mod stats;
 
 pub use device::{crash_at_every_io, Disk, WriteToken};
 pub use fault::{
-    Fault, FaultInjector, FaultPlan, FaultProfile, InjectedFault, IoError, ReadFaultPlan,
+    Fault, FaultInjector, FaultPlan, FaultProfile, InjectedFault, IoError, ReadFault, ReadFaultPlan,
 };
 pub use model::DiskConfig;
 pub use stats::IoStats;

@@ -512,6 +512,34 @@ impl BlockStore {
         }
     }
 
+    /// Runs one IO-budgeted slice of the store's online integrity scrub
+    /// (MemSnap variant only) — the autovacuum-style maintenance hook.
+    /// See [`memsnap::MemSnap::msnap_scrub`].
+    ///
+    /// # Errors
+    ///
+    /// A wrapped store IO error; detected corruption is counted in the
+    /// returned [`memsnap::ScrubStats`], not raised.
+    ///
+    /// # Panics
+    ///
+    /// Panics on file variants, which have no digest-verified store.
+    pub fn scrub(
+        &mut self,
+        vt: &mut Vt,
+        budget: u64,
+    ) -> Result<memsnap::ScrubStats, memsnap::MsnapError> {
+        match self.variant {
+            StoreVariant::MemSnap => self
+                .ms
+                .as_mut()
+                .expect("memsnap state")
+                .ms
+                .msnap_scrub(vt, budget),
+            _ => panic!("integrity scrub is implemented for the MemSnap variant"),
+        }
+    }
+
     /// Simulates a power failure (MemSnap variant only) and returns the
     /// device.
     ///

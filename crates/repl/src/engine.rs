@@ -6,10 +6,10 @@
 use std::collections::BTreeMap;
 
 use memsnap::{MemSnap, MsnapError};
-use msnap_disk::{Disk, DiskConfig};
+use msnap_disk::{Disk, DiskConfig, BLOCK_SIZE};
 use msnap_sim::{Meters, Nanos, NetConfig, SimLink, Vt};
 use msnap_snap::{ApplySession, DeltaStream, SnapError};
-use msnap_store::{Epoch, ObjectStore, StoreError};
+use msnap_store::{digest32, Epoch, ObjectStore, ScrubStats, StoreError};
 
 use crate::proto::{Msg, ObjectStatus};
 
@@ -152,6 +152,12 @@ pub struct LinkMetrics {
     /// Radix nodes demand-loaded from the device while assembling this
     /// link's delta streams (IO the lazy tree deferred until shipping).
     pub hydrations: u64,
+    /// Repair requests this link carried (both directions: requests the
+    /// primary sent down plus requests the replica sent up).
+    pub repair_requests: u64,
+    /// Verified peer pages the *primary* landed through the repair path
+    /// (replica-side heals surface in its store's `ScrubStats` instead).
+    pub repairs_healed: u64,
 }
 
 /// What one [`ReplEngine::tick`] did.
@@ -208,6 +214,9 @@ pub struct ReplicaNode {
     completed: BTreeMap<u64, (String, Epoch)>,
     /// Retained applied-epoch snapshot names per object, oldest first.
     applied: BTreeMap<String, Vec<String>>,
+    /// Last instant a `RepairRequest` for (object, page) went up the
+    /// link, bounding re-request traffic for the node's own rot.
+    repair_sent: BTreeMap<(String, u64), Nanos>,
     bootstrapped: bool,
 }
 
@@ -245,6 +254,7 @@ impl ReplicaNode {
             sessions: BTreeMap::new(),
             completed: BTreeMap::new(),
             applied: BTreeMap::new(),
+            repair_sent: BTreeMap::new(),
             bootstrapped,
         }
     }
@@ -283,6 +293,74 @@ impl ReplicaNode {
         self.store
             .read_page(&mut self.vt, &mut self.disk, id, page, out)?;
         Ok(())
+    }
+
+    /// Runs one IO-budgeted scrub increment over the replica's store.
+    /// Pages scrub quarantines with no clean local source surface as
+    /// `RepairRequest`s up the link on the next engine round.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplError::Store`] for device faults mid-scrub.
+    pub fn scrub(&mut self, budget: u64) -> Result<ScrubStats, ReplError> {
+        Ok(self.store.scrub(&mut self.vt, &mut self.disk, budget)?)
+    }
+
+    /// Cumulative scrub statistics of the replica's store.
+    pub fn scrub_stats(&self) -> ScrubStats {
+        self.store.scrub_stats()
+    }
+
+    /// The replica's object store, read-only (quarantine inspection,
+    /// `unrepaired_pages`, cache statistics).
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// Mutable access to the replica's device, for fault injection in
+    /// robustness tests and demos (`corrupt_bit`, `seeded_rot`, fault
+    /// plans).
+    pub fn disk_mut(&mut self) -> &mut Disk {
+        &mut self.disk
+    }
+
+    /// The store-directory name an [`msnap_store::ObjectId`] maps to.
+    fn object_name(store: &ObjectStore, id: msnap_store::ObjectId) -> Option<String> {
+        store
+            .object_names()
+            .into_iter()
+            .find(|n| store.lookup(n) == Some(id))
+    }
+
+    /// `RepairRequest`s for every locally unrepairable page, rate-limited
+    /// per (object, page) so a slow peer is not flooded.
+    fn repair_requests(&mut self, timeout: Nanos) -> Vec<Msg> {
+        let now = self.vt.now();
+        let unrepaired = self.store.unrepaired_pages();
+        let mut live_keys = Vec::new();
+        let mut out = Vec::new();
+        for u in &unrepaired {
+            let Some(name) = Self::object_name(&self.store, u.object) else {
+                continue;
+            };
+            let key = (name.clone(), u.page);
+            let due = self
+                .repair_sent
+                .get(&key)
+                .is_none_or(|t| now.saturating_sub(*t) > timeout);
+            if due {
+                out.push(Msg::RepairRequest {
+                    object: name,
+                    page: u.page,
+                    page_digest: u.digest,
+                    epoch: u.epoch,
+                });
+                self.repair_sent.insert(key.clone(), now);
+            }
+            live_keys.push(key);
+        }
+        self.repair_sent.retain(|k, _| live_keys.contains(k));
+        out
     }
 
     /// The replica's full durable status, as a `Hello` reports it.
@@ -421,17 +499,14 @@ impl ReplicaNode {
                         epoch: *epoch,
                     }];
                 }
-                let Some((_, session)) = self.sessions.get(&ship) else {
+                let Some((object, session)) = self.sessions.remove(&ship) else {
                     return vec![Msg::Nak { ship, next_seq: 0 }];
                 };
                 if session.next_seq() < trailer.frames {
                     let next_seq = session.next_seq();
+                    self.sessions.insert(ship, (object, session));
                     return vec![Msg::Nak { ship, next_seq }];
                 }
-                let (object, session) = self
-                    .sessions
-                    .remove(&ship)
-                    .expect("session presence was just checked");
                 match session.finish(&mut self.vt, &mut self.disk, &mut self.store, &trailer) {
                     Ok(token) => {
                         ObjectStore::wait(&mut self.vt, token);
@@ -440,12 +515,7 @@ impl ReplicaNode {
                         self.retain_applied(&object, token.epoch, cfg.keep_applied);
                         self.completed.insert(ship, (object.clone(), token.epoch));
                         while self.completed.len() > COMPLETED_KEEP {
-                            let oldest = *self
-                                .completed
-                                .keys()
-                                .next()
-                                .expect("completed is non-empty");
-                            self.completed.remove(&oldest);
+                            self.completed.pop_first();
                         }
                         vec![Msg::Ack {
                             ship,
@@ -458,6 +528,56 @@ impl ReplicaNode {
                         vec![self.hello()]
                     }
                 }
+            }
+            Msg::RepairRequest {
+                object,
+                page,
+                page_digest,
+                ..
+            } => {
+                // The primary lost a page to rot: answer with our copy,
+                // but only if it is exactly the content the requester
+                // expects — a newer (or itself corrupt) copy helps
+                // nothing and must not land.
+                let Some(id) = self.store.lookup(&object) else {
+                    return Vec::new();
+                };
+                let mut data = vec![0u8; BLOCK_SIZE];
+                if self
+                    .store
+                    .read_page(&mut self.vt, &mut self.disk, id, page, &mut data)
+                    .is_err()
+                {
+                    return Vec::new();
+                }
+                if digest32(&data) != page_digest {
+                    return Vec::new();
+                }
+                vec![Msg::RepairResponse {
+                    object,
+                    page,
+                    page_digest,
+                    data,
+                }]
+            }
+            Msg::RepairResponse {
+                object, page, data, ..
+            } => {
+                // A clean copy answering our own request. repair_page
+                // re-verifies the bytes against the tree's expected
+                // digest and lands them through the normal crash-atomic
+                // commit path; stale or bogus payloads are refused
+                // there, so a duplicate or forged response is a no-op.
+                let Some(id) = self.store.lookup(&object) else {
+                    return Vec::new();
+                };
+                if let Ok(token) =
+                    self.store
+                        .repair_page(&mut self.vt, &mut self.disk, id, page, &data)
+                {
+                    ObjectStore::wait(&mut self.vt, token);
+                }
+                Vec::new()
             }
             // Hello / Ack / Nak never travel down the link.
             _ => Vec::new(),
@@ -519,6 +639,12 @@ struct Link {
     /// When the replica last announced itself (primary clock) — a lossy
     /// link may eat the Hello, so it is re-sent until heard.
     last_hello: Nanos,
+    /// Repair traffic heard up the link, held until the tick step that
+    /// has primary-store access (`drain_up` does not).
+    pending_repairs: Vec<Msg>,
+    /// Last instant a `RepairRequest` for (object, page) went down this
+    /// link, bounding re-request traffic for the primary's own rot.
+    repair_sent: BTreeMap<(String, u64), Nanos>,
     meters: Meters,
     metrics: LinkMetrics,
 }
@@ -622,6 +748,8 @@ impl ReplEngine {
             ships: BTreeMap::new(),
             known: false,
             last_hello: node_now,
+            pending_repairs: Vec::new(),
+            repair_sent: BTreeMap::new(),
             meters: Meters::new(),
             metrics: LinkMetrics::default(),
         });
@@ -703,6 +831,7 @@ impl ReplEngine {
         let mut report = TickReport::default();
         self.drain_up(vt, &mut report);
         self.fence_divergent(vt, ms, &mut report)?;
+        self.repair(vt, ms);
         self.ship(vt, ms, &mut report)?;
         self.retransmit(vt);
         self.gc_snapshots(vt, ms);
@@ -716,6 +845,7 @@ impl ReplEngine {
     /// in-flight datagrams land before a promotion.
     pub fn pump(&mut self) {
         let horizon = Nanos::MAX;
+        let repair_timeout = self.cfg.retransmit_timeout;
         for link in &mut self.links {
             let Some(node) = link.node.as_mut() else {
                 continue;
@@ -730,6 +860,13 @@ impl ReplEngine {
                     }
                     Err(_) => link.metrics.malformed += 1,
                 }
+            }
+            // Replica-initiated repair: pages the replica's scrub
+            // quarantined without a clean local source are requested
+            // from the primary, rate-limited per page.
+            for msg in node.repair_requests(repair_timeout) {
+                link.up.send(node.vt.now(), msg.encode());
+                link.metrics.repair_requests += 1;
             }
         }
     }
@@ -767,18 +904,17 @@ impl ReplEngine {
                         if epoch > os.remote {
                             os.remote = epoch;
                         }
-                        let matches = os.inflight.as_ref().is_some_and(|s| s.id == ship);
-                        if matches {
-                            let ship = os
-                                .inflight
-                                .take()
-                                .expect("inflight presence was just checked");
-                            link.meters
-                                .record("repl_ack_lag", vt.now().saturating_sub(ship.created_at));
-                            os.base = Some((ship.target_snap, ship.target_epoch));
-                            os.divergent = false;
-                            link.metrics.acks += 1;
-                            report.acks += 1;
+                        if os.inflight.as_ref().is_some_and(|s| s.id == ship) {
+                            if let Some(ship) = os.inflight.take() {
+                                link.meters.record(
+                                    "repl_ack_lag",
+                                    vt.now().saturating_sub(ship.created_at),
+                                );
+                                os.base = Some((ship.target_snap, ship.target_epoch));
+                                os.divergent = false;
+                                link.metrics.acks += 1;
+                                report.acks += 1;
+                            }
                         }
                     }
                     Msg::Nak { ship, next_seq } => {
@@ -790,6 +926,11 @@ impl ReplEngine {
                                 }
                             }
                         }
+                    }
+                    // Repair traffic needs the primary's store, which this
+                    // loop cannot borrow — queue it for the repair step.
+                    m @ (Msg::RepairRequest { .. } | Msg::RepairResponse { .. }) => {
+                        link.pending_repairs.push(m);
                     }
                     // Begin/Frame/End never travel up the link.
                     _ => {}
@@ -830,6 +971,119 @@ impl ReplEngine {
             }
         }
         Ok(())
+    }
+
+    /// Answers queued repair traffic and broadcasts repair requests for
+    /// the primary's own unrepairable pages.
+    ///
+    /// Repair is symmetric. Replicas that scrub their local store send
+    /// `RepairRequest`s up the link (delivered here via the queue that
+    /// [`Engine::tick`]'s drain step fills); the primary answers from
+    /// its own verified copy, but only when the page digest matches the
+    /// request — a stale or divergent copy stays silent. Conversely the
+    /// primary's scrub may quarantine a page with no clean snapshot
+    /// copy: those are broadcast down every attached link (rate-limited
+    /// per page by the retransmit timeout) and healed by the first
+    /// digest-matching `RepairResponse` through the normal crash-atomic
+    /// commit path (`ObjectStore::repair_page`).
+    fn repair(&mut self, vt: &mut Vt, ms: &mut MemSnap) {
+        let timeout = self.cfg.retransmit_timeout;
+        for link in &mut self.links {
+            for msg in std::mem::take(&mut link.pending_repairs) {
+                match msg {
+                    Msg::RepairRequest {
+                        object,
+                        page,
+                        page_digest,
+                        ..
+                    } => {
+                        let Some(id) = ms.store().lookup(&object) else {
+                            continue;
+                        };
+                        let (store, disk) = ms.replication_parts();
+                        let mut data = vec![0u8; BLOCK_SIZE];
+                        if store.read_page(vt, disk, id, page, &mut data).is_err() {
+                            // Our copy is corrupt too — stay silent.
+                            continue;
+                        }
+                        if digest32(&data) != page_digest {
+                            // We hold different content than requested.
+                            continue;
+                        }
+                        link.metrics.repair_requests += 1;
+                        link.down.send(
+                            vt.now(),
+                            Msg::RepairResponse {
+                                object,
+                                page,
+                                page_digest,
+                                data,
+                            }
+                            .encode(),
+                        );
+                    }
+                    Msg::RepairResponse {
+                        object, page, data, ..
+                    } => {
+                        let Some(id) = ms.store().lookup(&object) else {
+                            continue;
+                        };
+                        let (store, disk) = ms.replication_parts();
+                        // repair_page re-verifies the payload against the
+                        // tree's expected digest, so a mismatched or
+                        // late-arriving response is refused, not applied.
+                        if let Ok(token) = store.repair_page(vt, disk, id, page, &data) {
+                            ObjectStore::wait(vt, token);
+                            link.repair_sent.remove(&(object, page));
+                            link.metrics.repairs_healed += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Ask the replicas for the primary's own quarantined pages.
+        let store = ms.store();
+        let wants: Vec<(String, u64, u32, Epoch)> = store
+            .unrepaired_pages()
+            .into_iter()
+            .filter_map(|u| {
+                let name = store
+                    .object_names()
+                    .into_iter()
+                    .find(|n| store.lookup(n) == Some(u.object))?;
+                Some((name, u.page, u.digest, u.epoch))
+            })
+            .collect();
+        let now = vt.now();
+        for link in &mut self.links {
+            if !link.known {
+                continue;
+            }
+            for (name, page, digest, epoch) in &wants {
+                let key = (name.clone(), *page);
+                let due = link
+                    .repair_sent
+                    .get(&key)
+                    .is_none_or(|&at| now.saturating_sub(at) >= timeout);
+                if !due {
+                    continue;
+                }
+                link.repair_sent.insert(key, now);
+                link.metrics.repair_requests += 1;
+                link.down.send(
+                    now,
+                    Msg::RepairRequest {
+                        object: name.clone(),
+                        page: *page,
+                        page_digest: *digest,
+                        epoch: *epoch,
+                    }
+                    .encode(),
+                );
+            }
+        }
     }
 
     fn ship(
@@ -1209,7 +1463,9 @@ impl ReplEngine {
             .position(|l| l.name == name && l.node.is_some())
             .ok_or(ReplError::UnknownReplica)?;
         let mut link = self.links.remove(idx);
-        let mut node = link.node.take().expect("node presence was just checked");
+        let Some(mut node) = link.node.take() else {
+            return Err(ReplError::UnknownReplica);
+        };
         node.sessions.clear();
         node.state = ReplicaState::Promoted;
         let mut epochs = BTreeMap::new();
@@ -1460,5 +1716,113 @@ mod tests {
     fn identical_seeds_replay_identical_traces() {
         assert_eq!(lossy_trace(42), lossy_trace(42));
         assert_ne!(lossy_trace(42), lossy_trace(43));
+    }
+
+    /// The highest-numbered block whose media image equals `content` —
+    /// the live copy under bump allocation (older COW copies of the
+    /// same bytes sit at lower block numbers).
+    fn live_block(disk: &Disk, content: &[u8]) -> u64 {
+        let mut found = None;
+        for b in 0..16384 {
+            if disk.peek(b).is_some_and(|img| img == content) {
+                found = Some(b);
+            }
+        }
+        found.expect("live copy present on media")
+    }
+
+    #[test]
+    fn replica_rot_heals_from_the_primary() {
+        let (mut ms, mut vt, space, r, object) = primary();
+        let mut eng = ReplEngine::new(ReplConfig::default());
+        eng.add_replica("r1", NetConfig::calm(17)).unwrap();
+        // Distinct fills so no retained snapshot holds a same-digest
+        // copy — local self-heal is impossible and the rot can only be
+        // repaired by the peer.
+        for fill in 1..=3u8 {
+            commit(&mut ms, &mut vt, space, &r, fill);
+            assert!(eng.settle(&mut vt, &mut ms, Nanos::from_secs(5)).unwrap());
+        }
+        {
+            let node = eng.replica_mut("r1").unwrap();
+            let block = live_block(&node.disk, &[3u8; PAGE_SIZE]);
+            node.disk.corrupt_bit(block, 100, 4);
+        }
+        // A full scrub pass on the replica detects and quarantines the
+        // page but finds no clean local source.
+        let mut guard = 0;
+        while eng.replica("r1").unwrap().scrub_stats().passes == 0 {
+            eng.replica_mut("r1").unwrap().scrub(64).unwrap();
+            guard += 1;
+            assert!(guard < 10_000, "scrub never completed a pass");
+        }
+        assert_eq!(
+            eng.replica("r1").unwrap().store.unrepaired_pages().len(),
+            1,
+            "rot must be unrepairable locally"
+        );
+        // Ticks carry the RepairRequest up and the RepairResponse back.
+        let mut healed = false;
+        for _ in 0..64 {
+            eng.tick(&mut vt, &mut ms).unwrap();
+            vt.advance(Nanos::from_ms(10));
+            if eng
+                .replica("r1")
+                .unwrap()
+                .store
+                .unrepaired_pages()
+                .is_empty()
+            {
+                healed = true;
+                break;
+            }
+        }
+        assert!(healed, "peer repair must land");
+        assert_replica_page(&mut eng, "r1", &object, 0, 3);
+        let m = *eng.link_metrics("r1").unwrap();
+        assert!(m.repair_requests >= 1, "{m:?}");
+        let stats = eng.replica("r1").unwrap().scrub_stats();
+        assert!(stats.corruptions_found >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn primary_rot_heals_from_a_replica() {
+        let (mut ms, mut vt, space, r, object) = primary();
+        let mut eng = ReplEngine::new(ReplConfig::default());
+        eng.add_replica("r1", NetConfig::calm(23)).unwrap();
+        for fill in 1..=3u8 {
+            commit(&mut ms, &mut vt, space, &r, fill);
+            assert!(eng.settle(&mut vt, &mut ms, Nanos::from_secs(5)).unwrap());
+        }
+        {
+            let (store, disk) = ms.replication_parts();
+            let block = live_block(disk, &[3u8; PAGE_SIZE]);
+            disk.corrupt_bit(block, 200, 2);
+            let mut guard = 0;
+            while store.scrub_stats().passes == 0 {
+                store.scrub(&mut vt, disk, 64).unwrap();
+                guard += 1;
+                assert!(guard < 10_000, "scrub never completed a pass");
+            }
+            assert_eq!(store.unrepaired_pages().len(), 1);
+        }
+        let mut healed = false;
+        for _ in 0..64 {
+            eng.tick(&mut vt, &mut ms).unwrap();
+            vt.advance(Nanos::from_ms(10));
+            if ms.store().unrepaired_pages().is_empty() {
+                healed = true;
+                break;
+            }
+        }
+        assert!(healed, "replica copy must heal the primary");
+        let id = ms.store().lookup(&object).unwrap();
+        let (store, disk) = ms.replication_parts();
+        let mut out = vec![0u8; PAGE_SIZE];
+        store.read_page(&mut vt, disk, id, 0, &mut out).unwrap();
+        assert_eq!(out, vec![3u8; PAGE_SIZE]);
+        let m = *eng.link_metrics("r1").unwrap();
+        assert!(m.repairs_healed >= 1, "{m:?}");
+        assert!(m.repair_requests >= 1, "{m:?}");
     }
 }

@@ -46,6 +46,20 @@
 //! retains, and the new primary diffs it forward from a commonly
 //! retained base — rebasing away the divergent tail — without a full
 //! image.
+//!
+//! # Self-healing repair
+//!
+//! Replication doubles as the store's last line of defense against
+//! media rot. Scrub-detected corruption with no clean local copy (see
+//! `ObjectStore::unrepaired_pages`) flows over the links as
+//! [`Msg::RepairRequest`] / [`Msg::RepairResponse`] — **both
+//! directions**: replicas scrub their own stores and request pages
+//! from the primary, and the primary broadcasts its own wants to every
+//! replica, rate-limited per page. A responder answers only when its
+//! copy's digest matches the request, and the receiving store
+//! re-verifies against its tree's expected digest before committing
+//! the healed page crash-atomically — a stale, divergent, or forged
+//! payload is refused at both ends.
 
 #![warn(missing_docs)]
 

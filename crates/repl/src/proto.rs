@@ -13,7 +13,15 @@
 //! may drop, reorder, or duplicate them freely. Decoding never panics —
 //! bytes come off a network, so a malformed datagram decodes to an error
 //! and is dropped by the receiver.
+//!
+//! Two further kinds serve self-healing repair and travel in *either*
+//! direction: `RepairRequest` asks the peer for a clean copy of one page
+//! (named by object, page, and the expected content digest), and
+//! `RepairResponse` carries the page back. Both are idempotent — a
+//! duplicate response re-verifies against the digest and lands as a
+//! no-op commit.
 
+use msnap_disk::BLOCK_SIZE;
 use msnap_snap::{PageFrame, SnapError, StreamHeader, StreamTrailer};
 use msnap_store::Epoch;
 
@@ -23,6 +31,8 @@ const TAG_FRAME: u64 = 3;
 const TAG_END: u64 = 4;
 const TAG_ACK: u64 = 5;
 const TAG_NAK: u64 = 6;
+const TAG_REPAIR_REQUEST: u64 = 7;
+const TAG_REPAIR_RESPONSE: u64 = 8;
 
 /// Longest object name accepted off the wire (matches the store's
 /// directory limit with slack); longer claims are malformed.
@@ -93,6 +103,33 @@ pub enum Msg {
         ship: u64,
         /// First missing sequence number.
         next_seq: u64,
+    },
+    /// Either direction: ask the peer for a clean copy of one page whose
+    /// local media rotted (scrub quarantined it with no local source).
+    RepairRequest {
+        /// Store-directory name of the object.
+        object: String,
+        /// The corrupt page.
+        page: u64,
+        /// Expected content digest ([`msnap_store::digest32`]); the
+        /// responder only answers if its clean copy matches.
+        page_digest: u32,
+        /// The requester's committed epoch for the object, for the
+        /// responder to skip requests from a diverged peer.
+        epoch: Epoch,
+    },
+    /// Either direction: a clean page answering a `RepairRequest`. The
+    /// receiver re-verifies `data` against its own expected digest
+    /// before committing, so a stale or forged response cannot land.
+    RepairResponse {
+        /// Store-directory name of the object.
+        object: String,
+        /// The repaired page.
+        page: u64,
+        /// Digest of `data`, echoing the request.
+        page_digest: u32,
+        /// The clean page, exactly [`BLOCK_SIZE`] bytes.
+        data: Vec<u8>,
     },
 }
 
@@ -169,6 +206,33 @@ impl Msg {
                 push_u64(&mut out, *ship);
                 push_u64(&mut out, *next_seq);
             }
+            Msg::RepairRequest {
+                object,
+                page,
+                page_digest,
+                epoch,
+            } => {
+                push_u64(&mut out, TAG_REPAIR_REQUEST);
+                push_u64(&mut out, object.len() as u64);
+                out.extend_from_slice(object.as_bytes());
+                push_u64(&mut out, *page);
+                push_u64(&mut out, *page_digest as u64);
+                push_u64(&mut out, *epoch);
+            }
+            Msg::RepairResponse {
+                object,
+                page,
+                page_digest,
+                data,
+            } => {
+                assert_eq!(data.len(), BLOCK_SIZE, "repair payloads are one page");
+                push_u64(&mut out, TAG_REPAIR_RESPONSE);
+                push_u64(&mut out, object.len() as u64);
+                out.extend_from_slice(object.as_bytes());
+                push_u64(&mut out, *page);
+                push_u64(&mut out, *page_digest as u64);
+                out.extend_from_slice(data);
+            }
         }
         out
     }
@@ -242,6 +306,41 @@ impl Msg {
                 let next_seq = read_u64(buf, &mut off)?;
                 Ok(Msg::Nak { ship, next_seq })
             }
+            TAG_REPAIR_REQUEST => {
+                let object = read_name(buf, &mut off)?;
+                let page = read_u64(buf, &mut off)?;
+                let page_digest = read_u64(buf, &mut off)?;
+                if page_digest > u32::MAX as u64 {
+                    return Err(SnapError::Malformed);
+                }
+                let epoch = read_u64(buf, &mut off)?;
+                Ok(Msg::RepairRequest {
+                    object,
+                    page,
+                    page_digest: page_digest as u32,
+                    epoch,
+                })
+            }
+            TAG_REPAIR_RESPONSE => {
+                let object = read_name(buf, &mut off)?;
+                let page = read_u64(buf, &mut off)?;
+                let page_digest = read_u64(buf, &mut off)?;
+                if page_digest > u32::MAX as u64 {
+                    return Err(SnapError::Malformed);
+                }
+                let end = off.checked_add(BLOCK_SIZE).ok_or(SnapError::Malformed)?;
+                let data = buf.get(off..end).ok_or(SnapError::Malformed)?.to_vec();
+                if buf.len() != end {
+                    // Trailing garbage would make retransmits ambiguous.
+                    return Err(SnapError::Malformed);
+                }
+                Ok(Msg::RepairResponse {
+                    object,
+                    page,
+                    page_digest: page_digest as u32,
+                    data,
+                })
+            }
             _ => Err(SnapError::Malformed),
         }
     }
@@ -284,10 +383,50 @@ mod tests {
                     stream_sum: 0xDEAD,
                 },
             },
+            Msg::RepairRequest {
+                object: "db".into(),
+                page: 77,
+                page_digest: 0xAB12_CD34,
+                epoch: 9,
+            },
+            Msg::RepairResponse {
+                object: "db".into(),
+                page: 77,
+                page_digest: 0xAB12_CD34,
+                data: vec![0x5A; BLOCK_SIZE],
+            },
         ];
         for m in msgs {
             assert_eq!(Msg::decode(&m.encode()).unwrap(), m);
         }
+    }
+
+    #[test]
+    fn malformed_repair_datagrams_are_rejected() {
+        let ok = Msg::RepairResponse {
+            object: "db".into(),
+            page: 3,
+            page_digest: 7,
+            data: vec![1; BLOCK_SIZE],
+        }
+        .encode();
+        // Truncations at every boundary, including a short payload.
+        for len in [0, 8, 9, ok.len() - BLOCK_SIZE, ok.len() - 1] {
+            assert!(Msg::decode(&ok[..len]).is_err());
+        }
+        // Trailing garbage after the page payload.
+        let mut long = ok.clone();
+        long.push(0);
+        assert!(Msg::decode(&long).is_err());
+        // A digest claim that does not fit 32 bits.
+        let mut req = Vec::new();
+        push_u64(&mut req, TAG_REPAIR_REQUEST);
+        push_u64(&mut req, 1);
+        req.push(b'x');
+        push_u64(&mut req, 0); // page
+        push_u64(&mut req, u64::MAX); // digest out of range
+        push_u64(&mut req, 1); // epoch
+        assert!(Msg::decode(&req).is_err());
     }
 
     #[test]

@@ -39,6 +39,13 @@
 //! primary rejoining always does — the last shipped-and-acked base),
 //! the session lands through [`ObjectStore::apply_image_at_base`],
 //! atomically abandoning the replica's divergent history.
+//!
+//! The stream's frame checksums protect bytes **in flight**; at-rest
+//! integrity on the replica is the store's own: `apply_image`
+//! recomputes the Merkle-chained page digests as it commits the staged
+//! pages, so a landed stream is immediately covered by the replica's
+//! scrub and read-path verification with no trust carried over from
+//! the wire (DESIGN.md §6g).
 
 #![warn(missing_docs)]
 

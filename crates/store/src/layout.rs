@@ -16,8 +16,12 @@ impl std::fmt::Display for ObjectId {
     }
 }
 
-/// Magic number of a full root record block.
+/// Magic number of a v1 (pre-digest) full root record block. Still
+/// decoded so old stores open; never written anymore.
 pub(crate) const ROOT_MAGIC: u64 = 0x4d534e_41505253; // "MSN APRS"
+/// Magic number of a v2 full root record block (adds `root_digest` and
+/// `flush_seq`).
+pub(crate) const ROOT_MAGIC_V2: u64 = 0x4d534e_41505232; // "MSN APR2"
 /// Magic number of a delta record block.
 pub(crate) const DELTA_MAGIC: u64 = 0x4d534e_41504454; // "MSN APDT"
 /// Magic number of a batch (group-commit) record block.
@@ -87,6 +91,42 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     fnv1a_extend(FNV_OFFSET, bytes)
 }
 
+/// Digest value meaning "no digest recorded": entries decoded from
+/// pre-digest (v1) stores carry this, and verification skips them until
+/// the first write or scrub backfills the real digest.
+pub const DIGEST_NONE: u32 = 0;
+
+/// 32-bit content digest used for at-rest integrity: FNV-1a 64 folded to
+/// 32 bits. The fold keeps both halves' entropy; the result is remapped
+/// away from [`DIGEST_NONE`] so a real digest can never be mistaken for
+/// "unknown".
+pub fn digest32(bytes: &[u8]) -> u32 {
+    let h = fnv1a(bytes);
+    let folded = (h ^ (h >> 32)) as u32;
+    if folded == DIGEST_NONE {
+        1
+    } else {
+        folded
+    }
+}
+
+/// Packs a block number and its content digest into one radix-entry
+/// word: block in the low 32 bits, digest in the high 32. Entries from
+/// v1 stores decode with an all-zero high half, i.e. [`DIGEST_NONE`] —
+/// the forward-compatibility hinge of the layout bump.
+pub fn pack_entry(block: u64, digest: u32) -> u64 {
+    debug_assert!(
+        block <= u32::MAX as u64,
+        "block numbers must fit 32 bits to carry a digest"
+    );
+    (block & 0xFFFF_FFFF) | ((digest as u64) << 32)
+}
+
+/// Splits a packed radix-entry word into (block, digest).
+pub fn unpack_entry(word: u64) -> (u64, u32) {
+    (word & 0xFFFF_FFFF, (word >> 32) as u32)
+}
+
 /// A committed full root: written to one of the object's two alternating
 /// root slots whenever the in-memory COW tree is flushed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,34 +145,59 @@ pub struct RootRecord {
     /// O(1)-open invariant (nothing below `high_water` is ever handed out
     /// fresh, so lazily loaded subtrees cannot be overwritten).
     pub high_water: u64,
+    /// Digest of the committed root node's block image ([`digest32`]), or
+    /// [`DIGEST_NONE`] when unknown (v1 records, empty trees). This is the
+    /// top of the Merkle chain: the root record checksums the root digest,
+    /// each node image checksums its children's digests, and leaf entries
+    /// carry the page-data digests.
+    pub root_digest: u32,
+    /// Monotone per-object full-root sequence number (the object's
+    /// `full_count` at write time). Breaks ties between the two root slots
+    /// when both hold the *same* epoch — a repair commit rewrites the root
+    /// at the current epoch, and recovery must adopt the repaired one.
+    /// Zero on v1 records (falls back to first-slot-wins).
+    pub flush_seq: u64,
 }
 
 impl RootRecord {
-    /// Serializes the record into a zero-padded block image.
+    /// Serializes the record into a zero-padded block image (v2 format).
     pub fn to_block(&self) -> [u8; BLOCK_SIZE] {
         let mut block = [0u8; BLOCK_SIZE];
         let mut w = |off: usize, v: u64| block[off..off + 8].copy_from_slice(&v.to_le_bytes());
-        w(0, ROOT_MAGIC);
+        w(0, ROOT_MAGIC_V2);
         w(8, self.object.0 as u64);
         w(16, self.epoch);
         w(24, self.tree_root);
         w(32, self.len_pages);
         w(40, self.high_water);
-        let checksum = fnv1a(&block[0..48]);
-        block[48..56].copy_from_slice(&checksum.to_le_bytes());
+        w(48, self.root_digest as u64);
+        w(56, self.flush_seq);
+        let checksum = fnv1a(&block[0..64]);
+        block[64..72].copy_from_slice(&checksum.to_le_bytes());
         block
     }
 
     /// Parses and validates a root-slot block; `None` if the slot is
-    /// empty, torn, or belongs to a different object.
+    /// empty, torn, or belongs to a different object. Accepts both the v2
+    /// format and pre-digest v1 records (which decode with
+    /// `root_digest = DIGEST_NONE` and `flush_seq = 0`).
     pub fn from_block(block: &[u8], expect: ObjectId) -> Option<RootRecord> {
         let r = |off: usize| u64::from_le_bytes(block[off..off + 8].try_into().unwrap());
-        if r(0) != ROOT_MAGIC {
-            return None;
-        }
-        if fnv1a(&block[0..48]) != r(48) {
-            return None;
-        }
+        let (root_digest, flush_seq) = match r(0) {
+            ROOT_MAGIC => {
+                if fnv1a(&block[0..48]) != r(48) {
+                    return None;
+                }
+                (DIGEST_NONE, 0)
+            }
+            ROOT_MAGIC_V2 => {
+                if fnv1a(&block[0..64]) != r(64) {
+                    return None;
+                }
+                (r(48) as u32, r(56))
+            }
+            _ => return None,
+        };
         if r(8) != expect.0 as u64 {
             return None;
         }
@@ -142,6 +207,8 @@ impl RootRecord {
             tree_root: r(24),
             len_pages: r(32),
             high_water: r(40),
+            root_digest,
+            flush_seq,
         })
     }
 }
@@ -162,7 +229,10 @@ pub struct DeltaRecord {
     /// first mismatch, so a torn or silently corrupted data extent cannot
     /// surface as committed state.
     pub payload_sum: u64,
-    /// The commit's page → data-block mappings.
+    /// The commit's page → packed-entry mappings. The second word is a
+    /// [`pack_entry`] word (block in the low half, page-content digest in
+    /// the high half), so digests ride the existing record checksum with
+    /// no format change; v1 records decode with [`DIGEST_NONE`] digests.
     pub pairs: Vec<(u64, u64)>,
 }
 
@@ -233,7 +303,8 @@ pub struct BatchGroup {
     pub len_pages: u64,
     /// FNV-1a over this object's data-block images, in pair order.
     pub payload_sum: u64,
-    /// This object's page → data-block mappings.
+    /// This object's page → packed-entry mappings ([`pack_entry`] words,
+    /// same convention as [`DeltaRecord::pairs`]).
     pub pairs: Vec<(u64, u64)>,
 }
 
@@ -367,6 +438,11 @@ pub struct SnapEntry {
     pub tree_root: u64,
     /// Object length in pages at the pinned epoch.
     pub len_pages: u64,
+    /// Digest of the pinned root node's block image, or [`DIGEST_NONE`]
+    /// when unknown. Stored in the entry's spare tail bytes, so old
+    /// catalogs decode with `DIGEST_NONE` and the existing catalog
+    /// checksum covers it.
+    pub root_digest: u32,
 }
 
 /// The snapshot catalog: the full set of retained snapshots, rewritten
@@ -416,6 +492,7 @@ impl SnapCatalog {
             w(&mut block, off + 24, e.len_pages);
             block[off + 32] = e.name.len() as u8;
             block[off + 33..off + 33 + e.name.len()].copy_from_slice(e.name.as_bytes());
+            block[off + 121..off + 125].copy_from_slice(&e.root_digest.to_le_bytes());
             off += SNAP_ENTRY_LEN;
         }
         let checksum = fnv1a(&block[0..24]) ^ fnv1a(&block[SNAP_HEADER..off]);
@@ -452,6 +529,7 @@ impl SnapCatalog {
                 epoch: r(off + 8),
                 tree_root: r(off + 16),
                 len_pages: r(off + 24),
+                root_digest: u32::from_le_bytes(block[off + 121..off + 125].try_into().unwrap()),
             });
         }
         Some(SnapCatalog { seq: r(8), entries })
@@ -515,6 +593,8 @@ mod tests {
             tree_root: 1234,
             len_pages: 99,
             high_water: 5000,
+            root_digest: 0xDEAD_1234,
+            flush_seq: 17,
         };
         let block = rec.to_block();
         assert_eq!(RootRecord::from_block(&block, ObjectId(7)), Some(rec));
@@ -528,9 +608,18 @@ mod tests {
             tree_root: 10,
             len_pages: 1,
             high_water: 11,
+            root_digest: 7,
+            flush_seq: 1,
         };
         let mut block = rec.to_block();
         block[20] ^= 0xFF;
+        assert_eq!(RootRecord::from_block(&block, ObjectId(1)), None);
+        // The v2 tail fields are covered by the checksum too.
+        let mut block = rec.to_block();
+        block[50] ^= 1; // root_digest
+        assert_eq!(RootRecord::from_block(&block, ObjectId(1)), None);
+        let mut block = rec.to_block();
+        block[57] ^= 1; // flush_seq
         assert_eq!(RootRecord::from_block(&block, ObjectId(1)), None);
     }
 
@@ -542,9 +631,59 @@ mod tests {
             tree_root: 10,
             len_pages: 1,
             high_water: 11,
+            root_digest: 0,
+            flush_seq: 0,
         };
         let block = rec.to_block();
         assert_eq!(RootRecord::from_block(&block, ObjectId(2)), None);
+    }
+
+    /// Hand-encodes a v1 (pre-digest) root record exactly as the old
+    /// `to_block` did.
+    fn v1_root_block(object: ObjectId, epoch: u64, tree_root: u64) -> [u8; BLOCK_SIZE] {
+        let mut block = [0u8; BLOCK_SIZE];
+        let mut w = |off: usize, v: u64| block[off..off + 8].copy_from_slice(&v.to_le_bytes());
+        w(0, ROOT_MAGIC);
+        w(8, object.0 as u64);
+        w(16, epoch);
+        w(24, tree_root);
+        w(32, 8); // len_pages
+        w(40, tree_root + 1); // high_water
+        let checksum = fnv1a(&block[0..48]);
+        block[48..56].copy_from_slice(&checksum.to_le_bytes());
+        block
+    }
+
+    #[test]
+    fn v1_root_record_still_decodes_with_no_digest() {
+        let block = v1_root_block(ObjectId(3), 9, 500);
+        let rec = RootRecord::from_block(&block, ObjectId(3)).expect("v1 decodes");
+        assert_eq!(rec.epoch, 9);
+        assert_eq!(rec.tree_root, 500);
+        assert_eq!(rec.root_digest, DIGEST_NONE);
+        assert_eq!(rec.flush_seq, 0);
+        // Torn v1 records are still rejected by the v1 checksum rule.
+        let mut torn = v1_root_block(ObjectId(3), 9, 500);
+        torn[25] ^= 1;
+        assert_eq!(RootRecord::from_block(&torn, ObjectId(3)), None);
+    }
+
+    #[test]
+    fn digest32_folds_and_avoids_the_none_sentinel() {
+        let d = digest32(b"hello world");
+        let h = fnv1a(b"hello world");
+        assert_eq!(d, (h ^ (h >> 32)) as u32);
+        assert_ne!(digest32(b""), DIGEST_NONE);
+        assert_ne!(digest32(b"a"), digest32(b"b"));
+    }
+
+    #[test]
+    fn entry_words_pack_and_unpack() {
+        let word = pack_entry(0xABCD, 0x1234_5678);
+        assert_eq!(unpack_entry(word), (0xABCD, 0x1234_5678));
+        // A v1 entry word (no high bits) unpacks with DIGEST_NONE.
+        assert_eq!(unpack_entry(77), (77, DIGEST_NONE));
+        assert_eq!(pack_entry(77, DIGEST_NONE), 77);
     }
 
     #[test]
@@ -675,6 +814,7 @@ mod tests {
                     epoch: 17,
                     tree_root: 900,
                     len_pages: 64,
+                    root_digest: 0xAA55_1234,
                 },
                 SnapEntry {
                     name: "before-migration".into(),
@@ -682,6 +822,7 @@ mod tests {
                     epoch: 40,
                     tree_root: 1800,
                     len_pages: 128,
+                    root_digest: DIGEST_NONE,
                 },
             ],
         }
@@ -728,6 +869,7 @@ mod tests {
                 epoch: i as u64,
                 tree_root: 100 + i as u64,
                 len_pages: 1,
+                root_digest: digest32(&[i as u8]),
             })
             .collect();
         let cat = SnapCatalog { seq: 1, entries };

@@ -52,10 +52,12 @@ mod store;
 pub use alloc::BlockAllocator;
 pub use cache::BlockCache;
 pub use layout::{
-    fnv1a, fnv1a_extend, BatchGroup, BatchRecord, DeltaRecord, Epoch, ObjectId, RootRecord,
-    SnapCatalog, SnapEntry, BATCH_SLOTS, DELTA_SLOTS, FNV_OFFSET, MAX_DELTA_PAIRS, MAX_SNAPSHOTS,
+    digest32, fnv1a, fnv1a_extend, pack_entry, unpack_entry, BatchGroup, BatchRecord, DeltaRecord,
+    Epoch, ObjectId, RootRecord, SnapCatalog, SnapEntry, BATCH_SLOTS, DELTA_SLOTS, DIGEST_NONE,
+    FNV_OFFSET, MAX_DELTA_PAIRS, MAX_SNAPSHOTS,
 };
-pub use radix::RadixTree;
+pub use radix::{RadixTree, TreeError};
 pub use store::{
-    CommitToken, ObjectStore, StoreError, StoreStats, DEFAULT_CACHE_BLOCKS, MAX_IO_ATTEMPTS,
+    CommitToken, ObjectStore, ScrubStats, StoreError, StoreStats, UnrepairedPage,
+    DEFAULT_CACHE_BLOCKS, MAX_IO_ATTEMPTS,
 };

@@ -23,9 +23,10 @@
 
 use std::sync::Arc;
 
+use crate::layout::{digest32, pack_entry, unpack_entry, DIGEST_NONE};
 use msnap_disk::{IoError, BLOCK_SIZE};
 
-/// Children per node: one 4 KiB block of u64 pointers.
+/// Children per node: one 4 KiB block of u64 entry words.
 pub const FANOUT: usize = BLOCK_SIZE / 8;
 /// Fixed tree height.
 pub const LEVELS: usize = 3;
@@ -38,18 +39,63 @@ const SHIFT: [u32; LEVELS] = [18, 9, 0];
 /// this to the device (charging simulated IO) and its block cache.
 pub type BlockRead<'a> = &'a mut dyn FnMut(u64, &mut [u8; BLOCK_SIZE]) -> Result<(), IoError>;
 
+/// Error from a tree operation that hydrates nodes on demand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TreeError {
+    /// The device read failed.
+    Io(IoError),
+    /// A node image read back with contents whose digest does not match
+    /// the digest its parent recorded at commit time: the metadata block
+    /// rotted at rest. The slot is left unloaded (retryable if the fault
+    /// was transient in the device, permanent rot needs repair).
+    CorruptNode {
+        /// The node's disk block.
+        block: u64,
+    },
+}
+
+impl From<IoError> for TreeError {
+    fn from(e: IoError) -> Self {
+        TreeError::Io(e)
+    }
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::Io(e) => write!(f, "tree hydration IO error: {e}"),
+            TreeError::CorruptNode { block } => {
+                write!(f, "radix node at block {block} failed digest verification")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
 #[derive(Debug, Clone)]
 enum Child {
     Empty,
-    /// At the last level: a data block number.
-    Data(u64),
+    /// At the last level: a data block number plus the digest32 of the
+    /// page contents ([`DIGEST_NONE`] when not yet known — entries decoded
+    /// from pre-digest stores).
+    Data {
+        block: u64,
+        digest: u32,
+    },
     /// At interior levels: a resident child node, possibly shared with
     /// other trees (clones, snapshots, abort snapshots).
     Node(Arc<Node>),
     /// A committed child node that has not been read from disk yet. The
     /// block number is enough to commit, diff, and serialize around it;
-    /// only descending *into* the subtree forces a read.
-    Unloaded(u64),
+    /// only descending *into* the subtree forces a read, which is when
+    /// `digest` (the parent's recorded digest of the child's image) is
+    /// verified.
+    Unloaded {
+        block: u64,
+        digest: u32,
+    },
 }
 
 impl Child {
@@ -59,9 +105,9 @@ impl Child {
     fn committed_ref(&self) -> Option<u64> {
         match self {
             Child::Empty => None,
-            Child::Data(b) => Some(*b),
+            Child::Data { block, .. } => Some(*block),
             Child::Node(n) => n.disk_block,
-            Child::Unloaded(b) => Some(*b),
+            Child::Unloaded { block, .. } => Some(*block),
         }
     }
 }
@@ -72,6 +118,10 @@ struct Node {
     /// The block holding this node's committed image, or `None` if the
     /// node has been modified since the last commit (dirty).
     disk_block: Option<u64>,
+    /// digest32 of the committed image (valid while `disk_block` is
+    /// `Some`). [`DIGEST_NONE`] means unknown — the node was referenced by
+    /// a pre-digest parent; verification backfills it on first hydration.
+    disk_digest: u32,
 }
 
 impl Node {
@@ -79,23 +129,28 @@ impl Node {
         Node {
             children: vec![Child::Empty; FANOUT],
             disk_block: None,
+            disk_digest: DIGEST_NONE,
         }
     }
 
     /// Parses a node image read from `block`. Children at interior levels
-    /// come back [`Child::Unloaded`]; nothing below is read.
+    /// come back [`Child::Unloaded`]; nothing below is read. `disk_digest`
+    /// is the digest of `buf` itself (the caller has already verified it
+    /// against the parent's expectation where one exists).
     fn parse(block: u64, buf: &[u8; BLOCK_SIZE], level: usize) -> Node {
         let mut node = Node::new();
         node.disk_block = Some(block);
+        node.disk_digest = digest32(buf);
         for i in 0..FANOUT {
             let v = u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().unwrap());
             if v == 0 {
                 continue;
             }
+            let (b, digest) = unpack_entry(v);
             node.children[i] = if level == LEVELS - 1 {
-                Child::Data(v)
+                Child::Data { block: b, digest }
             } else {
-                Child::Unloaded(v)
+                Child::Unloaded { block: b, digest }
             };
         }
         node
@@ -106,11 +161,13 @@ impl Node {
         for (i, child) in self.children.iter().enumerate() {
             let v = match child {
                 Child::Empty => 0,
-                Child::Data(b) => *b,
-                Child::Unloaded(b) => *b,
-                Child::Node(n) => n
-                    .disk_block
-                    .expect("serialize called before children were assigned blocks"),
+                Child::Data { block, digest } => pack_entry(*block, *digest),
+                Child::Unloaded { block, digest } => pack_entry(*block, *digest),
+                Child::Node(n) => pack_entry(
+                    n.disk_block
+                        .expect("serialize called before children were assigned blocks"),
+                    n.disk_digest,
+                ),
             };
             block[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
         }
@@ -119,17 +176,22 @@ impl Node {
 }
 
 /// Replaces an [`Child::Unloaded`] slot with its resident node (reading it
-/// via `read`) and returns a mutable reference to the node. On a read
-/// error the slot is left `Unloaded` — nothing is poisoned and a retry
-/// starts from the same state.
+/// via `read`) and returns a mutable reference to the node. The image read
+/// back is verified against the digest the parent recorded (skipped when
+/// the parent predates digests); a mismatch is [`TreeError::CorruptNode`].
+/// On any error the slot is left `Unloaded` — nothing is poisoned and a
+/// retry starts from the same state.
 fn hydrate_slot<'a>(
     slot: &'a mut Child,
     level: usize,
     read: BlockRead,
-) -> Result<&'a mut Node, IoError> {
-    if let Child::Unloaded(block) = *slot {
+) -> Result<&'a mut Node, TreeError> {
+    if let Child::Unloaded { block, digest } = *slot {
         let mut buf = [0u8; BLOCK_SIZE];
         read(block, &mut buf)?;
+        if digest != DIGEST_NONE && digest32(&buf) != digest {
+            return Err(TreeError::CorruptNode { block });
+        }
         *slot = Child::Node(Arc::new(Node::parse(block, &buf, level)));
     }
     match slot {
@@ -178,12 +240,25 @@ impl RadixTree {
 
     /// Wraps a committed root block without reading anything: O(1). Nodes
     /// hydrate on first touch. `root_block == 0` yields an empty tree.
+    /// The root hydrates unverified (no known digest) — prefer
+    /// [`RadixTree::from_committed_digest`] when the root record carries
+    /// one.
     pub fn from_committed(root_block: u64, len_pages: u64) -> Self {
+        Self::from_committed_digest(root_block, DIGEST_NONE, len_pages)
+    }
+
+    /// [`RadixTree::from_committed`] with the root record's digest of the
+    /// root node image, so the very first hydration is verified too —
+    /// closing the Merkle chain at the top.
+    pub fn from_committed_digest(root_block: u64, root_digest: u32, len_pages: u64) -> Self {
         RadixTree {
             root: if root_block == 0 {
                 Child::Empty
             } else {
-                Child::Unloaded(root_block)
+                Child::Unloaded {
+                    block: root_block,
+                    digest: root_digest,
+                }
             },
             freed: Vec::new(),
             len_pages,
@@ -211,10 +286,10 @@ impl RadixTree {
     }
 
     /// Reads every unloaded node so the whole tree is resident.
-    pub fn hydrate_all(&mut self, read: BlockRead) -> Result<(), IoError> {
-        fn rec(slot: &mut Child, level: usize, read: BlockRead) -> Result<(), IoError> {
+    pub fn hydrate_all(&mut self, read: BlockRead) -> Result<(), TreeError> {
+        fn rec(slot: &mut Child, level: usize, read: BlockRead) -> Result<(), TreeError> {
             match slot {
-                Child::Empty | Child::Data(_) => Ok(()),
+                Child::Empty | Child::Data { .. } => Ok(()),
                 _ => {
                     let node = hydrate_slot(slot, level, read)?;
                     if level == LEVELS - 1 {
@@ -235,12 +310,12 @@ impl RadixTree {
     /// on `page` cannot cross an unloaded node. On error nothing has been
     /// mutated except already-completed hydrations (which are semantically
     /// neutral), so retrying is safe.
-    pub fn hydrate_path(&mut self, page: u64, read: BlockRead) -> Result<(), IoError> {
+    pub fn hydrate_path(&mut self, page: u64, read: BlockRead) -> Result<(), TreeError> {
         assert!(page < MAX_PAGES, "page index out of range");
         let mut slot = &mut self.root;
         for (level, &shift) in SHIFT.iter().enumerate() {
             match slot {
-                Child::Empty | Child::Data(_) => return Ok(()),
+                Child::Empty | Child::Data { .. } => return Ok(()),
                 _ => {}
             }
             let node = hydrate_slot(slot, level, read)?;
@@ -254,9 +329,21 @@ impl RadixTree {
     }
 
     /// The data block holding `page`, hydrating the path on demand.
-    pub fn get_or_load(&mut self, page: u64, read: BlockRead) -> Result<Option<u64>, IoError> {
+    pub fn get_or_load(&mut self, page: u64, read: BlockRead) -> Result<Option<u64>, TreeError> {
         self.hydrate_path(page, read)?;
         Ok(self.get(page))
+    }
+
+    /// The `(data block, content digest)` entry for `page`, hydrating the
+    /// path on demand. The digest is [`DIGEST_NONE`] for pages written by
+    /// pre-digest stores that have not been rewritten or scrubbed yet.
+    pub fn get_entry_or_load(
+        &mut self,
+        page: u64,
+        read: BlockRead,
+    ) -> Result<Option<(u64, u32)>, TreeError> {
+        self.hydrate_path(page, read)?;
+        Ok(self.get_entry(page))
     }
 
     /// [`RadixTree::set`] with demand hydration. The path is hydrated
@@ -266,9 +353,20 @@ impl RadixTree {
         page: u64,
         data_block: u64,
         read: BlockRead,
-    ) -> Result<Option<u64>, IoError> {
+    ) -> Result<Option<u64>, TreeError> {
+        self.set_entry_with(page, data_block, DIGEST_NONE, read)
+    }
+
+    /// [`RadixTree::set_entry`] with demand hydration.
+    pub fn set_entry_with(
+        &mut self,
+        page: u64,
+        data_block: u64,
+        digest: u32,
+        read: BlockRead,
+    ) -> Result<Option<u64>, TreeError> {
         self.hydrate_path(page, read)?;
-        Ok(self.set(page, data_block))
+        Ok(self.set_entry(page, data_block, digest))
     }
 
     /// The data block holding `page`, if the page has been written.
@@ -277,24 +375,34 @@ impl RadixTree {
     ///
     /// Panics if the lookup crosses an unloaded subtree — use
     /// [`RadixTree::get_or_load`] on lazily opened trees.
-    #[allow(clippy::needless_range_loop)] // SHIFT is indexed by level on purpose
     pub fn get(&self, page: u64) -> Option<u64> {
+        self.get_entry(page).map(|(b, _)| b)
+    }
+
+    /// The `(data block, content digest)` entry for `page`, if written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lookup crosses an unloaded subtree — use
+    /// [`RadixTree::get_entry_or_load`] on lazily opened trees.
+    #[allow(clippy::needless_range_loop)] // SHIFT is indexed by level on purpose
+    pub fn get_entry(&self, page: u64) -> Option<(u64, u32)> {
         assert!(page < MAX_PAGES, "page index out of range");
         let mut child = &self.root;
         for level in 0..LEVELS {
             let node = match child {
                 Child::Empty => return None,
-                Child::Unloaded(_) => {
+                Child::Unloaded { .. } => {
                     panic!("get crossed an unloaded subtree; use get_or_load")
                 }
                 Child::Node(n) => n,
-                Child::Data(_) => unreachable!("Data children only exist at the last level"),
+                Child::Data { .. } => unreachable!("Data children only exist at the last level"),
             };
             let idx = ((page >> SHIFT[level]) as usize) & (FANOUT - 1);
             child = &node.children[idx];
             if level == LEVELS - 1 {
                 return match child {
-                    Child::Data(b) => Some(*b),
+                    Child::Data { block, digest } => Some((*block, *digest)),
                     Child::Empty => None,
                     _ => panic!("interior child at leaf level"),
                 };
@@ -303,17 +411,25 @@ impl RadixTree {
         unreachable!()
     }
 
-    /// Points `page` at `data_block`, COW-dirtying the path. Returns the
-    /// replaced data block, if any (the caller recycles it after commit).
-    /// Shared nodes along the path are copied (`Arc::make_mut`), so clones
-    /// of this tree are unaffected.
+    /// Points `page` at `data_block` with no recorded content digest —
+    /// [`RadixTree::set_entry`] with [`DIGEST_NONE`]. Kept for callers
+    /// (and tests) that manage blocks without page contents in hand.
+    pub fn set(&mut self, page: u64, data_block: u64) -> Option<u64> {
+        self.set_entry(page, data_block, DIGEST_NONE)
+    }
+
+    /// Points `page` at `data_block` (recording `digest` as the digest32
+    /// of its contents), COW-dirtying the path. Returns the replaced data
+    /// block, if any (the caller recycles it after commit). Shared nodes
+    /// along the path are copied (`Arc::make_mut`), so clones of this tree
+    /// are unaffected.
     ///
     /// # Panics
     ///
     /// Panics if `page >= MAX_PAGES`, `data_block == 0`, or the path
-    /// crosses an unloaded subtree (use [`RadixTree::set_with`]).
+    /// crosses an unloaded subtree (use [`RadixTree::set_entry_with`]).
     #[allow(clippy::needless_range_loop)] // SHIFT is indexed by level on purpose
-    pub fn set(&mut self, page: u64, data_block: u64) -> Option<u64> {
+    pub fn set_entry(&mut self, page: u64, data_block: u64, digest: u32) -> Option<u64> {
         assert!(page < MAX_PAGES, "page index out of range");
         assert!(data_block != 0, "block 0 is reserved");
         self.len_pages = self.len_pages.max(page + 1);
@@ -324,7 +440,7 @@ impl RadixTree {
         for level in 0..LEVELS {
             let node = match slot {
                 Child::Node(n) => Arc::make_mut(n),
-                Child::Unloaded(_) => {
+                Child::Unloaded { .. } => {
                     panic!("set crossed an unloaded subtree; use set_with")
                 }
                 _ => unreachable!("interior slots always hold nodes here"),
@@ -336,15 +452,57 @@ impl RadixTree {
             let idx = ((page >> SHIFT[level]) as usize) & (FANOUT - 1);
             if level == LEVELS - 1 {
                 let old = match node.children[idx] {
-                    Child::Data(b) => Some(b),
+                    Child::Data { block, .. } => Some(block),
                     Child::Empty => None,
                     _ => unreachable!("interior child at leaf level"),
                 };
-                node.children[idx] = Child::Data(data_block);
+                node.children[idx] = Child::Data {
+                    block: data_block,
+                    digest,
+                };
                 return old;
             }
             if matches!(node.children[idx], Child::Empty) {
                 node.children[idx] = Child::Node(Arc::new(Node::new()));
+            }
+            slot = &mut node.children[idx];
+        }
+        unreachable!()
+    }
+
+    /// Records `digest` for `page` without remapping it: the digest
+    /// backfill path for pages committed by pre-digest stores. The node
+    /// path is COW-dirtied (so the next full commit persists the digest)
+    /// but the data block itself is *not* superseded. Returns `false` — at
+    /// no cost — when the page is absent or already carries this digest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path crosses an unloaded subtree — hydrate first
+    /// (scrub walks hydrate as they enumerate).
+    #[allow(clippy::needless_range_loop)] // SHIFT is indexed by level on purpose
+    pub fn backfill_digest(&mut self, page: u64, digest: u32) -> bool {
+        assert!(page < MAX_PAGES, "page index out of range");
+        match self.get_entry(page) {
+            Some((_, d)) if d != digest => {}
+            _ => return false,
+        }
+        let mut slot = &mut self.root;
+        for level in 0..LEVELS {
+            let node = match slot {
+                Child::Node(n) => Arc::make_mut(n),
+                _ => unreachable!("get_entry above proved the path is resident"),
+            };
+            if let Some(b) = node.disk_block.take() {
+                self.freed.push(b);
+            }
+            let idx = ((page >> SHIFT[level]) as usize) & (FANOUT - 1);
+            if level == LEVELS - 1 {
+                match &mut node.children[idx] {
+                    Child::Data { digest: d, .. } => *d = digest,
+                    _ => unreachable!("get_entry above proved the page exists"),
+                }
+                return true;
             }
             slot = &mut node.children[idx];
         }
@@ -371,8 +529,8 @@ impl RadixTree {
         ) -> u64 {
             match slot {
                 Child::Empty => 0,
-                Child::Data(b) => *b,
-                Child::Unloaded(b) => *b, // clean on disk, never read
+                Child::Data { block, .. } => *block,
+                Child::Unloaded { block, .. } => *block, // clean on disk, never read
                 Child::Node(arc) => {
                     if let Some(b) = arc.disk_block {
                         return b; // clean subtree
@@ -383,9 +541,14 @@ impl RadixTree {
                             commit_slot(child, alloc, writes);
                         }
                     }
+                    // Children first: their fresh (block, digest) pairs
+                    // must be final before this node's image — the Merkle
+                    // chain is built bottom-up.
                     let block = alloc();
                     node.disk_block = Some(block);
-                    writes.push((block, Box::new(node.serialize())));
+                    let image = node.serialize();
+                    node.disk_digest = digest32(&image);
+                    writes.push((block, Box::new(image)));
                     block
                 }
             }
@@ -419,7 +582,7 @@ impl RadixTree {
     pub fn unloaded_nodes(&self) -> usize {
         fn count(child: &Child) -> usize {
             match child {
-                Child::Unloaded(_) => 1,
+                Child::Unloaded { .. } => 1,
                 Child::Node(n) => n.children.iter().map(count).sum(),
                 _ => 0,
             }
@@ -441,9 +604,29 @@ impl RadixTree {
     pub fn committed_root(&self) -> u64 {
         match &self.root {
             Child::Empty => 0,
-            Child::Unloaded(b) => *b,
+            Child::Unloaded { block, .. } => *block,
             Child::Node(n) => n.disk_block.expect("committed_root called on a dirty tree"),
-            Child::Data(_) => unreachable!("the root is never a data block"),
+            Child::Data { .. } => unreachable!("the root is never a data block"),
+        }
+    }
+
+    /// digest32 of the committed root node's image ([`DIGEST_NONE`] for an
+    /// empty tree or a root adopted from a pre-digest record that has not
+    /// been hydrated yet). Pairs with [`RadixTree::committed_root`] to
+    /// fill a root record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the root is dirty — callers commit first.
+    pub fn committed_root_digest(&self) -> u32 {
+        match &self.root {
+            Child::Empty => DIGEST_NONE,
+            Child::Unloaded { digest, .. } => *digest,
+            Child::Node(n) => {
+                n.disk_block.expect("committed_root_digest on a dirty tree");
+                n.disk_digest
+            }
+            Child::Data { .. } => unreachable!("the root is never a data block"),
         }
     }
 
@@ -459,8 +642,8 @@ impl RadixTree {
         fn walk(child: &Child, out: &mut Vec<u64>) {
             match child {
                 Child::Empty => {}
-                Child::Data(b) => out.push(*b),
-                Child::Unloaded(_) => {
+                Child::Data { block, .. } => out.push(*block),
+                Child::Unloaded { .. } => {
                     panic!("reachable_blocks on a partially loaded tree; use reachable_blocks_with")
                 }
                 Child::Node(n) => {
@@ -478,7 +661,7 @@ impl RadixTree {
 
     /// [`RadixTree::reachable_blocks`] with demand hydration: reads any
     /// unloaded nodes (enumerating a subtree requires its contents).
-    pub fn reachable_blocks_with(&mut self, read: BlockRead) -> Result<Vec<u64>, IoError> {
+    pub fn reachable_blocks_with(&mut self, read: BlockRead) -> Result<Vec<u64>, TreeError> {
         self.hydrate_all(read)?;
         Ok(self.reachable_blocks())
     }
@@ -492,8 +675,8 @@ impl RadixTree {
         fn walk(child: &Child, out: &mut Vec<u64>) {
             match child {
                 Child::Empty => {}
-                Child::Data(b) => out.push(*b),
-                Child::Unloaded(_) => {
+                Child::Data { block, .. } => out.push(*block),
+                Child::Unloaded { .. } => {
                     panic!("disk_blocks on a partially loaded tree; use disk_blocks_with")
                 }
                 Child::Node(n) => {
@@ -512,7 +695,7 @@ impl RadixTree {
     }
 
     /// [`RadixTree::disk_blocks`] with demand hydration.
-    pub fn disk_blocks_with(&mut self, read: BlockRead) -> Result<Vec<u64>, IoError> {
+    pub fn disk_blocks_with(&mut self, read: BlockRead) -> Result<Vec<u64>, TreeError> {
         self.hydrate_all(read)?;
         Ok(self.disk_blocks())
     }
@@ -548,14 +731,14 @@ impl RadixTree {
             let bn = match b {
                 Child::Empty => return,
                 Child::Node(n) => n,
-                Child::Unloaded(_) => {
+                Child::Unloaded { .. } => {
                     panic!("diff_pages descended into an unloaded subtree; use diff_pages_with")
                 }
-                Child::Data(_) => unreachable!("handled at the level above"),
+                Child::Data { .. } => unreachable!("handled at the level above"),
             };
             let an = match a {
                 Some(Child::Node(n)) => Some(&**n),
-                Some(Child::Unloaded(_)) => {
+                Some(Child::Unloaded { .. }) => {
                     panic!("diff_pages descended into an unloaded subtree; use diff_pages_with")
                 }
                 _ => None,
@@ -564,8 +747,8 @@ impl RadixTree {
                 let idx = prefix | ((i as u64) << SHIFT[level]);
                 let ac = an.map(|n| &n.children[i]);
                 if level == LEVELS - 1 {
-                    if let Child::Data(db) = child {
-                        if !matches!(ac, Some(Child::Data(ab)) if ab == db) {
+                    if let Child::Data { block: db, .. } = child {
+                        if !matches!(ac, Some(Child::Data { block: ab, .. }) if ab == db) {
                             out.push((idx, *db));
                         }
                     }
@@ -587,7 +770,7 @@ impl RadixTree {
         base: Option<&mut RadixTree>,
         target: &mut RadixTree,
         read: BlockRead,
-    ) -> Result<Vec<(u64, u64)>, IoError> {
+    ) -> Result<Vec<(u64, u64)>, TreeError> {
         fn walk(
             a: Option<&mut Child>,
             b: &mut Child,
@@ -595,7 +778,7 @@ impl RadixTree {
             level: usize,
             read: BlockRead,
             out: &mut Vec<(u64, u64)>,
-        ) -> Result<(), IoError> {
+        ) -> Result<(), TreeError> {
             if let Some(ac) = &a {
                 if ac.committed_ref().is_some() && ac.committed_ref() == b.committed_ref() {
                     return Ok(()); // shared committed subtree: no hydration
@@ -607,7 +790,7 @@ impl RadixTree {
             let bn = hydrate_slot(b, level, read)?;
             let mut an = None;
             if let Some(slot) = a {
-                if matches!(slot, Child::Node(_) | Child::Unloaded(_)) {
+                if matches!(slot, Child::Node(_) | Child::Unloaded { .. }) {
                     an = Some(hydrate_slot(slot, level, read)?);
                 }
             }
@@ -616,8 +799,8 @@ impl RadixTree {
                 let child = &mut bn.children[i];
                 let ac = an.as_deref_mut().map(|n| &mut n.children[i]);
                 if level == LEVELS - 1 {
-                    if let Child::Data(db) = child {
-                        if !matches!(&ac, Some(Child::Data(ab)) if ab == db) {
+                    if let Child::Data { block: db, .. } = child {
+                        if !matches!(&ac, Some(Child::Data { block: ab, .. }) if ab == db) {
                             out.push((idx, *db));
                         }
                     }
@@ -648,8 +831,10 @@ impl RadixTree {
         fn walk(child: &Child, prefix: u64, level: usize, out: &mut Vec<(u64, u64)>) {
             match child {
                 Child::Empty => {}
-                Child::Data(b) => out.push((prefix, *b)),
-                Child::Unloaded(_) => panic!("pages() on a partially loaded tree; hydrate first"),
+                Child::Data { block, .. } => out.push((prefix, *block)),
+                Child::Unloaded { .. } => {
+                    panic!("pages() on a partially loaded tree; hydrate first")
+                }
                 Child::Node(n) => {
                     for (i, c) in n.children.iter().enumerate() {
                         let idx = prefix | ((i as u64) << SHIFT[level]);
@@ -663,10 +848,139 @@ impl RadixTree {
             for (i, c) in n.children.iter().enumerate() {
                 walk(c, (i as u64) << SHIFT[0], 1, &mut out);
             }
-        } else if let Child::Unloaded(_) = &self.root {
+        } else if let Child::Unloaded { .. } = &self.root {
             panic!("pages() on a partially loaded tree; hydrate first");
         }
         out
+    }
+
+    /// Up to `limit` committed leaf entries with page index `>= start`,
+    /// as `(page, data block, digest)` triples in page order, hydrating
+    /// only the subtrees the range forces it to descend into. This is the
+    /// scrub cursor's enumeration primitive: a scrub pass resumes at
+    /// `start` and subtrees entirely below the cursor are skipped without
+    /// IO.
+    pub fn entries_from(
+        &mut self,
+        start: u64,
+        limit: usize,
+        read: BlockRead,
+    ) -> Result<Vec<(u64, u64, u32)>, TreeError> {
+        fn walk(
+            slot: &mut Child,
+            prefix: u64,
+            level: usize,
+            start: u64,
+            limit: usize,
+            read: BlockRead,
+            out: &mut Vec<(u64, u64, u32)>,
+        ) -> Result<(), TreeError> {
+            if out.len() >= limit {
+                return Ok(());
+            }
+            match slot {
+                Child::Empty => Ok(()),
+                Child::Data { block, digest } => {
+                    if prefix >= start {
+                        out.push((prefix, *block, *digest));
+                    }
+                    Ok(())
+                }
+                _ => {
+                    // Pages under a node at `level` span FANOUT^(LEVELS-level).
+                    let span = (FANOUT as u64).pow((LEVELS - level) as u32);
+                    if prefix + span <= start {
+                        return Ok(()); // entirely behind the cursor
+                    }
+                    let node = hydrate_slot(slot, level, read)?;
+                    let shift = SHIFT[level];
+                    for i in 0..FANOUT {
+                        if out.len() >= limit {
+                            break;
+                        }
+                        let idx = prefix | ((i as u64) << shift);
+                        walk(
+                            &mut node.children[i],
+                            idx,
+                            level + 1,
+                            start,
+                            limit,
+                            read,
+                            out,
+                        )?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&mut self.root, 0, 0, start, limit, read, &mut out)?;
+        Ok(out)
+    }
+
+    /// Every *resident* committed node's `(disk block, image digest)`,
+    /// parents before children. Dirty nodes (no committed image) and
+    /// unloaded subtrees (verified at hydration time instead) are skipped.
+    /// This is the scrub's node-media worklist.
+    pub fn committed_nodes(&self) -> Vec<(u64, u32)> {
+        fn walk(child: &Child, out: &mut Vec<(u64, u32)>) {
+            if let Child::Node(n) = child {
+                if let Some(b) = n.disk_block {
+                    out.push((b, n.disk_digest));
+                }
+                for c in &n.children {
+                    walk(c, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, &mut out);
+        out
+    }
+
+    /// Heals a resident committed node whose *media* copy rotted: marks
+    /// the node and every ancestor dirty so the next full commit rewrites
+    /// the path to fresh blocks from the good in-memory copies. Ancestor
+    /// blocks are reported as superseded (recyclable); the rotted block
+    /// itself is **not** — the caller quarantines it. Returns `false` if
+    /// no resident node holds `block`.
+    pub fn dirty_committed_node(&mut self, block: u64) -> bool {
+        fn contains(node: &Node, target: u64) -> bool {
+            if node.disk_block == Some(target) {
+                return true;
+            }
+            node.children
+                .iter()
+                .any(|c| matches!(c, Child::Node(n) if contains(n, target)))
+        }
+        fn dirty_path(slot: &mut Child, target: u64, freed: &mut Vec<u64>) -> bool {
+            let Child::Node(arc) = slot else {
+                return false;
+            };
+            if !contains(arc, target) {
+                return false;
+            }
+            let node = Arc::make_mut(arc);
+            if node.disk_block == Some(target) {
+                node.disk_block = None; // rotted: quarantined by the caller
+                node.disk_digest = DIGEST_NONE;
+                return true;
+            }
+            for child in &mut node.children {
+                if dirty_path(child, target, freed) {
+                    break;
+                }
+            }
+            if let Some(b) = node.disk_block.take() {
+                freed.push(b); // healthy ancestor image, superseded
+            }
+            node.disk_digest = DIGEST_NONE;
+            true
+        }
+        let mut freed = Vec::new();
+        let found = dirty_path(&mut self.root, block, &mut freed);
+        self.freed.extend(freed);
+        found
     }
 
     /// A structurally independent copy sharing no nodes with `self` — the
@@ -678,6 +992,7 @@ impl RadixTree {
                 Child::Node(n) => Child::Node(Arc::new(Node {
                     children: n.children.iter().map(deep).collect(),
                     disk_block: n.disk_block,
+                    disk_digest: n.disk_digest,
                 })),
                 other => other.clone(),
             }
@@ -1093,6 +1408,186 @@ mod tests {
         })
         .unwrap();
         assert!(diff.is_empty());
+    }
+
+    #[test]
+    fn commit_round_trips_entry_digests() {
+        let mut t = RadixTree::new();
+        t.set_entry(0, 100, 0xAAAA);
+        t.set_entry(513, 101, 0xBBBB);
+        let mut next = 1_000u64;
+        let mut writes = Vec::new();
+        let root = t.commit(
+            &mut || {
+                next += 1;
+                next
+            },
+            &mut writes,
+        );
+        let root_digest = t.committed_root_digest();
+        assert_ne!(root_digest, DIGEST_NONE);
+        let blocks: HashMap<u64, Box<[u8]>> = writes.into_iter().collect();
+        let mut lazy = RadixTree::from_committed_digest(root, root_digest, t.len_pages());
+        let mut read = |b: u64, out: &mut [u8; BLOCK_SIZE]| {
+            out.copy_from_slice(&blocks[&b]);
+            Ok(())
+        };
+        assert_eq!(
+            lazy.get_entry_or_load(0, &mut read).unwrap(),
+            Some((100, 0xAAAA))
+        );
+        assert_eq!(
+            lazy.get_entry_or_load(513, &mut read).unwrap(),
+            Some((101, 0xBBBB))
+        );
+        assert_eq!(lazy.committed_root_digest(), root_digest);
+    }
+
+    #[test]
+    fn hydration_detects_a_rotted_node_image() {
+        let mut t = RadixTree::new();
+        t.set_entry(0, 100, 0x1234);
+        let mut next = 1_000u64;
+        let mut writes = Vec::new();
+        let root = t.commit(
+            &mut || {
+                next += 1;
+                next
+            },
+            &mut writes,
+        );
+        let mut blocks: HashMap<u64, Box<[u8]>> = writes.into_iter().collect();
+        // Rot one bit in a non-root node (the root's child at level 1).
+        let l1 = match &t.root {
+            Child::Node(n) => match &n.children[0] {
+                Child::Node(c) => c.disk_block.unwrap(),
+                _ => unreachable!(),
+            },
+            _ => unreachable!(),
+        };
+        blocks.get_mut(&l1).unwrap()[3] ^= 0x40;
+
+        let mut lazy =
+            RadixTree::from_committed_digest(root, t.committed_root_digest(), t.len_pages());
+        let err = lazy
+            .get_or_load(0, &mut |b, out| {
+                out.copy_from_slice(&blocks[&b]);
+                Ok(())
+            })
+            .unwrap_err();
+        assert_eq!(err, TreeError::CorruptNode { block: l1 });
+        // The slot stays unloaded: fixing the media makes the read succeed.
+        blocks.get_mut(&l1).unwrap()[3] ^= 0x40;
+        let got = lazy
+            .get_or_load(0, &mut |b, out| {
+                out.copy_from_slice(&blocks[&b]);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(got, Some(100));
+    }
+
+    #[test]
+    fn unverified_roots_hydrate_and_backfill_digests() {
+        // A pre-digest store: entry words carry no high bits. Hydration
+        // must accept them (digest DIGEST_NONE) and parse() must record
+        // the actual image digest so later commits re-chain the tree.
+        let mut t = RadixTree::new();
+        t.set(0, 100); // DIGEST_NONE entry, as a v1 store would hold
+        let mut next = 1_000u64;
+        let mut writes = Vec::new();
+        let root = t.commit(
+            &mut || {
+                next += 1;
+                next
+            },
+            &mut writes,
+        );
+        let blocks: HashMap<u64, Box<[u8]>> = writes.into_iter().collect();
+        let mut lazy = RadixTree::from_committed(root, t.len_pages()); // no root digest
+        assert_eq!(
+            lazy.get_entry_or_load(0, &mut |b, out| {
+                out.copy_from_slice(&blocks[&b]);
+                Ok(())
+            })
+            .unwrap(),
+            Some((100, DIGEST_NONE))
+        );
+        // Hydration recorded the actual root-image digest.
+        assert_ne!(lazy.committed_root_digest(), DIGEST_NONE);
+    }
+
+    #[test]
+    fn backfill_digest_dirties_the_path_but_keeps_the_block() {
+        let mut next = 1_000u64;
+        let mut t = committed(&[(0, 100)], &mut next);
+        assert_eq!(t.get_entry(0), Some((100, DIGEST_NONE)));
+        assert!(t.backfill_digest(0, 0x77));
+        assert_eq!(t.get_entry(0), Some((100, 0x77)));
+        assert_eq!(t.dirty_nodes(), LEVELS, "path dirtied for persistence");
+        let freed = t.take_freed();
+        assert_eq!(freed.len(), LEVELS, "node images superseded");
+        assert!(!freed.contains(&100), "the data block itself is kept");
+        // Idempotent: same digest again is free.
+        assert!(!t.backfill_digest(0, 0x77));
+        assert!(!t.backfill_digest(5, 0x77), "absent page is a no-op");
+    }
+
+    #[test]
+    fn entries_from_resumes_at_the_cursor_without_extra_hydration() {
+        let mut next = 1_000u64;
+        let (mut lazy, blocks) =
+            committed_on_disk(&[(0, 100), (513, 101), (300_000, 102)], &mut next);
+        let mut reads = Vec::new();
+        let got = lazy
+            .entries_from(1, 10, &mut |b, out| {
+                reads.push(b);
+                out.copy_from_slice(&blocks[&b]);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(
+            got.iter().map(|(p, b, _)| (*p, *b)).collect::<Vec<_>>(),
+            vec![(513, 101), (300_000, 102)],
+            "page 0 is behind the cursor"
+        );
+        // Limit cuts the enumeration short.
+        let got = lazy
+            .entries_from(0, 1, &mut |_b, _out| panic!("tree is resident now"))
+            .unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 0);
+    }
+
+    #[test]
+    fn dirty_committed_node_heals_a_path() {
+        let mut next = 1_000u64;
+        let mut t = committed(&[(0, 100), (513, 101)], &mut next);
+        let nodes = t.committed_nodes();
+        assert_eq!(nodes.len(), 4, "root + shared L1 node + two leaf nodes");
+        // Pick a leaf-level node (last in parents-before-children order).
+        let (victim, _) = *nodes.last().unwrap();
+        assert!(t.dirty_committed_node(victim));
+        assert!(t.dirty_nodes() >= 2, "victim and its ancestors are dirty");
+        let freed = t.take_freed();
+        assert!(
+            !freed.contains(&victim),
+            "the rotted block is not recycled (quarantine, not reuse)"
+        );
+        // Recommit rewrites the path; the tree still resolves both pages.
+        let mut writes = Vec::new();
+        t.commit(
+            &mut || {
+                next += 1;
+                next
+            },
+            &mut writes,
+        );
+        assert!(!writes.is_empty());
+        assert!(writes.iter().all(|(b, _)| *b != victim));
+        assert_eq!(t.get(0), Some(100));
+        assert_eq!(t.get(513), Some(101));
+        assert!(!t.dirty_committed_node(9999), "unknown block is a no-op");
     }
 
     #[test]

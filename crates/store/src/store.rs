@@ -20,10 +20,11 @@ use msnap_sim::{Category, Nanos, Vt};
 
 use crate::layout::{
     self, BatchGroup, BatchRecord, DeltaRecord, DirEntry, Epoch, ObjectId, RootRecord, SnapCatalog,
-    SnapEntry, BATCH_RING_START, BATCH_SLOTS, DELTA_SLOTS, DIR_BLOCKS, DIR_ENTRY_LEN, DIR_START,
-    ENTRIES_PER_BLOCK, FIRST_DATA_BLOCK, MAX_DELTA_PAIRS, MAX_OBJECTS, MAX_SNAPSHOTS, NAME_LEN,
-    OBJECT_META_BLOCKS, SNAP_CATALOG_SLOTS, SNAP_CATALOG_START, SUPERBLOCK, SUPER_MAGIC,
+    SnapEntry, BATCH_RING_START, BATCH_SLOTS, DELTA_SLOTS, DIGEST_NONE, DIR_BLOCKS, DIR_ENTRY_LEN,
+    DIR_START, ENTRIES_PER_BLOCK, FIRST_DATA_BLOCK, MAX_DELTA_PAIRS, MAX_OBJECTS, MAX_SNAPSHOTS,
+    NAME_LEN, OBJECT_META_BLOCKS, SNAP_CATALOG_SLOTS, SNAP_CATALOG_START, SUPERBLOCK, SUPER_MAGIC,
 };
+use crate::radix::TreeError;
 use crate::{BlockAllocator, BlockCache, RadixTree};
 
 /// Errors returned by the object store.
@@ -57,6 +58,29 @@ pub enum StoreError {
     /// [`ObjectStore::apply_image`] with a target epoch at or behind the
     /// object's current epoch: the image would move the replica backward.
     StaleEpoch,
+    /// A page's at-rest digest did not match the bytes the device
+    /// returned: silent corruption (bit rot) detected — and **not**
+    /// served. The block is quarantined; heal it from a retained
+    /// snapshot or a replica (see [`ObjectStore::scrub`] and
+    /// [`ObjectStore::repair_page`]).
+    CorruptData {
+        /// Page index whose data failed verification.
+        page: u64,
+        /// The corrupt device block (now quarantined).
+        block: u64,
+        /// The epoch the read was served at.
+        epoch: Epoch,
+    },
+    /// A radix-node block failed its digest check during demand
+    /// hydration: the tree's own media rotted.
+    CorruptMeta {
+        /// The corrupt node block.
+        block: u64,
+    },
+    /// [`ObjectStore::repair_page`] was handed bytes that do not match
+    /// the page's expected digest: the proposed clean copy is itself
+    /// corrupt (or stale) and was rejected.
+    RepairMismatch,
 }
 
 impl fmt::Display for StoreError {
@@ -74,6 +98,16 @@ impl fmt::Display for StoreError {
             StoreError::TooManySnapshots => f.write_str("snapshot catalog is full"),
             StoreError::SnapshotMismatch => f.write_str("snapshots belong to different objects"),
             StoreError::StaleEpoch => f.write_str("image target epoch is not ahead of the object"),
+            StoreError::CorruptData { page, block, epoch } => write!(
+                f,
+                "page {page} (block {block}, epoch {epoch}) failed digest verification"
+            ),
+            StoreError::CorruptMeta { block } => {
+                write!(f, "tree node block {block} failed digest verification")
+            }
+            StoreError::RepairMismatch => {
+                f.write_str("repair data does not match the page's expected digest")
+            }
         }
     }
 }
@@ -89,14 +123,25 @@ impl From<IoError> for StoreError {
     }
 }
 
+impl From<TreeError> for StoreError {
+    fn from(e: TreeError) -> Self {
+        match e {
+            TreeError::Io(e) => e.into(),
+            TreeError::CorruptNode { block } => StoreError::CorruptMeta { block },
+        }
+    }
+}
+
 /// Bounded retry budget for transient device faults: a submission is
 /// retried at most this many times in total before the commit aborts.
 pub const MAX_IO_ATTEMPTS: u32 = 3;
 
 /// Block numbers handed out by the full-commit closure after the
 /// allocator is exhausted: far beyond any real device, never written —
-/// the commit aborts before any IO is issued.
-const SCRATCH_BLOCK_BASE: u64 = 1 << 62;
+/// the commit aborts before any IO is issued. Kept below 2^32 so the
+/// aborted commit's node serialization can still pack scratch entries
+/// into digest-carrying radix words.
+const SCRATCH_BLOCK_BASE: u64 = 0xF000_0000;
 
 /// Submits `iov`, retrying transient failures up to [`MAX_IO_ATTEMPTS`]
 /// total attempts. Each retry is a fresh submission (a new fault-plan
@@ -202,6 +247,51 @@ pub struct StoreStats {
     pub hydrations: u64,
 }
 
+/// Cumulative statistics for the online scrubber
+/// ([`ObjectStore::scrub`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubStats {
+    /// Leaf pages whose data block was read back and verified against
+    /// the digest the radix entry carries.
+    pub pages_verified: u64,
+    /// Committed radix-node media images read back and verified.
+    pub nodes_verified: u64,
+    /// Digest mismatches found (data blocks and node media).
+    pub corruptions_found: u64,
+    /// Corruptions healed: pages re-materialized from a retained
+    /// snapshot (or a peer via [`ObjectStore::repair_page`]) and
+    /// resident nodes rewritten from their clean in-memory copies.
+    pub repairs: u64,
+    /// Corruptions with no clean local source: quarantined and reported
+    /// through [`ObjectStore::unrepaired_pages`], awaiting a peer copy.
+    pub unrepaired: u64,
+    /// Old-layout (pre-digest) leaf entries backfilled with a freshly
+    /// computed digest during the scrub walk.
+    pub digests_backfilled: u64,
+    /// Device block reads the scrub spent — its IO budget consumption.
+    pub io_spent: u64,
+    /// Full passes over the radix forest completed.
+    pub passes: u64,
+}
+
+/// A corrupt page the scrubber quarantined but could not heal locally
+/// (no retained snapshot holds an independent clean copy). Replication
+/// drains these into `PageRepairRequest` messages; a peer's clean copy
+/// lands through [`ObjectStore::repair_page`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnrepairedPage {
+    /// Object owning the page.
+    pub object: ObjectId,
+    /// The corrupt page.
+    pub page: u64,
+    /// The quarantined block that failed verification.
+    pub block: u64,
+    /// The digest a clean copy must match, byte for byte.
+    pub digest: u32,
+    /// Object epoch at detection.
+    pub epoch: Epoch,
+}
+
 /// CPU cost constants for store operations.
 ///
 /// Calibrated against the paper's Table 5: "Initiating Writes" for a
@@ -296,6 +386,21 @@ pub struct ObjectStore {
     /// radix-node hydration. Invalidated on write; discarded across
     /// `open` (recovery never trusts pre-crash cached state).
     cache: BlockCache,
+    /// Blocks whose media failed digest verification: withheld from the
+    /// allocator forever — never recycled, never served again.
+    quarantined: HashSet<u64>,
+    /// Resumable scrub cursor: the next `(object index, page)` to
+    /// verify. `(objects.len(), _)` marks a pass boundary.
+    scrub_cursor: (usize, u64),
+    /// Node blocks already media-verified in the current scrub pass.
+    /// Committed COW nodes are shared across objects and snapshots, so
+    /// each block is read once per pass. Cleared when the pass wraps.
+    scrub_verified: HashSet<u64>,
+    /// Cumulative scrub statistics.
+    scrub_stats: ScrubStats,
+    /// Corrupt pages with no clean local source, waiting for a peer
+    /// copy via [`ObjectStore::repair_page`].
+    unrepaired: Vec<UnrepairedPage>,
 }
 
 impl fmt::Debug for ObjectStore {
@@ -348,6 +453,11 @@ impl ObjectStore {
             stats: StoreStats::default(),
             delta_commits: true,
             cache: BlockCache::new(DEFAULT_CACHE_BLOCKS),
+            quarantined: HashSet::new(),
+            scrub_cursor: (0, 0),
+            scrub_verified: HashSet::new(),
+            scrub_stats: ScrubStats::default(),
+            unrepaired: Vec::new(),
         }
     }
 
@@ -419,7 +529,13 @@ impl ObjectStore {
                 vt.charge(Category::FileSystem, costs::ROOT_PARSE);
                 disk.read_block(vt, entry.meta_base + i, &mut buf);
                 if let Some(rec) = RootRecord::from_block(&buf, entry.id) {
-                    if base.is_none_or(|b| rec.epoch > b.epoch) {
+                    // `flush_seq` breaks ties when both slots hold the
+                    // *same* epoch: a repair commit rewrites the root at
+                    // the current epoch, and recovery must adopt the
+                    // repaired (higher-sequence) one.
+                    if base.is_none_or(|b| {
+                        rec.epoch > b.epoch || (rec.epoch == b.epoch && rec.flush_seq > b.flush_seq)
+                    }) {
                         base = Some(rec);
                         base_slot_index = i;
                     }
@@ -427,7 +543,9 @@ impl ObjectStore {
             }
             let base_epoch = base.map_or(0, |b| b.epoch);
             let mut tree = match base {
-                Some(rec) => RadixTree::from_committed(rec.tree_root, rec.len_pages),
+                Some(rec) => {
+                    RadixTree::from_committed_digest(rec.tree_root, rec.root_digest, rec.len_pages)
+                }
                 None => RadixTree::new(),
             };
 
@@ -482,9 +600,12 @@ impl ObjectStore {
                 let delta = &deltas[i];
                 i += 1;
                 let mut sum = layout::FNV_OFFSET;
-                for (_, block) in &delta.pairs {
-                    disk.read_block(vt, *block, &mut buf);
+                let mut digests = Vec::with_capacity(delta.pairs.len());
+                for (_, word) in &delta.pairs {
+                    let (block, _) = layout::unpack_entry(*word);
+                    disk.read_block(vt, block, &mut buf);
                     sum = layout::fnv1a_extend(sum, &buf);
+                    digests.push(layout::digest32(&buf));
                 }
                 if sum != delta.payload_sum {
                     // A torn candidate: another record of the same epoch
@@ -492,17 +613,34 @@ impl ObjectStore {
                     // rejected, not the whole tail.
                     continue;
                 }
-                for (page, block) in &delta.pairs {
-                    // Replay hydrates only the touched paths; open-time
-                    // reads use the infallible device path (recovery is
-                    // not a fault-injection target), so the error is
-                    // unreachable.
-                    tree.set_with(*page, *block, &mut |b, out| {
-                        disk.read_block(vt, b, out);
-                        Ok(())
-                    })
-                    .expect("open-time node reads are infallible");
-                    high_water = high_water.max(*block + 1);
+                // Replay hydrates only the touched paths. Hydration now
+                // verifies node digests, so a rotted node under the base
+                // root truncates the chain here (crash-atomically, before
+                // any of this delta's pairs apply) instead of panicking —
+                // scrub surfaces the rot afterwards.
+                let mut meta_ok = true;
+                for (page, _) in &delta.pairs {
+                    if tree
+                        .hydrate_path(*page, &mut |b, out| {
+                            disk.read_block(vt, b, out);
+                            Ok(())
+                        })
+                        .is_err()
+                    {
+                        meta_ok = false;
+                        break;
+                    }
+                }
+                if !meta_ok {
+                    break;
+                }
+                for ((page, word), digest) in delta.pairs.iter().zip(digests) {
+                    let (block, _) = layout::unpack_entry(*word);
+                    // The payload checksum above just verified the data,
+                    // so the freshly computed digest is authoritative —
+                    // pre-digest (v1) records backfill here for free.
+                    tree.set_entry(*page, block, digest);
+                    high_water = high_water.max(block + 1);
                 }
                 epoch = delta.epoch;
             }
@@ -527,7 +665,15 @@ impl ObjectStore {
                 epoch,
                 last_commit: Nanos::ZERO,
                 deltas_since_full: epoch - base_epoch,
-                full_count: base.map_or(0, |_| base_slot_index + 1),
+                // v2 roots persist their full-root sequence number; v1
+                // roots (flush_seq 0) fall back to the slot-parity rule.
+                full_count: base.map_or(0, |b| {
+                    if b.flush_seq > 0 {
+                        b.flush_seq
+                    } else {
+                        base_slot_index + 1
+                    }
+                }),
                 node_freed_pending: Vec::new(),
                 chain_completes: Nanos::ZERO,
             });
@@ -568,7 +714,11 @@ impl ObjectStore {
                 continue; // catalog can never outrun the directory
             }
             high_water = high_water.max(entry.tree_root + 1);
-            let tree = RadixTree::from_committed(entry.tree_root, entry.len_pages);
+            let tree = RadixTree::from_committed_digest(
+                entry.tree_root,
+                entry.root_digest,
+                entry.len_pages,
+            );
             snap_by_name.insert(entry.name.clone(), snapshots.len());
             snapshots.push(SnapState {
                 entry,
@@ -595,6 +745,11 @@ impl ObjectStore {
             stats: StoreStats::default(),
             delta_commits: true,
             cache: BlockCache::new(DEFAULT_CACHE_BLOCKS),
+            quarantined: HashSet::new(),
+            scrub_cursor: (0, 0),
+            scrub_verified: HashSet::new(),
+            scrub_stats: ScrubStats::default(),
+            unrepaired: Vec::new(),
         })
     }
 
@@ -781,7 +936,9 @@ impl ObjectStore {
             let mut delta_pairs = Vec::with_capacity(pages.len());
             for (i, (page, data)) in pages.iter().enumerate() {
                 let block = first + i as u64;
-                delta_pairs.push((*page, block));
+                // Pair words carry the page digest in their high half, so
+                // the existing record checksum covers it.
+                delta_pairs.push((*page, layout::pack_entry(block, layout::digest32(data))));
                 iov.push((block, data));
             }
             let len_pages = pages
@@ -821,8 +978,9 @@ impl ObjectStore {
             // the ring (recovery re-reads them to verify `payload_sum`),
             // so like superseded nodes they are quarantined until the next
             // full root supersedes the whole ring — never recycled early.
-            for (page, block) in &record.pairs {
-                if let Some(old) = state.tree.set(*page, *block) {
+            for (page, word) in &record.pairs {
+                let (block, digest) = layout::unpack_entry(*word);
+                if let Some(old) = state.tree.set_entry(*page, block, digest) {
                     state.node_freed_pending.push(old);
                 }
             }
@@ -882,7 +1040,7 @@ impl ObjectStore {
         for (i, (page, data)) in pages.iter().enumerate() {
             let block = data_blocks + i as u64;
             iov.push((block, data));
-            if let Some(old) = state.tree.set(*page, block) {
+            if let Some(old) = state.tree.set_entry(*page, block, layout::digest32(data)) {
                 data_freed.push(old);
             }
         }
@@ -925,6 +1083,8 @@ impl ObjectStore {
             // block any earlier commit allocated, which is what lets
             // `open` skip the O(object) tree walk.
             high_water: self.alloc.high_water(),
+            root_digest: state.tree.committed_root_digest(),
+            flush_seq: state.full_count + 1,
         };
         let slot = state.entry.root_slot(state.full_count + 1);
         let cache = &mut self.cache;
@@ -1069,7 +1229,7 @@ impl ObjectStore {
             let mut pairs = Vec::with_capacity(pages.len());
             let mut payload_sum = layout::FNV_OFFSET;
             for (page, data) in *pages {
-                pairs.push((*page, next));
+                pairs.push((*page, layout::pack_entry(next, layout::digest32(data))));
                 iov.push((next, *data));
                 payload_sum = layout::fnv1a_extend(payload_sum, data);
                 next += 1;
@@ -1110,8 +1270,9 @@ impl ObjectStore {
         let mut tokens = Vec::with_capacity(groups.len());
         for g in &record.groups {
             let state = &mut self.objects[g.object.0 as usize];
-            for (page, block) in &g.pairs {
-                if let Some(old) = state.tree.set(*page, *block) {
+            for (page, word) in &g.pairs {
+                let (block, digest) = layout::unpack_entry(*word);
+                if let Some(old) = state.tree.set_entry(*page, block, digest) {
                     state.node_freed_pending.push(old);
                 }
             }
@@ -1210,7 +1371,9 @@ impl ObjectStore {
             }
             let Reverse((_, blocks)) = self.pending_free.pop().expect("peeked entry exists");
             for b in blocks {
-                if self.snap_pins.contains_key(&b) {
+                if self.quarantined.contains(&b) {
+                    // Rotted media: never recycled, never served again.
+                } else if self.snap_pins.contains_key(&b) {
                     self.withheld.insert(b);
                 } else {
                     self.alloc.free(b);
@@ -1293,6 +1456,7 @@ impl ObjectStore {
             epoch: state.epoch,
             tree_root: state.tree.committed_root(),
             len_pages: state.tree.len_pages(),
+            root_digest: state.tree.committed_root_digest(),
         };
         let tree = state.tree.clone();
         let root_durable = state.chain_completes;
@@ -1400,11 +1564,23 @@ impl ObjectStore {
         let snap = &mut self.snapshots[idx];
         let cache = &mut self.cache;
         let stats = &mut self.stats;
-        let block = snap.tree.get_or_load(page, &mut |b, buf| {
+        let entry = snap.tree.get_entry_or_load(page, &mut |b, buf| {
             read_block_cached(vt, disk, cache, stats, b, buf, true)
         })?;
-        match block {
-            Some(block) => read_block_cached(vt, disk, cache, stats, block, out, false)?,
+        match entry {
+            Some((block, digest)) => {
+                read_block_cached(vt, disk, cache, stats, block, out, false)?;
+                // Digests from pre-digest snapshots are unknown and skip
+                // verification (no backfill either: a snapshot tree's
+                // committed structure must stay intact for pins/diffs).
+                if digest != DIGEST_NONE && layout::digest32(out) != digest {
+                    cache.invalidate(block);
+                    self.quarantined.insert(block);
+                    let epoch = snap.entry.epoch;
+                    out.fill(0);
+                    return Err(StoreError::CorruptData { page, block, epoch });
+                }
+            }
             None => out.fill(0),
         }
         Ok(())
@@ -1690,7 +1866,7 @@ impl ObjectStore {
                 Some(count) if *count > 1 => *count -= 1,
                 _ => {
                     self.snap_pins.remove(&b);
-                    if self.withheld.remove(&b) {
+                    if self.withheld.remove(&b) && !self.quarantined.contains(&b) {
                         self.alloc.free(b);
                     }
                 }
@@ -1731,14 +1907,383 @@ impl ObjectStore {
             .ok_or(StoreError::NotFound)?;
         let cache = &mut self.cache;
         let stats = &mut self.stats;
-        let block = state.tree.get_or_load(page, &mut |b, buf| {
+        let entry = state.tree.get_entry_or_load(page, &mut |b, buf| {
             read_block_cached(vt, disk, cache, stats, b, buf, true)
         })?;
-        match block {
-            Some(block) => read_block_cached(vt, disk, cache, stats, block, out, false)?,
+        match entry {
+            Some((block, digest)) => {
+                read_block_cached(vt, disk, cache, stats, block, out, false)?;
+                let actual = layout::digest32(out);
+                if digest == DIGEST_NONE {
+                    // Pre-digest (v1) entry: adopt the digest on first
+                    // read; the next commit that flushes this leaf
+                    // persists it.
+                    state.tree.backfill_digest(page, actual);
+                } else if actual != digest {
+                    // Never serve rotted bytes: quarantine and surface.
+                    cache.invalidate(block);
+                    self.quarantined.insert(block);
+                    let epoch = state.epoch;
+                    out.fill(0);
+                    return Err(StoreError::CorruptData { page, block, epoch });
+                }
+            }
             None => out.fill(0),
         }
         Ok(())
+    }
+
+    /// Runs one increment of the online scrubber: reads committed media —
+    /// resident radix-node images and leaf data blocks — back straight
+    /// from the device (bypassing the CLOCK cache, so a cached clean copy
+    /// cannot mask rotted media) and verifies every block against the
+    /// digest its parent carries. `budget` caps the device reads this
+    /// call may spend (hydrating an unloaded subtree mid-walk can
+    /// overshoot by the nodes on one path).
+    ///
+    /// The cursor is resumable: scrub walks the radix forest object by
+    /// object, page by page, and picks up exactly where the budget ran
+    /// out. Node blocks shared by several trees (COW) are verified once
+    /// per pass; unloaded subtrees are digest-verified by hydration
+    /// itself, whenever they first load. When a pass completes the cursor
+    /// wraps and [`ScrubStats::passes`] increments.
+    ///
+    /// On a digest mismatch the block is quarantined (never recycled,
+    /// never served) and scrub repairs in preference order: a corrupt
+    /// *resident* node is rewritten from its clean in-memory copy via a
+    /// crash-atomic full-root flush; a corrupt leaf page is
+    /// re-materialized from the newest retained snapshot still holding an
+    /// independent clean copy. Pages with no clean local source are
+    /// reported through [`ObjectStore::unrepaired_pages`] for a peer to
+    /// heal via [`ObjectStore::repair_page`]. Repaired pages always land
+    /// through the normal crash-atomic commit path — never in place.
+    ///
+    /// Returns the statistics delta for this call; cumulative totals are
+    /// at [`ObjectStore::scrub_stats`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] / [`StoreError::OutOfSpace`] if a device read
+    /// fails or a repair commit cannot complete. Detected corruption is
+    /// *not* an error from scrub — it is counted, quarantined, and
+    /// repaired or reported.
+    pub fn scrub(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        budget: u64,
+    ) -> Result<ScrubStats, StoreError> {
+        let before = self.scrub_stats;
+        let mut budget = budget;
+        let mut buf = [0u8; BLOCK_SIZE];
+        while budget > 0 {
+            let (obj_idx, start_page) = self.scrub_cursor;
+            if obj_idx >= self.objects.len() {
+                // Pass complete: wrap the cursor and forget per-pass memos.
+                self.scrub_stats.passes += 1;
+                self.scrub_verified.clear();
+                self.scrub_cursor = (0, 0);
+                break;
+            }
+            let object = self.objects[obj_idx].entry.id;
+
+            // Phase 1 (on entering an object): verify the media of its
+            // resident committed nodes.
+            if start_page == 0 {
+                loop {
+                    let worklist: Vec<(u64, u32)> = self.objects[obj_idx]
+                        .tree
+                        .committed_nodes()
+                        .into_iter()
+                        .filter(|(b, d)| *d != DIGEST_NONE && !self.scrub_verified.contains(b))
+                        .collect();
+                    let mut corrupt = None;
+                    for (block, digest) in worklist {
+                        if budget == 0 {
+                            // Out of budget mid-node-phase: resume here
+                            // next call (`scrub_verified` holds progress).
+                            return Ok(self.scrub_delta(before));
+                        }
+                        budget -= 1;
+                        self.scrub_stats.io_spent += 1;
+                        disk.try_read_block(vt, block, &mut buf)?;
+                        if layout::digest32(&buf) == digest {
+                            self.scrub_stats.nodes_verified += 1;
+                            self.scrub_verified.insert(block);
+                        } else {
+                            corrupt = Some(block);
+                            break;
+                        }
+                    }
+                    let Some(block) = corrupt else { break };
+                    // Rotted node media with a clean in-memory copy:
+                    // quarantine the block and rewrite the path through a
+                    // crash-atomic full-root flush, then rescan.
+                    self.scrub_stats.corruptions_found += 1;
+                    self.cache.invalidate(block);
+                    self.quarantined.insert(block);
+                    let resident = self.objects[obj_idx].tree.dirty_committed_node(block);
+                    debug_assert!(resident, "committed_nodes listed a resident node");
+                    self.flush_full_root(vt, disk, object)?;
+                    self.scrub_stats.repairs += 1;
+                }
+            }
+
+            // Phase 2: walk leaf entries from the cursor, verifying each
+            // page's data block against its digest. Hydration reads go
+            // straight to the device too (and verify node digests on the
+            // way down).
+            let limit = budget.min(4096) as usize;
+            let mut hydration_io = 0u64;
+            let entries = {
+                let state = &mut self.objects[obj_idx];
+                state.tree.entries_from(start_page, limit, &mut |b, out| {
+                    hydration_io += 1;
+                    disk.try_read_block(vt, b, out)
+                })
+            };
+            self.scrub_stats.io_spent += hydration_io;
+            budget = budget.saturating_sub(hydration_io);
+            let entries = match entries {
+                Ok(e) => e,
+                Err(TreeError::Io(e)) => return Err(e.into()),
+                Err(TreeError::CorruptNode { block }) => {
+                    // An *unloaded* subtree's media rotted: there is no
+                    // in-memory copy to heal from and the mapping under it
+                    // is unreadable. Quarantine, count it as unrepaired
+                    // metadata, and move to the next object.
+                    self.scrub_stats.corruptions_found += 1;
+                    self.scrub_stats.unrepaired += 1;
+                    self.cache.invalidate(block);
+                    self.quarantined.insert(block);
+                    self.scrub_cursor = (obj_idx + 1, 0);
+                    continue;
+                }
+            };
+            let full_chunk = entries.len() == limit;
+            let mut next_page = start_page;
+            let mut out_of_budget = false;
+            for (page, block, digest) in entries {
+                if budget == 0 {
+                    out_of_budget = true;
+                    next_page = page; // resume at this page
+                    break;
+                }
+                budget -= 1;
+                self.scrub_stats.io_spent += 1;
+                next_page = page + 1;
+                disk.try_read_block(vt, block, &mut buf)?;
+                let actual = layout::digest32(&buf);
+                if digest == DIGEST_NONE {
+                    // Pre-digest entry: the read-back is the lazy
+                    // backfill the old layout is promised.
+                    self.objects[obj_idx].tree.backfill_digest(page, actual);
+                    self.scrub_stats.digests_backfilled += 1;
+                    self.scrub_stats.pages_verified += 1;
+                    continue;
+                }
+                if actual == digest {
+                    self.scrub_stats.pages_verified += 1;
+                    continue;
+                }
+                // Rotted page data: quarantine, then repair — newest
+                // retained snapshot with an independent clean copy first,
+                // else hand the page to replication.
+                self.scrub_stats.corruptions_found += 1;
+                self.cache.invalidate(block);
+                self.quarantined.insert(block);
+                match self.snapshot_clean_copy(vt, disk, object, page, digest, block)? {
+                    Some(data) => {
+                        self.repair_commit(vt, disk, object, page, &data)?;
+                        self.scrub_stats.repairs += 1;
+                    }
+                    None => {
+                        self.scrub_stats.unrepaired += 1;
+                        let epoch = self.objects[obj_idx].epoch;
+                        self.unrepaired.push(UnrepairedPage {
+                            object,
+                            page,
+                            block,
+                            digest,
+                            epoch,
+                        });
+                    }
+                }
+            }
+            self.scrub_cursor = if out_of_budget || full_chunk {
+                (obj_idx, next_page)
+            } else {
+                (obj_idx + 1, 0)
+            };
+        }
+        Ok(self.scrub_delta(before))
+    }
+
+    /// Cumulative scrub statistics across every [`ObjectStore::scrub`]
+    /// call (and peer repairs landed via [`ObjectStore::repair_page`]).
+    pub fn scrub_stats(&self) -> ScrubStats {
+        self.scrub_stats
+    }
+
+    /// Corrupt pages quarantined with no clean local source: replication
+    /// turns these into `RepairRequest` messages, and a verified peer
+    /// copy heals them through [`ObjectStore::repair_page`].
+    pub fn unrepaired_pages(&self) -> Vec<UnrepairedPage> {
+        self.unrepaired.clone()
+    }
+
+    /// Blocks quarantined after failing digest verification. They are
+    /// never recycled and never served again.
+    pub fn quarantined_blocks(&self) -> usize {
+        self.quarantined.len()
+    }
+
+    /// The component-wise difference of the cumulative stats since
+    /// `before` — what one `scrub` call reports.
+    fn scrub_delta(&self, before: ScrubStats) -> ScrubStats {
+        let now = self.scrub_stats;
+        ScrubStats {
+            pages_verified: now.pages_verified - before.pages_verified,
+            nodes_verified: now.nodes_verified - before.nodes_verified,
+            corruptions_found: now.corruptions_found - before.corruptions_found,
+            repairs: now.repairs - before.repairs,
+            unrepaired: now.unrepaired - before.unrepaired,
+            digests_backfilled: now.digests_backfilled - before.digests_backfilled,
+            io_spent: now.io_spent - before.io_spent,
+            passes: now.passes - before.passes,
+        }
+    }
+
+    /// Searches retained snapshots, newest first, for an *independent*
+    /// clean copy of `page` matching `digest`: a leaf entry whose block
+    /// differs from the corrupt one (COW sharing means "same block" is
+    /// the same rotted media, not redundancy) and whose bytes verify.
+    fn snapshot_clean_copy(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        object: ObjectId,
+        page: u64,
+        digest: u32,
+        bad_block: u64,
+    ) -> Result<Option<Vec<u8>>, StoreError> {
+        let mut buf = [0u8; BLOCK_SIZE];
+        for i in (0..self.snapshots.len()).rev() {
+            if self.snapshots[i].entry.object != object {
+                continue;
+            }
+            let entry = {
+                let snap = &mut self.snapshots[i];
+                match snap
+                    .tree
+                    .get_entry_or_load(page, &mut |b, out| disk.try_read_block(vt, b, out))
+                {
+                    Ok(e) => e,
+                    Err(TreeError::Io(e)) => return Err(e.into()),
+                    // This snapshot's own metadata rotted; try an older one.
+                    Err(TreeError::CorruptNode { .. }) => continue,
+                }
+            };
+            let Some((block, _)) = entry else { continue };
+            if block == bad_block || self.quarantined.contains(&block) {
+                continue;
+            }
+            self.scrub_stats.io_spent += 1;
+            disk.try_read_block(vt, block, &mut buf)?;
+            if layout::digest32(&buf) == digest {
+                return Ok(Some(buf.to_vec()));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Commits one clean page image at the object's *current* epoch
+    /// through the ordinary crash-atomic full-root path: the corrupt
+    /// block is superseded (and stays quarantined), the root record is
+    /// the single commit point, and its `flush_seq` makes recovery
+    /// prefer the repaired root over the pre-repair one at the same
+    /// epoch.
+    fn repair_commit(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        object: ObjectId,
+        page: u64,
+        data: &[u8],
+    ) -> Result<CommitToken, StoreError> {
+        let pages: [(u64, &[u8]); 1] = [(page, data)];
+        self.hydrate_object_paths(vt, disk, object, &pages)?;
+        vt.charge(
+            Category::FileSystem,
+            costs::INITIATE_BASE + costs::INITIATE_PER_PAGE,
+        );
+        let epoch = self.objects[object.0 as usize].epoch;
+        let token = self.full_commit(vt, disk, object, &pages, epoch)?;
+        self.stats.commits += 1;
+        self.stats.pages_written += 1;
+        Ok(token)
+    }
+
+    /// Heals `page` with a clean copy fetched from elsewhere — typically
+    /// a replication peer answering a `PageRepairRequest`: verifies
+    /// `data` against the page's expected digest, quarantines the rotted
+    /// block, and commits the clean bytes at the object's current epoch
+    /// through the ordinary crash-atomic commit path, never in place.
+    ///
+    /// Also the idempotent landing point for pages the scrubber reported
+    /// through [`ObjectStore::unrepaired_pages`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] for a missing object or an absent page,
+    /// [`StoreError::RepairMismatch`] when `data` does not hash to the
+    /// expected digest (a corrupt or stale peer copy is rejected, not
+    /// committed), plus the usual commit errors. On error the object is
+    /// unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly [`BLOCK_SIZE`] bytes.
+    pub fn repair_page(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        object: ObjectId,
+        page: u64,
+        data: &[u8],
+    ) -> Result<CommitToken, StoreError> {
+        assert_eq!(data.len(), BLOCK_SIZE, "repair data must be one page");
+        let state = self
+            .objects
+            .get_mut(object.0 as usize)
+            .ok_or(StoreError::NotFound)?;
+        let cache = &mut self.cache;
+        let stats = &mut self.stats;
+        let entry = state.tree.get_entry_or_load(page, &mut |b, buf| {
+            read_block_cached(vt, disk, cache, stats, b, buf, true)
+        })?;
+        let Some((block, digest)) = entry else {
+            return Err(StoreError::NotFound);
+        };
+        if digest != DIGEST_NONE && layout::digest32(data) != digest {
+            return Err(StoreError::RepairMismatch);
+        }
+        // Check the current media so repairing an already-clean page
+        // stays an ordinary (harmless) rewrite without quarantining.
+        let mut buf = [0u8; BLOCK_SIZE];
+        disk.try_read_block(vt, block, &mut buf)?;
+        let was_corrupt = digest != DIGEST_NONE && layout::digest32(&buf) != digest;
+        if was_corrupt {
+            self.cache.invalidate(block);
+            self.quarantined.insert(block);
+        }
+        let token = self.repair_commit(vt, disk, object, page, data)?;
+        self.unrepaired
+            .retain(|u| !(u.object == object && u.page == page));
+        if was_corrupt {
+            self.scrub_stats.repairs += 1;
+        }
+        Ok(token)
     }
 
     fn write_dir_entry(

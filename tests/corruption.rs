@@ -1,8 +1,12 @@
 //! Media-corruption robustness: checksummed commit records mean a
 //! corrupted root or delta slot degrades recovery to an earlier epoch
-//! instead of returning garbage.
+//! instead of returning garbage, and per-page digests mean rot that
+//! lands *after* commit is detected at read/scrub time, quarantined,
+//! and healed from a retained snapshot or a peer — never served.
 
-use msnap_disk::{Disk, DiskConfig, Fault, FaultPlan, ReadFaultPlan, BLOCK_SIZE};
+use msnap_disk::{
+    crash_at_every_io, Disk, DiskConfig, Fault, FaultPlan, ReadFaultPlan, BLOCK_SIZE,
+};
 use msnap_sim::Vt;
 use msnap_store::{ObjectStore, StoreError, DELTA_SLOTS};
 
@@ -103,9 +107,9 @@ fn corrupted_full_root_falls_back_to_previous_root() {
     let n = 2 * DELTA_SLOTS + 4;
     let (mut disk, _) = build(n);
 
-    // Find the newest full root by scanning for the root magic with the
-    // highest epoch.
-    const ROOT_MAGIC: u64 = 0x4d534e_41505253;
+    // Find the newest full root by scanning for the (v2) root magic with
+    // the highest epoch.
+    const ROOT_MAGIC: u64 = 0x4d534e_41505232;
     let mut best: Option<(u64, u64)> = None; // (epoch, block)
     for block in 0..4096u64 {
         if let Some(data) = disk.peek(block) {
@@ -223,9 +227,9 @@ fn bit_flipped_data_block_mid_chain_truncates_recovery_there() {
 
 #[test]
 fn corruption_in_a_data_block_does_not_break_recovery() {
-    // Data-block payload checksums are verified at *recovery* (delta
-    // replay); corruption that happens after the store is open surfaces
-    // as wrong bytes on read, but the recovery structure stays intact.
+    // Corruption that lands after the store is open surfaces as a typed
+    // CorruptData error at read time — never as wrong bytes — while the
+    // recovery structure stays intact and the bad block is quarantined.
     let n = 6;
     let (mut disk, _) = build(n);
     // Corrupt some block in the data region (past the metadata area).
@@ -233,7 +237,7 @@ fn corruption_in_a_data_block_does_not_break_recovery() {
     let mut store = ObjectStore::open(&mut vt, &mut disk).unwrap();
     let obj = store.lookup("o").unwrap();
     assert_eq!(store.epoch(obj), n);
-    // Find page 1's block via a read round trip before/after corruption.
+    // Find page 1's block via a read round trip before corrupting it.
     let mut before = page_of(0);
     store
         .read_page(&mut vt, &mut disk, obj, 1, &mut before)
@@ -247,12 +251,26 @@ fn corruption_in_a_data_block_does_not_break_recovery() {
     // The block cache is invalidated by store writes, not by external
     // mutation of the device; drop it so the next read hits raw IO.
     store.drop_cache();
-    let mut after = page_of(0);
-    store
+    let mut after = page_of(0xEE);
+    let err = store
         .read_page(&mut vt, &mut disk, obj, 1, &mut after)
-        .unwrap();
-    assert_ne!(before, after, "corruption is visible in data");
+        .unwrap_err();
+    assert!(
+        matches!(err, StoreError::CorruptData { page: 1, .. }),
+        "rot surfaces as CorruptData, got {err:?}"
+    );
+    assert!(
+        after.iter().all(|&b| b == 0),
+        "corrupt bytes are never handed to the caller"
+    );
+    assert_eq!(store.quarantined_blocks(), 1, "the bad block is fenced");
     assert_eq!(store.epoch(obj), n, "structure unaffected");
+    // Clean pages keep reading fine.
+    let mut buf = page_of(0);
+    store
+        .read_page(&mut vt, &mut disk, obj, 2, &mut buf)
+        .unwrap();
+    assert_eq!(buf[0], 2);
 }
 
 #[test]
@@ -307,5 +325,422 @@ fn read_fault_during_node_demand_load_is_retryable() {
     assert!(
         store.stats().hydrations > 0,
         "retry re-issued the demand-load the fault blocked"
+    );
+}
+
+#[test]
+fn bit_rot_injected_at_read_time_is_detected_and_quarantined() {
+    // Latent rot surfacing during a *normal* page read (no scrub
+    // involved): the in-flight BitRot fault rots the media just before
+    // the device serves it, and the digest check refuses the bytes.
+    let n = 6;
+    let (mut disk, _) = build(n);
+    let mut vt = Vt::new(1);
+    let mut store = ObjectStore::open(&mut vt, &mut disk).unwrap();
+    let obj = store.lookup("o").unwrap();
+    let mut buf = page_of(0);
+    store
+        .read_page(&mut vt, &mut disk, obj, 1, &mut buf)
+        .unwrap();
+    assert_eq!(buf[0], 1);
+    store.drop_cache();
+    // The tree is resident, so the next fallible device read is page 1's
+    // data block: rot one bit in flight.
+    disk.set_read_fault_plan(ReadFaultPlan::new().rot_at(disk.read_seq(), 100, 4));
+    let err = store
+        .read_page(&mut vt, &mut disk, obj, 1, &mut buf)
+        .unwrap_err();
+    assert!(
+        matches!(err, StoreError::CorruptData { page: 1, .. }),
+        "in-flight rot surfaces as CorruptData, got {err:?}"
+    );
+    assert!(buf.iter().all(|&b| b == 0), "rotted bytes never surface");
+    assert_eq!(store.quarantined_blocks(), 1);
+    // The rot landed on the media: the same read keeps refusing.
+    store.drop_cache();
+    let err = store
+        .read_page(&mut vt, &mut disk, obj, 1, &mut buf)
+        .unwrap_err();
+    assert!(matches!(err, StoreError::CorruptData { page: 1, .. }));
+}
+
+/// The live (newest) media copy of `content`: COW commits bump-allocate,
+/// so among identical images the highest block number is current.
+fn live_block_of(disk: &Disk, content: &[u8]) -> u64 {
+    let mut live = None;
+    for block in 0..16384u64 {
+        if disk.peek(block).is_some_and(|img| img == content) {
+            live = Some(block);
+        }
+    }
+    live.expect("a committed copy exists on media")
+}
+
+#[test]
+fn scrub_heals_rotted_page_from_a_retained_snapshot() {
+    // A page is committed, snapshotted, then committed again with the
+    // same bytes — two independent media copies with one digest. Rotting
+    // the live copy must be detected by scrub and healed byte-for-byte
+    // from the snapshot's copy, through a normal crash-atomic commit.
+    let mut disk = Disk::new(DiskConfig::paper());
+    let mut store = ObjectStore::format(&mut disk);
+    let mut vt = Vt::new(0);
+    let obj = store.create(&mut vt, &mut disk, "o").unwrap();
+    let p = page_of(0x5A);
+    let token = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
+    ObjectStore::wait(&mut vt, token);
+    store.snapshot_create(&mut vt, &mut disk, obj, "s").unwrap();
+    let token = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
+    ObjectStore::wait(&mut vt, token);
+    disk.settle();
+
+    disk.corrupt_bit(live_block_of(&disk, &p), 17, 6);
+    store.drop_cache();
+    let mut guard = 0;
+    while store.scrub_stats().passes == 0 {
+        store.scrub(&mut vt, &mut disk, 16).unwrap();
+        guard += 1;
+        assert!(guard < 1000, "scrub cursor must make progress");
+    }
+    let stats = store.scrub_stats();
+    assert_eq!(stats.corruptions_found, 1, "the rot is detected");
+    assert_eq!(stats.repairs, 1, "and healed from the snapshot");
+    assert_eq!(stats.unrepaired, 0);
+    assert_eq!(store.quarantined_blocks(), 1);
+    assert!(store.unrepaired_pages().is_empty());
+
+    // Byte-for-byte, both live and after a reopen.
+    let mut buf = page_of(0);
+    store
+        .read_page(&mut vt, &mut disk, obj, 0, &mut buf)
+        .unwrap();
+    assert_eq!(buf, p);
+    disk.settle();
+    let mut vt = Vt::new(1);
+    let mut store = ObjectStore::open(&mut vt, &mut disk).unwrap();
+    let obj = store.lookup("o").unwrap();
+    assert_eq!(store.epoch(obj), 2, "repair never moves the epoch");
+    store
+        .read_page(&mut vt, &mut disk, obj, 0, &mut buf)
+        .unwrap();
+    assert_eq!(buf, p, "the healed copy is durable");
+}
+
+#[test]
+fn unrepairable_rot_is_quarantined_reported_and_healable_by_peer_data() {
+    // No snapshot holds a second copy: scrub must quarantine, report the
+    // page via unrepaired_pages() (replication's repair-request feed),
+    // and keep refusing reads until repair_page lands a verified copy.
+    let mut disk = Disk::new(DiskConfig::paper());
+    let mut store = ObjectStore::format(&mut disk);
+    let mut vt = Vt::new(0);
+    let obj = store.create(&mut vt, &mut disk, "o").unwrap();
+    let p = page_of(0x7A);
+    let token = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
+    ObjectStore::wait(&mut vt, token);
+    disk.settle();
+
+    disk.corrupt_bit(live_block_of(&disk, &p), 9, 2);
+    store.drop_cache();
+    let mut guard = 0;
+    while store.scrub_stats().passes == 0 {
+        store.scrub(&mut vt, &mut disk, 16).unwrap();
+        guard += 1;
+        assert!(guard < 1000, "scrub cursor must make progress");
+    }
+    let stats = store.scrub_stats();
+    assert_eq!(stats.corruptions_found, 1);
+    assert_eq!(stats.repairs, 0, "no local source to heal from");
+    assert_eq!(stats.unrepaired, 1);
+    let reported = store.unrepaired_pages();
+    assert_eq!(reported.len(), 1);
+    assert_eq!(reported[0].page, 0);
+    assert_eq!(reported[0].object, obj);
+
+    // Still refused at read time.
+    let mut buf = page_of(0);
+    let err = store
+        .read_page(&mut vt, &mut disk, obj, 0, &mut buf)
+        .unwrap_err();
+    assert!(matches!(err, StoreError::CorruptData { page: 0, .. }));
+
+    // A peer copy with the wrong content is refused outright...
+    let bogus = page_of(0x7B);
+    let err = store
+        .repair_page(&mut vt, &mut disk, obj, 0, &bogus)
+        .unwrap_err();
+    assert!(
+        matches!(err, StoreError::RepairMismatch),
+        "unverified peer data must never land, got {err:?}"
+    );
+
+    // ...while the right bytes heal it through a normal commit.
+    let token = store.repair_page(&mut vt, &mut disk, obj, 0, &p).unwrap();
+    ObjectStore::wait(&mut vt, token);
+    store
+        .read_page(&mut vt, &mut disk, obj, 0, &mut buf)
+        .unwrap();
+    assert_eq!(buf, p, "peer repair restores the exact bytes");
+    assert!(store.unrepaired_pages().is_empty(), "the report is cleared");
+}
+
+#[test]
+fn scrub_interleaved_with_writes_reports_no_false_corruption() {
+    // An IO-budgeted scrub running between commits must never flag a
+    // freshly written page, and its cursor must keep making progress
+    // while the tree underneath it changes.
+    let mut disk = Disk::new(DiskConfig::paper());
+    let mut store = ObjectStore::format(&mut disk);
+    let mut vt = Vt::new(0);
+    let obj = store.create(&mut vt, &mut disk, "o").unwrap();
+    for round in 1..=64u64 {
+        let p = page_of(round as u8);
+        let token = store
+            .persist(&mut vt, &mut disk, obj, &[(round % 16, &p)])
+            .unwrap();
+        ObjectStore::wait(&mut vt, token);
+        store.scrub(&mut vt, &mut disk, 2).unwrap();
+    }
+    // Finish at least one full pass over the now-quiescent store.
+    let mut guard = 0;
+    while store.scrub_stats().passes == 0 {
+        store.scrub(&mut vt, &mut disk, 64).unwrap();
+        guard += 1;
+        assert!(guard < 1000, "scrub cursor must make progress");
+    }
+    let stats = store.scrub_stats();
+    assert!(stats.pages_verified > 0, "scrub actually verified data");
+    assert_eq!(stats.corruptions_found, 0, "no false positives");
+    assert_eq!(store.quarantined_blocks(), 0);
+    // And every page still reads back its last-written content.
+    for page in 0..16u64 {
+        let want = if page == 0 { 64 } else { 48 + page } as u8;
+        let mut buf = page_of(0);
+        store
+            .read_page(&mut vt, &mut disk, obj, page, &mut buf)
+            .unwrap();
+        assert_eq!(buf[0], want, "page {page}");
+    }
+}
+
+#[test]
+fn crash_at_every_io_during_repair_commit_is_atomic() {
+    // A repair lands through the normal crash-atomic commit path. Crash
+    // the device at every write boundary of the repair: recovery must
+    // find either the pre-repair state (the delta whose payload rotted is
+    // truncated, landing on the snapshot's clean copy) or the post-repair
+    // state — and in both the page reads back clean. Never a hybrid,
+    // never corrupt bytes.
+    let p = page_of(9);
+    let run = || {
+        let mut disk = Disk::new(DiskConfig::paper());
+        let mut store = ObjectStore::format(&mut disk);
+        let mut vt = Vt::new(0);
+        let obj = store.create(&mut vt, &mut disk, "o").unwrap();
+        let token = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
+        ObjectStore::wait(&mut vt, token);
+        store.snapshot_create(&mut vt, &mut disk, obj, "s").unwrap();
+        let token = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
+        ObjectStore::wait(&mut vt, token);
+        // The pre-repair state is durable; the sweep probes the repair.
+        disk.settle();
+        disk.corrupt_bit(live_block_of(&disk, &p), 3, 3);
+        store.drop_cache();
+        let mut guard = 0;
+        while store.scrub_stats().passes == 0 {
+            store.scrub(&mut vt, &mut disk, 64).unwrap();
+            guard += 1;
+            assert!(guard < 1000);
+        }
+        assert_eq!(store.scrub_stats().repairs, 1, "the sweep needs a repair");
+        disk
+    };
+    let points = crash_at_every_io(run, |mut disk, at| {
+        let mut vt = Vt::new(1);
+        let mut store = ObjectStore::open(&mut vt, &mut disk).unwrap();
+        let obj = store.lookup("o").unwrap();
+        let epoch = store.epoch(obj);
+        assert!(
+            epoch == 1 || epoch == 2,
+            "crash at {at:?}: epoch {epoch} is neither pre- nor post-repair"
+        );
+        let mut buf = page_of(0);
+        store
+            .read_page(&mut vt, &mut disk, obj, 0, &mut buf)
+            .unwrap();
+        assert_eq!(buf, p, "crash at {at:?}: recovered page must be clean");
+    });
+    assert!(points > 0, "the sweep exercised at least one boundary");
+}
+
+#[test]
+fn seeded_rot_sweep_is_fully_detected_and_healed() {
+    // The acceptance sweep: deterministically rot a seeded sample of
+    // live data blocks, then scrub. Every injected corruption must be
+    // detected; every page (all snapshot-covered here) must heal
+    // byte-for-byte; nothing may be served corrupt, live or after a
+    // reopen. CI runs this with the same fixed seed.
+    let mut disk = Disk::new(DiskConfig::paper());
+    let mut store = ObjectStore::format(&mut disk);
+    let mut vt = Vt::new(0);
+    let obj = store.create(&mut vt, &mut disk, "o").unwrap();
+    const PAGES: u64 = 8;
+    let pages: Vec<(u64, Vec<u8>)> = (0..PAGES).map(|p| (p, page_of(0x40 + p as u8))).collect();
+    let refs: Vec<(u64, &[u8])> = pages.iter().map(|(p, d)| (*p, &d[..])).collect();
+    let token = store.persist(&mut vt, &mut disk, obj, &refs).unwrap();
+    ObjectStore::wait(&mut vt, token);
+    store.snapshot_create(&mut vt, &mut disk, obj, "s").unwrap();
+    // Rewrite the same contents: a second, independent media copy of
+    // every page, with the snapshot pinning the first.
+    let token = store.persist(&mut vt, &mut disk, obj, &refs).unwrap();
+    ObjectStore::wait(&mut vt, token);
+    disk.settle();
+
+    let candidates: Vec<u64> = pages.iter().map(|(_, d)| live_block_of(&disk, d)).collect();
+    let rotted = disk.seeded_rot(0xC0FFEE, &candidates, 5);
+    assert_eq!(rotted.len(), 5, "the sweep injected all requested rot");
+
+    store.drop_cache();
+    let mut guard = 0;
+    while store.scrub_stats().passes == 0 {
+        store.scrub(&mut vt, &mut disk, 32).unwrap();
+        guard += 1;
+        assert!(guard < 1000, "scrub cursor must make progress");
+    }
+    let stats = store.scrub_stats();
+    assert_eq!(
+        stats.corruptions_found,
+        rotted.len() as u64,
+        "every injected corruption is detected"
+    );
+    assert_eq!(
+        stats.repairs,
+        rotted.len() as u64,
+        "every page heals from its snapshot copy"
+    );
+    assert_eq!(stats.unrepaired, 0);
+    assert_eq!(store.quarantined_blocks(), rotted.len());
+
+    for (page, want) in &pages {
+        let mut buf = page_of(0);
+        store
+            .read_page(&mut vt, &mut disk, obj, *page, &mut buf)
+            .unwrap();
+        assert_eq!(&buf, want, "page {page} healed byte-for-byte");
+    }
+    // The healed state survives a reopen.
+    disk.settle();
+    let mut vt = Vt::new(1);
+    let mut store = ObjectStore::open(&mut vt, &mut disk).unwrap();
+    let obj = store.lookup("o").unwrap();
+    for (page, want) in &pages {
+        let mut buf = page_of(0);
+        store
+            .read_page(&mut vt, &mut disk, obj, *page, &mut buf)
+            .unwrap();
+        assert_eq!(&buf, want, "page {page} clean after reopen");
+    }
+}
+
+#[test]
+fn v1_layout_store_opens_and_scrub_backfills_digests() {
+    // Forward compatibility: a hand-built pre-digest (v1) store — node
+    // images with zero digest halves, a v1 root record — must open and
+    // serve reads without verification, scrub must backfill real
+    // digests, and after the next full flush the store verifies end to
+    // end like a native v2 store.
+    let mut disk = Disk::new(DiskConfig::paper());
+    let mut store = ObjectStore::format(&mut disk);
+    let mut vt = Vt::new(0);
+    store.create(&mut vt, &mut disk, "o").unwrap();
+    drop(store);
+
+    // The object's meta_base, from the on-disk directory (first entry:
+    // present flag at 0, meta_base at bytes 9..17).
+    let dir = disk.peek(1).expect("directory block exists");
+    assert_eq!(dir[0], 1, "first directory entry present");
+    let meta_base = u64::from_le_bytes(dir[9..17].try_into().unwrap());
+
+    // One data block plus a three-level node path, all with v1 entry
+    // words: bare block numbers, no digest halves.
+    let base = meta_base + 64;
+    let (data_b, leaf_b, mid_b, root_b) = (base, base + 1, base + 2, base + 3);
+    let content = page_of(0xCD);
+    let mut leaf = [0u8; BLOCK_SIZE];
+    leaf[0..8].copy_from_slice(&data_b.to_le_bytes());
+    let mut mid = [0u8; BLOCK_SIZE];
+    mid[0..8].copy_from_slice(&leaf_b.to_le_bytes());
+    let mut root = [0u8; BLOCK_SIZE];
+    root[0..8].copy_from_slice(&mid_b.to_le_bytes());
+
+    // A v1 root record: epoch 1, checksum over bytes 0..48 stored at 48.
+    const V1_ROOT_MAGIC: u64 = 0x4d534e_41505253;
+    let mut rec = [0u8; BLOCK_SIZE];
+    let w = |buf: &mut [u8; BLOCK_SIZE], off: usize, v: u64| {
+        buf[off..off + 8].copy_from_slice(&v.to_le_bytes())
+    };
+    w(&mut rec, 0, V1_ROOT_MAGIC);
+    w(&mut rec, 8, 0); // ObjectId(0)
+    w(&mut rec, 16, 1); // epoch
+    w(&mut rec, 24, root_b);
+    w(&mut rec, 32, 1); // len_pages
+    w(&mut rec, 40, root_b + 1); // high_water
+    let sum = msnap_store::fnv1a(&rec[0..48]);
+    rec[48..56].copy_from_slice(&sum.to_le_bytes());
+
+    for (block, img) in [
+        (data_b, &content[..]),
+        (leaf_b, &leaf[..]),
+        (mid_b, &mid[..]),
+        (root_b, &root[..]),
+        (meta_base + 1, &rec[..]), // root slot for epoch 1
+    ] {
+        disk.write_block(&mut vt, block, img).unwrap();
+    }
+    disk.settle();
+
+    let mut vt = Vt::new(1);
+    let mut store = ObjectStore::open(&mut vt, &mut disk).unwrap();
+    let obj = store.lookup("o").unwrap();
+    assert_eq!(store.epoch(obj), 1);
+
+    // Scrub the whole store: pre-digest entries are backfilled, nothing
+    // is flagged.
+    let mut guard = 0;
+    while store.scrub_stats().passes == 0 {
+        store.scrub(&mut vt, &mut disk, 64).unwrap();
+        guard += 1;
+        assert!(guard < 1000);
+    }
+    let stats = store.scrub_stats();
+    assert!(stats.digests_backfilled > 0, "v1 entries were backfilled");
+    assert_eq!(stats.corruptions_found, 0);
+
+    let mut buf = page_of(0);
+    store
+        .read_page(&mut vt, &mut disk, obj, 0, &mut buf)
+        .unwrap();
+    assert_eq!(buf, content, "v1 data reads back unverified but intact");
+
+    // A full flush persists the backfilled digests (v2 root)...
+    store.snapshot_create(&mut vt, &mut disk, obj, "s").unwrap();
+    disk.settle();
+    let mut vt = Vt::new(2);
+    let mut store = ObjectStore::open(&mut vt, &mut disk).unwrap();
+    let obj = store.lookup("o").unwrap();
+    store
+        .read_page(&mut vt, &mut disk, obj, 0, &mut buf)
+        .unwrap();
+    assert_eq!(buf, content);
+
+    // ...so rot is now caught like in a native v2 store.
+    disk.corrupt_bit(live_block_of(&disk, &content), 7, 1);
+    store.drop_cache();
+    let err = store
+        .read_page(&mut vt, &mut disk, obj, 0, &mut buf)
+        .unwrap_err();
+    assert!(
+        matches!(err, StoreError::CorruptData { page: 0, .. }),
+        "the upgraded store verifies reads, got {err:?}"
     );
 }
