@@ -547,6 +547,17 @@ fn main() {
          \"scrub\": [\n    {scrub_json}\n  ]\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");
+    // Carry over the `shard_scaling` section (owned by the
+    // shard_scaling bench target) across this full rewrite.
+    let json = match std::fs::read_to_string(path).ok().and_then(|old| {
+        msnap_bench::json_section_span(&old, "shard_scaling").map(|(s, e)| old[s..e].to_string())
+    }) {
+        Some(section) => {
+            let value = section.split_once(':').unwrap().1.trim().to_string();
+            msnap_bench::splice_json_section(&json, "shard_scaling", &value)
+        }
+        None => json,
+    };
     std::fs::write(path, &json).expect("workspace root is writable");
     println!();
     println!(

@@ -4,7 +4,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use msnap_disk::Disk;
 use msnap_sim::{Category, Meters, Nanos, Vt, VthreadId};
-use msnap_store::{ObjectId as StoreObjId, ObjectStore, ScrubStats};
+use msnap_store::{ObjectId as StoreObjId, ObjectStore, ScrubStats, VectorCut};
 use msnap_vm::{AsId, DirtyPage, MemObjectId, ResetStrategy, TrackMode, Vm, PAGE_SIZE};
 
 use crate::manifest::{Manifest, ManifestEntry};
@@ -36,6 +36,10 @@ const DEFAULT_COALESCE_WINDOW: Nanos = Nanos::from_us(8);
 /// Default depth of the `MS_ASYNC` writeback pipeline (see
 /// [`MemSnap::set_async_pipeline_depth`]).
 const DEFAULT_PIPELINE_DEPTH: usize = 8;
+
+/// Coalescing lane for `RegionSel::All` group participants, whose dirty
+/// sets may span every shard.
+const ALL_LANE: u64 = u64::MAX;
 
 #[derive(Debug)]
 struct Region {
@@ -114,8 +118,12 @@ pub struct MemSnap {
     last_breakdown: PersistBreakdown,
     /// Group-commit coalescing window ([`MemSnap::set_coalesce_window`]).
     coalesce_window: Nanos,
-    /// The batch currently accepting participants, if any.
-    open_batch: Option<OpenBatch>,
+    /// The batches currently accepting participants, one per coalescing
+    /// lane. Single-region participants coalesce per *shard* of their
+    /// region's store object (commits to different shards share no store
+    /// state, so their windows must not serialize behind one leader);
+    /// `RegionSel::All` participants use their own lane ([`ALL_LANE`]).
+    open_batches: HashMap<u64, OpenBatch>,
     /// Flushed batches whose participants have not all polled yet.
     finished: HashMap<u64, FinishedBatch>,
     /// Next batch id.
@@ -138,8 +146,25 @@ impl std::fmt::Debug for MemSnap {
 
 impl MemSnap {
     /// Formats `disk` with an empty store and returns a fresh MemSnap.
-    pub fn format(mut disk: Disk) -> Self {
-        let mut store = ObjectStore::format(&mut disk);
+    pub fn format(disk: Disk) -> Self {
+        Self::format_with(disk, 1)
+    }
+
+    /// Formats `disk` with an empty store partitioned into `shard_count`
+    /// shards and returns a fresh MemSnap. With more than one shard,
+    /// commits against regions on different shards share no store state
+    /// on the hot path, and [`MemSnap::msnap_cut`] names cross-shard
+    /// consistency points. `shard_count == 1` is the legacy layout.
+    pub fn format_sharded(disk: Disk, shard_count: usize) -> Self {
+        Self::format_with(disk, shard_count)
+    }
+
+    fn format_with(mut disk: Disk, shard_count: usize) -> Self {
+        let mut store = if shard_count > 1 {
+            ObjectStore::format_sharded(&mut disk, shard_count)
+        } else {
+            ObjectStore::format(&mut disk)
+        };
         let mut vt = Vt::new(u32::MAX); // boot-time setup thread
         let manifest_obj = store
             .create(&mut vt, &mut disk, MANIFEST_NAME)
@@ -159,7 +184,7 @@ impl MemSnap {
             meters: Meters::new(),
             last_breakdown: PersistBreakdown::default(),
             coalesce_window: DEFAULT_COALESCE_WINDOW,
-            open_batch: None,
+            open_batches: HashMap::new(),
             finished: HashMap::new(),
             batch_seq: 0,
             pipeline: VecDeque::new(),
@@ -204,7 +229,7 @@ impl MemSnap {
             meters: Meters::new(),
             last_breakdown: PersistBreakdown::default(),
             coalesce_window: DEFAULT_COALESCE_WINDOW,
-            open_batch: None,
+            open_batches: HashMap::new(),
             finished: HashMap::new(),
             batch_seq: 0,
             pipeline: VecDeque::new(),
@@ -664,10 +689,11 @@ impl MemSnap {
         if let Some(e) = self.sticky_error(sel) {
             return Err(e);
         }
+        let lane = self.lane_of(sel)?;
         // A late arrival cannot join a window that has already closed:
-        // flush the stale batch first (this enqueuer pays for it).
-        if matches!(&self.open_batch, Some(b) if vt.now() >= b.submit_at) {
-            self.flush_open_batch(vt);
+        // flush the lane's stale batch first (this enqueuer pays for it).
+        if matches!(self.open_batches.get(&lane), Some(b) if vt.now() >= b.submit_at) {
+            self.flush_open_batch(vt, lane);
         }
 
         let filter = match sel {
@@ -720,7 +746,7 @@ impl MemSnap {
             copied,
             start: vt.now(),
         };
-        let ticket = match &mut self.open_batch {
+        let ticket = match self.open_batches.get_mut(&lane) {
             Some(b) => {
                 b.participants.push(participant);
                 CommitTicket {
@@ -731,11 +757,14 @@ impl MemSnap {
             None => {
                 let id = self.batch_seq;
                 self.batch_seq += 1;
-                self.open_batch = Some(OpenBatch {
-                    id,
-                    submit_at: vt.now() + self.coalesce_window,
-                    participants: vec![participant],
-                });
+                self.open_batches.insert(
+                    lane,
+                    OpenBatch {
+                        id,
+                        submit_at: vt.now() + self.coalesce_window,
+                        participants: vec![participant],
+                    },
+                );
                 CommitTicket {
                     batch: id,
                     participant: 0,
@@ -743,6 +772,21 @@ impl MemSnap {
             }
         };
         Ok(ticket)
+    }
+
+    /// The coalescing lane a selector's commits serialize on: the shard
+    /// of the region's store object, or [`ALL_LANE`] for `All`.
+    fn lane_of(&self, sel: RegionSel) -> Result<u64, MsnapError> {
+        match sel {
+            RegionSel::All => Ok(ALL_LANE),
+            RegionSel::Region(md) => {
+                let region = self
+                    .regions
+                    .get(md.0 as usize)
+                    .ok_or(MsnapError::BadDescriptor)?;
+                Ok(self.store.shard_of_id(region.store_obj) as u64)
+            }
+        }
     }
 
     /// Polls a group commit joined via [`MemSnap::msnap_persist_grouped`].
@@ -766,13 +810,21 @@ impl MemSnap {
         ticket: CommitTicket,
     ) -> Result<Option<Epoch>, MsnapError> {
         vt.charge(Category::Memsnap, SYSCALL_COST);
-        if matches!(&self.open_batch, Some(b) if b.id == ticket.batch) {
-            let submit_at = self.open_batch.as_ref().unwrap().submit_at;
-            if vt.now() < submit_at {
+        let open = self
+            .open_batches
+            .iter()
+            .find(|(_, b)| b.id == ticket.batch)
+            .map(|(&lane, b)| (lane, b.submit_at, b.participants.len()));
+        if let Some((lane, submit_at, participants)) = open {
+            // Solo fast path: a lone participant polling its own batch
+            // skips the group machinery — waiting out the window buys
+            // nothing (there is nobody to merge with) and coalescing at
+            // one thread only adds latency.
+            if participants > 1 && vt.now() < submit_at {
                 vt.wait_until(submit_at);
                 return Ok(None);
             }
-            self.flush_open_batch(vt);
+            self.flush_open_batch(vt, lane);
         }
         let fin = self
             .finished
@@ -805,9 +857,38 @@ impl MemSnap {
     /// collect their results via [`MemSnap::msnap_group_poll`].
     pub fn msnap_group_flush(&mut self, vt: &mut Vt) {
         vt.charge(Category::Memsnap, SYSCALL_COST);
-        if self.open_batch.is_some() {
-            self.flush_open_batch(vt);
+        let mut lanes: Vec<u64> = self.open_batches.keys().copied().collect();
+        lanes.sort_unstable();
+        for lane in lanes {
+            self.flush_open_batch(vt, lane);
         }
+    }
+
+    /// Stamps (and on a sharded device durably persists) a manifest-wide
+    /// epoch-vector cut — the two-phase fuzzy cut. **Drain:** every open
+    /// group-commit batch is flushed, so no in-flight ticket straddles
+    /// the cut. **Stamp:** the store records `[e_0..e_{N-1}]` per-shard
+    /// epochs, submitted no earlier than every commit's durability
+    /// instant. **Release:** subsequent enqueues open fresh batches. The
+    /// returned cut is what snapshots, delta streams, and replication
+    /// name and promote.
+    ///
+    /// # Errors
+    ///
+    /// [`MsnapError::Store`] if the cut record cannot be written.
+    pub fn msnap_cut(&mut self, vt: &mut Vt) -> Result<VectorCut, MsnapError> {
+        vt.charge(Category::Memsnap, SYSCALL_COST);
+        let mut lanes: Vec<u64> = self.open_batches.keys().copied().collect();
+        lanes.sort_unstable();
+        for lane in lanes {
+            self.flush_open_batch(vt, lane);
+        }
+        Ok(self.store.cut(vt, &mut self.disk)?)
+    }
+
+    /// The newest stamped epoch-vector cut, if any.
+    pub fn last_cut(&self) -> Option<&VectorCut> {
+        self.store.last_cut()
     }
 
     /// Drains completed pipeline entries and, if the pipeline is still
@@ -839,8 +920,11 @@ impl MemSnap {
     /// (the first poller past the window, or a late enqueuer) pays the
     /// initiation cost — group commit's "leader pays" rule.
     #[allow(clippy::type_complexity)]
-    fn flush_open_batch(&mut self, vt: &mut Vt) {
-        let mut batch = self.open_batch.take().expect("caller checked open_batch");
+    fn flush_open_batch(&mut self, vt: &mut Vt, lane: u64) {
+        let mut batch = self
+            .open_batches
+            .remove(&lane)
+            .expect("caller checked the lane's open batch");
 
         // Merge the participants' copied pages per region; a later
         // enqueuer's image of the same page wins (it was copied later).
@@ -1318,6 +1402,7 @@ impl MemSnap {
                     pages: r.pages,
                 })
                 .collect(),
+            shard_count: self.store.shard_count(),
         };
         let pages = manifest.encode_pages();
         let iov: Vec<(u64, &[u8])> = pages
@@ -1840,6 +1925,116 @@ mod tests {
             3,
             "format + open manifests, then the commit itself"
         );
+    }
+
+    #[test]
+    fn solo_poll_flushes_without_waiting_out_the_window() {
+        let (mut ms, mut vt, space) = fresh();
+        let t = vt.id();
+        let r = ms.msnap_open(&mut vt, space, "data", 16).unwrap();
+        ms.write(&mut vt, space, t, r.addr, &[5; 16]).unwrap();
+        // A huge window makes the discrimination unambiguous: the old
+        // behavior would park the poll until `submit_at`, so finishing
+        // well before `before + window` proves the window was skipped.
+        ms.set_coalesce_window(Nanos::from_us(50_000));
+        let before = vt.now();
+        let ticket = ms
+            .msnap_persist_grouped(&mut vt, t, RegionSel::Region(r.md), PersistFlags::async_())
+            .unwrap();
+        // The fast path flushes on the *first* poll: no `None` round, no
+        // window wait for a participant with nobody to merge with.
+        let epoch = ms.msnap_group_poll(&mut vt, ticket).unwrap();
+        assert_eq!(epoch, Some(1));
+        assert!(
+            vt.now() - before < Nanos::from_us(50_000),
+            "solo poll must not wait out the coalescing window"
+        );
+    }
+
+    #[test]
+    fn sharded_format_cut_restore_round_trip() {
+        let mut ms = MemSnap::format_sharded(Disk::new(DiskConfig::paper()), 4);
+        let mut vt = Vt::new(0);
+        let space = ms.vm_mut().create_space();
+        let t = vt.id();
+        assert_eq!(ms.store().shard_count(), 4);
+        let a = ms.msnap_open(&mut vt, space, "alpha", 8).unwrap();
+        let b = ms.msnap_open(&mut vt, space, "beta", 8).unwrap();
+        ms.write(&mut vt, space, t, a.addr, &[1; 64]).unwrap();
+        ms.write(&mut vt, space, t, b.addr, &[2; 64]).unwrap();
+        ms.msnap_persist(&mut vt, t, RegionSel::Region(a.md), PersistFlags::sync())
+            .unwrap();
+        ms.msnap_persist(&mut vt, t, RegionSel::Region(b.md), PersistFlags::sync())
+            .unwrap();
+        let cut = ms.msnap_cut(&mut vt).unwrap();
+        assert!(cut.complete_under(&ms.store().epoch_vector()));
+        assert!(cut.epochs.iter().sum::<u64>() >= 2, "cut counts commits");
+
+        let disk = ms.crash(vt.now());
+        let mut ms = MemSnap::restore(&mut vt, disk).unwrap();
+        assert_eq!(ms.store().shard_count(), 4);
+        let recovered = ms.last_cut().cloned().expect("cut survives the crash");
+        assert_eq!(recovered, cut);
+        assert!(recovered.complete_under(&ms.store().epoch_vector()));
+        // Region data is intact behind the cut (restore builds a fresh Vm,
+        // so the space must be recreated).
+        let space = ms.vm_mut().create_space();
+        let a = ms.msnap_open(&mut vt, space, "alpha", 8).unwrap();
+        let mut buf = [0u8; 64];
+        ms.read(&mut vt, space, a.addr, &mut buf).unwrap();
+        assert_eq!(buf, [1; 64]);
+    }
+
+    #[test]
+    fn grouped_commits_coalesce_per_shard_lane() {
+        let mut ms = MemSnap::format_sharded(Disk::new(DiskConfig::paper()), 4);
+        let mut vt = Vt::new(0);
+        let space = ms.vm_mut().create_space();
+        let t = vt.id();
+        ms.set_coalesce_window(Nanos::from_us(8));
+        // Find two region names on the same shard and one on a different
+        // shard (the map is a stable hash of the name, so probe names).
+        let names: Vec<String> = (0..32).map(|i| format!("region-{i}")).collect();
+        let s0 = ms.store().shard_of(&names[0]);
+        let same = names[1..]
+            .iter()
+            .find(|n| ms.store().shard_of(n) == s0)
+            .expect("32 names must collide on 4 shards")
+            .clone();
+        let other = names[1..]
+            .iter()
+            .find(|n| ms.store().shard_of(n) != s0)
+            .expect("32 names must spread over 4 shards")
+            .clone();
+        let ra = ms.msnap_open(&mut vt, space, &names[0], 4).unwrap();
+        let rb = ms.msnap_open(&mut vt, space, &same, 4).unwrap();
+        let rc = ms.msnap_open(&mut vt, space, &other, 4).unwrap();
+        for r in [&ra, &rb, &rc] {
+            ms.write(&mut vt, space, t, r.addr, &[9; 16]).unwrap();
+        }
+        let ta = ms
+            .msnap_persist_grouped(&mut vt, t, RegionSel::Region(ra.md), PersistFlags::sync())
+            .unwrap();
+        let tb = ms
+            .msnap_persist_grouped(&mut vt, t, RegionSel::Region(rb.md), PersistFlags::sync())
+            .unwrap();
+        let tc = ms
+            .msnap_persist_grouped(&mut vt, t, RegionSel::Region(rc.md), PersistFlags::sync())
+            .unwrap();
+        // Same-shard regions share a batch (and hence a ticket's batch
+        // id); the other shard's lane opened its own batch.
+        assert_eq!(ta.batch, tb.batch, "same shard, same coalescing lane");
+        assert_ne!(ta.batch, tc.batch, "different shard, different lane");
+        for ticket in [ta, tb, tc] {
+            let mut epoch = ms.msnap_group_poll(&mut vt, ticket).unwrap();
+            while epoch.is_none() {
+                epoch = ms.msnap_group_poll(&mut vt, ticket).unwrap();
+            }
+            assert_eq!(epoch, Some(1));
+        }
+        // The same-shard pair coalesced into one batched submission.
+        assert_eq!(ms.store().stats().batch_commits, 1);
+        assert_eq!(ms.store().stats().batched_objects, 2);
     }
 
     #[test]

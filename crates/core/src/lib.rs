@@ -75,3 +75,7 @@ pub use msnap_store::Epoch;
 /// Per-slice integrity scrub report (see [`MemSnap::msnap_scrub`]),
 /// re-exported from the store.
 pub use msnap_store::ScrubStats;
+
+/// Re-exported so callers can name and compare epoch-vector cuts
+/// ([`MemSnap::msnap_cut`]).
+pub use msnap_store::VectorCut;

@@ -13,15 +13,33 @@ pub(crate) struct ManifestEntry {
 }
 
 /// The manifest: serialized as a length-prefixed text table, one region
-/// per line (`name addr pages`), padded to whole pages.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// per line (`name addr pages`), padded to whole pages. A sharded store
+/// additionally records its shard map as a `@shards N` directive line —
+/// two tokens, so pre-shard decoders skip it silently, and a manifest
+/// without the directive decodes as `shard_count = 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct Manifest {
     pub entries: Vec<ManifestEntry>,
+    /// Shard count of the store that wrote this manifest (the shard map
+    /// is `fnv1a(name) % shard_count`, so the count is the whole map).
+    pub shard_count: usize,
+}
+
+impl Default for Manifest {
+    fn default() -> Self {
+        Manifest {
+            entries: Vec::new(),
+            shard_count: 1,
+        }
+    }
 }
 
 impl Manifest {
     pub fn encode_pages(&self) -> Vec<[u8; PAGE_SIZE]> {
         let mut body = String::new();
+        if self.shard_count > 1 {
+            body.push_str(&format!("@shards {}\n", self.shard_count));
+        }
         for e in &self.entries {
             body.push_str(&format!("{} {:#x} {}\n", e.name, e.addr, e.pages));
         }
@@ -59,7 +77,17 @@ impl Manifest {
         }
         let body = String::from_utf8_lossy(&framed);
         let mut entries = Vec::new();
+        let mut shard_count = 1;
         for line in body.lines() {
+            let mut parts = line.split_whitespace();
+            if let Some("@shards") = parts.next() {
+                shard_count = parts
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or(1);
+                continue;
+            }
             let mut parts = line.split_whitespace();
             let (Some(name), Some(addr), Some(pages)) = (parts.next(), parts.next(), parts.next())
             else {
@@ -73,7 +101,10 @@ impl Manifest {
                 pages,
             });
         }
-        Manifest { entries }
+        Manifest {
+            entries,
+            shard_count,
+        }
     }
 }
 
@@ -109,8 +140,30 @@ mod tests {
                     pages: 64,
                 },
             ],
+            shard_count: 1,
         };
         assert_eq!(round_trip(&m), m);
+    }
+
+    #[test]
+    fn shard_directive_round_trips_and_old_decoders_skip_it() {
+        let m = Manifest {
+            entries: vec![ManifestEntry {
+                name: "t".into(),
+                addr: 0x7800_0000_0000,
+                pages: 4,
+            }],
+            shard_count: 8,
+        };
+        let decoded = round_trip(&m);
+        assert_eq!(decoded, m);
+        // The directive is a two-token line, which the entry parser
+        // (what a pre-shard decoder runs) cannot mistake for a region.
+        assert_eq!(decoded.entries.len(), 1);
+        // A garbled count degrades to single-shard, never panics.
+        let mut garbled = m.clone();
+        garbled.shard_count = 1;
+        assert_eq!(garbled.encode_pages().len(), 1);
     }
 
     #[test]
@@ -122,7 +175,10 @@ mod tests {
                 pages: i + 1,
             })
             .collect();
-        let m = Manifest { entries };
+        let m = Manifest {
+            entries,
+            shard_count: 1,
+        };
         assert!(m.encode_pages().len() > 1);
         assert_eq!(round_trip(&m), m);
     }

@@ -36,7 +36,15 @@ impl MemSnapBackend {
 
     /// Creates a fresh database region with an explicit page capacity.
     pub fn format_with_capacity(disk: Disk, name: &str, pages: u64, vt: &mut Vt) -> Self {
-        let mut ms = MemSnap::format(disk);
+        Self::format_sharded(disk, name, pages, 1, vt)
+    }
+
+    /// Creates a fresh database region on a store partitioned into
+    /// `shards` commit shards (see `MemSnap::format_sharded`) — the knob
+    /// for multi-database deployments where concurrent commits should
+    /// not serialize on one allocator and coalescer.
+    pub fn format_sharded(disk: Disk, name: &str, pages: u64, shards: usize, vt: &mut Vt) -> Self {
+        let mut ms = MemSnap::format_sharded(disk, shards);
         let space = ms.vm_mut().create_space();
         let region = ms
             .msnap_open(vt, space, name, pages)

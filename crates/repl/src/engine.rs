@@ -9,7 +9,7 @@ use memsnap::{MemSnap, MsnapError};
 use msnap_disk::{Disk, DiskConfig, BLOCK_SIZE};
 use msnap_sim::{Meters, Nanos, NetConfig, SimLink, Vt};
 use msnap_snap::{ApplySession, DeltaStream, SnapError};
-use msnap_store::{digest32, Epoch, ObjectStore, ScrubStats, StoreError};
+use msnap_store::{digest32, fnv1a, Epoch, ObjectStore, ScrubStats, StoreError, VectorCut};
 
 use crate::proto::{Msg, ObjectStatus};
 
@@ -158,6 +158,12 @@ pub struct LinkMetrics {
     /// Verified peer pages the *primary* landed through the repair path
     /// (replica-side heals surface in its store's `ScrubStats` instead).
     pub repairs_healed: u64,
+    /// `CutAnnounce` datagrams sent down this link (re-sent each
+    /// retransmit window until superseded, so lossy links still hear).
+    pub cut_announces: u64,
+    /// Times the replica adopted a newer complete vector cut — the only
+    /// states failover may promote it at.
+    pub cuts_completed: u64,
 }
 
 /// What one [`ReplEngine::tick`] did.
@@ -196,6 +202,11 @@ pub struct Promotion {
     pub epochs: BTreeMap<String, Epoch>,
     /// The surviving replicas' devices, for re-attachment.
     pub survivors: Vec<(String, Disk)>,
+    /// The newest announced epoch-vector cut the promoted replica had
+    /// fully reached — the manifest-wide consistent state it stands at
+    /// (or past; fencing only raises epochs). `None` when the primary
+    /// never stamped a cut (single-shard stores).
+    pub cut: Option<VectorCut>,
 }
 
 /// One replica "machine": its own virtual clock, device, object store,
@@ -217,6 +228,11 @@ pub struct ReplicaNode {
     /// Last instant a `RepairRequest` for (object, page) went up the
     /// link, bounding re-request traffic for the node's own rot.
     repair_sent: BTreeMap<(String, u64), Nanos>,
+    /// Announced cuts not yet complete here, keyed by sequence number.
+    announced: BTreeMap<u64, VectorCut>,
+    /// The newest announced cut every component of which this replica
+    /// has reached — the only states failover may promote it at.
+    cut: Option<VectorCut>,
     bootstrapped: bool,
 }
 
@@ -255,6 +271,8 @@ impl ReplicaNode {
             completed: BTreeMap::new(),
             applied: BTreeMap::new(),
             repair_sent: BTreeMap::new(),
+            announced: BTreeMap::new(),
+            cut: None,
             bootstrapped,
         }
     }
@@ -322,6 +340,47 @@ impl ReplicaNode {
     /// plans).
     pub fn disk_mut(&mut self) -> &mut Disk {
         &mut self.disk
+    }
+
+    /// The newest announced epoch-vector cut this replica has fully
+    /// reached (every per-shard epoch component landed), or `None` when
+    /// no announced cut is complete here yet.
+    pub fn cut(&self) -> Option<&VectorCut> {
+        self.cut.as_ref()
+    }
+
+    /// Per-shard epoch sums under the primary's shard map
+    /// (`fnv1a(name) % n`), computed from the replica's own committed
+    /// epochs — the replica need not be physically sharded itself to
+    /// judge a vector cut.
+    fn shard_sums(&self, n: usize) -> Vec<Epoch> {
+        let mut sums = vec![0; n];
+        for name in self.store.object_names() {
+            if let Some(id) = self.store.lookup(&name) {
+                sums[(fnv1a(name.as_bytes()) % n as u64) as usize] += self.store.epoch(id);
+            }
+        }
+        sums
+    }
+
+    /// Re-evaluates announced cuts against the replica's current epochs,
+    /// adopting the newest complete one and pruning everything at or
+    /// below it.
+    fn refresh_cut(&mut self) {
+        let best = self
+            .announced
+            .iter()
+            .rev()
+            .find(|(_, c)| {
+                !c.epochs.is_empty() && c.complete_under(&self.shard_sums(c.epochs.len()))
+            })
+            .map(|(&seq, c)| (seq, c.clone()));
+        if let Some((seq, cut)) = best {
+            if self.cut.as_ref().is_none_or(|c| c.seq < seq) {
+                self.cut = Some(cut);
+            }
+            self.announced.retain(|&s, _| s > seq);
+        }
     }
 
     /// The store-directory name an [`msnap_store::ObjectId`] maps to.
@@ -513,6 +572,8 @@ impl ReplicaNode {
                         self.bootstrapped = true;
                         self.state = ReplicaState::Streaming;
                         self.retain_applied(&object, token.epoch, cfg.keep_applied);
+                        // The landed epoch may complete an announced cut.
+                        self.refresh_cut();
                         self.completed.insert(ship, (object.clone(), token.epoch));
                         while self.completed.len() > COMPLETED_KEEP {
                             self.completed.pop_first();
@@ -576,6 +637,18 @@ impl ReplicaNode {
                         .repair_page(&mut self.vt, &mut self.disk, id, page, &data)
                 {
                     ObjectStore::wait(&mut self.vt, token);
+                }
+                Vec::new()
+            }
+            Msg::CutAnnounce { seq, epochs } => {
+                // Idempotent and unordered: stale or duplicate announces
+                // (at or below the adopted cut) are dropped by seq.
+                if !epochs.is_empty() && self.cut.as_ref().is_none_or(|c| c.seq < seq) {
+                    self.announced.insert(seq, VectorCut { seq, epochs });
+                    while self.announced.len() > COMPLETED_KEEP {
+                        self.announced.pop_first();
+                    }
+                    self.refresh_cut();
                 }
                 Vec::new()
             }
@@ -645,6 +718,9 @@ struct Link {
     /// Last instant a `RepairRequest` for (object, page) went down this
     /// link, bounding re-request traffic for the primary's own rot.
     repair_sent: BTreeMap<(String, u64), Nanos>,
+    /// Newest cut announced down this link and when — re-sent each
+    /// retransmit window (the announce itself may be lost).
+    last_cut_sent: Option<(u64, Nanos)>,
     meters: Meters,
     metrics: LinkMetrics,
 }
@@ -750,6 +826,7 @@ impl ReplEngine {
             last_hello: node_now,
             pending_repairs: Vec::new(),
             repair_sent: BTreeMap::new(),
+            last_cut_sent: None,
             meters: Meters::new(),
             metrics: LinkMetrics::default(),
         });
@@ -833,6 +910,7 @@ impl ReplEngine {
         self.fence_divergent(vt, ms, &mut report)?;
         self.repair(vt, ms);
         self.ship(vt, ms, &mut report)?;
+        self.announce_cuts(vt, ms);
         self.retransmit(vt);
         self.gc_snapshots(vt, ms);
         self.pump();
@@ -850,6 +928,7 @@ impl ReplEngine {
             let Some(node) = link.node.as_mut() else {
                 continue;
             };
+            let cut_before = node.cut.as_ref().map(|c| c.seq);
             while let Some((at, payload)) = link.down.poll(horizon) {
                 node.vt.wait_until(at);
                 match Msg::decode(&payload) {
@@ -860,6 +939,9 @@ impl ReplEngine {
                     }
                     Err(_) => link.metrics.malformed += 1,
                 }
+            }
+            if node.cut.as_ref().map(|c| c.seq) != cut_before {
+                link.metrics.cuts_completed += 1;
             }
             // Replica-initiated repair: pages the replica's scrub
             // quarantined without a clean local source are requested
@@ -1267,6 +1349,41 @@ impl ReplEngine {
             })
     }
 
+    /// Announces the primary's newest durable epoch-vector cut down
+    /// every known link, re-sending each retransmit window until a newer
+    /// cut supersedes it (the datagram may be lost; duplicates are
+    /// dropped by the replica by sequence number). Replicas complete a
+    /// cut once every component epoch has landed, and failover promotes
+    /// only at such cuts.
+    fn announce_cuts(&mut self, vt: &mut Vt, ms: &MemSnap) {
+        let Some(cut) = ms.last_cut() else {
+            return;
+        };
+        let now = vt.now();
+        let timeout = self.cfg.retransmit_timeout;
+        for link in &mut self.links {
+            if !link.known {
+                continue;
+            }
+            let due = link
+                .last_cut_sent
+                .is_none_or(|(seq, at)| seq != cut.seq || now.saturating_sub(at) >= timeout);
+            if !due {
+                continue;
+            }
+            link.last_cut_sent = Some((cut.seq, now));
+            link.metrics.cut_announces += 1;
+            link.down.send(
+                now,
+                Msg::CutAnnounce {
+                    seq: cut.seq,
+                    epochs: cut.epochs.clone(),
+                }
+                .encode(),
+            );
+        }
+    }
+
     fn retransmit(&mut self, vt: &mut Vt) {
         let now = vt.now();
         for link in &mut self.links {
@@ -1468,6 +1585,11 @@ impl ReplEngine {
         };
         node.sessions.clear();
         node.state = ReplicaState::Promoted;
+        // Promotion happens at (or past) the newest complete vector cut:
+        // re-evaluate now that every in-flight datagram has landed.
+        // Fencing below only raises epochs, so the cut stays complete.
+        node.refresh_cut();
+        let cut = node.cut.clone();
         let mut epochs = BTreeMap::new();
         for object in node.store.object_names() {
             let Some(id) = node.store.lookup(&object) else {
@@ -1491,6 +1613,7 @@ impl ReplEngine {
             vt: node.vt,
             epochs,
             survivors,
+            cut,
         })
     }
 }
@@ -1680,6 +1803,42 @@ mod tests {
             ms2.object_epoch(&object).unwrap()
         );
         assert_replica_page(&mut eng2, "old", &object, 0, 9);
+    }
+
+    #[test]
+    fn sharded_primary_announces_cuts_and_replica_completes_them() {
+        let mut ms = MemSnap::format_sharded(Disk::new(DiskConfig::paper()), 4);
+        let mut vt = Vt::new(0);
+        let space = ms.vm_mut().create_space();
+        let a = ms.msnap_open(&mut vt, space, "alpha", 4).unwrap();
+        let b = ms.msnap_open(&mut vt, space, "beta", 4).unwrap();
+        let mut eng = ReplEngine::new(ReplConfig::default());
+        eng.add_replica("r1", NetConfig::calm(29)).unwrap();
+        let t = vt.id();
+        for fill in 1..=2u8 {
+            for r in [&a, &b] {
+                ms.write(&mut vt, space, t, r.addr, &[fill; PAGE_SIZE])
+                    .unwrap();
+                ms.msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+                    .unwrap();
+            }
+            let cut = ms.msnap_cut(&mut vt).unwrap();
+            assert_eq!(cut.epochs.len(), 4);
+            assert!(eng.settle(&mut vt, &mut ms, Nanos::from_secs(5)).unwrap());
+        }
+        let adopted = eng
+            .replica("r1")
+            .unwrap()
+            .cut()
+            .cloned()
+            .expect("replica completes the announced cut");
+        assert_eq!(&adopted, ms.last_cut().unwrap());
+        let m = *eng.link_metrics("r1").unwrap();
+        assert!(m.cut_announces >= 1, "{m:?}");
+        assert!(m.cuts_completed >= 1, "{m:?}");
+        // Failover hands back the cut the promoted replica stands at.
+        let promo = eng.promote("r1").unwrap();
+        assert_eq!(promo.cut, Some(adopted));
     }
 
     #[test]

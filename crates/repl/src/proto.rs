@@ -33,6 +33,7 @@ const TAG_ACK: u64 = 5;
 const TAG_NAK: u64 = 6;
 const TAG_REPAIR_REQUEST: u64 = 7;
 const TAG_REPAIR_RESPONSE: u64 = 8;
+const TAG_CUT_ANNOUNCE: u64 = 9;
 
 /// Longest object name accepted off the wire (matches the store's
 /// directory limit with slack); longer claims are malformed.
@@ -41,6 +42,8 @@ const MAX_NAME: usize = 256;
 const MAX_OBJECTS: usize = 4096;
 /// Most retained epochs one `Hello` entry may list.
 const MAX_RETAINED: usize = 4096;
+/// Most per-shard epochs one `CutAnnounce` may carry.
+const MAX_CUT_EPOCHS: usize = 4096;
 
 /// One object's durable state as a replica reports it: the committed
 /// epoch plus every epoch the replica retains as a pinned snapshot (the
@@ -117,6 +120,17 @@ pub enum Msg {
         /// The requester's committed epoch for the object, for the
         /// responder to skip requests from a diverged peer.
         epoch: Epoch,
+    },
+    /// Primary → replica: the primary's newest durable epoch-vector cut
+    /// (one epoch sum per shard). A replica records the newest cut whose
+    /// every component it has reached; failover promotes only at such a
+    /// cut, never at a state some shard has not caught up to. Idempotent
+    /// and unordered: a stale announce is ignored by sequence number.
+    CutAnnounce {
+        /// Cut sequence number (monotone on the primary).
+        seq: u64,
+        /// Per-shard epoch sums at the cut.
+        epochs: Vec<Epoch>,
     },
     /// Either direction: a clean page answering a `RepairRequest`. The
     /// receiver re-verifies `data` against its own expected digest
@@ -218,6 +232,14 @@ impl Msg {
                 push_u64(&mut out, *page);
                 push_u64(&mut out, *page_digest as u64);
                 push_u64(&mut out, *epoch);
+            }
+            Msg::CutAnnounce { seq, epochs } => {
+                push_u64(&mut out, TAG_CUT_ANNOUNCE);
+                push_u64(&mut out, *seq);
+                push_u64(&mut out, epochs.len() as u64);
+                for &e in epochs {
+                    push_u64(&mut out, e);
+                }
             }
             Msg::RepairResponse {
                 object,
@@ -321,6 +343,18 @@ impl Msg {
                     epoch,
                 })
             }
+            TAG_CUT_ANNOUNCE => {
+                let seq = read_u64(buf, &mut off)?;
+                let n = read_u64(buf, &mut off)? as usize;
+                if n > MAX_CUT_EPOCHS {
+                    return Err(SnapError::Malformed);
+                }
+                let mut epochs = Vec::with_capacity(n.min(buf.len() / 8 + 1));
+                for _ in 0..n {
+                    epochs.push(read_u64(buf, &mut off)?);
+                }
+                Ok(Msg::CutAnnounce { seq, epochs })
+            }
             TAG_REPAIR_RESPONSE => {
                 let object = read_name(buf, &mut off)?;
                 let page = read_u64(buf, &mut off)?;
@@ -389,6 +423,10 @@ mod tests {
                 page_digest: 0xAB12_CD34,
                 epoch: 9,
             },
+            Msg::CutAnnounce {
+                seq: 12,
+                epochs: vec![4, 0, 9, 2],
+            },
             Msg::RepairResponse {
                 object: "db".into(),
                 page: 77,
@@ -439,6 +477,21 @@ mod tests {
         push_u64(&mut lying, TAG_HELLO);
         push_u64(&mut lying, u64::MAX);
         assert!(Msg::decode(&lying).is_err());
+        // Likewise a CutAnnounce claiming an absurd epoch count, or one
+        // truncated mid-vector.
+        let mut lying = Vec::new();
+        push_u64(&mut lying, TAG_CUT_ANNOUNCE);
+        push_u64(&mut lying, 1); // seq
+        push_u64(&mut lying, u64::MAX);
+        assert!(Msg::decode(&lying).is_err());
+        let cut = Msg::CutAnnounce {
+            seq: 3,
+            epochs: vec![1, 2, 3],
+        }
+        .encode();
+        for len in 0..cut.len() {
+            assert!(Msg::decode(&cut[..len]).is_err());
+        }
         let ok = Msg::Ack {
             ship: 1,
             object: "x".into(),

@@ -28,7 +28,14 @@ pub struct MemSnapKv {
 impl MemSnapKv {
     /// Creates a fresh store with room for `capacity_pages` nodes.
     pub fn format(disk: Disk, capacity_pages: u64, vt: &mut Vt) -> Self {
-        let mut ms = MemSnap::format(disk);
+        Self::format_sharded(disk, capacity_pages, 1, vt)
+    }
+
+    /// Creates a fresh store over `shards` commit shards (see
+    /// `MemSnap::format_sharded`) — the knob for deployments persisting
+    /// several regions concurrently.
+    pub fn format_sharded(disk: Disk, capacity_pages: u64, shards: usize, vt: &mut Vt) -> Self {
+        let mut ms = MemSnap::format_sharded(disk, shards);
         let space = ms.vm_mut().create_space();
         let region = ms
             .msnap_open(vt, space, "memtable", capacity_pages)

@@ -54,7 +54,9 @@ use std::fmt;
 
 use msnap_disk::{Disk, BLOCK_SIZE};
 use msnap_sim::Vt;
-use msnap_store::{fnv1a, fnv1a_extend, CommitToken, Epoch, ObjectId, ObjectStore, StoreError};
+use msnap_store::{
+    fnv1a, fnv1a_extend, CommitToken, Epoch, ObjectId, ObjectStore, StoreError, VectorCut,
+};
 
 /// Magic number opening a delta-stream header.
 const STREAM_MAGIC: u64 = 0x4d534e_41504453; // "MSN APDS"
@@ -63,8 +65,11 @@ const FRAME_MAGIC: u64 = 0x4d534e_41504446; // "MSN APDF"
 /// Magic number opening the stream trailer.
 const TRAILER_MAGIC: u64 = 0x4d534e_41504454 ^ 0xFF; // distinct from records
 
-/// Encoded header size before the object-name bytes.
-const HEADER_FIXED: usize = 64;
+/// Encoded header size before the object-name and cut-epoch bytes.
+const HEADER_FIXED: usize = 80;
+/// Streams refuse to name a cut wider than the store's shard ceiling —
+/// an attacker-controlled epoch count must not drive an allocation.
+const MAX_CUT_EPOCHS: u64 = msnap_store::MAX_SHARDS as u64;
 /// Encoded size of one page frame.
 const FRAME_LEN: usize = 32 + BLOCK_SIZE;
 /// Encoded trailer size.
@@ -158,6 +163,11 @@ pub struct StreamHeader {
     pub len_pages: u64,
     /// Number of page frames in the stream.
     pub frame_count: u64,
+    /// The primary's newest durable epoch-vector cut at build time, when
+    /// the primary is sharded and has stamped one. Replication uses it to
+    /// promote replicas only at manifest-wide consistent cuts; a
+    /// single-shard stream carries `None` and decodes unchanged.
+    pub cut: Option<VectorCut>,
 }
 
 /// One shipped page: its index, its 4 KiB image, and a checksum binding
@@ -190,13 +200,17 @@ fn write_u64(buf: &mut [u8], off: usize, v: u64) {
 }
 
 impl StreamHeader {
-    /// Wire size of this header: the fixed part plus the object name.
+    /// Wire size of this header: the fixed part, the object name, and
+    /// one `u64` per cut epoch when a cut rides along.
     pub fn encoded_len(&self) -> usize {
-        HEADER_FIXED + self.object.len()
+        HEADER_FIXED + self.object.len() + self.cut.as_ref().map_or(0, |c| c.epochs.len() * 8)
     }
 
     /// Serializes the header to its checksummed, self-delimiting wire
-    /// form (the first piece of [`DeltaStream::encode`]).
+    /// form (the first piece of [`DeltaStream::encode`]). The cut, when
+    /// present, is framed as `cut_seq` and `cut_len` in the fixed part
+    /// (`cut_len = 0` means no cut) followed by the epoch vector after
+    /// the name bytes; the checksum binds all of it.
     pub fn encode(&self) -> Vec<u8> {
         let mut head = [0u8; HEADER_FIXED];
         write_u64(&mut head, 0, STREAM_MAGIC);
@@ -206,11 +220,23 @@ impl StreamHeader {
         write_u64(&mut head, 32, self.target_epoch);
         write_u64(&mut head, 40, self.len_pages);
         write_u64(&mut head, 48, self.frame_count);
-        let sum = fnv1a_extend(fnv1a(&head[0..56]), self.object.as_bytes());
-        write_u64(&mut head, 56, sum);
+        write_u64(&mut head, 56, self.cut.as_ref().map_or(0, |c| c.seq));
+        write_u64(
+            &mut head,
+            64,
+            self.cut.as_ref().map_or(0, |c| c.epochs.len() as u64),
+        );
+        let mut tail = self.object.as_bytes().to_vec();
+        if let Some(cut) = &self.cut {
+            for e in &cut.epochs {
+                tail.extend_from_slice(&e.to_le_bytes());
+            }
+        }
+        let sum = fnv1a_extend(fnv1a(&head[0..72]), &tail);
+        write_u64(&mut head, 72, sum);
         let mut out = Vec::with_capacity(self.encoded_len());
         out.extend_from_slice(&head);
-        out.extend_from_slice(self.object.as_bytes());
+        out.extend_from_slice(&tail);
         out
     }
 
@@ -226,14 +252,35 @@ impl StreamHeader {
             return Err(SnapError::Malformed);
         }
         let name_len = read_u64(bytes, 8)? as usize;
-        let total = HEADER_FIXED
-            .checked_add(name_len)
-            .ok_or(SnapError::Malformed)?;
-        let name_bytes = bytes.get(HEADER_FIXED..total).ok_or(SnapError::Malformed)?;
-        let fixed = bytes.get(0..56).ok_or(SnapError::Malformed)?;
-        if fnv1a_extend(fnv1a(fixed), name_bytes) != read_u64(bytes, 56)? {
+        let cut_len = read_u64(bytes, 64)?;
+        if cut_len > MAX_CUT_EPOCHS {
             return Err(SnapError::Malformed);
         }
+        let name_end = HEADER_FIXED
+            .checked_add(name_len)
+            .ok_or(SnapError::Malformed)?;
+        let total = name_end
+            .checked_add(cut_len as usize * 8)
+            .ok_or(SnapError::Malformed)?;
+        let name_bytes = bytes
+            .get(HEADER_FIXED..name_end)
+            .ok_or(SnapError::Malformed)?;
+        let tail = bytes.get(HEADER_FIXED..total).ok_or(SnapError::Malformed)?;
+        let fixed = bytes.get(0..72).ok_or(SnapError::Malformed)?;
+        if fnv1a_extend(fnv1a(fixed), tail) != read_u64(bytes, 72)? {
+            return Err(SnapError::Malformed);
+        }
+        let cut = if cut_len == 0 {
+            None
+        } else {
+            let epochs = (0..cut_len)
+                .map(|i| read_u64(bytes, name_end + i as usize * 8))
+                .collect::<Result<Vec<_>, _>>()?;
+            Some(VectorCut {
+                seq: read_u64(bytes, 56)?,
+                epochs,
+            })
+        };
         let header = StreamHeader {
             object: String::from_utf8(name_bytes.to_vec()).map_err(|_| SnapError::Malformed)?,
             base_epoch: (read_u64(bytes, 16)? != 0)
@@ -242,6 +289,7 @@ impl StreamHeader {
             target_epoch: read_u64(bytes, 32)?,
             len_pages: read_u64(bytes, 40)?,
             frame_count: read_u64(bytes, 48)?,
+            cut,
         };
         Ok((header, total))
     }
@@ -409,9 +457,7 @@ impl DeltaStream {
         };
         let pages = store.snapshot_diff(vt, disk, base, target)?;
         let object = store
-            .object_names()
-            .get(entry.object.0 as usize)
-            .cloned()
+            .object_name(entry.object)
             .ok_or(StoreError::NotFound)?;
         let mut frames = Vec::with_capacity(pages.len());
         let mut buf = vec![0u8; BLOCK_SIZE];
@@ -435,6 +481,9 @@ impl DeltaStream {
                 target_epoch: entry.epoch,
                 len_pages: entry.len_pages,
                 frame_count: frames.len() as u64,
+                // A sharded primary names its newest durable vector cut
+                // so the consumer can promote only complete cuts.
+                cut: store.last_cut().cloned(),
             },
             frames,
             trailer,
@@ -444,7 +493,7 @@ impl DeltaStream {
     /// Payload bytes the stream ships (the replication cost a full image
     /// is compared against).
     pub fn encoded_len(&self) -> usize {
-        HEADER_FIXED + self.header.object.len() + self.frames.len() * FRAME_LEN + TRAILER_LEN
+        self.header.encoded_len() + self.frames.len() * FRAME_LEN + TRAILER_LEN
     }
 
     /// Serializes the stream to its wire form.
@@ -686,9 +735,7 @@ pub fn sync_to(
         .ok_or(StoreError::SnapshotNotFound)?
         .clone();
     let object_name = primary
-        .object_names()
-        .get(entry.object.0 as usize)
-        .cloned()
+        .object_name(entry.object)
         .ok_or(StoreError::NotFound)?;
     let replica_epoch = replica
         .lookup(&object_name)
@@ -776,7 +823,7 @@ mod tests {
         assert_eq!(DeltaStream::decode(&bad), Err(SnapError::Malformed));
         // Frame payload damage.
         let mut bad = wire.clone();
-        let frame0_data = HEADER_FIXED + stream.header.object.len() + 32;
+        let frame0_data = stream.header.encoded_len() + 32;
         bad[frame0_data + 17] ^= 0x20;
         assert_eq!(
             DeltaStream::decode(&bad),
@@ -968,6 +1015,38 @@ mod tests {
         let mut lying = wire.clone();
         lying[48..56].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(DeltaStream::decode(&lying).is_err());
+    }
+
+    #[test]
+    fn vector_cut_rides_the_stream_header() {
+        // A sharded primary stamps a cut; the stream header carries it
+        // through the wire byte-for-byte. The legacy streams above all
+        // carry `cut: None` (cut_len = 0 on the wire) and round-trip
+        // unchanged — this covers the Some side.
+        let mut disk = Disk::new(DiskConfig::paper());
+        let mut store = ObjectStore::format_sharded(&mut disk, 4);
+        let mut vt = Vt::new(0);
+        let obj = store.create(&mut vt, &mut disk, "db").unwrap();
+        for i in 0..3u64 {
+            let p = page_of(0x40 + i as u8);
+            let t = store.persist(&mut vt, &mut disk, obj, &[(i, &p)]).unwrap();
+            ObjectStore::wait(&mut vt, t);
+        }
+        let cut = store.cut(&mut vt, &mut disk).unwrap();
+        assert_eq!(cut.epochs.len(), 4);
+        store.snapshot_create(&mut vt, &mut disk, obj, "s").unwrap();
+        let stream = DeltaStream::build(&mut vt, &mut disk, &mut store, None, "s").unwrap();
+        assert_eq!(stream.header.cut.as_ref(), Some(&cut));
+        let wire = stream.encode();
+        assert_eq!(wire.len(), stream.encoded_len());
+        let decoded = DeltaStream::decode(&wire).unwrap();
+        assert_eq!(decoded, stream);
+        assert_eq!(decoded.header.cut.unwrap(), cut);
+        // A header claiming an absurd epoch count is malformed, not an
+        // allocation.
+        let mut lying = wire.clone();
+        lying[64..72].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(DeltaStream::decode(&lying), Err(SnapError::Malformed));
     }
 
     #[test]

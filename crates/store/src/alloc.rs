@@ -1,6 +1,6 @@
 //! Block allocation.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 
 /// A bump block allocator with a free list and an optional capacity
 /// ceiling.
@@ -23,6 +23,13 @@ pub struct BlockAllocator {
     free: BTreeSet<u64>,
     /// First block past the end of the device, if bounded.
     capacity: Option<u64>,
+    /// End of the current bump range, when the allocator works out of
+    /// broker-granted extents (a sharded store). `None` = unbounded bump
+    /// (the legacy single-shard mode; only `capacity` applies).
+    limit: Option<u64>,
+    /// Granted-but-unentered `[start, end)` ranges, consumed in grant
+    /// order once the current range is exhausted.
+    pending: VecDeque<(u64, u64)>,
 }
 
 impl BlockAllocator {
@@ -39,6 +46,68 @@ impl BlockAllocator {
             next: first_block,
             free: BTreeSet::new(),
             capacity,
+            limit: None,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Creates a range-bounded allocator: the bump frontier starts at
+    /// `first_block` and stops at `limit` until [`BlockAllocator::add_range`]
+    /// grants more. `bounded(f, f)` is an empty allocator — every
+    /// allocation fails until the first grant — which is how a fresh
+    /// shard starts before the extent broker hands it anything.
+    pub fn bounded(first_block: u64, limit: u64) -> Self {
+        BlockAllocator {
+            next: first_block,
+            free: BTreeSet::new(),
+            capacity: None,
+            limit: Some(limit),
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Grants the range `[start, end)` to a bounded allocator. Ranges
+    /// must arrive in increasing block order (the broker hands out a
+    /// monotone sequence of extents); the current range is extended in
+    /// place when `start` abuts it, otherwise the range queues behind it.
+    pub fn add_range(&mut self, start: u64, end: u64) {
+        debug_assert!(start < end, "empty grant");
+        let limit = self.limit.expect("add_range on an unbounded allocator");
+        debug_assert!(start >= limit, "grants must be monotone");
+        if self.pending.is_empty() && start == limit {
+            self.limit = Some(end);
+        } else {
+            self.pending.push_back((start, end));
+        }
+    }
+
+    /// Abandons the current bump range, spilling its unallocated blocks
+    /// into the free set (they stay usable for single-block
+    /// allocations), and enters the next granted range. Returns `false`
+    /// when no range is pending.
+    fn enter_next_range(&mut self) -> bool {
+        let Some((start, end)) = self.pending.pop_front() else {
+            return false;
+        };
+        let limit = self.limit.expect("pending ranges imply bounded");
+        // The spill is safe to treat as "allocated then freed": `next`
+        // jumps past these blocks, so the `free() < next` invariant
+        // holds the moment the switch completes.
+        for b in self.next..limit {
+            self.free.insert(b);
+        }
+        self.next = start;
+        self.limit = Some(end);
+        true
+    }
+
+    /// The bump ceiling currently in effect: the granted range's end
+    /// and/or the device capacity, whichever is lower.
+    fn ceiling(&self) -> Option<u64> {
+        match (self.limit, self.capacity) {
+            (Some(l), Some(c)) => Some(l.min(c)),
+            (Some(l), None) => Some(l),
+            (None, c) => c,
         }
     }
 
@@ -50,12 +119,16 @@ impl BlockAllocator {
             self.free.remove(&block);
             return Some(block);
         }
-        if self.capacity.is_some_and(|cap| self.next >= cap) {
-            return None;
+        loop {
+            if self.ceiling().is_none_or(|cap| self.next < cap) {
+                let block = self.next;
+                self.next += 1;
+                return Some(block);
+            }
+            if !self.enter_next_range() {
+                return None;
+            }
         }
-        let block = self.next;
-        self.next += 1;
-        Some(block)
     }
 
     /// Allocates `n` *contiguous* blocks and returns the first, or `None`
@@ -91,13 +164,19 @@ impl BlockAllocator {
                 return Some(first);
             }
         }
-        // Fresh extent from the bump frontier.
-        if self.capacity.is_some_and(|cap| self.next + n > cap) {
-            return None;
+        // Fresh extent from the bump frontier, switching granted ranges
+        // (spilling each abandoned tail into the free set) until one
+        // fits.
+        loop {
+            if self.ceiling().is_none_or(|cap| self.next + n <= cap) {
+                let first = self.next;
+                self.next += n;
+                return Some(first);
+            }
+            if !self.enter_next_range() {
+                return None;
+            }
         }
-        let first = self.next;
-        self.next += n;
-        Some(first)
     }
 
     /// Whether an extent of `contiguous` blocks plus `singles` more
@@ -205,6 +284,47 @@ mod tests {
             a.free(b);
         }
         assert!(a.can_alloc(4, 0), "freed run counts");
+    }
+
+    #[test]
+    fn bounded_allocator_stops_at_the_range_end() {
+        let mut a = BlockAllocator::bounded(100, 104);
+        assert_eq!(a.alloc_contiguous(3), Some(100));
+        assert_eq!(a.alloc_contiguous(2), None, "range exhausted");
+        assert_eq!(a.alloc(), Some(103));
+        assert_eq!(a.alloc(), None);
+        // An empty bounded allocator hands out nothing at all.
+        let mut empty = BlockAllocator::bounded(50, 50);
+        assert_eq!(empty.alloc(), None);
+        assert_eq!(empty.alloc_contiguous(1), None);
+    }
+
+    #[test]
+    fn add_range_extends_or_queues_grants() {
+        let mut a = BlockAllocator::bounded(100, 104);
+        // Abutting grant extends the live range in place.
+        a.add_range(104, 108);
+        assert_eq!(a.alloc_contiguous(6), Some(100));
+        // Disjoint grant queues; the switch spills the tail into the
+        // free set so no granted block is lost.
+        a.add_range(200, 208);
+        assert_eq!(a.alloc_contiguous(4), Some(200), "switched ranges");
+        assert_eq!(a.free_blocks(), 2, "blocks 106..108 spilled, not lost");
+        assert_eq!(a.alloc(), Some(106));
+        assert_eq!(a.alloc(), Some(107));
+        assert_eq!(a.alloc(), Some(204));
+        assert_eq!(a.alloc_contiguous(4), None, "both grants exhausted");
+        assert_eq!(a.high_water(), 205);
+    }
+
+    #[test]
+    fn bounded_can_alloc_accounts_for_pending_ranges() {
+        let mut a = BlockAllocator::bounded(0, 0);
+        assert!(!a.can_alloc(1, 0));
+        a.add_range(0, 4);
+        a.add_range(16, 32);
+        assert!(a.can_alloc(8, 4), "pending range satisfies the extent");
+        assert_eq!(a.high_water(), 0, "preflight must not allocate");
     }
 
     #[test]

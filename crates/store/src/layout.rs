@@ -28,6 +28,13 @@ pub(crate) const DELTA_MAGIC: u64 = 0x4d534e_41504454; // "MSN APDT"
 pub(crate) const BATCH_MAGIC: u64 = 0x4d534e_41504254; // "MSN APBT"
 /// Magic number of the superblock.
 pub(crate) const SUPER_MAGIC: u64 = 0x4d534e41_50535550; // "MSNA PSUP"
+/// Magic number of a v3 (sharded) store superblock. Carries the shard
+/// count and extent-broker granularity; per-shard metadata slabs follow
+/// the cut slots. Legacy ([`SUPER_MAGIC`]) devices keep opening as
+/// single-shard stores.
+pub(crate) const SUPER_MAGIC_V3: u64 = 0x4d534e41_50535533; // "MSNA PSU3"
+/// Magic number of an epoch-vector cut record block.
+pub(crate) const CUT_MAGIC: u64 = 0x4d534e_41504354; // "MSN APCT"
 /// Magic number of a snapshot-catalog block.
 pub(crate) const SNAP_MAGIC: u64 = 0x4d534e_41505350; // "MSN APSP"
 
@@ -52,6 +59,188 @@ pub(crate) const SNAP_CATALOG_SLOTS: u64 = 2;
 /// First allocatable block (after superblock + directory + batch ring +
 /// snapshot catalog).
 pub(crate) const FIRST_DATA_BLOCK: u64 = SNAP_CATALOG_START + SNAP_CATALOG_SLOTS;
+
+/// Blocks in one shard's metadata slab — the same prefix a legacy store
+/// puts at block 0 (superblock, directory, batch ring, snapshot
+/// catalog), relocated to the slab base in a v3 (sharded) store.
+pub(crate) const SHARD_SLAB_BLOCKS: u64 = FIRST_DATA_BLOCK;
+/// First of the two alternating epoch-vector cut slots in a v3 store
+/// (right after the v3 superblock at block 0).
+pub(crate) const CUT_SLOT_START: u64 = 1;
+/// Number of alternating cut slots.
+pub(crate) const CUT_SLOTS: u64 = 2;
+/// First shard slab in a v3 store (v3 superblock + cut slots precede it).
+pub(crate) const SHARD_SLAB_START: u64 = CUT_SLOT_START + CUT_SLOTS;
+/// Maximum shards in a v3 store: global object ids pack the shard index
+/// into the id's high byte, so 256 is the format ceiling.
+pub const MAX_SHARDS: usize = 256;
+/// Bit position of the shard index within a global object id.
+pub(crate) const SHARD_ID_SHIFT: u32 = 24;
+
+/// Where one shard's metadata lives on the device, plus the first block
+/// the store may hand to data. A legacy (v1/v2) store is exactly the
+/// `base = 0` instance; a v3 store gives shard `s` the slab at
+/// `SHARD_SLAB_START + s * SHARD_SLAB_BLOCKS` and floors data allocation
+/// past every slab. All shard-relative offsets reproduce the legacy
+/// constants, so one codec serves both formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardLayout {
+    /// First block of this shard's metadata slab.
+    pub base: u64,
+    /// First block eligible for data allocation (shared by all shards of
+    /// a store: the end of the last slab, or `FIRST_DATA_BLOCK` for a
+    /// legacy store).
+    pub data_floor: u64,
+}
+
+impl ShardLayout {
+    /// The layout of a legacy (single-shard, v1/v2) store: slab at block
+    /// 0, data from `FIRST_DATA_BLOCK`. Byte-identical to the
+    /// pre-shard format.
+    pub fn legacy() -> ShardLayout {
+        ShardLayout {
+            base: 0,
+            data_floor: FIRST_DATA_BLOCK,
+        }
+    }
+
+    /// The layout of shard `index` in a v3 store of `shard_count` shards.
+    pub fn sharded(index: usize, shard_count: usize) -> ShardLayout {
+        assert!(index < shard_count && shard_count <= MAX_SHARDS);
+        ShardLayout {
+            base: SHARD_SLAB_START + index as u64 * SHARD_SLAB_BLOCKS,
+            data_floor: SHARD_SLAB_START + shard_count as u64 * SHARD_SLAB_BLOCKS,
+        }
+    }
+
+    /// This shard's superblock.
+    pub(crate) fn superblock(&self) -> u64 {
+        self.base + SUPERBLOCK
+    }
+
+    /// First directory block.
+    pub(crate) fn dir_start(&self) -> u64 {
+        self.base + DIR_START
+    }
+
+    /// First batch-ring block.
+    pub(crate) fn batch_ring_start(&self) -> u64 {
+        self.base + BATCH_RING_START
+    }
+
+    /// First snapshot-catalog block.
+    pub(crate) fn snap_catalog_start(&self) -> u64 {
+        self.base + SNAP_CATALOG_START
+    }
+
+    /// The snapshot-catalog slot a catalog sequence number writes to.
+    pub(crate) fn snap_slot(&self, seq: u64) -> u64 {
+        self.base + SnapCatalog::slot(seq)
+    }
+}
+
+/// The v3 superblock: shard count and extent-broker granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuperV3 {
+    /// Number of shards the device was formatted with.
+    pub shard_count: u64,
+    /// Blocks per extent-broker grant.
+    pub extent_blocks: u64,
+}
+
+impl SuperV3 {
+    /// Serializes into a block image.
+    pub fn to_block(&self) -> [u8; BLOCK_SIZE] {
+        let mut block = [0u8; BLOCK_SIZE];
+        let mut w = |off: usize, v: u64| block[off..off + 8].copy_from_slice(&v.to_le_bytes());
+        w(0, SUPER_MAGIC_V3);
+        w(8, self.shard_count);
+        w(16, self.extent_blocks);
+        let checksum = fnv1a(&block[0..24]);
+        block[24..32].copy_from_slice(&checksum.to_le_bytes());
+        block
+    }
+
+    /// Parses and validates a v3 superblock; `None` if the block is not
+    /// one (a legacy superblock, an unformatted device) or is corrupt.
+    pub fn from_block(block: &[u8]) -> Option<SuperV3> {
+        let r = |off: usize| u64::from_le_bytes(block[off..off + 8].try_into().unwrap());
+        if r(0) != SUPER_MAGIC_V3 || fnv1a(&block[0..24]) != r(24) {
+            return None;
+        }
+        let shard_count = r(8);
+        if shard_count == 0 || shard_count > MAX_SHARDS as u64 || r(16) == 0 {
+            return None;
+        }
+        Some(SuperV3 {
+            shard_count,
+            extent_blocks: r(16),
+        })
+    }
+}
+
+/// A durable epoch-vector cut: the coordinator's stamp of every shard's
+/// epoch sum, taken by the drain→stamp→release fuzzy-cut protocol and
+/// written to the alternating cut slot `seq % CUT_SLOTS` *after* every
+/// member commit is durable. Recovery adopts the valid slot with the
+/// highest `seq`; a torn cut write falls back to the previous cut, so
+/// the named cut is always one whose every component really committed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutRecord {
+    /// Monotone cut sequence number (picks the slot).
+    pub seq: u64,
+    /// Per-shard epoch sums, indexed by shard.
+    pub epochs: Vec<Epoch>,
+}
+
+impl CutRecord {
+    /// The cut slot this sequence number writes to.
+    pub(crate) fn slot(seq: u64) -> u64 {
+        CUT_SLOT_START + seq % CUT_SLOTS
+    }
+
+    /// Serializes into a block image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than [`MAX_SHARDS`] components.
+    pub fn to_block(&self) -> [u8; BLOCK_SIZE] {
+        assert!(self.epochs.len() <= MAX_SHARDS, "cut record overflow");
+        let mut block = [0u8; BLOCK_SIZE];
+        let mut w = |off: usize, v: u64| block[off..off + 8].copy_from_slice(&v.to_le_bytes());
+        w(0, CUT_MAGIC);
+        w(8, self.seq);
+        w(16, self.epochs.len() as u64);
+        for (i, e) in self.epochs.iter().enumerate() {
+            w(32 + i * 8, *e);
+        }
+        let end = 32 + self.epochs.len() * 8;
+        let checksum = fnv1a(&block[0..24]) ^ fnv1a(&block[32..end]);
+        block[24..32].copy_from_slice(&checksum.to_le_bytes());
+        block
+    }
+
+    /// Parses and validates a cut-slot block; `None` if the slot is
+    /// empty or torn.
+    pub fn from_block(block: &[u8]) -> Option<CutRecord> {
+        let r = |off: usize| u64::from_le_bytes(block[off..off + 8].try_into().unwrap());
+        if r(0) != CUT_MAGIC {
+            return None;
+        }
+        let count = r(16) as usize;
+        if count > MAX_SHARDS {
+            return None;
+        }
+        let end = 32 + count * 8;
+        if fnv1a(&block[0..24]) ^ fnv1a(&block[32..end]) != r(24) {
+            return None;
+        }
+        Some(CutRecord {
+            seq: r(8),
+            epochs: (0..count).map(|i| r(32 + i * 8)).collect(),
+        })
+    }
+}
 
 /// Delta-record slots per object. Every `DELTA_SLOTS`-th commit flushes
 /// the COW tree nodes and writes a full root, so a delta slot is never
@@ -934,5 +1123,75 @@ mod tests {
     fn fnv_is_stable() {
         assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
         assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+
+    #[test]
+    fn super_v3_round_trips_and_rejects_garbage() {
+        let sb = SuperV3 {
+            shard_count: 4,
+            extent_blocks: 1024,
+        };
+        let block = sb.to_block();
+        assert_eq!(SuperV3::from_block(&block), Some(sb));
+        let mut torn = sb.to_block();
+        torn[9] ^= 1;
+        assert_eq!(SuperV3::from_block(&torn), None);
+        // A legacy superblock is not a v3 superblock.
+        let mut legacy = [0u8; BLOCK_SIZE];
+        legacy[0..8].copy_from_slice(&SUPER_MAGIC.to_le_bytes());
+        assert_eq!(SuperV3::from_block(&legacy), None);
+        // Degenerate shard counts are rejected even if checksummed.
+        let zero = SuperV3 {
+            shard_count: 0,
+            extent_blocks: 8,
+        };
+        assert_eq!(SuperV3::from_block(&zero.to_block()), None);
+    }
+
+    #[test]
+    fn cut_record_round_trips_and_rejects_torn() {
+        let cut = CutRecord {
+            seq: 7,
+            epochs: vec![12, 0, 99, 3],
+        };
+        let block = cut.to_block();
+        assert_eq!(CutRecord::from_block(&block), Some(cut));
+        let mut torn = CutRecord {
+            seq: 7,
+            epochs: vec![12, 0, 99, 3],
+        }
+        .to_block();
+        torn[40] ^= 1; // second component
+        assert_eq!(CutRecord::from_block(&torn), None);
+        assert_eq!(CutRecord::from_block(&[0u8; BLOCK_SIZE]), None);
+        // Slots alternate.
+        assert_eq!(CutRecord::slot(0), CUT_SLOT_START);
+        assert_eq!(CutRecord::slot(1), CUT_SLOT_START + 1);
+        assert_eq!(CutRecord::slot(2), CUT_SLOT_START);
+    }
+
+    #[test]
+    fn shard_layouts_tile_without_overlap() {
+        let legacy = ShardLayout::legacy();
+        assert_eq!(legacy.superblock(), SUPERBLOCK);
+        assert_eq!(legacy.dir_start(), DIR_START);
+        assert_eq!(legacy.batch_ring_start(), BATCH_RING_START);
+        assert_eq!(legacy.snap_slot(1), SNAP_CATALOG_START + 1);
+        assert_eq!(legacy.data_floor, FIRST_DATA_BLOCK);
+
+        let n = 4;
+        let mut prev_end = SHARD_SLAB_START;
+        for s in 0..n {
+            let l = ShardLayout::sharded(s, n);
+            assert_eq!(l.base, prev_end, "slabs tile densely");
+            let slab_end = l.base + SHARD_SLAB_BLOCKS;
+            assert!(l.snap_slot(1) < slab_end, "metadata stays in the slab");
+            assert_eq!(
+                l.data_floor,
+                SHARD_SLAB_START + n as u64 * SHARD_SLAB_BLOCKS
+            );
+            prev_end = slab_end;
+        }
+        assert_eq!(ShardLayout::sharded(0, n).data_floor, prev_end);
     }
 }

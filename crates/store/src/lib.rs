@@ -47,17 +47,19 @@ mod alloc;
 mod cache;
 mod layout;
 mod radix;
+mod shard;
 mod store;
 
 pub use alloc::BlockAllocator;
 pub use cache::BlockCache;
 pub use layout::{
     digest32, fnv1a, fnv1a_extend, pack_entry, unpack_entry, BatchGroup, BatchRecord, DeltaRecord,
-    Epoch, ObjectId, RootRecord, SnapCatalog, SnapEntry, BATCH_SLOTS, DELTA_SLOTS, DIGEST_NONE,
-    FNV_OFFSET, MAX_DELTA_PAIRS, MAX_SNAPSHOTS,
+    Epoch, ObjectId, RootRecord, ShardLayout, SnapCatalog, SnapEntry, SuperV3, BATCH_SLOTS,
+    DELTA_SLOTS, DIGEST_NONE, FNV_OFFSET, MAX_DELTA_PAIRS, MAX_SHARDS, MAX_SNAPSHOTS,
 };
 pub use radix::{RadixTree, TreeError};
+pub use shard::{ExtentBroker, ObjectStore, VectorCut, DEFAULT_EXTENT_BLOCKS};
 pub use store::{
-    CommitToken, ObjectStore, ScrubStats, StoreError, StoreStats, UnrepairedPage,
+    CommitToken, ScrubStats, StoreError, StoreShard, StoreStats, UnrepairedPage,
     DEFAULT_CACHE_BLOCKS, MAX_IO_ATTEMPTS,
 };

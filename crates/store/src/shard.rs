@@ -1,0 +1,1054 @@
+//! The sharded multi-writer store: N [`StoreShard`]s behind one façade.
+//!
+//! A single [`StoreShard`] serializes every mutator on one allocator
+//! frontier and one batch ring. This module partitions the device into
+//! `N` shards — each a complete store (own allocator, radix forest,
+//! batch ring, snapshot catalog) — so commits against different shards
+//! share *no* state on the hot path. Three pieces make that safe:
+//!
+//! - **Shard map.** Objects map to shards by a stable FNV-1a hash of
+//!   their name; a global [`ObjectId`] encodes `(shard << 24) | local`
+//!   so every existing id-based API keeps working unchanged.
+//! - **Extent broker.** A top-level [`ExtentBroker`] hands each shard
+//!   disjoint block extents on demand; shard allocators are range-
+//!   bounded and never collide. Operations that hit the range end
+//!   abort cleanly with `OutOfSpace` (the per-shard commit protocol
+//!   already guarantees clean aborts), the wrapper grants another
+//!   extent, and retries — grants survive aborts, so the retry makes
+//!   progress and terminates when the device is truly full.
+//! - **Epoch-vector cuts.** Cross-shard consistency is named by a
+//!   [`VectorCut`] `[e_0..e_{N-1}]` of per-shard epoch sums, taken with
+//!   a two-phase fuzzy cut (callers drain in-flight group-commit
+//!   tickets, [`ObjectStore::cut`] stamps and persists, callers
+//!   release). The cut record is submitted no earlier than every member
+//!   commit's durability instant, so *a durable cut implies every
+//!   commit it names is durable* — recovery and replica promotion can
+//!   always land on a complete cut, never a mixed-epoch manifest.
+//!
+//! Legacy devices (v1/v2 superblock) open as a single-shard store with
+//! byte-identical layout; [`ObjectStore::format`] still produces one.
+
+use msnap_disk::{Disk, IoError, BLOCK_SIZE};
+use msnap_sim::{Category, Nanos, Vt};
+
+use crate::alloc::BlockAllocator;
+use crate::layout::{
+    fnv1a, CutRecord, Epoch, ObjectId, ShardLayout, SnapEntry, SuperV3, CUT_SLOTS, CUT_SLOT_START,
+    MAX_SHARDS, SHARD_ID_SHIFT, SUPER_MAGIC, SUPER_MAGIC_V3,
+};
+use crate::store::{
+    CommitToken, ScrubStats, StoreError, StoreShard, StoreStats, UnrepairedPage, MAX_IO_ATTEMPTS,
+};
+
+/// Blocks per broker extent (1 MiB). Large enough that a shard's commit
+/// extents stay device-sequential, small enough that idle shards do not
+/// strand device space.
+pub const DEFAULT_EXTENT_BLOCKS: u64 = 256;
+
+/// Mask extracting the shard-local part of a global [`ObjectId`].
+const LOCAL_MASK: u32 = (1 << SHARD_ID_SHIFT) - 1;
+
+/// Hands out disjoint, monotonically increasing block extents to shard
+/// allocators. The broker is the *only* cross-shard allocation state,
+/// touched once per extent (every [`DEFAULT_EXTENT_BLOCKS`] blocks),
+/// never per commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtentBroker {
+    /// First block of the next extent to grant.
+    next: u64,
+    /// Granularity of a single-extent grant.
+    extent_blocks: u64,
+    /// First invalid block (device capacity), if bounded.
+    capacity: Option<u64>,
+}
+
+impl ExtentBroker {
+    fn new(first_block: u64, extent_blocks: u64, capacity: Option<u64>) -> Self {
+        ExtentBroker {
+            next: first_block,
+            extent_blocks,
+            capacity,
+        }
+    }
+
+    /// Grants `[start, end)` covering `extents` extent-sized chunks
+    /// (the final grant at capacity may be partial). Returns `None`
+    /// when the device is exhausted.
+    pub fn grant(&mut self, extents: u64) -> Option<(u64, u64)> {
+        let want = extents.max(1).saturating_mul(self.extent_blocks);
+        let end = self.next.saturating_add(want);
+        let end = match self.capacity {
+            Some(c) => end.min(c),
+            None => end,
+        };
+        if end <= self.next {
+            return None;
+        }
+        let range = (self.next, end);
+        self.next = end;
+        Some(range)
+    }
+
+    /// First block the broker has not yet granted.
+    pub fn next_block(&self) -> u64 {
+        self.next
+    }
+}
+
+/// A named cross-shard consistency point: per-shard epoch sums
+/// `[e_0..e_{N-1}]` stamped atomically after draining in-flight
+/// commits. Snapshots, delta streams, and replication promote only
+/// complete cuts, so no reader ever observes object A at epoch `N`
+/// and object B at `N−1` across shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorCut {
+    /// Monotone cut sequence number.
+    pub seq: u64,
+    /// Per-shard epoch sums at the stamp instant, indexed by shard.
+    pub epochs: Vec<u64>,
+}
+
+impl VectorCut {
+    /// Whether this cut is *complete* under the given per-shard epoch
+    /// sums: every component has been reached. A replica promotes only
+    /// at announced cuts that are complete under its own recovered
+    /// epochs.
+    pub fn complete_under(&self, epochs: &[u64]) -> bool {
+        self.epochs.len() == epochs.len() && self.epochs.iter().zip(epochs).all(|(c, e)| c <= e)
+    }
+}
+
+/// The sharded copy-on-write object store: the crate's public store
+/// type. Owns `N` [`StoreShard`]s, the [`ExtentBroker`] partitioning
+/// the data area between them, and the epoch-vector cut state. With
+/// `N = 1` (the [`ObjectStore::format`] / legacy-open path) it is a
+/// zero-overhead passthrough with the exact on-disk layout of earlier
+/// versions.
+pub struct ObjectStore {
+    shards: Vec<StoreShard>,
+    /// `None` in legacy single-shard mode (the shard's own
+    /// capacity-bounded allocator governs space).
+    broker: Option<ExtentBroker>,
+    /// Next cut sequence number.
+    cut_seq: u64,
+    /// Newest stamped (v3: durable) cut.
+    last_cut: Option<VectorCut>,
+}
+
+impl ObjectStore {
+    /// Formats `disk` as a legacy single-shard store (byte-identical to
+    /// earlier versions) and returns it.
+    pub fn format(disk: &mut Disk) -> Self {
+        ObjectStore {
+            shards: vec![StoreShard::format(disk)],
+            broker: None,
+            cut_seq: 0,
+            last_cut: None,
+        }
+    }
+
+    /// Formats `disk` as a v3 sharded store with `shard_count` shards
+    /// and returns it. Writes the v3 superblock, the initial
+    /// (all-zeros) cut record, and each shard's metadata slab.
+    ///
+    /// # Panics
+    ///
+    /// If `shard_count` is 0 or exceeds [`MAX_SHARDS`], or the device
+    /// fails during formatting (injecting faults into `format` is
+    /// unsupported).
+    pub fn format_sharded(disk: &mut Disk, shard_count: usize) -> Self {
+        assert!(
+            (1..=MAX_SHARDS).contains(&shard_count),
+            "shard_count must be in 1..={MAX_SHARDS}"
+        );
+        let sb = SuperV3 {
+            shard_count: shard_count as u64,
+            extent_blocks: DEFAULT_EXTENT_BLOCKS,
+        };
+        disk.write_block_at(Nanos::ZERO, 0, &sb.to_block())
+            .expect("formatting a faulty device is unsupported");
+        // Cut slot 1 holds the genesis cut (seq 0, all epochs 0); slot 2
+        // is zeroed so recovery never mistakes stale bytes for a cut.
+        let genesis = CutRecord {
+            seq: 0,
+            epochs: vec![0; shard_count],
+        };
+        disk.write_block_at(Nanos::ZERO, CutRecord::slot(0), &genesis.to_block())
+            .expect("formatting a faulty device is unsupported");
+        let zero = [0u8; BLOCK_SIZE];
+        for slot in CUT_SLOT_START..CUT_SLOT_START + CUT_SLOTS {
+            if slot != CutRecord::slot(0) {
+                disk.write_block_at(Nanos::ZERO, slot, &zero)
+                    .expect("formatting a faulty device is unsupported");
+            }
+        }
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut data_floor = 0;
+        for s in 0..shard_count {
+            let layout = ShardLayout::sharded(s, shard_count);
+            data_floor = layout.data_floor;
+            let alloc = BlockAllocator::bounded(layout.data_floor, layout.data_floor);
+            shards.push(StoreShard::format_at(disk, layout, alloc));
+        }
+        disk.settle();
+        let broker = ExtentBroker::new(
+            data_floor,
+            DEFAULT_EXTENT_BLOCKS,
+            disk.config().capacity_blocks,
+        );
+        ObjectStore {
+            shards,
+            broker: Some(broker),
+            cut_seq: 1,
+            last_cut: Some(VectorCut {
+                seq: 0,
+                epochs: vec![0; shard_count],
+            }),
+        }
+    }
+
+    /// Opens the store from a (possibly crashed) device, sniffing the
+    /// superblock: a legacy (v1/v2) device opens as a single-shard
+    /// store, a v3 device opens every shard and adopts the newest
+    /// durable complete [`VectorCut`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFormatted`] if the superblock is neither magic.
+    pub fn open(vt: &mut Vt, disk: &mut Disk) -> Result<Self, StoreError> {
+        let mut sb = [0u8; BLOCK_SIZE];
+        disk.read_block(vt, 0, &mut sb);
+        let magic = u64::from_le_bytes(sb[0..8].try_into().unwrap());
+        if magic == SUPER_MAGIC {
+            return Ok(ObjectStore {
+                shards: vec![StoreShard::open(vt, disk)?],
+                broker: None,
+                cut_seq: 0,
+                last_cut: None,
+            });
+        }
+        if magic != SUPER_MAGIC_V3 {
+            return Err(StoreError::NotFormatted);
+        }
+        let sup = SuperV3::from_block(&sb).ok_or(StoreError::NotFormatted)?;
+        let n = sup.shard_count as usize;
+        let extent = sup.extent_blocks;
+        let mut shards = Vec::with_capacity(n);
+        for s in 0..n {
+            shards.push(StoreShard::open_at(
+                vt,
+                disk,
+                ShardLayout::sharded(s, n),
+                true,
+            )?);
+        }
+        // Re-grant each shard the unused tail of the extent its frontier
+        // stopped in (extent boundaries are `extent`-aligned relative to
+        // the data floor, so tails of distinct shards never overlap),
+        // and restart the broker past the furthest extent any shard
+        // reached. Extents granted but never allocated from before the
+        // crash are forgotten — their blocks are unreferenced garbage
+        // and will simply be granted again.
+        let data_floor = ShardLayout::sharded(0, n).data_floor;
+        let capacity = disk.config().capacity_blocks;
+        let mut broker_next = data_floor;
+        for shard in &mut shards {
+            let hw = shard.high_water();
+            if hw <= data_floor {
+                continue;
+            }
+            let mut extent_end = data_floor + (hw - data_floor).div_ceil(extent) * extent;
+            if let Some(c) = capacity {
+                extent_end = extent_end.min(c);
+            }
+            if extent_end > hw {
+                shard.grant_range(hw, extent_end);
+            }
+            broker_next = broker_next.max(extent_end);
+        }
+        let broker = ExtentBroker::new(broker_next, extent, capacity);
+        // Adopt the newest valid cut that is complete under the
+        // recovered epochs. A cut torn mid-write fails its checksum; a
+        // durable cut is always complete (it was submitted after every
+        // member commit's durability instant), so the component-wise
+        // check is a corruption guard, not an expected path.
+        let sums: Vec<u64> = shards.iter().map(|s| s.epoch_sum()).collect();
+        let mut best: Option<VectorCut> = None;
+        let mut buf = [0u8; BLOCK_SIZE];
+        for slot in CUT_SLOT_START..CUT_SLOT_START + CUT_SLOTS {
+            disk.read_block(vt, slot, &mut buf);
+            if let Some(rec) = CutRecord::from_block(&buf) {
+                let cut = VectorCut {
+                    seq: rec.seq,
+                    epochs: rec.epochs,
+                };
+                if cut.complete_under(&sums) && best.as_ref().is_none_or(|b| cut.seq > b.seq) {
+                    best = Some(cut);
+                }
+            }
+        }
+        let cut_seq = best.as_ref().map_or(0, |b| b.seq + 1);
+        Ok(ObjectStore {
+            shards,
+            broker: Some(broker),
+            cut_seq,
+            last_cut: best,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard an object name maps to (stable FNV-1a hash).
+    pub fn shard_of(&self, name: &str) -> usize {
+        (fnv1a(name.as_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    /// The shard a global object id lives on.
+    pub fn shard_of_id(&self, id: ObjectId) -> usize {
+        self.split(id).0
+    }
+
+    fn split(&self, id: ObjectId) -> (usize, ObjectId) {
+        (
+            (id.0 >> SHARD_ID_SHIFT) as usize,
+            ObjectId(id.0 & LOCAL_MASK),
+        )
+    }
+
+    fn join(shard: usize, local: ObjectId) -> ObjectId {
+        ObjectId(((shard as u32) << SHARD_ID_SHIFT) | local.0)
+    }
+
+    /// Runs `op` against shard `shard`, growing its block range through
+    /// the broker whenever the operation runs out of space. Every shard
+    /// operation aborts cleanly on `OutOfSpace` (no epoch advanced, no
+    /// blocks leaked) while the grant itself survives the abort, so
+    /// each retry strictly enlarges the usable range; the grant size
+    /// doubles per retry so any single contiguous extent demand is met,
+    /// and a `None` grant means the device is truly full.
+    fn with_grants<T>(
+        &mut self,
+        shard: usize,
+        mut op: impl FnMut(&mut StoreShard) -> Result<T, StoreError>,
+    ) -> Result<T, StoreError> {
+        let mut extents = 1u64;
+        loop {
+            match op(&mut self.shards[shard]) {
+                Err(StoreError::OutOfSpace) => {
+                    let Some((start, end)) = self.broker.as_mut().and_then(|b| b.grant(extents))
+                    else {
+                        return Err(StoreError::OutOfSpace);
+                    };
+                    self.shards[shard].grant_range(start, end);
+                    extents = extents.saturating_mul(2);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Creates an empty object, hashed to its home shard.
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreShard::create`].
+    pub fn create(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        name: &str,
+    ) -> Result<ObjectId, StoreError> {
+        let shard = self.shard_of(name);
+        let local = self.with_grants(shard, |s| s.create(vt, disk, name))?;
+        Ok(Self::join(shard, local))
+    }
+
+    /// Looks up an object by name.
+    pub fn lookup(&self, name: &str) -> Option<ObjectId> {
+        let shard = self.shard_of(name);
+        self.shards[shard]
+            .lookup(name)
+            .map(|local| Self::join(shard, local))
+    }
+
+    /// Names of all objects, shard-major in id order.
+    pub fn object_names(&self) -> Vec<String> {
+        self.shards.iter().flat_map(|s| s.object_names()).collect()
+    }
+
+    /// The name of an object id, if it exists.
+    pub fn object_name(&self, id: ObjectId) -> Option<String> {
+        let (shard, local) = self.split(id);
+        self.shards
+            .get(shard)?
+            .object_name(local)
+            .map(str::to_string)
+    }
+
+    /// The object's current epoch.
+    pub fn epoch(&self, id: ObjectId) -> Epoch {
+        let (shard, local) = self.split(id);
+        self.shards[shard].epoch(local)
+    }
+
+    /// The object's length in pages.
+    pub fn len_pages(&self, id: ObjectId) -> u64 {
+        let (shard, local) = self.split(id);
+        self.shards[shard].len_pages(local)
+    }
+
+    /// The durability instant of the object's latest μCheckpoint.
+    pub fn last_commit(&self, id: ObjectId) -> Nanos {
+        let (shard, local) = self.split(id);
+        self.shards[shard].last_commit(local)
+    }
+
+    /// Store-wide statistics, summed across shards.
+    pub fn stats(&self) -> StoreStats {
+        self.shards
+            .iter()
+            .map(|s| s.stats())
+            .fold(StoreStats::default(), add_stats)
+    }
+
+    /// Per-shard statistics, indexed by shard — the attribution surface
+    /// for benches and replication link metrics.
+    pub fn shard_stats(&self) -> Vec<StoreStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Per-shard epoch sums right now — the vector a cut would stamp.
+    pub fn epoch_vector(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.epoch_sum()).collect()
+    }
+
+    /// The newest stamped cut, if any.
+    pub fn last_cut(&self) -> Option<&VectorCut> {
+        self.last_cut.as_ref()
+    }
+
+    /// Stamps (and on v3 devices durably persists) an epoch-vector cut.
+    ///
+    /// This is the *stamp* phase of the fuzzy cut: callers first drain
+    /// in-flight group-commit tickets (flush open batches), then stamp,
+    /// then release new commits. The cut record is submitted no earlier
+    /// than every shard's durability frontier, so a durable cut record
+    /// implies every commit it counts is durable — the invariant the
+    /// crash sweep and replica promotion rely on. On legacy single-shard
+    /// devices the cut is stamped in memory only (there is no cut slot
+    /// in the v1/v2 layout).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the cut record cannot be written.
+    pub fn cut(&mut self, vt: &mut Vt, disk: &mut Disk) -> Result<VectorCut, StoreError> {
+        let cut = VectorCut {
+            seq: self.cut_seq,
+            epochs: self.epoch_vector(),
+        };
+        if self.broker.is_some() {
+            let rec = CutRecord {
+                seq: cut.seq,
+                epochs: cut.epochs.clone(),
+            };
+            let at = self
+                .shards
+                .iter()
+                .map(|s| s.max_chain_completes())
+                .max()
+                .unwrap_or(Nanos::ZERO)
+                .max(vt.now());
+            let block = rec.to_block();
+            let token =
+                write_retry(disk, at, CutRecord::slot(rec.seq), &block).map_err(StoreError::Io)?;
+            let wait = token.completes().saturating_sub(vt.now());
+            if wait > Nanos::ZERO {
+                vt.charge(Category::IoWait, wait);
+            }
+        }
+        self.cut_seq += 1;
+        self.last_cut = Some(cut.clone());
+        Ok(cut)
+    }
+
+    /// Resizes each shard's block cache to its share of `blocks` 4 KiB
+    /// slots (zero disables caching), dropping current contents.
+    pub fn set_cache_capacity(&mut self, blocks: usize) {
+        let per_shard = blocks.div_ceil(self.shards.len().max(1));
+        let per_shard = if blocks == 0 { 0 } else { per_shard };
+        for s in &mut self.shards {
+            s.set_cache_capacity(per_shard);
+        }
+    }
+
+    /// Drops every cached block in every shard without resizing.
+    pub fn drop_cache(&mut self) {
+        for s in &mut self.shards {
+            s.drop_cache();
+        }
+    }
+
+    /// Blocks currently resident across all shard caches.
+    pub fn cached_blocks(&self) -> usize {
+        self.shards.iter().map(|s| s.cached_blocks()).sum()
+    }
+
+    /// Ablation knob: when `false`, every μCheckpoint flushes the COW
+    /// tree and writes a full root (no delta-record fast path).
+    pub fn set_delta_commits(&mut self, enabled: bool) {
+        for s in &mut self.shards {
+            s.set_delta_commits(enabled);
+        }
+    }
+
+    /// Commits a μCheckpoint. See [`StoreShard::persist`].
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreShard::persist`].
+    pub fn persist(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        object: ObjectId,
+        pages: &[(u64, &[u8])],
+    ) -> Result<CommitToken, StoreError> {
+        let (shard, local) = self.split(object);
+        self.with_grants(shard, |s| s.persist(vt, disk, local, pages))
+    }
+
+    /// Commits several objects' μCheckpoints, fanned out across their
+    /// home shards; groups landing on the same shard share one batch
+    /// record and one data extent exactly as before. Tokens return in
+    /// input order. Atomicity is per shard (as it has always been per
+    /// object): an error from one shard does not roll back another
+    /// shard's already-durable batch.
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreShard::persist_batch`].
+    #[allow(clippy::type_complexity)]
+    pub fn persist_batch(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        groups: &[(ObjectId, &[(u64, &[u8])])],
+    ) -> Result<Vec<CommitToken>, StoreError> {
+        if self.shards.len() == 1 {
+            return self.with_grants(0, |s| s.persist_batch(vt, disk, groups));
+        }
+        let mut by_shard: Vec<Vec<(usize, (ObjectId, &[(u64, &[u8])]))>> =
+            vec![Vec::new(); self.shards.len()];
+        for (i, &(id, pages)) in groups.iter().enumerate() {
+            let (shard, local) = self.split(id);
+            by_shard[shard].push((i, (local, pages)));
+        }
+        let mut out: Vec<Option<CommitToken>> = vec![None; groups.len()];
+        for (shard, bucket) in by_shard.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let local: Vec<(ObjectId, &[(u64, &[u8])])> = bucket.iter().map(|&(_, g)| g).collect();
+            let tokens = self.with_grants(shard, |s| s.persist_batch(vt, disk, &local))?;
+            for (&(i, _), token) in bucket.iter().zip(tokens) {
+                out[i] = Some(token);
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|t| t.expect("token per group"))
+            .collect())
+    }
+
+    /// Retains the object's current epoch as a named snapshot. Snapshot
+    /// names are unique store-wide (across shards).
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreShard::snapshot_create`].
+    pub fn snapshot_create(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        object: ObjectId,
+        name: &str,
+    ) -> Result<Epoch, StoreError> {
+        let (shard, local) = self.split(object);
+        if self
+            .shards
+            .iter()
+            .enumerate()
+            .any(|(i, s)| i != shard && s.snapshot_lookup(name).is_some())
+        {
+            return Err(StoreError::SnapshotExists);
+        }
+        self.with_grants(shard, |s| s.snapshot_create(vt, disk, local, name))
+    }
+
+    /// The shard holding the named snapshot, if any.
+    fn snap_shard(&self, name: &str) -> Option<usize> {
+        self.shards
+            .iter()
+            .position(|s| s.snapshot_lookup(name).is_some())
+    }
+
+    /// Deletes a retained snapshot.
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreShard::snapshot_delete`].
+    pub fn snapshot_delete(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        name: &str,
+    ) -> Result<(), StoreError> {
+        let shard = self.snap_shard(name).ok_or(StoreError::SnapshotNotFound)?;
+        self.with_grants(shard, |s| s.snapshot_delete(vt, disk, name))
+    }
+
+    /// All retained snapshots, shard-major in catalog order, with
+    /// object ids translated to their global form.
+    pub fn snapshots(&self) -> Vec<SnapEntry> {
+        self.shards
+            .iter()
+            .enumerate()
+            .flat_map(|(shard, s)| {
+                s.snapshots().into_iter().map(move |mut e| {
+                    e.object = Self::join(shard, e.object);
+                    e
+                })
+            })
+            .collect()
+    }
+
+    /// Looks up a retained snapshot by name. The returned entry's
+    /// object id is global.
+    pub fn snapshot_lookup(&self, name: &str) -> Option<SnapEntry> {
+        self.shards.iter().enumerate().find_map(|(shard, s)| {
+            s.snapshot_lookup(name).map(|e| {
+                let mut e = e.clone();
+                e.object = Self::join(shard, e.object);
+                e
+            })
+        })
+    }
+
+    /// Reads one page of the named snapshot.
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreShard::read_page_at`].
+    pub fn read_page_at(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        name: &str,
+        page: u64,
+        out: &mut [u8],
+    ) -> Result<(), StoreError> {
+        let shard = self.snap_shard(name).ok_or(StoreError::SnapshotNotFound)?;
+        self.shards[shard].read_page_at(vt, disk, name, page, out)
+    }
+
+    /// Structural diff between two snapshots of the same object.
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreShard::snapshot_diff`]; additionally
+    /// [`StoreError::SnapshotMismatch`] if `base` and `target` live on
+    /// different shards (and hence belong to different objects).
+    pub fn snapshot_diff(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        base: Option<&str>,
+        target: &str,
+    ) -> Result<Vec<u64>, StoreError> {
+        let shard = self
+            .snap_shard(target)
+            .ok_or(StoreError::SnapshotNotFound)?;
+        if let Some(b) = base {
+            match self.snap_shard(b) {
+                Some(s) if s == shard => {}
+                Some(_) => return Err(StoreError::SnapshotMismatch),
+                None => return Err(StoreError::SnapshotNotFound),
+            }
+        }
+        self.shards[shard].snapshot_diff(vt, disk, base, target)
+    }
+
+    /// Applies a replication image. See [`StoreShard::apply_image`].
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreShard::apply_image`].
+    pub fn apply_image(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        object: ObjectId,
+        pages: &[(u64, &[u8])],
+        target_epoch: Epoch,
+    ) -> Result<CommitToken, StoreError> {
+        let (shard, local) = self.split(object);
+        self.with_grants(shard, |s| {
+            s.apply_image(vt, disk, local, pages, target_epoch)
+        })
+    }
+
+    /// Fences an object forward to `epoch`. See
+    /// [`StoreShard::fence_epoch`].
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreShard::fence_epoch`].
+    pub fn fence_epoch(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        object: ObjectId,
+        epoch: Epoch,
+    ) -> Result<CommitToken, StoreError> {
+        let (shard, local) = self.split(object);
+        self.with_grants(shard, |s| s.fence_epoch(vt, disk, local, epoch))
+    }
+
+    /// Rebases an object onto a retained snapshot plus `pages`. See
+    /// [`StoreShard::apply_image_at_base`].
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreShard::apply_image_at_base`].
+    pub fn apply_image_at_base(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        object: ObjectId,
+        base: &str,
+        pages: &[(u64, &[u8])],
+        target_epoch: Epoch,
+    ) -> Result<CommitToken, StoreError> {
+        let (shard, local) = self.split(object);
+        self.with_grants(shard, |s| {
+            s.apply_image_at_base(vt, disk, local, base, pages, target_epoch)
+        })
+    }
+
+    /// Disk blocks pinned by retained snapshots, across shards.
+    pub fn pinned_blocks(&self) -> usize {
+        self.shards.iter().map(|s| s.pinned_blocks()).sum()
+    }
+
+    /// Pinned blocks whose recycle gate has passed, across shards.
+    pub fn withheld_blocks(&self) -> usize {
+        self.shards.iter().map(|s| s.withheld_blocks()).sum()
+    }
+
+    /// Blocks the calling thread's virtual clock until `token`'s
+    /// μCheckpoint is durable.
+    pub fn wait(vt: &mut Vt, token: CommitToken) {
+        StoreShard::wait(vt, token);
+    }
+
+    /// Reads one page of an object's current epoch.
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreShard::read_page`].
+    pub fn read_page(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        object: ObjectId,
+        page: u64,
+        out: &mut [u8],
+    ) -> Result<(), StoreError> {
+        let (shard, local) = self.split(object);
+        self.shards[shard].read_page(vt, disk, local, page, out)
+    }
+
+    /// Runs the online scrubber for up to `budget` device reads, split
+    /// evenly across shards (a shard that spends less donates its
+    /// remainder to later shards). Returns the summed delta; `passes`
+    /// counts full passes over *every* shard's forest.
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreShard::scrub`].
+    pub fn scrub(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        budget: u64,
+    ) -> Result<ScrubStats, StoreError> {
+        let passes_before = self
+            .shards
+            .iter()
+            .map(|s| s.scrub_stats().passes)
+            .min()
+            .unwrap_or(0);
+        let n = self.shards.len();
+        let mut total = ScrubStats::default();
+        let mut remaining = budget;
+        for shard in 0..n {
+            if remaining == 0 {
+                break;
+            }
+            let share = if shard + 1 == n {
+                remaining
+            } else {
+                (remaining / (n - shard) as u64).max(1)
+            };
+            let delta = self.with_grants(shard, |s| s.scrub(vt, disk, share))?;
+            remaining = remaining.saturating_sub(delta.io_spent.max(1).min(share));
+            total = add_scrub(total, delta);
+        }
+        let passes_after = self
+            .shards
+            .iter()
+            .map(|s| s.scrub_stats().passes)
+            .min()
+            .unwrap_or(0);
+        total.passes = passes_after - passes_before;
+        Ok(total)
+    }
+
+    /// Cumulative scrub statistics, summed across shards; `passes` is
+    /// the minimum over shards (a store-wide pass requires every shard
+    /// to finish one).
+    pub fn scrub_stats(&self) -> ScrubStats {
+        let mut total = self
+            .shards
+            .iter()
+            .map(|s| s.scrub_stats())
+            .fold(ScrubStats::default(), add_scrub);
+        total.passes = self
+            .shards
+            .iter()
+            .map(|s| s.scrub_stats().passes)
+            .min()
+            .unwrap_or(0);
+        total
+    }
+
+    /// Corrupt pages with no clean local source, across shards, with
+    /// object ids translated to their global form.
+    pub fn unrepaired_pages(&self) -> Vec<UnrepairedPage> {
+        self.shards
+            .iter()
+            .enumerate()
+            .flat_map(|(shard, s)| {
+                s.unrepaired_pages().into_iter().map(move |mut u| {
+                    u.object = Self::join(shard, u.object);
+                    u
+                })
+            })
+            .collect()
+    }
+
+    /// Blocks quarantined after failing digest verification.
+    pub fn quarantined_blocks(&self) -> usize {
+        self.shards.iter().map(|s| s.quarantined_blocks()).sum()
+    }
+
+    /// Heals a quarantined page from a verified peer copy. See
+    /// [`StoreShard::repair_page`].
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreShard::repair_page`].
+    pub fn repair_page(
+        &mut self,
+        vt: &mut Vt,
+        disk: &mut Disk,
+        object: ObjectId,
+        page: u64,
+        data: &[u8],
+    ) -> Result<CommitToken, StoreError> {
+        let (shard, local) = self.split(object);
+        self.with_grants(shard, |s| s.repair_page(vt, disk, local, page, data))
+    }
+}
+
+/// Component-wise sum of two [`StoreStats`].
+fn add_stats(a: StoreStats, b: StoreStats) -> StoreStats {
+    StoreStats {
+        commits: a.commits + b.commits,
+        delta_commits: a.delta_commits + b.delta_commits,
+        pages_written: a.pages_written + b.pages_written,
+        nodes_written: a.nodes_written + b.nodes_written,
+        batch_commits: a.batch_commits + b.batch_commits,
+        batched_objects: a.batched_objects + b.batched_objects,
+        cache_hits: a.cache_hits + b.cache_hits,
+        cache_misses: a.cache_misses + b.cache_misses,
+        cache_evictions: a.cache_evictions + b.cache_evictions,
+        hydrations: a.hydrations + b.hydrations,
+    }
+}
+
+/// Component-wise sum of two [`ScrubStats`] (callers fix up `passes`).
+fn add_scrub(a: ScrubStats, b: ScrubStats) -> ScrubStats {
+    ScrubStats {
+        pages_verified: a.pages_verified + b.pages_verified,
+        nodes_verified: a.nodes_verified + b.nodes_verified,
+        corruptions_found: a.corruptions_found + b.corruptions_found,
+        repairs: a.repairs + b.repairs,
+        unrepaired: a.unrepaired + b.unrepaired,
+        digests_backfilled: a.digests_backfilled + b.digests_backfilled,
+        io_spent: a.io_spent + b.io_spent,
+        passes: a.passes + b.passes,
+    }
+}
+
+/// Writes one block with transient-fault retries, like the shard-level
+/// write path (used for the cut record, which lives outside any shard).
+fn write_retry(
+    disk: &mut Disk,
+    at: Nanos,
+    block: u64,
+    data: &[u8; BLOCK_SIZE],
+) -> Result<msnap_disk::WriteToken, IoError> {
+    let mut attempts = 1;
+    loop {
+        match disk.write_block_at(at, block, data) {
+            Err(e) if e.is_transient() && attempts < MAX_IO_ATTEMPTS => attempts += 1,
+            other => return other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msnap_disk::DiskConfig;
+
+    fn page_of(byte: u8) -> Vec<u8> {
+        vec![byte; BLOCK_SIZE]
+    }
+
+    #[test]
+    fn legacy_format_is_single_shard_passthrough() {
+        let mut disk = Disk::new(DiskConfig::paper());
+        let mut store = ObjectStore::format(&mut disk);
+        let mut vt = Vt::new(0);
+        assert_eq!(store.shard_count(), 1);
+        let obj = store.create(&mut vt, &mut disk, "a").unwrap();
+        assert_eq!(obj, ObjectId(0), "shard 0 ids are identical to legacy");
+        let page = page_of(7);
+        let tok = store
+            .persist(&mut vt, &mut disk, obj, &[(0, &page)])
+            .unwrap();
+        assert_eq!(tok.epoch, 1);
+        ObjectStore::wait(&mut vt, tok);
+        // A legacy device re-opens through the sniffing path.
+        disk.crash(vt.now());
+        let mut reopened = ObjectStore::open(&mut vt, &mut disk).unwrap();
+        assert_eq!(reopened.shard_count(), 1);
+        let mut out = [0u8; BLOCK_SIZE];
+        reopened
+            .read_page(&mut vt, &mut disk, ObjectId(0), 0, &mut out)
+            .unwrap();
+        assert_eq!(out[..8], page[..8]);
+    }
+
+    #[test]
+    fn sharded_store_spreads_objects_and_survives_reopen() {
+        let mut disk = Disk::new(DiskConfig::paper());
+        let mut store = ObjectStore::format_sharded(&mut disk, 4);
+        let mut vt = Vt::new(0);
+        assert_eq!(store.shard_count(), 4);
+        let mut ids = Vec::new();
+        for i in 0..16 {
+            let name = format!("obj-{i}");
+            let id = store.create(&mut vt, &mut disk, &name).unwrap();
+            assert_eq!(store.lookup(&name), Some(id));
+            let page = page_of(i as u8);
+            let tok = store
+                .persist(&mut vt, &mut disk, id, &[(0, &page)])
+                .unwrap();
+            ObjectStore::wait(&mut vt, tok);
+            ids.push((name, id));
+        }
+        let used: std::collections::HashSet<usize> =
+            ids.iter().map(|(n, _)| store.shard_of(n)).collect();
+        assert!(used.len() > 1, "16 objects must spread across shards");
+        disk.crash(vt.now());
+        let mut reopened = ObjectStore::open(&mut vt, &mut disk).unwrap();
+        assert_eq!(reopened.shard_count(), 4);
+        for (i, (name, id)) in ids.iter().enumerate() {
+            assert_eq!(reopened.lookup(name), Some(*id), "{name} survives");
+            let mut out = [0u8; BLOCK_SIZE];
+            reopened
+                .read_page(&mut vt, &mut disk, *id, 0, &mut out)
+                .unwrap();
+            assert_eq!(out[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn broker_grants_are_disjoint_and_exhaust_at_capacity() {
+        let mut b = ExtentBroker::new(100, 10, Some(125));
+        assert_eq!(b.grant(1), Some((100, 110)));
+        assert_eq!(b.grant(1), Some((110, 120)));
+        assert_eq!(b.grant(1), Some((120, 125)), "partial final grant");
+        assert_eq!(b.grant(1), None, "device exhausted");
+        let mut unbounded = ExtentBroker::new(0, 8, None);
+        assert_eq!(unbounded.grant(4), Some((0, 32)), "multi-extent grant");
+    }
+
+    #[test]
+    fn cuts_are_durable_and_recovered() {
+        let mut disk = Disk::new(DiskConfig::paper());
+        let mut store = ObjectStore::format_sharded(&mut disk, 2);
+        let mut vt = Vt::new(0);
+        let a = store.create(&mut vt, &mut disk, "a").unwrap();
+        let page = page_of(1);
+        let tok = store.persist(&mut vt, &mut disk, a, &[(0, &page)]).unwrap();
+        ObjectStore::wait(&mut vt, tok);
+        let cut = store.cut(&mut vt, &mut disk).unwrap();
+        assert_eq!(cut.seq, 1, "genesis cut is seq 0");
+        assert_eq!(cut.epochs.iter().sum::<u64>(), 1);
+        disk.crash(vt.now());
+        let reopened = ObjectStore::open(&mut vt, &mut disk).unwrap();
+        let recovered = reopened.last_cut().expect("cut survives crash");
+        assert_eq!(recovered, &cut);
+        assert!(recovered.complete_under(&reopened.epoch_vector()));
+    }
+
+    #[test]
+    fn with_grants_retries_until_space_or_exhaustion() {
+        // A tiny device: 2 shards, extents of DEFAULT_EXTENT_BLOCKS will
+        // be clamped by capacity; writing until OutOfSpace must not
+        // wedge or leak epochs.
+        let mut cfg = DiskConfig::paper();
+        let floor = ShardLayout::sharded(0, 2).data_floor;
+        cfg.capacity_blocks = Some(floor + 96);
+        let mut disk = Disk::new(cfg);
+        let mut store = ObjectStore::format_sharded(&mut disk, 2);
+        let mut vt = Vt::new(0);
+        let obj = store.create(&mut vt, &mut disk, "fill").unwrap();
+        let page = page_of(9);
+        let mut committed = 0u64;
+        loop {
+            match store.persist(&mut vt, &mut disk, obj, &[(committed, &page)]) {
+                Ok(tok) => {
+                    ObjectStore::wait(&mut vt, tok);
+                    committed += 1;
+                }
+                Err(StoreError::OutOfSpace) => break,
+                Err(e) => panic!("unexpected error: {e:?}"),
+            }
+            assert!(committed < 10_000, "device never fills");
+        }
+        assert!(committed > 0, "some commits must land before exhaustion");
+        assert_eq!(
+            store.epoch(obj),
+            committed,
+            "aborts must not advance epochs"
+        );
+    }
+}

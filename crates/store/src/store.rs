@@ -19,10 +19,10 @@ use msnap_disk::{Disk, IoError, WriteToken, BLOCK_SIZE};
 use msnap_sim::{Category, Nanos, Vt};
 
 use crate::layout::{
-    self, BatchGroup, BatchRecord, DeltaRecord, DirEntry, Epoch, ObjectId, RootRecord, SnapCatalog,
-    SnapEntry, BATCH_RING_START, BATCH_SLOTS, DELTA_SLOTS, DIGEST_NONE, DIR_BLOCKS, DIR_ENTRY_LEN,
-    DIR_START, ENTRIES_PER_BLOCK, FIRST_DATA_BLOCK, MAX_DELTA_PAIRS, MAX_OBJECTS, MAX_SNAPSHOTS,
-    NAME_LEN, OBJECT_META_BLOCKS, SNAP_CATALOG_SLOTS, SNAP_CATALOG_START, SUPERBLOCK, SUPER_MAGIC,
+    self, BatchGroup, BatchRecord, DeltaRecord, DirEntry, Epoch, ObjectId, RootRecord, ShardLayout,
+    SnapCatalog, SnapEntry, BATCH_SLOTS, DELTA_SLOTS, DIGEST_NONE, DIR_BLOCKS, DIR_ENTRY_LEN,
+    ENTRIES_PER_BLOCK, FIRST_DATA_BLOCK, MAX_DELTA_PAIRS, MAX_OBJECTS, MAX_SNAPSHOTS, NAME_LEN,
+    OBJECT_META_BLOCKS, SNAP_CATALOG_SLOTS, SUPER_MAGIC,
 };
 use crate::radix::TreeError;
 use crate::{BlockAllocator, BlockCache, RadixTree};
@@ -55,14 +55,14 @@ pub enum StoreError {
     TooManySnapshots,
     /// A diff was requested between snapshots of different objects.
     SnapshotMismatch,
-    /// [`ObjectStore::apply_image`] with a target epoch at or behind the
+    /// [`StoreShard::apply_image`] with a target epoch at or behind the
     /// object's current epoch: the image would move the replica backward.
     StaleEpoch,
     /// A page's at-rest digest did not match the bytes the device
     /// returned: silent corruption (bit rot) detected — and **not**
     /// served. The block is quarantined; heal it from a retained
-    /// snapshot or a replica (see [`ObjectStore::scrub`] and
-    /// [`ObjectStore::repair_page`]).
+    /// snapshot or a replica (see [`StoreShard::scrub`] and
+    /// [`StoreShard::repair_page`]).
     CorruptData {
         /// Page index whose data failed verification.
         page: u64,
@@ -77,7 +77,7 @@ pub enum StoreError {
         /// The corrupt node block.
         block: u64,
     },
-    /// [`ObjectStore::repair_page`] was handed bytes that do not match
+    /// [`StoreShard::repair_page`] was handed bytes that do not match
     /// the page's expected digest: the proposed clean copy is itself
     /// corrupt (or stale) and was rejected.
     RepairMismatch,
@@ -248,7 +248,7 @@ pub struct StoreStats {
 }
 
 /// Cumulative statistics for the online scrubber
-/// ([`ObjectStore::scrub`]).
+/// ([`StoreShard::scrub`]).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ScrubStats {
     /// Leaf pages whose data block was read back and verified against
@@ -259,11 +259,11 @@ pub struct ScrubStats {
     /// Digest mismatches found (data blocks and node media).
     pub corruptions_found: u64,
     /// Corruptions healed: pages re-materialized from a retained
-    /// snapshot (or a peer via [`ObjectStore::repair_page`]) and
+    /// snapshot (or a peer via [`StoreShard::repair_page`]) and
     /// resident nodes rewritten from their clean in-memory copies.
     pub repairs: u64,
     /// Corruptions with no clean local source: quarantined and reported
-    /// through [`ObjectStore::unrepaired_pages`], awaiting a peer copy.
+    /// through [`StoreShard::unrepaired_pages`], awaiting a peer copy.
     pub unrepaired: u64,
     /// Old-layout (pre-digest) leaf entries backfilled with a freshly
     /// computed digest during the scrub walk.
@@ -277,7 +277,7 @@ pub struct ScrubStats {
 /// A corrupt page the scrubber quarantined but could not heal locally
 /// (no retained snapshot holds an independent clean copy). Replication
 /// drains these into `PageRepairRequest` messages; a peer's clean copy
-/// lands through [`ObjectStore::repair_page`].
+/// lands through [`StoreShard::repair_page`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UnrepairedPage {
     /// Object owning the page.
@@ -334,10 +334,10 @@ struct ObjectState {
 /// epoch's (fully committed) tree for point-in-time reads and diffs, and
 /// the exact block set the snapshot pins.
 ///
-/// After [`ObjectStore::open`] the tree is *unloaded* (an O(1) wrapper
+/// After [`StoreShard::open`] the tree is *unloaded* (an O(1) wrapper
 /// around the catalog's root block) and `pinned` is false: `blocks` is
 /// empty and no pins are registered. Pins materialize on demand — see
-/// [`ObjectStore::ensure_pins`] — before the store frees its first
+/// [`StoreShard::ensure_pins`] — before the store frees its first
 /// block, which is the only moment pins are consulted.
 struct SnapState {
     entry: SnapEntry,
@@ -347,8 +347,15 @@ struct SnapState {
     pinned: bool,
 }
 
-/// The copy-on-write object store. See the crate and module docs.
-pub struct ObjectStore {
+/// One shard of the copy-on-write object store: a complete store in its
+/// own right (allocator, radix forest, batch ring, snapshot catalog)
+/// whose metadata slab lives at a [`ShardLayout`]-determined base. A
+/// legacy single-shard store is exactly a `StoreShard` with the
+/// `base = 0` layout; the sharded [`crate::ObjectStore`] wrapper owns
+/// `N` of these plus the extent broker that partitions the data area
+/// between them. See the crate and module docs.
+pub struct StoreShard {
+    layout: ShardLayout,
     alloc: BlockAllocator,
     objects: Vec<ObjectState>,
     by_name: HashMap<String, ObjectId>,
@@ -399,46 +406,56 @@ pub struct ObjectStore {
     /// Cumulative scrub statistics.
     scrub_stats: ScrubStats,
     /// Corrupt pages with no clean local source, waiting for a peer
-    /// copy via [`ObjectStore::repair_page`].
+    /// copy via [`StoreShard::repair_page`].
     unrepaired: Vec<UnrepairedPage>,
 }
 
-impl fmt::Debug for ObjectStore {
+impl fmt::Debug for StoreShard {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ObjectStore")
+        f.debug_struct("StoreShard")
             .field("objects", &self.objects.len())
             .field("high_water", &self.alloc.high_water())
             .finish()
     }
 }
 
-impl ObjectStore {
+impl StoreShard {
     /// Formats `disk` with an empty store and returns it.
     ///
     /// Formatting happens before any workload runs; injecting faults into
     /// it is unsupported, so a device error here is a setup bug and
     /// panics.
     pub fn format(disk: &mut Disk) -> Self {
+        let alloc = BlockAllocator::with_capacity(FIRST_DATA_BLOCK, disk.config().capacity_blocks);
+        let shard = Self::format_at(disk, ShardLayout::legacy(), alloc);
+        disk.settle();
+        shard
+    }
+
+    /// Formats one shard's metadata slab at `layout` and returns the
+    /// shard working out of `alloc`. Used by the legacy [`StoreShard::format`]
+    /// (layout base 0, capacity-bounded allocator) and by the sharded
+    /// wrapper (per-shard slabs, broker-range-bounded allocators). The
+    /// caller settles the device once all shards are formatted.
+    pub(crate) fn format_at(disk: &mut Disk, layout: ShardLayout, alloc: BlockAllocator) -> Self {
         let mut sb = [0u8; BLOCK_SIZE];
         sb[0..8].copy_from_slice(&SUPER_MAGIC.to_le_bytes());
-        disk.write_block_at(Nanos::ZERO, SUPERBLOCK, &sb)
+        disk.write_block_at(Nanos::ZERO, layout.superblock(), &sb)
             .expect("formatting a faulty device is unsupported");
         let zero = [0u8; BLOCK_SIZE];
-        for b in DIR_START..DIR_START + DIR_BLOCKS {
+        let dir = layout.dir_start();
+        let ring = layout.batch_ring_start();
+        let cat = layout.snap_catalog_start();
+        for b in (dir..dir + DIR_BLOCKS)
+            .chain(ring..ring + BATCH_SLOTS)
+            .chain(cat..cat + SNAP_CATALOG_SLOTS)
+        {
             disk.write_block_at(Nanos::ZERO, b, &zero)
                 .expect("formatting a faulty device is unsupported");
         }
-        for b in BATCH_RING_START..BATCH_RING_START + BATCH_SLOTS {
-            disk.write_block_at(Nanos::ZERO, b, &zero)
-                .expect("formatting a faulty device is unsupported");
-        }
-        for b in SNAP_CATALOG_START..SNAP_CATALOG_START + SNAP_CATALOG_SLOTS {
-            disk.write_block_at(Nanos::ZERO, b, &zero)
-                .expect("formatting a faulty device is unsupported");
-        }
-        disk.settle();
-        ObjectStore {
-            alloc: BlockAllocator::with_capacity(FIRST_DATA_BLOCK, disk.config().capacity_blocks),
+        StoreShard {
+            layout,
+            alloc,
             objects: Vec::new(),
             by_name: HashMap::new(),
             pending_free: BinaryHeap::new(),
@@ -480,15 +497,30 @@ impl ObjectStore {
     ///
     /// [`StoreError::NotFormatted`] if the superblock is missing.
     pub fn open(vt: &mut Vt, disk: &mut Disk) -> Result<Self, StoreError> {
+        Self::open_at(vt, disk, ShardLayout::legacy(), false)
+    }
+
+    /// Opens one shard from its metadata slab at `layout`. With
+    /// `bounded_alloc` the recovered allocator is range-bounded at its
+    /// own frontier (hands out nothing until the wrapper re-grants the
+    /// tail of the frontier's extent); without it the allocator bumps
+    /// freely to the device capacity — the legacy single-shard mode.
+    pub(crate) fn open_at(
+        vt: &mut Vt,
+        disk: &mut Disk,
+        layout: ShardLayout,
+        bounded_alloc: bool,
+    ) -> Result<Self, StoreError> {
         let mut sb = [0u8; BLOCK_SIZE];
-        disk.read_block(vt, SUPERBLOCK, &mut sb);
+        disk.read_block(vt, layout.superblock(), &mut sb);
         if u64::from_le_bytes(sb[0..8].try_into().unwrap()) != SUPER_MAGIC {
             return Err(StoreError::NotFormatted);
         }
 
         let mut entries = Vec::new();
         let mut buf = [0u8; BLOCK_SIZE];
-        for b in DIR_START..DIR_START + DIR_BLOCKS {
+        let dir_start = layout.dir_start();
+        for b in dir_start..dir_start + DIR_BLOCKS {
             disk.read_block(vt, b, &mut buf);
             for i in 0..ENTRIES_PER_BLOCK {
                 if let Some(e) = DirEntry::decode(&buf[i * DIR_ENTRY_LEN..(i + 1) * DIR_ENTRY_LEN])
@@ -506,7 +538,7 @@ impl ObjectStore {
         let mut batch_groups: HashMap<u32, Vec<BatchGroup>> = HashMap::new();
         for i in 0..BATCH_SLOTS {
             vt.charge(Category::FileSystem, costs::ROOT_PARSE);
-            disk.read_block(vt, BATCH_RING_START + i, &mut buf);
+            disk.read_block(vt, layout.batch_ring_start() + i, &mut buf);
             if let Some(rec) = BatchRecord::from_block(&buf) {
                 batch_seq = batch_seq.max(rec.seq + 1);
                 batch_ring[i as usize] = rec.groups.iter().map(|g| (g.object, g.epoch)).collect();
@@ -516,7 +548,7 @@ impl ObjectStore {
             }
         }
 
-        let mut high_water = FIRST_DATA_BLOCK;
+        let mut high_water = layout.data_floor;
         let mut objects: Vec<Option<ObjectState>> = Vec::new();
         let mut by_name = HashMap::new();
         for entry in entries {
@@ -694,7 +726,7 @@ impl ObjectStore {
         let mut catalog: Option<SnapCatalog> = None;
         for i in 0..SNAP_CATALOG_SLOTS {
             vt.charge(Category::FileSystem, costs::ROOT_PARSE);
-            disk.read_block(vt, SNAP_CATALOG_START + i, &mut buf);
+            disk.read_block(vt, layout.snap_catalog_start() + i, &mut buf);
             if let Some(cat) = SnapCatalog::from_block(&buf) {
                 if catalog.as_ref().is_none_or(|c| cat.seq > c.seq) {
                     catalog = Some(cat);
@@ -729,8 +761,16 @@ impl ObjectStore {
         }
         let pins_ready = snapshots.is_empty();
 
-        Ok(ObjectStore {
-            alloc: BlockAllocator::with_capacity(high_water, disk.config().capacity_blocks),
+        Ok(StoreShard {
+            layout,
+            alloc: if bounded_alloc {
+                // The wrapper re-grants the unallocated tail of the
+                // frontier's extent (and anything newer) from broker
+                // state it recovers across all shards.
+                BlockAllocator::bounded(high_water, high_water)
+            } else {
+                BlockAllocator::with_capacity(high_water, disk.config().capacity_blocks)
+            },
             objects,
             by_name,
             pending_free: BinaryHeap::new(),
@@ -842,6 +882,42 @@ impl ObjectStore {
         self.stats
     }
 
+    /// Grants the block range `[start, end)` to this shard's allocator.
+    /// Only meaningful for bounded (broker-fed) shards.
+    pub(crate) fn grant_range(&mut self, start: u64, end: u64) {
+        self.alloc.add_range(start, end);
+    }
+
+    /// The shard's bump frontier (next never-allocated block).
+    pub(crate) fn high_water(&self) -> u64 {
+        self.alloc.high_water()
+    }
+
+    /// Sum of all object epochs: the shard's logical clock. Every commit
+    /// advances exactly one object's epoch by one, so this sum is a
+    /// monotone counter that recovery reconstructs for free from the
+    /// recovered roots — the per-shard component of a vector cut.
+    pub(crate) fn epoch_sum(&self) -> u64 {
+        self.objects.iter().map(|o| o.epoch).sum()
+    }
+
+    /// Max durability frontier over all objects: the instant by which
+    /// every commit this shard has ever initiated is on the device.
+    pub(crate) fn max_chain_completes(&self) -> Nanos {
+        self.objects
+            .iter()
+            .map(|o| o.chain_completes)
+            .max()
+            .unwrap_or(Nanos::ZERO)
+    }
+
+    /// The name of a (shard-local) object id, if it exists.
+    pub(crate) fn object_name(&self, id: ObjectId) -> Option<&str> {
+        self.objects
+            .get(id.0 as usize)
+            .map(|o| o.entry.name.as_str())
+    }
+
     /// Resizes the block cache to `blocks` 4 KiB slots, dropping current
     /// contents. Zero disables caching (every read goes to the device).
     pub fn set_cache_capacity(&mut self, blocks: usize) {
@@ -872,7 +948,7 @@ impl ObjectStore {
     /// The call charges the *CPU* cost of initiating the writes and
     /// returns without blocking; the returned token carries the
     /// completion instant. Synchronous callers follow with
-    /// [`ObjectStore::wait`].
+    /// [`StoreShard::wait`].
     ///
     /// # Errors
     ///
@@ -1137,11 +1213,11 @@ impl ObjectStore {
     /// truncates the chains of the objects whose payload it corrupts.
     ///
     /// Batches of zero or one group, and batches too large for one
-    /// record block, fall back to [`ObjectStore::persist`] per group.
+    /// record block, fall back to [`StoreShard::persist`] per group.
     ///
     /// # Errors
     ///
-    /// As for [`ObjectStore::persist`]. The batched submission is
+    /// As for [`StoreShard::persist`]. The batched submission is
     /// all-or-nothing: on error **no** group's epoch advances and every
     /// allocated block is returned. (In the serial fallback, groups
     /// committed before the failing one stay committed, exactly as
@@ -1246,7 +1322,7 @@ impl ObjectStore {
             seq: self.batch_seq,
             groups: rec_groups,
         };
-        let record_block = BATCH_RING_START + self.batch_seq % BATCH_SLOTS;
+        let record_block = self.layout.batch_ring_start() + self.batch_seq % BATCH_SLOTS;
         let cache = &mut self.cache;
         let token = (|| {
             let data_token = writev_retry(disk, vt.now(), &iov, cache)?;
@@ -1301,7 +1377,7 @@ impl ObjectStore {
     }
 
     /// Materializes the pin sets of snapshots adopted unloaded by
-    /// [`ObjectStore::open`]: hydrates each snapshot tree (through the
+    /// [`StoreShard::open`]: hydrates each snapshot tree (through the
     /// block cache) and registers its reachable blocks in `snap_pins`.
     ///
     /// Called before any path that can free a block (recycling, snapshot
@@ -1696,7 +1772,7 @@ impl ObjectStore {
     /// **promotion fence**: a replica promoted to primary first jumps
     /// its epoch past anything the failed primary could have durably
     /// committed, so every epoch the new primary hands out is strictly
-    /// newer than the abandoned history and [`ObjectStore::apply_image`]'s
+    /// newer than the abandoned history and [`StoreShard::apply_image`]'s
     /// forward-only rule keeps holding on every node.
     ///
     /// # Errors
@@ -1846,7 +1922,7 @@ impl ObjectStore {
             seq: self.snap_seq,
             entries: self.snapshots.iter().map(|s| s.entry.clone()).collect(),
         };
-        let slot = SnapCatalog::slot(cat.seq);
+        let slot = self.layout.snap_slot(cat.seq);
         let token = writev_retry(
             disk,
             at.max(vt.now()),
@@ -1954,12 +2030,12 @@ impl ObjectStore {
     /// crash-atomic full-root flush; a corrupt leaf page is
     /// re-materialized from the newest retained snapshot still holding an
     /// independent clean copy. Pages with no clean local source are
-    /// reported through [`ObjectStore::unrepaired_pages`] for a peer to
-    /// heal via [`ObjectStore::repair_page`]. Repaired pages always land
+    /// reported through [`StoreShard::unrepaired_pages`] for a peer to
+    /// heal via [`StoreShard::repair_page`]. Repaired pages always land
     /// through the normal crash-atomic commit path — never in place.
     ///
     /// Returns the statistics delta for this call; cumulative totals are
-    /// at [`ObjectStore::scrub_stats`].
+    /// at [`StoreShard::scrub_stats`].
     ///
     /// # Errors
     ///
@@ -2119,15 +2195,15 @@ impl ObjectStore {
         Ok(self.scrub_delta(before))
     }
 
-    /// Cumulative scrub statistics across every [`ObjectStore::scrub`]
-    /// call (and peer repairs landed via [`ObjectStore::repair_page`]).
+    /// Cumulative scrub statistics across every [`StoreShard::scrub`]
+    /// call (and peer repairs landed via [`StoreShard::repair_page`]).
     pub fn scrub_stats(&self) -> ScrubStats {
         self.scrub_stats
     }
 
     /// Corrupt pages quarantined with no clean local source: replication
     /// turns these into `RepairRequest` messages, and a verified peer
-    /// copy heals them through [`ObjectStore::repair_page`].
+    /// copy heals them through [`StoreShard::repair_page`].
     pub fn unrepaired_pages(&self) -> Vec<UnrepairedPage> {
         self.unrepaired.clone()
     }
@@ -2231,7 +2307,7 @@ impl ObjectStore {
     /// through the ordinary crash-atomic commit path, never in place.
     ///
     /// Also the idempotent landing point for pages the scrubber reported
-    /// through [`ObjectStore::unrepaired_pages`].
+    /// through [`StoreShard::unrepaired_pages`].
     ///
     /// # Errors
     ///
@@ -2293,7 +2369,7 @@ impl ObjectStore {
         entry: &DirEntry,
     ) -> Result<(), StoreError> {
         let slot = entry.id.0 as usize;
-        let dir_block = DIR_START + (slot / ENTRIES_PER_BLOCK) as u64;
+        let dir_block = self.layout.dir_start() + (slot / ENTRIES_PER_BLOCK) as u64;
         let mut buf = [0u8; BLOCK_SIZE];
         disk.read_block(vt, dir_block, &mut buf);
         let off = (slot % ENTRIES_PER_BLOCK) * DIR_ENTRY_LEN;
@@ -2314,9 +2390,9 @@ mod tests {
         vec![byte; BLOCK_SIZE]
     }
 
-    fn setup() -> (Disk, ObjectStore, Vt) {
+    fn setup() -> (Disk, StoreShard, Vt) {
         let mut disk = Disk::new(DiskConfig::paper());
-        let store = ObjectStore::format(&mut disk);
+        let store = StoreShard::format(&mut disk);
         (disk, store, Vt::new(0))
     }
 
@@ -2341,7 +2417,7 @@ mod tests {
         let token = store
             .persist(&mut vt, &mut disk, obj, &[(0, &p0), (9, &p9)])
             .unwrap();
-        ObjectStore::wait(&mut vt, token);
+        StoreShard::wait(&mut vt, token);
         assert_eq!(token.epoch, 1);
 
         let mut out = page_of(0);
@@ -2367,7 +2443,7 @@ mod tests {
         let p = page_of(1);
         for i in 1..=3 {
             let t = store.persist(&mut vt, &mut disk, a, &[(0, &p)]).unwrap();
-            ObjectStore::wait(&mut vt, t);
+            StoreShard::wait(&mut vt, t);
             assert_eq!(t.epoch, i);
         }
         let t = store.persist(&mut vt, &mut disk, b, &[(0, &p)]).unwrap();
@@ -2381,7 +2457,7 @@ mod tests {
         let p = page_of(1);
         let before = disk.stats().writes();
         let token = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
-        ObjectStore::wait(&mut vt, token);
+        StoreShard::wait(&mut vt, token);
         // Exactly two IOs: the data extent and the delta record — no tree
         // node writes.
         assert_eq!(disk.stats().writes() - before, 2);
@@ -2396,7 +2472,7 @@ mod tests {
         let p = page_of(3);
         for i in 0..DELTA_SLOTS + 2 {
             let t = store.persist(&mut vt, &mut disk, obj, &[(i, &p)]).unwrap();
-            ObjectStore::wait(&mut vt, t);
+            StoreShard::wait(&mut vt, t);
         }
         assert!(store.stats().nodes_written > 0, "a full commit happened");
         assert!(store.stats().delta_commits >= DELTA_SLOTS - 1);
@@ -2410,12 +2486,12 @@ mod tests {
         for i in 0..5u64 {
             let p = page_of(10 + i as u8);
             let t = store.persist(&mut vt, &mut disk, obj, &[(i, &p)]).unwrap();
-            ObjectStore::wait(&mut vt, t);
+            StoreShard::wait(&mut vt, t);
         }
         disk.settle();
 
         let mut vt2 = Vt::new(1);
-        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let mut store2 = StoreShard::open(&mut vt2, &mut disk).unwrap();
         let obj2 = store2.lookup("db").unwrap();
         assert_eq!(store2.epoch(obj2), 5, "delta replay recovers all epochs");
         let mut out = page_of(0);
@@ -2435,12 +2511,12 @@ mod tests {
         for i in 0..total {
             let p = page_of((i % 250) as u8 + 1);
             let t = store.persist(&mut vt, &mut disk, obj, &[(i, &p)]).unwrap();
-            ObjectStore::wait(&mut vt, t);
+            StoreShard::wait(&mut vt, t);
         }
         disk.settle();
 
         let mut vt2 = Vt::new(1);
-        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let mut store2 = StoreShard::open(&mut vt2, &mut disk).unwrap();
         let obj2 = store2.lookup("db").unwrap();
         assert_eq!(store2.epoch(obj2), total);
         let mut out = page_of(0);
@@ -2458,7 +2534,7 @@ mod tests {
         let obj = store.create(&mut vt, &mut disk, "db").unwrap();
         let p1 = page_of(1);
         let t1 = store.persist(&mut vt, &mut disk, obj, &[(0, &p1)]).unwrap();
-        ObjectStore::wait(&mut vt, t1);
+        StoreShard::wait(&mut vt, t1);
 
         // Second checkpoint; crash before its commit record completes.
         let p2 = page_of(2);
@@ -2466,7 +2542,7 @@ mod tests {
         disk.crash(t2.completes - Nanos::from_ns(1));
 
         let mut vt2 = Vt::new(1);
-        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let mut store2 = StoreShard::open(&mut vt2, &mut disk).unwrap();
         let obj2 = store2.lookup("db").unwrap();
         assert_eq!(store2.epoch(obj2), 1, "recovery adopts the previous epoch");
         let mut out = page_of(0);
@@ -2485,7 +2561,7 @@ mod tests {
         disk.crash(t.completes);
 
         let mut vt2 = Vt::new(1);
-        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let mut store2 = StoreShard::open(&mut vt2, &mut disk).unwrap();
         let obj2 = store2.lookup("db").unwrap();
         assert_eq!(store2.epoch(obj2), 1);
         let mut out = page_of(0);
@@ -2502,7 +2578,7 @@ mod tests {
         let obj = store.create(&mut vt, &mut disk, "db").unwrap();
         let p1 = page_of(1);
         let t1 = store.persist(&mut vt, &mut disk, obj, &[(0, &p1)]).unwrap();
-        ObjectStore::wait(&mut vt, t1);
+        StoreShard::wait(&mut vt, t1);
 
         // Commit 2's two-block data extent tears after its first block,
         // but the record write (the next submission) lands intact — the
@@ -2516,14 +2592,14 @@ mod tests {
         let t3 = store
             .persist(&mut vt, &mut disk, obj, &[(1, &page_of(4))])
             .unwrap();
-        ObjectStore::wait(&mut vt, t2);
+        StoreShard::wait(&mut vt, t2);
         disk.crash(t3.completes);
 
         // Replay must stop *before* commit 2 (payload mismatch), which
         // also keeps the durable commit 3 out: the recovered state is
         // exactly the epoch-1 prefix, never a torn hybrid.
         let mut vt2 = Vt::new(1);
-        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let mut store2 = StoreShard::open(&mut vt2, &mut disk).unwrap();
         let obj2 = store2.lookup("db").unwrap();
         assert_eq!(store2.epoch(obj2), 1, "torn commit and successors rejected");
         let mut out = page_of(0);
@@ -2540,7 +2616,7 @@ mod tests {
         let obj = store.create(&mut vt, &mut disk, "db").unwrap();
         let p1 = page_of(1);
         let t1 = store.persist(&mut vt, &mut disk, obj, &[(0, &p1)]).unwrap();
-        ObjectStore::wait(&mut vt, t1);
+        StoreShard::wait(&mut vt, t1);
 
         // Silent media corruption: one bit of commit 2's data flips as it
         // is written. No crash mid-commit — the corruption is only
@@ -2559,7 +2635,7 @@ mod tests {
         disk.crash(t2.completes);
 
         let mut vt2 = Vt::new(1);
-        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let mut store2 = StoreShard::open(&mut vt2, &mut disk).unwrap();
         let obj2 = store2.lookup("db").unwrap();
         assert_eq!(store2.epoch(obj2), 1, "flipped commit rejected");
         let mut out = page_of(0);
@@ -2580,12 +2656,12 @@ mod tests {
         for i in 1..DELTA_SLOTS as u8 {
             let p = page_of(i);
             let t = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
-            ObjectStore::wait(&mut vt, t);
+            StoreShard::wait(&mut vt, t);
             last = t.completes;
         }
         disk.crash(last);
         let mut vt2 = Vt::new(1);
-        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let mut store2 = StoreShard::open(&mut vt2, &mut disk).unwrap();
         let obj2 = store2.lookup("db").unwrap();
         assert_eq!(store2.epoch(obj2), DELTA_SLOTS - 1);
         let mut out = page_of(0);
@@ -2608,7 +2684,7 @@ mod tests {
             let t = store
                 .persist(&mut vt, &mut disk, obj, &[(i as u64, p)])
                 .unwrap();
-            ObjectStore::wait(&mut vt, t);
+            StoreShard::wait(&mut vt, t);
         }
         let snap_epoch = store
             .snapshot_create(&mut vt, &mut disk, obj, "keep")
@@ -2621,7 +2697,7 @@ mod tests {
         for i in 0..(2 * DELTA_SLOTS + 4) {
             let p = page_of(i as u8);
             let t = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
-            ObjectStore::wait(&mut vt, t);
+            StoreShard::wait(&mut vt, t);
         }
         assert!(
             store.withheld_blocks() > 0,
@@ -2638,7 +2714,7 @@ mod tests {
         // The pins survive recovery: reopen and read the epoch again.
         disk.settle();
         let mut vt2 = Vt::new(1);
-        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let mut store2 = StoreShard::open(&mut vt2, &mut disk).unwrap();
         assert_eq!(store2.snapshot_lookup("keep").unwrap().epoch, snap_epoch);
         for (i, p) in originals.iter().enumerate() {
             store2
@@ -2654,14 +2730,14 @@ mod tests {
         let obj = store.create(&mut vt, &mut disk, "db").unwrap();
         let p = page_of(1);
         let t = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
-        ObjectStore::wait(&mut vt, t);
+        StoreShard::wait(&mut vt, t);
         store
             .snapshot_create(&mut vt, &mut disk, obj, "old")
             .unwrap();
         for i in 0..(DELTA_SLOTS + 2) {
             let q = page_of(i as u8);
             let t = store.persist(&mut vt, &mut disk, obj, &[(0, &q)]).unwrap();
-            ObjectStore::wait(&mut vt, t);
+            StoreShard::wait(&mut vt, t);
         }
         assert!(store.withheld_blocks() > 0);
         let free_before = store.alloc.free_blocks();
@@ -2683,13 +2759,13 @@ mod tests {
         let obj = store.create(&mut vt, &mut disk, "db").unwrap();
         let p = page_of(1);
         let t = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
-        ObjectStore::wait(&mut vt, t);
+        StoreShard::wait(&mut vt, t);
         store
             .snapshot_create(&mut vt, &mut disk, obj, "s1")
             .unwrap();
         let q = page_of(2);
         let t = store.persist(&mut vt, &mut disk, obj, &[(0, &q)]).unwrap();
-        ObjectStore::wait(&mut vt, t);
+        StoreShard::wait(&mut vt, t);
         store
             .snapshot_create(&mut vt, &mut disk, obj, "s2")
             .unwrap();
@@ -2699,7 +2775,7 @@ mod tests {
         // back to the seq-0 catalog, i.e. exactly the first snapshot.
         disk.corrupt_bit(crate::layout::SNAP_CATALOG_START + 1, 30, 2);
         let mut vt2 = Vt::new(1);
-        let store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let store2 = StoreShard::open(&mut vt2, &mut disk).unwrap();
         let names: Vec<String> = store2.snapshots().iter().map(|s| s.name.clone()).collect();
         assert_eq!(names, vec!["s1".to_string()]);
     }
@@ -2710,7 +2786,7 @@ mod tests {
         let obj = store.create(&mut vt, &mut disk, "db").unwrap();
         let p = page_of(1);
         let t = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
-        ObjectStore::wait(&mut vt, t);
+        StoreShard::wait(&mut vt, t);
         assert_eq!(
             store
                 .snapshot_create(&mut vt, &mut disk, obj, &"x".repeat(NAME_LEN + 1))
@@ -2746,14 +2822,14 @@ mod tests {
             let t = store
                 .persist(&mut vt, &mut disk, obj, &[(i as u64, p)])
                 .unwrap();
-            ObjectStore::wait(&mut vt, t);
+            StoreShard::wait(&mut vt, t);
         }
         let epoch_a = store.snapshot_create(&mut vt, &mut disk, obj, "a").unwrap();
         // Change pages 2 and 4, add page 6.
         for i in [2u64, 4, 6] {
             let p = page_of(0x80 + i as u8);
             let t = store.persist(&mut vt, &mut disk, obj, &[(i, &p)]).unwrap();
-            ObjectStore::wait(&mut vt, t);
+            StoreShard::wait(&mut vt, t);
         }
         let epoch_b = store.snapshot_create(&mut vt, &mut disk, obj, "b").unwrap();
 
@@ -2769,12 +2845,12 @@ mod tests {
 
         // Replica: full-sync to "a", then the incremental delta to "b".
         let mut rdisk = Disk::new(DiskConfig::paper());
-        let mut replica = ObjectStore::format(&mut rdisk);
+        let mut replica = StoreShard::format(&mut rdisk);
         let robj = replica.create(&mut vt, &mut rdisk, "db").unwrap();
         let mut buf = page_of(0);
-        let ship = |store: &mut ObjectStore,
+        let ship = |store: &mut StoreShard,
                     disk: &mut Disk,
-                    replica: &mut ObjectStore,
+                    replica: &mut StoreShard,
                     rdisk: &mut Disk,
                     vt: &mut Vt,
                     snap: &str,
@@ -2788,7 +2864,7 @@ mod tests {
             }
             let iov: Vec<(u64, &[u8])> = images.iter().map(|(p, d)| (*p, &d[..])).collect();
             let t = replica.apply_image(vt, rdisk, robj, &iov, epoch).unwrap();
-            ObjectStore::wait(vt, t);
+            StoreShard::wait(vt, t);
         };
         ship(
             &mut store,
@@ -2838,11 +2914,11 @@ mod tests {
         let obj = store.create(&mut vt, &mut disk, "db").unwrap();
         let p = page_of(0x33);
         let t = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
-        ObjectStore::wait(&mut vt, t);
+        StoreShard::wait(&mut vt, t);
         assert_eq!(store.epoch(obj), 1);
 
         let t = store.fence_epoch(&mut vt, &mut disk, obj, 100).unwrap();
-        ObjectStore::wait(&mut vt, t);
+        StoreShard::wait(&mut vt, t);
         assert_eq!(store.epoch(obj), 100);
         let mut out = page_of(0);
         store
@@ -2852,7 +2928,7 @@ mod tests {
         // The fence survives reopen.
         disk.settle();
         let mut vt2 = Vt::new(1);
-        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let mut store2 = StoreShard::open(&mut vt2, &mut disk).unwrap();
         assert_eq!(store2.epoch(obj), 100);
         store2
             .read_page(&mut vt2, &mut disk, obj, 0, &mut out)
@@ -2872,7 +2948,7 @@ mod tests {
         for i in 0..4u64 {
             let p = page_of(0x10 + i as u8);
             let t = store.persist(&mut vt, &mut disk, obj, &[(i, &p)]).unwrap();
-            ObjectStore::wait(&mut vt, t);
+            StoreShard::wait(&mut vt, t);
         }
         store
             .snapshot_create(&mut vt, &mut disk, obj, "acked")
@@ -2885,7 +2961,7 @@ mod tests {
             let t = store
                 .persist(&mut vt, &mut disk, obj, &[(i % 4, &p)])
                 .unwrap();
-            ObjectStore::wait(&mut vt, t);
+            StoreShard::wait(&mut vt, t);
         }
         assert!(store.epoch(obj) > base_epoch);
 
@@ -2904,7 +2980,7 @@ mod tests {
                 target,
             )
             .unwrap();
-        ObjectStore::wait(&mut vt, t);
+        StoreShard::wait(&mut vt, t);
         assert_eq!(store.epoch(obj), target);
 
         // Content = base image with the delta applied; the divergent
@@ -2920,7 +2996,7 @@ mod tests {
         // And the rebase is durable: reopen sees the same image.
         disk.settle();
         let mut vt2 = Vt::new(1);
-        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let mut store2 = StoreShard::open(&mut vt2, &mut disk).unwrap();
         assert_eq!(store2.epoch(obj), target);
         for (pg, w) in want.iter().enumerate() {
             store2
@@ -2959,7 +3035,7 @@ mod tests {
         for i in 0..4u64 {
             let p = page_of(1 + i as u8);
             let t = store.persist(&mut vt, &mut disk, obj, &[(i, &p)]).unwrap();
-            ObjectStore::wait(&mut vt, t);
+            StoreShard::wait(&mut vt, t);
         }
         store
             .snapshot_create(&mut vt, &mut disk, obj, "base")
@@ -2969,14 +3045,14 @@ mod tests {
             let t = store
                 .persist(&mut vt, &mut disk, obj, &[(round % 4, &p)])
                 .unwrap();
-            ObjectStore::wait(&mut vt, t);
+            StoreShard::wait(&mut vt, t);
         }
         let p0 = page_of(0xEE);
         let target = store.epoch(obj) + 1;
         let t = store
             .apply_image_at_base(&mut vt, &mut disk, obj, "base", &[(0, &p0)], target)
             .unwrap();
-        ObjectStore::wait(&mut vt, t);
+        StoreShard::wait(&mut vt, t);
 
         // Long after the rebase, heavy traffic must be able to reuse the
         // abandoned blocks without ever corrupting the live image or the
@@ -2986,7 +3062,7 @@ mod tests {
             let t = store
                 .persist(&mut vt, &mut disk, obj, &[(round % 4, &p)])
                 .unwrap();
-            ObjectStore::wait(&mut vt, t);
+            StoreShard::wait(&mut vt, t);
         }
         let mut out = page_of(0);
         for pg in 0..4u64 {
@@ -2997,7 +3073,7 @@ mod tests {
         }
         disk.settle();
         let mut vt2 = Vt::new(1);
-        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let mut store2 = StoreShard::open(&mut vt2, &mut disk).unwrap();
         for pg in 0..4u64 {
             let want = {
                 let mut w = page_of(0);
@@ -3021,7 +3097,7 @@ mod tests {
         let p = page_of(1);
         for obj in [a, b] {
             let t = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
-            ObjectStore::wait(&mut vt, t);
+            StoreShard::wait(&mut vt, t);
         }
         store.snapshot_create(&mut vt, &mut disk, a, "sa").unwrap();
         store.snapshot_create(&mut vt, &mut disk, b, "sb").unwrap();
@@ -3051,7 +3127,7 @@ mod tests {
             .collect();
         let before = disk.stats().writes();
         let token = store.persist(&mut vt, &mut disk, obj, &pages).unwrap();
-        ObjectStore::wait(&mut vt, token);
+        StoreShard::wait(&mut vt, token);
         // ...become exactly two IOs: one vectored data write and the
         // delta record.
         assert_eq!(disk.stats().writes() - before, 2);
@@ -3062,7 +3138,7 @@ mod tests {
         let mut disk = Disk::new(DiskConfig::fast());
         let mut vt = Vt::new(0);
         assert_eq!(
-            ObjectStore::open(&mut vt, &mut disk).unwrap_err(),
+            StoreShard::open(&mut vt, &mut disk).unwrap_err(),
             StoreError::NotFormatted
         );
     }
@@ -3076,20 +3152,20 @@ mod tests {
             let t = store
                 .persist(&mut vt, &mut disk, obj, &[(i as u64, p)])
                 .unwrap();
-            ObjectStore::wait(&mut vt, t);
+            StoreShard::wait(&mut vt, t);
         }
         disk.settle();
 
         // Reopen and write more; old pages must stay intact.
         let mut vt2 = Vt::new(1);
-        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let mut store2 = StoreShard::open(&mut vt2, &mut disk).unwrap();
         let obj2 = store2.lookup("db").unwrap();
         let extra = page_of(0xFF);
         for i in 60..120u64 {
             let t = store2
                 .persist(&mut vt2, &mut disk, obj2, &[(i, &extra)])
                 .unwrap();
-            ObjectStore::wait(&mut vt2, t);
+            StoreShard::wait(&mut vt2, t);
         }
         let mut out = page_of(0);
         for (i, p) in pages.iter().enumerate() {
@@ -3106,7 +3182,7 @@ mod tests {
         let obj = store.create(&mut vt, &mut disk, "db").unwrap();
         let p = page_of(1);
         let t1 = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
-        ObjectStore::wait(&mut vt, t1);
+        StoreShard::wait(&mut vt, t1);
         let _t2 = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
         assert_eq!(store.alloc.free_blocks(), 0, "not yet durable");
     }
@@ -3147,7 +3223,7 @@ mod tests {
     #[test]
     fn persist_out_of_space_aborts_cleanly() {
         let mut disk = Disk::new(DiskConfig::fast().with_capacity_blocks(FIRST_DATA_BLOCK + 40));
-        let mut store = ObjectStore::format(&mut disk);
+        let mut store = StoreShard::format(&mut disk);
         let mut vt = Vt::new(0);
         let obj = store.create(&mut vt, &mut disk, "db").unwrap();
         let p = page_of(1);
@@ -3156,7 +3232,7 @@ mod tests {
         let err = loop {
             match store.persist(&mut vt, &mut disk, obj, &[(committed, &p)]) {
                 Ok(t) => {
-                    ObjectStore::wait(&mut vt, t);
+                    StoreShard::wait(&mut vt, t);
                     committed += 1;
                 }
                 Err(e) => break e,
@@ -3209,7 +3285,7 @@ mod tests {
         );
         let p = page_of(9);
         let t = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
-        ObjectStore::wait(&mut vt, t);
+        StoreShard::wait(&mut vt, t);
         assert_eq!(t.epoch, 1);
         let mut out = page_of(0);
         store
@@ -3226,7 +3302,7 @@ mod tests {
         let obj = store.create(&mut vt, &mut disk, "db").unwrap();
         let p = page_of(1);
         let t = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
-        ObjectStore::wait(&mut vt, t);
+        StoreShard::wait(&mut vt, t);
 
         // Hard-fail the data extent of the next commit.
         disk.set_fault_plan(FaultPlan::new().at(disk.io_seq(), Fault::Drop { transient: false }));
@@ -3249,7 +3325,7 @@ mod tests {
         // The store keeps working afterwards.
         disk.clear_fault_plan();
         let t2 = store.persist(&mut vt, &mut disk, obj, &[(0, &p2)]).unwrap();
-        ObjectStore::wait(&mut vt, t2);
+        StoreShard::wait(&mut vt, t2);
         assert_eq!(t2.epoch, 2);
         store
             .read_page(&mut vt, &mut disk, obj, 0, &mut out)
@@ -3265,7 +3341,7 @@ mod tests {
         let obj = store.create(&mut vt, &mut disk, "db").unwrap();
         let p = page_of(1);
         let t = store.persist(&mut vt, &mut disk, obj, &[(0, &p)]).unwrap();
-        ObjectStore::wait(&mut vt, t);
+        StoreShard::wait(&mut vt, t);
 
         // Fail the *second* write of the commit (the root record), so the
         // tree was already mutated and committed in memory — the abort
@@ -3284,10 +3360,10 @@ mod tests {
         // Subsequent commits and recovery still work.
         disk.clear_fault_plan();
         let t2 = store.persist(&mut vt, &mut disk, obj, &[(1, &p2)]).unwrap();
-        ObjectStore::wait(&mut vt, t2);
+        StoreShard::wait(&mut vt, t2);
         disk.settle();
         let mut vt2 = Vt::new(1);
-        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let mut store2 = StoreShard::open(&mut vt2, &mut disk).unwrap();
         let obj2 = store2.lookup("db").unwrap();
         assert_eq!(store2.epoch(obj2), 2);
         let mut out = page_of(0);
@@ -3388,7 +3464,7 @@ mod tests {
         disk.crash(last);
 
         let mut vt2 = Vt::new(1);
-        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let mut store2 = StoreShard::open(&mut vt2, &mut disk).unwrap();
         let a2 = store2.lookup("a").unwrap();
         let b2 = store2.lookup("b").unwrap();
         assert_eq!(store2.epoch(a2), 5);
@@ -3433,7 +3509,7 @@ mod tests {
         disk.crash(t[1].completes);
 
         let mut vt2 = Vt::new(1);
-        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let mut store2 = StoreShard::open(&mut vt2, &mut disk).unwrap();
         let a2 = store2.lookup("a").unwrap();
         let b2 = store2.lookup("b").unwrap();
         assert_eq!(store2.epoch(a2), 2, "a's share of the batch verified");
@@ -3523,7 +3599,7 @@ mod tests {
         // survive via its full root.
         disk.crash(last);
         let mut vt2 = Vt::new(1);
-        let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+        let mut store2 = StoreShard::open(&mut vt2, &mut disk).unwrap();
         let a2 = store2.lookup("a").unwrap();
         assert_eq!(store2.epoch(a2), 1, "a's epoch survives ring reuse");
         let mut out = page_of(0);
@@ -3561,7 +3637,7 @@ mod tests {
             }
             disk.crash(last);
             let mut vt2 = Vt::new(1);
-            let mut store2 = ObjectStore::open(&mut vt2, &mut disk).unwrap();
+            let mut store2 = StoreShard::open(&mut vt2, &mut disk).unwrap();
             let a2 = store2.lookup("a").unwrap();
             let b2 = store2.lookup("b").unwrap();
             let mut image = Vec::new();
