@@ -202,8 +202,41 @@ impl MemSnap {
     ///
     /// # Errors
     ///
+    /// [`MsnapError::Store`] if the device holds no formatted store,
+    /// [`MsnapError::BadDescriptor`] if the manifest names an object the
+    /// catalog does not hold (a corrupt image — or a promoted replica
+    /// device; see [`MemSnap::restore_promoted`]).
+    pub fn restore(vt: &mut Vt, disk: Disk) -> Result<Self, MsnapError> {
+        Self::restore_inner(vt, disk, false)
+    }
+
+    /// Reopens MemSnap from a device produced by replica promotion
+    /// (e.g. [`msnap-repl`]'s `Promotion::disk`).
+    ///
+    /// Replication ships each object independently, so a replica can
+    /// have applied a manifest version that lists a freshly created
+    /// region whose data object never completed its first ship before
+    /// the primary died. Such a region holds no replicated committed
+    /// state — no write to it can have been acknowledged under
+    /// replicated-ack gating — so this constructor drops it instead of
+    /// failing, and the next manifest persist retires the stale entry
+    /// durably. On a primary's own device this situation is corruption,
+    /// which is why [`MemSnap::restore`] refuses it.
+    ///
+    /// # Errors
+    ///
     /// [`MsnapError::Store`] if the device holds no formatted store.
-    pub fn restore(vt: &mut Vt, mut disk: Disk) -> Result<Self, MsnapError> {
+    ///
+    /// [`msnap-repl`]: ../msnap_repl/index.html
+    pub fn restore_promoted(vt: &mut Vt, disk: Disk) -> Result<Self, MsnapError> {
+        Self::restore_inner(vt, disk, true)
+    }
+
+    fn restore_inner(
+        vt: &mut Vt,
+        mut disk: Disk,
+        drop_unshipped: bool,
+    ) -> Result<Self, MsnapError> {
         let mut store = ObjectStore::open(vt, &mut disk)?;
         let manifest_obj = store
             .lookup(MANIFEST_NAME)
@@ -236,10 +269,11 @@ impl MemSnap {
             pipeline_depth: DEFAULT_PIPELINE_DEPTH,
         };
         for entry in manifest.entries {
-            let store_obj = ms
-                .store
-                .lookup(&entry.name)
-                .ok_or(MsnapError::BadDescriptor)?;
+            let store_obj = match ms.store.lookup(&entry.name) {
+                Some(obj) => obj,
+                None if drop_unshipped => continue,
+                None => return Err(MsnapError::BadDescriptor),
+            };
             let vm_obj = ms.vm.create_object(entry.pages);
             let md = Md(ms.regions.len() as u32);
             ms.by_name.insert(entry.name.clone(), md);

@@ -9,7 +9,9 @@ use memsnap::{MemSnap, MsnapError};
 use msnap_disk::{Disk, DiskConfig, BLOCK_SIZE};
 use msnap_sim::{Meters, Nanos, NetConfig, SimLink, Vt};
 use msnap_snap::{ApplySession, DeltaStream, SnapError};
-use msnap_store::{digest32, fnv1a, Epoch, ObjectStore, ScrubStats, StoreError, VectorCut};
+use msnap_store::{
+    digest32, fnv1a, Epoch, ObjectStore, ScrubStats, SnapEntry, StoreError, VectorCut,
+};
 
 use crate::proto::{Msg, ObjectStatus};
 
@@ -909,10 +911,13 @@ impl ReplEngine {
         self.drain_up(vt, &mut report);
         self.fence_divergent(vt, ms, &mut report)?;
         self.repair(vt, ms);
+        // GC before shipping: entries freed by the acknowledgements just
+        // drained make room in the snapshot catalog for the targets the
+        // ship planner is about to pin.
+        self.gc_snapshots(vt, ms);
         self.ship(vt, ms, &mut report)?;
         self.announce_cuts(vt, ms);
         self.retransmit(vt);
-        self.gc_snapshots(vt, ms);
         self.pump();
         self.refresh_lag(ms, &mut report);
         Ok(report)
@@ -1473,7 +1478,9 @@ impl ReplEngine {
     }
 
     /// Deletes engine-owned primary snapshots no link needs anymore
-    /// (bases survive until their ship is acknowledged and replaced).
+    /// (bases survive until their ship is acknowledged and replaced),
+    /// then reclaims inherited `rk-*` rebase bases a promoted replica
+    /// carried over from its replica life once every peer has caught up.
     fn gc_snapshots(&mut self, vt: &mut Vt, ms: &mut MemSnap) {
         let mut needed: Vec<&str> = Vec::new();
         for link in &self.links {
@@ -1495,6 +1502,45 @@ impl ReplEngine {
             }
         }
         self.owned = keep;
+        self.gc_inherited(vt, ms);
+    }
+
+    /// Reclaims `rk-*` snapshots — the per-object applied-epoch windows
+    /// this store retained while it was a *replica* ([`Replica`] pins
+    /// them so a promoted peer can diff a rejoining primary from common
+    /// history). After promotion they sit in the catalog serving exactly
+    /// one purpose: delta bases for divergent (just re-attached) links.
+    /// Once a link's first post-promotion ship of an object is
+    /// acknowledged that object's inherited bases are dead weight, and
+    /// the catalog space goes back to live consumers (ship targets,
+    /// serving-layer watch baselines). Deleting early only costs the
+    /// delta-rejoin optimization — a late attacher falls back to a full
+    /// image — so links that have not said `Hello` yet hold the GC off.
+    fn gc_inherited(&mut self, vt: &mut Vt, ms: &mut MemSnap) {
+        if self.links.iter().any(|l| !l.known) {
+            return; // a peer we have not heard from may still need them
+        }
+        let mut inherited: Vec<SnapEntry> = ms
+            .retained_snapshots()
+            .into_iter()
+            .filter(|s| s.name.starts_with("rk-"))
+            .collect();
+        if inherited.is_empty() {
+            return;
+        }
+        for link in &self.links {
+            for (object, os) in &link.ships {
+                let Some(id) = ms.store().lookup(object) else {
+                    continue;
+                };
+                inherited.retain(|s| {
+                    s.object != id || !(os.divergent || (os.base.is_none() && os.remote == s.epoch))
+                });
+            }
+        }
+        for entry in inherited {
+            let _ = ms.msnap_snapshot_delete(vt, &entry.name);
+        }
     }
 
     fn refresh_lag(&mut self, ms: &MemSnap, report: &mut TickReport) {

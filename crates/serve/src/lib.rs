@@ -1,0 +1,37 @@
+//! msnap-serve: a multi-tenant network service over the replicated
+//! MemSnap store.
+//!
+//! This crate closes the loop between the storage stack and its
+//! clients: a deterministic actor-style front-end ([`ServeNode`])
+//! multiplexes thousands of simulated connections ([`SimSwitch`]
+//! datagram ports) onto one sharded, replicated MemSnap instance, and
+//! feeds **watch streams** straight from μCheckpoint snapshot diffs —
+//! the paper's single-level-store thesis applied to cache
+//! invalidation: because every commit *is* a named, diffable snapshot,
+//! "what changed since the last epoch" is a structural O(changed)
+//! query, so subscribers are pushed exact key-range invalidations
+//! with no polling and no store scans.
+//!
+//! - [`wire`]: the length-prefixed, checksummed datagram protocol
+//!   (`Hello`/`Put`/`Get`/`Scan`/`Subscribe`/`Unsubscribe`/
+//!   `StatsReq` requests; cut-aligned `Notify` bundles back).
+//! - [`server`]: the [`ServeNode`] actor round — control, write
+//!   (group-committed μCheckpoints per tenant stripe), notify
+//!   (snapshot-diff fan-out, released at epoch-vector cut
+//!   boundaries), read (bounded-staleness replica routing) — plus
+//!   crash/promotion re-homing.
+//! - [`harness`]: a seeded fleet of oracle clients driving Zipfian
+//!   tenant×key skew, with mid-run failover injection and
+//!   exactly-once watch verification.
+//!
+//! [`SimSwitch`]: msnap_sim::SimSwitch
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod server;
+pub mod wire;
+
+pub use harness::{FailoverReport, FleetConfig, RunConfig, RunReport};
+pub use server::{ServeConfig, ServeError, ServeNode};
+pub use wire::{ErrCode, NotifyEvent, Request, Response, WireError, WireStats};

@@ -1,0 +1,1579 @@
+//! The serving node: a deterministic actor-style front-end that
+//! multiplexes many simulated client connections onto one (optionally
+//! replicated) MemSnap instance.
+//!
+//! One [`ServeNode::step`] call runs one round of four logical actors,
+//! in a fixed order so every run is a pure function of the seeds:
+//!
+//! 1. **control** — drains the client [`SimSwitch`], decodes frames,
+//!    answers `Hello`/`Subscribe`/`Unsubscribe`/`StatsReq`/`NotifyAck`
+//!    immediately, and queues `Put`s and reads for the later actors;
+//! 2. **write** — groups the round's `Put`s per tenant stripe, writes
+//!    the slots through the VM, and joins one group commit per touched
+//!    stripe ([`MemSnap::msnap_persist_grouped`]), so a round's writes
+//!    to a stripe cost one μCheckpoint;
+//! 3. **notify** — for each stripe that committed and is watched,
+//!    advances the stripe's *baseline snapshot* and turns the
+//!    structural [`snapshot diff`](msnap_store::ObjectStore::snapshot_diff)
+//!    — the changed-page list, O(changed), never a store scan — into
+//!    key-range invalidation events buffered per session;
+//! 4. **read** — serves `Get`/`Scan`, routing `Get`s to a replica when
+//!    one is within the session's staleness budget (primary fallback
+//!    otherwise).
+//!
+//! Buffered invalidation events are **released only at epoch-vector
+//! cut boundaries** ([`MemSnap::msnap_cut`]): each session receives one
+//! `Notify` bundle per cut carrying *all* of its events up to that cut,
+//! across every watched tenant and every store shard. A bundle is thus
+//! cut-aligned by construction — a subscriber can never observe shard A
+//! at cut N and shard B at N−1. Bundles are chained (`prev_seq`),
+//! retransmitted until acknowledged, and deduplicated by the client on
+//! `cut_seq`, giving exactly-once delivery per cut over a lossy link.
+//!
+//! Writes are acknowledged (`PutOk`) only once every attached replica
+//! has applied the write's epoch (when replication is configured), so
+//! an acknowledged write survives any single-node failover by
+//! construction.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use memsnap::{Md, MemSnap, MsnapError, PersistFlags, RegionSel, PAGE_SIZE};
+use msnap_disk::{Disk, DiskConfig};
+use msnap_repl::{Promotion, ReplConfig, ReplEngine};
+use msnap_sim::{Nanos, NetConfig, SimLink, SimSwitch, Vt, VthreadId};
+use msnap_vm::AsId;
+
+use crate::wire::{self, ErrCode, NotifyEvent, Request, Response, WireStats, MAX_VALUE_BYTES};
+
+/// Bytes per value slot: a 2-byte header (`present`, `len`) plus up to
+/// [`MAX_VALUE_BYTES`] of value.
+pub const SLOT_BYTES: u64 = 64;
+
+/// Key slots per 4 KiB page.
+pub const SLOTS_PER_PAGE: u64 = PAGE_SIZE as u64 / SLOT_BYTES;
+
+/// Configuration of a [`ServeNode`].
+///
+/// # Snapshot catalog budget
+///
+/// Each store shard's snapshot catalog holds ~31 entries, shared
+/// between watch baselines (one `__w/` snapshot per *watched* tenant
+/// stripe) and the replication engine's delta bases (one per attached
+/// replica × object). On the sharded primary these spread across
+/// `shards` catalogs, but a **promoted replica is single-shard**:
+/// after failover, `replicas × (tenants × stripes + 1)` delta bases
+/// plus watched baselines must all fit in one catalog. Size failover
+/// topologies so that budget holds (e.g. fewer `stripes` or tenants).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Store shards of the primary device (tenant stripes hash across
+    /// them; a promoted replica's store is single-shard regardless).
+    pub shards: usize,
+    /// Stripe objects per tenant. A tenant's keyspace is striped
+    /// page-contiguously across this many store objects, so one tenant
+    /// spans several shards and its watch streams exercise cross-shard
+    /// cut alignment.
+    pub stripes: u64,
+    /// Pages per stripe; tenant capacity is
+    /// `stripes * pages_per_stripe *` [`SLOTS_PER_PAGE`] keys.
+    pub pages_per_stripe: u64,
+    /// Stamp an epoch-vector cut (and release notify bundles) every
+    /// this many rounds that committed writes.
+    pub cut_every: u32,
+    /// Retransmit an unacknowledged `Notify` bundle after this long.
+    pub notify_retransmit: Nanos,
+    /// Gate `PutOk` on every replica having applied the write's epoch
+    /// (only meaningful with replicas attached). With it, an
+    /// acknowledged write survives failover by construction.
+    pub ack_replicated: bool,
+    /// Group-commit coalescing window handed to the MemSnap core.
+    pub coalesce_window: Nanos,
+    /// Replication engine settings.
+    pub repl: ReplConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 8,
+            stripes: 4,
+            pages_per_stripe: 4,
+            cut_every: 2,
+            notify_retransmit: Nanos::from_ms(5),
+            ack_replicated: true,
+            coalesce_window: Nanos::from_us(16),
+            repl: ReplConfig::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Keys per tenant under this configuration.
+    pub fn capacity(&self) -> u64 {
+        self.stripes * self.pages_per_stripe * SLOTS_PER_PAGE
+    }
+}
+
+/// Typed serving-layer failures (distinct from per-request [`ErrCode`]s,
+/// which travel back to clients).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The underlying MemSnap instance failed.
+    Msnap(MsnapError),
+    /// The replication engine failed.
+    Repl(msnap_repl::ReplError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Msnap(e) => write!(f, "memsnap: {e}"),
+            ServeError::Repl(e) => write!(f, "replication: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<MsnapError> for ServeError {
+    fn from(e: MsnapError) -> Self {
+        ServeError::Msnap(e)
+    }
+}
+
+impl From<msnap_repl::ReplError> for ServeError {
+    fn from(e: msnap_repl::ReplError) -> Self {
+        ServeError::Repl(e)
+    }
+}
+
+/// One stripe of a tenant: a MemSnap region plus its notify baseline.
+struct Stripe {
+    md: Md,
+    addr: u64,
+    /// Store-directory name (`t/<tenant>/<idx>`).
+    obj: String,
+    /// Name and pinned epoch of the baseline snapshot the next
+    /// invalidation diff runs against; `None` while the tenant is
+    /// unwatched (baselines exist only while someone subscribes).
+    baseline: Option<(String, u64)>,
+}
+
+struct Tenant {
+    stripes: Vec<Stripe>,
+    /// Live watches on this tenant (watch ids into `watches`).
+    watchers: Vec<u64>,
+}
+
+struct Watch {
+    session: u64,
+    tenant: String,
+    lo: u64,
+    hi: u64,
+}
+
+/// An unacknowledged notify bundle, kept for retransmission.
+struct UnackedBundle {
+    resp: Response,
+    last_sent: Nanos,
+}
+
+struct Session {
+    port: usize,
+    staleness: u64,
+    /// Response cache for duplicate-request suppression, pruned to the
+    /// most recent [`REPLY_CACHE`] request ids.
+    replies: BTreeMap<u64, Response>,
+    /// Requests accepted but not yet answered (puts awaiting
+    /// replication): duplicates of these are dropped, not re-executed.
+    inflight: Vec<u64>,
+    /// Events accumulated since the last cut release.
+    pending_events: Vec<NotifyEvent>,
+    /// Sequence of the last bundle released to this session (the next
+    /// bundle's `prev_seq`).
+    last_seq: u64,
+    /// Released-but-unacknowledged bundles by cut sequence.
+    unacked: BTreeMap<u64, UnackedBundle>,
+}
+
+const REPLY_CACHE: usize = 64;
+
+/// A `Put` accepted and committed, awaiting replica acknowledgement
+/// before its `PutOk` is released.
+struct PendingPut {
+    session: u64,
+    req: u64,
+    obj: String,
+    epoch: u64,
+}
+
+/// A queued client operation, decoded and bound to its session.
+enum QueuedOp {
+    Put {
+        session: u64,
+        req: u64,
+        tenant: String,
+        key: u64,
+        value: Vec<u8>,
+    },
+    Get {
+        session: u64,
+        req: u64,
+        tenant: String,
+        key: u64,
+    },
+    Scan {
+        session: u64,
+        req: u64,
+        tenant: String,
+        lo: u64,
+        hi: u64,
+    },
+}
+
+/// The serving node. See the module docs for the actor structure.
+pub struct ServeNode {
+    cfg: ServeConfig,
+    vt: Vt,
+    thread: VthreadId,
+    ms: MemSnap,
+    space: AsId,
+    repl: Option<ReplEngine>,
+    replica_names: Vec<String>,
+    /// Replica round-robin cursor for read routing.
+    read_cursor: usize,
+    /// Client→server fan-in.
+    uplink: SimSwitch,
+    /// Server→client links, one per port.
+    downlinks: Vec<SimLink>,
+    sessions: BTreeMap<u64, Session>,
+    next_session: u64,
+    tenants: BTreeMap<String, Tenant>,
+    watches: BTreeMap<u64, Watch>,
+    next_watch: u64,
+    /// Write mailbox: puts persist across rounds so a replication
+    /// throttle stalls ingest instead of dropping it.
+    write_mailbox: VecDeque<QueuedOp>,
+    read_queue: Vec<QueuedOp>,
+    pending_puts: Vec<PendingPut>,
+    /// Per-port response frames accumulated this round.
+    outbox: BTreeMap<usize, Vec<u8>>,
+    throttled: bool,
+    rounds: u64,
+    rounds_since_cut: u32,
+    commits_since_cut: u64,
+    stats: WireStats,
+    /// Datagrams rejected by the wire decoder.
+    pub malformed: u64,
+    /// Reads a replica failed to serve and the primary absorbed.
+    pub replica_fallbacks: u64,
+}
+
+impl ServeNode {
+    /// Formats a fresh sharded primary and opens `client_ports`
+    /// connection slots whose per-port link seeds derive from
+    /// `client_net.seed`.
+    pub fn format(cfg: ServeConfig, client_ports: usize, client_net: NetConfig) -> ServeNode {
+        let mut ms = MemSnap::format_sharded(Disk::new(DiskConfig::paper()), cfg.shards);
+        ms.set_coalesce_window(cfg.coalesce_window);
+        let mut vt = Vt::new(0);
+        let thread = vt.id();
+        vt.advance(Nanos::from_ns(1));
+        let space = ms.vm_mut().create_space();
+        ServeNode::assemble(cfg, ms, vt, thread, space, None, client_ports, client_net)
+    }
+
+    /// Attaches a replica to this node's replication engine (created on
+    /// first use). Replica link seeds should differ per replica.
+    ///
+    /// # Errors
+    ///
+    /// [`msnap_repl::ReplError::DuplicateReplica`] for a reused name.
+    pub fn add_replica(&mut self, name: &str, net: NetConfig) -> Result<(), ServeError> {
+        let engine = self
+            .repl
+            .get_or_insert_with(|| ReplEngine::new(self.cfg.repl));
+        engine.add_replica(name, net)?;
+        self.replica_names.push(name.to_string());
+        Ok(())
+    }
+
+    /// Re-attaches a replica from an existing device (a survivor after
+    /// promotion, or a crashed old primary rejoining as a replica).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ReplEngine::attach_replica`].
+    pub fn attach_replica(
+        &mut self,
+        name: &str,
+        net: NetConfig,
+        disk: Disk,
+    ) -> Result<(), ServeError> {
+        let engine = self
+            .repl
+            .get_or_insert_with(|| ReplEngine::new(self.cfg.repl));
+        engine.attach_replica(name, net, disk)?;
+        self.replica_names.push(name.to_string());
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        cfg: ServeConfig,
+        ms: MemSnap,
+        vt: Vt,
+        thread: VthreadId,
+        space: AsId,
+        repl: Option<ReplEngine>,
+        client_ports: usize,
+        client_net: NetConfig,
+    ) -> ServeNode {
+        let uplink = SimSwitch::with_ports(client_net, client_ports);
+        // The reverse direction gets its own seed family so up- and
+        // down-link loss draws are independent.
+        let down_base = NetConfig {
+            seed: client_net.seed ^ 0xD00D_F00D,
+            ..client_net
+        };
+        let downlinks = (0..client_ports)
+            .map(|i| {
+                SimLink::new(NetConfig {
+                    seed: down_base
+                        .seed
+                        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
+                    ..down_base
+                })
+            })
+            .collect();
+        ServeNode {
+            cfg,
+            vt,
+            thread,
+            ms,
+            space,
+            repl,
+            replica_names: Vec::new(),
+            read_cursor: 0,
+            uplink,
+            downlinks,
+            sessions: BTreeMap::new(),
+            next_session: 1,
+            tenants: BTreeMap::new(),
+            watches: BTreeMap::new(),
+            next_watch: 1,
+            write_mailbox: VecDeque::new(),
+            read_queue: Vec::new(),
+            pending_puts: Vec::new(),
+            outbox: BTreeMap::new(),
+            throttled: false,
+            rounds: 0,
+            rounds_since_cut: 0,
+            commits_since_cut: 0,
+            stats: WireStats::default(),
+            malformed: 0,
+            replica_fallbacks: 0,
+        }
+    }
+
+    /// Boots a new node from a promotion: restores the promoted
+    /// replica's device, re-opens every tenant stripe from the region
+    /// manifest, and optionally re-attaches surviving devices (and the
+    /// crashed old primary) as replicas of the new reign.
+    ///
+    /// Sessions and watches do **not** survive — clients are re-homed
+    /// by reconnecting (`Hello` + re-`Subscribe`), which is the
+    /// client-visible part of failover. The promoted store is
+    /// single-shard (replica devices always are), so post-failover cuts
+    /// are one-element vectors; correctness is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Msnap`] if the device does not restore, or
+    /// [`ServeError::Repl`] if a re-attachment fails.
+    pub fn from_promotion(
+        promo: Promotion,
+        cfg: ServeConfig,
+        client_ports: usize,
+        client_net: NetConfig,
+        reattach: Vec<(String, NetConfig, Disk)>,
+    ) -> Result<ServeNode, ServeError> {
+        let mut vt = promo.vt;
+        // `restore_promoted`: a freshly created stripe whose object
+        // never finished its first ship is dropped (it holds no
+        // replicated committed state); we recreate it empty below.
+        let mut ms = MemSnap::restore_promoted(&mut vt, promo.disk)?;
+        ms.set_coalesce_window(cfg.coalesce_window);
+        let thread = vt.id();
+        let space = ms.vm_mut().create_space();
+        let names = ms.region_names();
+        let mut node =
+            ServeNode::assemble(cfg, ms, vt, thread, space, None, client_ports, client_net);
+        // Rebuild the tenant table from the shipped manifest: every
+        // region named `t/<tenant>/<idx>` is a stripe. A tenant may be
+        // partial — a stripe created just before the crash may never
+        // have shipped — so collect what survived, then open every
+        // tenant's full stripe set in index order, recreating missing
+        // stripes empty (no write to them can have been acked).
+        let mut shipped: BTreeMap<String, BTreeMap<u64, String>> = BTreeMap::new();
+        for name in names {
+            let mut parts = name.splitn(3, '/');
+            let (Some("t"), Some(tenant), Some(idx)) = (parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            let Ok(idx) = idx.parse::<u64>() else {
+                continue;
+            };
+            shipped
+                .entry(tenant.to_string())
+                .or_default()
+                .insert(idx, name);
+        }
+        for (tenant, survived) in shipped {
+            let mut stripes = Vec::with_capacity(node.cfg.stripes as usize);
+            for idx in 0..node.cfg.stripes {
+                let name = format!("t/{tenant}/{idx}");
+                let pages = if survived.contains_key(&idx) {
+                    0 // open existing
+                } else {
+                    node.cfg.pages_per_stripe // recreate empty
+                };
+                let handle = node.ms.msnap_open(&mut node.vt, node.space, &name, pages)?;
+                stripes.push(Stripe {
+                    md: handle.md,
+                    addr: handle.addr,
+                    obj: name,
+                    baseline: None,
+                });
+            }
+            node.tenants.insert(
+                tenant,
+                Tenant {
+                    stripes,
+                    watchers: Vec::new(),
+                },
+            );
+        }
+        for (name, net, disk) in reattach {
+            node.attach_replica(&name, net, disk)?;
+        }
+        Ok(node)
+    }
+
+    /// Crashes the node at its current instant: the primary device
+    /// reverts to its durable contents, and the replication engine (if
+    /// any) is handed back for promotion. Volatile state — sessions,
+    /// watches, un-released notify buffers, unacknowledged puts — is
+    /// lost, exactly as a real crash loses it.
+    pub fn crash(self) -> (Nanos, Option<ReplEngine>, Disk) {
+        let at = self.vt.now();
+        (at, self.repl, self.ms.crash(at))
+    }
+
+    /// The node's current virtual instant.
+    pub fn now(&self) -> Nanos {
+        self.vt.now()
+    }
+
+    /// The newest stamped cut sequence (0 before the first cut).
+    pub fn cut_seq(&self) -> u64 {
+        self.ms.last_cut().map_or(0, |c| c.seq)
+    }
+
+    /// Server counters (also served to clients via `StatsReq`).
+    pub fn stats(&self) -> WireStats {
+        WireStats {
+            sessions: self.sessions.len() as u64,
+            watches: self.watches.len() as u64,
+            ..self.stats
+        }
+    }
+
+    /// Number of client ports.
+    pub fn ports(&self) -> usize {
+        self.downlinks.len()
+    }
+
+    /// Submits a client datagram on `port` (the client's uplink).
+    pub fn client_send(&mut self, port: usize, now: Nanos, datagram: Vec<u8>) {
+        self.uplink.send(port, now, datagram);
+    }
+
+    /// Delivers one due server→client datagram on `port`, with its
+    /// delivery instant.
+    pub fn client_poll(&mut self, port: usize, now: Nanos) -> Option<(Nanos, Vec<u8>)> {
+        self.downlinks[port].poll(now)
+    }
+
+    /// Reads the current committed value of one key directly from the
+    /// primary, bypassing the wire — a harness-side oracle hook (e.g.
+    /// "no acked write was lost"), not part of the service surface.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Msnap`] on a VM read failure; `Ok(None)` for an
+    /// unknown tenant, out-of-range key, or unset slot.
+    pub fn peek(&mut self, tenant: &str, key: u64) -> Result<Option<Vec<u8>>, ServeError> {
+        if key >= self.cfg.capacity() {
+            return Ok(None);
+        }
+        let Some(t) = self.tenants.get(tenant) else {
+            return Ok(None);
+        };
+        let (stripe, page, slot) = self.locate(key);
+        let Some(s) = t.stripes.get(stripe as usize) else {
+            return Ok(None);
+        };
+        let va = s.addr + page * PAGE_SIZE as u64 + slot * SLOT_BYTES;
+        let mut buf = [0u8; SLOT_BYTES as usize];
+        self.ms.read(&mut self.vt, self.space, va, &mut buf)?;
+        Ok(decode_slot(&buf))
+    }
+
+    /// `(stripe, stripe-local page, slot)` of a key. Keys are striped
+    /// page-contiguously: global page `g = key / SLOTS_PER_PAGE` lands
+    /// on stripe `g % stripes`, local page `g / stripes` — so one
+    /// changed page maps back to exactly one contiguous global key
+    /// range, which is what turns a snapshot diff into range events.
+    fn locate(&self, key: u64) -> (u64, u64, u64) {
+        let g = key / SLOTS_PER_PAGE;
+        (
+            g % self.cfg.stripes,
+            g / self.cfg.stripes,
+            key % SLOTS_PER_PAGE,
+        )
+    }
+
+    /// The global key range `[lo, hi)` covered by one stripe-local page.
+    fn page_key_range(&self, stripe: u64, page: u64) -> (u64, u64) {
+        let g = page * self.cfg.stripes + stripe;
+        (g * SLOTS_PER_PAGE, (g + 1) * SLOTS_PER_PAGE)
+    }
+
+    /// Runs one actor round at (or after) instant `now`.
+    ///
+    /// # Errors
+    ///
+    /// Store/replication failures that are server-side bugs or device
+    /// faults, never client-induced conditions (those travel back as
+    /// [`Response::Err`]).
+    pub fn step(&mut self, now: Nanos) -> Result<(), ServeError> {
+        if self.vt.now() < now {
+            self.vt.wait_until(now);
+        }
+        self.rounds += 1;
+        self.drain_clients();
+        let committed = self.write_actor()?;
+        self.notify_actor(&committed)?;
+        self.read_actor()?;
+        self.maybe_cut(!committed.is_empty())?;
+        self.repl_round()?;
+        self.retransmit_notifies();
+        self.flush_outbox();
+        Ok(())
+    }
+
+    // ---- control actor -------------------------------------------------
+
+    fn drain_clients(&mut self) {
+        let now = self.vt.now();
+        while let Some((port, _at, datagram)) = self.uplink.poll(now) {
+            let requests = match wire::decode_requests(&datagram) {
+                Ok(r) => r,
+                Err(_) => {
+                    self.malformed += 1;
+                    continue;
+                }
+            };
+            for req in requests {
+                self.route(port, req);
+            }
+        }
+    }
+
+    fn route(&mut self, port: usize, req: Request) {
+        match req {
+            Request::Hello { staleness } => {
+                let id = self.next_session;
+                self.next_session += 1;
+                // A reconnect on the same port supersedes the port's
+                // older sessions: their watches die with them.
+                let stale: Vec<u64> = self
+                    .sessions
+                    .iter()
+                    .filter(|(_, s)| s.port == port)
+                    .map(|(&id, _)| id)
+                    .collect();
+                for sid in stale {
+                    self.drop_session(sid);
+                }
+                self.sessions.insert(
+                    id,
+                    Session {
+                        port,
+                        staleness,
+                        replies: BTreeMap::new(),
+                        inflight: Vec::new(),
+                        pending_events: Vec::new(),
+                        last_seq: 0,
+                        unacked: BTreeMap::new(),
+                    },
+                );
+                let resp = Response::HelloOk {
+                    session: id,
+                    stripes: self.cfg.stripes,
+                    capacity: self.cfg.capacity(),
+                };
+                self.push(port, &resp);
+            }
+            Request::Put {
+                session,
+                req,
+                tenant,
+                key,
+                value,
+            } => {
+                if self.check_session(port, session, req).is_none()
+                    || self.replay_cached(session, req)
+                {
+                    return;
+                }
+                if key >= self.cfg.capacity() {
+                    self.reply(
+                        session,
+                        req,
+                        Response::Err {
+                            req,
+                            code: ErrCode::KeyOutOfRange,
+                        },
+                    );
+                    return;
+                }
+                if value.len() > MAX_VALUE_BYTES {
+                    self.reply(
+                        session,
+                        req,
+                        Response::Err {
+                            req,
+                            code: ErrCode::ValueTooLarge,
+                        },
+                    );
+                    return;
+                }
+                let s = self.sessions.get_mut(&session).expect("checked above");
+                if s.inflight.contains(&req) {
+                    return; // duplicate of an accepted, still-pending put
+                }
+                s.inflight.push(req);
+                self.write_mailbox.push_back(QueuedOp::Put {
+                    session,
+                    req,
+                    tenant,
+                    key,
+                    value,
+                });
+            }
+            Request::Get {
+                session,
+                req,
+                tenant,
+                key,
+            } => {
+                if self.check_session(port, session, req).is_none()
+                    || self.replay_cached(session, req)
+                {
+                    return;
+                }
+                self.read_queue.push(QueuedOp::Get {
+                    session,
+                    req,
+                    tenant,
+                    key,
+                });
+            }
+            Request::Scan {
+                session,
+                req,
+                tenant,
+                lo,
+                hi,
+            } => {
+                if self.check_session(port, session, req).is_none()
+                    || self.replay_cached(session, req)
+                {
+                    return;
+                }
+                self.read_queue.push(QueuedOp::Scan {
+                    session,
+                    req,
+                    tenant,
+                    lo,
+                    hi,
+                });
+            }
+            Request::Subscribe {
+                session,
+                req,
+                tenant,
+                lo,
+                hi,
+            } => {
+                if self.check_session(port, session, req).is_none()
+                    || self.replay_cached(session, req)
+                {
+                    return;
+                }
+                let resp = match self.subscribe(session, &tenant, lo, hi) {
+                    Ok((watch, from_epochs)) => Response::SubOk {
+                        req,
+                        watch,
+                        from_epochs,
+                    },
+                    Err(code) => Response::Err { req, code },
+                };
+                self.reply(session, req, resp);
+            }
+            Request::Unsubscribe {
+                session,
+                req,
+                watch,
+            } => {
+                if self.check_session(port, session, req).is_none()
+                    || self.replay_cached(session, req)
+                {
+                    return;
+                }
+                let resp = match self.watches.get(&watch) {
+                    Some(w) if w.session == session => {
+                        self.remove_watch(watch);
+                        Response::UnsubOk { req }
+                    }
+                    _ => Response::Err {
+                        req,
+                        code: ErrCode::UnknownWatch,
+                    },
+                };
+                self.reply(session, req, resp);
+            }
+            Request::StatsReq { session, req } => {
+                if self.check_session(port, session, req).is_none()
+                    || self.replay_cached(session, req)
+                {
+                    return;
+                }
+                let stats = self.stats();
+                self.reply(session, req, Response::StatsOk { req, stats });
+            }
+            Request::NotifyAck { session, cut_seq } => {
+                if let Some(s) = self.sessions.get_mut(&session) {
+                    // Cumulative: acking cut N retires every bundle ≤ N.
+                    s.unacked.retain(|&seq, _| seq > cut_seq);
+                }
+            }
+        }
+    }
+
+    /// Validates a session, sending `UnknownSession` (to the *port* the
+    /// request arrived on) when it is not live. Returns the session's
+    /// bound port.
+    fn check_session(&mut self, port: usize, session: u64, req: u64) -> Option<usize> {
+        match self.sessions.get_mut(&session) {
+            Some(s) => {
+                // Follow the client if it reconnected its link.
+                s.port = port;
+                Some(port)
+            }
+            None => {
+                self.push(
+                    port,
+                    &Response::Err {
+                        req,
+                        code: ErrCode::UnknownSession,
+                    },
+                );
+                None
+            }
+        }
+    }
+
+    /// Replays a cached response for a duplicate request id. Returns
+    /// whether the request was a replay.
+    fn replay_cached(&mut self, session: u64, req: u64) -> bool {
+        let Some(s) = self.sessions.get(&session) else {
+            return false;
+        };
+        if let Some(resp) = s.replies.get(&req).cloned() {
+            let port = s.port;
+            self.push(port, &resp);
+            return true;
+        }
+        false
+    }
+
+    /// Caches and sends a response on the session's port.
+    fn reply(&mut self, session: u64, req: u64, resp: Response) {
+        let Some(s) = self.sessions.get_mut(&session) else {
+            return;
+        };
+        s.replies.insert(req, resp.clone());
+        while s.replies.len() > REPLY_CACHE {
+            let oldest = *s.replies.keys().next().expect("non-empty");
+            s.replies.remove(&oldest);
+        }
+        s.inflight.retain(|&r| r != req);
+        let port = s.port;
+        self.push(port, &resp);
+    }
+
+    fn push(&mut self, port: usize, resp: &Response) {
+        wire::append_response(self.outbox.entry(port).or_default(), resp);
+    }
+
+    fn drop_session(&mut self, session: u64) {
+        let dead: Vec<u64> = self
+            .watches
+            .iter()
+            .filter(|(_, w)| w.session == session)
+            .map(|(&id, _)| id)
+            .collect();
+        for w in dead {
+            self.remove_watch(w);
+        }
+        self.sessions.remove(&session);
+        self.pending_puts.retain(|p| p.session != session);
+    }
+
+    // ---- subscriptions -------------------------------------------------
+
+    fn subscribe(
+        &mut self,
+        session: u64,
+        tenant: &str,
+        lo: u64,
+        hi: u64,
+    ) -> Result<(u64, Vec<u64>), ErrCode> {
+        if lo >= hi || hi > self.cfg.capacity() {
+            return Err(ErrCode::BadRequest);
+        }
+        self.ensure_tenant(tenant)
+            .map_err(|_| ErrCode::BadRequest)?;
+        // Pin (or refresh) each stripe's baseline snapshot *before*
+        // reporting from_epochs: events start exactly past this point.
+        let stripes = self.tenants[tenant].stripes.len();
+        let mut from_epochs = Vec::with_capacity(stripes);
+        for idx in 0..stripes {
+            let epoch = self
+                .ensure_baseline(tenant, idx)
+                .map_err(|_| ErrCode::BadRequest)?;
+            from_epochs.push(epoch);
+        }
+        let watch = self.next_watch;
+        self.next_watch += 1;
+        self.watches.insert(
+            watch,
+            Watch {
+                session,
+                tenant: tenant.to_string(),
+                lo,
+                hi,
+            },
+        );
+        let t = self.tenants.get_mut(tenant).expect("ensured above");
+        t.watchers.push(watch);
+        Ok((watch, from_epochs))
+    }
+
+    fn remove_watch(&mut self, watch: u64) {
+        let Some(w) = self.watches.remove(&watch) else {
+            return;
+        };
+        // Unwatched tenants carry no baselines: drop them so commits
+        // stop paying the snapshot/diff cost.
+        let mut dead_baselines = Vec::new();
+        if let Some(t) = self.tenants.get_mut(&w.tenant) {
+            t.watchers.retain(|&id| id != watch);
+            if t.watchers.is_empty() {
+                for s in &mut t.stripes {
+                    if let Some((name, _)) = s.baseline.take() {
+                        dead_baselines.push(name);
+                    }
+                }
+            }
+        }
+        for name in dead_baselines {
+            let _ = self.ms.msnap_snapshot_delete(&mut self.vt, &name);
+        }
+    }
+
+    /// Creates the tenant's stripe regions on first touch.
+    fn ensure_tenant(&mut self, tenant: &str) -> Result<(), ServeError> {
+        if self.tenants.contains_key(tenant) {
+            return Ok(());
+        }
+        let mut stripes = Vec::with_capacity(self.cfg.stripes as usize);
+        for idx in 0..self.cfg.stripes {
+            let name = format!("t/{tenant}/{idx}");
+            let handle =
+                self.ms
+                    .msnap_open(&mut self.vt, self.space, &name, self.cfg.pages_per_stripe)?;
+            stripes.push(Stripe {
+                md: handle.md,
+                addr: handle.addr,
+                obj: name,
+                baseline: None,
+            });
+        }
+        self.tenants.insert(
+            tenant.to_string(),
+            Tenant {
+                stripes,
+                watchers: Vec::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Ensures a stripe has a baseline snapshot pinned at its *current*
+    /// committed epoch, returning that epoch. A stale baseline (left by
+    /// an earlier watch generation) is re-pinned so the next diff never
+    /// reaches back before this subscriber's `from_epoch`.
+    fn ensure_baseline(&mut self, tenant: &str, idx: usize) -> Result<u64, ServeError> {
+        let (obj, baseline) = {
+            let s = &self.tenants[tenant].stripes[idx];
+            (s.obj.clone(), s.baseline.clone())
+        };
+        let current = self.ms.object_epoch(&obj).unwrap_or(0);
+        if let Some((name, epoch)) = baseline {
+            if epoch == current {
+                return Ok(epoch);
+            }
+            self.ms.msnap_snapshot_delete(&mut self.vt, &name)?;
+        }
+        let name = format!("__w/{obj}@{current}");
+        let epoch = self.ms.msnap_snapshot_object(&mut self.vt, &obj, &name)?;
+        self.tenants.get_mut(tenant).expect("exists").stripes[idx].baseline = Some((name, epoch));
+        Ok(epoch)
+    }
+
+    // ---- write actor ---------------------------------------------------
+
+    /// Applies the mailbox's puts and group-commits one μCheckpoint per
+    /// touched stripe. Returns the committed stripes as
+    /// `(tenant, stripe index, epoch)`.
+    fn write_actor(&mut self) -> Result<Vec<(String, usize, u64)>, ServeError> {
+        if self.throttled || self.write_mailbox.is_empty() {
+            // Replication back-pressure: leave the mailbox queued; the
+            // stall is client-visible as put latency, never data loss.
+            return Ok(Vec::new());
+        }
+        let ops: Vec<QueuedOp> = self.write_mailbox.drain(..).collect();
+        // (tenant, stripe) -> (session, req, key, value) puts, in
+        // BTreeMap order for determinism.
+        type StripePuts = BTreeMap<(String, usize), Vec<(u64, u64, u64, Vec<u8>)>>;
+        let mut by_stripe: StripePuts = BTreeMap::new();
+        for op in ops {
+            let QueuedOp::Put {
+                session,
+                req,
+                tenant,
+                key,
+                value,
+            } = op
+            else {
+                continue;
+            };
+            if self.ensure_tenant(&tenant).is_err() {
+                self.reply(
+                    session,
+                    req,
+                    Response::Err {
+                        req,
+                        code: ErrCode::BadRequest,
+                    },
+                );
+                continue;
+            }
+            let (stripe, _, _) = self.locate(key);
+            by_stripe
+                .entry((tenant, stripe as usize))
+                .or_default()
+                .push((session, req, key, value));
+        }
+        if by_stripe.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Write the slots through the VM, then join one group commit
+        // per stripe; the core coalesces same-lane stripes further.
+        let mut tickets = Vec::new();
+        for ((tenant, stripe), puts) in by_stripe {
+            let (addr, md) = {
+                let s = &self.tenants[&tenant].stripes[stripe];
+                (s.addr, s.md)
+            };
+            let mut slot = [0u8; SLOT_BYTES as usize];
+            for (_, _, key, value) in &puts {
+                let (_, page, idx) = self.locate(*key);
+                let va = addr + page * PAGE_SIZE as u64 + idx * SLOT_BYTES;
+                encode_slot(&mut slot, value);
+                self.ms
+                    .write(&mut self.vt, self.space, self.thread, va, &slot)?;
+            }
+            let ticket = self.ms.msnap_persist_grouped(
+                &mut self.vt,
+                self.thread,
+                RegionSel::Region(md),
+                PersistFlags::sync(),
+            )?;
+            tickets.push((tenant, stripe, ticket, puts));
+        }
+        self.ms.msnap_group_flush(&mut self.vt);
+        let mut committed = Vec::with_capacity(tickets.len());
+        for (tenant, stripe, ticket, puts) in tickets {
+            let epoch = loop {
+                if let Some(e) = self.ms.msnap_group_poll(&mut self.vt, ticket)? {
+                    break e;
+                }
+            };
+            let obj = self.tenants[&tenant].stripes[stripe].obj.clone();
+            for (session, req, _, _) in puts {
+                self.stats.puts += 1;
+                if self.repl.is_some() && self.cfg.ack_replicated {
+                    self.pending_puts.push(PendingPut {
+                        session,
+                        req,
+                        obj: obj.clone(),
+                        epoch,
+                    });
+                } else {
+                    self.reply(session, req, Response::PutOk { req, epoch });
+                }
+            }
+            committed.push((tenant, stripe, epoch));
+        }
+        self.commits_since_cut += committed.len() as u64;
+        Ok(committed)
+    }
+
+    // ---- notify actor --------------------------------------------------
+
+    /// Turns each committed, watched stripe's snapshot diff into
+    /// key-range invalidation events buffered on the subscribers'
+    /// sessions. Push-only: the changed-page list comes from the
+    /// store's structural diff of two retained snapshots — the store is
+    /// never scanned.
+    fn notify_actor(&mut self, committed: &[(String, usize, u64)]) -> Result<(), ServeError> {
+        for (tenant, stripe, epoch) in committed {
+            let (obj, baseline) = {
+                let t = &self.tenants[tenant];
+                if t.watchers.is_empty() {
+                    continue;
+                }
+                let s = &t.stripes[*stripe];
+                (s.obj.clone(), s.baseline.clone())
+            };
+            let Some((base_name, _)) = baseline else {
+                continue;
+            };
+            // Advance the baseline to the just-committed epoch and diff
+            // one epoch step.
+            let new_name = format!("__w/{obj}@{epoch}");
+            self.ms
+                .msnap_snapshot_object(&mut self.vt, &obj, &new_name)?;
+            let pages = {
+                let (store, disk) = self.ms.replication_parts();
+                store
+                    .snapshot_diff(&mut self.vt, disk, Some(&base_name), &new_name)
+                    .map_err(MsnapError::from)?
+            };
+            self.ms.msnap_snapshot_delete(&mut self.vt, &base_name)?;
+            self.tenants.get_mut(tenant).expect("exists").stripes[*stripe].baseline =
+                Some((new_name, *epoch));
+            if pages.is_empty() {
+                continue;
+            }
+            let ranges: Vec<(u64, u64)> = pages
+                .iter()
+                .map(|&p| self.page_key_range(*stripe as u64, p))
+                .collect();
+            let ranges = wire::merge_ranges(ranges);
+            let watchers = self.tenants[tenant].watchers.clone();
+            for watch in watchers {
+                let Some(w) = self.watches.get(&watch) else {
+                    continue;
+                };
+                let clipped: Vec<(u64, u64)> = ranges
+                    .iter()
+                    .filter_map(|&(lo, hi)| {
+                        let lo = lo.max(w.lo);
+                        let hi = hi.min(w.hi);
+                        (lo < hi).then_some((lo, hi))
+                    })
+                    .collect();
+                if clipped.is_empty() {
+                    continue;
+                }
+                let session = w.session;
+                if let Some(s) = self.sessions.get_mut(&session) {
+                    s.pending_events.push(NotifyEvent {
+                        watch,
+                        stripe: *stripe as u64,
+                        epoch: *epoch,
+                        ranges: clipped,
+                    });
+                    self.stats.notify_events += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- read actor ----------------------------------------------------
+
+    fn read_actor(&mut self) -> Result<(), ServeError> {
+        let ops = std::mem::take(&mut self.read_queue);
+        for op in ops {
+            match op {
+                QueuedOp::Get {
+                    session,
+                    req,
+                    tenant,
+                    key,
+                } => {
+                    let resp = self.serve_get(session, req, &tenant, key)?;
+                    self.reply(session, req, resp);
+                }
+                QueuedOp::Scan {
+                    session,
+                    req,
+                    tenant,
+                    lo,
+                    hi,
+                } => {
+                    let resp = self.serve_scan(req, &tenant, lo, hi)?;
+                    self.stats.scans += 1;
+                    self.reply(session, req, resp);
+                }
+                QueuedOp::Put { .. } => unreachable!("puts go to the write mailbox"),
+            }
+        }
+        Ok(())
+    }
+
+    fn serve_get(
+        &mut self,
+        session: u64,
+        req: u64,
+        tenant: &str,
+        key: u64,
+    ) -> Result<Response, ServeError> {
+        self.stats.gets += 1;
+        if key >= self.cfg.capacity() {
+            return Ok(Response::Err {
+                req,
+                code: ErrCode::KeyOutOfRange,
+            });
+        }
+        let staleness = self.sessions.get(&session).map_or(0, |s| s.staleness);
+        let Some(t) = self.tenants.get(tenant) else {
+            // Unknown tenant: an empty read, not an error — tenants
+            // materialize on first write.
+            return Ok(Response::GetOk {
+                req,
+                epoch: 0,
+                from_replica: false,
+                value: None,
+            });
+        };
+        let (stripe, page, slot) = self.locate(key);
+        let s = &t.stripes[stripe as usize];
+        let (obj, addr) = (s.obj.clone(), s.addr);
+        let primary_epoch = self.ms.object_epoch(&obj).unwrap_or(0);
+
+        // Bounded-staleness routing: try replicas (round-robin) whose
+        // applied epoch for this object is within the session's budget;
+        // fall back to the primary.
+        if let Some(engine) = self.repl.as_mut() {
+            let n = self.replica_names.len();
+            for i in 0..n {
+                let name = self.replica_names[(self.read_cursor + i) % n].clone();
+                let fresh_enough = engine
+                    .replica(&name)
+                    .is_some_and(|r| r.epoch(&obj) + staleness >= primary_epoch);
+                if !fresh_enough {
+                    continue;
+                }
+                let Some(node) = engine.replica_mut(&name) else {
+                    continue;
+                };
+                let mut buf = vec![0u8; PAGE_SIZE];
+                match node.read_page(&obj, page, &mut buf) {
+                    Ok(()) => {
+                        self.read_cursor = (self.read_cursor + i + 1) % n;
+                        self.stats.replica_reads += 1;
+                        let off = (slot * SLOT_BYTES) as usize;
+                        let value = decode_slot(&buf[off..off + SLOT_BYTES as usize]);
+                        let epoch = engine.replica(&name).map_or(0, |r| r.epoch(&obj));
+                        return Ok(Response::GetOk {
+                            req,
+                            epoch,
+                            from_replica: true,
+                            value,
+                        });
+                    }
+                    Err(_) => {
+                        // Replica could not serve (e.g. mid-bootstrap):
+                        // primary absorbs the read.
+                        self.replica_fallbacks += 1;
+                    }
+                }
+            }
+        }
+        let va = addr + page * PAGE_SIZE as u64 + slot * SLOT_BYTES;
+        let mut buf = [0u8; SLOT_BYTES as usize];
+        self.ms.read(&mut self.vt, self.space, va, &mut buf)?;
+        self.stats.primary_reads += 1;
+        Ok(Response::GetOk {
+            req,
+            epoch: primary_epoch,
+            from_replica: false,
+            value: decode_slot(&buf),
+        })
+    }
+
+    /// Scans are always served by the primary: a multi-page scan must
+    /// be read at one consistent epoch, which replicas cannot promise
+    /// mid-apply.
+    fn serve_scan(
+        &mut self,
+        req: u64,
+        tenant: &str,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Response, ServeError> {
+        let hi = hi.min(self.cfg.capacity());
+        if lo >= hi {
+            return Ok(Response::ScanOk {
+                req,
+                pairs: Vec::new(),
+            });
+        }
+        let Some(t) = self.tenants.get(tenant) else {
+            return Ok(Response::ScanOk {
+                req,
+                pairs: Vec::new(),
+            });
+        };
+        let addrs: Vec<u64> = t.stripes.iter().map(|s| s.addr).collect();
+        let mut pairs = Vec::new();
+        let mut buf = [0u8; SLOT_BYTES as usize];
+        for key in lo..hi {
+            let (stripe, page, slot) = self.locate(key);
+            let va = addrs[stripe as usize] + page * PAGE_SIZE as u64 + slot * SLOT_BYTES;
+            self.ms.read(&mut self.vt, self.space, va, &mut buf)?;
+            if let Some(v) = decode_slot(&buf) {
+                pairs.push((key, v));
+            }
+        }
+        Ok(Response::ScanOk { req, pairs })
+    }
+
+    // ---- cut / notify release ------------------------------------------
+
+    /// Stamps an epoch-vector cut when due and releases each session's
+    /// buffered events as one cut-aligned bundle.
+    fn maybe_cut(&mut self, committed_this_round: bool) -> Result<(), ServeError> {
+        // Age the cut timer on *every* round once something is waiting:
+        // if only committing rounds counted, the final commits before a
+        // quiet spell would sit buffered forever (their cut would wait
+        // on a future commit that never comes).
+        if committed_this_round || self.commits_since_cut > 0 {
+            self.rounds_since_cut += 1;
+        }
+        if self.commits_since_cut == 0 || self.rounds_since_cut < self.cfg.cut_every {
+            return Ok(());
+        }
+        self.rounds_since_cut = 0;
+        self.commits_since_cut = 0;
+        let cut = self.ms.msnap_cut(&mut self.vt)?;
+        self.stats.cuts += 1;
+        let now = self.vt.now();
+        let mut sends: Vec<(usize, Response)> = Vec::new();
+        for s in self.sessions.values_mut() {
+            if s.pending_events.is_empty() {
+                continue;
+            }
+            let events = std::mem::take(&mut s.pending_events);
+            let resp = Response::Notify {
+                cut_seq: cut.seq,
+                prev_seq: s.last_seq,
+                events,
+            };
+            s.last_seq = cut.seq;
+            s.unacked.insert(
+                cut.seq,
+                UnackedBundle {
+                    resp: resp.clone(),
+                    last_sent: now,
+                },
+            );
+            self.stats.notify_bundles += 1;
+            sends.push((s.port, resp));
+        }
+        for (port, resp) in sends {
+            self.push(port, &resp);
+        }
+        Ok(())
+    }
+
+    fn retransmit_notifies(&mut self) {
+        let now = self.vt.now();
+        let timeout = self.cfg.notify_retransmit;
+        let mut sends: Vec<(usize, Response)> = Vec::new();
+        for s in self.sessions.values_mut() {
+            for bundle in s.unacked.values_mut() {
+                if now.saturating_sub(bundle.last_sent) >= timeout {
+                    bundle.last_sent = now;
+                    sends.push((s.port, bundle.resp.clone()));
+                }
+            }
+        }
+        for (port, resp) in sends {
+            self.push(port, &resp);
+        }
+    }
+
+    // ---- replication round ---------------------------------------------
+
+    fn repl_round(&mut self) -> Result<(), ServeError> {
+        let Some(engine) = self.repl.as_mut() else {
+            self.throttled = false;
+            self.release_puts();
+            return Ok(());
+        };
+        let report = engine.tick(&mut self.vt, &mut self.ms)?;
+        self.throttled = report.throttled;
+        self.release_puts();
+        Ok(())
+    }
+
+    /// Releases `PutOk`s whose epoch every replica has applied.
+    fn release_puts(&mut self) {
+        if self.pending_puts.is_empty() {
+            return;
+        }
+        let ready: Vec<PendingPut> = match self.repl.as_ref() {
+            None => self.pending_puts.drain(..).collect(),
+            Some(engine) => {
+                let names = &self.replica_names;
+                let mut ready = Vec::new();
+                let mut keep = Vec::new();
+                for p in self.pending_puts.drain(..) {
+                    let applied = names.iter().all(|n| {
+                        engine
+                            .replica(n)
+                            .is_some_and(|r| r.epoch(&p.obj) >= p.epoch)
+                    });
+                    if applied {
+                        ready.push(p);
+                    } else {
+                        keep.push(p);
+                    }
+                }
+                self.pending_puts = keep;
+                ready
+            }
+        };
+        for p in ready {
+            self.reply(
+                p.session,
+                p.req,
+                Response::PutOk {
+                    req: p.req,
+                    epoch: p.epoch,
+                },
+            );
+        }
+    }
+
+    // ---- outbox --------------------------------------------------------
+
+    fn flush_outbox(&mut self) {
+        let now = self.vt.now();
+        for (port, datagram) in std::mem::take(&mut self.outbox) {
+            if !datagram.is_empty() && port < self.downlinks.len() {
+                self.downlinks[port].send(now, datagram);
+            }
+        }
+    }
+}
+
+/// The stripe a key lives on under `stripes`-way page-contiguous
+/// striping (mirrors [`ServeNode`]'s internal layout, for oracles).
+pub fn key_stripe(stripes: u64, key: u64) -> u64 {
+    (key / SLOTS_PER_PAGE) % stripes
+}
+
+/// The global key range `[lo, hi)` sharing a page with `key` — the
+/// invalidation granule a watcher sees when this key changes.
+pub fn key_page_range(key: u64) -> (u64, u64) {
+    let g = key / SLOTS_PER_PAGE;
+    (g * SLOTS_PER_PAGE, (g + 1) * SLOTS_PER_PAGE)
+}
+
+/// Encodes a value into a 64-byte slot image.
+fn encode_slot(slot: &mut [u8; SLOT_BYTES as usize], value: &[u8]) {
+    slot.fill(0);
+    slot[0] = 1;
+    slot[1] = value.len() as u8;
+    slot[2..2 + value.len()].copy_from_slice(value);
+}
+
+/// Decodes a 64-byte slot image (`None` for an unset slot).
+fn decode_slot(slot: &[u8]) -> Option<Vec<u8>> {
+    if slot.first() != Some(&1) {
+        return None;
+    }
+    let len = (*slot.get(1)? as usize).min(MAX_VALUE_BYTES);
+    slot.get(2..2 + len).map(<[u8]>::to_vec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives the node directly over the wire, no harness: a client on
+    /// port 0 writes, reads back, subscribes, writes again, and
+    /// receives a cut-aligned invalidation for exactly the written
+    /// key's page range.
+    #[test]
+    fn put_get_subscribe_notify_over_the_wire() {
+        let cfg = ServeConfig {
+            cut_every: 1,
+            ack_replicated: false,
+            ..ServeConfig::default()
+        };
+        let mut node = ServeNode::format(cfg.clone(), 2, NetConfig::calm(11));
+        let mut now = Nanos::ZERO;
+        let deliver = |node: &mut ServeNode, now: &mut Nanos| {
+            let mut got = Vec::new();
+            for _ in 0..200 {
+                *now += Nanos::from_us(100);
+                node.step(*now).unwrap();
+                while let Some((_, dg)) = node.client_poll(0, *now) {
+                    got.extend(wire::decode_responses(&dg).unwrap());
+                }
+                if !got.is_empty() {
+                    break;
+                }
+            }
+            got
+        };
+
+        node.client_send(
+            0,
+            now,
+            wire::encode_request(&Request::Hello { staleness: 0 }),
+        );
+        let resps = deliver(&mut node, &mut now);
+        let (session, capacity) = match resps.first() {
+            Some(Response::HelloOk {
+                session, capacity, ..
+            }) => (*session, *capacity),
+            other => panic!("expected HelloOk, got {other:?}"),
+        };
+        assert_eq!(capacity, cfg.capacity());
+
+        node.client_send(
+            0,
+            now,
+            wire::encode_request(&Request::Put {
+                session,
+                req: 1,
+                tenant: "acme".into(),
+                key: 130,
+                value: vec![7, 8, 9],
+            }),
+        );
+        let resps = deliver(&mut node, &mut now);
+        assert!(
+            matches!(resps.first(), Some(Response::PutOk { req: 1, .. })),
+            "{resps:?}"
+        );
+
+        node.client_send(
+            0,
+            now,
+            wire::encode_request(&Request::Get {
+                session,
+                req: 2,
+                tenant: "acme".into(),
+                key: 130,
+            }),
+        );
+        let resps = deliver(&mut node, &mut now);
+        let Some(Response::GetOk { value, .. }) = resps.first() else {
+            panic!("{resps:?}");
+        };
+        assert_eq!(value.as_deref(), Some(&[7u8, 8, 9][..]));
+
+        node.client_send(
+            0,
+            now,
+            wire::encode_request(&Request::Subscribe {
+                session,
+                req: 3,
+                tenant: "acme".into(),
+                lo: 0,
+                hi: capacity,
+            }),
+        );
+        let resps = deliver(&mut node, &mut now);
+        assert!(
+            matches!(resps.first(), Some(Response::SubOk { .. })),
+            "{resps:?}"
+        );
+
+        node.client_send(
+            0,
+            now,
+            wire::encode_request(&Request::Put {
+                session,
+                req: 4,
+                tenant: "acme".into(),
+                key: 200,
+                value: vec![1],
+            }),
+        );
+        let mut notify = None;
+        for _ in 0..200 {
+            now += Nanos::from_us(100);
+            node.step(now).unwrap();
+            while let Some((_, dg)) = node.client_poll(0, now) {
+                for r in wire::decode_responses(&dg).unwrap() {
+                    if let Response::Notify { events, .. } = r {
+                        notify = Some(events);
+                    }
+                }
+            }
+            if notify.is_some() {
+                break;
+            }
+        }
+        let events = notify.expect("a Notify bundle arrives");
+        // Key 200 lives on global page 3: exactly that page's range.
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].ranges, vec![(192, 256)]);
+    }
+
+    #[test]
+    fn slot_codec_round_trips() {
+        let mut slot = [0u8; SLOT_BYTES as usize];
+        assert_eq!(decode_slot(&slot), None);
+        encode_slot(&mut slot, &[1, 2, 3]);
+        assert_eq!(decode_slot(&slot), Some(vec![1, 2, 3]));
+        encode_slot(&mut slot, &[]);
+        assert_eq!(decode_slot(&slot), Some(vec![]));
+    }
+}

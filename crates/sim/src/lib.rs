@@ -18,6 +18,8 @@
 //! - [`SimLink`] / [`NetConfig`]: a deterministic seeded lossy network
 //!   link (latency, bandwidth, drops, reordering, partitions) for
 //!   replication experiments.
+//! - [`SimSwitch`]: an N-port hub of seeded links with fair round-robin
+//!   polling, for multi-client fan-in (network services).
 //! - [`SimLock`]: a virtual-time mutex usable from conservatively scheduled
 //!   virtual threads.
 //! - [`Scheduler`] and [`Process`]: a conservative (min-clock-first)
@@ -53,7 +55,7 @@ mod vthread;
 
 pub use cost::{Category, CostTracker};
 pub use lock::SimLock;
-pub use net::{LinkStats, NetConfig, SimLink};
+pub use net::{LinkStats, NetConfig, SimLink, SimSwitch};
 pub use resource::{ChannelPool, Resource};
 pub use sched::{Process, Scheduler, StepOutcome};
 pub use stats::{LatencyStats, Meters};

@@ -95,7 +95,13 @@ impl ChannelPool {
     /// Schedules `hold` of work starting no earlier than `submit_at` on the
     /// earliest-free channel; returns the completion instant.
     pub fn submit(&mut self, submit_at: Nanos, hold: Nanos) -> Nanos {
-        let Reverse(earliest) = self.free_at.pop().expect("pool is non-empty");
+        // Invariant: `new` rejects zero channels and every pop below is
+        // paired with a push, so the heap is never empty here; an empty
+        // pool would only mean an idle channel at time zero anyway.
+        let earliest = match self.free_at.pop() {
+            Some(Reverse(t)) => t,
+            None => Nanos::ZERO,
+        };
         let start = submit_at.max(earliest);
         let done = start + hold;
         self.free_at.push(Reverse(done));

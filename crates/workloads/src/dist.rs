@@ -39,6 +39,67 @@ impl Zipf {
     }
 }
 
+/// A seeded two-level tenant×key skew sampler: Zipf over tenants
+/// composed with a per-tenant Zipf over keys, as seen by a multi-tenant
+/// service (a few tenants dominate traffic, and within each tenant a
+/// few keys dominate accesses).
+///
+/// Per-tenant key popularity is *rotated* by a deterministic per-tenant
+/// offset, so hot tenants do not all hammer the same key index — tenant
+/// `t`'s hottest key is `offset(t)`, not `0`. Both marginals stay in
+/// domain (`0..tenants`, `0..keys`) and keep their configured skew.
+///
+/// # Example
+///
+/// ```
+/// use msnap_workloads::dist::TenantKeyZipf;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let d = TenantKeyZipf::new(16, 0.99, 1024, 0.9);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let (tenant, key) = d.sample(&mut rng);
+/// assert!(tenant < 16 && key < 1024);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TenantKeyZipf {
+    tenants: Zipf,
+    keys: Zipf,
+    n_keys: usize,
+}
+
+impl TenantKeyZipf {
+    /// Builds a sampler over `tenants × keys` with the given skews
+    /// (`theta` as in [`Zipf::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants == 0` or `keys == 0`.
+    pub fn new(tenants: usize, tenant_theta: f64, keys: usize, key_theta: f64) -> Self {
+        TenantKeyZipf {
+            tenants: Zipf::new(tenants, tenant_theta),
+            keys: Zipf::new(keys, key_theta),
+            n_keys: keys,
+        }
+    }
+
+    /// The deterministic hot-key offset of one tenant.
+    pub fn hot_key(&self, tenant: usize) -> usize {
+        // Splitmix-style scramble so adjacent tenants land far apart.
+        let mut z = (tenant as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        (z ^ (z >> 31)) as usize % self.n_keys
+    }
+
+    /// Samples one `(tenant, key)` pair.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> (usize, usize) {
+        let tenant = self.tenants.sample(rng);
+        let rank = self.keys.sample(rng);
+        let key = (rank + self.hot_key(tenant)) % self.n_keys;
+        (tenant, key)
+    }
+}
+
 /// A bounded generalized-Pareto sampler over `0..n`, as used by MixGraph
 /// for write-key selection ("writes are chosen using a generalized Pareto
 /// distribution", §7.2 / Cao et al. FAST '20).
@@ -126,6 +187,90 @@ mod tests {
         for _ in 0..1000 {
             assert!(p.sample(&mut rng) < 100);
         }
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Both marginals of the two-level sampler stay in domain for
+        /// arbitrary shapes and skews.
+        #[test]
+        fn tenant_key_marginals_stay_in_domain(
+            tenants in 1usize..48,
+            keys in 1usize..2048,
+            t_theta in 0u32..130,
+            k_theta in 0u32..130,
+        ) {
+            let d = TenantKeyZipf::new(
+                tenants, f64::from(t_theta) / 100.0,
+                keys, f64::from(k_theta) / 100.0,
+            );
+            let mut rng = StdRng::seed_from_u64(tenants as u64 ^ (keys as u64) << 16);
+            for _ in 0..500 {
+                let (t, k) = d.sample(&mut rng);
+                prop_assert!(t < tenants, "tenant {} out of {}", t, tenants);
+                prop_assert!(k < keys, "key {} out of {}", k, keys);
+            }
+        }
+
+        /// With classic YCSB-style skew, the tenant marginal concentrates
+        /// on the head tenants and each tenant's key marginal concentrates
+        /// on that tenant's own (rotated) hot key.
+        #[test]
+        fn tenant_key_sampler_is_skewed_per_level(seed in 0u64..1000) {
+            const TENANTS: usize = 32;
+            const KEYS: usize = 512;
+            let d = TenantKeyZipf::new(TENANTS, 0.99, KEYS, 0.99);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let samples = 8_000;
+            let mut head_tenant = 0u64;
+            let mut per_tenant_hot: Vec<u64> = vec![0; TENANTS];
+            let mut per_tenant_total: Vec<u64> = vec![0; TENANTS];
+            for _ in 0..samples {
+                let (t, k) = d.sample(&mut rng);
+                if t < TENANTS / 10 {
+                    head_tenant += 1;
+                }
+                per_tenant_total[t] += 1;
+                // Hot neighborhood: within 8 ranks of the tenant's hot key.
+                let dist = (k + KEYS - d.hot_key(t)) % KEYS;
+                if dist < 8 {
+                    per_tenant_hot[t] += 1;
+                }
+            }
+            // Top ~10% of tenants take far more than 10% of traffic.
+            prop_assert!(
+                head_tenant > samples / 3,
+                "head tenants took only {}/{}", head_tenant, samples
+            );
+            // For every tenant with meaningful traffic, its 8 hottest
+            // ranks dominate well beyond the uniform share (8/512).
+            for t in 0..TENANTS {
+                if per_tenant_total[t] >= 200 {
+                    prop_assert!(
+                        per_tenant_hot[t] * 4 > per_tenant_total[t],
+                        "tenant {} hot share {}/{}",
+                        t, per_tenant_hot[t], per_tenant_total[t]
+                    );
+                }
+            }
+            // Rotation: not all tenants share one hot key.
+            let hot0 = d.hot_key(0);
+            prop_assert!((1..TENANTS).any(|t| d.hot_key(t) != hot0));
+        }
+    }
+
+    #[test]
+    fn tenant_key_sampler_is_deterministic_by_seed() {
+        let d = TenantKeyZipf::new(8, 0.9, 128, 0.8);
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..64).map(|_| d.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! - [`tpcc`]: a TPC-C-style OLTP mix for the PostgreSQL case study
 //!   (Figure 6).
 //! - [`dist`]: the Zipf and generalized-Pareto key distributions the above
-//!   are built from.
+//!   are built from, plus the two-level tenant×key skew sampler used by
+//!   the msnap-serve fleet harness.
 //!
 //! All generators are seeded and deterministic.
 
