@@ -9,8 +9,8 @@ use msnap_vm::{AsId, DirtyPage, MemObjectId, ResetStrategy, TrackMode, Vm, PAGE_
 
 use crate::manifest::{Manifest, ManifestEntry};
 use crate::types::{
-    CommitTicket, Md, MsnapError, PersistBreakdown, PersistFlags, RegionHandle, RegionSel,
-    SnapshotView,
+    CommitTicket, IndexCarve, Md, MsnapError, PersistBreakdown, PersistFlags, RegionHandle,
+    RegionSel, SnapshotView,
 };
 use crate::Epoch;
 
@@ -40,6 +40,50 @@ const DEFAULT_PIPELINE_DEPTH: usize = 8;
 /// Coalescing lane for `RegionSel::All` group participants, whose dirty
 /// sets may span every shard.
 const ALL_LANE: u64 = u64::MAX;
+
+/// Magic of an index-carve header ("PIXC").
+const CARVE_MAGIC: u32 = 0x5049_5843;
+/// Carve header format version.
+const CARVE_VERSION: u32 = 1;
+/// Encoded carve header length (the rest of page 0 up to
+/// [`IndexCarve::META_OFF`] is reserved, and beyond it structure-owned).
+const CARVE_HDR_LEN: usize = 32;
+
+/// 32-bit FNV-1a, for the carve-header checksum.
+fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+fn encode_carve_header(kind: u32, writers: u32, arena_pages: u64) -> [u8; CARVE_HDR_LEN] {
+    let mut hdr = [0u8; CARVE_HDR_LEN];
+    hdr[0..4].copy_from_slice(&CARVE_MAGIC.to_le_bytes());
+    hdr[4..8].copy_from_slice(&CARVE_VERSION.to_le_bytes());
+    hdr[8..12].copy_from_slice(&kind.to_le_bytes());
+    hdr[12..16].copy_from_slice(&writers.to_le_bytes());
+    hdr[16..24].copy_from_slice(&arena_pages.to_le_bytes());
+    let cs = fnv1a32(&hdr[0..28]);
+    hdr[28..32].copy_from_slice(&cs.to_le_bytes());
+    hdr
+}
+
+/// Decodes and validates a carve header, returning
+/// `(kind, writers, arena_pages)`.
+fn decode_carve_header(hdr: &[u8; CARVE_HDR_LEN]) -> Option<(u32, u32, u64)> {
+    let word = |at: usize| u32::from_le_bytes(hdr[at..at + 4].try_into().unwrap());
+    if word(0) != CARVE_MAGIC || word(4) != CARVE_VERSION {
+        return None;
+    }
+    if word(28) != fnv1a32(&hdr[0..28]) {
+        return None;
+    }
+    let arena_pages = u64::from_le_bytes(hdr[16..24].try_into().unwrap());
+    Some((word(8), word(12), arena_pages))
+}
 
 #[derive(Debug)]
 struct Region {
@@ -465,6 +509,79 @@ impl MemSnap {
     /// all MemSnap regions in an application").
     pub fn region_names(&self) -> Vec<String> {
         self.regions.iter().map(|r| r.name.clone()).collect()
+    }
+
+    /// Creates or reopens a region carved for a concurrent persistent
+    /// index: a durable carve header on page 0, one private
+    /// detectable-descriptor log page per writer, and a slot arena of
+    /// `arena_pages` (see [`IndexCarve`] for the layout).
+    ///
+    /// On a fresh create the header — magic, structure `kind`, writer
+    /// count, arena geometry — is persisted synchronously before the call
+    /// returns, so every later μCheckpoint of the carve finds the
+    /// geometry already durable. On reopen (`arena_pages == 0` accepted,
+    /// as for [`MemSnap::msnap_open`]) the header is validated and the
+    /// carve re-derived from it; passing non-zero geometry that differs
+    /// from the durable header is a [`MsnapError::LengthMismatch`].
+    ///
+    /// # Errors
+    ///
+    /// [`MsnapError::BadDescriptor`] for zero `writers`/`arena_pages` on
+    /// a fresh create, for reopening a region that carries no valid carve
+    /// header, or for a `kind` mismatch; [`MsnapError::LengthMismatch`]
+    /// for geometry that contradicts the durable header; or a wrapped
+    /// store/VM error from the open or the header persist.
+    pub fn msnap_open_index(
+        &mut self,
+        vt: &mut Vt,
+        space: AsId,
+        name: &str,
+        arena_pages: u64,
+        writers: u32,
+        kind: u32,
+    ) -> Result<IndexCarve, MsnapError> {
+        if self.by_name.contains_key(name) {
+            let region = self.msnap_open(vt, space, name, 0)?;
+            let mut hdr = [0u8; CARVE_HDR_LEN];
+            self.read(vt, space, region.addr, &mut hdr)?;
+            let Some((h_kind, h_writers, h_arena)) = decode_carve_header(&hdr) else {
+                return Err(MsnapError::BadDescriptor);
+            };
+            if h_kind != kind {
+                return Err(MsnapError::BadDescriptor);
+            }
+            if (writers != 0 && writers != h_writers)
+                || (arena_pages != 0 && arena_pages != h_arena)
+            {
+                return Err(MsnapError::LengthMismatch);
+            }
+            return Ok(IndexCarve {
+                region,
+                writers: h_writers,
+                arena_pages: h_arena,
+                kind,
+            });
+        }
+        if writers == 0 || arena_pages == 0 {
+            return Err(MsnapError::BadDescriptor);
+        }
+        let total = 1 + writers as u64 + arena_pages;
+        let region = self.msnap_open(vt, space, name, total)?;
+        let thread = vt.id();
+        let hdr = encode_carve_header(kind, writers, arena_pages);
+        self.write(vt, space, thread, region.addr, &hdr)?;
+        self.msnap_persist(
+            vt,
+            thread,
+            RegionSel::Region(region.md),
+            PersistFlags::sync(),
+        )?;
+        Ok(IndexCarve {
+            region,
+            writers,
+            arena_pages,
+            kind,
+        })
     }
 
     /// Writes through the VM with dirty tracking (convenience wrapper over
@@ -1463,6 +1580,70 @@ mod tests {
         let vt = Vt::new(0);
         let space = ms.vm_mut().create_space();
         (ms, vt, space)
+    }
+
+    #[test]
+    fn index_carve_layout_and_reopen() {
+        let (mut ms, mut vt, space) = fresh();
+        let carve = ms
+            .msnap_open_index(&mut vt, space, "idx", 32, 4, 7)
+            .unwrap();
+        assert_eq!(carve.region.pages, 1 + 4 + 32);
+        assert_eq!(carve.log_addr(0), carve.region.addr + PAGE_SIZE as u64);
+        assert_eq!(carve.arena_addr(), carve.region.addr + 5 * PAGE_SIZE as u64);
+
+        // The header is durable before any index write: crash immediately
+        // and the reopen still re-derives the carve.
+        let disk = ms.crash(vt.now());
+        let mut vt2 = Vt::new(1);
+        let mut ms2 = MemSnap::restore(&mut vt2, disk).unwrap();
+        let space2 = ms2.vm_mut().create_space();
+        let reopened = ms2
+            .msnap_open_index(&mut vt2, space2, "idx", 0, 0, 7)
+            .unwrap();
+        assert_eq!(reopened.writers, 4);
+        assert_eq!(reopened.arena_pages, 32);
+        assert_eq!(reopened.region.addr, carve.region.addr, "fixed address");
+    }
+
+    #[test]
+    fn index_carve_rejects_mismatches() {
+        let (mut ms, mut vt, space) = fresh();
+        ms.msnap_open_index(&mut vt, space, "idx", 32, 4, 7)
+            .unwrap();
+        // Wrong structure kind.
+        assert_eq!(
+            ms.msnap_open_index(&mut vt, space, "idx", 0, 0, 8),
+            Err(MsnapError::BadDescriptor)
+        );
+        // Contradicting geometry.
+        assert_eq!(
+            ms.msnap_open_index(&mut vt, space, "idx", 64, 4, 7),
+            Err(MsnapError::LengthMismatch)
+        );
+        assert_eq!(
+            ms.msnap_open_index(&mut vt, space, "idx", 32, 2, 7),
+            Err(MsnapError::LengthMismatch)
+        );
+        // Degenerate fresh geometry.
+        assert_eq!(
+            ms.msnap_open_index(&mut vt, space, "idx2", 0, 4, 7),
+            Err(MsnapError::BadDescriptor)
+        );
+        // A plain region is not a carve.
+        ms.msnap_open(&mut vt, space, "plain", 8).unwrap();
+        assert_eq!(
+            ms.msnap_open_index(&mut vt, space, "plain", 0, 0, 7),
+            Err(MsnapError::BadDescriptor)
+        );
+    }
+
+    #[test]
+    fn carve_header_checksum_rejects_corruption() {
+        let mut hdr = encode_carve_header(3, 8, 128);
+        assert_eq!(decode_carve_header(&hdr), Some((3, 8, 128)));
+        hdr[17] ^= 1;
+        assert_eq!(decode_carve_header(&hdr), None);
     }
 
     #[test]

@@ -62,8 +62,8 @@ mod types;
 
 pub use api::MemSnap;
 pub use types::{
-    CommitTicket, Md, MsnapError, PersistBreakdown, PersistFlags, RegionHandle, RegionSel,
-    SnapshotView,
+    CommitTicket, IndexCarve, Md, MsnapError, PersistBreakdown, PersistFlags, RegionHandle,
+    RegionSel, SnapshotView,
 };
 
 /// Region page size (4 KiB), re-exported from the VM.

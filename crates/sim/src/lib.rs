@@ -24,6 +24,8 @@
 //!   virtual threads.
 //! - [`Scheduler`] and [`Process`]: a conservative (min-clock-first)
 //!   discrete-event scheduler for multi-threaded workloads.
+//! - [`InterleaveSched`]: a seeded pseudo-random interleaving scheduler
+//!   for reproducible concurrency proofs (linearizability, recovery).
 //! - [`LatencyStats`] / [`Meters`]: log-linear histograms for latency
 //!   percentiles and named call-site statistics.
 //! - [`CostTracker`] / [`Category`]: CPU-time attribution used to reproduce
@@ -45,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod cost;
+mod interleave;
 mod lock;
 mod net;
 mod resource;
@@ -54,6 +57,7 @@ mod time;
 mod vthread;
 
 pub use cost::{Category, CostTracker};
+pub use interleave::InterleaveSched;
 pub use lock::SimLock;
 pub use net::{LinkStats, NetConfig, SimLink, SimSwitch};
 pub use resource::{ChannelPool, Resource};

@@ -42,6 +42,7 @@ pub mod drivers;
 mod kv;
 mod memsnap_kv;
 mod node;
+mod pindex_kv;
 mod plist;
 mod rotating;
 mod skiplist;
@@ -50,5 +51,6 @@ pub use aurora_kv::AuroraKv;
 pub use baseline::BaselineKv;
 pub use kv::{Kv, KvError, KvStats};
 pub use memsnap_kv::MemSnapKv;
+pub use pindex_kv::PIndexKv;
 pub use rotating::RotatingMemSnapKv;
 pub use skiplist::{Insert, SkipIndex};

@@ -136,6 +136,108 @@ impl BoundedPareto {
     }
 }
 
+/// A contended-writer key distribution for multi-threaded mutator
+/// benchmarks: every thread samples a *shared* Zipf-skewed hot range with
+/// probability `hot_fraction` (the keys all writers fight over — CAS
+/// retries, same-key supersession) and otherwise its own *disjoint* tail
+/// of keys no other thread touches (insert-heavy private traffic).
+///
+/// The key space is `[0, hot_keys)` shared, followed by one
+/// `tail_keys`-sized block per thread.
+///
+/// # Example
+///
+/// ```
+/// use msnap_workloads::dist::ContendedWriters;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let d = ContendedWriters::new(8, 64, 4096, 0.2);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let key = d.sample(3, &mut rng);
+/// assert!(key < d.domain());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContendedWriters {
+    threads: usize,
+    hot_keys: u64,
+    tail_keys: u64,
+    hot_fraction: f64,
+    hot: Zipf,
+}
+
+impl ContendedWriters {
+    /// Builds the distribution: `threads` writers, a shared hot range of
+    /// `hot_keys` (classic YCSB skew within it), `tail_keys` private keys
+    /// per thread, and `hot_fraction` of samples landing in the hot
+    /// range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `hot_fraction` is outside
+    /// `[0, 1]`.
+    pub fn new(threads: usize, hot_keys: u64, tail_keys: u64, hot_fraction: f64) -> Self {
+        assert!(threads > 0, "need at least one writer");
+        assert!(hot_keys > 0 && tail_keys > 0, "empty key ranges");
+        assert!(
+            (0.0..=1.0).contains(&hot_fraction),
+            "hot_fraction is a probability"
+        );
+        ContendedWriters {
+            threads,
+            hot_keys,
+            tail_keys,
+            hot_fraction,
+            hot: Zipf::new(hot_keys as usize, 0.99),
+        }
+    }
+
+    /// Total key-space size: the shared range plus every tail.
+    pub fn domain(&self) -> u64 {
+        self.hot_keys + self.threads as u64 * self.tail_keys
+    }
+
+    /// The half-open private key range of one thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn tail_range(&self, thread: usize) -> std::ops::Range<u64> {
+        assert!(thread < self.threads, "thread {thread} out of range");
+        let start = self.hot_keys + thread as u64 * self.tail_keys;
+        start..start + self.tail_keys
+    }
+
+    /// Whether a key lies in the shared contended range.
+    pub fn is_hot(&self, key: u64) -> bool {
+        key < self.hot_keys
+    }
+
+    /// Which thread's private tail a key belongs to (`None` for hot or
+    /// out-of-domain keys).
+    pub fn owner(&self, key: u64) -> Option<usize> {
+        if key < self.hot_keys || key >= self.domain() {
+            return None;
+        }
+        Some(((key - self.hot_keys) / self.tail_keys) as usize)
+    }
+
+    /// Samples one key for `thread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn sample<R: Rng>(&self, thread: usize, rng: &mut R) -> u64 {
+        assert!(thread < self.threads, "thread {thread} out of range");
+        if rng.gen::<f64>() < self.hot_fraction {
+            self.hot.sample(rng) as u64
+        } else {
+            let range = self.tail_range(thread);
+            rng.gen_range(0..self.tail_keys) + range.start
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +361,73 @@ mod tests {
             // Rotation: not all tenants share one hot key.
             let hot0 = d.hot_key(0);
             prop_assert!((1..TENANTS).any(|t| d.hot_key(t) != hot0));
+        }
+    }
+
+    #[test]
+    fn contended_writers_is_deterministic_by_seed() {
+        let d = ContendedWriters::new(4, 32, 256, 0.3);
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..64)
+                .map(|i| d.sample(i % 4, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Samples stay in domain, and cold samples stay inside the
+        /// sampling thread's own disjoint tail.
+        #[test]
+        fn contended_writers_partition_holds(
+            threads in 1usize..16,
+            hot_keys in 1u64..256,
+            tail_keys in 1u64..1024,
+            hot_pct in 0u32..100,
+            seed in 0u64..1000,
+        ) {
+            let d = ContendedWriters::new(
+                threads, hot_keys, tail_keys, f64::from(hot_pct) / 100.0,
+            );
+            let mut rng = StdRng::seed_from_u64(seed);
+            for i in 0..400 {
+                let t = i % threads;
+                let key = d.sample(t, &mut rng);
+                prop_assert!(key < d.domain(), "key {} out of domain", key);
+                if !d.is_hot(key) {
+                    prop_assert_eq!(d.owner(key), Some(t), "tail not private");
+                    prop_assert!(d.tail_range(t).contains(&key));
+                }
+            }
+        }
+
+        /// The configured hot fraction shows up (within sampling noise),
+        /// and hot traffic is head-skewed inside the shared range.
+        #[test]
+        fn contended_writers_hot_share_and_skew(seed in 0u64..1000) {
+            let d = ContendedWriters::new(8, 128, 4096, 0.5);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let samples = 8_000;
+            let mut hot = 0u64;
+            let mut head = 0u64;
+            for i in 0..samples {
+                let key = d.sample(i as usize % 8, &mut rng);
+                if d.is_hot(key) {
+                    hot += 1;
+                    if key < 13 {
+                        head += 1; // top ~10% of the hot range
+                    }
+                }
+            }
+            prop_assert!(
+                (hot as i64 - samples / 2).unsigned_abs() < samples as u64 / 10,
+                "hot share {}/{}", hot, samples
+            );
+            prop_assert!(head * 2 > hot, "hot head {}/{} not skewed", head, hot);
         }
     }
 
