@@ -35,12 +35,18 @@ struct LossPoint {
     wire_bytes: u64,
     goodput_bytes: u64,
     retransmit_frames: u64,
+    subpage_frames: u64,
+    saved_dedup: u64,
+    saved_compress: u64,
     wall: Nanos,
 }
 
 /// One replica behind a WAN link at the given loss rate: commit
-/// `COMMITS` epochs with one engine tick each, then drain.
-fn loss_point(loss: f64) -> LossPoint {
+/// `COMMITS` epochs with one engine tick each, then drain. `small`
+/// rewrites one 64-byte line per commit (the scattered small-write
+/// shape sub-page frames exist for); otherwise each commit rewrites a
+/// whole page.
+fn loss_point(loss: f64, small: bool) -> LossPoint {
     let mut ms = MemSnap::format(Disk::new(DiskConfig::paper()));
     let mut vt = Vt::new(0);
     let space = ms.vm_mut().create_space();
@@ -63,14 +69,26 @@ fn loss_point(loss: f64) -> LossPoint {
     let mut max_lag = 0u64;
     for i in 0..COMMITS {
         let page = i % REGION_PAGES;
-        ms.write(
-            &mut vt,
-            space,
-            t,
-            r.addr + page * PAGE_SIZE as u64,
-            &[2 + (i % 250) as u8; PAGE_SIZE],
-        )
-        .unwrap();
+        if small {
+            let line = (i * 7) % 64;
+            ms.write(
+                &mut vt,
+                space,
+                t,
+                r.addr + page * PAGE_SIZE as u64 + line * 64,
+                &[2 + (i % 250) as u8; 64],
+            )
+            .unwrap();
+        } else {
+            ms.write(
+                &mut vt,
+                space,
+                t,
+                r.addr + page * PAGE_SIZE as u64,
+                &[2 + (i % 250) as u8; PAGE_SIZE],
+            )
+            .unwrap();
+        }
         ms.msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
             .unwrap();
         let mut tick = eng.tick(&mut vt, &mut ms).unwrap();
@@ -99,19 +117,14 @@ fn loss_point(loss: f64) -> LossPoint {
         wire_bytes: down.bytes_sent,
         goodput_bytes: down.bytes_delivered,
         retransmit_frames: m.retransmit_frames,
+        subpage_frames: m.subpage_frames,
+        saved_dedup: m.wire_bytes_saved_dedup,
+        saved_compress: m.wire_bytes_saved_compress,
         wall: vt.now() - start,
     }
 }
 
-fn main() {
-    header(
-        "Steady-state replication vs link loss",
-        &format!(
-            "{COMMITS} commits over an {REGION_PAGES}-page region, one \
-             replica behind a 2 ms WAN link; lag sampled after every tick."
-        ),
-    );
-    let points: Vec<LossPoint> = LOSS_RATES.into_iter().map(loss_point).collect();
+fn loss_table(points: &[LossPoint]) {
     table(
         &[
             "loss",
@@ -121,6 +134,8 @@ fn main() {
             "wire KiB",
             "goodput KiB",
             "resent frames",
+            "sub frames",
+            "saved KiB",
             "wall ms",
         ],
         &points
@@ -134,11 +149,66 @@ fn main() {
                     format!("{:.1}", p.wire_bytes as f64 / 1024.0),
                     format!("{:.1}", p.goodput_bytes as f64 / 1024.0),
                     format!("{}", p.retransmit_frames),
+                    format!("{}", p.subpage_frames),
+                    format!("{:.1}", (p.saved_dedup + p.saved_compress) as f64 / 1024.0),
                     format!("{:.1}", p.wall.as_ns() as f64 / 1e6),
                 ]
             })
             .collect::<Vec<_>>(),
     );
+}
+
+fn loss_json(points: &[LossPoint]) -> String {
+    points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"loss\":{:.2},\"mean_lag_epochs\":{:.3},\"max_lag_epochs\":{},\
+                 \"ack_lag_us\":{:.3},\"wire_bytes\":{},\"goodput_bytes\":{},\
+                 \"retransmit_frames\":{},\"subpage_frames\":{},\
+                 \"saved_dedup\":{},\"saved_compress\":{},\"wall_ms\":{:.3}}}",
+                p.loss,
+                p.mean_lag_epochs,
+                p.max_lag_epochs,
+                p.ack_lag.as_us_f64(),
+                p.wire_bytes,
+                p.goodput_bytes,
+                p.retransmit_frames,
+                p.subpage_frames,
+                p.saved_dedup,
+                p.saved_compress,
+                p.wall.as_ns() as f64 / 1e6,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ")
+}
+
+fn main() {
+    header(
+        "Steady-state replication vs link loss",
+        &format!(
+            "{COMMITS} commits over an {REGION_PAGES}-page region, one \
+             replica behind a 2 ms WAN link; lag sampled after every tick."
+        ),
+    );
+    let points: Vec<LossPoint> = LOSS_RATES
+        .into_iter()
+        .map(|l| loss_point(l, false))
+        .collect();
+    loss_table(&points);
+
+    header(
+        "Small-write replication vs link loss",
+        "Same sweep, but each commit rewrites one 64-byte line: \
+         sub-page frames keep wire bytes proportional to bytes changed, \
+         and Nak retransmits resend only the lost frames.",
+    );
+    let small_points: Vec<LossPoint> = LOSS_RATES
+        .into_iter()
+        .map(|l| loss_point(l, true))
+        .collect();
+    loss_table(&small_points);
 
     header(
         "Failover",
@@ -199,25 +269,8 @@ fn main() {
         ]],
     );
 
-    let loss_json = points
-        .iter()
-        .map(|p| {
-            format!(
-                "{{\"loss\":{:.2},\"mean_lag_epochs\":{:.3},\"max_lag_epochs\":{},\
-                 \"ack_lag_us\":{:.3},\"wire_bytes\":{},\"goodput_bytes\":{},\
-                 \"retransmit_frames\":{},\"wall_ms\":{:.3}}}",
-                p.loss,
-                p.mean_lag_epochs,
-                p.max_lag_epochs,
-                p.ack_lag.as_us_f64(),
-                p.wire_bytes,
-                p.goodput_bytes,
-                p.retransmit_frames,
-                p.wall.as_ns() as f64 / 1e6,
-            )
-        })
-        .collect::<Vec<_>>()
-        .join(",\n    ");
+    let small_section = format!("[\n    {}\n  ]", loss_json(&small_points));
+    let loss_json = loss_json(&points);
     let json = format!(
         "{{\n  \"bench\": \"repl\",\n  \"commits\": {COMMITS},\n  \
          \"loss_sweep\": [\n    {loss_json}\n  ],\n  \
@@ -237,8 +290,13 @@ fn main() {
         litedb.full_syncs,
         litedb.delta_syncs,
     );
+    let json = msnap_bench::splice_json_section(&json, "loss_sweep_small_writes", &small_section);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_repl.json");
     std::fs::write(path, &json).expect("workspace root is writable");
     println!();
-    println!("wrote {} loss points to BENCH_repl.json", points.len());
+    println!(
+        "wrote {} + {} loss points to BENCH_repl.json",
+        points.len(),
+        small_points.len()
+    );
 }

@@ -41,6 +41,24 @@ const DEFAULT_PIPELINE_DEPTH: usize = 8;
 /// sets may span every shard.
 const ALL_LANE: u64 = u64::MAX;
 
+/// How many per-commit sub-page extent records each object retains
+/// (see [`MemSnap::subpage_extents`]); matches the replication engine's
+/// deepest delta lag before it drops the base anyway.
+const SUBPAGE_KEEP: usize = 64;
+
+/// Dirty-line record of one μCheckpoint commit: which 64-byte lines of
+/// which pages changed between `prev` and the epoch the record is keyed
+/// under. The `prev` link lets a reader prove that a run of records
+/// contiguously covers an epoch interval — any out-of-band commit
+/// (apply_image, fence, restore) breaks the chain and the query reports
+/// "unknown" instead of an unsound extent set.
+#[derive(Debug)]
+struct SubpageRecord {
+    prev: Epoch,
+    /// Page → dirty-line bitmap (bit `i` covers bytes `i*64..(i+1)*64`).
+    pages: BTreeMap<u64, u64>,
+}
+
 /// Magic of an index-carve header ("PIXC").
 const CARVE_MAGIC: u32 = 0x5049_5843;
 /// Carve header format version.
@@ -177,6 +195,9 @@ pub struct MemSnap {
     /// on the oldest entry (writeback backpressure).
     pipeline: VecDeque<Nanos>,
     pipeline_depth: usize,
+    /// Per-object sub-page extent chains, newest [`SUBPAGE_KEEP`] commits
+    /// each (see [`MemSnap::subpage_extents`]).
+    subpage: HashMap<StoreObjId, BTreeMap<Epoch, SubpageRecord>>,
 }
 
 impl std::fmt::Debug for MemSnap {
@@ -233,6 +254,7 @@ impl MemSnap {
             batch_seq: 0,
             pipeline: VecDeque::new(),
             pipeline_depth: DEFAULT_PIPELINE_DEPTH,
+            subpage: HashMap::new(),
         };
         ms.persist_manifest(&mut vt)
             .expect("formatting a faulty device is unsupported");
@@ -311,6 +333,7 @@ impl MemSnap {
             batch_seq: 0,
             pipeline: VecDeque::new(),
             pipeline_depth: DEFAULT_PIPELINE_DEPTH,
+            subpage: HashMap::new(),
         };
         for entry in manifest.entries {
             let store_obj = match ms.store.lookup(&entry.name) {
@@ -708,6 +731,7 @@ impl MemSnap {
                 continue;
             }
             let store_obj = self.regions[region_idx].store_obj;
+            let prev_epoch = self.store.epoch(store_obj);
             let pages: Vec<(u64, &[u8])> = group
                 .iter()
                 .map(|e| (e.obj_page, self.vm.page_bytes(e)))
@@ -717,6 +741,8 @@ impl MemSnap {
             drop(pages);
             match result {
                 Ok(token) => {
+                    let lines = group.iter().map(|e| (e.obj_page, e.lines));
+                    self.record_subpage(store_obj, prev_epoch, token.epoch, lines);
                     max_completes = max_completes.max(token.completes);
                     self.completions
                         .entry(RegionSel::Region(Md(region_idx as u32)))
@@ -1088,6 +1114,22 @@ impl MemSnap {
             }
         }
 
+        // Union the participants' dirty-line sets per (region, page): a
+        // later enqueuer's image contains the earlier writes too, so the
+        // changed lines versus the previous commit are the union.
+        let mut merged_lines: BTreeMap<u32, BTreeMap<u64, u64>> = BTreeMap::new();
+        for p in &batch.participants {
+            for e in &p.entries {
+                if let Some(region) = self.regions.iter().position(|r| r.vm_obj == e.object) {
+                    *merged_lines
+                        .entry(region as u32)
+                        .or_default()
+                        .entry(e.obj_page)
+                        .or_insert(0) |= e.lines;
+                }
+            }
+        }
+
         let mut error: Option<MsnapError> = None;
         let mut completes = vt.now();
         let mut epochs: HashMap<u32, Epoch> = HashMap::new();
@@ -1096,6 +1138,13 @@ impl MemSnap {
             if any_async {
                 self.pipeline_admit(vt);
             }
+            let prev_epochs: Vec<(u32, StoreObjId, Epoch)> = merged
+                .keys()
+                .map(|region| {
+                    let obj = self.regions[*region as usize].store_obj;
+                    (*region, obj, self.store.epoch(obj))
+                })
+                .collect();
             let groups_pages: Vec<(StoreObjId, Vec<(u64, &[u8])>)> = merged
                 .iter()
                 .map(|(region, pages)| {
@@ -1112,6 +1161,12 @@ impl MemSnap {
                     for ((region, _), token) in merged.iter().zip(&tokens) {
                         completes = completes.max(token.completes);
                         epochs.insert(*region, token.epoch);
+                        if let Some(&(_, obj, prev)) =
+                            prev_epochs.iter().find(|(r, ..)| r == region)
+                        {
+                            let lines = merged_lines.remove(region).unwrap_or_default();
+                            self.record_subpage(obj, prev, token.epoch, lines);
+                        }
                         self.completions
                             .entry(RegionSel::Region(Md(*region)))
                             .or_default()
@@ -1345,6 +1400,66 @@ impl MemSnap {
     /// too for a replica to be promotable.
     pub fn object_epoch(&self, name: &str) -> Option<Epoch> {
         self.store.lookup(name).map(|id| self.store.epoch(id))
+    }
+
+    /// Appends one commit's dirty-line record to an object's extent
+    /// chain, pruning to the newest [`SUBPAGE_KEEP`] records.
+    fn record_subpage(
+        &mut self,
+        obj: StoreObjId,
+        prev: Epoch,
+        epoch: Epoch,
+        pages: impl IntoIterator<Item = (u64, u64)>,
+    ) {
+        let chain = self.subpage.entry(obj).or_default();
+        let rec = chain.entry(epoch).or_insert(SubpageRecord {
+            prev,
+            pages: BTreeMap::new(),
+        });
+        for (page, lines) in pages {
+            *rec.pages.entry(page).or_insert(0) |= lines;
+        }
+        while chain.len() > SUBPAGE_KEEP {
+            let oldest = *chain.keys().next().expect("chain is non-empty");
+            chain.remove(&oldest);
+        }
+    }
+
+    /// The 64-byte lines of `object` that changed between commits `base`
+    /// and `target` (exclusive/inclusive), as page → line-bitmap, or
+    /// `None` when the interval cannot be *proven* covered by recorded
+    /// μCheckpoint commits — records pruned, an out-of-band commit
+    /// (apply_image, fence, repair, restore) in between, or an unknown
+    /// object. The result is a conservative superset of the truly
+    /// changed bytes: a caller shipping only these lines plus the pages
+    /// the structural diff names never misses a change. Callers fall
+    /// back to whole-page shipping on `None`.
+    pub fn subpage_extents(
+        &self,
+        object: &str,
+        base: Epoch,
+        target: Epoch,
+    ) -> Option<BTreeMap<u64, u64>> {
+        if target <= base {
+            return None;
+        }
+        let id = self.store.lookup(object)?;
+        let chain = self.subpage.get(&id)?;
+        let mut union: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut cur = target;
+        while cur > base {
+            let rec = chain.get(&cur)?;
+            if rec.prev < base {
+                // The chain steps over `base`: `base` was not a commit
+                // this chain knows, so coverage is unprovable.
+                return None;
+            }
+            for (&page, &lines) in &rec.pages {
+                *union.entry(page).or_insert(0) |= lines;
+            }
+            cur = rec.prev;
+        }
+        Some(union)
     }
 
     /// The store-directory name of a region (what a delta-stream header
@@ -1661,6 +1776,58 @@ mod tests {
         let mut out = [0u8; 100];
         ms.read(&mut vt, space, r.addr, &mut out).unwrap();
         assert_eq!(out, [42; 100]);
+    }
+
+    #[test]
+    fn subpage_extents_union_commits_and_break_on_out_of_band_epochs() {
+        let (mut ms, mut vt, space) = fresh();
+        let t = vt.id();
+        let r = ms.msnap_open(&mut vt, space, "data", 16).unwrap();
+        let obj = ms.region_object_name(r.md).unwrap().to_string();
+        let base = ms.region_epoch(r.md).unwrap();
+
+        // First commit: lines 0 and 3 of page 0, line 7 of page 2.
+        ms.write(&mut vt, space, t, r.addr, &[1; 64]).unwrap();
+        ms.write(&mut vt, space, t, r.addr + 3 * 64, &[2; 64])
+            .unwrap();
+        ms.write(
+            &mut vt,
+            space,
+            t,
+            r.addr + 2 * PAGE_SIZE as u64 + 7 * 64,
+            &[3; 64],
+        )
+        .unwrap();
+        let e1 = ms
+            .msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+            .unwrap();
+        // Second commit: line 9 of page 0.
+        ms.write(&mut vt, space, t, r.addr + 9 * 64, &[4; 64])
+            .unwrap();
+        let e2 = ms
+            .msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+            .unwrap();
+
+        let one = ms.subpage_extents(&obj, base, e1).unwrap();
+        assert_eq!(one.get(&0), Some(&(1u64 | 1 << 3)));
+        assert_eq!(one.get(&2), Some(&(1u64 << 7)));
+        assert_eq!(one.len(), 2);
+        let both = ms.subpage_extents(&obj, base, e2).unwrap();
+        assert_eq!(both.get(&0), Some(&(1u64 | 1 << 3 | 1 << 9)));
+        assert_eq!(both.get(&2), Some(&(1u64 << 7)));
+
+        // An out-of-band epoch jump (a fence) breaks the chain: intervals
+        // spanning it are unprovable, intervals after it are covered.
+        ms.msnap_fence(&mut vt, &obj, e2 + 10).unwrap();
+        ms.write(&mut vt, space, t, r.addr, &[5; 64]).unwrap();
+        let e3 = ms
+            .msnap_persist(&mut vt, t, RegionSel::Region(r.md), PersistFlags::sync())
+            .unwrap();
+        assert_eq!(ms.subpage_extents(&obj, base, e3), None);
+        assert_eq!(
+            ms.subpage_extents(&obj, e2 + 10, e3),
+            Some([(0u64, 1u64)].into_iter().collect())
+        );
     }
 
     #[test]

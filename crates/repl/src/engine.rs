@@ -8,7 +8,7 @@ use std::collections::BTreeMap;
 use memsnap::{MemSnap, MsnapError};
 use msnap_disk::{Disk, DiskConfig, BLOCK_SIZE};
 use msnap_sim::{Meters, Nanos, NetConfig, SimLink, Vt};
-use msnap_snap::{ApplySession, DeltaStream, SnapError};
+use msnap_snap::{ApplySession, DedupTable, DeltaStream, SnapError};
 use msnap_store::{
     digest32, fnv1a, Epoch, ObjectStore, ScrubStats, SnapEntry, StoreError, VectorCut,
 };
@@ -166,6 +166,15 @@ pub struct LinkMetrics {
     /// Times the replica adopted a newer complete vector cut — the only
     /// states failover may promote it at.
     pub cuts_completed: u64,
+    /// Sub-page frames shipped down this link (frames that carried only
+    /// the changed 64-byte lines of their page).
+    pub subpage_frames: u64,
+    /// Wire bytes saved by content-hash dedup references (full-page
+    /// frame size minus reference size, per reference shipped).
+    pub wire_bytes_saved_dedup: u64,
+    /// Wire bytes saved by per-frame payload compression (raw minus
+    /// compressed, per compressed frame shipped).
+    pub wire_bytes_saved_compress: u64,
 }
 
 /// What one [`ReplEngine::tick`] did.
@@ -235,6 +244,11 @@ pub struct ReplicaNode {
     /// The newest announced cut every component of which this replica
     /// has reached — the only states failover may promote it at.
     cut: Option<VectorCut>,
+    /// Receiver halves of the per-object content-hash dedup tables:
+    /// reference frames resolve against them, and every payload page of
+    /// an applied stream is inserted, mirroring the sender's
+    /// stage-then-commit. Cleared whenever a `Hello` goes up the link.
+    dedup: BTreeMap<String, DedupTable>,
     bootstrapped: bool,
 }
 
@@ -275,6 +289,7 @@ impl ReplicaNode {
             repair_sent: BTreeMap::new(),
             announced: BTreeMap::new(),
             cut: None,
+            dedup: BTreeMap::new(),
             bootstrapped,
         }
     }
@@ -448,7 +463,11 @@ impl ReplicaNode {
         objects
     }
 
-    fn hello(&self) -> Msg {
+    fn hello(&mut self) -> Msg {
+        // A Hello resets the link session; the sender clears its dedup
+        // tables when it hears it, so drop the receiver halves too —
+        // both sides restart from empty and stay in lockstep.
+        self.dedup.clear();
         Msg::Hello {
             objects: self.status(),
         }
@@ -568,7 +587,14 @@ impl ReplicaNode {
                     self.sessions.insert(ship, (object, session));
                     return vec![Msg::Nak { ship, next_seq }];
                 }
-                match session.finish(&mut self.vt, &mut self.disk, &mut self.store, &trailer) {
+                let table = self.dedup.entry(object.clone()).or_default();
+                match session.finish_with(
+                    &mut self.vt,
+                    &mut self.disk,
+                    &mut self.store,
+                    &trailer,
+                    Some(table),
+                ) {
                     Ok(token) => {
                         ObjectStore::wait(&mut self.vt, token);
                         self.bootstrapped = true;
@@ -697,6 +723,13 @@ struct ObjShip {
     /// primary's own history; diff only from an epoch both sides
     /// retain, or ship the full image. Cleared by the first ack.
     divergent: bool,
+    /// Sender half of the content-hash dedup table for this (link,
+    /// object) pair: payload pages are staged at build time and
+    /// committed when the ship is acknowledged, mirroring the
+    /// receiver's insert-on-apply — both sides hold the same images at
+    /// every acknowledged point. Reset on `Hello` (the receiver resets
+    /// with it).
+    dedup: DedupTable,
 }
 
 /// One attached replica: both link directions, the node itself, and the
@@ -803,7 +836,7 @@ impl ReplEngine {
         &mut self,
         name: &str,
         net: NetConfig,
-        node: ReplicaNode,
+        mut node: ReplicaNode,
     ) -> Result<(), ReplError> {
         if self.links.iter().any(|l| l.name == name) {
             return Err(ReplError::DuplicateReplica);
@@ -978,6 +1011,7 @@ impl ReplEngine {
                             os.inflight = None;
                             os.base = None;
                             os.divergent = true;
+                            os.dedup.clear();
                         }
                     }
                     Msg::Ack {
@@ -999,6 +1033,10 @@ impl ReplEngine {
                                 );
                                 os.base = Some((ship.target_snap, ship.target_epoch));
                                 os.divergent = false;
+                                // The receiver applied the ship, so it
+                                // inserted the same payload images —
+                                // the staged entries are now shared.
+                                os.dedup.commit();
                                 link.metrics.acks += 1;
                                 report.acks += 1;
                             }
@@ -1218,10 +1256,27 @@ impl ReplEngine {
                 } else {
                     Self::choose_base(&self.owned, ms, object, os, target_epoch)
                 };
+                // Fine-grain dirty hints: the tracker's per-page dirty
+                // line bitmaps covering exactly (base, target], when the
+                // extent chain is unbroken over that span. The builder
+                // falls back to exact line diffs (or whole pages)
+                // without them.
+                let hints = base.as_ref().and_then(|name| {
+                    let base_epoch = ms.store().snapshot_lookup(name)?.epoch;
+                    ms.subpage_extents(object, base_epoch, target_epoch)
+                });
                 let stats_before = ms.store().stats();
                 let stream = {
                     let (store, disk) = ms.replication_parts();
-                    DeltaStream::build(vt, disk, store, base.as_deref(), &target_snap)?
+                    DeltaStream::build_v2(
+                        vt,
+                        disk,
+                        store,
+                        base.as_deref(),
+                        &target_snap,
+                        hints.as_ref(),
+                        Some(&mut os.dedup),
+                    )?
                 };
                 let stats_after = ms.store().stats();
                 link.metrics.cache_hits += stats_after.cache_hits - stats_before.cache_hits;
@@ -1232,6 +1287,10 @@ impl ReplEngine {
                 } else {
                     link.metrics.delta_syncs += 1;
                 }
+                let savings = stream.wire_savings();
+                link.metrics.subpage_frames += savings.subpage_frames;
+                link.metrics.wire_bytes_saved_dedup += savings.dedup_saved;
+                link.metrics.wire_bytes_saved_compress += savings.compress_saved;
                 let id = self.next_ship;
                 self.next_ship += 1;
                 let now = vt.now();
@@ -1396,8 +1455,10 @@ impl ReplEngine {
             // it re-announces until the primary has heard it (duplicate
             // Hellos are idempotent).
             if !link.known && now.saturating_sub(link.last_hello) > self.cfg.retransmit_timeout {
-                if let Some(node) = link.node.as_ref() {
-                    link.up.send(node.vt.now(), node.hello().encode());
+                if let Some(node) = link.node.as_mut() {
+                    let node_now = node.vt.now();
+                    let hello = node.hello().encode();
+                    link.up.send(node_now, hello);
                 }
                 link.last_hello = now;
             }

@@ -22,7 +22,7 @@
 //! no-op commit.
 
 use msnap_disk::BLOCK_SIZE;
-use msnap_snap::{PageFrame, SnapError, StreamHeader, StreamTrailer};
+use msnap_snap::{Frame, SnapError, StreamHeader, StreamTrailer};
 use msnap_store::Epoch;
 
 const TAG_HELLO: u64 = 1;
@@ -76,12 +76,14 @@ pub enum Msg {
         /// The stream's self-describing head.
         header: StreamHeader,
     },
-    /// Primary → replica: one page of the stream.
+    /// Primary → replica: one frame of the stream — a full page, a
+    /// sub-page run delta, or a dedup reference (the wire forms are
+    /// magic-dispatched, so v1 full-page datagrams decode unchanged).
     Frame {
         /// Ship the frame belongs to.
         ship: u64,
-        /// The checksummed page.
-        frame: PageFrame,
+        /// The checksummed frame.
+        frame: Frame,
     },
     /// Primary → replica: the stream's end marker.
     End {
@@ -304,7 +306,7 @@ impl Msg {
             TAG_FRAME => {
                 let ship = read_u64(buf, &mut off)?;
                 let rest = buf.get(off..).ok_or(SnapError::Malformed)?;
-                let (frame, _) = PageFrame::decode(rest)?;
+                let (frame, _) = Frame::decode(rest)?;
                 Ok(Msg::Frame { ship, frame })
             }
             TAG_END => {

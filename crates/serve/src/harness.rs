@@ -916,12 +916,24 @@ fn do_failover(
     })
 }
 
+/// True when the union of `inner` lies inside the union of `outer`.
+/// Both sides must be merged (sorted, non-overlapping, non-adjacent),
+/// so each inner range is contained in the union iff some single outer
+/// range contains it.
+fn ranges_cover(outer: &[(u64, u64)], inner: &[(u64, u64)]) -> bool {
+    inner
+        .iter()
+        .all(|&(lo, hi)| outer.iter().any(|&(olo, ohi)| olo <= lo && hi <= ohi))
+}
+
 /// Compares each golden watch's processed event stream against the
 /// exact changed-key set implied by the fleet's acked puts: for every
 /// `(stripe, epoch)` past the watch's baseline, the received ranges
-/// must equal the merged page ranges of exactly the keys written in
-/// that epoch. Returns the number of mismatching `(watch, stripe,
-/// epoch)` cells.
+/// must cover every written key's slot and never exceed the written
+/// keys' page ranges — the server ships slot-precise ranges when the
+/// μCheckpoint line chain proves coverage and falls back to whole
+/// pages otherwise, so anything between those two bounds is exact.
+/// Returns the number of mismatching `(watch, stripe, epoch)` cells.
 fn verify_watches(clients: &[Client], stripes: u64) -> u64 {
     // All acked puts, fleet-wide, grouped per tenant.
     let mut puts_by_tenant: BTreeMap<usize, Vec<(u64, u64)>> = BTreeMap::new(); // (key, epoch)
@@ -941,31 +953,57 @@ fn verify_watches(clients: &[Client], stripes: u64) -> u64 {
         let (Some(w), Some(g)) = (c.watch.as_ref(), c.golden.as_ref()) else {
             continue;
         };
-        let mut expected: BTreeMap<(u64, u64), Vec<(u64, u64)>> = BTreeMap::new();
+        // Per cell: the written slots (lower bound on what must be
+        // reported) and the written pages (upper bound on what may be).
+        let mut exp_slots: BTreeMap<(u64, u64), Vec<(u64, u64)>> = BTreeMap::new();
+        let mut exp_pages: BTreeMap<(u64, u64), Vec<(u64, u64)>> = BTreeMap::new();
         for &(key, epoch) in puts_by_tenant.get(&g.tenant).map_or(&[][..], |v| v) {
             let stripe = key_stripe(stripes, key);
             if epoch <= *g.from_epochs.get(stripe as usize).unwrap_or(&0) {
                 continue;
             }
+            let clip = |lo: u64, hi: u64| {
+                let lo = lo.max(g.lo);
+                let hi = hi.min(g.hi);
+                (lo < hi).then_some((lo, hi))
+            };
+            if let Some(r) = clip(key, key + 1) {
+                exp_slots.entry((stripe, epoch)).or_default().push(r);
+            }
             let (lo, hi) = key_page_range(key);
-            let lo = lo.max(g.lo);
-            let hi = hi.min(g.hi);
-            if lo < hi {
-                expected.entry((stripe, epoch)).or_default().push((lo, hi));
+            if let Some(r) = clip(lo, hi) {
+                exp_pages.entry((stripe, epoch)).or_default().push(r);
             }
         }
-        let expected: BTreeMap<(u64, u64), Vec<(u64, u64)>> = expected
+        let exp_slots: BTreeMap<(u64, u64), Vec<(u64, u64)>> = exp_slots
             .into_iter()
             .map(|(k, v)| (k, wire::merge_ranges(v)))
             .collect();
-        if expected != w.received {
-            // Count cell-level mismatches for a readable failure count.
-            let keys: std::collections::BTreeSet<_> =
-                expected.keys().chain(w.received.keys()).collect();
-            for k in keys {
-                if expected.get(k) != w.received.get(k) {
-                    violations += 1;
+        let exp_pages: BTreeMap<(u64, u64), Vec<(u64, u64)>> = exp_pages
+            .into_iter()
+            .map(|(k, v)| (k, wire::merge_ranges(v)))
+            .collect();
+        let keys: std::collections::BTreeSet<_> =
+            exp_pages.keys().chain(w.received.keys()).collect();
+        for k in keys {
+            let ok = match (exp_pages.get(k), w.received.get(k)) {
+                // Reported ranges must bound-check both ways.
+                (Some(pages), Some(recv)) => {
+                    let slots = exp_slots.get(k).map_or(&[][..], |v| v);
+                    ranges_cover(recv, slots) && ranges_cover(pages, recv)
                 }
+                // A cell with writes but no event is only legitimate
+                // when every written slot clipped out of the window
+                // (slot-precise events can be empty where page-granular
+                // ones were not).
+                (Some(_), None) => !exp_slots.contains_key(k),
+                // An event for an epoch nothing was written in is
+                // always spurious.
+                (None, Some(_)) => false,
+                (None, None) => true,
+            };
+            if !ok {
+                violations += 1;
             }
         }
     }

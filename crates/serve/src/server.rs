@@ -552,6 +552,30 @@ impl ServeNode {
         (g * SLOTS_PER_PAGE, (g + 1) * SLOTS_PER_PAGE)
     }
 
+    /// The global key ranges covered by the dirty 64-byte lines of one
+    /// stripe-local page. `SLOT_BYTES` equals the μCheckpoint
+    /// dirty-line granularity, so line bit `s` of the page's bitmap is
+    /// exactly key slot `s` — invalidation events narrow to the keys
+    /// that actually changed.
+    fn page_line_ranges(&self, stripe: u64, page: u64, lines: u64) -> Vec<(u64, u64)> {
+        const _: () = assert!(SLOTS_PER_PAGE == 64, "line bitmap maps 1:1 onto key slots");
+        let (base, _) = self.page_key_range(stripe, page);
+        let mut out = Vec::new();
+        let mut s = 0u64;
+        while s < SLOTS_PER_PAGE {
+            if lines >> s & 1 == 1 {
+                let start = s;
+                while s < SLOTS_PER_PAGE && lines >> s & 1 == 1 {
+                    s += 1;
+                }
+                out.push((base + start, base + s));
+            } else {
+                s += 1;
+            }
+        }
+        out
+    }
+
     /// Runs one actor round at (or after) instant `now`.
     ///
     /// # Errors
@@ -1073,7 +1097,7 @@ impl ServeNode {
                 let s = &t.stripes[*stripe];
                 (s.obj.clone(), s.baseline.clone())
             };
-            let Some((base_name, _)) = baseline else {
+            let Some((base_name, base_epoch)) = baseline else {
                 continue;
             };
             // Advance the baseline to the just-committed epoch and diff
@@ -1093,9 +1117,17 @@ impl ServeNode {
             if pages.is_empty() {
                 continue;
             }
+            // Narrow each changed page to its dirty 64-byte lines when
+            // the μCheckpoint chain proves coverage of the diffed
+            // interval; pages without a provable line bitmap fall back
+            // to the whole-page range.
+            let hints = self.ms.subpage_extents(&obj, base_epoch, *epoch);
             let ranges: Vec<(u64, u64)> = pages
                 .iter()
-                .map(|&p| self.page_key_range(*stripe as u64, p))
+                .flat_map(|&p| match hints.as_ref().and_then(|h| h.get(&p)).copied() {
+                    Some(lines) if lines != 0 => self.page_line_ranges(*stripe as u64, p, lines),
+                    _ => vec![self.page_key_range(*stripe as u64, p)],
+                })
                 .collect();
             let ranges = wire::merge_ranges(ranges);
             let watchers = self.tenants[tenant].watchers.clone();
@@ -1562,9 +1594,10 @@ mod tests {
             }
         }
         let events = notify.expect("a Notify bundle arrives");
-        // Key 200 lives on global page 3: exactly that page's range.
+        // Key 200 is slot 8 of global page 3; dirty-line extents narrow
+        // the invalidation to exactly that one key's slot.
         assert_eq!(events.len(), 1);
-        assert_eq!(events[0].ranges, vec![(192, 256)]);
+        assert_eq!(events[0].ranges, vec![(200, 201)]);
     }
 
     #[test]

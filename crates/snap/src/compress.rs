@@ -1,0 +1,199 @@
+//! Per-frame wire compression for delta payloads: a dependency-free
+//! LZ77 variant (greedy, 3-byte-prefix hash heads, 4 KiB window) whose
+//! match-at-distance-1 case doubles as run-length encoding.
+//!
+//! Token stream: a control byte `c` either introduces a literal run
+//! (`c < 0x80`: the next `c + 1` bytes are copied verbatim, 1..=128) or
+//! a back-reference (`c >= 0x80`: copy `(c & 0x7F) + 3` bytes from
+//! `distance` back in the output, where `distance` is the `u16` LE that
+//! follows; overlapping copies are byte-serial, so distance 1 repeats
+//! the previous byte). [`compress`] returns `None` when the encoded
+//! form would not be strictly smaller — the incompressible bypass; the
+//! caller then ships the raw bytes with method `0` (stored).
+//!
+//! [`decompress`] is fully bounds-checked and never panics or
+//! over-allocates on adversarial input: output is capped at the
+//! caller-declared raw length and any structural violation returns
+//! `None`.
+
+/// Shortest back-reference worth a 3-byte token.
+const MIN_MATCH: usize = 3;
+/// Longest match one token encodes (`0x7F + MIN_MATCH`).
+const MAX_MATCH: usize = 0x7F + MIN_MATCH;
+/// Longest literal run one token encodes.
+const MAX_LITERAL: usize = 128;
+/// Back-reference window (one page).
+const WINDOW: usize = 4096;
+/// 3-byte prefix hash table size.
+const HASH_SIZE: usize = 1 << 12;
+
+fn hash3(b0: u8, b1: u8, b2: u8) -> usize {
+    let v = u32::from(b0) | u32::from(b1) << 8 | u32::from(b2) << 16;
+    (v.wrapping_mul(0x9E37_79B1) >> 20) as usize & (HASH_SIZE - 1)
+}
+
+fn flush_literals(out: &mut Vec<u8>, raw: &[u8], mut start: usize, end: usize) {
+    while start < end {
+        let run = (end - start).min(MAX_LITERAL);
+        out.push((run - 1) as u8);
+        out.extend_from_slice(&raw[start..start + run]);
+        start += run;
+    }
+}
+
+/// Compresses `raw`, or `None` when the result would not be strictly
+/// smaller (the caller ships the bytes stored).
+pub(crate) fn compress(raw: &[u8]) -> Option<Vec<u8>> {
+    if raw.len() < MIN_MATCH + 1 {
+        return None;
+    }
+    let mut heads = [u32::MAX; HASH_SIZE];
+    let mut out = Vec::with_capacity(raw.len());
+    let mut lit_start = 0usize;
+    let mut i = 0usize;
+    while i + MIN_MATCH <= raw.len() {
+        let h = hash3(raw[i], raw[i + 1], raw[i + 2]);
+        let cand = heads[h];
+        heads[h] = i as u32;
+        let mut match_len = 0usize;
+        let mut distance = 0usize;
+        if cand != u32::MAX {
+            let pos = cand as usize;
+            let d = i - pos;
+            if d <= WINDOW {
+                let limit = (raw.len() - i).min(MAX_MATCH);
+                let mut l = 0;
+                while l < limit && raw[pos + l] == raw[i + l] {
+                    l += 1;
+                }
+                if l >= MIN_MATCH {
+                    match_len = l;
+                    distance = d;
+                }
+            }
+        }
+        if match_len >= MIN_MATCH {
+            flush_literals(&mut out, raw, lit_start, i);
+            out.push(0x80 | (match_len - MIN_MATCH) as u8);
+            out.extend_from_slice(&(distance as u16).to_le_bytes());
+            // Seed hash heads inside the match so runs chain (skipping
+            // every position keeps this O(n) while distance-1 RLE still
+            // finds the next run start).
+            let end = i + match_len;
+            i += 1;
+            while i < end && i + MIN_MATCH <= raw.len() {
+                heads[hash3(raw[i], raw[i + 1], raw[i + 2])] = i as u32;
+                i += 1;
+            }
+            i = end;
+            lit_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, raw, lit_start, raw.len());
+    (out.len() < raw.len()).then_some(out)
+}
+
+/// Decodes a [`compress`] token stream back to exactly `raw_len` bytes,
+/// or `None` on any structural violation. Never panics on adversarial
+/// input; the output allocation is bounded by `raw_len`.
+pub(crate) fn decompress(payload: &[u8], raw_len: usize) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(raw_len);
+    let mut i = 0usize;
+    while i < payload.len() {
+        let c = payload[i];
+        i += 1;
+        if c < 0x80 {
+            let run = c as usize + 1;
+            let lit = payload.get(i..i + run)?;
+            if out.len() + run > raw_len {
+                return None;
+            }
+            out.extend_from_slice(lit);
+            i += run;
+        } else {
+            let len = (c & 0x7F) as usize + MIN_MATCH;
+            let d = payload.get(i..i + 2)?;
+            let distance = u16::from_le_bytes([d[0], d[1]]) as usize;
+            i += 2;
+            if distance == 0 || distance > out.len() || out.len() + len > raw_len {
+                return None;
+            }
+            let start = out.len() - distance;
+            // Byte-serial so overlapping (RLE-style) copies work.
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+    }
+    (out.len() == raw_len).then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_structured_and_repetitive_data() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![0u8; 4096],
+            vec![0xAB; 4096],
+            (0..4096).map(|i| (i / 64) as u8).collect(),
+            (0..4096)
+                .map(|i| if i % 71 == 0 { 7 } else { (i % 9) as u8 })
+                .collect(),
+            b"abcabcabcabcabcabc".to_vec(),
+            vec![1, 2, 3, 4],
+        ];
+        for raw in cases {
+            if let Some(z) = compress(&raw) {
+                assert!(z.len() < raw.len());
+                assert_eq!(decompress(&z, raw.len()).unwrap(), raw);
+            }
+        }
+    }
+
+    #[test]
+    fn incompressible_data_is_bypassed() {
+        // A xorshift byte stream has no 3-byte repeats worth taking.
+        let mut x = 0x12345678u32;
+        let raw: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x as u8
+            })
+            .collect();
+        if let Some(z) = compress(&raw) {
+            // If it squeaks under, the round trip must still hold.
+            assert_eq!(decompress(&z, raw.len()).unwrap(), raw);
+        }
+        // Tiny inputs always bypass.
+        assert_eq!(compress(&[1, 2, 3]), None);
+        assert_eq!(compress(&[]), None);
+    }
+
+    #[test]
+    fn adversarial_payloads_never_panic_or_overallocate() {
+        // Truncations of a valid stream.
+        let raw: Vec<u8> = (0..512).map(|i| (i % 5) as u8).collect();
+        let z = compress(&raw).unwrap();
+        for len in 0..z.len() {
+            let _ = decompress(&z[..len], raw.len());
+        }
+        // Garbage with lying distances and lengths.
+        for seed in 0..64u8 {
+            let junk: Vec<u8> = (0..97)
+                .map(|i| (i as u8).wrapping_mul(seed) ^ 0x80)
+                .collect();
+            let _ = decompress(&junk, 4096);
+        }
+        // A match token pointing before the start of output.
+        assert_eq!(decompress(&[0x85, 9, 0], 64), None);
+        // Output overrun claims.
+        assert_eq!(decompress(&[0x7F, 0], 8), None);
+    }
+}

@@ -41,6 +41,21 @@ pub mod costs {
     }
 }
 
+/// Granularity of sub-page dirty tracking: one x86 cache line.
+/// `PAGE_SIZE / LINE_SIZE == 64`, so a page's line set fits one `u64`.
+pub const LINE_SIZE: usize = 64;
+
+/// Bitmask covering lines `first..=last` (inclusive, both < 64).
+fn line_span(first: u32, last: u32) -> u64 {
+    debug_assert!(first <= last && (last as usize) < PAGE_SIZE / LINE_SIZE);
+    let span = last - first + 1;
+    if span >= 64 {
+        u64::MAX
+    } else {
+        ((1u64 << span) - 1) << first
+    }
+}
+
 /// Identifier of an address space (a simulated process).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AsId(pub u32);
@@ -87,6 +102,13 @@ pub struct DirtyPage {
     pub vpn: u64,
     /// Stable PTE location (the trace-buffer record).
     pub pte: PteLoc,
+    /// Dirty 64-byte cache lines of the page, one bit per line (bit `i`
+    /// covers bytes `i*64..(i+1)*64`). Accumulated from the physical
+    /// page's line log when the entry is drained by [`Vm::take_dirty`];
+    /// zero until then. Survives `untake_dirty`/re-take cycles by union,
+    /// so a retried μCheckpoint still knows every line touched since the
+    /// last successful one.
+    pub lines: u64,
 }
 
 /// Fault and maintenance counters.
@@ -141,6 +163,11 @@ struct PhysPage {
     /// Thread that holds this page in its dirty set, for optional
     /// isolation checking (paper property ③).
     dirty_owner: Option<VthreadId>,
+    /// Write log at 64-byte cache-line granularity: bit `i` set means
+    /// line `i` was written through a tracked mapping since the log was
+    /// last harvested by [`Vm::take_dirty`]. `PAGE_SIZE / 64 == 64`
+    /// lines, so one word covers the page exactly.
+    dirty_lines: u64,
 }
 
 #[derive(Debug)]
@@ -287,6 +314,7 @@ impl Vm {
             p.owner = owner;
             p.rmap.clear();
             p.dirty_owner = None;
+            p.dirty_lines = 0;
             id
         } else {
             self.phys.push(PhysPage {
@@ -295,6 +323,7 @@ impl Vm {
                 owner,
                 rmap: Vec::new(),
                 dirty_owner: None,
+                dirty_lines: 0,
             });
             (self.phys.len() - 1) as u32
         }
@@ -403,6 +432,7 @@ impl Vm {
                     space,
                     vpn,
                     pte: loc,
+                    lines: 0,
                 });
             } else if m.tracked && self.strict_isolation {
                 // Writable already: verify the writer is the tracking owner.
@@ -416,8 +446,15 @@ impl Vm {
                 }
             }
 
-            self.phys[phys as usize].data[page_off..page_off + chunk]
-                .copy_from_slice(&data[..chunk]);
+            let page = &mut self.phys[phys as usize];
+            page.data[page_off..page_off + chunk].copy_from_slice(&data[..chunk]);
+            if m.tracked {
+                // Log the touched 64-byte lines; sub-page delta shipping
+                // reads this as a conservative superset of changed bytes.
+                let first = (page_off / LINE_SIZE) as u32;
+                let last = ((page_off + chunk - 1) / LINE_SIZE) as u32;
+                page.dirty_lines |= line_span(first, last);
+            }
             vt.charge(Category::TxMemory, costs::memcpy(chunk));
 
             va += chunk as u64;
@@ -429,9 +466,13 @@ impl Vm {
     /// Returns the new physical page.
     fn cow_replace(&mut self, _vt: &mut Vt, old_phys: u32, owner: (MemObjectId, u64)) -> u32 {
         let new_phys = self.alloc_phys(owner);
-        let (old_data, rmap) = {
+        let (old_data, rmap, old_lines) = {
             let old = &mut self.phys[old_phys as usize];
-            (old.data.clone(), std::mem::take(&mut old.rmap))
+            (
+                old.data.clone(),
+                std::mem::take(&mut old.rmap),
+                std::mem::take(&mut old.dirty_lines),
+            )
         };
         for &(as_id, loc) in &rmap {
             let pte = self.spaces[as_id.0 as usize].table.pte_mut(loc);
@@ -442,6 +483,8 @@ impl Vm {
             let new = &mut self.phys[new_phys as usize];
             new.data = old_data;
             new.rmap = rmap;
+            // Any unharvested line log moves with the content it describes.
+            new.dirty_lines = old_lines;
         }
         self.objects[owner.0 .0 as usize].pages[owner.1 as usize] = Some(new_phys);
         // The frozen original's bytes were captured by the IO at
@@ -521,7 +564,7 @@ impl Vm {
         let Some(entries) = self.threads.get_mut(&thread) else {
             return Vec::new();
         };
-        match object {
+        let mut taken = match object {
             None => std::mem::take(entries),
             Some(obj) => {
                 let (taken, kept): (Vec<_>, Vec<_>) =
@@ -529,7 +572,14 @@ impl Vm {
                 *entries = kept;
                 taken
             }
+        };
+        // Harvest the per-phys-page line logs into the drained entries.
+        // Union rather than assign: an entry returned by `untake_dirty`
+        // already carries lines from the failed attempt.
+        for e in &mut taken {
+            e.lines |= std::mem::take(&mut self.phys[e.phys as usize].dirty_lines);
         }
+        taken
     }
 
     /// Returns entries drained by [`Vm::take_dirty`] to `thread`'s dirty
@@ -736,6 +786,48 @@ mod tests {
         assert_eq!(only_a.len(), 1);
         assert_eq!(only_a[0].object, a);
         assert_eq!(vm.dirty_count(t), 1, "object b's page stays tracked");
+    }
+
+    #[test]
+    fn dirty_lines_track_touched_cache_lines() {
+        let (mut vm, mut vt, space, _) = setup(4);
+        let t = vt.id();
+        // Three scattered 64-byte stores: lines 0, 5, and 63.
+        vm.write(&mut vt, space, t, VA, &[1; 64]);
+        vm.write(&mut vt, space, t, VA + 5 * 64, &[2; 64]);
+        vm.write(&mut vt, space, t, VA + 63 * 64, &[3; 64]);
+        // An unaligned store spanning lines 10..=11.
+        vm.write(&mut vt, space, t, VA + 10 * 64 + 32, &[4; 64]);
+        let dirty = vm.take_dirty(t, None);
+        assert_eq!(dirty.len(), 1);
+        let want = 1u64 | (1 << 5) | (1 << 63) | (1 << 10) | (1 << 11);
+        assert_eq!(dirty[0].lines, want);
+
+        // A page-filling write reports every line.
+        vm.write(&mut vt, space, t, VA + PAGE_SIZE as u64, &[5; PAGE_SIZE]);
+        let dirty = vm.take_dirty(t, None);
+        assert_eq!(dirty.len(), 1);
+        assert_eq!(dirty[0].lines, u64::MAX);
+        assert!(
+            dirty[0].lines.count_ones() > 32,
+            "heavy churn exceeds cutoff"
+        );
+    }
+
+    #[test]
+    fn untaken_lines_survive_untake_and_union_on_retake() {
+        let (mut vm, mut vt, space, _) = setup(4);
+        let t = vt.id();
+        vm.write(&mut vt, space, t, VA, &[1; 64]);
+        let dirty = vm.take_dirty(t, None);
+        assert_eq!(dirty[0].lines, 1);
+        // Failed μCheckpoint: the entries go back, then a new line is
+        // written before the retry. The retake must report both lines.
+        vm.untake_dirty(t, dirty);
+        vm.write(&mut vt, space, t, VA + 7 * 64, &[2; 64]);
+        let dirty = vm.take_dirty(t, None);
+        let lines = dirty.iter().fold(0u64, |acc, e| acc | e.lines);
+        assert_eq!(lines, 1 | (1 << 7));
     }
 
     #[test]

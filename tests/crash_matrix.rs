@@ -335,3 +335,145 @@ fn delta_apply_crash_sweep_lands_at_base_or_target_epoch() {
         "no crash point observed the committed target epoch"
     );
 }
+
+/// The same exhaustive crash sweep over a *sub-page* (v2) delta apply:
+/// the stream carries sub-page frames — 64-byte line runs diffed
+/// against the retained base, compressed where worthwhile — yet a
+/// power failure at any IO boundary still leaves the replica at
+/// exactly the base image or exactly the target image. Sub-page
+/// resolution happens in memory before the single root-switch commit
+/// point, so granularity never weakens crash atomicity.
+#[test]
+fn subpage_delta_apply_crash_sweep_lands_at_base_or_target_epoch() {
+    use msnap_disk::BLOCK_SIZE;
+    use msnap_snap::{ApplySession, DeltaStream, Frame};
+    use msnap_store::ObjectStore;
+
+    // Primary: six pages, snapshot "base", then scattered 64-byte line
+    // rewrites on three pages (plus one whole-page rewrite so the
+    // stream mixes frame kinds), snapshot "tip".
+    const PAGES: u64 = 6;
+    let mut pdisk = Disk::new(DiskConfig::paper());
+    let mut store = ObjectStore::format(&mut pdisk);
+    let mut vt = Vt::new(0);
+    let obj = store.create(&mut vt, &mut pdisk, "db").unwrap();
+    for p in 0..PAGES {
+        let img: Vec<u8> = (0..BLOCK_SIZE)
+            .map(|j| (0x30 + p as u8) ^ (j as u8).wrapping_mul(7))
+            .collect();
+        let t = store
+            .persist(&mut vt, &mut pdisk, obj, &[(p, &img[..])])
+            .unwrap();
+        ObjectStore::wait(&mut vt, t);
+    }
+    store
+        .snapshot_create(&mut vt, &mut pdisk, obj, "base")
+        .unwrap();
+    let mut images_iov = Vec::new();
+    for (p, lines) in [(0u64, [3usize, 40]), (2, [0, 63]), (5, [17, 18])] {
+        let mut img = vec![0u8; BLOCK_SIZE];
+        store
+            .read_page(&mut vt, &mut pdisk, obj, p, &mut img)
+            .unwrap();
+        for line in lines {
+            img[line * 64..(line + 1) * 64].fill(0xC0 + p as u8);
+        }
+        images_iov.push((p, img));
+    }
+    images_iov.push((3, vec![0xEE; BLOCK_SIZE]));
+    let iov: Vec<(u64, &[u8])> = images_iov.iter().map(|(p, img)| (*p, &img[..])).collect();
+    let t = store.persist(&mut vt, &mut pdisk, obj, &iov).unwrap();
+    ObjectStore::wait(&mut vt, t);
+    store
+        .snapshot_create(&mut vt, &mut pdisk, obj, "tip")
+        .unwrap();
+
+    let base_epoch = store.snapshot_lookup("base").unwrap().epoch;
+    let tip_epoch = store.snapshot_lookup("tip").unwrap().epoch;
+    let mut images = std::collections::HashMap::new();
+    for (name, epoch) in [("base", base_epoch), ("tip", tip_epoch)] {
+        let mut pages = Vec::new();
+        for p in 0..PAGES {
+            let mut img = vec![0u8; BLOCK_SIZE];
+            store
+                .read_page_at(&mut vt, &mut pdisk, name, p, &mut img)
+                .unwrap();
+            pages.push(img);
+        }
+        images.insert(epoch, pages);
+    }
+
+    let full_wire = DeltaStream::build(&mut vt, &mut pdisk, &mut store, None, "base")
+        .unwrap()
+        .encode();
+    let delta = DeltaStream::build_v2(
+        &mut vt,
+        &mut pdisk,
+        &mut store,
+        Some("base"),
+        "tip",
+        None,
+        None,
+    )
+    .unwrap();
+    assert!(
+        delta
+            .frames
+            .iter()
+            .any(|f| matches!(f, Frame::Sub(s) if !s.covers_whole())),
+        "the sweep must actually exercise partial sub-page frames"
+    );
+    let delta_wire = delta.encode();
+
+    let apply = |vt: &mut Vt, disk: &mut Disk, replica: &mut ObjectStore, wire: &[u8]| {
+        let stream = DeltaStream::decode(wire).unwrap();
+        let mut session = ApplySession::begin(vt, disk, replica, &stream.header).unwrap();
+        for frame in &stream.frames {
+            session.feed(frame).unwrap();
+        }
+        session.finish(vt, disk, replica, &stream.trailer).unwrap();
+    };
+
+    let run = || {
+        let mut vt = Vt::new(7);
+        let mut rdisk = Disk::new(DiskConfig::paper());
+        let mut replica = ObjectStore::format(&mut rdisk);
+        apply(&mut vt, &mut rdisk, &mut replica, &full_wire);
+        rdisk.settle();
+        apply(&mut vt, &mut rdisk, &mut replica, &delta_wire);
+        rdisk
+    };
+
+    let mut reached_target = 0usize;
+    let points = crash_at_every_io(run, |mut disk, at| {
+        let mut vt = Vt::new(9);
+        let mut replica = ObjectStore::open(&mut vt, &mut disk)
+            .unwrap_or_else(|e| panic!("replica unreadable after crash at {at}: {e}"));
+        let robj = replica.lookup("db").expect("settled base image lost");
+        let epoch = replica.epoch(robj);
+        assert!(
+            epoch == base_epoch || epoch == tip_epoch,
+            "crash at {at} left the replica at epoch {epoch}, \
+             expected exactly {base_epoch} (base) or {tip_epoch} (target)"
+        );
+        if epoch == tip_epoch {
+            reached_target += 1;
+        }
+        let want = &images[&epoch];
+        let mut got = vec![0u8; BLOCK_SIZE];
+        for p in 0..PAGES {
+            replica
+                .read_page(&mut vt, &mut disk, robj, p, &mut got)
+                .unwrap();
+            assert_eq!(
+                got, want[p as usize],
+                "page {p} diverges from the epoch-{epoch} image after crash at {at}"
+            );
+        }
+    });
+    assert!(points > 20, "sweep too small to be meaningful: {points}");
+    assert!(
+        reached_target >= 1,
+        "no crash point observed the committed target epoch"
+    );
+}
